@@ -1,0 +1,148 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   1. Two-step framework: xi-GEPC alone vs xi-GEPC + top-up (Sec. III's
+//      step 2 contribution to total utility).
+//   2. GAP LP engine: exact simplex vs MWU approximation (utility and time).
+//   3. Greedy user-order sensitivity (Sec. III-B): utility spread across
+//      random visiting orders.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gepc/regret_greedy.h"
+#include "gepc/topup.h"
+#include "benchutil/measure.h"
+#include "benchutil/table.h"
+#include "data/cities.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+
+int Run(const bench::BenchFlags& flags) {
+  std::printf("== Ablation studies (scale %.2f) ==\n\n", flags.scale);
+  auto city = FindCity("Auckland");
+  if (!city.ok()) return 1;
+  auto instance = GenerateCity(*city, /*seed=*/42, flags.scale);
+  if (!instance.ok()) return 1;
+
+  // --- 1. Top-up step contribution -------------------------------------
+  {
+    TextTable table({"Config", "Utility", "Assignments"});
+    for (bool topup : {false, true}) {
+      GepcOptions options = bench::GreedyPreset();
+      options.run_topup = topup;
+      auto result = SolveGepc(*instance, options);
+      if (!result.ok()) return 1;
+      table.AddRow({topup ? "xi-GEPC + top-up (full framework)"
+                          : "xi-GEPC only (step 1)",
+                    FormatUtility(result->total_utility),
+                    std::to_string(result->plan.TotalAssignments())});
+    }
+    std::printf("-- Two-step framework: effect of the top-up step --\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // --- 2. GAP LP engine: simplex vs MWU ---------------------------------
+  {
+    TextTable table({"LP engine", "Utility", "Time (s)"});
+    for (GapLpEngine engine : {GapLpEngine::kSimplex, GapLpEngine::kMwu}) {
+      GepcOptions options = bench::GapPreset();
+      options.gap_based.gap.engine = engine;
+      Result<GepcResult> result = Status::Internal("unset");
+      const Measurement run =
+          RunMeasured([&] { result = SolveGepc(*instance, options); });
+      if (!result.ok()) return 1;
+      table.AddRow({engine == GapLpEngine::kSimplex ? "exact simplex"
+                                                    : "MWU (PST-style)",
+                    FormatUtility(result->total_utility),
+                    FormatSeconds(run.seconds)});
+    }
+    std::printf("-- GAP-based algorithm: LP relaxation engine --\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // --- 3. xi-GEPC heuristic face-off: Algorithm 2 vs regret insertion ---
+  {
+    const CopyMap copies(*instance);
+    TextTable table({"xi-GEPC heuristic", "Utility (full framework)",
+                     "Time (s)"});
+    {
+      Result<GepcResult> greedy = Status::Internal("unset");
+      const Measurement run = RunMeasured(
+          [&] { greedy = SolveGepc(*instance, bench::GreedyPreset()); });
+      if (!greedy.ok()) return 1;
+      table.AddRow({"Algorithm 2 (random order)",
+                    FormatUtility(greedy->total_utility),
+                    FormatSeconds(run.seconds)});
+    }
+    {
+      double utility = 0.0;
+      const Measurement run = RunMeasured([&] {
+        auto regret = SolveXiGepcRegret(*instance, copies);
+        if (!regret.ok()) return;
+        Plan plan = CollapseToPlan(*instance, copies, regret->copy_plan);
+        TopUpPlan(*instance, &plan);
+        utility = plan.TotalUtility(*instance);
+      });
+      table.AddRow({"Regret insertion (deterministic)",
+                    FormatUtility(utility), FormatSeconds(run.seconds)});
+    }
+    std::printf("-- xi-GEPC heuristic: visiting-order-free regret variant --\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // --- 4. Local-search refinement (extension) ----------------------------
+  {
+    TextTable table({"Config", "Utility", "Time (s)"});
+    for (bool refine : {false, true}) {
+      GepcOptions options = bench::GreedyPreset();
+      options.refine_with_local_search = refine;
+      Result<GepcResult> result = Status::Internal("unset");
+      const Measurement run =
+          RunMeasured([&] { result = SolveGepc(*instance, options); });
+      if (!result.ok()) return 1;
+      table.AddRow({refine ? "greedy + local search" : "greedy",
+                    FormatUtility(result->total_utility),
+                    FormatSeconds(run.seconds)});
+    }
+    std::printf("-- Local-search refinement (ADD/REPLACE/TRANSFER) --\n");
+    table.Print();
+    std::printf("\n");
+  }
+
+  // --- 5. Greedy user-order sensitivity ---------------------------------
+  {
+    std::vector<double> utilities;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      auto result = SolveGepc(*instance, bench::GreedyPreset(seed));
+      if (!result.ok()) return 1;
+      utilities.push_back(result->total_utility);
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(utilities.begin(), utilities.end());
+    double mean = 0.0;
+    for (double u : utilities) mean += u;
+    mean /= static_cast<double>(utilities.size());
+    TextTable table({"Seeds", "Min utility", "Mean utility", "Max utility",
+                     "Spread (%)"});
+    char spread[32];
+    std::snprintf(spread, sizeof(spread), "%.2f",
+                  100.0 * (*max_it - *min_it) / mean);
+    table.AddRow({"10", FormatUtility(*min_it), FormatUtility(mean),
+                  FormatUtility(*max_it), spread});
+    std::printf("-- Greedy algorithm: user visiting-order sensitivity "
+                "(Sec. III-B) --\n");
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  return gepc::Run(gepc::bench::BenchFlags::Parse(argc, argv));
+}

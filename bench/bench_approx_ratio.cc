@@ -1,0 +1,105 @@
+// Empirical approximation-ratio study connecting Sec. III's theory to
+// practice: on small random instances where the exact branch-and-bound
+// optimum is computable, measure utility(GAP-based)/OPT and
+// utility(Greedy)/OPT. The paper guarantees 1/(Uc_max - 1) - O(eps) and
+// 1/(2 Uc_max) respectively — worst-case floors far below what either
+// algorithm achieves on average.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "benchutil/table.h"
+#include "data/generator.h"
+#include "gepc/analysis.h"
+#include "gepc/exact.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+
+int Run(const bench::BenchFlags& flags) {
+  const int instances = std::max(10, flags.trials * 4);
+  std::printf("== Empirical approximation ratios vs exact optimum "
+              "(%d small instances) ==\n\n",
+              instances);
+
+  struct RatioStats {
+    double min = 1.0;
+    double sum = 0.0;
+    int count = 0;
+    void Add(double ratio) {
+      min = std::min(min, ratio);
+      sum += ratio;
+      ++count;
+    }
+  };
+  RatioStats gap_stats;
+  RatioStats greedy_stats;
+  RatioStats gap_floor_stats;
+  RatioStats greedy_floor_stats;
+  int infeasible = 0;
+
+  for (int k = 0; k < instances; ++k) {
+    GeneratorConfig config;
+    config.num_users = 7;
+    config.num_events = 6;
+    config.num_groups = 3;
+    config.mean_eta = 3.0;
+    config.mean_xi = 1.0;
+    config.conflict_ratio = 0.35;
+    config.seed = 1000 + static_cast<uint64_t>(k) * 37;
+    auto instance = GenerateInstance(config);
+    if (!instance.ok()) return 1;
+    auto exact = SolveGepcExact(*instance);
+    if (!exact.ok()) continue;
+    if (!exact->feasible || exact->total_utility <= 0.0) {
+      ++infeasible;
+      continue;
+    }
+    GepcOptions options;
+    options.algorithm = GepcAlgorithm::kGapBased;
+    auto gap = SolveGepc(*instance, options);
+    options.algorithm = GepcAlgorithm::kGreedy;
+    auto greedy = SolveGepc(*instance, options);
+    if (!gap.ok() || !greedy.ok()) continue;
+    if (gap->events_below_lower_bound == 0) {
+      gap_stats.Add(gap->total_utility / exact->total_utility);
+      gap_floor_stats.Add(GapRatioFloor(*instance));
+    }
+    if (greedy->events_below_lower_bound == 0) {
+      greedy_stats.Add(greedy->total_utility / exact->total_utility);
+      greedy_floor_stats.Add(GreedyRatioFloor(*instance));
+    }
+  }
+
+  TextTable table({"Algorithm", "Instances", "Mean ratio", "Min ratio",
+                   "Mean proven floor"});
+  auto row = [&](const char* name, const RatioStats& stats,
+                 const RatioStats& floors) {
+    char mean[32];
+    char min[32];
+    char floor[32];
+    std::snprintf(mean, sizeof(mean), "%.3f",
+                  stats.count ? stats.sum / stats.count : 0.0);
+    std::snprintf(min, sizeof(min), "%.3f", stats.count ? stats.min : 0.0);
+    std::snprintf(floor, sizeof(floor), "%.3f",
+                  floors.count ? floors.sum / floors.count : 0.0);
+    table.AddRow({name, std::to_string(stats.count), mean, min, floor});
+  };
+  row("GAP-based", gap_stats, gap_floor_stats);
+  row("Greedy", greedy_stats, greedy_floor_stats);
+  table.Print();
+  std::printf("\n(%d instances skipped as infeasible; ratios computed only "
+              "when the approximation met every lower bound.)\n",
+              infeasible);
+  std::printf("Shape check: mean ratios well above the paper's worst-case "
+              "floors; GAP-based >= Greedy on average.\n");
+  return 0;
+}
+
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  return gepc::Run(gepc::bench::BenchFlags::Parse(argc, argv));
+}

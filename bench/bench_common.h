@@ -1,0 +1,72 @@
+#ifndef GEPC_BENCH_BENCH_COMMON_H_
+#define GEPC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gap/shmoys_tardos.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+namespace bench {
+
+/// Shared command-line knobs for the paper-reproduction harness binaries.
+///   --scale=<0..1>   shrink city presets (users/events) proportionally
+///   --trials=<n>     random atomic operations per IEP measurement
+///   --quick          preset: scale 0.25, trials 3 (CI-friendly)
+///   --csv=PREFIX     also write machine-readable CSV series to
+///                    PREFIX_<series>.csv (supported by the figure benches)
+struct BenchFlags {
+  double scale = 1.0;
+  int trials = 5;
+  std::string csv_prefix;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--scale=", 8) == 0) {
+        flags.scale = std::atof(arg + 8);
+      } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+        flags.trials = std::atoi(arg + 9);
+      } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+        flags.csv_prefix = arg + 6;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        flags.scale = 0.25;
+        flags.trials = 3;
+      }
+    }
+    if (flags.scale <= 0.0 || flags.scale > 1.0) flags.scale = 1.0;
+    if (flags.trials < 1) flags.trials = 1;
+    return flags;
+  }
+};
+
+/// Solver preset used across all benches: the GAP-based algorithm keeps its
+/// exact simplex LP for small reductions and switches to the MWU engine
+/// (the scalable Plotkin-Shmoys-Tardos-style path) above ~5000 candidate
+/// pairs — mirroring the paper's observation that the GAP algorithm's LP is
+/// the scalability bottleneck while keeping full-size cities runnable.
+inline GepcOptions GapPreset(uint64_t greedy_seed = 1) {
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGapBased;
+  options.gap_based.gap.engine = GapLpEngine::kAuto;
+  options.gap_based.gap.auto_simplex_limit = 8000;
+  options.gap_based.gap.lp.max_candidates_per_job = 20;
+  options.greedy.seed = greedy_seed;  // greedy fallback
+  return options;
+}
+
+inline GepcOptions GreedyPreset(uint64_t seed = 1) {
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGreedy;
+  options.greedy.seed = seed;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace gepc
+
+#endif  // GEPC_BENCH_BENCH_COMMON_H_

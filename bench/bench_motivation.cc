@@ -1,0 +1,66 @@
+// The introduction's motivating comparison (Sec. I, not a numbered table in
+// the paper): what happens when the minimum-participant requirement is
+// ignored? For each city we compare GEPC (greedy two-step) against the GEP
+// baseline of [4] (no lower bounds) and a random-assignment baseline, on
+//   * nominal utility (what GEP thinks it achieves),
+//   * events left below xi (events that cannot actually be held),
+//   * effective utility (utility surviving the cancellation of
+//     under-subscribed events).
+//
+// Expected shape: GEP shows the highest nominal utility but strands events
+// below xi; GEPC strands (near) none.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "benchutil/table.h"
+#include "data/cities.h"
+#include "gepc/baselines.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+
+int Run(const bench::BenchFlags& flags) {
+  std::printf("== Motivation: minimum-participant requirements "
+              "(scale %.2f) ==\n\n",
+              flags.scale);
+  TextTable table({"Dataset", "Planner", "Nominal utility",
+                   "Events below xi", "Effective utility"});
+  for (const CityPreset& city : PaperCities()) {
+    auto instance = GenerateCity(city, /*seed=*/42, flags.scale);
+    if (!instance.ok()) return 1;
+
+    auto gepc = SolveGepc(*instance, bench::GreedyPreset());
+    auto gep = SolveGepNoLowerBounds(*instance);
+    auto single = SolveSingleAssignmentOptimal(*instance);
+    auto random = SolveRandomBaseline(*instance, /*seed=*/7);
+    if (!gepc.ok() || !gep.ok() || !single.ok() || !random.ok()) return 1;
+
+    table.AddRow({city.name, "GEPC (greedy)",
+                  FormatUtility(gepc->total_utility),
+                  std::to_string(gepc->events_below_lower_bound),
+                  FormatUtility(EffectiveUtility(*instance, gepc->plan))});
+    table.AddRow({"", "GEP (no xi) [4]", FormatUtility(gep->total_utility),
+                  std::to_string(gep->events_below_lower_bound),
+                  FormatUtility(gep->effective_utility)});
+    table.AddRow({"", "1-event/user OPT [3]",
+                  FormatUtility(single->total_utility),
+                  std::to_string(single->events_below_lower_bound),
+                  FormatUtility(single->effective_utility)});
+    table.AddRow({"", "Random", FormatUtility(random->total_utility),
+                  std::to_string(random->events_below_lower_bound),
+                  FormatUtility(random->effective_utility)});
+  }
+  table.Print();
+  std::printf("\nShape check: GEP/Random leave events below xi (those events "
+              "cannot be held); GEPC leaves none or almost none; the "
+              "single-event-per-user optimum of [3] trails multi-event "
+              "planning on utility.\n");
+  return 0;
+}
+
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  return gepc::Run(gepc::bench::BenchFlags::Parse(argc, argv));
+}

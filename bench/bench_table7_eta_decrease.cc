@@ -1,0 +1,13 @@
+// Reproduces Table VII: "Results of eta-De on real datasets" — average
+// utility of the incremental eta-decrease repair (Algorithm 3) vs re-running
+// the greedy (Re-Greedy) and GAP-based (Re-GAP) planners from scratch, plus
+// the incremental step's time and memory, on the four city datasets.
+
+#include "bench/iep_bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto flags = gepc::bench::BenchFlags::Parse(argc, argv);
+  return gepc::bench::RunIepTable("Table VII: eta-De on real datasets",
+                                  "eta-De", gepc::bench::MakeEtaDecrease,
+                                  flags);
+}

@@ -1,0 +1,51 @@
+#include "benchutil/csv.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace gepc {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  GEPC_CHECK(cells.size() == rows_.front().size())
+      << "CSV row width " << cells.size() << " != header width "
+      << rows_.front().size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += Escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << ToString();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace gepc

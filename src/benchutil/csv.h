@@ -1,0 +1,37 @@
+#ifndef GEPC_BENCHUTIL_CSV_H_
+#define GEPC_BENCHUTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gepc {
+
+/// Minimal RFC-4180-ish CSV writer used by the bench harness to emit
+/// machine-readable series next to the human tables (one file per figure,
+/// ready for gnuplot/pandas). Quotes fields containing commas, quotes or
+/// newlines; doubles embedded quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding the header).
+  int num_rows() const { return static_cast<int>(rows_.size()) - 1; }
+
+  std::string ToString() const;
+  Status WriteToFile(const std::string& path) const;
+
+  /// Escapes one field per RFC 4180.
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_BENCHUTIL_CSV_H_

@@ -1,0 +1,38 @@
+#ifndef GEPC_BENCHUTIL_MEASURE_H_
+#define GEPC_BENCHUTIL_MEASURE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/memory_tracker.h"
+#include "common/timer.h"
+
+namespace gepc {
+
+/// Wall time and peak heap growth of one measured run, matching the paper's
+/// "time cost" / "memory cost" columns.
+struct Measurement {
+  double seconds = 0.0;
+  /// Peak live heap bytes above the level at the start of the run. Needs
+  /// the gepc_memhooks allocation hooks linked in; 0 otherwise.
+  int64_t peak_bytes = 0;
+};
+
+/// Runs `fn()` once, returning wall time and peak extra heap. The callable's
+/// result (if any) is discarded; capture outputs by reference.
+template <typename Fn>
+Measurement RunMeasured(Fn&& fn) {
+  MemoryTracker::ResetPeak();
+  const int64_t baseline = MemoryTracker::CurrentBytes();
+  Timer timer;
+  std::forward<Fn>(fn)();
+  Measurement m;
+  m.seconds = timer.ElapsedSeconds();
+  m.peak_bytes = MemoryTracker::PeakBytes() - baseline;
+  if (m.peak_bytes < 0) m.peak_bytes = 0;
+  return m;
+}
+
+}  // namespace gepc
+
+#endif  // GEPC_BENCHUTIL_MEASURE_H_

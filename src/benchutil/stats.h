@@ -1,0 +1,65 @@
+#ifndef GEPC_BENCHUTIL_STATS_H_
+#define GEPC_BENCHUTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gepc {
+
+/// Streaming sample statistics for benchmark trials: mean/stddev via
+/// Welford's algorithm plus exact percentiles from the retained samples
+/// (bench trial counts are small, so retention is cheap).
+class SampleStats {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Sample standard deviation (n - 1); 0 with fewer than two samples.
+  double stddev() const {
+    if (count_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  }
+
+  double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Exact percentile by nearest-rank (q in [0, 1]); 0 when empty.
+  double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const size_t rank = static_cast<size_t>(
+        std::ceil(clamped * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  }
+
+  double median() const { return percentile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_BENCHUTIL_STATS_H_

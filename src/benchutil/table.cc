@@ -1,0 +1,80 @@
+#include "benchutil/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.h"
+
+namespace gepc {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  GEPC_CHECK(cells.size() == rows_.front().size())
+      << "row has " << cells.size() << " cells, header has "
+      << rows_.front().size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      out += rows_[r][c];
+      out.append(widths[c] - rows_[r][c].size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w + 2;
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::cout << ToString() << std::flush; }
+
+std::string FormatUtility(double value) {
+  char buf[64];
+  if (std::fabs(value) >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  } else if (std::fabs(value) >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", seconds);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  }
+  return buf;
+}
+
+std::string FormatMegabytes(int64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace gepc

@@ -1,0 +1,41 @@
+#ifndef GEPC_BENCHUTIL_TABLE_H_
+#define GEPC_BENCHUTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gepc {
+
+/// Fixed-width text table, used by the paper-reproduction benches to print
+/// rows in the same shape as the paper's Tables VI-IX and figure series.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats like the paper: plain for small magnitudes, "5.903e+07"-style
+/// scientific for large ones.
+std::string FormatUtility(double value);
+
+/// Seconds with 3 meaningful digits (e.g. "0.044", "12383").
+std::string FormatSeconds(double seconds);
+
+/// Mebibytes with one decimal.
+std::string FormatMegabytes(int64_t bytes);
+
+}  // namespace gepc
+
+#endif  // GEPC_BENCHUTIL_TABLE_H_

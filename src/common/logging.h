@@ -1,0 +1,52 @@
+#ifndef GEPC_COMMON_LOGGING_H_
+#define GEPC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace gepc {
+
+/// Severity levels for GEPC_LOG.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is emitted; defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+/// When constructed with fatal=true, aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gepc
+
+#define GEPC_LOG(level)                                                   \
+  ::gepc::internal::LogMessage(::gepc::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Unconditional invariant check (active in release builds too); logs the
+/// failed condition and aborts.
+#define GEPC_CHECK(condition)                                             \
+  if (!(condition))                                                       \
+  ::gepc::internal::LogMessage(::gepc::LogLevel::kError, __FILE__,        \
+                               __LINE__, /*fatal=*/true)                  \
+      << "Check failed: " #condition " "
+
+#endif  // GEPC_COMMON_LOGGING_H_

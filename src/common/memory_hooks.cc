@@ -1,0 +1,76 @@
+// Global operator new/delete overrides that feed MemoryTracker. Compiled into
+// the separate `gepc_memhooks` object library so that only binaries wanting
+// byte-exact heap accounting (the paper-reproduction benches) pay for it.
+
+#include <cstdlib>
+#include <malloc.h>
+#include <new>
+
+#include "common/memory_tracker.h"
+
+namespace {
+
+void* TrackedAlloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) return nullptr;
+  gepc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void* TrackedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0) {
+    return nullptr;
+  }
+  gepc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void TrackedFree(void* p) {
+  if (p == nullptr) return;
+  gepc::MemoryTracker::RecordFree(malloc_usable_size(p));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = TrackedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = TrackedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { TrackedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}

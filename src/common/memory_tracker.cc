@@ -1,0 +1,65 @@
+#include "common/memory_tracker.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace gepc {
+
+namespace {
+
+std::atomic<int64_t> g_current_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void UpdatePeak(int64_t current) {
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, current,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int64_t MemoryTracker::CurrentBytes() {
+  return g_current_bytes.load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::PeakBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int64_t rss_kib = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + 6, "%lld", &value) == 1) rss_kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss_kib < 0 ? -1 : rss_kib * 1024;
+}
+
+void MemoryTracker::RecordAlloc(std::size_t bytes) {
+  int64_t current = g_current_bytes.fetch_add(static_cast<int64_t>(bytes),
+                                              std::memory_order_relaxed) +
+                    static_cast<int64_t>(bytes);
+  UpdatePeak(current);
+}
+
+void MemoryTracker::RecordFree(std::size_t bytes) {
+  g_current_bytes.fetch_sub(static_cast<int64_t>(bytes),
+                            std::memory_order_relaxed);
+}
+
+}  // namespace gepc

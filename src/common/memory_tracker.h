@@ -1,0 +1,39 @@
+#ifndef GEPC_COMMON_MEMORY_TRACKER_H_
+#define GEPC_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gepc {
+
+/// Process-wide heap accounting, mirroring the paper's use of "system
+/// functions that monitor current memory usage" for the memory-cost columns
+/// of Tables VI-IX and Figures 3/5.
+///
+/// Byte-exact counters are fed by the global operator new/delete overrides in
+/// memory_hooks.cc; binaries that want byte-exact tracking (the benches) link
+/// the `gepc_memhooks` object library. Without the hooks the counters stay at
+/// zero and callers can fall back to CurrentRssBytes().
+class MemoryTracker {
+ public:
+  /// Bytes currently allocated through operator new (0 without hooks).
+  static int64_t CurrentBytes();
+
+  /// High-water mark of CurrentBytes() since the last ResetPeak().
+  static int64_t PeakBytes();
+
+  /// Resets the high-water mark to the current allocation level.
+  static void ResetPeak();
+
+  /// Resident set size of the process read from /proc/self/status (VmRSS),
+  /// or -1 if unavailable. Works without the allocation hooks.
+  static int64_t CurrentRssBytes();
+
+  // Called by the allocation hooks; not part of the public API.
+  static void RecordAlloc(std::size_t bytes);
+  static void RecordFree(std::size_t bytes);
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,75 @@
+#ifndef GEPC_COMMON_RESULT_H_
+#define GEPC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gepc {
+
+/// Holds either a value of type T or a non-OK Status (never both, never
+/// neither). The value-or-error idiom used throughout the public API:
+///
+///   Result<Plan> r = solver.Solve(instance);
+///   if (!r.ok()) return r.status();
+///   const Plan& plan = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Preconditions: ok(). Accessors for the held value.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gepc
+
+/// Evaluates `expr` (a Result<T>), propagating its Status on error, otherwise
+/// binding the value to `lhs`.
+#define GEPC_ASSIGN_OR_RETURN(lhs, expr)             \
+  GEPC_ASSIGN_OR_RETURN_IMPL_(                       \
+      GEPC_STATUS_CONCAT_(_gepc_result, __LINE__), lhs, expr)
+
+#define GEPC_STATUS_CONCAT_INNER_(x, y) x##y
+#define GEPC_STATUS_CONCAT_(x, y) GEPC_STATUS_CONCAT_INNER_(x, y)
+
+#define GEPC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // GEPC_COMMON_RESULT_H_

@@ -1,0 +1,88 @@
+#ifndef GEPC_COMMON_STATUS_H_
+#define GEPC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gepc {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (negative budget, bad bounds, ...).
+  kInfeasible,        ///< No plan satisfies the constraints.
+  kNotFound,          ///< Referenced user/event id does not exist.
+  kOutOfRange,        ///< Index outside the instance dimensions.
+  kFailedPrecondition,///< API called in the wrong state.
+  kInternal,          ///< Invariant violation inside a solver.
+  kUnimplemented,     ///< Feature not available.
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "infeasible", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no message
+/// allocation); follows the RocksDB/Arrow idiom of returning rather than
+/// throwing. All public solver entry points return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace gepc
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define GEPC_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::gepc::Status _gepc_status = (expr);            \
+    if (!_gepc_status.ok()) return _gepc_status;     \
+  } while (false)
+
+#endif  // GEPC_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef GEPC_CORE_EVENT_H_
+#define GEPC_CORE_EVENT_H_
+
+#include "geom/point.h"
+#include "temporal/interval.h"
+
+namespace gepc {
+
+/// An EBSN event e_j = (l_ej, xi_j, eta_j, ts_j, tt_j): a location, a
+/// participation lower bound xi (the event cannot be held with fewer
+/// attendees), a participation upper bound eta (venue capacity), and a
+/// holding time (Sec. II).
+struct Event {
+  Point location;
+  int lower_bound = 0;  ///< xi_j  (minimum participants)
+  int upper_bound = 0;  ///< eta_j (maximum participants)
+  Interval time;
+
+  /// Admission fee charged against the attendee's budget, in the same
+  /// units as travel distance. The paper's Sec. VII notes that attendance
+  /// costs "could be naturally rolled into travel costs"; this field does
+  /// exactly that — a user's cost D_i becomes tour length plus the fees of
+  /// the events attended. Zero (the default) recovers the paper's model.
+  double fee = 0.0;
+
+  /// True iff bounds, fee and holding time are internally consistent.
+  bool IsValid() const {
+    return lower_bound >= 0 && lower_bound <= upper_bound && fee >= 0.0 &&
+           time.IsValid();
+  }
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_CORE_EVENT_H_

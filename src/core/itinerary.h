@@ -1,0 +1,56 @@
+#ifndef GEPC_CORE_ITINERARY_H_
+#define GEPC_CORE_ITINERARY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/plan.h"
+#include "core/types.h"
+
+namespace gepc {
+
+/// One stop of a user's day: the event plus the leg that reaches it.
+struct ItineraryStop {
+  EventId event = kInvalidEvent;
+  Interval time;
+  double travel_from_previous = 0.0;  ///< from home or the previous event
+  double fee = 0.0;
+  double utility = 0.0;
+};
+
+/// A user's individual plan P_i rendered as the actual day: stops in
+/// start-time order, per-leg travel, the trip home, and the cost/budget
+/// accounting the GEPC constraints are defined over.
+struct Itinerary {
+  UserId user = kInvalidUser;
+  std::vector<ItineraryStop> stops;
+  double travel_home = 0.0;   ///< last event back to l_ui
+  double total_travel = 0.0;  ///< sum of legs incl. the trip home
+  double total_fees = 0.0;
+  double total_cost = 0.0;    ///< D_i = travel + fees
+  double total_utility = 0.0;
+  double budget = 0.0;
+  bool within_budget = true;
+  bool conflict_free = true;
+
+  /// Multi-line human-readable rendering, e.g. for the CLI:
+  ///   u3 (budget 20.0):
+  ///     09:05 a.m.  e7   travel 3.2  fee 0.0  utility 0.81
+  ///     ...
+  std::string ToString() const;
+};
+
+/// Builds user i's itinerary from the plan. Never fails: infeasibilities
+/// (over budget, conflicts) are reported via the flags so callers can
+/// render broken plans during debugging.
+Itinerary BuildItinerary(const Instance& instance, const Plan& plan,
+                         UserId user);
+
+/// Itineraries for every user with a non-empty plan.
+std::vector<Itinerary> BuildAllItineraries(const Instance& instance,
+                                           const Plan& plan);
+
+}  // namespace gepc
+
+#endif  // GEPC_CORE_ITINERARY_H_

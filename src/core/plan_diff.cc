@@ -1,0 +1,59 @@
+#include "core/plan_diff.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gepc {
+
+PlanDiff DiffPlans(const Instance& instance, const Plan& before,
+                   const Plan& after) {
+  assert(before.num_users() == after.num_users());
+  PlanDiff diff;
+  for (int i = 0; i < before.num_users(); ++i) {
+    PlanDiff::UserDelta delta;
+    delta.user = i;
+    for (EventId j : before.events_of(i)) {
+      if (j >= after.num_events() || !after.Contains(i, j)) {
+        delta.lost.push_back(j);
+      }
+    }
+    for (EventId j : after.events_of(i)) {
+      if (j >= before.num_events() || !before.Contains(i, j)) {
+        delta.gained.push_back(j);
+      }
+    }
+    if (delta.lost.empty() && delta.gained.empty()) continue;
+    std::sort(delta.lost.begin(), delta.lost.end());
+    std::sort(delta.gained.begin(), delta.gained.end());
+    diff.total_lost += static_cast<int64_t>(delta.lost.size());
+    diff.total_gained += static_cast<int64_t>(delta.gained.size());
+    for (EventId j : delta.lost) {
+      if (j < instance.num_events()) {
+        diff.utility_delta -= instance.utility(i, j);
+      }
+    }
+    for (EventId j : delta.gained) {
+      if (j < instance.num_events()) {
+        diff.utility_delta += instance.utility(i, j);
+      }
+    }
+    diff.users.push_back(std::move(delta));
+  }
+  return diff;
+}
+
+std::string PlanDiff::ToString() const {
+  if (users.empty()) return "(no changes)\n";
+  std::string out;
+  for (const UserDelta& delta : users) {
+    out += "u" + std::to_string(delta.user) + ":";
+    for (EventId j : delta.lost) out += " -e" + std::to_string(j);
+    for (EventId j : delta.gained) out += " +e" + std::to_string(j);
+    out += "\n";
+  }
+  out += "total: " + std::to_string(total_lost) + " lost (dif), " +
+         std::to_string(total_gained) + " gained\n";
+  return out;
+}
+
+}  // namespace gepc

@@ -1,0 +1,43 @@
+#ifndef GEPC_CORE_PLAN_DIFF_H_
+#define GEPC_CORE_PLAN_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/plan.h"
+#include "core/types.h"
+
+namespace gepc {
+
+/// Structured difference between two plans over the same users. `lost`
+/// aggregates to the paper's negative impact dif(P, P'); `gained` is the
+/// compensation side the incremental algorithms add for free.
+struct PlanDiff {
+  struct UserDelta {
+    UserId user = kInvalidUser;
+    std::vector<EventId> lost;    ///< in before, not in after
+    std::vector<EventId> gained;  ///< in after, not in before
+  };
+
+  /// Only users whose plans changed, ascending by user id.
+  std::vector<UserDelta> users;
+  int64_t total_lost = 0;    ///< == NegativeImpact(before, after)
+  int64_t total_gained = 0;
+  double utility_delta = 0.0;
+
+  bool empty() const { return users.empty(); }
+
+  /// Human-readable multi-line summary ("u3: -e7 +e2 +e9").
+  std::string ToString() const;
+};
+
+/// Computes the per-user delta between `before` and `after`. The plans may
+/// have different event dimensions (events added mid-day); events beyond
+/// `before`'s range count as gained, events beyond `after`'s as lost.
+PlanDiff DiffPlans(const Instance& instance, const Plan& before,
+                   const Plan& after);
+
+}  // namespace gepc
+
+#endif  // GEPC_CORE_PLAN_DIFF_H_

@@ -1,0 +1,20 @@
+#ifndef GEPC_CORE_TYPES_H_
+#define GEPC_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace gepc {
+
+/// Index of a user within an Instance (0-based, dense).
+using UserId = int32_t;
+
+/// Index of an event within an Instance (0-based, dense).
+using EventId = int32_t;
+
+/// Sentinel for "no user / no event".
+inline constexpr UserId kInvalidUser = -1;
+inline constexpr EventId kInvalidEvent = -1;
+
+}  // namespace gepc
+
+#endif  // GEPC_CORE_TYPES_H_

@@ -1,0 +1,17 @@
+#ifndef GEPC_CORE_USER_H_
+#define GEPC_CORE_USER_H_
+
+#include "geom/point.h"
+
+namespace gepc {
+
+/// An EBSN user u_i = (l_ui, B_i): a home location and a travel budget
+/// bounding the total length of the user's daily tour (Sec. II).
+struct User {
+  Point location;
+  double budget = 0.0;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_CORE_USER_H_

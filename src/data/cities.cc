@@ -1,0 +1,57 @@
+#include "data/cities.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gepc {
+
+const std::vector<CityPreset>& PaperCities() {
+  // Table IV of the paper; every city uses mean xi 10, mean eta 50 and
+  // conflict ratio 0.25.
+  static const std::vector<CityPreset>* const kCities =
+      new std::vector<CityPreset>{
+          {"Beijing", 113, 16, 10.0, 50.0, 0.25},
+          {"Vancouver", 2012, 225, 10.0, 50.0, 0.25},
+          {"Auckland", 569, 37, 10.0, 50.0, 0.25},
+          {"Singapore", 1500, 87, 10.0, 50.0, 0.25},
+      };
+  return *kCities;
+}
+
+Result<CityPreset> FindCity(const std::string& name) {
+  for (const CityPreset& city : PaperCities()) {
+    if (city.name == name) return city;
+  }
+  return Status::NotFound("unknown city preset: " + name);
+}
+
+Result<Instance> GenerateCity(const CityPreset& city, uint64_t seed,
+                              double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  GeneratorConfig config;
+  config.num_users =
+      std::max(1, static_cast<int>(std::lround(city.num_users * scale)));
+  config.num_events =
+      std::max(1, static_cast<int>(std::lround(city.num_events * scale)));
+  const double bound_scale = std::sqrt(scale);
+  config.mean_eta = std::max(1.0, city.mean_eta * bound_scale);
+  config.mean_xi = std::min(config.mean_eta, city.mean_xi * bound_scale);
+  config.conflict_ratio = city.conflict_ratio;
+  config.seed = seed;
+  return GenerateInstance(config);
+}
+
+Result<Instance> GenerateCutOutBase(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_users = 5000;
+  config.num_events = 500;
+  config.mean_eta = 50.0;
+  config.mean_xi = 10.0;
+  config.conflict_ratio = 0.25;
+  config.seed = seed;
+  return GenerateInstance(config);
+}
+
+}  // namespace gepc

@@ -1,0 +1,42 @@
+#ifndef GEPC_DATA_CITIES_H_
+#define GEPC_DATA_CITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "data/generator.h"
+
+namespace gepc {
+
+/// One of the paper's four real Meetup datasets (Table IV). We regenerate
+/// each synthetically with the same |U|, |E|, mean xi, mean eta and conflict
+/// ratio (see DESIGN.md on the Meetup substitution).
+struct CityPreset {
+  std::string name;
+  int num_users;
+  int num_events;
+  double mean_xi;
+  double mean_eta;
+  double conflict_ratio;
+};
+
+/// Beijing, Vancouver, Auckland, Singapore with Table IV's statistics.
+const std::vector<CityPreset>& PaperCities();
+
+/// Lookup by (case-sensitive) name; kNotFound if absent.
+Result<CityPreset> FindCity(const std::string& name);
+
+/// Generates the synthetic stand-in for `city`. `scale` in (0, 1] shrinks
+/// |U| and |E| proportionally (useful for quick runs); bounds scale with
+/// sqrt(scale) so instances stay comparably tight.
+Result<Instance> GenerateCity(const CityPreset& city, uint64_t seed,
+                              double scale = 1.0);
+
+/// The default "cut out" base dataset of Table V: 5000 users, 500 events.
+Result<Instance> GenerateCutOutBase(uint64_t seed);
+
+}  // namespace gepc
+
+#endif  // GEPC_DATA_CITIES_H_

@@ -1,0 +1,207 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gepc {
+
+namespace {
+
+Status ParseError(int line, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Status SaveInstance(const Instance& instance, std::ostream& out) {
+  out << "GEPC1 " << instance.num_users() << " " << instance.num_events()
+      << "\n";
+  out << std::setprecision(17);
+  for (int i = 0; i < instance.num_users(); ++i) {
+    const User& u = instance.user(i);
+    out << "u " << u.location.x << " " << u.location.y << " " << u.budget
+        << "\n";
+  }
+  for (int j = 0; j < instance.num_events(); ++j) {
+    const Event& e = instance.event(j);
+    out << "e " << e.location.x << " " << e.location.y << " " << e.lower_bound
+        << " " << e.upper_bound << " " << e.time.start << " " << e.time.end
+        << " " << e.fee << "\n";
+  }
+  for (int i = 0; i < instance.num_users(); ++i) {
+    for (int j = 0; j < instance.num_events(); ++j) {
+      const double mu = instance.utility(i, j);
+      if (mu != 0.0) out << "m " << i << " " << j << " " << mu << "\n";
+    }
+  }
+  if (!out) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SaveInstanceToFile(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return SaveInstance(instance, out);
+}
+
+Result<Instance> LoadInstance(std::istream& in) {
+  std::string line;
+  int line_number = 0;
+
+  // Header.
+  int num_users = -1;
+  int num_events = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream header(line);
+    std::string magic;
+    header >> magic >> num_users >> num_events;
+    if (magic != "GEPC1" || header.fail()) {
+      return ParseError(line_number, "expected 'GEPC1 <users> <events>'");
+    }
+    break;
+  }
+  if (num_users < 0 || num_events < 0) {
+    return Status::InvalidArgument("missing GEPC1 header");
+  }
+
+  std::vector<User> users;
+  std::vector<Event> events;
+  struct UtilityEntry {
+    int user;
+    int event;
+    double mu;
+  };
+  std::vector<UtilityEntry> utilities;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    char kind = 0;
+    row >> kind;
+    if (kind == 'u') {
+      User u;
+      row >> u.location.x >> u.location.y >> u.budget;
+      if (row.fail()) return ParseError(line_number, "bad user row");
+      users.push_back(u);
+    } else if (kind == 'e') {
+      Event e;
+      row >> e.location.x >> e.location.y >> e.lower_bound >> e.upper_bound >>
+          e.time.start >> e.time.end;
+      if (row.fail()) return ParseError(line_number, "bad event row");
+      // Optional trailing admission fee (older files omit it).
+      double fee = 0.0;
+      if (row >> fee) e.fee = fee;
+      events.push_back(e);
+    } else if (kind == 'm') {
+      UtilityEntry entry{};
+      row >> entry.user >> entry.event >> entry.mu;
+      if (row.fail()) return ParseError(line_number, "bad utility row");
+      utilities.push_back(entry);
+    } else {
+      return ParseError(line_number, std::string("unknown row kind '") +
+                                         kind + "'");
+    }
+  }
+
+  if (static_cast<int>(users.size()) != num_users) {
+    return Status::InvalidArgument(
+        "header declares " + std::to_string(num_users) + " users, found " +
+        std::to_string(users.size()));
+  }
+  if (static_cast<int>(events.size()) != num_events) {
+    return Status::InvalidArgument(
+        "header declares " + std::to_string(num_events) + " events, found " +
+        std::to_string(events.size()));
+  }
+
+  Instance instance(std::move(users), std::move(events));
+  for (const auto& entry : utilities) {
+    if (entry.user < 0 || entry.user >= num_users || entry.event < 0 ||
+        entry.event >= num_events) {
+      return Status::InvalidArgument("utility row out of range: user " +
+                                     std::to_string(entry.user) + ", event " +
+                                     std::to_string(entry.event));
+    }
+    instance.set_utility(entry.user, entry.event, entry.mu);
+  }
+  GEPC_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+Result<Instance> LoadInstanceFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return LoadInstance(in);
+}
+
+Status SavePlan(const Plan& plan, std::ostream& out) {
+  out << "GPLN1 " << plan.num_users() << " " << plan.num_events() << "\n";
+  for (int i = 0; i < plan.num_users(); ++i) {
+    for (EventId j : plan.events_of(i)) {
+      out << "p " << i << " " << j << "\n";
+    }
+  }
+  if (!out) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SavePlanToFile(const Plan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return SavePlan(plan, out);
+}
+
+Result<Plan> LoadPlan(std::istream& in) {
+  std::string line;
+  int line_number = 0;
+  int num_users = -1;
+  int num_events = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream header(line);
+    std::string magic;
+    header >> magic >> num_users >> num_events;
+    if (magic != "GPLN1" || header.fail()) {
+      return ParseError(line_number, "expected 'GPLN1 <users> <events>'");
+    }
+    break;
+  }
+  if (num_users < 0 || num_events < 0) {
+    return Status::InvalidArgument("missing GPLN1 header");
+  }
+  Plan plan(num_users, num_events);
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    char kind = 0;
+    int user = -1;
+    int event = -1;
+    row >> kind >> user >> event;
+    if (kind != 'p' || row.fail()) {
+      return ParseError(line_number, "expected 'p <user> <event>'");
+    }
+    if (user < 0 || user >= num_users || event < 0 || event >= num_events) {
+      return ParseError(line_number, "attendance out of range");
+    }
+    if (!plan.Add(user, event)) {
+      return ParseError(line_number, "duplicate attendance");
+    }
+  }
+  return plan;
+}
+
+Result<Plan> LoadPlanFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return LoadPlan(in);
+}
+
+}  // namespace gepc

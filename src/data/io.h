@@ -1,0 +1,46 @@
+#ifndef GEPC_DATA_IO_H_
+#define GEPC_DATA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+
+/// Plain-text instance format ("GEPC1"), line-oriented and diff-friendly:
+///
+///   GEPC1 <num_users> <num_events>
+///   u <x> <y> <budget>                 (one per user)
+///   e <x> <y> <xi> <eta> <start> <end> [fee] (one per event)
+///   m <user> <event> <utility>         (sparse non-zero utilities)
+///
+/// Lines starting with '#' are comments. Used by the examples to persist
+/// generated datasets and by users to feed their own data in.
+Status SaveInstance(const Instance& instance, std::ostream& out);
+Status SaveInstanceToFile(const Instance& instance, const std::string& path);
+
+/// Parses the format above. Returns kInvalidArgument with a line number on
+/// malformed input, kNotFound if the file cannot be opened.
+Result<Instance> LoadInstance(std::istream& in);
+Result<Instance> LoadInstanceFromFile(const std::string& path);
+
+/// Plan format ("GPLN1"), companion to the instance format:
+///
+///   GPLN1 <num_users> <num_events>
+///   p <user> <event>                   (one attendance per line)
+///
+/// Lines starting with '#' are comments.
+Status SavePlan(const Plan& plan, std::ostream& out);
+Status SavePlanToFile(const Plan& plan, const std::string& path);
+
+/// Parses the plan format. Dimensions must match the header; attendance
+/// rows must be in range and duplicate-free.
+Result<Plan> LoadPlan(std::istream& in);
+Result<Plan> LoadPlanFromFile(const std::string& path);
+
+}  // namespace gepc
+
+#endif  // GEPC_DATA_IO_H_

@@ -1,0 +1,63 @@
+#include "data/tags.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gepc {
+
+TagVector::TagVector(std::vector<int> tags) : tags_(std::move(tags)) {
+  std::sort(tags_.begin(), tags_.end());
+  tags_.erase(std::unique(tags_.begin(), tags_.end()), tags_.end());
+}
+
+TagVector TagVector::Sample(int vocabulary_size, int count, Rng* rng) {
+  std::vector<int> picked;
+  picked.reserve(static_cast<size_t>(count));
+  // Zipf-ish sampling: tag = floor(V * u^2) concentrates mass on low ids
+  // (the popular tags) with a long tail, without needing the harmonic
+  // normalization of a true Zipf draw.
+  int attempts = 0;
+  const int max_attempts = 50 * count + 100;
+  while (static_cast<int>(picked.size()) < count && attempts++ < max_attempts) {
+    const double u = rng->UniformDouble();
+    const int tag = static_cast<int>(u * u * vocabulary_size);
+    if (std::find(picked.begin(), picked.end(), tag) == picked.end()) {
+      picked.push_back(std::min(tag, vocabulary_size - 1));
+    }
+  }
+  return TagVector(std::move(picked));
+}
+
+int TagVector::OverlapCount(const TagVector& a, const TagVector& b) {
+  int overlap = 0;
+  auto ia = a.tags_.begin();
+  auto ib = b.tags_.begin();
+  while (ia != a.tags_.end() && ib != b.tags_.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+double TagVector::Cosine(const TagVector& a, const TagVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const int overlap = OverlapCount(a, b);
+  return overlap /
+         std::sqrt(static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+double TagVector::Jaccard(const TagVector& a, const TagVector& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const int overlap = OverlapCount(a, b);
+  return static_cast<double>(overlap) /
+         static_cast<double>(a.size() + b.size() - overlap);
+}
+
+}  // namespace gepc

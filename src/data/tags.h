@@ -1,0 +1,46 @@
+#ifndef GEPC_DATA_TAGS_H_
+#define GEPC_DATA_TAGS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gepc {
+
+/// Sparse interest-tag vector (sorted unique tag ids). Meetup users select
+/// interest tags at registration, and events inherit the tags of the group
+/// that created them; the paper derives mu(u_i, e_j) from these documents
+/// via the method of [1][2]. We model both sides as sparse tag sets and use
+/// cosine similarity, which lands in [0, 1] as the paper's analysis assumes.
+class TagVector {
+ public:
+  TagVector() = default;
+  /// Takes ownership of `tags`; sorts and dedups.
+  explicit TagVector(std::vector<int> tags);
+
+  /// Samples `count` distinct tags from a Zipf-like popularity distribution
+  /// over a vocabulary of `vocabulary_size` tags (tag 0 most popular) —
+  /// mirroring the heavy-tailed tag frequencies reported for Meetup in [1].
+  static TagVector Sample(int vocabulary_size, int count, Rng* rng);
+
+  const std::vector<int>& tags() const { return tags_; }
+  int size() const { return static_cast<int>(tags_.size()); }
+  bool empty() const { return tags_.empty(); }
+
+  /// |a intersect b|.
+  static int OverlapCount(const TagVector& a, const TagVector& b);
+
+  /// Cosine similarity of the binary indicator vectors:
+  /// |a ^ b| / sqrt(|a| |b|); 0 when either side is empty.
+  static double Cosine(const TagVector& a, const TagVector& b);
+
+  /// Jaccard similarity |a ^ b| / |a u b|; alternative utility kernel.
+  static double Jaccard(const TagVector& a, const TagVector& b);
+
+ private:
+  std::vector<int> tags_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_DATA_TAGS_H_

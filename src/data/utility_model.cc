@@ -1,0 +1,34 @@
+#include "data/utility_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gepc {
+
+double UtilityModel::Score(const TagVector& user_tags,
+                           const TagVector& group_tags,
+                           const Point& user_location,
+                           const Point& event_location) const {
+  double mu = 0.0;
+  switch (kernel) {
+    case UtilityKernel::kCosine:
+      mu = TagVector::Cosine(user_tags, group_tags);
+      break;
+    case UtilityKernel::kJaccard:
+      mu = TagVector::Jaccard(user_tags, group_tags);
+      break;
+    case UtilityKernel::kOverlapCount: {
+      const double normalizer = std::max(overlap_normalizer, 1e-9);
+      mu = std::min(
+          1.0, TagVector::OverlapCount(user_tags, group_tags) / normalizer);
+      break;
+    }
+  }
+  if (distance_decay_scale > 0.0 && mu > 0.0) {
+    mu *= std::exp(-Distance(user_location, event_location) /
+                   distance_decay_scale);
+  }
+  return mu >= min_utility && mu > 0.0 ? mu : 0.0;
+}
+
+}  // namespace gepc

@@ -1,0 +1,43 @@
+#ifndef GEPC_DATA_UTILITY_MODEL_H_
+#define GEPC_DATA_UTILITY_MODEL_H_
+
+#include "data/tags.h"
+#include "geom/point.h"
+
+namespace gepc {
+
+/// How mu(u_i, e_j) is derived from tag documents and geometry. The paper
+/// computes utilities from the users' and groups' tag documents with the
+/// method of [1][2]; cosine over binary tag vectors is our default reading
+/// of it, and the alternatives let experiments probe how sensitive the
+/// planners are to the utility kernel.
+enum class UtilityKernel {
+  kCosine,        ///< |A ^ B| / sqrt(|A| |B|)  (default)
+  kJaccard,       ///< |A ^ B| / |A u B|
+  kOverlapCount,  ///< min(1, |A ^ B| / normalizer)
+};
+
+/// Parameters of the utility model.
+struct UtilityModel {
+  UtilityKernel kernel = UtilityKernel::kCosine;
+
+  /// Normalizer for kOverlapCount (utility = min(1, overlap / this)).
+  double overlap_normalizer = 4.0;
+
+  /// Optional distance decay: utility is multiplied by
+  /// exp(-distance / decay_scale) when decay_scale > 0 — nearby events feel
+  /// more attractive, a common LBSN modelling choice (Sec. VI). 0 disables.
+  double distance_decay_scale = 0.0;
+
+  /// Scores below this are clamped to 0 ("will not attend"); keeps the
+  /// utility matrix sparse like real interest data.
+  double min_utility = 0.0;
+
+  /// Computes mu for one (user, event) pair.
+  double Score(const TagVector& user_tags, const TagVector& group_tags,
+               const Point& user_location, const Point& event_location) const;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_DATA_UTILITY_MODEL_H_

@@ -1,0 +1,98 @@
+#include "flow/hungarian.h"
+
+#include <cmath>
+
+namespace gepc {
+
+HungarianSolver::HungarianSolver(int rows, int cols, std::vector<double> cost)
+    : rows_(rows), cols_(cols), cost_(std::move(cost)) {}
+
+Result<HungarianSolver::Assignment> HungarianSolver::Solve() const {
+  if (rows_ < 1 || cols_ < rows_) {
+    return Status::InvalidArgument(
+        "need 1 <= rows <= cols for a perfect row assignment");
+  }
+  if (cost_.size() != static_cast<size_t>(rows_) * static_cast<size_t>(cols_)) {
+    return Status::InvalidArgument("cost matrix has wrong size");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto cost_at = [&](int row, int col) {
+    return cost_[static_cast<size_t>(row - 1) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(col - 1)];
+  };
+
+  // Jonker-Volgenant shortest augmenting paths with potentials (1-indexed;
+  // column 0 is the virtual start).
+  std::vector<double> u(static_cast<size_t>(rows_) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(cols_) + 1, 0.0);
+  std::vector<int> matched_row(static_cast<size_t>(cols_) + 1, 0);
+  std::vector<int> way(static_cast<size_t>(cols_) + 1, 0);
+
+  for (int i = 1; i <= rows_; ++i) {
+    matched_row[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(cols_) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(cols_) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = matched_row[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= cols_; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost_at(i0, j) - u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (!(delta < kInf)) {
+        return Status::Infeasible(
+            "row " + std::to_string(i - 1) +
+            " cannot be assigned (all remaining pairs forbidden)");
+      }
+      for (int j = 0; j <= cols_; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(matched_row[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (matched_row[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    while (j0 != 0) {
+      const int j1 = way[static_cast<size_t>(j0)];
+      matched_row[static_cast<size_t>(j0)] =
+          matched_row[static_cast<size_t>(j1)];
+      j0 = j1;
+    }
+  }
+
+  Assignment assignment;
+  assignment.column_of_row.assign(static_cast<size_t>(rows_), -1);
+  for (int j = 1; j <= cols_; ++j) {
+    const int row = matched_row[static_cast<size_t>(j)];
+    if (row > 0) {
+      assignment.column_of_row[static_cast<size_t>(row - 1)] = j - 1;
+      assignment.total_cost += cost_at(row, j);
+    }
+  }
+  for (int r = 0; r < rows_; ++r) {
+    if (assignment.column_of_row[static_cast<size_t>(r)] < 0) {
+      return Status::Internal("row left unmatched after augmentation");
+    }
+  }
+  if (std::isinf(assignment.total_cost)) {
+    return Status::Infeasible("optimal assignment uses a forbidden pair");
+  }
+  return assignment;
+}
+
+}  // namespace gepc

@@ -1,0 +1,44 @@
+#ifndef GEPC_FLOW_HUNGARIAN_H_
+#define GEPC_FLOW_HUNGARIAN_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gepc {
+
+/// Minimum-cost assignment (Hungarian algorithm, Jonker-Volgenant style
+/// O(n^2 m) shortest-augmenting-path variant) on a rows x cols cost matrix
+/// with rows <= cols. Forbidden pairs use kForbidden.
+///
+/// Independent of MinCostFlow; the two are cross-checked in tests and this
+/// one backs assignment sub-problems where a dense matrix is natural (e.g.
+/// matching displaced users to replacement events 1:1).
+class HungarianSolver {
+ public:
+  static constexpr double kForbidden = std::numeric_limits<double>::infinity();
+
+  /// cost is row-major rows x cols. Preconditions: rows >= 1, cols >= rows.
+  HungarianSolver(int rows, int cols, std::vector<double> cost);
+
+  struct Assignment {
+    /// column_of_row[r] = assigned column of row r (always valid on OK).
+    std::vector<int> column_of_row;
+    double total_cost = 0.0;
+  };
+
+  /// Finds the perfect (all rows matched) minimum-cost assignment.
+  /// Returns kInfeasible if some row cannot be matched (forbidden pairs),
+  /// kInvalidArgument on malformed dimensions.
+  Result<Assignment> Solve() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> cost_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_FLOW_HUNGARIAN_H_

@@ -1,0 +1,125 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace gepc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : first_out_(static_cast<size_t>(num_nodes)) {}
+
+int MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  assert(capacity >= 0);
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{to, capacity, cost});
+  edges_.push_back(Edge{from, 0, -cost});
+  first_out_[static_cast<size_t>(from)].push_back(id);
+  first_out_[static_cast<size_t>(to)].push_back(id + 1);
+  initial_capacity_.push_back(capacity);
+  return id / 2;
+}
+
+Result<MinCostFlow::FlowStats> MinCostFlow::Solve(int source, int sink) {
+  const int n = num_nodes();
+  if (source < 0 || source >= n || sink < 0 || sink >= n || source == sink) {
+    return Status::InvalidArgument("bad source/sink node ids");
+  }
+
+  // Node potentials; initialized by Bellman-Ford so that reduced costs
+  // cost + pot[u] - pot[v] are non-negative even with negative input costs.
+  std::vector<double> potential(static_cast<size_t>(n), 0.0);
+  {
+    bool changed = true;
+    for (int pass = 0; pass < n && changed; ++pass) {
+      changed = false;
+      for (int u = 0; u < n; ++u) {
+        if (potential[static_cast<size_t>(u)] == kInf) continue;
+        for (int eid : first_out_[static_cast<size_t>(u)]) {
+          const Edge& e = edges_[static_cast<size_t>(eid)];
+          if (e.capacity <= 0) continue;
+          const double candidate = potential[static_cast<size_t>(u)] + e.cost;
+          if (candidate < potential[static_cast<size_t>(e.to)] - 1e-12) {
+            potential[static_cast<size_t>(e.to)] = candidate;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (changed) {
+      return Status::Internal("negative-cost cycle in flow network");
+    }
+  }
+
+  FlowStats stats;
+  std::vector<double> dist(static_cast<size_t>(n));
+  std::vector<int> parent_edge(static_cast<size_t>(n));
+
+  while (true) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    dist[static_cast<size_t>(source)] = 0.0;
+    using HeapItem = std::pair<double, int>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<size_t>(u)] + 1e-12) continue;
+      for (int eid : first_out_[static_cast<size_t>(u)]) {
+        const Edge& e = edges_[static_cast<size_t>(eid)];
+        if (e.capacity <= 0) continue;
+        const double reduced = e.cost + potential[static_cast<size_t>(u)] -
+                               potential[static_cast<size_t>(e.to)];
+        const double candidate = d + std::max(0.0, reduced);
+        if (candidate < dist[static_cast<size_t>(e.to)] - 1e-12) {
+          dist[static_cast<size_t>(e.to)] = candidate;
+          parent_edge[static_cast<size_t>(e.to)] = eid;
+          heap.emplace(candidate, e.to);
+        }
+      }
+    }
+    if (dist[static_cast<size_t>(sink)] == kInf) break;  // no augmenting path
+
+    for (int u = 0; u < n; ++u) {
+      if (dist[static_cast<size_t>(u)] < kInf) {
+        potential[static_cast<size_t>(u)] += dist[static_cast<size_t>(u)];
+      }
+    }
+
+    // Bottleneck along the path.
+    int64_t push = std::numeric_limits<int64_t>::max();
+    for (int v = sink; v != source;) {
+      const int eid = parent_edge[static_cast<size_t>(v)];
+      const Edge& e = edges_[static_cast<size_t>(eid)];
+      push = std::min(push, e.capacity);
+      v = edges_[static_cast<size_t>(eid ^ 1)].to;
+    }
+    for (int v = sink; v != source;) {
+      const int eid = parent_edge[static_cast<size_t>(v)];
+      edges_[static_cast<size_t>(eid)].capacity -= push;
+      edges_[static_cast<size_t>(eid ^ 1)].capacity += push;
+      stats.cost += static_cast<double>(push) *
+                    edges_[static_cast<size_t>(eid)].cost;
+      v = edges_[static_cast<size_t>(eid ^ 1)].to;
+    }
+    stats.flow += push;
+  }
+  return stats;
+}
+
+int64_t MinCostFlow::FlowOn(int edge_id) const {
+  assert(edge_id >= 0 && edge_id < num_edges());
+  // Flow equals the residual capacity accumulated on the reverse edge.
+  return edges_[static_cast<size_t>(2 * edge_id + 1)].capacity;
+}
+
+}  // namespace gepc

@@ -1,0 +1,59 @@
+#ifndef GEPC_FLOW_MIN_COST_FLOW_H_
+#define GEPC_FLOW_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gepc {
+
+/// Minimum-cost maximum-flow on a directed graph with integer capacities and
+/// real edge costs. Successive-shortest-paths with node potentials:
+/// Bellman-Ford once to absorb negative costs, Dijkstra afterwards.
+///
+/// Used by the Shmoys-Tardos rounding step (Sec. III-A): the fractional GAP
+/// solution induces a bipartite job/machine-slot graph whose min-cost
+/// matching LP is integral, so one min-cost-flow run produces the integral
+/// assignment with cost no worse than the LP.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(first_out_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
+
+  /// Adds a directed edge; returns its id for FlowOn().
+  /// Preconditions: valid node ids, capacity >= 0.
+  int AddEdge(int from, int to, int64_t capacity, double cost);
+
+  struct FlowStats {
+    int64_t flow = 0;    ///< total units pushed from source to sink
+    double cost = 0.0;   ///< sum of cost * flow over edges
+  };
+
+  /// Computes a minimum-cost maximum flow from `source` to `sink`.
+  /// Returns kInvalidArgument on bad node ids, kInternal if a negative
+  /// cycle is reachable (cannot happen for the bipartite graphs we build).
+  Result<FlowStats> Solve(int source, int sink);
+
+  /// Flow pushed through edge `edge_id` by the last Solve().
+  int64_t FlowOn(int edge_id) const;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;  // residual capacity
+    double cost;
+  };
+
+  // Adjacency as edge-id lists; edges_ stores forward/backward pairs at
+  // indices 2k / 2k+1.
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> first_out_;
+  std::vector<int64_t> initial_capacity_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_FLOW_MIN_COST_FLOW_H_

@@ -1,0 +1,85 @@
+#include "gap/gap_instance.h"
+
+#include <string>
+
+namespace gepc {
+
+Status GapInstance::Validate() const {
+  if (num_machines_ <= 0 || num_jobs_ < 0) {
+    return Status::InvalidArgument("GAP needs >= 1 machine and >= 0 jobs");
+  }
+  for (int i = 0; i < num_machines_; ++i) {
+    if (capacity_[static_cast<size_t>(i)] < 0.0) {
+      return Status::InvalidArgument("machine " + std::to_string(i) +
+                                     " has negative capacity");
+    }
+  }
+  for (int j = 0; j < num_jobs_; ++j) {
+    bool any = false;
+    for (int i = 0; i < num_machines_; ++i) {
+      if (processing(i, j) < 0.0) {
+        return Status::InvalidArgument("negative processing time at (" +
+                                       std::to_string(i) + ", " +
+                                       std::to_string(j) + ")");
+      }
+      if (Eligible(i, j)) any = true;
+    }
+    if (!any) {
+      return Status::Infeasible("job " + std::to_string(j) +
+                                " has no eligible machine");
+    }
+  }
+  return Status::OK();
+}
+
+double FractionalAssignment::TotalCost(const GapInstance& gap) const {
+  double total = 0.0;
+  for (size_t j = 0; j < job_shares.size(); ++j) {
+    for (const Share& s : job_shares[j]) {
+      total += s.fraction * gap.cost(s.machine, static_cast<int>(j));
+    }
+  }
+  return total;
+}
+
+std::vector<double> FractionalAssignment::Loads(const GapInstance& gap) const {
+  std::vector<double> loads(static_cast<size_t>(gap.num_machines()), 0.0);
+  for (size_t j = 0; j < job_shares.size(); ++j) {
+    for (const Share& s : job_shares[j]) {
+      loads[static_cast<size_t>(s.machine)] +=
+          s.fraction * gap.processing(s.machine, static_cast<int>(j));
+    }
+  }
+  return loads;
+}
+
+double GapAssignment::TotalCost(const GapInstance& gap) const {
+  double total = 0.0;
+  for (size_t j = 0; j < machine_of_job.size(); ++j) {
+    if (machine_of_job[j] >= 0) {
+      total += gap.cost(machine_of_job[j], static_cast<int>(j));
+    }
+  }
+  return total;
+}
+
+std::vector<double> GapAssignment::Loads(const GapInstance& gap) const {
+  std::vector<double> loads(static_cast<size_t>(gap.num_machines()), 0.0);
+  for (size_t j = 0; j < machine_of_job.size(); ++j) {
+    if (machine_of_job[j] >= 0) {
+      loads[static_cast<size_t>(machine_of_job[j])] +=
+          gap.processing(machine_of_job[j], static_cast<int>(j));
+    }
+  }
+  return loads;
+}
+
+int GapAssignment::UnplacedJobs() const {
+  int unplaced = 0;
+  for (int machine : machine_of_job) {
+    if (machine < 0) ++unplaced;
+  }
+  return unplaced;
+}
+
+}  // namespace gepc

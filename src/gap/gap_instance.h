@@ -1,0 +1,108 @@
+#ifndef GEPC_GAP_GAP_INSTANCE_H_
+#define GEPC_GAP_GAP_INSTANCE_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gepc {
+
+/// Generalized Assignment Problem: n machines, m jobs; assigning job j to
+/// machine i takes processing time p(i,j) and costs c(i,j); machine i can
+/// work at most T_i. Objective: assign every job to exactly one machine at
+/// minimum total cost, respecting loads.
+///
+/// The paper reduces the xi-GEPC problem (with event copies) to GAP with
+/// p = 2 d(u_i, e_j), T_i = (2 + eps) B_i, c = 1 - mu(u_i, e_j)
+/// (Sec. III-A); this class is that reduction's target.
+class GapInstance {
+ public:
+  /// Sentinel cost marking a (machine, job) pair as ineligible.
+  static constexpr double kIneligible = std::numeric_limits<double>::infinity();
+
+  GapInstance(int num_machines, int num_jobs)
+      : num_machines_(num_machines),
+        num_jobs_(num_jobs),
+        processing_(static_cast<size_t>(num_machines) *
+                        static_cast<size_t>(num_jobs),
+                    0.0),
+        cost_(static_cast<size_t>(num_machines) * static_cast<size_t>(num_jobs),
+              kIneligible),
+        capacity_(static_cast<size_t>(num_machines), 0.0) {}
+
+  int num_machines() const { return num_machines_; }
+  int num_jobs() const { return num_jobs_; }
+
+  double processing(int machine, int job) const {
+    return processing_[Index(machine, job)];
+  }
+  double cost(int machine, int job) const { return cost_[Index(machine, job)]; }
+  double capacity(int machine) const {
+    return capacity_[static_cast<size_t>(machine)];
+  }
+
+  /// Marks the pair eligible with the given time / cost.
+  void SetPair(int machine, int job, double processing, double cost) {
+    processing_[Index(machine, job)] = processing;
+    cost_[Index(machine, job)] = cost;
+  }
+  void set_capacity(int machine, double capacity) {
+    capacity_[static_cast<size_t>(machine)] = capacity;
+  }
+
+  /// Eligible means finite cost AND the job alone fits the machine.
+  bool Eligible(int machine, int job) const {
+    return cost_[Index(machine, job)] != kIneligible &&
+           processing_[Index(machine, job)] <=
+               capacity_[static_cast<size_t>(machine)];
+  }
+
+  /// Checks dimensions, non-negative processing times / capacities, and that
+  /// every job has at least one eligible machine (otherwise trivially
+  /// infeasible).
+  Status Validate() const;
+
+ private:
+  size_t Index(int machine, int job) const {
+    return static_cast<size_t>(machine) * static_cast<size_t>(num_jobs_) +
+           static_cast<size_t>(job);
+  }
+
+  int num_machines_;
+  int num_jobs_;
+  std::vector<double> processing_;
+  std::vector<double> cost_;
+  std::vector<double> capacity_;
+};
+
+/// A fractional GAP solution: for each job, the machines carrying positive
+/// fraction (fractions over a job sum to 1).
+struct FractionalAssignment {
+  struct Share {
+    int machine;
+    double fraction;
+  };
+  std::vector<std::vector<Share>> job_shares;
+
+  /// Total fractional cost sum c(i,j) x_ij.
+  double TotalCost(const GapInstance& gap) const;
+
+  /// Fractional load of each machine.
+  std::vector<double> Loads(const GapInstance& gap) const;
+};
+
+/// An integral GAP solution.
+struct GapAssignment {
+  /// machine_of_job[j] = machine of job j, or -1 if the job stayed unplaced
+  /// (only possible for engines run on infeasible/over-tight instances).
+  std::vector<int> machine_of_job;
+
+  double TotalCost(const GapInstance& gap) const;
+  std::vector<double> Loads(const GapInstance& gap) const;
+  int UnplacedJobs() const;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_GAP_GAP_INSTANCE_H_

@@ -1,0 +1,57 @@
+#ifndef GEPC_GEOM_BOUNDING_BOX_H_
+#define GEPC_GEOM_BOUNDING_BOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace gepc {
+
+/// Axis-aligned rectangle; used by the data generator to model a city's
+/// extent and by tests to assert all sampled locations stay in range.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  /// Rectangle spanning [0, width] x [0, height].
+  static BoundingBox FromExtent(double width, double height) {
+    return BoundingBox{0.0, 0.0, width, height};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Grows the box (if needed) to include `p`.
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+
+  /// Length of the diagonal; an upper bound on any point-to-point distance
+  /// inside the box, used to scale travel budgets.
+  double Diagonal() const {
+    return Distance({min_x, min_y}, {max_x, max_y});
+  }
+
+  /// Clamps `p` into the box.
+  Point Clamp(const Point& p) const {
+    return Point{std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y)};
+  }
+
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_GEOM_BOUNDING_BOX_H_

@@ -1,0 +1,40 @@
+#ifndef GEPC_GEOM_POINT_H_
+#define GEPC_GEOM_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace gepc {
+
+/// A location on the planning plane. The paper places users and events on a
+/// 2-D grid and measures travel cost as Euclidean distance (Sec. II).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt when only comparing).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace gepc
+
+#endif  // GEPC_GEOM_POINT_H_

@@ -1,0 +1,40 @@
+#include "gepc/analysis.h"
+
+#include <algorithm>
+
+namespace gepc {
+
+int UcOf(const Instance& instance, UserId user) {
+  int count = 0;
+  const double reach = instance.user(user).budget / 2.0;
+  for (int j = 0; j < instance.num_events(); ++j) {
+    // Fees consume budget exactly like travel, shrinking the radius.
+    if (instance.UserEventDistance(user, j) + instance.event(j).fee / 2.0 <=
+        reach + 1e-12) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int UcMax(const Instance& instance) {
+  int uc_max = 0;
+  for (int i = 0; i < instance.num_users(); ++i) {
+    uc_max = std::max(uc_max, UcOf(instance, i));
+  }
+  return uc_max;
+}
+
+double GreedyRatioFloor(const Instance& instance) {
+  const int uc_max = UcMax(instance);
+  if (uc_max <= 0) return 0.0;
+  return 1.0 / (2.0 * uc_max);
+}
+
+double GapRatioFloor(const Instance& instance, double eps) {
+  const int uc_max = UcMax(instance);
+  if (uc_max <= 1) return 0.0;
+  return std::max(0.0, 1.0 / (uc_max - 1) - eps);
+}
+
+}  // namespace gepc

@@ -1,0 +1,32 @@
+#ifndef GEPC_GEPC_ANALYSIS_H_
+#define GEPC_GEPC_ANALYSIS_H_
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace gepc {
+
+/// The paper's Uc_i: an upper bound on how many events user i can attend —
+/// the number of events within distance B_i / 2 of l_ui (each attended
+/// event costs at least its round trip in the tour bound used by the
+/// analysis; fees tighten the radius further). Appears in every
+/// approximation ratio of Sec. III/IV.
+int UcOf(const Instance& instance, UserId user);
+
+/// Uc_max = max_i Uc_i.
+int UcMax(const Instance& instance);
+
+/// Worst-case guarantee floors the paper proves, instantiated on a concrete
+/// instance. Both collapse to 0 when Uc_max makes the denominator
+/// non-positive (degenerate tiny instances).
+///
+/// Greedy (Sec. III-B): 1 / (2 Uc_max).
+double GreedyRatioFloor(const Instance& instance);
+
+/// GAP-based (Sec. III-A): 1 / (Uc_max - 1) - O(eps); we report the leading
+/// term minus eps.
+double GapRatioFloor(const Instance& instance, double eps = 0.1);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_ANALYSIS_H_

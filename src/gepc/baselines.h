@@ -1,0 +1,54 @@
+#ifndef GEPC_GEPC_BASELINES_H_
+#define GEPC_GEPC_BASELINES_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+
+/// Result of a baseline planner (no lower-bound guarantees).
+struct BaselineResult {
+  Plan plan;
+  double total_utility = 0.0;
+  /// Events whose attendance ended below xi_j — with minimum-participant
+  /// requirements enforced these events "cannot be held" (Sec. I), so a
+  /// GEP-style planner silently produces cancelled events.
+  int events_below_lower_bound = 0;
+  /// Total utility counting only events at/above their lower bound (the
+  /// utility users actually receive once under-subscribed events are
+  /// cancelled). This is the metric that motivates GEPC over GEP.
+  double effective_utility = 0.0;
+};
+
+/// The GEP problem of [4]: identical to GEPC minus constraint 4 (no
+/// participation lower bounds). Solved with the utility-ordered greedy
+/// insertion that also implements the paper framework's second step.
+/// Serves as the "existing EBSN technique" baseline of the introduction.
+Result<BaselineResult> SolveGepNoLowerBounds(const Instance& instance);
+
+/// Uniformly random feasible assignment: users in random order greedily
+/// take random feasible events. The weakest sensible baseline.
+Result<BaselineResult> SolveRandomBaseline(const Instance& instance,
+                                           uint64_t seed);
+
+/// Utility of `plan` counting only events whose attendance reaches xi_j
+/// (under-subscribed events are treated as cancelled).
+double EffectiveUtility(const Instance& instance, const Plan& plan);
+
+/// The Social Event Organization restriction of Li et al. [3] (Sec. VI):
+/// each user attends AT MOST ONE event (so time conflicts and tours
+/// degenerate — the only user-side check is the round trip fitting the
+/// budget), events keep their upper bounds. Under this restriction the
+/// problem is polynomial: we solve it OPTIMALLY as a min-cost max-flow
+/// (utilities negated) over the user/event bipartite graph, making it both
+/// a related-work baseline and an upper-bound reference for what
+/// single-assignment planning can achieve. Lower bounds are ignored, like
+/// the original SEO formulation; the shortfall is reported.
+Result<BaselineResult> SolveSingleAssignmentOptimal(const Instance& instance);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_BASELINES_H_

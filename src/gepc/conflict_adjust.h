@@ -1,0 +1,35 @@
+#ifndef GEPC_GEPC_CONFLICT_ADJUST_H_
+#define GEPC_GEPC_CONFLICT_ADJUST_H_
+
+#include "core/instance.h"
+#include "gepc/event_copies.h"
+
+namespace gepc {
+
+/// Statistics of one Conflict Adjusting run.
+struct ConflictAdjustStats {
+  int removed = 0;     ///< copies deleted from conflicted plans
+  int reassigned = 0;  ///< deleted copies that found a new user
+  int orphaned = 0;    ///< deleted copies no user could absorb
+};
+
+/// Algorithm 1 (Conflict Adjusting) of Sec. III-A. The GAP relaxation
+/// ignores time conflicts, so its rounded assignment can hand one user two
+/// overlapping copies. For each user, while their plan still conflicts, the
+/// conflicting copy with the smallest utility is removed and offered to the
+/// other users in decreasing order of their utility for it; the first user
+/// who can take it conflict-free and within budget receives it. Copies no
+/// one can absorb stay unassigned (counted as orphaned; the paper's
+/// approximation analysis tolerates this).
+///
+/// Also removes over-budget copies the same way: the GAP reduction's load
+/// bound T_i = (2+eps) B_i does not guarantee the real tour fits B_i, so
+/// after de-conflicting we shed lowest-utility copies from over-budget
+/// users, reusing the identical reassignment loop.
+ConflictAdjustStats AdjustConflicts(const Instance& instance,
+                                    const CopyMap& copies,
+                                    CopyPlan* copy_plan);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_CONFLICT_ADJUST_H_

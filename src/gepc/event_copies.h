@@ -1,0 +1,84 @@
+#ifndef GEPC_GEPC_EVENT_COPIES_H_
+#define GEPC_GEPC_EVENT_COPIES_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/plan.h"
+#include "core/types.h"
+
+namespace gepc {
+
+/// The paper's xi-GEPC transform (Sec. III-A): every event e_j is replaced
+/// by xi_j identical copies; assigning each copy to exactly one user meets
+/// the participation lower bound exactly. Copies of the same event
+/// time-conflict with each other by construction (a user can attend an
+/// event only once).
+class CopyMap {
+ public:
+  /// Builds the copy list from the instance's current lower bounds.
+  explicit CopyMap(const Instance& instance);
+
+  /// m^+ = sum_j xi_j.
+  int num_copies() const { return static_cast<int>(event_of_copy_.size()); }
+
+  /// Original event of a copy.
+  EventId event_of(int copy) const {
+    return event_of_copy_[static_cast<size_t>(copy)];
+  }
+
+  /// Copy ids belonging to event j (xi_j of them).
+  const std::vector<int>& copies_of(EventId j) const {
+    return copies_of_event_[static_cast<size_t>(j)];
+  }
+
+  /// True iff the two copies cannot share a user's plan: same source event,
+  /// or their source events time-conflict.
+  bool CopiesConflict(const Instance& instance, int a, int b) const {
+    const EventId ea = event_of(a);
+    const EventId eb = event_of(b);
+    return ea == eb || instance.EventsConflict(ea, eb);
+  }
+
+ private:
+  std::vector<EventId> event_of_copy_;
+  std::vector<std::vector<int>> copies_of_event_;
+};
+
+/// A partial assignment of copies to users produced by the xi-GEPC
+/// algorithms, before collapsing into a Plan.
+struct CopyPlan {
+  /// copies_of_user[i] = copy ids user i holds.
+  std::vector<std::vector<int>> copies_of_user;
+  /// user_of_copy[c] = holder, or -1 while unassigned.
+  std::vector<int> user_of_copy;
+
+  CopyPlan(int num_users, int num_copies)
+      : copies_of_user(static_cast<size_t>(num_users)),
+        user_of_copy(static_cast<size_t>(num_copies), -1) {}
+
+  void Assign(int user, int copy);
+  void Unassign(int copy);
+  int UnassignedCopies() const;
+};
+
+/// Collapses a copy plan into a Plan over the original events. Copies of
+/// one event held by one user (which the conflict rules exclude, but the
+/// collapse is defensive) merge into a single attendance.
+Plan CollapseToPlan(const Instance& instance, const CopyMap& copies,
+                    const CopyPlan& copy_plan);
+
+/// Tour cost of user i if they attend exactly the distinct events behind
+/// `copy_ids` (plus optionally `extra_copy`, -1 for none).
+double CopyTourCost(const Instance& instance, const CopyMap& copies,
+                    UserId i, const std::vector<int>& copy_ids,
+                    int extra_copy = -1);
+
+/// True iff `copy` can join user i's copies: no copy conflict and the tour
+/// stays within budget.
+bool CanHoldCopy(const Instance& instance, const CopyMap& copies,
+                 const CopyPlan& copy_plan, UserId i, int copy);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_EVENT_COPIES_H_

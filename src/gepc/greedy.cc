@@ -1,0 +1,68 @@
+#include "gepc/greedy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gepc {
+
+Result<XiGepcResult> SolveXiGepcGreedy(const Instance& instance,
+                                       const CopyMap& copies,
+                                       const GreedyOptions& options) {
+  GEPC_RETURN_IF_ERROR(instance.Validate());
+
+  const int n = instance.num_users();
+  const int m = instance.num_events();
+  XiGepcResult result{CopyPlan(n, copies.num_copies()), {}};
+  if (copies.num_copies() == 0) return result;
+
+  // Copies of one event are interchangeable, so we track how many copies of
+  // each event are still unclaimed and hand out ids from the back.
+  std::vector<int> remaining(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    remaining[static_cast<size_t>(j)] =
+        static_cast<int>(copies.copies_of(j).size());
+  }
+  int total_remaining = copies.num_copies();
+
+  Rng rng(options.seed);
+  std::vector<UserId> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&order);
+
+  std::vector<EventId> favorites;
+  for (UserId i : order) {
+    if (total_remaining == 0) break;
+    // u_i's favorite events, best first (Line 7 of Algorithm 2 repeatedly
+    // extracts the max; one descending sweep is equivalent because adding a
+    // pick only ever tightens the conflict/budget constraints).
+    favorites.clear();
+    for (int j = 0; j < m; ++j) {
+      if (remaining[static_cast<size_t>(j)] > 0 &&
+          instance.utility(i, j) > 0.0) {
+        favorites.push_back(j);
+      }
+    }
+    std::sort(favorites.begin(), favorites.end(), [&](EventId a, EventId b) {
+      const double ua = instance.utility(i, a);
+      const double ub = instance.utility(i, b);
+      if (ua != ub) return ua > ub;
+      return a < b;
+    });
+
+    for (EventId j : favorites) {
+      if (remaining[static_cast<size_t>(j)] == 0) continue;
+      const auto& copy_list = copies.copies_of(j);
+      const int copy =
+          copy_list[static_cast<size_t>(remaining[static_cast<size_t>(j)] - 1)];
+      if (!CanHoldCopy(instance, copies, result.copy_plan, i, copy)) continue;
+      result.copy_plan.Assign(i, copy);
+      --remaining[static_cast<size_t>(j)];
+      --total_remaining;
+    }
+  }
+  return result;
+}
+
+}  // namespace gepc

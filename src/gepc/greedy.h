@@ -1,0 +1,31 @@
+#ifndef GEPC_GEPC_GREEDY_H_
+#define GEPC_GEPC_GREEDY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "gepc/gap_based.h"
+#include "gepc/event_copies.h"
+
+namespace gepc {
+
+/// Options for the greedy xi-GEPC algorithm (Algorithm 2).
+struct GreedyOptions {
+  /// Seed for the random user visiting order — the paper notes the order
+  /// changes the achieved utility (Sec. III-B, Example 5).
+  uint64_t seed = 1;
+};
+
+/// Algorithm 2 of Sec. III-B: visit users in random order; each user
+/// greedily grabs their highest-utility still-available event copy that
+/// neither conflicts with their picks so far nor busts their budget, until
+/// nothing more fits; stop when all copies are taken or all users visited.
+/// Approximation ratio (paper): 1/(2 Uc_max); complexity O((m^+)^2 Uc_max).
+Result<XiGepcResult> SolveXiGepcGreedy(const Instance& instance,
+                                       const CopyMap& copies,
+                                       const GreedyOptions& options = {});
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_GREEDY_H_

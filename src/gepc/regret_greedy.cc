@@ -1,0 +1,93 @@
+#include "gepc/regret_greedy.h"
+
+#include <limits>
+#include <vector>
+
+namespace gepc {
+
+namespace {
+
+/// Feasibility/utility scan for one event's next copy.
+struct EventChoice {
+  int best_user = -1;
+  double best_utility = 0.0;
+  double second_utility = -1.0;  // -1: no second option
+
+  double Regret() const {
+    if (best_user < 0) return -1.0;
+    if (second_utility < 0.0) {
+      // Single feasible user: must-place-now priority.
+      return std::numeric_limits<double>::infinity();
+    }
+    return best_utility - second_utility;
+  }
+};
+
+}  // namespace
+
+Result<XiGepcResult> SolveXiGepcRegret(const Instance& instance,
+                                       const CopyMap& copies) {
+  GEPC_RETURN_IF_ERROR(instance.Validate());
+
+  const int n = instance.num_users();
+  const int m = instance.num_events();
+  XiGepcResult result{CopyPlan(n, copies.num_copies()), {}};
+  if (copies.num_copies() == 0) return result;
+
+  std::vector<int> remaining(static_cast<size_t>(m));
+  int total_remaining = 0;
+  for (int j = 0; j < m; ++j) {
+    remaining[static_cast<size_t>(j)] =
+        static_cast<int>(copies.copies_of(j).size());
+    total_remaining += remaining[static_cast<size_t>(j)];
+  }
+
+  while (total_remaining > 0) {
+    // Score every event that still has copies to hand out.
+    EventChoice best_choice;
+    int best_event = -1;
+    double best_regret = -1.0;
+    for (int j = 0; j < m; ++j) {
+      if (remaining[static_cast<size_t>(j)] == 0) continue;
+      const auto& copy_list = copies.copies_of(j);
+      const int copy = copy_list[static_cast<size_t>(
+          remaining[static_cast<size_t>(j)] - 1)];
+      EventChoice choice;
+      for (int i = 0; i < n; ++i) {
+        if (!CanHoldCopy(instance, copies, result.copy_plan, i, copy)) {
+          continue;
+        }
+        const double mu = instance.utility(i, j);
+        if (choice.best_user < 0 || mu > choice.best_utility) {
+          choice.second_utility =
+              choice.best_user < 0 ? -1.0 : choice.best_utility;
+          choice.best_utility = mu;
+          choice.best_user = i;
+        } else if (mu > choice.second_utility) {
+          choice.second_utility = mu;
+        }
+      }
+      const double regret = choice.Regret();
+      if (regret > best_regret ||
+          (regret == best_regret && best_event >= 0 &&
+           choice.best_utility > best_choice.best_utility)) {
+        best_regret = regret;
+        best_event = j;
+        best_choice = choice;
+      }
+    }
+
+    if (best_event < 0 || best_choice.best_user < 0) {
+      break;  // every surviving copy is unplaceable (reported as orphans)
+    }
+    const auto& copy_list = copies.copies_of(best_event);
+    const int copy = copy_list[static_cast<size_t>(
+        remaining[static_cast<size_t>(best_event)] - 1)];
+    result.copy_plan.Assign(best_choice.best_user, copy);
+    --remaining[static_cast<size_t>(best_event)];
+    --total_remaining;
+  }
+  return result;
+}
+
+}  // namespace gepc

@@ -1,0 +1,29 @@
+#ifndef GEPC_GEPC_REGRET_GREEDY_H_
+#define GEPC_GEPC_REGRET_GREEDY_H_
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "gepc/event_copies.h"
+#include "gepc/gap_based.h"
+
+namespace gepc {
+
+/// Regret-based xi-GEPC heuristic (extension; not in the paper).
+///
+/// Algorithm 2's outcome depends on the random user visiting order
+/// (Sec. III-B, Example 5). This variant removes that dependence by
+/// assigning event copies instead of users, hardest-to-place first: at
+/// every step, for each unassigned copy compute the best and second-best
+/// feasible (user, copy) utilities; commit the copy with the largest
+/// regret = best - second_best (ties by best utility). Greedy regret
+/// insertion is the classic remedy for order-sensitive assignment
+/// heuristics; bench_ablation compares it against Algorithm 2.
+///
+/// Complexity O((m^+)^2 n) worst case (each commit rescans the surviving
+/// copies); deterministic — no seed.
+Result<XiGepcResult> SolveXiGepcRegret(const Instance& instance,
+                                       const CopyMap& copies);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_REGRET_GREEDY_H_

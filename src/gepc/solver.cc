@@ -1,0 +1,63 @@
+#include "gepc/solver.h"
+
+#include "gepc/regret_greedy.h"
+
+namespace gepc {
+
+const char* GepcAlgorithmName(GepcAlgorithm algorithm) {
+  switch (algorithm) {
+    case GepcAlgorithm::kGapBased:
+      return "GAP";
+    case GepcAlgorithm::kGreedy:
+      return "Greedy";
+    case GepcAlgorithm::kRegret:
+      return "Regret";
+  }
+  return "unknown";
+}
+
+Result<GepcResult> SolveGepc(const Instance& instance,
+                             const GepcOptions& options) {
+  GEPC_RETURN_IF_ERROR(instance.Validate());
+
+  const CopyMap copies(instance);
+
+  Result<XiGepcResult> xi_result = Status::Internal("unset");
+  if (options.algorithm == GepcAlgorithm::kGapBased) {
+    xi_result = SolveXiGepcGapBased(instance, copies, options.gap_based);
+    if (!xi_result.ok() &&
+        xi_result.status().code() == StatusCode::kInfeasible &&
+        options.fallback_to_greedy) {
+      xi_result = SolveXiGepcGreedy(instance, copies, options.greedy);
+    }
+  } else if (options.algorithm == GepcAlgorithm::kRegret) {
+    xi_result = SolveXiGepcRegret(instance, copies);
+  } else {
+    xi_result = SolveXiGepcGreedy(instance, copies, options.greedy);
+  }
+  if (!xi_result.ok()) return xi_result.status();
+
+  GepcResult result;
+  result.adjust_stats = xi_result->adjust_stats;
+  result.unplaced_copies = xi_result->copy_plan.UnassignedCopies();
+  result.plan = CollapseToPlan(instance, copies, xi_result->copy_plan);
+
+  if (options.run_topup) {
+    result.topup_stats = TopUpPlan(instance, &result.plan);
+  }
+  if (options.refine_with_local_search) {
+    GEPC_ASSIGN_OR_RETURN(
+        result.local_search_stats,
+        RefinePlan(instance, &result.plan, options.local_search));
+  }
+
+  result.total_utility = result.plan.TotalUtility(instance);
+  for (int j = 0; j < instance.num_events(); ++j) {
+    if (result.plan.attendance(j) < instance.event(j).lower_bound) {
+      ++result.events_below_lower_bound;
+    }
+  }
+  return result;
+}
+
+}  // namespace gepc

@@ -1,0 +1,69 @@
+#ifndef GEPC_GEPC_SOLVER_H_
+#define GEPC_GEPC_SOLVER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/plan.h"
+#include "gepc/gap_based.h"
+#include "gepc/greedy.h"
+#include "gepc/local_search.h"
+#include "gepc/topup.h"
+
+namespace gepc {
+
+/// Which xi-GEPC algorithm drives the two-step framework.
+enum class GepcAlgorithm {
+  kGapBased,  ///< Sec. III-A: GAP LP + Shmoys-Tardos + Conflict Adjusting
+  kGreedy,    ///< Sec. III-B: random user order, per-user greedy
+  kRegret,    ///< extension: deterministic regret insertion (order-free)
+};
+
+const char* GepcAlgorithmName(GepcAlgorithm algorithm);
+
+/// End-to-end options for SolveGepc.
+struct GepcOptions {
+  GepcAlgorithm algorithm = GepcAlgorithm::kGreedy;
+  GapBasedOptions gap_based;
+  GreedyOptions greedy;
+  /// Run the second framework step (fill capacities up to eta_j). Disabling
+  /// yields the bare xi-GEPC plan (used by the ablation bench).
+  bool run_topup = true;
+  /// If the GAP LP reports infeasible (some event copy has no eligible
+  /// user), fall back to the greedy algorithm instead of failing.
+  bool fallback_to_greedy = true;
+  /// Run the local-search refiner (ADD/REPLACE/TRANSFER hill climbing) on
+  /// the final plan — an extension beyond the paper; never lowers utility
+  /// or breaks feasibility.
+  bool refine_with_local_search = false;
+  LocalSearchOptions local_search;
+};
+
+/// Everything a GEPC solve reports.
+struct GepcResult {
+  Plan plan;
+  double total_utility = 0.0;
+  /// Events whose final attendance is below xi_j (best-effort shortfall;
+  /// 0 when the instance's lower bounds are satisfiable by the algorithm).
+  int events_below_lower_bound = 0;
+  /// Event copies the xi-GEPC step could not place on any user.
+  int unplaced_copies = 0;
+  ConflictAdjustStats adjust_stats;
+  TopUpStats topup_stats;
+  LocalSearchStats local_search_stats;  ///< zeros unless refinement was on
+};
+
+/// Solves the GEPC problem (Definition 1) with the paper's two-step
+/// framework (Sec. III): first the xi-GEPC sub-problem (exactly xi_j users
+/// per event) with the selected algorithm, then a utility-ordered top-up to
+/// the upper bounds. The returned plan always satisfies constraints 1-3
+/// (conflicts, budgets, upper bounds); lower bounds (constraint 4) are met
+/// except for the reported shortfall, mirroring the paper's best-effort
+/// approximation behaviour.
+Result<GepcResult> SolveGepc(const Instance& instance,
+                             const GepcOptions& options = {});
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_SOLVER_H_

@@ -1,0 +1,62 @@
+#include "gepc/topup.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/feasibility.h"
+
+namespace gepc {
+
+namespace {
+
+TopUpStats TopUpImpl(const Instance& instance,
+                     const std::vector<UserId>& users, Plan* plan) {
+  struct Candidate {
+    UserId user;
+    EventId event;
+    double utility;
+  };
+  std::vector<Candidate> candidates;
+  for (UserId i : users) {
+    for (int j = 0; j < instance.num_events(); ++j) {
+      const double mu = instance.utility(i, j);
+      if (mu > 0.0 && !plan->Contains(i, j)) {
+        candidates.push_back(Candidate{i, j, mu});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utility != b.utility) return a.utility > b.utility;
+              if (a.user != b.user) return a.user < b.user;
+              return a.event < b.event;
+            });
+
+  TopUpStats stats;
+  for (const Candidate& c : candidates) {
+    if (plan->attendance(c.event) >= instance.event(c.event).upper_bound) {
+      continue;
+    }
+    if (!CanAttend(instance, *plan, c.user, c.event)) continue;
+    plan->Add(c.user, c.event);
+    ++stats.added;
+  }
+  return stats;
+}
+
+}  // namespace
+
+TopUpStats TopUpPlan(const Instance& instance, Plan* plan) {
+  std::vector<UserId> users(static_cast<size_t>(instance.num_users()));
+  for (int i = 0; i < instance.num_users(); ++i) {
+    users[static_cast<size_t>(i)] = i;
+  }
+  return TopUpImpl(instance, users, plan);
+}
+
+TopUpStats TopUpUsers(const Instance& instance,
+                      const std::vector<UserId>& users, Plan* plan) {
+  return TopUpImpl(instance, users, plan);
+}
+
+}  // namespace gepc

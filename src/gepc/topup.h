@@ -1,0 +1,30 @@
+#ifndef GEPC_GEPC_TOPUP_H_
+#define GEPC_GEPC_TOPUP_H_
+
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+
+/// Statistics of one top-up pass.
+struct TopUpStats {
+  int added = 0;  ///< (user, event) attendances added
+};
+
+/// Step 2 of the paper's two-step framework (Sec. III): the xi-GEPC plan
+/// meets every lower bound with exactly xi_j attendees; this pass fills the
+/// residual capacities eta_j - n_j by greedily inserting the remaining
+/// (user, event) pairs in decreasing utility order, skipping any insertion
+/// that would conflict, bust a budget, or exceed an upper bound — the
+/// utility-ordered greedy arrangement of the GEP solvers of [4]. Only adds
+/// events, so lower bounds stay satisfied.
+TopUpStats TopUpPlan(const Instance& instance, Plan* plan);
+
+/// Same, but only allowed to add events to the given users (used by the IEP
+/// algorithms, which re-offer events only to users whose plans changed).
+TopUpStats TopUpUsers(const Instance& instance,
+                      const std::vector<UserId>& users, Plan* plan);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_TOPUP_H_

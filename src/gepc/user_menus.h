@@ -1,0 +1,33 @@
+#ifndef GEPC_GEPC_USER_MENUS_H_
+#define GEPC_GEPC_USER_MENUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace gepc {
+
+/// One user's menu of individually feasible plans: every conflict-free,
+/// within-budget subset of positive-utility events, as bitmasks over event
+/// ids (events beyond bit 31 are unsupported — menus are a small-instance
+/// device shared by the exact branch-and-bound and the ILP formulation).
+struct UserMenu {
+  std::vector<uint32_t> subsets;  ///< always contains the empty set
+  std::vector<double> utilities;  ///< aligned with `subsets`
+  double best_utility = 0.0;
+  uint32_t attendable = 0;  ///< union of all subsets
+};
+
+/// Enumerates user i's feasible subsets by breadth-first extension (a
+/// subset is feasible only if all its subsets are, because conflicts are
+/// pairwise and tour costs are monotone under insertion). When
+/// `sort_by_utility_desc` is set, subsets come highest-utility-first
+/// (useful for branch-and-bound incumbents).
+UserMenu BuildUserMenu(const Instance& instance, UserId i,
+                       bool sort_by_utility_desc);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_USER_MENUS_H_

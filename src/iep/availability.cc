@@ -1,0 +1,37 @@
+#include "iep/availability.h"
+
+namespace gepc {
+
+std::vector<AtomicOp> AvailabilityChangeOps(const Instance& instance,
+                                            UserId user, Interval window) {
+  std::vector<AtomicOp> ops;
+  if (user < 0 || user >= instance.num_users()) return ops;
+  for (int j = 0; j < instance.num_events(); ++j) {
+    if (instance.utility(user, j) <= 0.0) continue;
+    const Interval& time = instance.event(j).time;
+    const bool inside = window.start <= time.start && time.end <= window.end;
+    if (!inside) {
+      ops.push_back(AtomicOp::UtilityChange(user, j, 0.0));
+    }
+  }
+  return ops;
+}
+
+Result<BatchResult> ApplyAvailabilityChange(IncrementalPlanner* planner,
+                                            UserId user, Interval window,
+                                            BatchMode mode) {
+  if (planner == nullptr) {
+    return Status::InvalidArgument("planner must not be null");
+  }
+  if (user < 0 || user >= planner->instance().num_users()) {
+    return Status::OutOfRange("user id out of range");
+  }
+  if (!window.IsValid()) {
+    return Status::InvalidArgument("availability window must have start < end");
+  }
+  return ApplyBatch(planner,
+                    AvailabilityChangeOps(planner->instance(), user, window),
+                    mode);
+}
+
+}  // namespace gepc

@@ -1,0 +1,30 @@
+#ifndef GEPC_IEP_AVAILABILITY_H_
+#define GEPC_IEP_AVAILABILITY_H_
+
+#include <vector>
+
+#include "iep/batch.h"
+#include "iep/planner.h"
+#include "temporal/interval.h"
+
+namespace gepc {
+
+/// The introduction's "unexpected work assignment" change: a user's
+/// availability shrinks to `window`, so every event not fully inside the
+/// window becomes unattendable — which the paper models by setting the
+/// corresponding utilities to 0 ("if u1's availability changes ... then u1
+/// can no longer attend e1, and mu(u1, e1) would become 0", Sec. II-B).
+///
+/// Returns one kUtilityChanged operation per event that (a) lies outside
+/// the window and (b) currently has positive utility for the user.
+std::vector<AtomicOp> AvailabilityChangeOps(const Instance& instance,
+                                            UserId user, Interval window);
+
+/// Convenience: builds the ops and applies them as one batch.
+Result<BatchResult> ApplyAvailabilityChange(
+    IncrementalPlanner* planner, UserId user, Interval window,
+    BatchMode mode = BatchMode::kSequential);
+
+}  // namespace gepc
+
+#endif  // GEPC_IEP_AVAILABILITY_H_

@@ -1,0 +1,32 @@
+#ifndef GEPC_IEP_IEP_RESULT_H_
+#define GEPC_IEP_IEP_RESULT_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+
+/// Outcome of one incremental re-planning step (Sec. IV). The IEP objective
+/// (Definition 2) maximizes utility subject to minimum negative impact
+/// dif(P, P'); each algorithm reports the dif it incurred.
+struct IepResult {
+  Plan plan;
+  /// dif(P, P') = sum_i |P_i \ P'_i| for the step that produced `plan`.
+  int64_t negative_impact = 0;
+  double total_utility = 0.0;
+  /// Events left below their lower bound (shortfall; 0 when the update was
+  /// fully repairable).
+  int events_below_lower_bound = 0;
+  /// Attendances added by the closing top-up ([4]-style re-offers), which
+  /// never contribute negative impact.
+  int added_by_topup = 0;
+};
+
+/// Fills total_utility / events_below_lower_bound from the final plan.
+void FinalizeIepResult(const Instance& instance, IepResult* result);
+
+}  // namespace gepc
+
+#endif  // GEPC_IEP_IEP_RESULT_H_

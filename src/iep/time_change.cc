@@ -1,0 +1,83 @@
+#include "iep/time_change.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/feasibility.h"
+#include "gepc/topup.h"
+#include "iep/xi_increase.h"
+
+namespace gepc {
+
+IepResult ApplyTimeChange(const Instance& instance, const Plan& previous,
+                          EventId event) {
+  IepResult result;
+  result.plan = previous;
+
+  // Lines 1-4: drop e_j from every attendee whose plan now conflicts with
+  // its new holding time (or whose tour no longer fits — a location change
+  // routed through this repair can break budgets too).
+  std::vector<UserId> displaced;
+  for (UserId i : previous.attendees_of(event)) {
+    bool conflicted = false;
+    for (EventId other : previous.events_of(i)) {
+      if (other != event && instance.EventsConflict(other, event)) {
+        conflicted = true;
+        break;
+      }
+    }
+    if (!conflicted &&
+        UserTravelCost(instance, result.plan, i) <=
+            instance.user(i).budget + 1e-9) {
+      continue;
+    }
+    result.plan.Remove(i, event);
+    displaced.push_back(i);
+    ++result.negative_impact;
+  }
+
+  // Re-offer other events to the displaced users (additions only).
+  TopUpStats displaced_stats = TopUpUsers(instance, displaced, &result.plan);
+  result.added_by_topup += displaced_stats.added;
+
+  const int xi = instance.event(event).lower_bound;
+  const int eta = instance.event(event).upper_bound;
+  if (result.plan.attendance(event) >= xi) {  // Lines 5-6
+    FinalizeIepResult(instance, &result);
+    return result;
+  }
+
+  // Lines 7-13: offer e_j to other users in decreasing utility order.
+  std::vector<UserId> candidates;
+  for (int i = 0; i < instance.num_users(); ++i) {
+    if (!result.plan.Contains(i, event) && instance.utility(i, event) > 0.0) {
+      candidates.push_back(i);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](UserId a, UserId b) {
+    const double ua = instance.utility(a, event);
+    const double ub = instance.utility(b, event);
+    if (ua != ub) return ua > ub;
+    return a < b;
+  });
+  for (UserId i : candidates) {
+    if (result.plan.attendance(event) >= eta) break;
+    if (CanAttend(instance, result.plan, i, event)) {
+      result.plan.Add(i, event);  // pure addition: dif 0
+    }
+  }
+
+  if (result.plan.attendance(event) >= xi) {  // Lines 14-15
+    FinalizeIepResult(instance, &result);
+    return result;
+  }
+
+  // Lines 16-18: still short — transfer users from events with spares via
+  // Algorithm 4 (the instance already holds xi as e_j's lower bound).
+  IepResult transfer = ApplyXiIncrease(instance, result.plan, event);
+  transfer.negative_impact += result.negative_impact;
+  transfer.added_by_topup += result.added_by_topup;
+  return transfer;
+}
+
+}  // namespace gepc

@@ -1,0 +1,21 @@
+#include "lp/linear_program.h"
+
+namespace gepc {
+
+Status LinearProgram::Validate() const {
+  const int n = num_vars();
+  for (int r = 0; r < num_constraints(); ++r) {
+    for (const auto& [var, coef] : constraints_[static_cast<size_t>(r)].terms) {
+      (void)coef;
+      if (var < 0 || var >= n) {
+        return Status::InvalidArgument(
+            "constraint " + std::to_string(r) +
+            " references variable " + std::to_string(var) +
+            " outside [0, " + std::to_string(n) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gepc

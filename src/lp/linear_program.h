@@ -1,0 +1,75 @@
+#ifndef GEPC_LP_LINEAR_PROGRAM_H_
+#define GEPC_LP_LINEAR_PROGRAM_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gepc {
+
+/// Relation of a linear constraint row to its right-hand side.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// A linear program over variables x_0..x_{num_vars-1}, each implicitly
+/// bounded x_k >= 0 (sufficient for the GAP relaxation of Sec. III-A, where
+/// x_ij <= 1 is implied by the assignment equalities). Rows are stored
+/// sparsely; the GAP LP has only 2 non-zeros per column.
+class LinearProgram {
+ public:
+  enum class Sense { kMinimize, kMaximize };
+
+  /// One sparse constraint row: sum_k coef_k * x_{var_k}  (rel)  rhs.
+  struct Constraint {
+    std::vector<std::pair<int, double>> terms;
+    Relation relation = Relation::kLessEqual;
+    double rhs = 0.0;
+  };
+
+  LinearProgram(Sense sense, int num_vars)
+      : sense_(sense), objective_(static_cast<size_t>(num_vars), 0.0) {}
+
+  Sense sense() const { return sense_; }
+  int num_vars() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  /// Sets the objective coefficient of variable `var`.
+  void set_objective(int var, double coefficient) {
+    objective_[static_cast<size_t>(var)] = coefficient;
+  }
+  double objective(int var) const {
+    return objective_[static_cast<size_t>(var)];
+  }
+  const std::vector<double>& objective() const { return objective_; }
+
+  /// Appends a constraint row; returns its index. Terms with duplicate
+  /// variable indices are summed by the solver.
+  int AddConstraint(std::vector<std::pair<int, double>> terms,
+                    Relation relation, double rhs) {
+    constraints_.push_back(Constraint{std::move(terms), relation, rhs});
+    return num_constraints() - 1;
+  }
+
+  const Constraint& constraint(int row) const {
+    return constraints_[static_cast<size_t>(row)];
+  }
+
+  /// Checks all variable indices are in range.
+  Status Validate() const;
+
+ private:
+  Sense sense_;
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+/// An optimal solution returned by SolveLp.
+struct LpSolution {
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_LP_LINEAR_PROGRAM_H_

@@ -1,0 +1,38 @@
+#ifndef GEPC_LP_SIMPLEX_H_
+#define GEPC_LP_SIMPLEX_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "lp/linear_program.h"
+
+namespace gepc {
+
+/// Tuning knobs for the simplex solver.
+struct SimplexOptions {
+  /// Reduced-cost / pivot tolerance.
+  double epsilon = 1e-9;
+  /// Hard iteration cap per phase (0 = 50 * (rows + cols), the default).
+  int64_t max_iterations = 0;
+  /// After this many consecutive degenerate pivots, switch from Dantzig
+  /// pricing to Bland's rule (guarantees termination).
+  int degenerate_pivots_before_bland = 64;
+};
+
+/// Solves `lp` exactly with the two-phase dense primal simplex method.
+///
+/// Returns the optimal solution, or:
+///  * kInfeasible      — no x >= 0 satisfies the constraints;
+///  * kInvalidArgument — malformed program (bad variable index);
+///  * kInternal        — unbounded objective or iteration cap hit.
+///
+/// This is the exact LP engine behind the GAP-based GEPC algorithm
+/// (Sec. III-A) at small/medium scale and the oracle for the approximate
+/// solver's tests; complexity is O(rows * cols) memory and typically a few
+/// hundred pivots for the GAP relaxations we build.
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const SimplexOptions& options = {});
+
+}  // namespace gepc
+
+#endif  // GEPC_LP_SIMPLEX_H_

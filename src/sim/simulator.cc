@@ -1,0 +1,171 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gepc/baselines.h"
+#include "iep/availability.h"
+
+namespace gepc {
+
+namespace {
+
+/// One day's drift as atomic operations against the current instance.
+std::vector<AtomicOp> DriftOps(const Instance& instance,
+                               const SimulationConfig& config, Rng* rng) {
+  std::vector<AtomicOp> ops;
+
+  for (int j = 0; j < instance.num_events(); ++j) {
+    const Event& e = instance.event(j);
+    if (rng->Bernoulli(config.p_time_shift)) {
+      const Minutes shift =
+          static_cast<Minutes>(rng->UniformInt(30, 120)) *
+          (rng->Bernoulli(0.5) ? 1 : -1);
+      ops.push_back(AtomicOp::TimeChange(
+          j, {e.time.start + shift, e.time.end + shift}));
+    }
+    if (rng->Bernoulli(config.p_eta_shrink) && e.upper_bound > 1) {
+      ops.push_back(AtomicOp::UpperBoundChange(
+          j, std::max(1, e.upper_bound -
+                             static_cast<int>(rng->UniformInt(1, 3)))));
+    }
+    if (rng->Bernoulli(config.p_xi_raise) && e.lower_bound < e.upper_bound) {
+      ops.push_back(AtomicOp::LowerBoundChange(
+          j, std::min(e.upper_bound,
+                      e.lower_bound + static_cast<int>(rng->UniformInt(1, 2)))));
+    }
+  }
+
+  for (int i = 0; i < instance.num_users(); ++i) {
+    if (rng->Bernoulli(config.p_interest_loss)) {
+      // Zero one currently-positive utility (availability change).
+      std::vector<EventId> positive;
+      for (int j = 0; j < instance.num_events(); ++j) {
+        if (instance.utility(i, j) > 0.0) positive.push_back(j);
+      }
+      if (!positive.empty()) {
+        const EventId j = positive[static_cast<size_t>(
+            rng->UniformUint64(positive.size()))];
+        ops.push_back(AtomicOp::UtilityChange(i, j, 0.0));
+      }
+    }
+    if (rng->Bernoulli(config.p_budget_change)) {
+      ops.push_back(AtomicOp::BudgetChange(
+          i, instance.user(i).budget * rng->UniformDouble(0.6, 1.4)));
+    }
+    if (rng->Bernoulli(config.p_availability_shrink)) {
+      // Find the day's span from the events and keep a random sub-window.
+      Minutes lo = 0;
+      Minutes hi = 1;
+      for (int j = 0; j < instance.num_events(); ++j) {
+        lo = std::min(lo, instance.event(j).time.start);
+        hi = std::max(hi, instance.event(j).time.end);
+      }
+      const Minutes start =
+          static_cast<Minutes>(rng->UniformInt(lo, (lo + hi) / 2));
+      const Minutes end =
+          static_cast<Minutes>(rng->UniformInt((lo + hi) / 2 + 1, hi));
+      for (AtomicOp& op :
+           AvailabilityChangeOps(instance, i, {start, end})) {
+        ops.push_back(std::move(op));
+      }
+    }
+  }
+
+  for (int k = 0; k < config.new_events_per_day; ++k) {
+    Event fresh;
+    fresh.location = {rng->UniformDouble(0.0, config.base.city_width),
+                      rng->UniformDouble(0.0, config.base.city_height)};
+    fresh.upper_bound = std::max(
+        1, static_cast<int>(rng->UniformDouble(0.5, 1.5) *
+                            config.base.mean_eta));
+    fresh.lower_bound = std::min(
+        fresh.upper_bound,
+        static_cast<int>(rng->UniformDouble(0.0, config.base.mean_xi)));
+    const Minutes start = static_cast<Minutes>(rng->UniformInt(0, 700));
+    fresh.time = {start,
+                  start + static_cast<Minutes>(rng->UniformInt(30, 150))};
+    std::vector<double> utilities;
+    utilities.reserve(static_cast<size_t>(instance.num_users()));
+    for (int i = 0; i < instance.num_users(); ++i) {
+      utilities.push_back(rng->Bernoulli(0.4) ? rng->UniformDouble() : 0.0);
+    }
+    ops.push_back(AtomicOp::NewEvent(fresh, std::move(utilities)));
+  }
+  return ops;
+}
+
+DayMetrics Snapshot(int day, const Instance& instance, const Plan& plan) {
+  DayMetrics metrics;
+  metrics.day = day;
+  metrics.total_utility = plan.TotalUtility(instance);
+  metrics.effective_utility = EffectiveUtility(instance, plan);
+  for (int j = 0; j < instance.num_events(); ++j) {
+    if (plan.attendance(j) < instance.event(j).lower_bound) {
+      ++metrics.events_below_lower_bound;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace
+
+Result<SimulationResult> RunSimulation(const SimulationConfig& config) {
+  if (config.num_days < 1) {
+    return Status::InvalidArgument("num_days must be >= 1");
+  }
+  GEPC_ASSIGN_OR_RETURN(Instance instance, GenerateInstance(config.base));
+
+  Timer day0_timer;
+  GEPC_ASSIGN_OR_RETURN(GepcResult initial, SolveGepc(instance, config.planner));
+  GEPC_ASSIGN_OR_RETURN(
+      IncrementalPlanner planner,
+      IncrementalPlanner::Create(std::move(instance), initial.plan));
+
+  SimulationResult result;
+  DayMetrics day0 = Snapshot(0, planner.instance(), planner.plan());
+  day0.plan_seconds = day0_timer.ElapsedSeconds();
+  result.days.push_back(day0);
+  result.total_plan_seconds += day0.plan_seconds;
+
+  Rng rng(config.seed * 0x9E3779B1ULL + 17);
+  for (int day = 1; day <= config.num_days; ++day) {
+    const std::vector<AtomicOp> ops =
+        DriftOps(planner.instance(), config, &rng);
+
+    Timer timer;
+    int64_t dif = 0;
+    if (config.incremental) {
+      for (const AtomicOp& op : ops) {
+        GEPC_ASSIGN_OR_RETURN(IepResult step, planner.Apply(op));
+        dif += step.negative_impact;
+      }
+    } else {
+      // Baseline: mutate, then re-plan everyone from scratch.
+      const Plan before = planner.plan();
+      for (const AtomicOp& op : ops) {
+        GEPC_ASSIGN_OR_RETURN(IepResult step, planner.Apply(op));
+        (void)step;
+      }
+      GEPC_ASSIGN_OR_RETURN(GepcResult redo,
+                            SolveGepc(planner.instance(), config.planner));
+      dif = NegativeImpact(before, redo.plan);
+      GEPC_ASSIGN_OR_RETURN(
+          planner, IncrementalPlanner::Create(planner.instance(), redo.plan));
+    }
+
+    DayMetrics metrics = Snapshot(day, planner.instance(), planner.plan());
+    metrics.ops = static_cast<int>(ops.size());
+    metrics.negative_impact = dif;
+    metrics.plan_seconds = timer.ElapsedSeconds();
+    result.days.push_back(metrics);
+    result.total_negative_impact += dif;
+    result.total_plan_seconds += metrics.plan_seconds;
+  }
+  result.final_utility = result.days.back().total_utility;
+  return result;
+}
+
+}  // namespace gepc

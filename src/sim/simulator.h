@@ -1,0 +1,77 @@
+#ifndef GEPC_SIM_SIMULATOR_H_
+#define GEPC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "iep/planner.h"
+
+namespace gepc {
+
+/// Configuration of a multi-day EBSN platform simulation.
+///
+/// The introduction's setting: every day the platform computes a "Plan for
+/// Today", and between plans the world drifts — organizers announce new
+/// events, reschedule, shrink venues or raise minimum headcounts; users
+/// lose interest or change travel budgets. The simulator generates that
+/// drift as streams of atomic operations (Sec. II-B) and maintains the
+/// global plan either incrementally (IEP) or by re-planning from scratch.
+struct SimulationConfig {
+  /// Day-0 city.
+  GeneratorConfig base;
+
+  int num_days = 7;
+
+  /// Organizer-side drift, per existing event per day.
+  double p_time_shift = 0.10;
+  double p_eta_shrink = 0.05;
+  double p_xi_raise = 0.05;
+
+  /// New events announced per day.
+  int new_events_per_day = 1;
+
+  /// User-side drift, per user per day.
+  double p_interest_loss = 0.03;  ///< zero one positive utility
+  double p_budget_change = 0.05;  ///< rescale budget by U[0.6, 1.4]
+  /// Probability a user's availability shrinks to a random sub-window of
+  /// the day (expands to utility-zero ops per the paper's Sec. II-B
+  /// example). Off by default.
+  double p_availability_shrink = 0.0;
+
+  /// Planner driving day 0 (and the Re-solve mode).
+  GepcOptions planner;
+
+  /// true: maintain the plan with the incremental algorithms (IEP);
+  /// false: re-solve from scratch after each day's drift (the baseline).
+  bool incremental = true;
+
+  uint64_t seed = 1;
+};
+
+/// Metrics of one simulated day (after its drift was absorbed).
+struct DayMetrics {
+  int day = 0;
+  int ops = 0;                      ///< atomic operations that day
+  double total_utility = 0.0;
+  double effective_utility = 0.0;   ///< utility on events at/above xi
+  int events_below_lower_bound = 0;
+  int64_t negative_impact = 0;      ///< dif accumulated that day
+  double plan_seconds = 0.0;        ///< time spent repairing / re-solving
+};
+
+struct SimulationResult {
+  std::vector<DayMetrics> days;
+  int64_t total_negative_impact = 0;
+  double final_utility = 0.0;
+  double total_plan_seconds = 0.0;
+};
+
+/// Runs the whole simulation. Deterministic per config (seeded).
+Result<SimulationResult> RunSimulation(const SimulationConfig& config);
+
+}  // namespace gepc
+
+#endif  // GEPC_SIM_SIMULATOR_H_

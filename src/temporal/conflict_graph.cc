@@ -1,0 +1,70 @@
+#include "temporal/conflict_graph.h"
+
+#include <algorithm>
+
+namespace gepc {
+
+ConflictGraph::ConflictGraph(const std::vector<Interval>& intervals)
+    : n_(static_cast<int>(intervals.size())),
+      bits_(static_cast<size_t>(n_) * static_cast<size_t>(n_), 0),
+      adjacency_(static_cast<size_t>(n_)) {
+  // Sweep over intervals sorted by start time: only pairs whose intervals
+  // overlap-or-touch can conflict, so each interval is compared against the
+  // active set instead of all n others. Worst case O(n^2) when everything
+  // overlaps, O(n log n + k) otherwise (k = number of conflicting pairs).
+  std::vector<int> order(static_cast<size_t>(n_));
+  for (int i = 0; i < n_; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ia = intervals[static_cast<size_t>(a)];
+    const auto& ib = intervals[static_cast<size_t>(b)];
+    if (ia.start != ib.start) return ia.start < ib.start;
+    return ia.end < ib.end;
+  });
+
+  std::vector<int> active;  // indices whose interval may still conflict
+  for (int oi : order) {
+    const Interval& cur = intervals[static_cast<size_t>(oi)];
+    // Retire intervals ending strictly before cur starts; those cannot
+    // conflict with cur or anything later (starts are non-decreasing).
+    std::erase_if(active, [&](int a) {
+      return intervals[static_cast<size_t>(a)].end < cur.start;
+    });
+    for (int a : active) {
+      if (!Conflicts(cur, intervals[static_cast<size_t>(a)])) continue;
+      const size_t x = static_cast<size_t>(oi);
+      const size_t y = static_cast<size_t>(a);
+      bits_[x * static_cast<size_t>(n_) + y] = 1;
+      bits_[y * static_cast<size_t>(n_) + x] = 1;
+      adjacency_[x].push_back(a);
+      adjacency_[y].push_back(oi);
+      ++pair_count_;
+    }
+    active.push_back(oi);
+  }
+
+  // Self-conflicts: an event always conflicts with its own time slot.
+  for (int i = 0; i < n_; ++i) {
+    bits_[static_cast<size_t>(i) * static_cast<size_t>(n_) +
+          static_cast<size_t>(i)] = 1;
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+}
+
+double ConflictGraph::ConflictRatio() const {
+  if (n_ == 0) return 0.0;
+  int conflicted = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (!adjacency_[static_cast<size_t>(i)].empty()) ++conflicted;
+  }
+  return static_cast<double>(conflicted) / static_cast<double>(n_);
+}
+
+int ConflictGraph::MaxConflictDegree() const {
+  int max_degree = 0;
+  for (const auto& adj : adjacency_) {
+    max_degree = std::max(max_degree, static_cast<int>(adj.size()));
+  }
+  return max_degree;
+}
+
+}  // namespace gepc

@@ -1,0 +1,61 @@
+#ifndef GEPC_TEMPORAL_CONFLICT_GRAPH_H_
+#define GEPC_TEMPORAL_CONFLICT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "temporal/interval.h"
+
+namespace gepc {
+
+/// Precomputed pairwise time-conflict relation over a set of intervals
+/// (events). Solvers query conflicts O(m) times per insertion, so we build
+/// the relation once per instance. Stored as adjacency lists plus a flat
+/// bitset for O(1) pair lookups.
+class ConflictGraph {
+ public:
+  ConflictGraph() = default;
+
+  /// Builds the graph from `intervals` using the paper's strict conflict
+  /// predicate (see temporal/interval.h).
+  explicit ConflictGraph(const std::vector<Interval>& intervals);
+
+  /// Number of intervals the graph was built over.
+  int size() const { return n_; }
+
+  /// True iff intervals a and b time-conflict. Preconditions: valid indices.
+  /// By convention an interval conflicts with itself (a user cannot attend
+  /// the same event twice), matching Conflicts(iv, iv) == true.
+  bool conflicts(int a, int b) const {
+    return bits_[static_cast<size_t>(a) * static_cast<size_t>(n_) +
+                 static_cast<size_t>(b)];
+  }
+
+  /// All intervals conflicting with `a` (excluding `a` itself).
+  const std::vector<int>& neighbors(int a) const {
+    return adjacency_[static_cast<size_t>(a)];
+  }
+
+  /// Number of conflicting (unordered, distinct) pairs.
+  int64_t conflict_pair_count() const { return pair_count_; }
+
+  /// Fraction of events that conflict with at least one other event —
+  /// the "conflict ratio" column of the paper's Table IV.
+  double ConflictRatio() const;
+
+  /// Size of the largest set of mutually conflicting events containing any
+  /// single event's neighborhood — the paper's maxCF in the complexity
+  /// analysis is the max number of events that pairwise conflict; we report
+  /// the max degree + 1 as a cheap upper-bound proxy.
+  int MaxConflictDegree() const;
+
+ private:
+  int n_ = 0;
+  int64_t pair_count_ = 0;
+  std::vector<char> bits_;  // n_ x n_ symmetric matrix (vector<char> for speed)
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_TEMPORAL_CONFLICT_GRAPH_H_

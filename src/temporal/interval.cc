@@ -1,0 +1,23 @@
+#include "temporal/interval.h"
+
+#include <cstdio>
+
+namespace gepc {
+
+std::string FormatMinutes(Minutes m) {
+  int day_min = ((m % (24 * 60)) + 24 * 60) % (24 * 60);
+  int h24 = day_min / 60;
+  int minute = day_min % 60;
+  const char* suffix = h24 < 12 ? "a.m." : "p.m.";
+  int h12 = h24 % 12;
+  if (h12 == 0) h12 = 12;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d:%02d %s", h12, minute, suffix);
+  return buf;
+}
+
+std::string FormatInterval(const Interval& iv) {
+  return FormatMinutes(iv.start) + "-" + FormatMinutes(iv.end);
+}
+
+}  // namespace gepc

@@ -1,0 +1,49 @@
+#ifndef GEPC_TEMPORAL_INTERVAL_H_
+#define GEPC_TEMPORAL_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace gepc {
+
+/// Minutes since midnight of the planning horizon (the paper uses a 1-day
+/// horizon; Sec. II). 32 bits are ample for any horizon we generate.
+using Minutes = int32_t;
+
+/// A half-open-in-spirit event holding time [start, end]. The paper's
+/// conflict rule (Def. 1, constraint 1) is *strict*: if e_k starts before
+/// e_h then e_k must END strictly before e_h STARTS — back-to-back events
+/// (tt_k == ts_h) conflict because "no time is left to go from e_k to e_h"
+/// (the e_2 / e_4 discussion of Example 1).
+struct Interval {
+  Minutes start = 0;
+  Minutes end = 0;
+
+  bool IsValid() const { return start < end; }
+
+  Minutes Duration() const { return end - start; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// True iff a user cannot attend both intervals under the paper's rule:
+/// compatible only when one ends strictly before the other starts.
+inline bool Conflicts(const Interval& a, const Interval& b) {
+  return !(a.end < b.start || b.end < a.start);
+}
+
+/// "2:05 p.m."-style rendering for logs and examples.
+std::string FormatMinutes(Minutes m);
+std::string FormatInterval(const Interval& iv);
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << FormatInterval(iv);
+}
+
+}  // namespace gepc
+
+#endif  // GEPC_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,96 @@
+#include "temporal/interval_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gepc {
+
+namespace {
+constexpr Minutes kMinSentinel = std::numeric_limits<Minutes>::min();
+}  // namespace
+
+IntervalIndex::IntervalIndex(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  const int n = size();
+  order_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order_[static_cast<size_t>(i)] = i;
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    const Interval& ia = intervals_[static_cast<size_t>(a)];
+    const Interval& ib = intervals_[static_cast<size_t>(b)];
+    if (ia.start != ib.start) return ia.start < ib.start;
+    return a < b;
+  });
+  starts_.resize(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    starts_[static_cast<size_t>(k)] =
+        intervals_[static_cast<size_t>(order_[static_cast<size_t>(k)])].start;
+  }
+
+  tree_size_ = 1;
+  while (tree_size_ < std::max(1, n)) tree_size_ <<= 1;
+  max_end_.assign(static_cast<size_t>(2 * tree_size_), kMinSentinel);
+  for (int k = 0; k < n; ++k) {
+    max_end_[static_cast<size_t>(tree_size_ + k)] =
+        intervals_[static_cast<size_t>(order_[static_cast<size_t>(k)])].end;
+  }
+  for (int node = tree_size_ - 1; node >= 1; --node) {
+    max_end_[static_cast<size_t>(node)] =
+        std::max(max_end_[static_cast<size_t>(2 * node)],
+                 max_end_[static_cast<size_t>(2 * node + 1)]);
+  }
+}
+
+template <typename Visitor>
+void IntervalIndex::Visit(const Interval& query, const Visitor& visit) const {
+  const int n = size();
+  if (n == 0) return;
+  // Conflict: interval.start <= query.end AND interval.end >= query.start.
+  // The first condition bounds a prefix of the start-sorted order.
+  const int prefix = static_cast<int>(
+      std::upper_bound(starts_.begin(), starts_.end(), query.end) -
+      starts_.begin());
+  if (prefix == 0) return;
+
+  // Recursive descent pruning subtrees with max_end < query.start.
+  struct Frame {
+    int node;
+    int lo;
+    int hi;  // leaf range [lo, hi)
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{1, 0, tree_size_});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.lo >= prefix) continue;  // entirely past the prefix
+    if (max_end_[static_cast<size_t>(frame.node)] < query.start) continue;
+    if (frame.hi - frame.lo == 1) {
+      if (frame.lo < n) visit(order_[static_cast<size_t>(frame.lo)]);
+      continue;
+    }
+    const int mid = (frame.lo + frame.hi) / 2;
+    // Push right first so the left child is processed first (ascending
+    // sorted-order positions; ids are re-sorted by callers that need it).
+    stack.push_back(Frame{2 * frame.node + 1, mid, frame.hi});
+    stack.push_back(Frame{2 * frame.node, frame.lo, mid});
+  }
+}
+
+std::vector<int> IntervalIndex::Conflicting(const Interval& query) const {
+  std::vector<int> ids;
+  Visit(query, [&](int id) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int IntervalIndex::CountConflicting(const Interval& query) const {
+  int count = 0;
+  Visit(query, [&](int) { ++count; });
+  return count;
+}
+
+bool IntervalIndex::AnyConflict(const Interval& query) const {
+  return CountConflicting(query) > 0;
+}
+
+}  // namespace gepc

@@ -1,0 +1,58 @@
+#ifndef GEPC_TEMPORAL_INTERVAL_INDEX_H_
+#define GEPC_TEMPORAL_INTERVAL_INDEX_H_
+
+#include <vector>
+
+#include "temporal/interval.h"
+
+namespace gepc {
+
+/// Static interval index answering "which events conflict with this holding
+/// time?" in O(log m + k). ConflictGraph materializes the full pairwise
+/// relation (O(m^2) bits) — the right trade-off for solver inner loops over
+/// a fixed event set — while this index supports ad-hoc queries against
+/// arbitrary intervals (e.g. an organizer probing candidate time slots, or
+/// the simulator scoring a new event before announcing it) without
+/// rebuilding anything.
+///
+/// Implementation: intervals sorted by start, with an implicit segment tree
+/// of subtree-max end times. A query scans the start-sorted prefix with
+/// start <= query.end and prunes subtrees whose max end < query.start.
+class IntervalIndex {
+ public:
+  IntervalIndex() = default;
+
+  /// Builds the index over `intervals` (ids are their positions).
+  explicit IntervalIndex(std::vector<Interval> intervals);
+
+  int size() const { return static_cast<int>(intervals_.size()); }
+
+  /// Ids of stored intervals conflicting with `query` under the paper's
+  /// overlap-or-touch rule, in ascending id order.
+  std::vector<int> Conflicting(const Interval& query) const;
+
+  /// Number of stored intervals conflicting with `query`.
+  int CountConflicting(const Interval& query) const;
+
+  /// True iff at least one stored interval conflicts with `query`.
+  bool AnyConflict(const Interval& query) const;
+
+  /// The stored interval for an id.
+  const Interval& interval(int id) const {
+    return intervals_[static_cast<size_t>(id)];
+  }
+
+ private:
+  template <typename Visitor>
+  void Visit(const Interval& query, const Visitor& visit) const;
+
+  std::vector<Interval> intervals_;  // original order (by id)
+  std::vector<int> order_;           // ids sorted by interval start
+  std::vector<Minutes> starts_;      // starts in sorted order
+  std::vector<Minutes> max_end_;     // segment tree over sorted order
+  int tree_size_ = 0;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_TEMPORAL_INTERVAL_INDEX_H_

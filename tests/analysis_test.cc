@@ -1,0 +1,105 @@
+#include "gepc/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "gepc/exact.h"
+#include "gepc/solver.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(AnalysisTest, UcCountsEventsWithinHalfBudget) {
+  // u5 at (4,4), budget 10 -> reach 5: e2 (6,0) at dist ~4.47, e3 (3,8) at
+  // ~4.12, e4 (4,2) at 2 are in; e1 (1,-4) at ~8.54 is out.
+  const Instance instance = MakePaperInstance();
+  EXPECT_EQ(UcOf(instance, 4), 3);
+}
+
+TEST(AnalysisTest, BiggerBudgetNeverLowersUc) {
+  Instance instance = MakePaperInstance();
+  const int before = UcOf(instance, 4);
+  instance.set_user_budget(4, 100.0);
+  EXPECT_GE(UcOf(instance, 4), before);
+  EXPECT_EQ(UcOf(instance, 4), 4);  // everything reachable now
+}
+
+TEST(AnalysisTest, FeesShrinkTheRadius) {
+  std::vector<User> users = {{{0, 0}, 10.0}};
+  std::vector<Event> events = {{{4.9, 0}, 0, 1, {0, 10}, /*fee=*/0.0}};
+  Instance no_fee(users, events);
+  EXPECT_EQ(UcOf(no_fee, 0), 1);
+  events[0].fee = 2.0;  // 4.9 + 1.0 > 5.0
+  Instance with_fee(std::move(users), std::move(events));
+  EXPECT_EQ(UcOf(with_fee, 0), 0);
+}
+
+TEST(AnalysisTest, UcMaxIsTheMaximum) {
+  const Instance instance = MakePaperInstance();
+  int expected = 0;
+  for (int i = 0; i < instance.num_users(); ++i) {
+    expected = std::max(expected, UcOf(instance, i));
+  }
+  EXPECT_EQ(UcMax(instance), expected);
+  EXPECT_EQ(UcMax(instance), 4);  // u4 (budget 30) reaches everything
+}
+
+TEST(AnalysisTest, RatioFloorsArePositiveAndOrdered) {
+  const Instance instance = MakePaperInstance();
+  const double greedy_floor = GreedyRatioFloor(instance);
+  const double gap_floor = GapRatioFloor(instance, 0.1);
+  EXPECT_GT(greedy_floor, 0.0);
+  EXPECT_GT(gap_floor, 0.0);
+  // Paper: the GAP-based bound 1/(Uc_max - 1) is tighter (larger) than the
+  // greedy bound 1/(2 Uc_max) for Uc_max >= 2 (minus the small eps term).
+  EXPECT_GT(gap_floor, greedy_floor);
+}
+
+TEST(AnalysisTest, DegenerateInstancesGiveZeroFloors) {
+  std::vector<User> users = {{{0, 0}, 0.5}};
+  std::vector<Event> events = {{{50, 50}, 0, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  EXPECT_EQ(UcMax(instance), 0);
+  EXPECT_DOUBLE_EQ(GreedyRatioFloor(instance), 0.0);
+  EXPECT_DOUBLE_EQ(GapRatioFloor(instance), 0.0);
+}
+
+TEST(AnalysisTest, MeasuredRatiosRespectTheFloors) {
+  // The paper's guarantees hold empirically: on feasible small instances
+  // with the lower bounds met, each algorithm's utility / OPT must be at
+  // least its proven floor.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 6;
+    config.num_events = 5;
+    config.num_groups = 3;
+    config.mean_eta = 3.0;
+    config.mean_xi = 1.0;
+    config.seed = seed * 211;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto exact = SolveGepcExact(*instance);
+    ASSERT_TRUE(exact.ok());
+    if (!exact->feasible || exact->total_utility <= 0.0) continue;
+    for (GepcAlgorithm algorithm :
+         {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+      GepcOptions options;
+      options.algorithm = algorithm;
+      auto approx = SolveGepc(*instance, options);
+      ASSERT_TRUE(approx.ok());
+      if (approx->events_below_lower_bound > 0) continue;
+      const double ratio = approx->total_utility / exact->total_utility;
+      const double floor = algorithm == GepcAlgorithm::kGreedy
+                               ? GreedyRatioFloor(*instance)
+                               : GapRatioFloor(*instance);
+      EXPECT_GE(ratio, floor - 1e-9)
+          << GepcAlgorithmName(algorithm) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gepc

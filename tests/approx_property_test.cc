@@ -1,0 +1,103 @@
+// Property sweep comparing both approximation algorithms against the exact
+// branch-and-bound oracle on small random instances: the approximations must
+// stay feasible and respect the exact optimum as an upper bound, and their
+// achieved ratios should not collapse to zero (the paper guarantees
+// 1/(Uc_max - 1) - O(eps) and 1/(2 Uc_max) respectively).
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "gepc/exact.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+namespace {
+
+Instance SmallRandomInstance(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_users = 6;
+  config.num_events = 5;
+  config.num_groups = 3;
+  config.mean_eta = 3.0;
+  config.eta_spread = 0.4;
+  config.mean_xi = 1.0;
+  config.conflict_ratio = 0.4;
+  config.budget_min_fraction = 0.5;
+  config.budget_max_fraction = 1.2;
+  config.seed = seed;
+  auto instance = GenerateInstance(config);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+class ApproxVsExact : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproxVsExact, BothAlgorithmsBoundedByExactOptimum) {
+  const Instance instance = SmallRandomInstance(GetParam());
+  auto exact = SolveGepcExact(instance);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  if (!exact->feasible) GTEST_SKIP() << "instance infeasible for this seed";
+
+  for (GepcAlgorithm algorithm :
+       {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+    GepcOptions options;
+    options.algorithm = algorithm;
+    auto approx = SolveGepc(instance, options);
+    ASSERT_TRUE(approx.ok()) << approx.status();
+
+    // Feasibility of constraints 1-3 always holds.
+    ValidationOptions validation;
+    validation.check_lower_bounds = false;
+    EXPECT_TRUE(ValidatePlan(instance, approx->plan, validation).ok())
+        << GepcAlgorithmName(algorithm);
+
+    // The exact optimum upper-bounds any feasible plan. When the
+    // approximation missed some lower bound its plan is not comparable, so
+    // only check the bound for fully feasible outputs.
+    if (approx->events_below_lower_bound == 0) {
+      EXPECT_LE(approx->total_utility, exact->total_utility + 1e-6)
+          << GepcAlgorithmName(algorithm);
+      // Loose sanity floor: a vanishing ratio would signal a broken solver.
+      EXPECT_GE(approx->total_utility, 0.2 * exact->total_utility)
+          << GepcAlgorithmName(algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxVsExact,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class FeasibilitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FeasibilitySweep, MediumInstancesAlwaysValid) {
+  GeneratorConfig config;
+  config.num_users = 80;
+  config.num_events = 15;
+  config.mean_eta = 10.0;
+  config.mean_xi = 3.0;
+  config.seed = GetParam() * 7919;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  for (GepcAlgorithm algorithm :
+       {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+    GepcOptions options;
+    options.algorithm = algorithm;
+    auto result = SolveGepc(*instance, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ValidationOptions validation;
+    validation.check_lower_bounds = false;
+    EXPECT_TRUE(ValidatePlan(*instance, result->plan, validation).ok())
+        << GepcAlgorithmName(algorithm);
+    // The xi-GEPC step placed all copies it could; shortfall must be tiny
+    // on these satisfiable configurations.
+    EXPECT_LE(result->events_below_lower_bound, 2)
+        << GepcAlgorithmName(algorithm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeasibilitySweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace gepc

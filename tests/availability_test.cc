@@ -1,0 +1,86 @@
+#include "iep/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(AvailabilityTest, PaperIntroExample) {
+  // Sec. II-B: u1's availability shrinks to 2:00 p.m. - 8:00 p.m.; e1
+  // (1:00-3:00 p.m.) and e3 (1:30-3:00 p.m.) start before 2 p.m., so both
+  // utilities zero; e2 (4-6 p.m.) and e4 (6-8 p.m.) stay attendable.
+  const Instance instance = MakePaperInstance();
+  const std::vector<AtomicOp> ops =
+      AvailabilityChangeOps(instance, 0, {14 * 60, 20 * 60});
+  ASSERT_EQ(ops.size(), 2u);
+  for (const AtomicOp& op : ops) {
+    EXPECT_EQ(op.kind, AtomicOp::Kind::kUtilityChanged);
+    EXPECT_EQ(op.user, 0);
+    EXPECT_DOUBLE_EQ(op.new_utility, 0.0);
+    EXPECT_TRUE(op.event == kE1 || op.event == kE3);
+  }
+}
+
+TEST(AvailabilityTest, FullDayWindowChangesNothing) {
+  const Instance instance = MakePaperInstance();
+  EXPECT_TRUE(AvailabilityChangeOps(instance, 0, {0, 24 * 60}).empty());
+}
+
+TEST(AvailabilityTest, ZeroUtilityEventsSkipped) {
+  Instance instance = MakePaperInstance();
+  instance.set_utility(0, kE1, 0.0);
+  const std::vector<AtomicOp> ops =
+      AvailabilityChangeOps(instance, 0, {14 * 60, 20 * 60});
+  ASSERT_EQ(ops.size(), 1u);  // only e3 remains to zero
+  EXPECT_EQ(ops[0].event, kE3);
+}
+
+TEST(AvailabilityTest, AppliedChangeRemovesEventsAndRepairs) {
+  auto planner =
+      IncrementalPlanner::Create(MakePaperInstance(), MakePaperPlan());
+  ASSERT_TRUE(planner.ok());
+  auto batch = ApplyAvailabilityChange(&*planner, 0, {14 * 60, 20 * 60});
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  // u1 loses e1 (the plan held it); utilities for e1/e3 are now zero.
+  EXPECT_FALSE(planner->plan().Contains(0, kE1));
+  EXPECT_DOUBLE_EQ(planner->instance().utility(0, kE1), 0.0);
+  EXPECT_DOUBLE_EQ(planner->instance().utility(0, kE3), 0.0);
+  EXPECT_GE(batch->negative_impact, 1);
+  ValidationOptions options;
+  options.check_lower_bounds = false;
+  EXPECT_TRUE(
+      ValidatePlan(planner->instance(), planner->plan(), options).ok());
+}
+
+TEST(AvailabilityTest, BadArgumentsRejected) {
+  auto planner =
+      IncrementalPlanner::Create(MakePaperInstance(), MakePaperPlan());
+  ASSERT_TRUE(planner.ok());
+  EXPECT_EQ(ApplyAvailabilityChange(nullptr, 0, {0, 10}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ApplyAvailabilityChange(&*planner, 99, {0, 10}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ApplyAvailabilityChange(&*planner, 0, {10, 10}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AvailabilityTest, EventExactlyAtWindowEdgesStays) {
+  const Instance instance = MakePaperInstance();
+  // Window exactly covering e2 (4-6 p.m.).
+  const std::vector<AtomicOp> ops =
+      AvailabilityChangeOps(instance, 1, {16 * 60, 18 * 60});
+  for (const AtomicOp& op : ops) EXPECT_NE(op.event, kE2);
+}
+
+}  // namespace
+}  // namespace gepc

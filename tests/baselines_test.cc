@@ -1,0 +1,159 @@
+#include "gepc/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(GepBaselineTest, PlanSatisfiesUserSideConstraints) {
+  const Instance instance = MakePaperInstance();
+  auto result = SolveGepNoLowerBounds(instance);
+  ASSERT_TRUE(result.ok());
+  ValidationOptions options;
+  options.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, result->plan, options).ok());
+}
+
+TEST(GepBaselineTest, IgnoresLowerBounds) {
+  // Crank e3's xi to 4 while making it unattractive: a GEP planner that
+  // only chases utility will leave it under-subscribed.
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(testing_support::kE3, 4, 4).ok());
+  for (int i = 0; i < 5; ++i) {
+    instance.set_utility(i, testing_support::kE3, 0.01);
+  }
+  auto gep = SolveGepNoLowerBounds(instance);
+  ASSERT_TRUE(gep.ok());
+  EXPECT_GE(gep->events_below_lower_bound, 1);
+  EXPECT_LT(gep->effective_utility, gep->total_utility);
+}
+
+TEST(GepBaselineTest, EffectiveUtilityNeverExceedsTotal) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.num_events = 10;
+    config.mean_eta = 6.0;
+    config.mean_xi = 3.0;
+    config.seed = seed;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto gep = SolveGepNoLowerBounds(*instance);
+    ASSERT_TRUE(gep.ok());
+    EXPECT_LE(gep->effective_utility, gep->total_utility + 1e-9);
+  }
+}
+
+TEST(GepBaselineTest, GepcLeavesFewerEventsBelowXi) {
+  // The paper's motivating claim (Sec. I): a planner that ignores
+  // minimum-participant requirements leaves events under-subscribed (and
+  // thus cancelled); GEPC plans them full. Compare shortfall counts over
+  // several generated instances.
+  int gepc_short = 0;
+  int gep_short = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 60;
+    config.num_events = 14;
+    config.mean_eta = 8.0;
+    config.mean_xi = 4.0;
+    config.seed = seed * 17;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto gepc = SolveGepc(*instance, GepcOptions{});
+    auto gep = SolveGepNoLowerBounds(*instance);
+    ASSERT_TRUE(gepc.ok() && gep.ok());
+    gepc_short += gepc->events_below_lower_bound;
+    gep_short += gep->events_below_lower_bound;
+  }
+  EXPECT_LE(gepc_short, gep_short);
+  EXPECT_GT(gep_short, 0);  // the baseline really does strand events
+}
+
+TEST(GepBaselineTest, OnlyGepcCanHoldAllOrNothingEvents) {
+  // Crafted binding scenario: a "group discount" event e0 needs all four
+  // users (xi = 4) but each user individually prefers a solo event that
+  // overlaps e0. Chasing utility (GEP) strands e0 — the event the
+  // organizer committed to simply cannot be held — while GEPC produces
+  // the only plan satisfying all four constraints of Definition 1.
+  std::vector<User> users(4, User{{0.0, 0.0}, 100.0});
+  std::vector<Event> events;
+  events.push_back(Event{{1.0, 0.0}, 4, 4, {0, 60}});  // e0: all or nothing
+  for (int k = 0; k < 4; ++k) {
+    events.push_back(Event{{0.0, 1.0}, 0, 1, {30, 90}});  // overlaps e0
+  }
+  Instance instance(std::move(users), std::move(events));
+  for (int i = 0; i < 4; ++i) {
+    instance.set_utility(i, 0, 0.6);
+    instance.set_utility(i, 1 + i, 0.9);  // the tempting solo event
+  }
+  auto gep = SolveGepNoLowerBounds(instance);
+  auto gepc = SolveGepc(instance, GepcOptions{});
+  ASSERT_TRUE(gep.ok() && gepc.ok());
+  EXPECT_EQ(gep->events_below_lower_bound, 1);
+  EXPECT_NEAR(gep->effective_utility, 4 * 0.9, 1e-9);   // solos only
+  EXPECT_EQ(gepc->events_below_lower_bound, 0);
+  EXPECT_NEAR(EffectiveUtility(instance, gepc->plan), 4 * 0.6, 1e-9);
+  // Nominal utility favors GEP, but e0's organizer constraint makes the
+  // GEP plan infeasible as a GEPC plan at all:
+  EXPECT_EQ(ValidatePlan(instance, gep->plan).code(),
+            StatusCode::kInfeasible);
+  EXPECT_TRUE(ValidatePlan(instance, gepc->plan).ok());
+}
+
+TEST(RandomBaselineTest, FeasibleAndDeterministicPerSeed) {
+  const Instance instance = MakePaperInstance();
+  auto a = SolveRandomBaseline(instance, 7);
+  auto b = SolveRandomBaseline(instance, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->plan == b->plan);
+  ValidationOptions options;
+  options.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, a->plan, options).ok());
+}
+
+TEST(RandomBaselineTest, UsuallyWorseThanGreedyUtility) {
+  double random_total = 0.0;
+  double greedy_total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 50;
+    config.num_events = 12;
+    config.mean_eta = 6.0;
+    config.mean_xi = 2.0;
+    config.seed = seed * 23;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto random = SolveRandomBaseline(*instance, seed);
+    auto greedy = SolveGepc(*instance, GepcOptions{});
+    ASSERT_TRUE(random.ok() && greedy.ok());
+    random_total += random->total_utility;
+    greedy_total += greedy->total_utility;
+  }
+  EXPECT_LT(random_total, greedy_total);
+}
+
+TEST(EffectiveUtilityTest, CountsOnlyViableEvents) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(0, testing_support::kE1);  // e1 xi=1: viable
+  plan.Add(1, testing_support::kE3);  // e3 xi=3 with one attendee: cancelled
+  EXPECT_NEAR(EffectiveUtility(instance, plan), 0.7, 1e-12);
+}
+
+TEST(EffectiveUtilityTest, FullPaperPlanMatchesTotal) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = testing_support::MakePaperPlan();
+  EXPECT_NEAR(EffectiveUtility(instance, plan), plan.TotalUtility(instance),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace gepc

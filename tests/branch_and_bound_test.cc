@@ -1,0 +1,131 @@
+#include "lp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gap/exact_gap.h"
+#include "gap/gap_instance.h"
+
+namespace gepc {
+namespace {
+
+TEST(BinaryMipTest, KnapsackToy) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (0/1) -> a + b = 16.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 3);
+  lp.set_objective(0, 10);
+  lp.set_objective(1, 6);
+  lp.set_objective(2, 4);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, Relation::kLessEqual, 2.0);
+  auto result = SolveBinaryMip(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective_value, 16.0, 1e-7);
+  EXPECT_NEAR(result->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 1.0, 1e-9);
+  EXPECT_NEAR(result->x[2], 0.0, 1e-9);
+}
+
+TEST(BinaryMipTest, FractionalLpOptimumGetsRounded) {
+  // max a + b s.t. a + b <= 1.5: LP gives 1.5, MIP must settle for 1.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 1);
+  lp.set_objective(1, 1);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 1.5);
+  auto result = SolveBinaryMip(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective_value, 1.0, 1e-7);
+}
+
+TEST(BinaryMipTest, MinimizationWithCovering) {
+  // min a + b + c s.t. a + b >= 1, b + c >= 1, a + c >= 1 -> 2 variables.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 3);
+  for (int v = 0; v < 3; ++v) lp.set_objective(v, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 1.0);
+  lp.AddConstraint({{1, 1.0}, {2, 1.0}}, Relation::kGreaterEqual, 1.0);
+  lp.AddConstraint({{0, 1.0}, {2, 1.0}}, Relation::kGreaterEqual, 1.0);
+  auto result = SolveBinaryMip(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective_value, 2.0, 1e-7);
+}
+
+TEST(BinaryMipTest, InfeasibleDetected) {
+  // a >= 0.4 and a <= 0.6 has no 0/1 point.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 1);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kGreaterEqual, 0.4);
+  lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 0.6);
+  auto result = SolveBinaryMip(lp);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(BinaryMipTest, NodeBudgetAborts) {
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 6);
+  for (int v = 0; v < 6; ++v) lp.set_objective(v, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}, {4, 1.0},
+                    {5, 1.0}},
+                   Relation::kLessEqual, 2.5);
+  MipOptions options;
+  options.max_nodes = 1;
+  auto result = SolveBinaryMip(lp, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(BinaryMipTest, AgreesWithCombinatorialExactGapSolver) {
+  // Cross-check: the GAP MIP formulation (assignment + capacity rows) must
+  // produce the same optimal cost as the dedicated branch-and-bound.
+  Rng rng(606);
+  int rounds = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int machines = 3;
+    const int jobs = 5;
+    GapInstance gap(machines, jobs);
+    for (int i = 0; i < machines; ++i) {
+      gap.set_capacity(i, rng.UniformDouble(8.0, 14.0));
+    }
+    for (int j = 0; j < jobs; ++j) {
+      for (int i = 0; i < machines; ++i) {
+        gap.SetPair(i, j, rng.UniformDouble(1.0, 6.0),
+                    rng.UniformDouble(0.0, 1.0));
+      }
+    }
+    auto exact = SolveGapExact(gap);
+    ASSERT_TRUE(exact.ok());
+
+    LinearProgram lp(LinearProgram::Sense::kMinimize, machines * jobs);
+    auto var = [&](int i, int j) { return i * jobs + j; };
+    for (int i = 0; i < machines; ++i) {
+      for (int j = 0; j < jobs; ++j) {
+        lp.set_objective(var(i, j), gap.cost(i, j));
+      }
+    }
+    for (int j = 0; j < jobs; ++j) {
+      std::vector<std::pair<int, double>> terms;
+      for (int i = 0; i < machines; ++i) terms.emplace_back(var(i, j), 1.0);
+      lp.AddConstraint(std::move(terms), Relation::kEqual, 1.0);
+    }
+    for (int i = 0; i < machines; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < jobs; ++j) {
+        terms.emplace_back(var(i, j), gap.processing(i, j));
+      }
+      lp.AddConstraint(std::move(terms), Relation::kLessEqual,
+                       gap.capacity(i));
+    }
+    MipOptions options;
+    options.max_nodes = 200000;
+    auto mip = SolveBinaryMip(lp, options);
+    if (!exact->feasible) {
+      EXPECT_FALSE(mip.ok()) << "trial " << trial;
+      continue;
+    }
+    ASSERT_TRUE(mip.ok()) << "trial " << trial << ": " << mip.status();
+    EXPECT_NEAR(mip->objective_value, exact->total_cost, 1e-6)
+        << "trial " << trial;
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 2);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,133 @@
+// End-to-end tests of the gepc_cli binary (path injected by CMake as
+// GEPC_CLI_PATH). Each test drives a full shell command and inspects exit
+// codes and produced files — the closest thing to a user session.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "data/io.h"
+
+namespace gepc {
+namespace {
+
+std::string Cli() { return GEPC_CLI_PATH; }
+
+std::string Tmp(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+int RunCommand(const std::string& command) {
+  const int status = std::system((command + " > /dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_path_ = Tmp("cli_test.gepc");
+    plan_path_ = Tmp("cli_test.gpln");
+    ASSERT_EQ(RunCommand(Cli() + " generate --users 40 --events 10 --seed 5" +
+                         " --xi 2 --eta 6 --out " + instance_path_),
+              0);
+  }
+
+  std::string instance_path_;
+  std::string plan_path_;
+};
+
+TEST_F(CliTest, GenerateProducesLoadableInstance) {
+  auto instance = LoadInstanceFromFile(instance_path_);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_users(), 40);
+  EXPECT_EQ(instance->num_events(), 10);
+}
+
+TEST_F(CliTest, StatsSucceedsOnGeneratedInstance) {
+  EXPECT_EQ(RunCommand(Cli() + " stats --in " + instance_path_), 0);
+}
+
+TEST_F(CliTest, SolveWritesValidPlan) {
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --algorithm greedy --plan-out " + plan_path_),
+            0);
+  auto plan = LoadPlanFromFile(plan_path_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GT(plan->TotalAssignments(), 0);
+  // The CLI's own validator accepts it.
+  EXPECT_EQ(RunCommand(Cli() + " validate --in " + instance_path_ +
+                       " --plan " + plan_path_),
+            0);
+}
+
+TEST_F(CliTest, GapAlgorithmAlsoSolves) {
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --algorithm gap --plan-out " + plan_path_),
+            0);
+}
+
+TEST_F(CliTest, ValidateFlagsBrokenPlan) {
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --plan-out " + plan_path_),
+            0);
+  // Corrupt the plan: give user 0 every event (guaranteed conflicts).
+  std::ofstream out(plan_path_, std::ios::app);
+  for (int j = 0; j < 10; ++j) out << "p 1 " << j << "\n";
+  out.close();
+  const int code = RunCommand(Cli() + " validate --in " + instance_path_ +
+                              " --plan " + plan_path_);
+  EXPECT_NE(code, 0);
+}
+
+TEST_F(CliTest, ApplyRunsOpsAndWritesPlan) {
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --plan-out " + plan_path_),
+            0);
+  const std::string out_path = Tmp("cli_test_after.gpln");
+  EXPECT_EQ(RunCommand(Cli() + " apply --in " + instance_path_ + " --plan " +
+                       plan_path_ + " --op eta:0:1 --op xi:1:3 --reorder" +
+                       " --plan-out " + out_path),
+            0);
+  auto plan = LoadPlanFromFile(out_path);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->attendance(0), 1);
+}
+
+TEST_F(CliTest, ItineraryPrints) {
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --plan-out " + plan_path_),
+            0);
+  EXPECT_EQ(RunCommand(Cli() + " itinerary --in " + instance_path_ +
+                       " --plan " + plan_path_),
+            0);
+  EXPECT_EQ(RunCommand(Cli() + " itinerary --in " + instance_path_ +
+                       " --plan " + plan_path_ + " --user 0"),
+            0);
+  EXPECT_NE(RunCommand(Cli() + " itinerary --in " + instance_path_ +
+                       " --plan " + plan_path_ + " --user 999"),
+            0);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_NE(RunCommand(Cli() + " frobnicate"), 0);
+}
+
+TEST_F(CliTest, MissingFilesFailCleanly) {
+  EXPECT_NE(RunCommand(Cli() + " stats --in /no/such/file.gepc"), 0);
+  EXPECT_NE(RunCommand(Cli() + " solve --in /no/such/file.gepc"), 0);
+}
+
+TEST_F(CliTest, BadOpSpecFails) {
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --plan-out " + plan_path_),
+            0);
+  EXPECT_NE(RunCommand(Cli() + " apply --in " + instance_path_ + " --plan " +
+                       plan_path_ + " --op bogus:1:2"),
+            0);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,130 @@
+#include "gepc/conflict_adjust.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+
+TEST(ConflictAdjustTest, CleanPlanUntouched) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  plan.Assign(0, copies.copies_of(kE1)[0]);
+  plan.Assign(1, copies.copies_of(kE3)[0]);
+  const ConflictAdjustStats stats = AdjustConflicts(instance, copies, &plan);
+  EXPECT_EQ(stats.removed, 0);
+  EXPECT_EQ(plan.UnassignedCopies(), copies.num_copies() - 2);
+}
+
+TEST(ConflictAdjustTest, RemovesLowestUtilityConflictingCopy) {
+  // Give u1 both e1 (0.7) and e3 (0.9), which overlap: e1 must go.
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  plan.Assign(0, copies.copies_of(kE1)[0]);
+  plan.Assign(0, copies.copies_of(kE3)[0]);
+  const ConflictAdjustStats stats = AdjustConflicts(instance, copies, &plan);
+  EXPECT_EQ(stats.removed, 1);
+  const auto& held = plan.copies_of_user[0];
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(copies.event_of(held[0]), kE3);
+}
+
+TEST(ConflictAdjustTest, EvictedCopyGoesToBestFeasibleUser) {
+  // Example 4's mechanics: e1 dropped from u1 must bypass u2/u3 (their e3
+  // conflicts) and u5 (budget) and land on u4.
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  plan.Assign(0, copies.copies_of(kE1)[0]);
+  plan.Assign(0, copies.copies_of(kE3)[0]);
+  plan.Assign(1, copies.copies_of(kE3)[1]);
+  plan.Assign(2, copies.copies_of(kE3)[2]);
+  plan.Assign(4, copies.copies_of(kE4)[0]);
+  const ConflictAdjustStats stats = AdjustConflicts(instance, copies, &plan);
+  EXPECT_EQ(stats.removed, 1);
+  EXPECT_EQ(stats.reassigned, 1);
+  EXPECT_EQ(stats.orphaned, 0);
+  EXPECT_EQ(plan.user_of_copy[copies.copies_of(kE1)[0]], 3);  // u4
+}
+
+TEST(ConflictAdjustTest, OrphansCopyNoOneCanTake) {
+  // Zero out everyone's utility for e1 except u1's; u1 holds the conflict,
+  // so the evicted e1 copy has nowhere to go.
+  Instance instance = MakePaperInstance();
+  for (int i = 1; i < 5; ++i) instance.set_utility(i, kE1, 0.0);
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  plan.Assign(0, copies.copies_of(kE1)[0]);
+  plan.Assign(0, copies.copies_of(kE3)[0]);
+  const ConflictAdjustStats stats = AdjustConflicts(instance, copies, &plan);
+  EXPECT_EQ(stats.removed, 1);
+  EXPECT_EQ(stats.orphaned, 1);
+  EXPECT_EQ(plan.user_of_copy[copies.copies_of(kE1)[0]], -1);
+}
+
+TEST(ConflictAdjustTest, ShedsOverBudgetCopies) {
+  // u5 (budget 10) holding e1 + e4 is over budget even though the events
+  // do not conflict; the cheaper-utility copy (e1, 0.3) must be shed.
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  plan.Assign(4, copies.copies_of(kE1)[0]);
+  plan.Assign(4, copies.copies_of(kE4)[0]);
+  const ConflictAdjustStats stats = AdjustConflicts(instance, copies, &plan);
+  EXPECT_GE(stats.removed, 1);
+  const auto& held = plan.copies_of_user[4];
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(copies.event_of(held[0]), kE4);
+  EXPECT_LE(CopyTourCost(instance, copies, 4, held), 10.0 + 1e-9);
+}
+
+TEST(ConflictAdjustTest, DuplicateCopiesOfSameEventSplitAcrossUsers) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  // Two copies of e3 both on u3 — they "conflict" by identity.
+  plan.Assign(2, copies.copies_of(kE3)[0]);
+  plan.Assign(2, copies.copies_of(kE3)[1]);
+  const ConflictAdjustStats stats = AdjustConflicts(instance, copies, &plan);
+  EXPECT_EQ(stats.removed, 1);
+  EXPECT_EQ(plan.copies_of_user[2].size(), 1u);
+  // The second copy must live elsewhere (u1 has the best remaining mu 0.9).
+  const int other = plan.user_of_copy[copies.copies_of(kE3)[0]] == 2
+                        ? copies.copies_of(kE3)[1]
+                        : copies.copies_of(kE3)[0];
+  EXPECT_NE(plan.user_of_copy[other], 2);
+  EXPECT_NE(plan.user_of_copy[other], -1);
+}
+
+TEST(ConflictAdjustTest, ResultHasNoConflictsAndFitsBudgets) {
+  // Stress: assign every copy to user 0 and let the adjuster untangle.
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  for (int c = 0; c < copies.num_copies(); ++c) plan.Assign(0, c);
+  AdjustConflicts(instance, copies, &plan);
+  for (int i = 0; i < 5; ++i) {
+    const auto& held = plan.copies_of_user[static_cast<size_t>(i)];
+    for (size_t a = 0; a < held.size(); ++a) {
+      for (size_t b = a + 1; b < held.size(); ++b) {
+        EXPECT_FALSE(copies.CopiesConflict(instance, held[a], held[b]))
+            << "user " << i;
+      }
+    }
+    EXPECT_LE(CopyTourCost(instance, copies, i, held),
+              instance.user(i).budget + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gepc

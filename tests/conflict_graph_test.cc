@@ -1,0 +1,94 @@
+#include "temporal/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gepc {
+namespace {
+
+TEST(ConflictGraphTest, EmptyGraph) {
+  ConflictGraph graph(std::vector<Interval>{});
+  EXPECT_EQ(graph.size(), 0);
+  EXPECT_EQ(graph.conflict_pair_count(), 0);
+  EXPECT_DOUBLE_EQ(graph.ConflictRatio(), 0.0);
+}
+
+TEST(ConflictGraphTest, SingleIntervalSelfConflictsOnly) {
+  ConflictGraph graph({{0, 10}});
+  EXPECT_TRUE(graph.conflicts(0, 0));
+  EXPECT_TRUE(graph.neighbors(0).empty());
+  EXPECT_DOUBLE_EQ(graph.ConflictRatio(), 0.0);
+}
+
+TEST(ConflictGraphTest, PairwiseRelations) {
+  ConflictGraph graph({{0, 10}, {5, 15}, {20, 30}});
+  EXPECT_TRUE(graph.conflicts(0, 1));
+  EXPECT_TRUE(graph.conflicts(1, 0));
+  EXPECT_FALSE(graph.conflicts(0, 2));
+  EXPECT_FALSE(graph.conflicts(1, 2));
+  EXPECT_EQ(graph.conflict_pair_count(), 1);
+}
+
+TEST(ConflictGraphTest, NeighborsSortedAndSymmetric) {
+  ConflictGraph graph({{0, 100}, {10, 20}, {30, 40}, {200, 300}});
+  EXPECT_EQ(graph.neighbors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(graph.neighbors(1), (std::vector<int>{0}));
+  EXPECT_EQ(graph.neighbors(3), (std::vector<int>{}));
+}
+
+TEST(ConflictGraphTest, ConflictRatioCountsTouchedEvents) {
+  // Events 0 and 1 conflict; 2 and 3 are free => ratio 0.5.
+  ConflictGraph graph({{0, 10}, {5, 15}, {20, 25}, {30, 35}});
+  EXPECT_DOUBLE_EQ(graph.ConflictRatio(), 0.5);
+}
+
+TEST(ConflictGraphTest, MaxConflictDegree) {
+  // Interval 0 overlaps everything; the others are mutually disjoint.
+  ConflictGraph graph({{0, 100}, {1, 10}, {20, 30}, {40, 50}});
+  EXPECT_EQ(graph.MaxConflictDegree(), 3);
+}
+
+TEST(ConflictGraphTest, TouchingIntervalsConflict) {
+  ConflictGraph graph({{0, 10}, {10, 20}});
+  EXPECT_TRUE(graph.conflicts(0, 1));
+}
+
+TEST(ConflictGraphTest, MatchesBruteForceOnRandomIntervals) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Interval> intervals;
+    const int n = 2 + static_cast<int>(rng.UniformUint64(40));
+    for (int i = 0; i < n; ++i) {
+      const Minutes start = static_cast<Minutes>(rng.UniformInt(0, 500));
+      const Minutes end =
+          start + 1 + static_cast<Minutes>(rng.UniformInt(0, 120));
+      intervals.push_back({start, end});
+    }
+    ConflictGraph graph(intervals);
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        const bool expected =
+            a == b || Conflicts(intervals[static_cast<size_t>(a)],
+                                intervals[static_cast<size_t>(b)]);
+        EXPECT_EQ(graph.conflicts(a, b), expected)
+            << "trial " << trial << " pair (" << a << ", " << b << ")";
+      }
+    }
+  }
+}
+
+TEST(ConflictGraphTest, AllOverlappingIsComplete) {
+  ConflictGraph graph({{0, 100}, {1, 99}, {2, 98}, {3, 97}});
+  EXPECT_EQ(graph.conflict_pair_count(), 6);
+  EXPECT_DOUBLE_EQ(graph.ConflictRatio(), 1.0);
+  EXPECT_EQ(graph.MaxConflictDegree(), 3);
+}
+
+TEST(ConflictGraphTest, IdenticalIntervalsConflict) {
+  ConflictGraph graph({{5, 10}, {5, 10}, {5, 10}});
+  EXPECT_EQ(graph.conflict_pair_count(), 3);
+}
+
+}  // namespace
+}  // namespace gepc

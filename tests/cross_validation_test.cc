@@ -1,0 +1,206 @@
+// Cross-validation between independent substrates: the LP solver, the
+// min-cost-flow solver, the GAP brute force, and the Shmoys-Tardos pipeline
+// must agree wherever their domains overlap. Catching a disagreement here
+// localizes bugs that single-module tests cannot see.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "flow/min_cost_flow.h"
+#include "gap/gap_lp.h"
+#include "gap/shmoys_tardos.h"
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+
+namespace gepc {
+namespace {
+
+// ---- Min-cost flow vs LP ------------------------------------------------
+
+/// Solves a min-cost-flow instance as an LP (flow conservation + capacity)
+/// and compares against MinCostFlow. The LP needs the target flow value, so
+/// we first compute max flow with the solver and then fix it.
+TEST(CrossValidationTest, MinCostFlowMatchesLpFormulation) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 5;
+    struct EdgeSpec {
+      int from, to;
+      int64_t cap;
+      double cost;
+    };
+    std::vector<EdgeSpec> specs;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (rng.Bernoulli(0.5)) {
+          specs.push_back({u, v, static_cast<int64_t>(rng.UniformInt(1, 4)),
+                           rng.UniformDouble(0.0, 3.0)});
+        }
+      }
+    }
+    MinCostFlow flow(n);
+    for (const auto& e : specs) flow.AddEdge(e.from, e.to, e.cap, e.cost);
+    auto result = flow.Solve(0, n - 1);
+    ASSERT_TRUE(result.ok());
+    if (result->flow == 0) continue;
+
+    // LP: variables f_e in [0, cap]; conservation at internal nodes;
+    // net outflow at source = flow value; minimize total cost.
+    LinearProgram lp(LinearProgram::Sense::kMinimize,
+                     static_cast<int>(specs.size()));
+    for (size_t e = 0; e < specs.size(); ++e) {
+      lp.set_objective(static_cast<int>(e), specs[e].cost);
+      lp.AddConstraint({{static_cast<int>(e), 1.0}}, Relation::kLessEqual,
+                       static_cast<double>(specs[e].cap));
+    }
+    for (int v = 1; v < n - 1; ++v) {
+      std::vector<std::pair<int, double>> terms;
+      for (size_t e = 0; e < specs.size(); ++e) {
+        if (specs[e].from == v) terms.emplace_back(static_cast<int>(e), 1.0);
+        if (specs[e].to == v) terms.emplace_back(static_cast<int>(e), -1.0);
+      }
+      if (!terms.empty()) {
+        lp.AddConstraint(std::move(terms), Relation::kEqual, 0.0);
+      }
+    }
+    std::vector<std::pair<int, double>> source_terms;
+    for (size_t e = 0; e < specs.size(); ++e) {
+      if (specs[e].from == 0) {
+        source_terms.emplace_back(static_cast<int>(e), 1.0);
+      }
+      if (specs[e].to == 0) {
+        source_terms.emplace_back(static_cast<int>(e), -1.0);
+      }
+    }
+    lp.AddConstraint(std::move(source_terms), Relation::kEqual,
+                     static_cast<double>(result->flow));
+    auto lp_solution = SolveLp(lp);
+    ASSERT_TRUE(lp_solution.ok()) << "trial " << trial << ": "
+                                  << lp_solution.status();
+    EXPECT_NEAR(lp_solution->objective_value, result->cost, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+// ---- GAP: brute force vs LP vs Shmoys-Tardos ----------------------------
+
+/// Exhaustive integral GAP optimum for tiny instances.
+double BruteForceGapCost(const GapInstance& gap) {
+  const int n = gap.num_machines();
+  const int m = gap.num_jobs();
+  std::vector<int> assignment(static_cast<size_t>(m), 0);
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> load(static_cast<size_t>(n));
+  while (true) {
+    std::fill(load.begin(), load.end(), 0.0);
+    double cost = 0.0;
+    bool feasible = true;
+    for (int j = 0; j < m && feasible; ++j) {
+      const int i = assignment[static_cast<size_t>(j)];
+      if (!gap.Eligible(i, j)) {
+        feasible = false;
+        break;
+      }
+      load[static_cast<size_t>(i)] += gap.processing(i, j);
+      if (load[static_cast<size_t>(i)] > gap.capacity(i) + 1e-12) {
+        feasible = false;
+      }
+      cost += gap.cost(i, j);
+    }
+    if (feasible) best = std::min(best, cost);
+    int k = 0;
+    while (k < m && ++assignment[static_cast<size_t>(k)] == n) {
+      assignment[static_cast<size_t>(k)] = 0;
+      ++k;
+    }
+    if (k == m) break;
+  }
+  return best;
+}
+
+TEST(CrossValidationTest, GapLpLowerBoundsBruteForceAndRoundingHonorsIt) {
+  Rng rng(23);
+  int checked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int machines = 3;
+    const int jobs = 2 + static_cast<int>(rng.UniformUint64(4));
+    GapInstance gap(machines, jobs);
+    for (int i = 0; i < machines; ++i) {
+      gap.set_capacity(i, rng.UniformDouble(6.0, 12.0));
+    }
+    for (int j = 0; j < jobs; ++j) {
+      for (int i = 0; i < machines; ++i) {
+        gap.SetPair(i, j, rng.UniformDouble(1.0, 6.0),
+                    rng.UniformDouble(0.0, 1.0));
+      }
+    }
+    if (!gap.Validate().ok()) continue;
+    const double brute = BruteForceGapCost(gap);
+
+    auto frac = SolveGapLpSimplex(gap);
+    if (!frac.ok()) {
+      // LP infeasible implies the integral problem is infeasible too.
+      EXPECT_TRUE(std::isinf(brute)) << "trial " << trial;
+      continue;
+    }
+    ++checked;
+    if (!std::isinf(brute)) {
+      // LP relaxation lower-bounds the integral optimum.
+      EXPECT_LE(frac->TotalCost(gap), brute + 1e-6) << "trial " << trial;
+    }
+    auto rounded = RoundFractional(gap, *frac);
+    ASSERT_TRUE(rounded.ok());
+    // Rounding never exceeds the fractional cost (Shmoys-Tardos property),
+    // hence also never exceeds the integral optimum.
+    EXPECT_LE(rounded->TotalCost(gap), frac->TotalCost(gap) + 1e-6)
+        << "trial " << trial;
+    if (!std::isinf(brute)) {
+      EXPECT_LE(rounded->TotalCost(gap), brute + 1e-6) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+// ---- MWU vs simplex on the same relaxation ------------------------------
+
+TEST(CrossValidationTest, MwuCostApproachesSimplexCost) {
+  Rng rng(29);
+  double simplex_total = 0.0;
+  double mwu_total = 0.0;
+  int rounds = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const int machines = 4;
+    const int jobs = 10;
+    GapInstance gap(machines, jobs);
+    for (int i = 0; i < machines; ++i) {
+      gap.set_capacity(i, rng.UniformDouble(20.0, 30.0));
+    }
+    for (int j = 0; j < jobs; ++j) {
+      for (int i = 0; i < machines; ++i) {
+        gap.SetPair(i, j, rng.UniformDouble(1.0, 5.0),
+                    rng.UniformDouble(0.0, 1.0));
+      }
+    }
+    auto exact = SolveGapLpSimplex(gap);
+    auto approx = SolveGapLpMwu(gap);
+    if (!exact.ok() || !approx.ok()) continue;
+    simplex_total += exact->TotalCost(gap);
+    mwu_total += approx->TotalCost(gap);
+    ++rounds;
+  }
+  ASSERT_GT(rounds, 0);
+  // MWU is approximate in both directions: it can exceed the LP cost, and
+  // because its loads may overshoot T_i it can also dip below it. On these
+  // loosely-capacitated instances it must land in a tight band around the
+  // exact LP cost.
+  EXPECT_LE(mwu_total, 1.25 * simplex_total + 1e-9);
+  EXPECT_GE(mwu_total, 0.75 * simplex_total - 1e-9);
+}
+
+}  // namespace
+}  // namespace gepc

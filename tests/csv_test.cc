@@ -1,0 +1,59 @@
+#include "benchutil/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace gepc {
+namespace {
+
+TEST(CsvTest, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.ToString(), "a,b\n");
+  EXPECT_EQ(csv.num_rows(), 0);
+}
+
+TEST(CsvTest, PlainRows) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"3", "4"});
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(csv.num_rows(), 2);
+}
+
+TEST(CsvTest, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvTest, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::Escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape(""), "");
+}
+
+TEST(CsvTest, RoundTripToFile) {
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"name", "has,comma"});
+  const std::string path = ::testing::TempDir() + "/gepc_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\nname,\"has,comma\"\n");
+}
+
+TEST(CsvTest, BadPathFails) {
+  CsvWriter csv({"a"});
+  EXPECT_EQ(csv.WriteToFile("/nonexistent/dir/file.csv").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,93 @@
+#include "iep/eta_decrease.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(EtaDecreaseTest, NoOpWhenAttendanceFits) {
+  // Example 6 part 1: eta_4 5 -> 4 changes nothing (only 2 attendees).
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE4, 1, 4).ok());
+  const Plan before = MakePaperPlan();
+  const IepResult result = ApplyEtaDecrease(instance, before, kE4);
+  EXPECT_EQ(result.negative_impact, 0);
+  EXPECT_TRUE(result.plan == before);
+}
+
+TEST(EtaDecreaseTest, PaperExample6) {
+  // eta_4 5 -> 1: u4 (mu 0.6 < u5's 0.7) loses e4 and picks up e2; dif 1.
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE4, 1, 1).ok());
+  const Plan before = MakePaperPlan();
+  const IepResult result = ApplyEtaDecrease(instance, before, kE4);
+  EXPECT_EQ(result.negative_impact, 1);
+  EXPECT_EQ(NegativeImpact(before, result.plan), 1);
+  EXPECT_FALSE(result.plan.Contains(3, kE4));
+  EXPECT_TRUE(result.plan.Contains(4, kE4));  // higher-utility user kept
+  EXPECT_TRUE(result.plan.Contains(3, kE2));  // re-offer found e2
+  EXPECT_EQ(result.added_by_topup, 1);
+  EXPECT_TRUE(ValidatePlan(instance, result.plan).ok());
+}
+
+TEST(EtaDecreaseTest, RemovesLowestUtilityAttendeesFirst) {
+  // e3 has u2 (0.8), u3 (0.9), u4 (0.8) in the paper plan... make the
+  // ordering unambiguous, then cap eta at 1.
+  Instance instance = MakePaperInstance();
+  instance.set_utility(1, kE3, 0.5);   // u2 now clearly lowest
+  instance.set_utility(3, kE3, 0.75);  // u4 middle
+  ASSERT_TRUE(instance.set_event_bounds(kE3, 0, 1).ok());
+  const Plan before = MakePaperPlan();
+  const IepResult result = ApplyEtaDecrease(instance, before, kE3);
+  EXPECT_EQ(result.negative_impact, 2);
+  EXPECT_TRUE(result.plan.Contains(2, kE3));   // u3 (0.9) stays
+  EXPECT_FALSE(result.plan.Contains(1, kE3));
+  EXPECT_FALSE(result.plan.Contains(3, kE3));
+}
+
+TEST(EtaDecreaseTest, DifEqualsAttendanceMinusNewEta) {
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE2, 0, 1).ok());
+  const Plan before = MakePaperPlan();  // e2 has 3 attendees
+  const IepResult result = ApplyEtaDecrease(instance, before, kE2);
+  EXPECT_EQ(result.negative_impact, 2);
+}
+
+TEST(EtaDecreaseTest, UtilityAccountingIsConsistent) {
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE4, 1, 1).ok());
+  const IepResult result = ApplyEtaDecrease(instance, MakePaperPlan(), kE4);
+  EXPECT_NEAR(result.total_utility, result.plan.TotalUtility(instance),
+              1e-12);
+}
+
+TEST(EtaDecreaseTest, ResultSatisfiesUserConstraints) {
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE3, 0, 1).ok());
+  const IepResult result = ApplyEtaDecrease(instance, MakePaperPlan(), kE3);
+  ValidationOptions options;
+  options.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, result.plan, options).ok());
+}
+
+TEST(EtaDecreaseTest, EtaZeroEvictsEveryone) {
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE2, 0, 0).ok());
+  const Plan before = MakePaperPlan();
+  const IepResult result = ApplyEtaDecrease(instance, before, kE2);
+  EXPECT_EQ(result.plan.attendance(kE2), 0);
+  EXPECT_EQ(result.negative_impact, 3);
+}
+
+}  // namespace
+}  // namespace gepc

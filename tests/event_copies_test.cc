@@ -1,0 +1,141 @@
+#include "gepc/event_copies.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+
+TEST(CopyMapTest, CountsMatchLowerBounds) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  // xi = 1, 2, 3, 1 -> m+ = 7.
+  EXPECT_EQ(copies.num_copies(), 7);
+  EXPECT_EQ(copies.copies_of(kE1).size(), 1u);
+  EXPECT_EQ(copies.copies_of(kE2).size(), 2u);
+  EXPECT_EQ(copies.copies_of(kE3).size(), 3u);
+  EXPECT_EQ(copies.copies_of(kE4).size(), 1u);
+}
+
+TEST(CopyMapTest, EventOfInvertsCopiesOf) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  for (int j = 0; j < instance.num_events(); ++j) {
+    for (int copy : copies.copies_of(j)) {
+      EXPECT_EQ(copies.event_of(copy), j);
+    }
+  }
+}
+
+TEST(CopyMapTest, ZeroLowerBoundEventHasNoCopies) {
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE1, 0, 3).ok());
+  const CopyMap copies(instance);
+  EXPECT_TRUE(copies.copies_of(kE1).empty());
+  EXPECT_EQ(copies.num_copies(), 6);
+}
+
+TEST(CopyMapTest, SameEventCopiesConflict) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  const auto& e3_copies = copies.copies_of(kE3);
+  EXPECT_TRUE(copies.CopiesConflict(instance, e3_copies[0], e3_copies[1]));
+}
+
+TEST(CopyMapTest, CrossEventConflictFollowsTimeRelation) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  const int c1 = copies.copies_of(kE1)[0];
+  const int c3 = copies.copies_of(kE3)[0];
+  const int c2 = copies.copies_of(kE2)[0];
+  EXPECT_TRUE(copies.CopiesConflict(instance, c1, c3));   // e1/e3 overlap
+  EXPECT_FALSE(copies.CopiesConflict(instance, c1, c2));  // e1 then e2 fine
+}
+
+TEST(CopyPlanTest, AssignUnassignRoundTrip) {
+  CopyPlan plan(3, 5);
+  EXPECT_EQ(plan.UnassignedCopies(), 5);
+  plan.Assign(1, 2);
+  EXPECT_EQ(plan.user_of_copy[2], 1);
+  EXPECT_EQ(plan.copies_of_user[1], (std::vector<int>{2}));
+  EXPECT_EQ(plan.UnassignedCopies(), 4);
+  plan.Unassign(2);
+  EXPECT_EQ(plan.user_of_copy[2], -1);
+  EXPECT_TRUE(plan.copies_of_user[1].empty());
+}
+
+TEST(CopyPlanTest, UnassignMissingIsNoop) {
+  CopyPlan plan(2, 2);
+  plan.Unassign(0);
+  EXPECT_EQ(plan.UnassignedCopies(), 2);
+}
+
+TEST(CollapseToPlanTest, MapsCopiesToEvents) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan copy_plan(5, copies.num_copies());
+  copy_plan.Assign(0, copies.copies_of(kE1)[0]);
+  copy_plan.Assign(1, copies.copies_of(kE3)[0]);
+  copy_plan.Assign(2, copies.copies_of(kE3)[1]);
+  const Plan plan = CollapseToPlan(instance, copies, copy_plan);
+  EXPECT_TRUE(plan.Contains(0, kE1));
+  EXPECT_TRUE(plan.Contains(1, kE3));
+  EXPECT_TRUE(plan.Contains(2, kE3));
+  EXPECT_EQ(plan.attendance(kE3), 2);
+}
+
+TEST(CollapseToPlanTest, DuplicateCopiesOfOneEventMerge) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan copy_plan(5, copies.num_copies());
+  copy_plan.Assign(0, copies.copies_of(kE3)[0]);
+  copy_plan.Assign(0, copies.copies_of(kE3)[1]);  // defensive: same event
+  const Plan plan = CollapseToPlan(instance, copies, copy_plan);
+  EXPECT_EQ(plan.attendance(kE3), 1);
+  EXPECT_EQ(plan.events_of(0).size(), 1u);
+}
+
+TEST(CopyTourCostTest, MatchesEventTour) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  const std::vector<int> held = {copies.copies_of(kE1)[0]};
+  EXPECT_NEAR(CopyTourCost(instance, copies, 0, held,
+                           copies.copies_of(kE2)[0]),
+              std::sqrt(17.0) + std::sqrt(41.0) + 6.0, 1e-9);
+}
+
+TEST(CanHoldCopyTest, RejectsConflictBudgetAndZeroUtility) {
+  Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  CopyPlan plan(5, copies.num_copies());
+  plan.Assign(0, copies.copies_of(kE3)[0]);
+  // Conflict with held e3 copy.
+  EXPECT_FALSE(
+      CanHoldCopy(instance, copies, plan, 0, copies.copies_of(kE1)[0]));
+  // Same event's second copy conflicts too.
+  EXPECT_FALSE(
+      CanHoldCopy(instance, copies, plan, 0, copies.copies_of(kE3)[1]));
+  // u5 cannot afford e1 (budget).
+  CopyPlan u5_plan(5, copies.num_copies());
+  u5_plan.Assign(4, copies.copies_of(kE4)[0]);
+  EXPECT_FALSE(
+      CanHoldCopy(instance, copies, u5_plan, 4, copies.copies_of(kE1)[0]));
+  // Zero utility blocks.
+  instance.set_utility(1, kE2, 0.0);
+  CopyPlan empty(5, copies.num_copies());
+  EXPECT_FALSE(
+      CanHoldCopy(instance, copies, empty, 1, copies.copies_of(kE2)[0]));
+  // And a plain feasible case passes.
+  EXPECT_TRUE(
+      CanHoldCopy(instance, copies, empty, 1, copies.copies_of(kE3)[0]));
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,141 @@
+#include "gap/exact_gap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gap/gap_lp.h"
+#include "gap/shmoys_tardos.h"
+
+namespace gepc {
+namespace {
+
+GapInstance TinyRandomGap(Rng* rng, int machines, int jobs,
+                          double tightness = 2.0) {
+  GapInstance gap(machines, jobs);
+  for (int i = 0; i < machines; ++i) {
+    gap.set_capacity(i, rng->UniformDouble(5.0, 10.0) * tightness);
+  }
+  for (int j = 0; j < jobs; ++j) {
+    for (int i = 0; i < machines; ++i) {
+      if (rng->Bernoulli(0.2)) continue;
+      gap.SetPair(i, j, rng->UniformDouble(1.0, 7.0),
+                  rng->UniformDouble(0.0, 1.0));
+    }
+  }
+  return gap;
+}
+
+TEST(ExactGapTest, SingleJobPicksCheapestFeasibleMachine) {
+  GapInstance gap(3, 1);
+  gap.set_capacity(0, 1.0);   // too small
+  gap.set_capacity(1, 10.0);
+  gap.set_capacity(2, 10.0);
+  gap.SetPair(0, 0, 5.0, 0.0);
+  gap.SetPair(1, 0, 5.0, 0.7);
+  gap.SetPair(2, 0, 5.0, 0.3);
+  auto result = SolveGapExact(gap);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_EQ(result->assignment.machine_of_job[0], 2);
+  EXPECT_DOUBLE_EQ(result->total_cost, 0.3);
+}
+
+TEST(ExactGapTest, CapacityForcesExpensiveSplit) {
+  // Both jobs prefer machine 0 (cost 0) but it fits only one.
+  GapInstance gap(2, 2);
+  gap.set_capacity(0, 4.0);
+  gap.set_capacity(1, 10.0);
+  for (int j = 0; j < 2; ++j) {
+    gap.SetPair(0, j, 4.0, 0.0);
+    gap.SetPair(1, j, 4.0, 1.0);
+  }
+  auto result = SolveGapExact(gap);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_DOUBLE_EQ(result->total_cost, 1.0);
+  const auto loads = result->assignment.Loads(gap);
+  EXPECT_LE(loads[0], 4.0 + 1e-12);
+}
+
+TEST(ExactGapTest, DetectsCapacityInfeasibility) {
+  GapInstance gap(1, 2);
+  gap.set_capacity(0, 5.0);
+  gap.SetPair(0, 0, 4.0, 0.1);
+  gap.SetPair(0, 1, 4.0, 0.1);  // both eligible alone, not together
+  auto result = SolveGapExact(gap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+}
+
+TEST(ExactGapTest, RejectsOversizedInstances) {
+  GapInstance gap(2, 30);
+  ExactGapOptions options;
+  options.max_jobs = 10;
+  EXPECT_EQ(SolveGapExact(gap, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactGapTest, NodeBudgetAborts) {
+  Rng rng(5);
+  const GapInstance gap = TinyRandomGap(&rng, 4, 10);
+  ExactGapOptions options;
+  options.max_nodes = 2;
+  auto result = SolveGapExact(gap, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExactGapTest, LpLowerBoundsExactOptimum) {
+  Rng rng(11);
+  int rounds = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const GapInstance gap = TinyRandomGap(&rng, 3, 7);
+    if (!gap.Validate().ok()) continue;
+    auto exact = SolveGapExact(gap);
+    ASSERT_TRUE(exact.ok());
+    auto lp = SolveGapLpSimplex(gap);
+    if (!exact->feasible) {
+      // LP may still be feasible (fractional splits), but if the LP is
+      // infeasible the integral problem must be too — nothing to check.
+      continue;
+    }
+    ASSERT_TRUE(lp.ok()) << lp.status();
+    EXPECT_LE(lp->TotalCost(gap), exact->total_cost + 1e-6)
+        << "trial " << trial;
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 3);
+}
+
+TEST(ExactGapTest, ShmoysTardosCostNeverExceedsExact) {
+  // ST rounding cost <= LP cost <= exact optimum's cost.
+  Rng rng(13);
+  int rounds = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const GapInstance gap = TinyRandomGap(&rng, 3, 8, /*tightness=*/3.0);
+    if (!gap.Validate().ok()) continue;
+    auto exact = SolveGapExact(gap);
+    ASSERT_TRUE(exact.ok());
+    if (!exact->feasible) continue;
+    auto st = SolveGapShmoysTardos(gap);
+    if (!st.ok()) continue;
+    EXPECT_LE(st->TotalCost(gap), exact->total_cost + 1e-6)
+        << "trial " << trial;
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 3);
+}
+
+TEST(ExactGapTest, ExplorationIsBounded) {
+  Rng rng(17);
+  const GapInstance gap = TinyRandomGap(&rng, 3, 8);
+  auto result = SolveGapExact(gap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->explored_nodes, 0);
+  EXPECT_LT(result->explored_nodes, 100000);  // pruning must bite
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,129 @@
+#include "gepc/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(ExactTest, FindsFeasibleOptimumOnPaperInstance) {
+  const Instance instance = MakePaperInstance();
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->feasible);
+  EXPECT_TRUE(ValidatePlan(instance, result->plan).ok());
+  // The Table I plan scores 6.3, so the optimum is at least that.
+  EXPECT_GE(result->total_utility, 6.3 - 1e-9);
+  EXPECT_DOUBLE_EQ(result->total_utility,
+                   result->plan.TotalUtility(instance));
+}
+
+TEST(ExactTest, SingleUserSingleEvent) {
+  std::vector<User> users = {{{0, 0}, 10.0}};
+  std::vector<Event> events = {{{1, 0}, 1, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.5);
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  EXPECT_NEAR(result->total_utility, 0.5, 1e-12);
+  EXPECT_TRUE(result->plan.Contains(0, 0));
+}
+
+TEST(ExactTest, DetectsInfeasibleLowerBound) {
+  // One user, two simultaneous events each demanding one attendee.
+  std::vector<User> users = {{{0, 0}, 10.0}};
+  std::vector<Event> events = {{{1, 0}, 1, 1, {0, 10}},
+                               {{0, 1}, 1, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.5);
+  instance.set_utility(0, 1, 0.5);
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+}
+
+TEST(ExactTest, BudgetForcesChoice) {
+  // Two distant conflict-free events; budget covers only one round trip.
+  std::vector<User> users = {{{0, 0}, 25.0}};
+  std::vector<Event> events = {{{10, 0}, 0, 1, {0, 10}},
+                               {{-10, 0}, 0, 1, {20, 30}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.4);
+  instance.set_utility(0, 1, 0.9);
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  // Attending both costs 10 + 20 + 10 = 40 > 25; pick the better one.
+  EXPECT_NEAR(result->total_utility, 0.9, 1e-12);
+  EXPECT_TRUE(result->plan.Contains(0, 1));
+}
+
+TEST(ExactTest, TimeConflictForcesChoice) {
+  std::vector<User> users = {{{0, 0}, 100.0}};
+  std::vector<Event> events = {{{1, 0}, 0, 1, {0, 10}},
+                               {{0, 1}, 0, 1, {5, 15}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.8);
+  instance.set_utility(0, 1, 0.3);
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_utility, 0.8, 1e-12);
+}
+
+TEST(ExactTest, UpperBoundSharesUsers) {
+  // Two users, one event with capacity 1: only the better match attends.
+  std::vector<User> users = {{{0, 0}, 10.0}, {{0, 0}, 10.0}};
+  std::vector<Event> events = {{{1, 0}, 0, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.3);
+  instance.set_utility(1, 0, 0.9);
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_utility, 0.9, 1e-12);
+  EXPECT_TRUE(result->plan.Contains(1, 0));
+  EXPECT_FALSE(result->plan.Contains(0, 0));
+}
+
+TEST(ExactTest, LowerBoundOverridesUtilityPreference) {
+  // The event with xi = 2 must get both users even though one of them
+  // would individually prefer the other event.
+  std::vector<User> users = {{{0, 0}, 100.0}, {{0, 0}, 100.0}};
+  std::vector<Event> events = {{{1, 0}, 2, 2, {0, 10}},
+                               {{0, 1}, 0, 2, {5, 15}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.2);
+  instance.set_utility(0, 1, 0.9);
+  instance.set_utility(1, 0, 0.2);
+  instance.set_utility(1, 1, 0.9);
+  auto result = SolveGepcExact(instance);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_EQ(result->plan.attendance(0), 2);
+  EXPECT_NEAR(result->total_utility, 0.4, 1e-12);
+}
+
+TEST(ExactTest, RejectsOversizedInstances) {
+  auto oversized = MakePaperInstance();
+  ExactOptions options;
+  options.max_users = 2;
+  EXPECT_EQ(SolveGepcExact(oversized, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactTest, NodeBudgetAborts) {
+  const Instance instance = MakePaperInstance();
+  ExactOptions options;
+  options.max_nodes = 3;
+  auto result = SolveGepcExact(instance, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace gepc

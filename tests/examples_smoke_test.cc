@@ -1,0 +1,51 @@
+// Smoke tests: every example application must run to completion with exit
+// code 0 on small arguments (paths injected by CMake). Guards the examples
+// against bit-rot as the library evolves.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace gepc {
+namespace {
+
+int RunExample(const std::string& command) {
+  const int status = std::system((command + " > /dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(ExamplesSmokeTest, Quickstart) {
+  EXPECT_EQ(RunExample(GEPC_EXAMPLE_QUICKSTART), 0);
+}
+
+TEST(ExamplesSmokeTest, CityPlanner) {
+  EXPECT_EQ(RunExample(std::string(GEPC_EXAMPLE_CITY_PLANNER) +
+                       " Beijing 0.5"),
+            0);
+}
+
+TEST(ExamplesSmokeTest, CityPlannerRejectsUnknownCity) {
+  EXPECT_NE(RunExample(std::string(GEPC_EXAMPLE_CITY_PLANNER) + " Atlantis"),
+            0);
+}
+
+TEST(ExamplesSmokeTest, IncrementalDay) {
+  EXPECT_EQ(RunExample(std::string(GEPC_EXAMPLE_INCREMENTAL_DAY) + " 3"), 0);
+}
+
+TEST(ExamplesSmokeTest, OrganizerWhatif) {
+  EXPECT_EQ(RunExample(GEPC_EXAMPLE_ORGANIZER_WHATIF), 0);
+}
+
+TEST(ExamplesSmokeTest, WeekSimulation) {
+  EXPECT_EQ(RunExample(std::string(GEPC_EXAMPLE_WEEK_SIMULATION) + " 2 5"),
+            0);
+}
+
+TEST(ExamplesSmokeTest, TicketedFestival) {
+  EXPECT_EQ(RunExample(GEPC_EXAMPLE_TICKETED_FESTIVAL), 0);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,171 @@
+#include "core/feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(TourCostTest, EmptyPlanCostsNothing) {
+  const Instance instance = MakePaperInstance();
+  EXPECT_DOUBLE_EQ(TourCost(instance, 0, {}), 0.0);
+}
+
+TEST(TourCostTest, SingleEventIsRoundTrip) {
+  const Instance instance = MakePaperInstance();
+  EXPECT_NEAR(TourCost(instance, 0, {kE1}), 2.0 * std::sqrt(17.0), 1e-12);
+}
+
+TEST(TourCostTest, PaperD1Value) {
+  // Sec. II: D_1 = 16.53 for plan {e1, e2}.
+  const Instance instance = MakePaperInstance();
+  EXPECT_NEAR(TourCost(instance, 0, {kE1, kE2}),
+              std::sqrt(17.0) + std::sqrt(41.0) + 6.0, 1e-12);
+  EXPECT_NEAR(TourCost(instance, 0, {kE1, kE2}), 16.53, 0.005);
+}
+
+TEST(TourCostTest, OrderIsByStartTimeNotArgumentOrder) {
+  const Instance instance = MakePaperInstance();
+  EXPECT_DOUBLE_EQ(TourCost(instance, 0, {kE2, kE1}),
+                   TourCost(instance, 0, {kE1, kE2}));
+}
+
+TEST(TourCostTest, InsertionNeverShortensTour) {
+  const Instance instance = MakePaperInstance();
+  for (int i = 0; i < instance.num_users(); ++i) {
+    const double base = TourCost(instance, i, {kE3});
+    const double more = TourCost(instance, i, {kE3, kE2});
+    EXPECT_GE(more + 1e-12, base);
+  }
+}
+
+TEST(TourCostTest, UserTravelCostReadsPlan) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  EXPECT_NEAR(UserTravelCost(instance, plan, 0), 16.53, 0.005);
+  EXPECT_DOUBLE_EQ(UserTravelCost(instance, Plan(5, 4), 0), 0.0);
+}
+
+TEST(HasTimeConflictTest, DetectsPairs) {
+  const Instance instance = MakePaperInstance();
+  EXPECT_TRUE(HasTimeConflict(instance, {kE1, kE3}));
+  EXPECT_TRUE(HasTimeConflict(instance, {kE2, kE4}));
+  EXPECT_TRUE(HasTimeConflict(instance, {kE1, kE2, kE4}));  // e2/e4 touch
+  EXPECT_FALSE(HasTimeConflict(instance, {kE1, kE2}));
+  EXPECT_FALSE(HasTimeConflict(instance, {kE3, kE4}));
+  EXPECT_FALSE(HasTimeConflict(instance, {}));
+}
+
+TEST(ConflictsWithPlanTest, ChecksAgainstHeldEvents) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(0, kE3);
+  EXPECT_TRUE(ConflictsWithPlan(instance, plan, 0, kE1));
+  EXPECT_FALSE(ConflictsWithPlan(instance, plan, 0, kE2));
+}
+
+TEST(ValidatePlanTest, PaperPlanIsFeasible) {
+  EXPECT_TRUE(
+      ValidatePlan(MakePaperInstance(), MakePaperPlan()).ok());
+}
+
+TEST(ValidatePlanTest, DimensionMismatchRejected) {
+  EXPECT_EQ(ValidatePlan(MakePaperInstance(), Plan(3, 4)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatePlanTest, DetectsTimeConflict) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(0, kE1);
+  plan.Add(0, kE3);
+  const Status status = ValidatePlan(instance, plan);
+  EXPECT_EQ(status.code(), StatusCode::kInfeasible);
+  EXPECT_NE(status.message().find("time-conflicting"), std::string::npos);
+}
+
+TEST(ValidatePlanTest, DetectsBudgetViolation) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(4, kE1);  // u5: round trip 2*sqrt(73) > 10
+  EXPECT_EQ(ValidatePlan(instance, plan).code(), StatusCode::kInfeasible);
+}
+
+TEST(ValidatePlanTest, DetectsUpperBoundViolation) {
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE4, 0, 1).ok());
+  Plan plan(5, 4);
+  plan.Add(3, kE4);
+  plan.Add(4, kE4);
+  EXPECT_EQ(ValidatePlan(instance, plan).code(), StatusCode::kInfeasible);
+}
+
+TEST(ValidatePlanTest, DetectsLowerBoundViolation) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan(5, 4);  // empty: every xi > 0 unmet
+  EXPECT_EQ(ValidatePlan(instance, plan).code(), StatusCode::kInfeasible);
+  ValidationOptions lenient;
+  lenient.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, plan, lenient).ok());
+}
+
+TEST(ValidatePlanTest, OptionalZeroUtilityCheck) {
+  Instance instance = MakePaperInstance();
+  instance.set_utility(4, kE4, 0.0);
+  Plan plan = MakePaperPlan();
+  ValidationOptions options;
+  options.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, plan, options).ok());
+  options.check_positive_utility = true;
+  EXPECT_EQ(ValidatePlan(instance, plan, options).code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(CanAttendTest, RespectsAllUserSideConstraints) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(1, kE3);
+  // Conflict with e3.
+  EXPECT_FALSE(CanAttend(instance, plan, 1, kE1));
+  // Already attending.
+  EXPECT_FALSE(CanAttend(instance, plan, 1, kE3));
+  // Fine: e2 after e3, tour 17.25 within u2's budget 20.
+  EXPECT_TRUE(CanAttend(instance, plan, 1, kE2));
+  // u1 (budget 18) cannot chain e3 -> e2 (tour ~23.1).
+  Plan plan_u1(5, 4);
+  plan_u1.Add(0, kE3);
+  EXPECT_FALSE(CanAttend(instance, plan_u1, 0, kE2));
+}
+
+TEST(CanAttendTest, RejectsOverBudget) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(4, kE4);
+  // u5 (budget 10) cannot also reach e1 (Example 4 / 8).
+  EXPECT_FALSE(CanAttend(instance, plan, 4, kE1));
+}
+
+TEST(CanAttendTest, RejectsZeroUtility) {
+  Instance instance = MakePaperInstance();
+  instance.set_utility(0, kE2, 0.0);
+  EXPECT_FALSE(CanAttend(instance, Plan(5, 4), 0, kE2));
+}
+
+TEST(TravelCostWithEventTest, MatchesTourCost) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(0, kE1);
+  EXPECT_DOUBLE_EQ(TravelCostWithEvent(instance, plan, 0, kE2),
+                   TourCost(instance, 0, {kE1, kE2}));
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,150 @@
+#include "flow/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace gepc {
+namespace {
+
+TEST(MinCostFlowTest, SingleEdge) {
+  MinCostFlow flow(2);
+  const int e = flow.AddEdge(0, 1, 5, 2.0);
+  auto result = flow.Solve(0, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->flow, 5);
+  EXPECT_DOUBLE_EQ(result->cost, 10.0);
+  EXPECT_EQ(flow.FlowOn(e), 5);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperParallelPath) {
+  MinCostFlow flow(4);
+  // Two disjoint paths 0->1->3 (cost 1+1) and 0->2->3 (cost 5+5), cap 1 each.
+  const int cheap_a = flow.AddEdge(0, 1, 1, 1.0);
+  flow.AddEdge(1, 3, 1, 1.0);
+  const int pricey_a = flow.AddEdge(0, 2, 1, 5.0);
+  flow.AddEdge(2, 3, 1, 5.0);
+  auto result = flow.Solve(0, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 2);
+  EXPECT_DOUBLE_EQ(result->cost, 12.0);
+  EXPECT_EQ(flow.FlowOn(cheap_a), 1);
+  EXPECT_EQ(flow.FlowOn(pricey_a), 1);
+}
+
+TEST(MinCostFlowTest, RespectsBottleneck) {
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 10, 0.0);
+  flow.AddEdge(1, 2, 3, 0.0);
+  auto result = flow.Solve(0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 3);
+}
+
+TEST(MinCostFlowTest, DisconnectedGraphHasZeroFlow) {
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 5, 1.0);
+  flow.AddEdge(2, 3, 5, 1.0);
+  auto result = flow.Solve(0, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 0);
+  EXPECT_DOUBLE_EQ(result->cost, 0.0);
+}
+
+TEST(MinCostFlowTest, HandlesNegativeEdgeCosts) {
+  MinCostFlow flow(3);
+  const int neg = flow.AddEdge(0, 1, 2, -3.0);
+  flow.AddEdge(1, 2, 2, 1.0);
+  auto result = flow.Solve(0, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->flow, 2);
+  EXPECT_DOUBLE_EQ(result->cost, -4.0);
+  EXPECT_EQ(flow.FlowOn(neg), 2);
+}
+
+TEST(MinCostFlowTest, ChoosesMinCostAmongMaxFlows) {
+  // Both paths reach flow 1, but 0->1->3 costs 2 and 0->2->3 costs 10;
+  // max-flow is 1 either way so the cheap one must carry it.
+  MinCostFlow flow(4);
+  const int cheap = flow.AddEdge(0, 1, 1, 1.0);
+  flow.AddEdge(1, 3, 1, 1.0);
+  const int pricey = flow.AddEdge(0, 2, 1, 5.0);
+  flow.AddEdge(2, 3, 1, 5.0);
+  flow.AddEdge(3, 3, 0, 0.0);  // harmless self-loop with zero capacity
+  MinCostFlow bounded(4);
+  const int b_cheap = bounded.AddEdge(0, 1, 1, 1.0);
+  bounded.AddEdge(1, 3, 1, 1.0);
+  bounded.AddEdge(0, 2, 1, 5.0);
+  bounded.AddEdge(2, 3, 1, 5.0);
+  // Restrict the sink so only one unit fits.
+  MinCostFlow tight(5);
+  const int t_cheap = tight.AddEdge(0, 1, 1, 1.0);
+  tight.AddEdge(1, 3, 1, 1.0);
+  const int t_pricey = tight.AddEdge(0, 2, 1, 5.0);
+  tight.AddEdge(2, 3, 1, 5.0);
+  tight.AddEdge(3, 4, 1, 0.0);
+  auto result = tight.Solve(0, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 1);
+  EXPECT_DOUBLE_EQ(result->cost, 2.0);
+  EXPECT_EQ(tight.FlowOn(t_cheap), 1);
+  EXPECT_EQ(tight.FlowOn(t_pricey), 0);
+  (void)cheap;
+  (void)pricey;
+  (void)b_cheap;
+}
+
+TEST(MinCostFlowTest, BadEndpointsRejected) {
+  MinCostFlow flow(2);
+  flow.AddEdge(0, 1, 1, 0.0);
+  EXPECT_EQ(flow.Solve(0, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(flow.Solve(-1, 1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(flow.Solve(0, 9).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinCostFlowTest, AssignmentProblemSolvedExactly) {
+  // 3x3 assignment, costs: worker w to task t. Known optimum = 5 (1+3+1).
+  const double costs[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 1}};
+  // Hungarian optimum: w0->t1 (1), w1->t0 (2), w2->t2 (1) -> total 4.
+  MinCostFlow flow(8);  // 0 source, 1-3 workers, 4-6 tasks, 7 sink
+  for (int w = 0; w < 3; ++w) flow.AddEdge(0, 1 + w, 1, 0.0);
+  std::vector<int> ids;
+  for (int w = 0; w < 3; ++w) {
+    for (int t = 0; t < 3; ++t) {
+      ids.push_back(flow.AddEdge(1 + w, 4 + t, 1, costs[w][t]));
+    }
+  }
+  for (int t = 0; t < 3; ++t) flow.AddEdge(4 + t, 7, 1, 0.0);
+  auto result = flow.Solve(0, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 3);
+  EXPECT_DOUBLE_EQ(result->cost, 4.0);
+}
+
+TEST(MinCostFlowTest, FlowConservationAtInternalNodes) {
+  MinCostFlow flow(5);
+  std::vector<int> ids;
+  ids.push_back(flow.AddEdge(0, 1, 4, 1.0));
+  ids.push_back(flow.AddEdge(0, 2, 4, 2.0));
+  ids.push_back(flow.AddEdge(1, 3, 3, 1.0));
+  ids.push_back(flow.AddEdge(2, 3, 3, 1.0));
+  ids.push_back(flow.AddEdge(1, 2, 2, 0.0));
+  ids.push_back(flow.AddEdge(3, 4, 5, 0.0));
+  auto result = flow.Solve(0, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 5);
+  // Node 1: in = edge0, out = edge2 + edge4.
+  EXPECT_EQ(flow.FlowOn(ids[0]), flow.FlowOn(ids[2]) + flow.FlowOn(ids[4]));
+  // Node 3: in = edge2 + edge3, out = edge5.
+  EXPECT_EQ(flow.FlowOn(ids[2]) + flow.FlowOn(ids[3]), flow.FlowOn(ids[5]));
+}
+
+TEST(MinCostFlowTest, ZeroCapacityEdgeCarriesNothing) {
+  MinCostFlow flow(2);
+  const int e = flow.AddEdge(0, 1, 0, -100.0);
+  auto result = flow.Solve(0, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 0);
+  EXPECT_EQ(flow.FlowOn(e), 0);
+}
+
+}  // namespace
+}  // namespace gepc

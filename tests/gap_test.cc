@@ -1,0 +1,299 @@
+#include "gap/shmoys_tardos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gap/gap_instance.h"
+#include "gap/gap_lp.h"
+
+namespace gepc {
+namespace {
+
+GapInstance MakeRandomGap(int machines, int jobs, Rng* rng,
+                          double tightness = 2.0) {
+  GapInstance gap(machines, jobs);
+  for (int i = 0; i < machines; ++i) {
+    gap.set_capacity(i, rng->UniformDouble(5.0, 15.0) * tightness);
+  }
+  for (int j = 0; j < jobs; ++j) {
+    for (int i = 0; i < machines; ++i) {
+      if (rng->Bernoulli(0.15)) continue;  // some ineligible pairs
+      gap.SetPair(i, j, rng->UniformDouble(1.0, 8.0),
+                  rng->UniformDouble(0.0, 1.0));
+    }
+  }
+  return gap;
+}
+
+TEST(GapInstanceTest, ValidateRequiresEligibleMachinePerJob) {
+  GapInstance gap(2, 1);
+  gap.set_capacity(0, 10.0);
+  gap.set_capacity(1, 10.0);
+  EXPECT_EQ(gap.Validate().code(), StatusCode::kInfeasible);
+  gap.SetPair(0, 0, 3.0, 0.5);
+  EXPECT_TRUE(gap.Validate().ok());
+}
+
+TEST(GapInstanceTest, EligibilityNeedsJobToFitAlone) {
+  GapInstance gap(1, 1);
+  gap.set_capacity(0, 2.0);
+  gap.SetPair(0, 0, 5.0, 0.1);  // does not fit
+  EXPECT_FALSE(gap.Eligible(0, 0));
+  EXPECT_EQ(gap.Validate().code(), StatusCode::kInfeasible);
+}
+
+TEST(GapInstanceTest, ValidateRejectsNegativeInputs) {
+  GapInstance gap(1, 1);
+  gap.set_capacity(0, -1.0);
+  gap.SetPair(0, 0, 1.0, 0.0);
+  EXPECT_EQ(gap.Validate().code(), StatusCode::kInvalidArgument);
+
+  GapInstance gap2(1, 1);
+  gap2.set_capacity(0, 5.0);
+  gap2.SetPair(0, 0, -1.0, 0.0);
+  EXPECT_EQ(gap2.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GapLpSimplexTest, TrivialSingleChoice) {
+  GapInstance gap(1, 2);
+  gap.set_capacity(0, 10.0);
+  gap.SetPair(0, 0, 3.0, 0.2);
+  gap.SetPair(0, 1, 4.0, 0.8);
+  auto frac = SolveGapLpSimplex(gap);
+  ASSERT_TRUE(frac.ok()) << frac.status();
+  ASSERT_EQ(frac->job_shares.size(), 2u);
+  for (const auto& shares : frac->job_shares) {
+    double total = 0.0;
+    for (const auto& s : shares) total += s.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-7);
+  }
+  EXPECT_NEAR(frac->TotalCost(gap), 1.0, 1e-7);
+}
+
+TEST(GapLpSimplexTest, PicksCheaperMachineWhenBothFit) {
+  GapInstance gap(2, 1);
+  gap.set_capacity(0, 10.0);
+  gap.set_capacity(1, 10.0);
+  gap.SetPair(0, 0, 3.0, 0.9);
+  gap.SetPair(1, 0, 3.0, 0.1);
+  auto frac = SolveGapLpSimplex(gap);
+  ASSERT_TRUE(frac.ok());
+  ASSERT_EQ(frac->job_shares[0].size(), 1u);
+  EXPECT_EQ(frac->job_shares[0][0].machine, 1);
+}
+
+TEST(GapLpSimplexTest, CapacityForcesSplit) {
+  // Machine 0 is cheap but only fits one job; two identical jobs.
+  GapInstance gap(2, 2);
+  gap.set_capacity(0, 4.0);
+  gap.set_capacity(1, 10.0);
+  for (int j = 0; j < 2; ++j) {
+    gap.SetPair(0, j, 4.0, 0.0);
+    gap.SetPair(1, j, 4.0, 1.0);
+  }
+  auto frac = SolveGapLpSimplex(gap);
+  ASSERT_TRUE(frac.ok());
+  // Fractional optimum: machine 0 carries exactly 1 job's worth of load.
+  const auto loads = frac->Loads(gap);
+  EXPECT_LE(loads[0], 4.0 + 1e-6);
+  EXPECT_NEAR(frac->TotalCost(gap), 1.0, 1e-6);
+}
+
+TEST(GapLpSimplexTest, LoadsRespectCapacities) {
+  Rng rng(7);
+  const GapInstance gap = MakeRandomGap(4, 10, &rng);
+  auto frac = SolveGapLpSimplex(gap);
+  ASSERT_TRUE(frac.ok()) << frac.status();
+  const auto loads = frac->Loads(gap);
+  for (int i = 0; i < gap.num_machines(); ++i) {
+    EXPECT_LE(loads[static_cast<size_t>(i)], gap.capacity(i) + 1e-6);
+  }
+}
+
+TEST(GapLpSimplexTest, CandidateCapFallsBackWhenInfeasible) {
+  // Job 0's only feasible machine is the expensive one (cheap one lacks
+  // capacity for both jobs); with cap 1 the restricted LP may cut it off.
+  GapInstance gap(2, 2);
+  gap.set_capacity(0, 4.0);
+  gap.set_capacity(1, 4.0);
+  gap.SetPair(0, 0, 4.0, 0.0);
+  gap.SetPair(1, 0, 4.0, 0.9);
+  gap.SetPair(0, 1, 4.0, 0.0);
+  gap.SetPair(1, 1, 4.0, 0.9);
+  GapLpOptions options;
+  options.max_candidates_per_job = 1;
+  auto frac = SolveGapLpSimplex(gap, options);
+  ASSERT_TRUE(frac.ok()) << frac.status();
+  double assigned = 0.0;
+  for (const auto& shares : frac->job_shares) {
+    for (const auto& s : shares) assigned += s.fraction;
+  }
+  EXPECT_NEAR(assigned, 2.0, 1e-6);
+}
+
+TEST(RoundFractionalTest, IntegralInputPassesThrough) {
+  GapInstance gap(2, 2);
+  gap.set_capacity(0, 10.0);
+  gap.set_capacity(1, 10.0);
+  for (int j = 0; j < 2; ++j) {
+    gap.SetPair(0, j, 1.0, 0.5);
+    gap.SetPair(1, j, 1.0, 0.5);
+  }
+  FractionalAssignment frac;
+  frac.job_shares = {{{0, 1.0}}, {{1, 1.0}}};
+  auto rounded = RoundFractional(gap, frac);
+  ASSERT_TRUE(rounded.ok());
+  EXPECT_EQ(rounded->machine_of_job, (std::vector<int>{0, 1}));
+}
+
+TEST(RoundFractionalTest, HalfSplitJobLandsSomewhere) {
+  GapInstance gap(2, 1);
+  gap.set_capacity(0, 10.0);
+  gap.set_capacity(1, 10.0);
+  gap.SetPair(0, 0, 1.0, 0.3);
+  gap.SetPair(1, 0, 1.0, 0.3);
+  FractionalAssignment frac;
+  frac.job_shares = {{{0, 0.5}, {1, 0.5}}};
+  auto rounded = RoundFractional(gap, frac);
+  ASSERT_TRUE(rounded.ok());
+  EXPECT_EQ(rounded->UnplacedJobs(), 0);
+}
+
+TEST(RoundFractionalTest, WrongJobCountRejected) {
+  GapInstance gap(1, 2);
+  gap.set_capacity(0, 10.0);
+  FractionalAssignment frac;
+  frac.job_shares = {{{0, 1.0}}};
+  EXPECT_EQ(RoundFractional(gap, frac).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RoundFractionalTest, BadMachineIndexRejected) {
+  GapInstance gap(1, 1);
+  gap.set_capacity(0, 10.0);
+  gap.SetPair(0, 0, 1.0, 0.0);
+  FractionalAssignment frac;
+  frac.job_shares = {{{7, 1.0}}};
+  EXPECT_EQ(RoundFractional(gap, frac).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- Shmoys-Tardos end-to-end property sweep ---------------------------
+
+class ShmoysTardosProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShmoysTardosProperty, AllJobsPlacedCostAndLoadBounded) {
+  Rng rng(GetParam());
+  const int machines = 3 + static_cast<int>(rng.UniformUint64(5));
+  const int jobs = 5 + static_cast<int>(rng.UniformUint64(15));
+  const GapInstance gap = MakeRandomGap(machines, jobs, &rng);
+  if (!gap.Validate().ok()) GTEST_SKIP() << "degenerate random instance";
+
+  auto frac = SolveGapLpSimplex(gap);
+  if (!frac.ok()) {
+    ASSERT_EQ(frac.status().code(), StatusCode::kInfeasible);
+    GTEST_SKIP() << "LP infeasible for this seed";
+  }
+  auto rounded = RoundFractional(gap, *frac);
+  ASSERT_TRUE(rounded.ok()) << rounded.status();
+
+  // (1) Every job is placed on an eligible machine.
+  EXPECT_EQ(rounded->UnplacedJobs(), 0);
+  for (int j = 0; j < jobs; ++j) {
+    const int machine = rounded->machine_of_job[static_cast<size_t>(j)];
+    ASSERT_GE(machine, 0);
+    EXPECT_TRUE(gap.Eligible(machine, j));
+  }
+
+  // (2) Cost does not exceed the fractional (= LP optimal) cost.
+  EXPECT_LE(rounded->TotalCost(gap), frac->TotalCost(gap) + 1e-6);
+
+  // (3) Shmoys-Tardos load guarantee: load_i <= T_i + max p_ij over the
+  //     jobs fractionally touching machine i.
+  const auto loads = rounded->Loads(gap);
+  for (int i = 0; i < machines; ++i) {
+    double max_p = 0.0;
+    for (int j = 0; j < jobs; ++j) {
+      for (const auto& share : frac->job_shares[static_cast<size_t>(j)]) {
+        if (share.machine == i) max_p = std::max(max_p, gap.processing(i, j));
+      }
+    }
+    EXPECT_LE(loads[static_cast<size_t>(i)],
+              gap.capacity(i) + max_p + 1e-6)
+        << "machine " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmoysTardosProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(SolveGapShmoysTardosTest, AutoEngineSolvesSmallInstance) {
+  Rng rng(21);
+  const GapInstance gap = MakeRandomGap(4, 12, &rng);
+  auto result = SolveGapShmoysTardos(gap);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->UnplacedJobs(), 0);
+}
+
+TEST(SolveGapMwuTest, ProducesNearFeasibleFractional) {
+  Rng rng(23);
+  const GapInstance gap = MakeRandomGap(5, 20, &rng, /*tightness=*/3.0);
+  auto frac = SolveGapLpMwu(gap);
+  ASSERT_TRUE(frac.ok()) << frac.status();
+  for (const auto& shares : frac->job_shares) {
+    double total = 0.0;
+    for (const auto& s : shares) total += s.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);  // every job fully assigned
+  }
+  // Loads may overshoot a bit, but not unboundedly.
+  const auto loads = frac->Loads(gap);
+  for (int i = 0; i < gap.num_machines(); ++i) {
+    EXPECT_LE(loads[static_cast<size_t>(i)], 3.0 * gap.capacity(i));
+  }
+}
+
+TEST(SolveGapMwuTest, RejectsBadOptions) {
+  GapInstance gap(1, 1);
+  gap.set_capacity(0, 10.0);
+  gap.SetPair(0, 0, 1.0, 0.0);
+  GapMwuOptions options;
+  options.iterations = 0;
+  EXPECT_EQ(SolveGapLpMwu(gap, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveGapGreedyTest, RespectsCapacities) {
+  Rng rng(31);
+  const GapInstance gap = MakeRandomGap(4, 15, &rng);
+  const GapAssignment assignment = SolveGapGreedy(gap);
+  const auto loads = assignment.Loads(gap);
+  for (int i = 0; i < gap.num_machines(); ++i) {
+    EXPECT_LE(loads[static_cast<size_t>(i)], gap.capacity(i) + 1e-9);
+  }
+}
+
+TEST(SolveGapShmoysTardosTest, CostBeatsOrMatchesGreedyOnAverage) {
+  Rng rng(37);
+  double st_total = 0.0;
+  double greedy_total = 0.0;
+  int rounds = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const GapInstance gap = MakeRandomGap(4, 12, &rng, /*tightness=*/3.0);
+    if (!gap.Validate().ok()) continue;
+    auto st = SolveGapShmoysTardos(gap);
+    if (!st.ok()) continue;
+    const GapAssignment greedy = SolveGapGreedy(gap);
+    if (greedy.UnplacedJobs() > 0 || st->UnplacedJobs() > 0) continue;
+    st_total += st->TotalCost(gap);
+    greedy_total += greedy.TotalCost(gap);
+    ++rounds;
+  }
+  ASSERT_GT(rounds, 0);
+  EXPECT_LE(st_total, greedy_total + 1e-6);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,245 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/cities.h"
+
+namespace gepc {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_users = 60;
+  config.num_events = 20;
+  config.mean_eta = 10.0;
+  config.mean_xi = 3.0;
+  config.seed = 1234;
+  return config;
+}
+
+TEST(GeneratorTest, ProducesRequestedDimensions) {
+  auto instance = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_users(), 60);
+  EXPECT_EQ(instance->num_events(), 20);
+}
+
+TEST(GeneratorTest, InstanceValidates) {
+  auto instance = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(instance->Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  auto a = GenerateInstance(SmallConfig());
+  auto b = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_users(), b->num_users());
+  for (int i = 0; i < a->num_users(); ++i) {
+    EXPECT_EQ(a->user(i).location, b->user(i).location);
+    EXPECT_DOUBLE_EQ(a->user(i).budget, b->user(i).budget);
+  }
+  for (int j = 0; j < a->num_events(); ++j) {
+    EXPECT_EQ(a->event(j).time, b->event(j).time);
+    EXPECT_EQ(a->event(j).lower_bound, b->event(j).lower_bound);
+  }
+  for (int i = 0; i < a->num_users(); ++i) {
+    for (int j = 0; j < a->num_events(); ++j) {
+      EXPECT_DOUBLE_EQ(a->utility(i, j), b->utility(i, j));
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config = SmallConfig();
+  auto a = GenerateInstance(config);
+  config.seed = 9999;
+  auto b = GenerateInstance(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_difference = false;
+  for (int i = 0; i < a->num_users() && !any_difference; ++i) {
+    if (!(a->user(i).location == b->user(i).location)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, LocationsInsideCity) {
+  GeneratorConfig config = SmallConfig();
+  config.city_width = 50;
+  config.city_height = 30;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < instance->num_users(); ++i) {
+    const Point& p = instance->user(i).location;
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 30.0);
+  }
+  for (int j = 0; j < instance->num_events(); ++j) {
+    const Point& p = instance->event(j).location;
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+  }
+}
+
+TEST(GeneratorTest, BudgetsInConfiguredBand) {
+  GeneratorConfig config = SmallConfig();
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const double diagonal =
+      std::sqrt(config.city_width * config.city_width +
+                config.city_height * config.city_height);
+  for (int i = 0; i < instance->num_users(); ++i) {
+    EXPECT_GE(instance->user(i).budget,
+              config.budget_min_fraction * diagonal - 1e-9);
+    EXPECT_LE(instance->user(i).budget,
+              config.budget_max_fraction * diagonal + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, BoundsAreConsistent) {
+  auto instance = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(instance.ok());
+  for (int j = 0; j < instance->num_events(); ++j) {
+    const Event& e = instance->event(j);
+    EXPECT_GE(e.lower_bound, 0);
+    EXPECT_LE(e.lower_bound, e.upper_bound);
+    EXPECT_TRUE(e.time.IsValid());
+  }
+}
+
+TEST(GeneratorTest, ConflictRatioNearTarget) {
+  GeneratorConfig config = SmallConfig();
+  config.num_events = 100;
+  config.conflict_ratio = 0.25;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_NEAR(instance->conflicts().ConflictRatio(), 0.25, 0.03);
+}
+
+TEST(GeneratorTest, ZeroConflictRatioMeansNoConflicts) {
+  GeneratorConfig config = SmallConfig();
+  config.conflict_ratio = 0.0;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->conflicts().conflict_pair_count(), 0);
+}
+
+TEST(GeneratorTest, FullConflictRatio) {
+  GeneratorConfig config = SmallConfig();
+  config.num_events = 30;
+  config.conflict_ratio = 1.0;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_NEAR(instance->conflicts().ConflictRatio(), 1.0, 0.05);
+}
+
+TEST(GeneratorTest, UtilitiesAreCosineBounded) {
+  auto instance = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(instance.ok());
+  for (int i = 0; i < instance->num_users(); ++i) {
+    for (int j = 0; j < instance->num_events(); ++j) {
+      EXPECT_GE(instance->utility(i, j), 0.0);
+      EXPECT_LE(instance->utility(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsBadConfig) {
+  GeneratorConfig config = SmallConfig();
+  config.num_users = 0;
+  EXPECT_EQ(GenerateInstance(config).status().code(),
+            StatusCode::kInvalidArgument);
+  config = SmallConfig();
+  config.conflict_ratio = 1.5;
+  EXPECT_EQ(GenerateInstance(config).status().code(),
+            StatusCode::kInvalidArgument);
+  config = SmallConfig();
+  config.mean_xi = 50.0;  // > mean_eta
+  config.mean_eta = 10.0;
+  EXPECT_EQ(GenerateInstance(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CutOutTest, KeepsRequestedSubsetSizes) {
+  auto base = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(base.ok());
+  Rng rng(77);
+  const Instance cut = CutOut(*base, 20, 10, &rng);
+  EXPECT_EQ(cut.num_users(), 20);
+  EXPECT_EQ(cut.num_events(), 10);
+  EXPECT_TRUE(cut.Validate().ok());
+}
+
+TEST(CutOutTest, ClampsOversizedRequests) {
+  auto base = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(base.ok());
+  Rng rng(78);
+  const Instance cut = CutOut(*base, 10000, 10000, &rng);
+  EXPECT_EQ(cut.num_users(), base->num_users());
+  EXPECT_EQ(cut.num_events(), base->num_events());
+}
+
+TEST(CutOutTest, UtilitiesComeFromBase) {
+  auto base = GenerateInstance(SmallConfig());
+  ASSERT_TRUE(base.ok());
+  Rng rng(79);
+  const Instance cut = CutOut(*base, 30, 15, &rng);
+  // Every (user, event) utility of the cut must appear in the base for some
+  // matching user/event pair — check via location identity.
+  for (int i = 0; i < cut.num_users(); ++i) {
+    bool matched = false;
+    for (int bi = 0; bi < base->num_users(); ++bi) {
+      if (base->user(bi).location == cut.user(i).location &&
+          base->user(bi).budget == cut.user(i).budget) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "cut user " << i << " not found in base";
+  }
+}
+
+TEST(CityPresetTest, FourPaperCities) {
+  const auto& cities = PaperCities();
+  ASSERT_EQ(cities.size(), 4u);
+  EXPECT_EQ(cities[0].name, "Beijing");
+  EXPECT_EQ(cities[0].num_users, 113);
+  EXPECT_EQ(cities[0].num_events, 16);
+  EXPECT_EQ(cities[1].name, "Vancouver");
+  EXPECT_EQ(cities[1].num_users, 2012);
+  EXPECT_EQ(cities[1].num_events, 225);
+  for (const auto& city : cities) {
+    EXPECT_DOUBLE_EQ(city.mean_xi, 10.0);
+    EXPECT_DOUBLE_EQ(city.mean_eta, 50.0);
+    EXPECT_DOUBLE_EQ(city.conflict_ratio, 0.25);
+  }
+}
+
+TEST(CityPresetTest, FindCity) {
+  auto city = FindCity("Auckland");
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(city->num_users, 569);
+  EXPECT_EQ(FindCity("Atlantis").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CityPresetTest, GenerateScaledCity) {
+  auto city = FindCity("Beijing");
+  ASSERT_TRUE(city.ok());
+  auto instance = GenerateCity(*city, /*seed=*/5, /*scale=*/1.0);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_users(), 113);
+  EXPECT_EQ(instance->num_events(), 16);
+
+  auto half = GenerateCity(*city, 5, 0.5);
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half->num_users(), 57);
+  EXPECT_EQ(half->num_events(), 8);
+
+  EXPECT_EQ(GenerateCity(*city, 5, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,86 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/bounding_box.h"
+
+namespace gepc {
+namespace {
+
+TEST(PointTest, DistanceMatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  const Point a{2.5, -1.0};
+  const Point b{-3.0, 7.5};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, SquaredDistanceAgrees) {
+  const Point a{0, 0};
+  const Point b{3, 4};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(PointTest, PaperExampleDistances) {
+  // Sec. II: D_1 = d(u1,e1) + d(e1,e2) + d(e2,u1) = sqrt17 + sqrt41 + 6.
+  const Point u1{0, 0};
+  const Point e1{1, -4};
+  const Point e2{6, 0};
+  EXPECT_NEAR(Distance(u1, e1), std::sqrt(17.0), 1e-12);
+  EXPECT_NEAR(Distance(e1, e2), std::sqrt(41.0), 1e-12);
+  EXPECT_NEAR(Distance(e2, u1), 6.0, 1e-12);
+  EXPECT_NEAR(Distance(u1, e1) + Distance(e1, e2) + Distance(e2, u1), 16.53,
+              0.005);
+}
+
+TEST(PointTest, EqualityAndStreaming) {
+  EXPECT_TRUE((Point{1, 2} == Point{1, 2}));
+  EXPECT_FALSE((Point{1, 2} == Point{2, 1}));
+  std::ostringstream os;
+  os << Point{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(BoundingBoxTest, FromExtentContainsInterior) {
+  const BoundingBox box = BoundingBox::FromExtent(10, 5);
+  EXPECT_TRUE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Contains({10, 5}));
+  EXPECT_TRUE(box.Contains({5, 2.5}));
+  EXPECT_FALSE(box.Contains({-0.1, 0}));
+  EXPECT_FALSE(box.Contains({5, 5.1}));
+}
+
+TEST(BoundingBoxTest, ExtendGrows) {
+  BoundingBox box;
+  box.Extend({1, 2});
+  box.Extend({-3, 5});
+  EXPECT_DOUBLE_EQ(box.min_x, -3);
+  EXPECT_DOUBLE_EQ(box.max_x, 1);
+  EXPECT_DOUBLE_EQ(box.min_y, 2);
+  EXPECT_DOUBLE_EQ(box.max_y, 5);
+}
+
+TEST(BoundingBoxTest, DiagonalAndDims) {
+  const BoundingBox box = BoundingBox::FromExtent(3, 4);
+  EXPECT_DOUBLE_EQ(box.Width(), 3);
+  EXPECT_DOUBLE_EQ(box.Height(), 4);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 5);
+}
+
+TEST(BoundingBoxTest, ClampProjectsOutsidePoints) {
+  const BoundingBox box = BoundingBox::FromExtent(10, 10);
+  EXPECT_EQ(box.Clamp({-5, 3}), (Point{0, 3}));
+  EXPECT_EQ(box.Clamp({11, 12}), (Point{10, 10}));
+  EXPECT_EQ(box.Clamp({4, 4}), (Point{4, 4}));
+}
+
+TEST(BoundingBoxTest, Center) {
+  const BoundingBox box = BoundingBox::FromExtent(10, 6);
+  EXPECT_EQ(box.Center(), (Point{5, 3}));
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,139 @@
+#include "gepc/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+
+TEST(GreedyTest, ProducesConflictFreeWithinBudgetPlans) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcGreedy(instance, copies);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int i = 0; i < 5; ++i) {
+    const auto& held = result->copy_plan.copies_of_user[static_cast<size_t>(i)];
+    for (size_t a = 0; a < held.size(); ++a) {
+      for (size_t b = a + 1; b < held.size(); ++b) {
+        EXPECT_FALSE(copies.CopiesConflict(instance, held[a], held[b]));
+      }
+    }
+    EXPECT_LE(CopyTourCost(instance, copies, i, held),
+              instance.user(i).budget + 1e-9);
+  }
+}
+
+TEST(GreedyTest, NeverExceedsXiPerEvent) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcGreedy(instance, copies);
+  ASSERT_TRUE(result.ok());
+  const Plan plan = CollapseToPlan(instance, copies, result->copy_plan);
+  for (int j = 0; j < instance.num_events(); ++j) {
+    EXPECT_LE(plan.attendance(j), instance.event(j).lower_bound);
+  }
+}
+
+TEST(GreedyTest, UsersOnlyGetPositiveUtilityEvents) {
+  Instance instance = MakePaperInstance();
+  instance.set_utility(0, kE3, 0.0);
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcGreedy(instance, copies);
+  ASSERT_TRUE(result.ok());
+  for (int copy : result->copy_plan.copies_of_user[0]) {
+    EXPECT_NE(copies.event_of(copy), kE3);
+  }
+}
+
+TEST(GreedyTest, DeterministicPerSeed) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  GreedyOptions options;
+  options.seed = 99;
+  auto a = SolveXiGepcGreedy(instance, copies, options);
+  auto b = SolveXiGepcGreedy(instance, copies, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->copy_plan.user_of_copy, b->copy_plan.user_of_copy);
+}
+
+TEST(GreedyTest, UserOrderAffectsOutcome) {
+  // Sec. III-B: the visiting order influences total utility. Over several
+  // seeds we expect at least two distinct assignments.
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  std::vector<std::vector<int>> outcomes;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    GreedyOptions options;
+    options.seed = seed;
+    auto result = SolveXiGepcGreedy(instance, copies, options);
+    ASSERT_TRUE(result.ok());
+    outcomes.push_back(result->copy_plan.user_of_copy);
+  }
+  bool any_difference = false;
+  for (size_t k = 1; k < outcomes.size(); ++k) {
+    if (outcomes[k] != outcomes[0]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GreedyTest, EachUserTakesFavoriteFirst) {
+  // Make a conflict-free instance where u0's utilities strictly decrease
+  // over events; visiting order forced by a single user.
+  std::vector<User> users = {{{0, 0}, 1000.0}};
+  std::vector<Event> events;
+  for (int j = 0; j < 4; ++j) {
+    Event e;
+    e.location = {static_cast<double>(j), 0.0};
+    e.lower_bound = 1;
+    e.upper_bound = 1;
+    e.time = {j * 100, j * 100 + 50};
+    events.push_back(e);
+  }
+  Instance instance(std::move(users), std::move(events));
+  for (int j = 0; j < 4; ++j) {
+    instance.set_utility(0, j, 0.9 - 0.2 * j);
+  }
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcGreedy(instance, copies);
+  ASSERT_TRUE(result.ok());
+  // Budget is huge: the user takes all four.
+  EXPECT_EQ(result->copy_plan.copies_of_user[0].size(), 4u);
+  EXPECT_EQ(result->copy_plan.UnassignedCopies(), 0);
+}
+
+TEST(GreedyTest, LeavesCopiesUnassignedWhenNoUserFits) {
+  // One user with a tiny budget cannot reach the far event.
+  std::vector<User> users = {{{0, 0}, 1.0}};
+  std::vector<Event> events = {{{100, 100}, 1, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.9);
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcGreedy(instance, copies);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copy_plan.UnassignedCopies(), 1);
+}
+
+TEST(GreedyTest, EmptyCopySetTrivial) {
+  Instance instance = MakePaperInstance();
+  for (int j = 0; j < 4; ++j) {
+    ASSERT_TRUE(
+        instance
+            .set_event_bounds(j, 0, instance.event(j).upper_bound)
+            .ok());
+  }
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcGreedy(instance, copies);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copy_plan.UnassignedCopies(), 0);
+}
+
+}  // namespace
+}  // namespace gepc

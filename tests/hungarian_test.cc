@@ -1,0 +1,145 @@
+#include "flow/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flow/min_cost_flow.h"
+
+namespace gepc {
+namespace {
+
+TEST(HungarianTest, OneByOne) {
+  HungarianSolver solver(1, 1, {3.5});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column_of_row, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(result->total_cost, 3.5);
+}
+
+TEST(HungarianTest, ClassicThreeByThree) {
+  // Optimal: r0->c1 (1), r1->c0 (2), r2->c2 (1) = 4.
+  HungarianSolver solver(3, 3,
+                         {4, 1, 3,
+                          2, 0, 5,
+                          3, 2, 1});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_cost, 4.0);
+  EXPECT_EQ(result->column_of_row[0], 1);
+  EXPECT_EQ(result->column_of_row[1], 0);
+  EXPECT_EQ(result->column_of_row[2], 2);
+}
+
+TEST(HungarianTest, RectangularLeavesColumnsFree) {
+  // 2 rows, 4 cols: picks the two cheapest compatible columns.
+  HungarianSolver solver(2, 4,
+                         {9, 1, 9, 9,
+                          9, 9, 9, 2});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_cost, 3.0);
+  EXPECT_EQ(result->column_of_row[0], 1);
+  EXPECT_EQ(result->column_of_row[1], 3);
+}
+
+TEST(HungarianTest, ForbiddenPairsRespected) {
+  constexpr double F = HungarianSolver::kForbidden;
+  HungarianSolver solver(2, 2,
+                         {F, 1,
+                          1, F});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_cost, 2.0);
+  EXPECT_EQ(result->column_of_row[0], 1);
+  EXPECT_EQ(result->column_of_row[1], 0);
+}
+
+TEST(HungarianTest, InfeasibleWhenRowFullyForbidden) {
+  constexpr double F = HungarianSolver::kForbidden;
+  HungarianSolver solver(2, 2,
+                         {F, F,
+                          1, 1});
+  auto result = solver.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(HungarianTest, InfeasibleWhenRowsCompeteForOneColumn) {
+  constexpr double F = HungarianSolver::kForbidden;
+  HungarianSolver solver(2, 2,
+                         {1, F,
+                          1, F});
+  auto result = solver.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(HungarianTest, BadDimensionsRejected) {
+  HungarianSolver tall(3, 2, std::vector<double>(6, 1.0));
+  EXPECT_EQ(tall.Solve().status().code(), StatusCode::kInvalidArgument);
+  HungarianSolver wrong_size(2, 2, {1.0});
+  EXPECT_EQ(wrong_size.Solve().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HungarianTest, NegativeCostsHandled) {
+  HungarianSolver solver(2, 2,
+                         {-5, 0,
+                          0, -5});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_cost, -10.0);
+}
+
+TEST(HungarianTest, AgreesWithMinCostFlowOnRandomMatrices) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int rows = 2 + static_cast<int>(rng.UniformUint64(5));
+    const int cols = rows + static_cast<int>(rng.UniformUint64(3));
+    std::vector<double> cost(static_cast<size_t>(rows) *
+                             static_cast<size_t>(cols));
+    for (double& c : cost) c = rng.UniformDouble(0.0, 10.0);
+
+    HungarianSolver solver(rows, cols, cost);
+    auto hungarian = solver.Solve();
+    ASSERT_TRUE(hungarian.ok()) << "trial " << trial;
+
+    MinCostFlow flow(rows + cols + 2);
+    const int source = 0;
+    const int sink = rows + cols + 1;
+    for (int r = 0; r < rows; ++r) flow.AddEdge(source, 1 + r, 1, 0.0);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        flow.AddEdge(1 + r, 1 + rows + c, 1,
+                     cost[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                          static_cast<size_t>(c)]);
+      }
+    }
+    for (int c = 0; c < cols; ++c) flow.AddEdge(1 + rows + c, sink, 1, 0.0);
+    auto mcmf = flow.Solve(source, sink);
+    ASSERT_TRUE(mcmf.ok());
+    ASSERT_EQ(mcmf->flow, rows);
+    EXPECT_NEAR(hungarian->total_cost, mcmf->cost, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, AssignmentIsAPartialPermutation) {
+  Rng rng(404);
+  const int rows = 6;
+  const int cols = 8;
+  std::vector<double> cost(static_cast<size_t>(rows * cols));
+  for (double& c : cost) c = rng.UniformDouble(0.0, 1.0);
+  HungarianSolver solver(rows, cols, cost);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  std::vector<bool> used(static_cast<size_t>(cols), false);
+  for (int col : result->column_of_row) {
+    ASSERT_GE(col, 0);
+    ASSERT_LT(col, cols);
+    EXPECT_FALSE(used[static_cast<size_t>(col)]) << "column reused";
+    used[static_cast<size_t>(col)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,92 @@
+#include "gepc/ilp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "gepc/exact.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(GepcIlpTest, SolvesPaperInstanceFeasibly) {
+  const Instance instance = MakePaperInstance();
+  auto result = SolveGepcIlp(instance);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->feasible);
+  EXPECT_TRUE(ValidatePlan(instance, result->plan).ok());
+  EXPECT_GE(result->total_utility, 6.3 - 1e-9);  // Table I plan is feasible
+  EXPECT_NEAR(result->total_utility, result->plan.TotalUtility(instance),
+              1e-6);
+}
+
+TEST(GepcIlpTest, MatchesCombinatorialExactOnPaperInstance) {
+  const Instance instance = MakePaperInstance();
+  auto ilp = SolveGepcIlp(instance);
+  auto exact = SolveGepcExact(instance);
+  ASSERT_TRUE(ilp.ok() && exact.ok());
+  ASSERT_TRUE(ilp->feasible && exact->feasible);
+  EXPECT_NEAR(ilp->total_utility, exact->total_utility, 1e-6);
+}
+
+TEST(GepcIlpTest, MatchesCombinatorialExactOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 6;
+    config.num_events = 5;
+    config.num_groups = 3;
+    config.mean_eta = 3.0;
+    config.mean_xi = 1.0;
+    config.conflict_ratio = 0.4;
+    config.seed = seed * 101;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto ilp = SolveGepcIlp(*instance);
+    auto exact = SolveGepcExact(*instance);
+    ASSERT_TRUE(ilp.ok()) << "seed " << seed << ": " << ilp.status();
+    ASSERT_TRUE(exact.ok()) << "seed " << seed;
+    ASSERT_EQ(ilp->feasible, exact->feasible) << "seed " << seed;
+    if (ilp->feasible) {
+      EXPECT_NEAR(ilp->total_utility, exact->total_utility, 1e-6)
+          << "seed " << seed;
+      EXPECT_TRUE(ValidatePlan(*instance, ilp->plan).ok()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(GepcIlpTest, DetectsInfeasibility) {
+  // One user, two simultaneous events each requiring an attendee.
+  std::vector<User> users = {{{0, 0}, 10.0}};
+  std::vector<Event> events = {{{1, 0}, 1, 1, {0, 10}},
+                               {{0, 1}, 1, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.5);
+  instance.set_utility(0, 1, 0.5);
+  auto result = SolveGepcIlp(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+}
+
+TEST(GepcIlpTest, InfeasibleWhenLowerBoundUnreachable) {
+  // xi = 1 but the only user cannot afford the event.
+  std::vector<User> users = {{{0, 0}, 1.0}};
+  std::vector<Event> events = {{{100, 100}, 1, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.9);
+  auto result = SolveGepcIlp(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+}
+
+TEST(GepcIlpTest, RejectsOversizedInstances) {
+  GepcIlpOptions options;
+  options.max_users = 2;
+  EXPECT_EQ(SolveGepcIlp(MakePaperInstance(), options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,89 @@
+#include "temporal/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace gepc {
+namespace {
+
+TEST(IntervalIndexTest, EmptyIndex) {
+  IntervalIndex index;
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_TRUE(index.Conflicting({0, 10}).empty());
+  EXPECT_EQ(index.CountConflicting({0, 10}), 0);
+  EXPECT_FALSE(index.AnyConflict({0, 10}));
+}
+
+TEST(IntervalIndexTest, SingleInterval) {
+  IntervalIndex index({{10, 20}});
+  EXPECT_EQ(index.Conflicting({15, 25}), (std::vector<int>{0}));
+  EXPECT_EQ(index.Conflicting({21, 30}), (std::vector<int>{}));
+  EXPECT_EQ(index.Conflicting({0, 9}), (std::vector<int>{}));
+  // Touching conflicts (paper rule).
+  EXPECT_EQ(index.Conflicting({20, 30}), (std::vector<int>{0}));
+  EXPECT_EQ(index.Conflicting({0, 10}), (std::vector<int>{0}));
+}
+
+TEST(IntervalIndexTest, ReturnsAscendingIds) {
+  IntervalIndex index({{50, 60}, {0, 100}, {55, 58}, {200, 300}});
+  EXPECT_EQ(index.Conflicting({54, 56}), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(IntervalIndexTest, CountMatchesListSize) {
+  IntervalIndex index({{0, 10}, {5, 15}, {20, 30}, {25, 35}});
+  for (Minutes s = 0; s < 40; s += 3) {
+    const Interval q{s, s + 4};
+    EXPECT_EQ(index.CountConflicting(q),
+              static_cast<int>(index.Conflicting(q).size()));
+  }
+}
+
+TEST(IntervalIndexTest, IntervalAccessor) {
+  IntervalIndex index({{3, 7}, {8, 9}});
+  EXPECT_EQ(index.interval(1), (Interval{8, 9}));
+}
+
+TEST(IntervalIndexTest, MatchesBruteForceOnRandomData) {
+  Rng rng(515);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformUint64(60));
+    std::vector<Interval> intervals;
+    for (int i = 0; i < n; ++i) {
+      const Minutes start = static_cast<Minutes>(rng.UniformInt(0, 800));
+      intervals.push_back(
+          {start, start + static_cast<Minutes>(rng.UniformInt(1, 120))});
+    }
+    IntervalIndex index(intervals);
+    for (int q = 0; q < 25; ++q) {
+      const Minutes start = static_cast<Minutes>(rng.UniformInt(0, 900));
+      const Interval query{start,
+                           start + static_cast<Minutes>(rng.UniformInt(1, 150))};
+      std::vector<int> expected;
+      for (int i = 0; i < n; ++i) {
+        if (Conflicts(intervals[static_cast<size_t>(i)], query)) {
+          expected.push_back(i);
+        }
+      }
+      EXPECT_EQ(index.Conflicting(query), expected)
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(IntervalIndexTest, AnyConflictShortCircuitsCorrectly) {
+  IntervalIndex index({{0, 10}, {100, 110}});
+  EXPECT_TRUE(index.AnyConflict({5, 7}));
+  EXPECT_TRUE(index.AnyConflict({105, 120}));
+  EXPECT_FALSE(index.AnyConflict({50, 60}));
+}
+
+TEST(IntervalIndexTest, WorksWithIdenticalIntervals) {
+  IntervalIndex index({{5, 10}, {5, 10}, {5, 10}});
+  EXPECT_EQ(index.Conflicting({7, 8}), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,82 @@
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace gepc {
+namespace {
+
+TEST(IntervalTest, ValidityRequiresPositiveDuration) {
+  EXPECT_TRUE((Interval{0, 1}.IsValid()));
+  EXPECT_FALSE((Interval{5, 5}.IsValid()));
+  EXPECT_FALSE((Interval{6, 5}.IsValid()));
+}
+
+TEST(IntervalTest, Duration) {
+  EXPECT_EQ((Interval{60, 180}).Duration(), 120);
+}
+
+TEST(IntervalTest, DisjointIntervalsDoNotConflict) {
+  EXPECT_FALSE(Conflicts({0, 10}, {11, 20}));
+  EXPECT_FALSE(Conflicts({11, 20}, {0, 10}));
+}
+
+TEST(IntervalTest, OverlappingIntervalsConflict) {
+  EXPECT_TRUE(Conflicts({0, 10}, {5, 15}));
+  EXPECT_TRUE(Conflicts({5, 15}, {0, 10}));
+}
+
+TEST(IntervalTest, ContainmentConflicts) {
+  EXPECT_TRUE(Conflicts({0, 100}, {10, 20}));
+  EXPECT_TRUE(Conflicts({10, 20}, {0, 100}));
+}
+
+TEST(IntervalTest, BackToBackConflictsPerPaperRule) {
+  // Example 1: e4 starts when e2 ends, "leaving no time to go from e2 to
+  // e4" — touching intervals conflict.
+  EXPECT_TRUE(Conflicts({0, 10}, {10, 20}));
+  EXPECT_TRUE(Conflicts({10, 20}, {0, 10}));
+}
+
+TEST(IntervalTest, OneUnitGapDoesNotConflict) {
+  EXPECT_FALSE(Conflicts({0, 10}, {11, 20}));
+}
+
+TEST(IntervalTest, SelfConflicts) {
+  EXPECT_TRUE(Conflicts({5, 10}, {5, 10}));
+}
+
+TEST(IntervalTest, PaperExampleConflicts) {
+  const Interval e1{13 * 60, 15 * 60};
+  const Interval e2{16 * 60, 18 * 60};
+  const Interval e3{13 * 60 + 30, 15 * 60};
+  const Interval e4{18 * 60, 20 * 60};
+  EXPECT_TRUE(Conflicts(e1, e3));   // e3 starts before e1 ends
+  EXPECT_TRUE(Conflicts(e2, e4));   // e4 starts exactly when e2 ends
+  EXPECT_FALSE(Conflicts(e1, e2));
+  EXPECT_FALSE(Conflicts(e3, e4));
+  EXPECT_FALSE(Conflicts(e1, e4));
+  EXPECT_FALSE(Conflicts(e2, e3));
+}
+
+TEST(IntervalTest, FormatMinutesMorningAfternoon) {
+  EXPECT_EQ(FormatMinutes(13 * 60), "1:00 p.m.");
+  EXPECT_EQ(FormatMinutes(9 * 60 + 5), "9:05 a.m.");
+  EXPECT_EQ(FormatMinutes(0), "12:00 a.m.");
+  EXPECT_EQ(FormatMinutes(12 * 60), "12:00 p.m.");
+}
+
+TEST(IntervalTest, FormatIntervalMatchesPaperStyle) {
+  EXPECT_EQ(FormatInterval({13 * 60, 15 * 60}), "1:00 p.m.-3:00 p.m.");
+}
+
+TEST(IntervalTest, FormatWrapsPastMidnight) {
+  EXPECT_EQ(FormatMinutes(25 * 60), "1:00 a.m.");
+}
+
+TEST(IntervalTest, Equality) {
+  EXPECT_TRUE((Interval{1, 2} == Interval{1, 2}));
+  EXPECT_FALSE((Interval{1, 2} == Interval{1, 3}));
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,147 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generator.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(IoTest, RoundTripPaperInstance) {
+  const Instance original = MakePaperInstance();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(original, buffer).ok());
+  auto loaded = LoadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_users(), original.num_users());
+  ASSERT_EQ(loaded->num_events(), original.num_events());
+  for (int i = 0; i < original.num_users(); ++i) {
+    EXPECT_EQ(loaded->user(i).location, original.user(i).location);
+    EXPECT_DOUBLE_EQ(loaded->user(i).budget, original.user(i).budget);
+  }
+  for (int j = 0; j < original.num_events(); ++j) {
+    EXPECT_EQ(loaded->event(j).time, original.event(j).time);
+    EXPECT_EQ(loaded->event(j).lower_bound, original.event(j).lower_bound);
+    EXPECT_EQ(loaded->event(j).upper_bound, original.event(j).upper_bound);
+  }
+  for (int i = 0; i < original.num_users(); ++i) {
+    for (int j = 0; j < original.num_events(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded->utility(i, j), original.utility(i, j));
+    }
+  }
+}
+
+TEST(IoTest, RoundTripGeneratedInstanceExactDoubles) {
+  GeneratorConfig config;
+  config.num_users = 30;
+  config.num_events = 8;
+  config.mean_eta = 6.0;
+  config.mean_xi = 2.0;
+  config.seed = 55;
+  auto original = GenerateInstance(config);
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(*original, buffer).ok());
+  auto loaded = LoadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (int i = 0; i < original->num_users(); ++i) {
+    // 17 significant digits round-trip doubles exactly.
+    EXPECT_DOUBLE_EQ(loaded->user(i).budget, original->user(i).budget);
+    EXPECT_DOUBLE_EQ(loaded->user(i).location.x,
+                     original->user(i).location.x);
+  }
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "GEPC1 1 1\n"
+      "# users\n"
+      "u 0 0 10\n"
+      "e 1 1 0 2 0 10\n"
+      "m 0 0 0.5\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(loaded->utility(0, 0), 0.5);
+}
+
+TEST(IoTest, MissingHeaderRejected) {
+  std::stringstream in("u 0 0 10\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, WrongCountsRejected) {
+  std::stringstream in(
+      "GEPC1 2 1\n"
+      "u 0 0 10\n"
+      "e 1 1 0 2 0 10\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("declares 2 users"),
+            std::string::npos);
+}
+
+TEST(IoTest, MalformedRowsRejectedWithLineNumber) {
+  std::stringstream in(
+      "GEPC1 1 1\n"
+      "u 0 0\n"  // missing budget
+      "e 1 1 0 2 0 10\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(IoTest, UnknownRowKindRejected) {
+  std::stringstream in(
+      "GEPC1 1 1\n"
+      "u 0 0 10\n"
+      "e 1 1 0 2 0 10\n"
+      "z 1 2 3\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unknown row kind"),
+            std::string::npos);
+}
+
+TEST(IoTest, OutOfRangeUtilityRejected) {
+  std::stringstream in(
+      "GEPC1 1 1\n"
+      "u 0 0 10\n"
+      "e 1 1 0 2 0 10\n"
+      "m 5 0 0.5\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, LoadedInstanceMustValidate) {
+  // xi > eta fails Instance::Validate after parsing.
+  std::stringstream in(
+      "GEPC1 1 1\n"
+      "u 0 0 10\n"
+      "e 1 1 5 2 0 10\n");
+  auto loaded = LoadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const Instance original = MakePaperInstance();
+  const std::string path = ::testing::TempDir() + "/gepc_io_test.gepc";
+  ASSERT_TRUE(SaveInstanceToFile(original, path).ok());
+  auto loaded = LoadInstanceFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_users(), 5);
+  EXPECT_EQ(LoadInstanceFromFile("/nonexistent/nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gepc

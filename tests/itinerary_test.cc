@@ -1,0 +1,104 @@
+#include "core/itinerary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(ItineraryTest, EmptyPlanEmptyItinerary) {
+  const Instance instance = MakePaperInstance();
+  const Itinerary itinerary = BuildItinerary(instance, Plan(5, 4), 0);
+  EXPECT_TRUE(itinerary.stops.empty());
+  EXPECT_DOUBLE_EQ(itinerary.total_cost, 0.0);
+  EXPECT_TRUE(itinerary.within_budget);
+  EXPECT_TRUE(itinerary.conflict_free);
+}
+
+TEST(ItineraryTest, MatchesPaperD1Accounting) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  const Itinerary itinerary = BuildItinerary(instance, plan, 0);
+  ASSERT_EQ(itinerary.stops.size(), 2u);
+  // Stops in start-time order: e1 (1 p.m.) before e2 (4 p.m.).
+  EXPECT_EQ(itinerary.stops[0].event, kE1);
+  EXPECT_EQ(itinerary.stops[1].event, kE2);
+  EXPECT_NEAR(itinerary.stops[0].travel_from_previous, std::sqrt(17.0),
+              1e-12);
+  EXPECT_NEAR(itinerary.stops[1].travel_from_previous, std::sqrt(41.0),
+              1e-12);
+  EXPECT_NEAR(itinerary.travel_home, 6.0, 1e-12);
+  EXPECT_NEAR(itinerary.total_cost, 16.53, 0.005);
+  EXPECT_NEAR(itinerary.total_cost,
+              UserTravelCost(instance, plan, 0), 1e-12);
+  EXPECT_NEAR(itinerary.total_utility, 1.3, 1e-12);
+  EXPECT_TRUE(itinerary.within_budget);
+}
+
+TEST(ItineraryTest, FlagsOverBudget) {
+  Instance instance = MakePaperInstance();
+  instance.set_user_budget(0, 5.0);
+  const Itinerary itinerary =
+      BuildItinerary(instance, MakePaperPlan(), 0);
+  EXPECT_FALSE(itinerary.within_budget);
+}
+
+TEST(ItineraryTest, FlagsConflicts) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(0, kE1);
+  plan.Add(0, kE3);  // overlaps e1
+  const Itinerary itinerary = BuildItinerary(instance, plan, 0);
+  EXPECT_FALSE(itinerary.conflict_free);
+}
+
+TEST(ItineraryTest, FeesIncludedInCost) {
+  std::vector<User> users = {{{0, 0}, 50.0}};
+  std::vector<Event> events = {{{3, 4}, 0, 1, {0, 60}, /*fee=*/7.0}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.5);
+  Plan plan(1, 1);
+  plan.Add(0, 0);
+  const Itinerary itinerary = BuildItinerary(instance, plan, 0);
+  EXPECT_DOUBLE_EQ(itinerary.total_fees, 7.0);
+  EXPECT_DOUBLE_EQ(itinerary.total_travel, 10.0);  // 5 out + 5 home
+  EXPECT_DOUBLE_EQ(itinerary.total_cost, 17.0);
+}
+
+TEST(ItineraryTest, BuildAllSkipsIdleUsers) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(1, kE3);
+  plan.Add(4, kE4);
+  const std::vector<Itinerary> all = BuildAllItineraries(instance, plan);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].user, 1);
+  EXPECT_EQ(all[1].user, 4);
+}
+
+TEST(ItineraryTest, ToStringMentionsEventsAndFlags) {
+  const Instance instance = MakePaperInstance();
+  const Itinerary ok = BuildItinerary(instance, MakePaperPlan(), 0);
+  const std::string rendered = ok.ToString();
+  EXPECT_NE(rendered.find("u0"), std::string::npos);
+  EXPECT_NE(rendered.find("e1"), std::string::npos);  // event id e1 == 1? e... ids
+  EXPECT_EQ(rendered.find("OVER BUDGET"), std::string::npos);
+
+  Instance broke = MakePaperInstance();
+  broke.set_user_budget(0, 1.0);
+  const std::string over =
+      BuildItinerary(broke, MakePaperPlan(), 0).ToString();
+  EXPECT_NE(over.find("OVER BUDGET"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gepc

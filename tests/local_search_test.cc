@@ -1,0 +1,168 @@
+#include "gepc/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(LocalSearchTest, RejectsBadArguments) {
+  const Instance instance = MakePaperInstance();
+  EXPECT_EQ(RefinePlan(instance, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  Plan wrong(2, 2);
+  EXPECT_EQ(RefinePlan(instance, &wrong).status().code(),
+            StatusCode::kInvalidArgument);
+  Plan plan = MakePaperPlan();
+  LocalSearchOptions options;
+  options.max_passes = 0;
+  EXPECT_EQ(RefinePlan(instance, &plan, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LocalSearchTest, NeverDecreasesUtilityAndStaysFeasible) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 50;
+    config.num_events = 12;
+    config.mean_eta = 7.0;
+    config.mean_xi = 2.0;
+    config.seed = seed * 41;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto solved = SolveGepc(*instance, GepcOptions{});
+    ASSERT_TRUE(solved.ok());
+    Plan plan = solved->plan;
+    const double before = plan.TotalUtility(*instance);
+    const int below_before = solved->events_below_lower_bound;
+    auto stats = RefinePlan(*instance, &plan);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    const double after = plan.TotalUtility(*instance);
+    EXPECT_GE(after, before - 1e-9);
+    EXPECT_NEAR(after - before, stats->utility_gain, 1e-6);
+    ValidationOptions validation;
+    validation.check_lower_bounds = false;
+    EXPECT_TRUE(ValidatePlan(*instance, plan, validation).ok());
+    // Met lower bounds stay met.
+    int below_after = 0;
+    for (int j = 0; j < instance->num_events(); ++j) {
+      if (plan.attendance(j) < instance->event(j).lower_bound) ++below_after;
+    }
+    EXPECT_LE(below_after, below_before);
+  }
+}
+
+TEST(LocalSearchTest, AddMoveFillsObviousGap) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(4, kE4);  // u5 only; plenty of feasible additions exist
+  auto stats = RefinePlan(instance, &plan);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->add_moves, 0);
+  EXPECT_GT(plan.TotalAssignments(), 1);
+}
+
+TEST(LocalSearchTest, TransferMovesAttendanceToHigherUtilityUser) {
+  // e4 attended by u4 (0.6); u5 (0.7) is free and can host it.
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  plan.Add(3, kE4);
+  LocalSearchOptions options;
+  options.enable_add = false;
+  options.enable_replace = false;
+  auto stats = RefinePlan(instance, &plan, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->transfer_moves, 1);
+  EXPECT_TRUE(plan.Contains(4, kE4));
+  EXPECT_FALSE(plan.Contains(3, kE4));
+}
+
+TEST(LocalSearchTest, ReplaceRespectsLowerBound) {
+  // u2 holds e2 which sits exactly at its lower bound; a replace move must
+  // not drop e2 below xi even if something better exists.
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE2, 1, 4).ok());
+  Plan plan(5, 4);
+  plan.Add(1, kE2);  // attendance 1 == xi
+  LocalSearchOptions options;
+  options.enable_add = false;
+  options.enable_transfer = false;
+  auto stats = RefinePlan(instance, &plan, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replace_moves, 0);
+  EXPECT_TRUE(plan.Contains(1, kE2));
+}
+
+TEST(LocalSearchTest, ReplaceUpgradesWhenSlackAllows) {
+  // Two attendees on e2 (xi 1): one may upgrade to the better e3.
+  Instance instance = MakePaperInstance();
+  ASSERT_TRUE(instance.set_event_bounds(kE2, 1, 4).ok());
+  Plan plan(5, 4);
+  plan.Add(1, kE2);  // u2: mu(e2) = 0.5, mu(e3) = 0.8 and e3 fits
+  plan.Add(2, kE2);
+  LocalSearchOptions options;
+  options.enable_add = false;
+  options.enable_transfer = false;
+  auto stats = RefinePlan(instance, &plan, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->replace_moves, 1);
+  EXPECT_GE(plan.attendance(kE2), 1);  // lower bound preserved
+}
+
+TEST(LocalSearchTest, MoveCapRespected) {
+  const Instance instance = MakePaperInstance();
+  Plan plan(5, 4);
+  LocalSearchOptions options;
+  options.max_moves = 2;
+  auto stats = RefinePlan(instance, &plan, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats->add_moves + stats->replace_moves + stats->transfer_moves,
+            2);
+}
+
+TEST(LocalSearchTest, FixpointIsStable) {
+  const Instance instance = MakePaperInstance();
+  Plan plan = MakePaperPlan();
+  ASSERT_TRUE(RefinePlan(instance, &plan).ok());
+  const Plan refined = plan;
+  auto again = RefinePlan(instance, &plan);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->add_moves + again->replace_moves + again->transfer_moves,
+            0);
+  EXPECT_TRUE(plan == refined);
+}
+
+TEST(LocalSearchTest, ImprovesGreedySolutionsOnAverage) {
+  double gain_total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.num_events = 10;
+    config.mean_eta = 6.0;
+    config.mean_xi = 2.0;
+    config.seed = seed * 61;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto solved = SolveGepc(*instance, GepcOptions{});
+    ASSERT_TRUE(solved.ok());
+    Plan plan = solved->plan;
+    auto stats = RefinePlan(*instance, &plan);
+    ASSERT_TRUE(stats.ok());
+    gain_total += stats->utility_gain;
+  }
+  EXPECT_GE(gain_total, 0.0);
+}
+
+}  // namespace
+}  // namespace gepc

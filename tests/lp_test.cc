@@ -1,0 +1,212 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/linear_program.h"
+
+namespace gepc {
+namespace {
+
+TEST(LinearProgramTest, ValidateCatchesBadVariableIndex) {
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.AddConstraint({{0, 1.0}, {5, 1.0}}, Relation::kLessEqual, 1.0);
+  EXPECT_EQ(lp.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearProgramTest, AccessorsRoundTrip) {
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 3);
+  lp.set_objective(1, 2.5);
+  EXPECT_DOUBLE_EQ(lp.objective(1), 2.5);
+  EXPECT_EQ(lp.num_vars(), 3);
+  const int row = lp.AddConstraint({{0, 1.0}}, Relation::kEqual, 4.0);
+  EXPECT_EQ(row, 0);
+  EXPECT_EQ(lp.constraint(0).relation, Relation::kEqual);
+  EXPECT_DOUBLE_EQ(lp.constraint(0).rhs, 4.0);
+}
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4, 0), obj 12.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 3.0);
+  lp.set_objective(1, 2.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({{0, 1.0}, {1, 3.0}}, Relation::kLessEqual, 6.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective_value, 12.0, 1e-7);
+  EXPECT_NEAR(result->x[0], 4.0, 1e-7);
+  EXPECT_NEAR(result->x[1], 0.0, 1e-7);
+}
+
+TEST(SimplexTest, SimpleMinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 0, y >= 0 -> (10, 0), obj 20.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.set_objective(0, 2.0);
+  lp.set_objective(1, 3.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 10.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective_value, 20.0, 1e-7);
+  EXPECT_NEAR(result->x[0], 10.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y s.t. x + y = 5, x <= 3 -> obj 5.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 5.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 3.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective_value, 5.0, 1e-7);
+  EXPECT_NEAR(result->x[0] + result->x[1], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 cannot hold.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 1);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kGreaterEqual, 2.0);
+  auto result = SolveLp(lp);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 1);
+  lp.set_objective(0, 1.0);
+  // No constraint: x can grow forever.
+  auto result = SolveLp(lp);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // -x <= -3 means x >= 3; min x -> 3.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 1);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, -1.0}}, Relation::kLessEqual, -3.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->x[0], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, DuplicateTermsAreSummed) {
+  // (1 + 1) x <= 4 -> x <= 2; max x -> 2.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 1);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}, {0, 1.0}}, Relation::kLessEqual, 4.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->x[0], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateProblemStillTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 1.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 0.0}}, Relation::kLessEqual, 1.0);
+  lp.AddConstraint({{0, 2.0}}, Relation::kLessEqual, 2.0);
+  lp.AddConstraint({{1, 1.0}}, Relation::kLessEqual, 1.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective_value, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice (redundant row must be dropped in phase 1).
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 2.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 2.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective_value, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, TransportationProblem) {
+  // Two sources (supply 3, 4), two sinks (demand 2, 5); costs
+  // [[1, 4], [2, 1]]. Optimal: x00=2, x01=1, x11=4 -> cost 2+4+4 = 10.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 4);  // x00 x01 x10 x11
+  const double costs[4] = {1, 4, 2, 1};
+  for (int v = 0; v < 4; ++v) lp.set_objective(v, costs[v]);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 3.0);
+  lp.AddConstraint({{2, 1.0}, {3, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({{0, 1.0}, {2, 1.0}}, Relation::kEqual, 2.0);
+  lp.AddConstraint({{1, 1.0}, {3, 1.0}}, Relation::kEqual, 5.0);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->objective_value, 10.0, 1e-7);
+}
+
+TEST(SimplexTest, MaximizeEqualsNegatedMinimize) {
+  LinearProgram max_lp(LinearProgram::Sense::kMaximize, 2);
+  max_lp.set_objective(0, 1.0);
+  max_lp.set_objective(1, 2.0);
+  max_lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 3.0);
+
+  LinearProgram min_lp(LinearProgram::Sense::kMinimize, 2);
+  min_lp.set_objective(0, -1.0);
+  min_lp.set_objective(1, -2.0);
+  min_lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 3.0);
+
+  auto max_result = SolveLp(max_lp);
+  auto min_result = SolveLp(min_lp);
+  ASSERT_TRUE(max_result.ok());
+  ASSERT_TRUE(min_result.ok());
+  EXPECT_NEAR(max_result->objective_value, -min_result->objective_value,
+              1e-7);
+}
+
+TEST(SimplexTest, ZeroConstraintProblemWithZeroObjective) {
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  auto result = SolveLp(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective_value, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, RandomLpsSatisfyConstraintsAtOptimum) {
+  Rng rng(404);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformUint64(4));
+    const int m = 1 + static_cast<int>(rng.UniformUint64(4));
+    LinearProgram lp(LinearProgram::Sense::kMaximize, n);
+    for (int v = 0; v < n; ++v) {
+      lp.set_objective(v, rng.UniformDouble(0.0, 5.0));
+    }
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> terms;
+      std::vector<double> dense(static_cast<size_t>(n), 0.0);
+      for (int v = 0; v < n; ++v) {
+        const double coef = rng.UniformDouble(0.1, 2.0);
+        terms.emplace_back(v, coef);
+        dense[static_cast<size_t>(v)] = coef;
+      }
+      const double b = rng.UniformDouble(1.0, 10.0);
+      lp.AddConstraint(std::move(terms), Relation::kLessEqual, b);
+      rows.push_back(std::move(dense));
+      rhs.push_back(b);
+    }
+    auto result = SolveLp(lp);
+    ASSERT_TRUE(result.ok()) << "trial " << trial << ": " << result.status();
+    for (int r = 0; r < m; ++r) {
+      double lhs = 0.0;
+      for (int v = 0; v < n; ++v) {
+        lhs += rows[static_cast<size_t>(r)][static_cast<size_t>(v)] *
+               result->x[static_cast<size_t>(v)];
+        EXPECT_GE(result->x[static_cast<size_t>(v)], -1e-9);
+      }
+      EXPECT_LE(lhs, rhs[static_cast<size_t>(r)] + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,48 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace gepc {
+namespace {
+
+// Note: tests do NOT link the gepc_memhooks allocation hooks, so the byte
+// counters stay at their manual values; RecordAlloc/RecordFree are driven
+// directly here.
+
+TEST(MemoryTrackerTest, RecordAllocRaisesCurrentAndPeak) {
+  MemoryTracker::ResetPeak();
+  const int64_t base_current = MemoryTracker::CurrentBytes();
+  MemoryTracker::RecordAlloc(1024);
+  EXPECT_EQ(MemoryTracker::CurrentBytes(), base_current + 1024);
+  EXPECT_GE(MemoryTracker::PeakBytes(), base_current + 1024);
+  MemoryTracker::RecordFree(1024);
+  EXPECT_EQ(MemoryTracker::CurrentBytes(), base_current);
+}
+
+TEST(MemoryTrackerTest, PeakIsHighWaterMark) {
+  MemoryTracker::ResetPeak();
+  const int64_t base = MemoryTracker::CurrentBytes();
+  MemoryTracker::RecordAlloc(4096);
+  MemoryTracker::RecordFree(4096);
+  MemoryTracker::RecordAlloc(16);
+  EXPECT_GE(MemoryTracker::PeakBytes(), base + 4096);
+  MemoryTracker::RecordFree(16);
+}
+
+TEST(MemoryTrackerTest, ResetPeakDropsToCurrent) {
+  MemoryTracker::RecordAlloc(2048);
+  MemoryTracker::ResetPeak();
+  EXPECT_EQ(MemoryTracker::PeakBytes(), MemoryTracker::CurrentBytes());
+  MemoryTracker::RecordFree(2048);
+}
+
+TEST(MemoryTrackerTest, RssProbeWorksOnLinux) {
+  const int64_t rss = MemoryTracker::CurrentRssBytes();
+  ASSERT_GT(rss, 0);
+  // A gtest binary resident set is at least 1 MiB and below 100 GiB.
+  EXPECT_GT(rss, 1 << 20);
+  EXPECT_LT(rss, 100LL << 30);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,45 @@
+#include "tests/paper_example.h"
+
+#include <vector>
+
+namespace gepc {
+namespace testing_support {
+
+Instance MakePaperInstance() {
+  std::vector<User> users = {
+      {{0.0, 0.0}, 18.0}, {{5.0, 5.0}, 20.0}, {{4.0, 5.0}, 20.0},
+      {{4.0, 6.0}, 30.0}, {{4.0, 4.0}, 10.0},
+  };
+  std::vector<Event> events = {
+      {{1.0, -4.0}, 1, 3, {13 * 60, 15 * 60}},       // e1  1:00-3:00 p.m.
+      {{6.0, 0.0}, 2, 4, {16 * 60, 18 * 60}},        // e2  4:00-6:00 p.m.
+      {{3.0, 8.0}, 3, 4, {13 * 60 + 30, 15 * 60}},   // e3  1:30-3:00 p.m.
+      {{4.0, 2.0}, 1, 5, {18 * 60, 20 * 60}},        // e4  6:00-8:00 p.m.
+  };
+  Instance instance(std::move(users), std::move(events));
+  const double mu[5][4] = {
+      {0.7, 0.6, 0.9, 0.3}, {0.6, 0.5, 0.8, 0.4}, {0.4, 0.7, 0.9, 0.5},
+      {0.2, 0.3, 0.8, 0.6}, {0.3, 0.1, 0.6, 0.7},
+  };
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) instance.set_utility(i, j, mu[i][j]);
+  }
+  return instance;
+}
+
+Plan MakePaperPlan() {
+  Plan plan(5, 4);
+  plan.Add(0, kE1);
+  plan.Add(0, kE2);
+  plan.Add(1, kE2);
+  plan.Add(1, kE3);
+  plan.Add(2, kE2);
+  plan.Add(2, kE3);
+  plan.Add(3, kE3);
+  plan.Add(3, kE4);
+  plan.Add(4, kE4);
+  return plan;
+}
+
+}  // namespace testing_support
+}  // namespace gepc

@@ -1,0 +1,38 @@
+#ifndef GEPC_TESTS_PAPER_EXAMPLE_H_
+#define GEPC_TESTS_PAPER_EXAMPLE_H_
+
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+namespace testing_support {
+
+/// The running example of the paper (Example 1, Fig. 1 + Table I): five
+/// users, four events. Table I fixes the utilities, budgets, participation
+/// bounds and holding times; the figure's exact coordinates are not printed
+/// in the text, so we use coordinates chosen to reproduce every distance
+/// the paper states or implies:
+///   * D_1 for {e1, e2} = sqrt(17) + sqrt(41) + 6 = 16.53 (Sec. II);
+///   * u5 cannot afford e1 on top of e4 (Example 4 / 8);
+///   * u4 can absorb e1 (Example 4), can swap to e2 (Example 6), and u2 can
+///     swap e2 -> e4 (Example 7).
+///
+/// Users: u1 (0,0) B=18 | u2 (5,5) B=20 | u3 (4,5) B=20 | u4 (4,6) B=30 |
+///        u5 (4,4) B=10.
+/// Events: e1 (1,-4) xi=1 eta=3 1:00-3:00pm | e2 (6,0) 2/4 4:00-6:00pm |
+///         e3 (3,8) 3/4 1:30-3:00pm | e4 (4,2) 1/5 6:00-8:00pm.
+Instance MakePaperInstance();
+
+/// The colored global plan of Table I (Example 2): u1 {e1,e2}, u2 {e2,e3},
+/// u3 {e2,e3}, u4 {e3,e4}, u5 {e4}; total utility 6.3.
+Plan MakePaperPlan();
+
+inline constexpr int kE1 = 0;
+inline constexpr int kE2 = 1;
+inline constexpr int kE3 = 2;
+inline constexpr int kE4 = 3;
+
+}  // namespace testing_support
+}  // namespace gepc
+
+#endif  // GEPC_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,87 @@
+#include "core/plan_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::kE1;
+using testing_support::kE2;
+using testing_support::kE3;
+using testing_support::kE4;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(PlanDiffTest, IdenticalPlansAreEmpty) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  const PlanDiff diff = DiffPlans(instance, plan, plan);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.total_lost, 0);
+  EXPECT_EQ(diff.total_gained, 0);
+  EXPECT_DOUBLE_EQ(diff.utility_delta, 0.0);
+  EXPECT_EQ(diff.ToString(), "(no changes)\n");
+}
+
+TEST(PlanDiffTest, PaperExample3Delta) {
+  // Example 3: u4 swaps e4 for e2; everyone else unchanged.
+  const Instance instance = MakePaperInstance();
+  const Plan before = MakePaperPlan();
+  Plan after = before;
+  after.Remove(3, kE4);
+  after.Add(3, kE2);
+  const PlanDiff diff = DiffPlans(instance, before, after);
+  ASSERT_EQ(diff.users.size(), 1u);
+  EXPECT_EQ(diff.users[0].user, 3);
+  EXPECT_EQ(diff.users[0].lost, (std::vector<EventId>{kE4}));
+  EXPECT_EQ(diff.users[0].gained, (std::vector<EventId>{kE2}));
+  EXPECT_EQ(diff.total_lost, 1);  // Example 3's dif = 1
+  EXPECT_EQ(diff.total_lost, NegativeImpact(before, after));
+  EXPECT_NEAR(diff.utility_delta, 0.3 - 0.6, 1e-12);
+}
+
+TEST(PlanDiffTest, AggregatesAcrossUsers) {
+  const Instance instance = MakePaperInstance();
+  const Plan before = MakePaperPlan();
+  Plan after = before;
+  after.Remove(0, kE1);
+  after.Remove(4, kE4);
+  after.Add(4, kE3);
+  const PlanDiff diff = DiffPlans(instance, before, after);
+  ASSERT_EQ(diff.users.size(), 2u);
+  EXPECT_EQ(diff.total_lost, 2);
+  EXPECT_EQ(diff.total_gained, 1);
+  EXPECT_EQ(diff.total_lost, NegativeImpact(before, after));
+}
+
+TEST(PlanDiffTest, GrownEventDimensionCountsAsGained) {
+  const Instance instance = MakePaperInstance();
+  const Plan before = MakePaperPlan();
+  Plan after = before;
+  after.EnsureEventCapacity(6);
+  after.Add(2, 5);
+  const PlanDiff diff = DiffPlans(instance, before, after);
+  ASSERT_EQ(diff.users.size(), 1u);
+  EXPECT_EQ(diff.users[0].gained, (std::vector<EventId>{5}));
+  EXPECT_EQ(diff.total_lost, 0);
+  // The new event is outside the instance's matrix: utility delta ignores it.
+  EXPECT_DOUBLE_EQ(diff.utility_delta, 0.0);
+}
+
+TEST(PlanDiffTest, ToStringFormatsSignedEvents) {
+  const Instance instance = MakePaperInstance();
+  const Plan before = MakePaperPlan();
+  Plan after = before;
+  after.Remove(3, kE4);
+  after.Add(3, kE2);
+  const std::string rendered = DiffPlans(instance, before, after).ToString();
+  EXPECT_NE(rendered.find("u3:"), std::string::npos);
+  EXPECT_NE(rendered.find("-e3"), std::string::npos);  // kE4 == event id 3
+  EXPECT_NE(rendered.find("+e1"), std::string::npos);  // kE2 == event id 1
+  EXPECT_NE(rendered.find("1 lost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,127 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+TEST(PlanTest, EmptyPlanHasNoAssignments) {
+  Plan plan(3, 2);
+  EXPECT_EQ(plan.num_users(), 3);
+  EXPECT_EQ(plan.num_events(), 2);
+  EXPECT_EQ(plan.TotalAssignments(), 0);
+  EXPECT_FALSE(plan.Contains(0, 0));
+}
+
+TEST(PlanTest, AddAndContains) {
+  Plan plan(2, 2);
+  EXPECT_TRUE(plan.Add(0, 1));
+  EXPECT_TRUE(plan.Contains(0, 1));
+  EXPECT_FALSE(plan.Contains(1, 1));
+  EXPECT_EQ(plan.attendance(1), 1);
+}
+
+TEST(PlanTest, AddIsIdempotent) {
+  Plan plan(2, 2);
+  EXPECT_TRUE(plan.Add(0, 0));
+  EXPECT_FALSE(plan.Add(0, 0));
+  EXPECT_EQ(plan.attendance(0), 1);
+  EXPECT_EQ(plan.TotalAssignments(), 1);
+}
+
+TEST(PlanTest, RemoveUpdatesBothDirections) {
+  Plan plan(2, 2);
+  plan.Add(0, 0);
+  plan.Add(1, 0);
+  EXPECT_TRUE(plan.Remove(0, 0));
+  EXPECT_FALSE(plan.Contains(0, 0));
+  EXPECT_EQ(plan.attendance(0), 1);
+  EXPECT_EQ(plan.attendees_of(0), (std::vector<UserId>{1}));
+}
+
+TEST(PlanTest, RemoveMissingIsNoop) {
+  Plan plan(2, 2);
+  EXPECT_FALSE(plan.Remove(0, 0));
+}
+
+TEST(PlanTest, PaperPlanAttendanceMatchesExample2) {
+  const Plan plan = MakePaperPlan();
+  EXPECT_EQ(plan.attendance(testing_support::kE1), 1);
+  EXPECT_EQ(plan.attendance(testing_support::kE2), 3);
+  EXPECT_EQ(plan.attendance(testing_support::kE3), 3);
+  EXPECT_EQ(plan.attendance(testing_support::kE4), 2);
+}
+
+TEST(PlanTest, PaperPlanUtilityIs6Point3) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  EXPECT_NEAR(plan.TotalUtility(instance), 6.3, 1e-12);
+}
+
+TEST(PlanTest, TotalAssignments) {
+  EXPECT_EQ(MakePaperPlan().TotalAssignments(), 9);
+}
+
+TEST(PlanTest, ClearEmptiesEverything) {
+  Plan plan = MakePaperPlan();
+  plan.Clear();
+  EXPECT_EQ(plan.TotalAssignments(), 0);
+  EXPECT_EQ(plan.attendance(0), 0);
+}
+
+TEST(PlanTest, EnsureEventCapacityGrows) {
+  Plan plan(2, 2);
+  plan.EnsureEventCapacity(5);
+  EXPECT_EQ(plan.num_events(), 5);
+  EXPECT_TRUE(plan.Add(0, 4));
+  plan.EnsureEventCapacity(3);  // never shrinks
+  EXPECT_EQ(plan.num_events(), 5);
+}
+
+TEST(PlanTest, EqualityIgnoresInsertionOrder) {
+  Plan a(2, 3);
+  a.Add(0, 1);
+  a.Add(0, 2);
+  Plan b(2, 3);
+  b.Add(0, 2);
+  b.Add(0, 1);
+  EXPECT_TRUE(a == b);
+  b.Add(1, 0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(NegativeImpactTest, IdenticalPlansHaveZeroImpact) {
+  const Plan plan = MakePaperPlan();
+  EXPECT_EQ(NegativeImpact(plan, plan), 0);
+}
+
+TEST(NegativeImpactTest, CountsLostAttendancesOnly) {
+  const Plan before = MakePaperPlan();
+  Plan after = before;
+  after.Remove(3, testing_support::kE4);
+  after.Add(3, testing_support::kE2);  // gaining an event is not impact
+  EXPECT_EQ(NegativeImpact(before, after), 1);
+  // Example 3's scenario: exactly one lost event across all users.
+}
+
+TEST(NegativeImpactTest, MultipleLosses) {
+  const Plan before = MakePaperPlan();
+  Plan after(5, 4);  // everything lost
+  EXPECT_EQ(NegativeImpact(before, after), before.TotalAssignments());
+}
+
+TEST(NegativeImpactTest, AsymmetricDefinition) {
+  Plan before(1, 2);
+  Plan after(1, 2);
+  after.Add(0, 0);
+  EXPECT_EQ(NegativeImpact(before, after), 0);  // additions are free
+  EXPECT_EQ(NegativeImpact(after, before), 1);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,100 @@
+#include "gepc/regret_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "gepc/greedy.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(RegretGreedyTest, FeasibleOnPaperInstance) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcRegret(instance, copies);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->copy_plan.UnassignedCopies(), 0);
+  for (int i = 0; i < instance.num_users(); ++i) {
+    const auto& held = result->copy_plan.copies_of_user[static_cast<size_t>(i)];
+    for (size_t a = 0; a < held.size(); ++a) {
+      for (size_t b = a + 1; b < held.size(); ++b) {
+        EXPECT_FALSE(copies.CopiesConflict(instance, held[a], held[b]));
+      }
+    }
+    EXPECT_LE(CopyTourCost(instance, copies, i, held),
+              instance.user(i).budget + 1e-9);
+  }
+}
+
+TEST(RegretGreedyTest, DeterministicWithoutSeed) {
+  const Instance instance = MakePaperInstance();
+  const CopyMap copies(instance);
+  auto a = SolveXiGepcRegret(instance, copies);
+  auto b = SolveXiGepcRegret(instance, copies);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->copy_plan.user_of_copy, b->copy_plan.user_of_copy);
+}
+
+TEST(RegretGreedyTest, ForcedPlacementWinsOverBigRegret) {
+  // e0 is attendable by exactly one user (must place now even though its
+  // utility regret is nominally small); e1 has two candidates.
+  std::vector<User> users = {{{0, 0}, 100.0}, {{0, 0}, 100.0}};
+  std::vector<Event> events = {{{1, 0}, 1, 1, {0, 10}},
+                               {{0, 1}, 1, 1, {0, 10}}};  // conflict pair
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.2);  // only u0 can attend e0
+  instance.set_utility(0, 1, 0.9);
+  instance.set_utility(1, 1, 0.3);
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcRegret(instance, copies);
+  ASSERT_TRUE(result.ok());
+  const Plan plan = CollapseToPlan(instance, copies, result->copy_plan);
+  // u0 must take e0 (forced); e1 then goes to u1 despite lower utility.
+  EXPECT_TRUE(plan.Contains(0, 0));
+  EXPECT_TRUE(plan.Contains(1, 1));
+  EXPECT_EQ(result->copy_plan.UnassignedCopies(), 0);
+}
+
+TEST(RegretGreedyTest, CountsOrphansWhenUnplaceable) {
+  std::vector<User> users = {{{0, 0}, 1.0}};
+  std::vector<Event> events = {{{50, 50}, 1, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.9);
+  const CopyMap copies(instance);
+  auto result = SolveXiGepcRegret(instance, copies);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->copy_plan.UnassignedCopies(), 1);
+}
+
+TEST(RegretGreedyTest, CompetitiveWithRandomOrderGreedy) {
+  double regret_total = 0.0;
+  double greedy_total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.num_events = 10;
+    config.mean_eta = 6.0;
+    config.mean_xi = 2.0;
+    config.seed = seed * 97;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    const CopyMap copies(*instance);
+    auto regret = SolveXiGepcRegret(*instance, copies);
+    GreedyOptions greedy_options;
+    greedy_options.seed = seed;
+    auto greedy = SolveXiGepcGreedy(*instance, copies, greedy_options);
+    ASSERT_TRUE(regret.ok() && greedy.ok());
+    regret_total += CollapseToPlan(*instance, copies, regret->copy_plan)
+                        .TotalUtility(*instance);
+    greedy_total += CollapseToPlan(*instance, copies, greedy->copy_plan)
+                        .TotalUtility(*instance);
+  }
+  // Regret insertion should be at least competitive in aggregate.
+  EXPECT_GE(regret_total, 0.95 * greedy_total);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,167 @@
+// Robustness: hostile or degenerate inputs must produce clean Status errors
+// (or harmless empty results), never crashes or hangs. These tests throw
+// random garbage at the parsers and extreme-but-legal configurations at the
+// generator and solvers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+namespace {
+
+TEST(RobustnessTest, InstanceParserSurvivesRandomBytes) {
+  Rng rng(8888);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const int length = static_cast<int>(rng.UniformUint64(200));
+    for (int k = 0; k < length; ++k) {
+      garbage += static_cast<char>(rng.UniformInt(1, 126));
+    }
+    std::stringstream in(garbage);
+    auto result = LoadInstance(in);  // must not crash
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+}
+
+TEST(RobustnessTest, InstanceParserSurvivesMutatedValidFiles) {
+  GeneratorConfig config;
+  config.num_users = 10;
+  config.num_events = 4;
+  config.mean_eta = 3.0;
+  config.mean_xi = 1.0;
+  config.seed = 3;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveInstance(*instance, buffer).ok());
+  const std::string valid = buffer.str();
+
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.UniformUint64(5));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformUint64(mutated.size()));
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    std::stringstream in(mutated);
+    auto result = LoadInstance(in);  // must not crash
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, PlanParserSurvivesRandomBytes) {
+  Rng rng(9999);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage = "GPLN1 3 3\n";
+    const int length = static_cast<int>(rng.UniformUint64(120));
+    for (int k = 0; k < length; ++k) {
+      garbage += static_cast<char>(rng.UniformInt(1, 126));
+    }
+    std::stringstream in(garbage);
+    auto result = LoadPlan(in);
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, GeneratorHandlesExtremeShapes) {
+  // 1 user, 1 event.
+  GeneratorConfig tiny;
+  tiny.num_users = 1;
+  tiny.num_events = 1;
+  tiny.mean_eta = 1.0;
+  tiny.mean_xi = 0.0;
+  EXPECT_TRUE(GenerateInstance(tiny).ok());
+
+  // Many events, few users.
+  GeneratorConfig wide;
+  wide.num_users = 3;
+  wide.num_events = 200;
+  wide.mean_eta = 2.0;
+  wide.mean_xi = 0.5;
+  auto instance = GenerateInstance(wide);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(instance->Validate().ok());
+
+  // Tiny city (all locations nearly identical).
+  GeneratorConfig dense;
+  dense.num_users = 20;
+  dense.num_events = 5;
+  dense.mean_eta = 4.0;
+  dense.mean_xi = 1.0;
+  dense.city_width = 0.001;
+  dense.city_height = 0.001;
+  EXPECT_TRUE(GenerateInstance(dense).ok());
+}
+
+TEST(RobustnessTest, SolversHandleAllZeroUtilities) {
+  std::vector<User> users(4, User{{0, 0}, 10.0});
+  std::vector<Event> events = {{{1, 0}, 0, 2, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  for (GepcAlgorithm algorithm :
+       {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+    GepcOptions options;
+    options.algorithm = algorithm;
+    auto result = SolveGepc(instance, options);
+    ASSERT_TRUE(result.ok()) << GepcAlgorithmName(algorithm);
+    EXPECT_EQ(result->plan.TotalAssignments(), 0);
+    EXPECT_DOUBLE_EQ(result->total_utility, 0.0);
+  }
+}
+
+TEST(RobustnessTest, SolversHandleZeroBudgets) {
+  std::vector<User> users(3, User{{5, 5}, 0.0});
+  std::vector<Event> events = {{{1, 0}, 0, 2, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  for (int i = 0; i < 3; ++i) instance.set_utility(i, 0, 0.9);
+  auto result = SolveGepc(instance, GepcOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.TotalAssignments(), 0);
+}
+
+TEST(RobustnessTest, SolversHandleEventAtUserLocation) {
+  // Distance 0 tour: a zero-budget user CAN attend an event at home.
+  std::vector<User> users = {{{5, 5}, 0.0}};
+  std::vector<Event> events = {{{5, 5}, 0, 1, {0, 10}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.9);
+  auto result = SolveGepc(instance, GepcOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.TotalAssignments(), 1);
+}
+
+TEST(RobustnessTest, ManyIdenticalEventsAllConflict) {
+  // 12 identical events, every pair conflicting: each user attends at most
+  // one; solvers must not loop or blow up.
+  std::vector<User> users(6, User{{0, 0}, 100.0});
+  std::vector<Event> events(12, Event{{1, 1}, 0, 6, {100, 200}});
+  Instance instance(std::move(users), std::move(events));
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 12; ++j) instance.set_utility(i, j, 0.5);
+  }
+  for (GepcAlgorithm algorithm :
+       {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+    GepcOptions options;
+    options.algorithm = algorithm;
+    auto result = SolveGepc(instance, options);
+    ASSERT_TRUE(result.ok()) << GepcAlgorithmName(algorithm);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_LE(result->plan.events_of(i).size(), 1u)
+          << GepcAlgorithmName(algorithm);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gepc

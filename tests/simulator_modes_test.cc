@@ -1,0 +1,72 @@
+// Cross-mode simulator properties: the incremental and re-plan maintenance
+// modes see identical drift streams (same seed), so their per-day op counts
+// match and both end feasible; incremental maintenance must disturb users
+// no more than wholesale re-planning over the run.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace gepc {
+namespace {
+
+SimulationConfig BaseConfig(uint64_t seed) {
+  SimulationConfig config;
+  config.base.num_users = 60;
+  config.base.num_events = 12;
+  config.base.mean_eta = 8.0;
+  config.base.mean_xi = 2.0;
+  config.base.seed = 99;
+  config.num_days = 5;
+  config.new_events_per_day = 1;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SimulatorModesTest, SameSeedSameDriftStream) {
+  SimulationConfig incremental = BaseConfig(4);
+  incremental.incremental = true;
+  SimulationConfig replan = BaseConfig(4);
+  replan.incremental = false;
+
+  auto a = RunSimulation(incremental);
+  auto b = RunSimulation(replan);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->days.size(), b->days.size());
+  // Drift generation depends only on the config seed and the evolving
+  // instance; day-1 drift in particular is drawn from identical states.
+  EXPECT_EQ(a->days[1].ops, b->days[1].ops);
+}
+
+TEST(SimulatorModesTest, IncrementalDisturbsNoMoreThanReplan) {
+  int64_t incremental_total = 0;
+  int64_t replan_total = 0;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SimulationConfig incremental = BaseConfig(seed);
+    incremental.incremental = true;
+    SimulationConfig replan = BaseConfig(seed);
+    replan.incremental = false;
+    auto a = RunSimulation(incremental);
+    auto b = RunSimulation(replan);
+    ASSERT_TRUE(a.ok() && b.ok());
+    incremental_total += a->total_negative_impact;
+    replan_total += b->total_negative_impact;
+  }
+  EXPECT_LE(incremental_total, replan_total);
+}
+
+TEST(SimulatorModesTest, UtilitiesStayComparable) {
+  SimulationConfig incremental = BaseConfig(7);
+  incremental.incremental = true;
+  SimulationConfig replan = BaseConfig(7);
+  replan.incremental = false;
+  auto a = RunSimulation(incremental);
+  auto b = RunSimulation(replan);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Tables VII-IX observation at simulation scale: incremental utility
+  // tracks the re-planned utility, not collapses.
+  EXPECT_GE(a->final_utility, 0.5 * b->final_utility);
+}
+
+}  // namespace
+}  // namespace gepc

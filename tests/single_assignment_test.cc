@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "gepc/baselines.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(SingleAssignmentTest, AtMostOneEventPerUser) {
+  const Instance instance = MakePaperInstance();
+  auto result = SolveSingleAssignmentOptimal(instance);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int i = 0; i < instance.num_users(); ++i) {
+    EXPECT_LE(result->plan.events_of(i).size(), 1u) << "user " << i;
+  }
+}
+
+TEST(SingleAssignmentTest, EveryAssignmentAffordableAndWanted) {
+  const Instance instance = MakePaperInstance();
+  auto result = SolveSingleAssignmentOptimal(instance);
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < instance.num_users(); ++i) {
+    for (EventId j : result->plan.events_of(i)) {
+      EXPECT_GT(instance.utility(i, j), 0.0);
+      EXPECT_LE(2.0 * instance.UserEventDistance(i, j) +
+                    instance.event(j).fee,
+                instance.user(i).budget + 1e-9);
+    }
+  }
+  ValidationOptions options;
+  options.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, result->plan, options).ok());
+}
+
+TEST(SingleAssignmentTest, PicksEveryUsersBestWhenCapacityIsSlack) {
+  // With eta larger than n on every event, each user simply gets their
+  // affordable argmax.
+  Instance instance = MakePaperInstance();
+  for (int j = 0; j < 4; ++j) {
+    ASSERT_TRUE(instance.set_event_bounds(j, 0, 5).ok());
+  }
+  auto result = SolveSingleAssignmentOptimal(instance);
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < instance.num_users(); ++i) {
+    double best = 0.0;
+    for (int j = 0; j < 4; ++j) {
+      if (2.0 * instance.UserEventDistance(i, j) <=
+          instance.user(i).budget + 1e-9) {
+        best = std::max(best, instance.utility(i, j));
+      }
+    }
+    double got = 0.0;
+    for (EventId j : result->plan.events_of(i)) {
+      got += instance.utility(i, j);
+    }
+    EXPECT_NEAR(got, best, 1e-9) << "user " << i;
+  }
+}
+
+TEST(SingleAssignmentTest, CapacityForcesSecondChoices) {
+  // One seat on the event everyone loves most; the optimum gives it to the
+  // highest-utility user and routes the rest to runners-up.
+  std::vector<User> users(3, User{{0, 0}, 100.0});
+  std::vector<Event> events = {{{1, 0}, 0, 1, {0, 10}},
+                               {{0, 1}, 0, 3, {20, 30}}};
+  Instance instance(std::move(users), std::move(events));
+  instance.set_utility(0, 0, 0.9);
+  instance.set_utility(1, 0, 0.8);
+  instance.set_utility(2, 0, 0.7);
+  for (int i = 0; i < 3; ++i) instance.set_utility(i, 1, 0.5);
+  auto result = SolveSingleAssignmentOptimal(instance);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->plan.Contains(0, 0));
+  EXPECT_TRUE(result->plan.Contains(1, 1));
+  EXPECT_TRUE(result->plan.Contains(2, 1));
+  EXPECT_NEAR(result->total_utility, 0.9 + 0.5 + 0.5, 1e-9);
+}
+
+TEST(SingleAssignmentTest, OptimalAmongSingleAssignmentsByBruteForce) {
+  Rng rng(2112);
+  for (int trial = 0; trial < 6; ++trial) {
+    GeneratorConfig config;
+    config.num_users = 5;
+    config.num_events = 4;
+    config.num_groups = 2;
+    config.mean_eta = 2.0;
+    config.mean_xi = 0.0;
+    config.seed = 300 + static_cast<uint64_t>(trial);
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    auto flow_result = SolveSingleAssignmentOptimal(*instance);
+    ASSERT_TRUE(flow_result.ok());
+
+    // Brute force over all (m+1)^n single assignments.
+    const int n = instance->num_users();
+    const int m = instance->num_events();
+    std::vector<int> choice(static_cast<size_t>(n), -1);
+    double best = 0.0;
+    while (true) {
+      std::vector<int> count(static_cast<size_t>(m), 0);
+      double utility = 0.0;
+      bool ok = true;
+      for (int i = 0; i < n && ok; ++i) {
+        const int j = choice[static_cast<size_t>(i)];
+        if (j < 0) continue;
+        if (instance->utility(i, j) <= 0.0 ||
+            2.0 * instance->UserEventDistance(i, j) +
+                    instance->event(j).fee >
+                instance->user(i).budget + 1e-9) {
+          ok = false;
+          break;
+        }
+        if (++count[static_cast<size_t>(j)] >
+            instance->event(j).upper_bound) {
+          ok = false;
+          break;
+        }
+        utility += instance->utility(i, j);
+      }
+      if (ok) best = std::max(best, utility);
+      int k = 0;
+      while (k < n && ++choice[static_cast<size_t>(k)] == m) {
+        choice[static_cast<size_t>(k)] = -1;
+        ++k;
+      }
+      if (k == n) break;
+    }
+    EXPECT_NEAR(flow_result->total_utility, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(SingleAssignmentTest, MultiEventGepcCanBeatSingleAssignment) {
+  // The paper's point about [3]: restricting users to one event leaves
+  // utility on the table when conflict-free multi-event days are possible.
+  const Instance instance = MakePaperInstance();
+  auto single = SolveSingleAssignmentOptimal(instance);
+  ASSERT_TRUE(single.ok());
+  const Plan paper_plan = testing_support::MakePaperPlan();
+  EXPECT_GT(paper_plan.TotalUtility(instance), single->total_utility);
+}
+
+}  // namespace
+}  // namespace gepc

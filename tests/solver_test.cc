@@ -1,0 +1,193 @@
+#include "gepc/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+using testing_support::MakePaperInstance;
+
+TEST(SolveGepcTest, GreedyEndToEndOnPaperInstance) {
+  const Instance instance = MakePaperInstance();
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGreedy;
+  auto result = SolveGepc(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ValidationOptions validation;
+  validation.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, result->plan, validation).ok());
+  EXPECT_GT(result->total_utility, 0.0);
+  EXPECT_DOUBLE_EQ(result->total_utility,
+                   result->plan.TotalUtility(instance));
+}
+
+TEST(SolveGepcTest, GapBasedEndToEndOnPaperInstance) {
+  const Instance instance = MakePaperInstance();
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGapBased;
+  auto result = SolveGepc(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ValidationOptions validation;
+  validation.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, result->plan, validation).ok());
+}
+
+TEST(SolveGepcTest, LowerBoundsMetOnPaperInstance) {
+  // The paper instance is satisfiable (the Table I plan proves it); both
+  // algorithms should meet every xi.
+  const Instance instance = MakePaperInstance();
+  for (GepcAlgorithm algorithm :
+       {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+    GepcOptions options;
+    options.algorithm = algorithm;
+    auto result = SolveGepc(instance, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->events_below_lower_bound, 0)
+        << GepcAlgorithmName(algorithm);
+    EXPECT_TRUE(ValidatePlan(instance, result->plan).ok())
+        << GepcAlgorithmName(algorithm);
+  }
+}
+
+TEST(SolveGepcTest, TopUpNeverLowersUtility) {
+  const Instance instance = MakePaperInstance();
+  GepcOptions bare;
+  bare.algorithm = GepcAlgorithm::kGreedy;
+  bare.run_topup = false;
+  GepcOptions full = bare;
+  full.run_topup = true;
+  auto without = SolveGepc(instance, bare);
+  auto with = SolveGepc(instance, full);
+  ASSERT_TRUE(without.ok() && with.ok());
+  EXPECT_GE(with->total_utility, without->total_utility - 1e-9);
+  EXPECT_GT(with->topup_stats.added, 0);
+  EXPECT_EQ(without->topup_stats.added, 0);
+}
+
+TEST(SolveGepcTest, XiGepcStepNeverOverfillsEvents) {
+  const Instance instance = MakePaperInstance();
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGreedy;
+  options.run_topup = false;
+  auto result = SolveGepc(instance, options);
+  ASSERT_TRUE(result.ok());
+  for (int j = 0; j < instance.num_events(); ++j) {
+    EXPECT_LE(result->plan.attendance(j), instance.event(j).lower_bound);
+  }
+}
+
+TEST(SolveGepcTest, FallbackToGreedyWhenGapInfeasible) {
+  Instance instance = MakePaperInstance();
+  // Nobody can attend e1 -> the GAP reduction is infeasible.
+  for (int i = 0; i < 5; ++i) {
+    instance.set_utility(i, testing_support::kE1, 0.0);
+  }
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGapBased;
+  options.fallback_to_greedy = true;
+  auto result = SolveGepc(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->unplaced_copies, 1);
+  EXPECT_GE(result->events_below_lower_bound, 1);
+
+  options.fallback_to_greedy = false;
+  auto strict = SolveGepc(instance, options);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SolveGepcTest, AlgorithmNames) {
+  EXPECT_STREQ(GepcAlgorithmName(GepcAlgorithm::kGapBased), "GAP");
+  EXPECT_STREQ(GepcAlgorithmName(GepcAlgorithm::kGreedy), "Greedy");
+  EXPECT_STREQ(GepcAlgorithmName(GepcAlgorithm::kRegret), "Regret");
+}
+
+TEST(SolveGepcTest, RegretAlgorithmEndToEnd) {
+  const Instance instance = MakePaperInstance();
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kRegret;
+  auto result = SolveGepc(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->events_below_lower_bound, 0);
+  EXPECT_TRUE(ValidatePlan(instance, result->plan).ok());
+  // Deterministic: a second run produces the identical plan.
+  auto again = SolveGepc(instance, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(result->plan == again->plan);
+}
+
+TEST(SolveGepcTest, GeneratedInstancesStayFeasible) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 50;
+    config.num_events = 12;
+    config.mean_eta = 8.0;
+    config.mean_xi = 2.0;
+    config.seed = seed;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    for (GepcAlgorithm algorithm :
+         {GepcAlgorithm::kGreedy, GepcAlgorithm::kGapBased}) {
+      GepcOptions options;
+      options.algorithm = algorithm;
+      auto result = SolveGepc(*instance, options);
+      ASSERT_TRUE(result.ok())
+          << "seed " << seed << " " << GepcAlgorithmName(algorithm) << ": "
+          << result.status();
+      ValidationOptions validation;
+      validation.check_lower_bounds = false;
+      EXPECT_TRUE(ValidatePlan(*instance, result->plan, validation).ok())
+          << "seed " << seed << " " << GepcAlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST(SolveGepcTest, LocalSearchRefinementNeverHurts) {
+  const Instance instance = MakePaperInstance();
+  GepcOptions plain;
+  plain.algorithm = GepcAlgorithm::kGreedy;
+  GepcOptions refined = plain;
+  refined.refine_with_local_search = true;
+  auto base = SolveGepc(instance, plain);
+  auto polished = SolveGepc(instance, refined);
+  ASSERT_TRUE(base.ok() && polished.ok());
+  EXPECT_GE(polished->total_utility, base->total_utility - 1e-9);
+  EXPECT_NEAR(polished->total_utility - base->total_utility,
+              polished->local_search_stats.utility_gain, 1e-9);
+  ValidationOptions validation;
+  validation.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(instance, polished->plan, validation).ok());
+  EXPECT_EQ(base->local_search_stats.passes, 0);
+}
+
+TEST(SolveGepcTest, GapUtilityAtLeastGreedyAggregate) {
+  // Paper Table VI shape: GAP >= Greedy utility (allowing small noise).
+  double gap_total = 0.0;
+  double greedy_total = 0.0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.num_events = 10;
+    config.mean_eta = 8.0;
+    config.mean_xi = 3.0;
+    config.seed = seed + 100;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok());
+    GepcOptions options;
+    options.algorithm = GepcAlgorithm::kGapBased;
+    auto gap = SolveGepc(*instance, options);
+    options.algorithm = GepcAlgorithm::kGreedy;
+    auto greedy = SolveGepc(*instance, options);
+    ASSERT_TRUE(gap.ok() && greedy.ok());
+    gap_total += gap->total_utility;
+    greedy_total += greedy->total_utility;
+  }
+  EXPECT_GE(gap_total, 0.95 * greedy_total);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,75 @@
+#include "benchutil/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gepc {
+namespace {
+
+TEST(SampleStatsTest, EmptyStats) {
+  SampleStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 0.0);
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  SampleStats stats;
+  stats.Add(4.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 4.0);
+}
+
+TEST(SampleStatsTest, KnownMeanAndStddev) {
+  SampleStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats stats;
+  for (int v = 1; v <= 100; ++v) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(1.0), 100.0);
+}
+
+TEST(SampleStatsTest, MinMax) {
+  SampleStats stats;
+  stats.Add(-3.0);
+  stats.Add(10.0);
+  stats.Add(2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+}
+
+TEST(SampleStatsTest, WelfordMatchesTwoPassOnRandomData) {
+  Rng rng(77);
+  SampleStats stats;
+  std::vector<double> values;
+  for (int k = 0; k < 1000; ++k) {
+    const double v = rng.Gaussian(5.0, 3.0);
+    values.push_back(v);
+    stats.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(var), 1e-9);
+}
+
+}  // namespace
+}  // namespace gepc

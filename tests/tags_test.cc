@@ -1,0 +1,102 @@
+#include "data/tags.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gepc {
+namespace {
+
+TEST(TagVectorTest, ConstructorSortsAndDedups) {
+  TagVector v({5, 1, 3, 1, 5});
+  EXPECT_EQ(v.tags(), (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(v.size(), 3);
+}
+
+TEST(TagVectorTest, EmptyVector) {
+  TagVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0);
+}
+
+TEST(TagVectorTest, OverlapCount) {
+  TagVector a({1, 2, 3});
+  TagVector b({2, 3, 4});
+  EXPECT_EQ(TagVector::OverlapCount(a, b), 2);
+  EXPECT_EQ(TagVector::OverlapCount(a, a), 3);
+  EXPECT_EQ(TagVector::OverlapCount(a, TagVector({9})), 0);
+}
+
+TEST(TagVectorTest, CosineIdenticalIsOne) {
+  TagVector a({1, 2, 3});
+  EXPECT_DOUBLE_EQ(TagVector::Cosine(a, a), 1.0);
+}
+
+TEST(TagVectorTest, CosineDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(TagVector::Cosine(TagVector({1}), TagVector({2})), 0.0);
+}
+
+TEST(TagVectorTest, CosinePartialOverlap) {
+  TagVector a({1, 2});
+  TagVector b({2, 3, 4, 5});
+  // 1 / sqrt(2 * 4)
+  EXPECT_NEAR(TagVector::Cosine(a, b), 1.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(TagVectorTest, CosineWithEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(TagVector::Cosine(TagVector(), TagVector({1})), 0.0);
+}
+
+TEST(TagVectorTest, CosineStaysInUnitInterval) {
+  Rng rng(5);
+  for (int t = 0; t < 50; ++t) {
+    TagVector a = TagVector::Sample(50, 5, &rng);
+    TagVector b = TagVector::Sample(50, 7, &rng);
+    const double c = TagVector::Cosine(a, b);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(TagVectorTest, JaccardBasics) {
+  TagVector a({1, 2, 3});
+  TagVector b({2, 3, 4});
+  EXPECT_NEAR(TagVector::Jaccard(a, b), 2.0 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(TagVector::Jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(TagVector::Jaccard(TagVector(), TagVector()), 0.0);
+}
+
+TEST(TagVectorTest, SampleProducesRequestedCount) {
+  Rng rng(9);
+  TagVector v = TagVector::Sample(100, 6, &rng);
+  EXPECT_EQ(v.size(), 6);
+  for (int tag : v.tags()) {
+    EXPECT_GE(tag, 0);
+    EXPECT_LT(tag, 100);
+  }
+}
+
+TEST(TagVectorTest, SampleIsDeterministicPerSeed) {
+  Rng a(11);
+  Rng b(11);
+  EXPECT_EQ(TagVector::Sample(80, 5, &a).tags(),
+            TagVector::Sample(80, 5, &b).tags());
+}
+
+TEST(TagVectorTest, SampleSkewsTowardPopularTags) {
+  Rng rng(13);
+  int low_half = 0;
+  int total = 0;
+  for (int t = 0; t < 400; ++t) {
+    TagVector v = TagVector::Sample(100, 4, &rng);
+    for (int tag : v.tags()) {
+      ++total;
+      if (tag < 50) ++low_half;
+    }
+  }
+  // u^2 sampling puts ~ sqrt(1/2) ~ 70% of mass below the median id.
+  EXPECT_GT(static_cast<double>(low_half) / total, 0.6);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,111 @@
+#include "data/utility_model.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace gepc {
+namespace {
+
+const TagVector kA({1, 2, 3});
+const TagVector kB({2, 3, 4});
+const Point kOrigin{0, 0};
+const Point kFar{100, 0};
+
+TEST(UtilityModelTest, CosineKernel) {
+  UtilityModel model;
+  EXPECT_NEAR(model.Score(kA, kB, kOrigin, kOrigin), 2.0 / 3.0, 1e-12);
+}
+
+TEST(UtilityModelTest, JaccardKernel) {
+  UtilityModel model;
+  model.kernel = UtilityKernel::kJaccard;
+  EXPECT_NEAR(model.Score(kA, kB, kOrigin, kOrigin), 0.5, 1e-12);
+}
+
+TEST(UtilityModelTest, OverlapKernelClampsAtOne) {
+  UtilityModel model;
+  model.kernel = UtilityKernel::kOverlapCount;
+  model.overlap_normalizer = 4.0;
+  EXPECT_NEAR(model.Score(kA, kB, kOrigin, kOrigin), 0.5, 1e-12);
+  model.overlap_normalizer = 1.0;
+  EXPECT_DOUBLE_EQ(model.Score(kA, kB, kOrigin, kOrigin), 1.0);
+}
+
+TEST(UtilityModelTest, DistanceDecayReducesScore) {
+  UtilityModel model;
+  model.distance_decay_scale = 50.0;
+  const double near = model.Score(kA, kB, kOrigin, kOrigin);
+  const double far = model.Score(kA, kB, kOrigin, kFar);
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(far, near * std::exp(-2.0), 1e-12);
+}
+
+TEST(UtilityModelTest, DisjointTagsAlwaysZero) {
+  UtilityModel model;
+  model.distance_decay_scale = 10.0;
+  EXPECT_DOUBLE_EQ(
+      model.Score(TagVector({1}), TagVector({2}), kOrigin, kOrigin), 0.0);
+}
+
+TEST(UtilityModelTest, MinUtilityThresholdClampsToZero) {
+  UtilityModel model;
+  model.min_utility = 0.7;
+  EXPECT_DOUBLE_EQ(model.Score(kA, kB, kOrigin, kOrigin), 0.0);  // 0.667 < 0.7
+  model.min_utility = 0.5;
+  EXPECT_GT(model.Score(kA, kB, kOrigin, kOrigin), 0.0);
+}
+
+TEST(UtilityModelTest, GeneratorHonorsKernelChoice) {
+  GeneratorConfig config;
+  config.num_users = 30;
+  config.num_events = 8;
+  config.mean_eta = 5.0;
+  config.mean_xi = 1.0;
+  config.seed = 11;
+  auto cosine = GenerateInstance(config);
+  config.utility_model.kernel = UtilityKernel::kJaccard;
+  auto jaccard = GenerateInstance(config);
+  ASSERT_TRUE(cosine.ok() && jaccard.ok());
+  bool any_difference = false;
+  for (int i = 0; i < cosine->num_users() && !any_difference; ++i) {
+    for (int j = 0; j < cosine->num_events(); ++j) {
+      if (cosine->utility(i, j) != jaccard->utility(i, j)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  // Jaccard <= cosine pointwise for binary vectors.
+  for (int i = 0; i < cosine->num_users(); ++i) {
+    for (int j = 0; j < cosine->num_events(); ++j) {
+      EXPECT_LE(jaccard->utility(i, j), cosine->utility(i, j) + 1e-12);
+    }
+  }
+}
+
+TEST(UtilityModelTest, GeneratorDistanceDecayShrinksUtilityMass) {
+  GeneratorConfig config;
+  config.num_users = 30;
+  config.num_events = 8;
+  config.mean_eta = 5.0;
+  config.mean_xi = 1.0;
+  config.seed = 13;
+  auto plain = GenerateInstance(config);
+  config.utility_model.distance_decay_scale = 30.0;
+  auto decayed = GenerateInstance(config);
+  ASSERT_TRUE(plain.ok() && decayed.ok());
+  double plain_mass = 0.0;
+  double decayed_mass = 0.0;
+  for (int i = 0; i < plain->num_users(); ++i) {
+    for (int j = 0; j < plain->num_events(); ++j) {
+      plain_mass += plain->utility(i, j);
+      decayed_mass += decayed->utility(i, j);
+    }
+  }
+  EXPECT_LT(decayed_mass, plain_mass);
+}
+
+}  // namespace
+}  // namespace gepc

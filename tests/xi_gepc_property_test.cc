@@ -1,0 +1,94 @@
+// Parameterized invariants of the xi-GEPC step (Sec. III) for both
+// algorithms across random instances:
+//   I1. per-user copy plans are pairwise conflict-free (incl. same-event);
+//   I2. per-user tours fit the travel budget;
+//   I3. no event collects more than xi_j copies;
+//   I4. assigned + unassigned copies == m^+;
+//   I5. every assigned copy goes to a user with positive utility.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/generator.h"
+#include "gepc/event_copies.h"
+#include "gepc/gap_based.h"
+#include "gepc/greedy.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+namespace {
+
+using Param = std::tuple<GepcAlgorithm, uint64_t>;
+
+class XiGepcInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(XiGepcInvariants, HoldOnRandomInstances) {
+  const auto [algorithm, seed] = GetParam();
+  GeneratorConfig config;
+  config.num_users = 50;
+  config.num_events = 12;
+  config.mean_eta = 8.0;
+  config.mean_xi = 3.0;
+  config.conflict_ratio = 0.3;
+  config.seed = seed * 1009;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  const CopyMap copies(*instance);
+  Result<XiGepcResult> result = Status::Internal("unset");
+  if (algorithm == GepcAlgorithm::kGapBased) {
+    result = SolveXiGepcGapBased(*instance, copies);
+    if (!result.ok() && result.status().code() == StatusCode::kInfeasible) {
+      GTEST_SKIP() << "GAP reduction infeasible for this seed";
+    }
+  } else {
+    result = SolveXiGepcGreedy(*instance, copies);
+  }
+  ASSERT_TRUE(result.ok()) << result.status();
+  const CopyPlan& plan = result->copy_plan;
+
+  int assigned = 0;
+  for (int i = 0; i < instance->num_users(); ++i) {
+    const auto& held = plan.copies_of_user[static_cast<size_t>(i)];
+    assigned += static_cast<int>(held.size());
+    // I1: pairwise conflict-free.
+    for (size_t a = 0; a < held.size(); ++a) {
+      for (size_t b = a + 1; b < held.size(); ++b) {
+        ASSERT_FALSE(copies.CopiesConflict(*instance, held[a], held[b]))
+            << "user " << i;
+      }
+    }
+    // I2: within budget.
+    EXPECT_LE(CopyTourCost(*instance, copies, i, held),
+              instance->user(i).budget + 1e-9)
+        << "user " << i;
+    // I5: positive utility for every assignment.
+    for (int copy : held) {
+      EXPECT_GT(instance->utility(i, copies.event_of(copy)), 0.0);
+    }
+  }
+
+  // I3: collapse counts stay within xi.
+  const Plan collapsed = CollapseToPlan(*instance, copies, plan);
+  for (int j = 0; j < instance->num_events(); ++j) {
+    EXPECT_LE(collapsed.attendance(j), instance->event(j).lower_bound)
+        << "event " << j;
+  }
+
+  // I4: accounting.
+  EXPECT_EQ(assigned + plan.UnassignedCopies(), copies.num_copies());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, XiGepcInvariants,
+    ::testing::Combine(::testing::Values(GepcAlgorithm::kGreedy,
+                                         GepcAlgorithm::kGapBased),
+                       ::testing::Range<uint64_t>(1, 11)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(GepcAlgorithmName(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gepc

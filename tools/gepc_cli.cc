@@ -1,0 +1,338 @@
+// gepc_cli — command-line front end for the library, operating on the
+// GEPC1 instance / GPLN1 plan text formats (see src/data/io.h).
+//
+//   gepc_cli generate --users N --events M [--seed S] [--xi X] [--eta E]
+//                     [--conflict R] [--fee F] --out inst.gepc
+//   gepc_cli stats    --in inst.gepc
+//   gepc_cli solve    --in inst.gepc [--algorithm greedy|gap|regret]
+//                     [--no-topup]
+//                     [--plan-out plan.gpln]
+//   gepc_cli validate --in inst.gepc --plan plan.gpln
+//   gepc_cli itinerary --in inst.gepc --plan plan.gpln [--user N]
+//   gepc_cli apply    --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]
+//                     [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]
+//
+//   SPEC is one of:
+//     eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END
+//     budget:USER:VALUE   mu:USER:EVENT:VALUE  loc:EVENT:X:Y
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/feasibility.h"
+#include "core/itinerary.h"
+#include "core/plan_diff.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "gepc/solver.h"
+#include "iep/batch.h"
+#include "iep/planner.h"
+#include "iep/trace.h"
+
+namespace gepc {
+namespace cli {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> ops;
+  bool reorder = false;
+  bool no_topup = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reorder") {
+      args.reorder = true;
+    } else if (arg == "--no-topup") {
+      args.no_topup = true;
+    } else if (arg == "--op" && i + 1 < argc) {
+      args.ops.push_back(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[arg.substr(2)] = argv[++i];
+    }
+  }
+  return args;
+}
+
+std::string GetOption(const Args& args, const std::string& key,
+                      const std::string& fallback = "") {
+  auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// Splits "a:b:c" into fields.
+std::vector<std::string> SplitSpec(const std::string& spec) {
+  std::vector<std::string> fields;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    const size_t colon = spec.find(':', begin);
+    if (colon == std::string::npos) {
+      fields.push_back(spec.substr(begin));
+      break;
+    }
+    fields.push_back(spec.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  return fields;
+}
+
+Result<AtomicOp> ParseOp(const std::string& spec) {
+  const std::vector<std::string> f = SplitSpec(spec);
+  auto need = [&](size_t n) -> Status {
+    if (f.size() != n) {
+      return Status::InvalidArgument("op '" + spec + "' needs " +
+                                     std::to_string(n - 1) + " fields");
+    }
+    return Status::OK();
+  };
+  if (f.empty()) return Status::InvalidArgument("empty op spec");
+  if (f[0] == "eta") {
+    GEPC_RETURN_IF_ERROR(need(3));
+    return AtomicOp::UpperBoundChange(std::atoi(f[1].c_str()),
+                                      std::atoi(f[2].c_str()));
+  }
+  if (f[0] == "xi") {
+    GEPC_RETURN_IF_ERROR(need(3));
+    return AtomicOp::LowerBoundChange(std::atoi(f[1].c_str()),
+                                      std::atoi(f[2].c_str()));
+  }
+  if (f[0] == "time") {
+    GEPC_RETURN_IF_ERROR(need(4));
+    return AtomicOp::TimeChange(
+        std::atoi(f[1].c_str()),
+        {std::atoi(f[2].c_str()), std::atoi(f[3].c_str())});
+  }
+  if (f[0] == "budget") {
+    GEPC_RETURN_IF_ERROR(need(3));
+    return AtomicOp::BudgetChange(std::atoi(f[1].c_str()),
+                                  std::atof(f[2].c_str()));
+  }
+  if (f[0] == "mu") {
+    GEPC_RETURN_IF_ERROR(need(4));
+    return AtomicOp::UtilityChange(std::atoi(f[1].c_str()),
+                                   std::atoi(f[2].c_str()),
+                                   std::atof(f[3].c_str()));
+  }
+  if (f[0] == "loc") {
+    GEPC_RETURN_IF_ERROR(need(4));
+    return AtomicOp::LocationChange(
+        std::atoi(f[1].c_str()),
+        {std::atof(f[2].c_str()), std::atof(f[3].c_str())});
+  }
+  return Status::InvalidArgument("unknown op kind '" + f[0] + "'");
+}
+
+int CmdGenerate(const Args& args) {
+  GeneratorConfig config;
+  config.num_users = std::atoi(GetOption(args, "users", "100").c_str());
+  config.num_events = std::atoi(GetOption(args, "events", "20").c_str());
+  config.seed = std::strtoull(GetOption(args, "seed", "42").c_str(), nullptr, 10);
+  config.mean_xi = std::atof(GetOption(args, "xi", "3").c_str());
+  config.mean_eta = std::atof(GetOption(args, "eta", "10").c_str());
+  config.conflict_ratio = std::atof(GetOption(args, "conflict", "0.25").c_str());
+  config.mean_fee = std::atof(GetOption(args, "fee", "0").c_str());
+  const std::string out = GetOption(args, "out");
+  if (out.empty()) return Fail("generate needs --out FILE");
+
+  auto instance = GenerateInstance(config);
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  const Status saved = SaveInstanceToFile(*instance, out);
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::printf("wrote %s: %d users, %d events, sum xi = %lld\n", out.c_str(),
+              instance->num_users(), instance->num_events(),
+              static_cast<long long>(instance->TotalLowerBound()));
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto instance = LoadInstanceFromFile(GetOption(args, "in"));
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  int64_t positive_pairs = 0;
+  for (int i = 0; i < instance->num_users(); ++i) {
+    for (int j = 0; j < instance->num_events(); ++j) {
+      if (instance->utility(i, j) > 0.0) ++positive_pairs;
+    }
+  }
+  std::printf("users:            %d\n", instance->num_users());
+  std::printf("events:           %d\n", instance->num_events());
+  std::printf("sum of xi:        %lld\n",
+              static_cast<long long>(instance->TotalLowerBound()));
+  std::printf("conflict ratio:   %.3f\n",
+              instance->conflicts().ConflictRatio());
+  std::printf("conflict pairs:   %lld\n",
+              static_cast<long long>(instance->conflicts().conflict_pair_count()));
+  std::printf("positive (u,e):   %lld (%.1f%% of matrix)\n",
+              static_cast<long long>(positive_pairs),
+              100.0 * static_cast<double>(positive_pairs) /
+                  (static_cast<double>(instance->num_users()) *
+                   static_cast<double>(instance->num_events())));
+  return 0;
+}
+
+int CmdSolve(const Args& args) {
+  auto instance = LoadInstanceFromFile(GetOption(args, "in"));
+  if (!instance.ok()) return Fail(instance.status().ToString());
+
+  GepcOptions options;
+  const std::string algorithm = GetOption(args, "algorithm", "greedy");
+  if (algorithm == "gap") {
+    options.algorithm = GepcAlgorithm::kGapBased;
+  } else if (algorithm == "greedy") {
+    options.algorithm = GepcAlgorithm::kGreedy;
+  } else if (algorithm == "regret") {
+    options.algorithm = GepcAlgorithm::kRegret;
+  } else {
+    return Fail("--algorithm must be 'greedy', 'gap' or 'regret'");
+  }
+  options.run_topup = !args.no_topup;
+
+  auto result = SolveGepc(*instance, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("algorithm:        %s\n", GepcAlgorithmName(options.algorithm));
+  std::printf("total utility:    %.4f\n", result->total_utility);
+  std::printf("assignments:      %lld\n",
+              static_cast<long long>(result->plan.TotalAssignments()));
+  std::printf("events below xi:  %d\n", result->events_below_lower_bound);
+
+  const std::string plan_out = GetOption(args, "plan-out");
+  if (!plan_out.empty()) {
+    const Status saved = SavePlanToFile(result->plan, plan_out);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::printf("plan written to:  %s\n", plan_out.c_str());
+  }
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  auto instance = LoadInstanceFromFile(GetOption(args, "in"));
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  auto plan = LoadPlanFromFile(GetOption(args, "plan"));
+  if (!plan.ok()) return Fail(plan.status().ToString());
+
+  const Status full = ValidatePlan(*instance, *plan);
+  if (full.ok()) {
+    std::printf("plan is feasible (all four GEPC constraints)\n");
+    std::printf("total utility: %.4f\n", plan->TotalUtility(*instance));
+    return 0;
+  }
+  ValidationOptions lenient;
+  lenient.check_lower_bounds = false;
+  const Status user_side = ValidatePlan(*instance, *plan, lenient);
+  if (user_side.ok()) {
+    std::printf("plan satisfies constraints 1-3; lower bounds violated:\n");
+  }
+  std::printf("violation: %s\n", full.ToString().c_str());
+  return 2;
+}
+
+int CmdItinerary(const Args& args) {
+  auto instance = LoadInstanceFromFile(GetOption(args, "in"));
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  auto plan = LoadPlanFromFile(GetOption(args, "plan"));
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  const std::string user_option = GetOption(args, "user");
+  if (!user_option.empty()) {
+    const int user = std::atoi(user_option.c_str());
+    if (user < 0 || user >= instance->num_users()) {
+      return Fail("--user out of range");
+    }
+    std::printf("%s", BuildItinerary(*instance, *plan, user).ToString().c_str());
+    return 0;
+  }
+  for (const Itinerary& itinerary : BuildAllItineraries(*instance, *plan)) {
+    std::printf("%s\n", itinerary.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdApply(const Args& args) {
+  auto instance = LoadInstanceFromFile(GetOption(args, "in"));
+  if (!instance.ok()) return Fail(instance.status().ToString());
+  auto plan = LoadPlanFromFile(GetOption(args, "plan"));
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  std::vector<AtomicOp> ops;
+  const std::string ops_file = GetOption(args, "ops-file");
+  if (!ops_file.empty()) {
+    auto loaded = LoadOpsFromFile(ops_file);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    ops = *std::move(loaded);
+  }
+  for (const std::string& spec : args.ops) {
+    auto op = ParseOp(spec);
+    if (!op.ok()) return Fail(op.status().ToString());
+    ops.push_back(*std::move(op));
+  }
+  if (ops.empty()) {
+    return Fail("apply needs --op SPEC or --ops-file FILE");
+  }
+
+  auto planner = IncrementalPlanner::Create(*std::move(instance),
+                                            *std::move(plan));
+  if (!planner.ok()) return Fail(planner.status().ToString());
+  const Plan before_plan = planner->plan();
+  const double before = before_plan.TotalUtility(planner->instance());
+
+  auto batch = ApplyBatch(&*planner, std::move(ops),
+                          args.reorder ? BatchMode::kReordered
+                                       : BatchMode::kSequential);
+  if (!batch.ok()) return Fail(batch.status().ToString());
+
+  std::printf("ops applied:      %d\n", batch->ops_applied);
+  std::printf("utility:          %.4f -> %.4f\n", before,
+              batch->total_utility);
+  std::printf("negative impact:  %lld\n",
+              static_cast<long long>(batch->negative_impact));
+  std::printf("events below xi:  %d\n", batch->events_below_lower_bound);
+  if (args.reorder) {
+    std::printf("final re-offer:   +%d attendances\n",
+                batch->added_by_final_reoffer);
+  }
+  std::printf("changed plans:\n%s",
+              DiffPlans(planner->instance(), before_plan, batch->plan)
+                  .ToString()
+                  .c_str());
+
+  const std::string plan_out = GetOption(args, "plan-out");
+  if (!plan_out.empty()) {
+    const Status saved = SavePlanToFile(batch->plan, plan_out);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::printf("plan written to:  %s\n", plan_out.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gepc_cli <generate|stats|solve|validate|apply|itinerary> "
+               "[options]\n(see the header of tools/gepc_cli.cc)\n");
+  return 64;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "solve") return CmdSolve(args);
+  if (args.command == "validate") return CmdValidate(args);
+  if (args.command == "apply") return CmdApply(args);
+  if (args.command == "itinerary") return CmdItinerary(args);
+  return Usage();
+}
+
+}  // namespace cli
+}  // namespace gepc
+
+int main(int argc, char** argv) { return gepc::cli::Main(argc, argv); }
