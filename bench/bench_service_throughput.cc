@@ -1,0 +1,149 @@
+// Service-layer bench: sustained throughput of the PlanningService apply
+// loop. For each city, pumps `trials * 1000` random atomic operations
+// through the bounded queue from two producer threads while one reader
+// thread polls snapshots, and reports ops/sec, apply-latency percentiles
+// (from the service's own counters), queue high-water and journal growth —
+// the numbers an operator of gepc_serve would watch. Run with and without
+// a journal to see the durability cost.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "benchutil/table.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/cities.h"
+#include "gepc/solver.h"
+#include "service/planning_service.h"
+
+namespace gepc {
+namespace {
+
+AtomicOp DrawOp(int num_users, int num_events, Rng* rng) {
+  const int user = static_cast<int>(rng->UniformUint64(num_users));
+  const int event = static_cast<int>(rng->UniformUint64(num_events));
+  switch (rng->UniformUint64(4)) {
+    case 0:
+      return AtomicOp::BudgetChange(user, rng->UniformDouble(20.0, 160.0));
+    case 1:
+      return AtomicOp::UtilityChange(user, event,
+                                     rng->UniformDouble(0.0, 1.0));
+    case 2:
+      return AtomicOp::UpperBoundChange(
+          event, 6 + static_cast<int>(rng->UniformUint64(6)));
+    default:
+      return AtomicOp::LowerBoundChange(
+          event, static_cast<int>(rng->UniformUint64(3)));
+  }
+}
+
+struct RunRow {
+  double ops_per_sec = 0.0;
+  ServiceStats stats;
+  bool ok = false;
+};
+
+RunRow RunService(const Instance& instance, const Plan& plan, int total_ops,
+                  const std::string& journal_path) {
+  RunRow row;
+  ServiceOptions options;
+  options.journal_path = journal_path;
+  options.queue_capacity = 256;
+  if (!journal_path.empty()) std::remove(journal_path.c_str());
+  auto service = PlanningService::Create(instance, plan, options);
+  if (!service.ok()) return row;
+  PlanningService& svc = **service;
+
+  std::atomic<bool> done{false};
+  std::thread reader([&svc, &done] {
+    uint64_t version_floor = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = svc.snapshot();
+      if (snap->version > version_floor) version_floor = snap->version;
+      std::this_thread::yield();
+    }
+  });
+
+  const int num_users = instance.num_users();
+  const int num_events = instance.num_events();
+  Timer timer;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&svc, p, total_ops, num_users, num_events] {
+      Rng rng(77 + static_cast<uint64_t>(p));
+      for (int i = 0; i < total_ops / 2; ++i) {
+        svc.Submit(DrawOp(num_users, num_events, &rng));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  svc.Drain();
+  const double seconds = timer.ElapsedSeconds();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  row.stats = svc.Stats();
+  svc.Shutdown();
+  row.ops_per_sec = seconds > 0.0
+                        ? static_cast<double>(row.stats.ops_applied +
+                                              row.stats.ops_rejected) /
+                              seconds
+                        : 0.0;
+  row.ok = true;
+  return row;
+}
+
+int Run(const bench::BenchFlags& flags) {
+  const int total_ops = flags.trials * 1000;
+  std::printf("== PlanningService apply-loop throughput "
+              "(scale %.2f, %d ops, 2 producers + 1 reader) ==\n\n",
+              flags.scale, total_ops);
+  TextTable table({"Dataset", "Journal", "ops/s", "p50 ms", "p99 ms",
+                   "max ms", "HW", "Journal MB"});
+
+  for (const CityPreset& city : PaperCities()) {
+    auto instance = GenerateCity(city, /*seed=*/42, flags.scale);
+    if (!instance.ok()) return 1;
+    auto initial = SolveGepc(*instance, bench::GreedyPreset());
+    if (!initial.ok()) return 1;
+
+    for (int journaled = 0; journaled < 2; ++journaled) {
+      const std::string journal_path =
+          journaled ? "/tmp/gepc_bench_service.gops" : "";
+      const RunRow row =
+          RunService(*instance, initial->plan, total_ops, journal_path);
+      if (!row.ok) return 1;
+      char ops_str[32], p50_str[32], p99_str[32], max_str[32], hw_str[32],
+          mb_str[32];
+      std::snprintf(ops_str, sizeof(ops_str), "%.0f", row.ops_per_sec);
+      std::snprintf(p50_str, sizeof(p50_str), "%.4f",
+                    row.stats.apply_ms_p50);
+      std::snprintf(p99_str, sizeof(p99_str), "%.4f",
+                    row.stats.apply_ms_p99);
+      std::snprintf(max_str, sizeof(max_str), "%.3f", row.stats.apply_ms_max);
+      std::snprintf(hw_str, sizeof(hw_str), "%zu",
+                    static_cast<size_t>(row.stats.queue_high_water));
+      std::snprintf(mb_str, sizeof(mb_str), "%.2f",
+                    static_cast<double>(row.stats.journal_bytes) / 1e6);
+      table.AddRow({journaled == 0 ? city.name : "",
+                    journaled ? "yes" : "no", ops_str, p50_str, p99_str,
+                    max_str, hw_str, journaled ? mb_str : "-"});
+    }
+  }
+  table.Print();
+  std::printf("\nShape check: journaling costs one formatted write + flush "
+              "per op; the queue high-water shows how far the producers ran "
+              "ahead of the single apply thread.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  return gepc::Run(gepc::bench::BenchFlags::Parse(argc, argv));
+}

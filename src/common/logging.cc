@@ -7,7 +7,9 @@ namespace gepc {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+// Atomic so the service's writer thread and concurrent readers can call
+// SetLogLevel/GetLogLevel without a data race (TSan-clean).
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -31,11 +33,11 @@ const char* Basename(const char* path) {
 }  // namespace
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return g_log_level.load(std::memory_order_relaxed);
 }
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_log_level.store(level, std::memory_order_relaxed);
 }
 
 namespace internal {

@@ -17,6 +17,7 @@ enum class StatusCode {
   kFailedPrecondition,///< API called in the wrong state.
   kInternal,          ///< Invariant violation inside a solver.
   kUnimplemented,     ///< Feature not available.
+  kUnavailable,       ///< Transient: queue full, service shutting down.
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "infeasible", ...).
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

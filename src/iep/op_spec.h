@@ -1,0 +1,24 @@
+#ifndef GEPC_IEP_OP_SPEC_H_
+#define GEPC_IEP_OP_SPEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "iep/planner.h"
+
+namespace gepc {
+
+/// Parses the compact colon-separated atomic-op spec shared by the
+/// `gepc_cli apply --op` flag and the `gepc_serve` JSONL protocol:
+///
+///   eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END
+///   budget:USER:VALUE   mu:USER:EVENT:VALUE  loc:EVENT:X:Y
+///
+/// Returns kInvalidArgument on an unknown kind, wrong field count, or a
+/// non-numeric field. (The `new` op carries a per-user utility column and
+/// has no compact spec; feed it through a GOPS1 trace instead.)
+Result<AtomicOp> ParseOpSpec(const std::string& spec);
+
+}  // namespace gepc
+
+#endif  // GEPC_IEP_OP_SPEC_H_

@@ -14,43 +14,49 @@ Status TraceError(int line, const std::string& what) {
 
 }  // namespace
 
+Status SaveOp(const AtomicOp& op, std::ostream& out) {
+  out << std::setprecision(17);
+  switch (op.kind) {
+    case AtomicOp::Kind::kUpperBoundChanged:
+      out << "eta " << op.event << " " << op.new_bound << "\n";
+      break;
+    case AtomicOp::Kind::kLowerBoundChanged:
+      out << "xi " << op.event << " " << op.new_bound << "\n";
+      break;
+    case AtomicOp::Kind::kTimeChanged:
+      out << "time " << op.event << " " << op.new_time.start << " "
+          << op.new_time.end << "\n";
+      break;
+    case AtomicOp::Kind::kLocationChanged:
+      out << "loc " << op.event << " " << op.new_location.x << " "
+          << op.new_location.y << "\n";
+      break;
+    case AtomicOp::Kind::kBudgetChanged:
+      out << "budget " << op.user << " " << op.new_budget << "\n";
+      break;
+    case AtomicOp::Kind::kUtilityChanged:
+      out << "mu " << op.user << " " << op.event << " " << op.new_utility
+          << "\n";
+      break;
+    case AtomicOp::Kind::kNewEvent: {
+      out << "new " << op.new_event.location.x << " "
+          << op.new_event.location.y << " " << op.new_event.lower_bound
+          << " " << op.new_event.upper_bound << " "
+          << op.new_event.time.start << " " << op.new_event.time.end << " "
+          << op.new_event.fee;
+      for (double mu : op.new_event_utilities) out << " " << mu;
+      out << "\n";
+      break;
+    }
+  }
+  if (!out) return Status::Internal("write failed");
+  return Status::OK();
+}
+
 Status SaveOps(const std::vector<AtomicOp>& ops, std::ostream& out) {
   out << "GOPS1\n";
-  out << std::setprecision(17);
   for (const AtomicOp& op : ops) {
-    switch (op.kind) {
-      case AtomicOp::Kind::kUpperBoundChanged:
-        out << "eta " << op.event << " " << op.new_bound << "\n";
-        break;
-      case AtomicOp::Kind::kLowerBoundChanged:
-        out << "xi " << op.event << " " << op.new_bound << "\n";
-        break;
-      case AtomicOp::Kind::kTimeChanged:
-        out << "time " << op.event << " " << op.new_time.start << " "
-            << op.new_time.end << "\n";
-        break;
-      case AtomicOp::Kind::kLocationChanged:
-        out << "loc " << op.event << " " << op.new_location.x << " "
-            << op.new_location.y << "\n";
-        break;
-      case AtomicOp::Kind::kBudgetChanged:
-        out << "budget " << op.user << " " << op.new_budget << "\n";
-        break;
-      case AtomicOp::Kind::kUtilityChanged:
-        out << "mu " << op.user << " " << op.event << " " << op.new_utility
-            << "\n";
-        break;
-      case AtomicOp::Kind::kNewEvent: {
-        out << "new " << op.new_event.location.x << " "
-            << op.new_event.location.y << " " << op.new_event.lower_bound
-            << " " << op.new_event.upper_bound << " "
-            << op.new_event.time.start << " " << op.new_event.time.end << " "
-            << op.new_event.fee;
-        for (double mu : op.new_event_utilities) out << " " << mu;
-        out << "\n";
-        break;
-      }
-    }
+    GEPC_RETURN_IF_ERROR(SaveOp(op, out));
   }
   if (!out) return Status::Internal("write failed");
   return Status::OK();

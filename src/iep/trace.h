@@ -26,6 +26,12 @@ namespace gepc {
 /// Comments (#) and blank lines are ignored. A `new` row carries one
 /// utility per user of the instance it will be applied to.
 Status SaveOps(const std::vector<AtomicOp>& ops, std::ostream& out);
+
+/// Writes the single row for `op` (no header) — the append primitive the
+/// service journal uses so a trace can grow one accepted operation at a
+/// time. Doubles are written with 17 significant digits so rows round-trip
+/// byte-identically.
+Status SaveOp(const AtomicOp& op, std::ostream& out);
 Status SaveOpsToFile(const std::vector<AtomicOp>& ops,
                      const std::string& path);
 

@@ -1,0 +1,86 @@
+#include "service/journal.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "iep/trace.h"
+
+namespace gepc {
+
+Result<Journal> Journal::Open(const std::string& path) {
+  uint64_t preexisting = 0;
+  int64_t existing_bytes = 0;
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    // Count the ops already journaled (also validates the header/rows, so
+    // corruption surfaces at open time, not at replay time).
+    std::ifstream in(path);
+    if (in && in.peek() != std::ifstream::traits_type::eof()) {
+      auto existing = LoadOps(in);
+      if (!existing.ok()) {
+        return Status::InvalidArgument("journal " + path + " is corrupt: " +
+                                       existing.status().message());
+      }
+      preexisting = existing->size();
+      existing_bytes =
+          static_cast<int64_t>(std::filesystem::file_size(path, ec));
+    }
+  }
+
+  Journal journal;
+  journal.path_ = path;
+  journal.out_ = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*journal.out_) {
+    return Status::NotFound("cannot open journal for appending: " + path);
+  }
+  if (preexisting == 0 && existing_bytes == 0) {
+    *journal.out_ << "GOPS1\n";
+    journal.out_->flush();
+    if (!*journal.out_) return Status::Internal("journal header write failed");
+  }
+  std::error_code size_ec;
+  const auto size = std::filesystem::file_size(path, size_ec);
+  journal.bytes_written_ =
+      size_ec ? existing_bytes : static_cast<int64_t>(size);
+  journal.preexisting_ops_ = preexisting;
+  return journal;
+}
+
+Status Journal::Append(const AtomicOp& op) {
+  if (out_ == nullptr || !*out_) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  const auto before = out_->tellp();
+  GEPC_RETURN_IF_ERROR(SaveOp(op, *out_));
+  out_->flush();
+  if (!*out_) return Status::Internal("journal append failed: " + path_);
+  bytes_written_ += static_cast<int64_t>(out_->tellp() - before);
+  return Status::OK();
+}
+
+Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
+                                   const std::string& path) {
+  GEPC_ASSIGN_OR_RETURN(const std::vector<AtomicOp> ops,
+                        LoadOpsFromFile(path));
+  GEPC_ASSIGN_OR_RETURN(
+      IncrementalPlanner planner,
+      IncrementalPlanner::Create(std::move(base_instance),
+                                 std::move(base_plan)));
+  ReplayReport report;
+  for (const AtomicOp& op : ops) {
+    auto step = planner.Apply(op);
+    if (step.ok()) {
+      ++report.ops_applied;
+    } else {
+      // The live service journaled this op before discovering it was
+      // invalid; it must fail here too for the states to line up.
+      ++report.ops_rejected;
+    }
+  }
+  report.instance = planner.instance();
+  report.plan = planner.plan();
+  report.total_utility = report.plan.TotalUtility(report.instance);
+  return report;
+}
+
+}  // namespace gepc

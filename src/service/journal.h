@@ -1,0 +1,71 @@
+#ifndef GEPC_SERVICE_JOURNAL_H_
+#define GEPC_SERVICE_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/plan.h"
+#include "iep/planner.h"
+
+namespace gepc {
+
+/// Append-only operation journal in the GOPS1 trace format (iep/trace.h).
+/// The service appends every *accepted* operation before applying it, so
+/// `ReplayJournal(base, journal)` deterministically reconstructs the exact
+/// service state after a crash — operations that fail validation are in the
+/// journal too and fail identically on replay (Apply is a pure function of
+/// the accumulated state).
+class Journal {
+ public:
+  /// Opens `path` for appending. Writes the GOPS1 header iff the file is
+  /// new or empty; an existing journal (recovery) is extended in place.
+  static Result<Journal> Open(const std::string& path);
+
+  Journal(Journal&&) = default;
+  Journal& operator=(Journal&&) = default;
+
+  /// Appends one op row and flushes, so a crash between append and apply
+  /// loses at most the un-applied tail (replay simply re-applies it).
+  Status Append(const AtomicOp& op);
+
+  /// Bytes appended through this handle plus any pre-existing content.
+  int64_t bytes_written() const { return bytes_written_; }
+
+  /// Operations already in the file when it was opened (0 for a new file).
+  uint64_t preexisting_ops() const { return preexisting_ops_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Journal() = default;
+
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;  // unique_ptr keeps Journal movable
+  int64_t bytes_written_ = 0;
+  uint64_t preexisting_ops_ = 0;
+};
+
+/// Outcome of replaying a journal on top of a base (instance, plan).
+struct ReplayReport {
+  Instance instance;
+  Plan plan;
+  uint64_t ops_applied = 0;
+  uint64_t ops_rejected = 0;  ///< journaled ops that failed validation again
+  double total_utility = 0.0;
+};
+
+/// Replays every operation of the GOPS1 file at `path` against the base
+/// state, skipping (and counting) the ones that fail validation — the same
+/// accept/reject sequence the live service produced. Returns kNotFound if
+/// the journal does not exist, kInvalidArgument if base plan/instance are
+/// inconsistent or the journal is malformed.
+Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
+                                   const std::string& path);
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_JOURNAL_H_

@@ -1,0 +1,65 @@
+#ifndef GEPC_SERVICE_JSONL_H_
+#define GEPC_SERVICE_JSONL_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace gepc {
+
+/// Minimal JSON support for the `gepc_serve` line protocol: one flat JSON
+/// object per line, values restricted to strings, numbers, booleans and
+/// null. Deliberately tiny — the protocol needs nothing nested on the
+/// request side, and responses are built with JsonWriter (which can embed
+/// pre-rendered arrays via AddRaw). Not a general-purpose JSON library.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one `{"key": value, ...}` line. Returns kInvalidArgument on
+/// malformed input or nested objects/arrays.
+Result<JsonObject> ParseJsonObject(const std::string& line);
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string EscapeJson(const std::string& text);
+
+/// Builds one flat JSON object, rendered in insertion order:
+///
+///   JsonWriter w;
+///   w.Add("ok", true); w.Add("seq", 12); w.Add("utility", 88.25);
+///   out << w.Finish() << "\n";
+class JsonWriter {
+ public:
+  void Add(const std::string& key, const std::string& value);
+  void Add(const std::string& key, const char* value);
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, uint64_t value);
+  void Add(const std::string& key, int value);
+  void Add(const std::string& key, bool value);
+  /// Embeds `raw` verbatim (caller-supplied valid JSON, e.g. an array).
+  void AddRaw(const std::string& key, const std::string& raw);
+
+  /// "{...}" with the fields added so far.
+  std::string Finish() const;
+
+ private:
+  void AppendKey(const std::string& key);
+  std::string body_;
+};
+
+/// Renders a double the way the protocol expects: shortest form that
+/// round-trips (17 significant digits, %g).
+std::string JsonNumber(double value);
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_JSONL_H_

@@ -1,0 +1,112 @@
+#ifndef GEPC_SERVICE_METRICS_H_
+#define GEPC_SERVICE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "benchutil/stats.h"
+
+namespace gepc {
+
+/// One coherent read of the service's built-in counters, returned by
+/// PlanningService::Stats() and rendered by `gepc_serve`'s `stats` command.
+struct ServiceStats {
+  // Operation counters.
+  uint64_t ops_submitted = 0;  ///< accepted into the queue
+  uint64_t ops_applied = 0;    ///< journaled and applied successfully
+  uint64_t ops_rejected = 0;   ///< journaled but failed validation
+  uint64_t ops_dropped = 0;    ///< submitted after shutdown / backpressure
+  int64_t negative_impact_total = 0;  ///< summed dif over applied ops
+
+  // Queue saturation.
+  uint64_t queue_depth = 0;
+  uint64_t queue_high_water = 0;
+  uint64_t queue_capacity = 0;
+
+  // Apply-latency distribution (milliseconds, journal append included).
+  double apply_ms_mean = 0.0;
+  double apply_ms_p50 = 0.0;
+  double apply_ms_p90 = 0.0;
+  double apply_ms_p99 = 0.0;
+  double apply_ms_max = 0.0;
+
+  // Journal / snapshot.
+  int64_t journal_bytes = 0;
+  uint64_t snapshots_published = 0;
+  uint64_t snapshot_version = 0;
+
+  // Plan aggregates (from the latest snapshot).
+  double total_utility = 0.0;
+  int64_t total_assignments = 0;
+  int events_below_lower_bound = 0;
+
+  // Memory (MemoryTracker; heap counters are 0 without the alloc hooks).
+  int64_t heap_bytes = 0;
+  int64_t peak_heap_bytes = 0;
+  int64_t rss_bytes = 0;
+};
+
+/// Thread-safe counter sink shared by the service's producer threads and
+/// its writer thread. A plain mutex is enough: Record* calls are a few
+/// nanoseconds and sit next to an Apply that costs microseconds.
+class ServiceMetrics {
+ public:
+  void RecordSubmitted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+
+  void RecordApplied(double apply_ms, int64_t negative_impact) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++applied_;
+    negative_impact_ += negative_impact;
+    apply_ms_.Add(apply_ms);
+  }
+
+  void RecordRejected(double apply_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    apply_ms_.Add(apply_ms);
+  }
+
+  void RecordDropped() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dropped_;
+  }
+
+  void RecordSnapshotPublished() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snapshots_;
+  }
+
+  /// Fills the counter/latency fields of `stats` (the queue, journal and
+  /// snapshot fields are owned by the service).
+  void FillStats(ServiceStats* stats) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats->ops_submitted = submitted_;
+    stats->ops_applied = applied_;
+    stats->ops_rejected = rejected_;
+    stats->ops_dropped = dropped_;
+    stats->negative_impact_total = negative_impact_;
+    stats->snapshots_published = snapshots_;
+    stats->apply_ms_mean = apply_ms_.mean();
+    stats->apply_ms_p50 = apply_ms_.percentile(0.50);
+    stats->apply_ms_p90 = apply_ms_.percentile(0.90);
+    stats->apply_ms_p99 = apply_ms_.percentile(0.99);
+    stats->apply_ms_max = apply_ms_.max();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t submitted_ = 0;
+  uint64_t applied_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t snapshots_ = 0;
+  int64_t negative_impact_ = 0;
+  SampleStats apply_ms_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_METRICS_H_

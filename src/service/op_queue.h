@@ -1,0 +1,110 @@
+#ifndef GEPC_SERVICE_OP_QUEUE_H_
+#define GEPC_SERVICE_OP_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace gepc {
+
+/// Bounded multi-producer single-consumer queue: the hand-off between the
+/// PlanningService's front-end threads (producers) and its single writer
+/// thread (consumer). Blocking semantics match a production ingest path:
+/// producers either wait for room (`Push`) or get immediate backpressure
+/// (`TryPush`); the consumer drains remaining items after `Close` so no
+/// accepted operation is ever dropped.
+///
+/// Tracks the depth high-water mark — the service exposes it as a
+/// saturation signal ("how close did we come to blocking organizers?").
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (item untouched) iff the
+  /// queue was closed.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    Enqueue(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false (item untouched) if the queue is full
+  /// or closed; `*full` distinguishes the two when non-null.
+  bool TryPush(T&& item, bool* full = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (full != nullptr) *full = !closed_ && items_.size() >= capacity_;
+    if (closed_ || items_.size() >= capacity_) return false;
+    Enqueue(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns false only when the
+  /// queue is closed *and* fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Rejects all future pushes; pending items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Enqueue(T&& item) {
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_OP_QUEUE_H_

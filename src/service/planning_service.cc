@@ -1,0 +1,264 @@
+#include "service/planning_service.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/memory_tracker.h"
+#include "common/timer.h"
+
+namespace gepc {
+
+namespace {
+
+ApplyOutcome ShutdownOutcome() {
+  ApplyOutcome outcome;
+  outcome.applied = false;
+  outcome.error = "service is shut down";
+  return outcome;
+}
+
+bool FileHasContent(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) &&
+         std::filesystem::file_size(path, ec) > 0;
+}
+
+}  // namespace
+
+PlanningService::PlanningService(IncrementalPlanner planner,
+                                 ServiceOptions options,
+                                 std::optional<Journal> journal,
+                                 uint64_t base_sequence)
+    : options_([&options] {
+        if (options.snapshot_every < 1) options.snapshot_every = 1;
+        return options;
+      }()),
+      planner_(std::move(planner)),
+      journal_(std::move(journal)),
+      sequence_(base_sequence),
+      queue_(options_.queue_capacity) {
+  journal_bytes_.store(journal_ ? journal_->bytes_written() : 0,
+                       std::memory_order_relaxed);
+  PublishSnapshot();
+  writer_ = std::thread(&PlanningService::WriterLoop, this);
+}
+
+Result<std::unique_ptr<PlanningService>> PlanningService::Create(
+    Instance instance, Plan plan, ServiceOptions options) {
+  GEPC_ASSIGN_OR_RETURN(
+      IncrementalPlanner planner,
+      IncrementalPlanner::Create(std::move(instance), std::move(plan)));
+  std::optional<Journal> journal;
+  if (!options.journal_path.empty()) {
+    if (FileHasContent(options.journal_path)) {
+      return Status::FailedPrecondition(
+          "journal " + options.journal_path +
+          " already has operations; use Recover (or remove the file)");
+    }
+    GEPC_ASSIGN_OR_RETURN(Journal opened, Journal::Open(options.journal_path));
+    journal = std::move(opened);
+  }
+  return std::unique_ptr<PlanningService>(new PlanningService(
+      std::move(planner), std::move(options), std::move(journal),
+      /*base_sequence=*/0));
+}
+
+Result<std::unique_ptr<PlanningService>> PlanningService::Recover(
+    Instance base_instance, Plan base_plan, ServiceOptions options) {
+  if (options.journal_path.empty()) {
+    return Status::InvalidArgument("Recover needs options.journal_path");
+  }
+  if (!FileHasContent(options.journal_path)) {
+    // First boot: nothing to replay yet.
+    return Create(std::move(base_instance), std::move(base_plan),
+                  std::move(options));
+  }
+  GEPC_ASSIGN_OR_RETURN(ReplayReport replay,
+                        ReplayJournal(std::move(base_instance),
+                                      std::move(base_plan),
+                                      options.journal_path));
+  const uint64_t recovered = replay.ops_applied + replay.ops_rejected;
+  GEPC_ASSIGN_OR_RETURN(IncrementalPlanner planner,
+                        IncrementalPlanner::Create(std::move(replay.instance),
+                                                   std::move(replay.plan)));
+  GEPC_ASSIGN_OR_RETURN(Journal journal, Journal::Open(options.journal_path));
+  GEPC_LOG(Info) << "recovered " << recovered << " ops from "
+                 << options.journal_path << " (" << replay.ops_rejected
+                 << " rejected)";
+  return std::unique_ptr<PlanningService>(
+      new PlanningService(std::move(planner), std::move(options),
+                          std::move(journal), /*base_sequence=*/recovered));
+}
+
+PlanningService::~PlanningService() { Shutdown(); }
+
+std::future<ApplyOutcome> PlanningService::Submit(AtomicOp op) {
+  PendingOp pending;
+  pending.op = std::move(op);
+  std::future<ApplyOutcome> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_issued_;
+  }
+  metrics_.RecordSubmitted();
+  if (!queue_.Push(std::move(pending))) {
+    // Closed: Push left `pending` untouched, so the promise is still ours.
+    metrics_.RecordDropped();
+    pending.promise.set_value(ShutdownOutcome());
+    FinishOne();
+  }
+  return future;
+}
+
+Result<std::future<ApplyOutcome>> PlanningService::TrySubmit(AtomicOp op) {
+  PendingOp pending;
+  pending.op = std::move(op);
+  std::future<ApplyOutcome> future = pending.promise.get_future();
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_issued_;
+  }
+  if (queue_.TryPush(std::move(pending), &full)) {
+    metrics_.RecordSubmitted();
+    return future;
+  }
+  metrics_.RecordDropped();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_finished_;
+  }
+  drain_cv_.notify_all();
+  if (full) return Status::Unavailable("op queue is full");
+  return Status::Unavailable("service is shut down");
+}
+
+ApplyOutcome PlanningService::Apply(AtomicOp op) {
+  return Submit(std::move(op)).get();
+}
+
+std::shared_ptr<const ServiceSnapshot> PlanningService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+Result<Itinerary> PlanningService::QueryUser(UserId user) const {
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  if (user < 0 || user >= snap->instance->num_users()) {
+    return Status::OutOfRange("user " + std::to_string(user) +
+                              " outside [0, " +
+                              std::to_string(snap->instance->num_users()) +
+                              ")");
+  }
+  return BuildItinerary(*snap->instance, *snap->plan, user);
+}
+
+ServiceStats PlanningService::Stats() const {
+  ServiceStats stats;
+  metrics_.FillStats(&stats);
+  stats.queue_depth = queue_.depth();
+  stats.queue_high_water = queue_.high_water();
+  stats.queue_capacity = queue_.capacity();
+  stats.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  stats.snapshot_version = snap->version;
+  stats.total_utility = snap->total_utility;
+  stats.total_assignments = snap->total_assignments;
+  stats.events_below_lower_bound = snap->events_below_lower_bound;
+  stats.heap_bytes = MemoryTracker::CurrentBytes();
+  stats.peak_heap_bytes = MemoryTracker::PeakBytes();
+  stats.rss_bytes = MemoryTracker::CurrentRssBytes();
+  return stats;
+}
+
+void PlanningService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  const uint64_t target = tickets_issued_;
+  drain_cv_.wait(lock, [&] { return tickets_finished_ >= target; });
+}
+
+void PlanningService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+    queue_.Close();
+    if (writer_.joinable()) writer_.join();
+  });
+}
+
+void PlanningService::WriterLoop() {
+  PendingOp pending;
+  while (queue_.Pop(&pending)) {
+    ApplyOne(&pending);
+  }
+  // Queue closed and drained: leave a final snapshot of the end state.
+  PublishSnapshot();
+}
+
+void PlanningService::ApplyOne(PendingOp* pending) {
+  Timer timer;
+  ApplyOutcome outcome;
+
+  Status journaled = Status::OK();
+  if (journal_) {
+    journaled = journal_->Append(pending->op);
+    journal_bytes_.store(journal_->bytes_written(),
+                         std::memory_order_relaxed);
+  }
+  if (!journaled.ok()) {
+    // If the op cannot be made durable it must not be applied, or a replay
+    // would diverge from the served state.
+    outcome.applied = false;
+    outcome.error = "journal append failed: " + journaled.ToString();
+    metrics_.RecordRejected(timer.ElapsedMillis());
+  } else {
+    const uint64_t sequence = ++sequence_;
+    auto step = planner_.Apply(pending->op);
+    const double elapsed_ms = timer.ElapsedMillis();
+    outcome.sequence = sequence;
+    if (step.ok()) {
+      outcome.applied = true;
+      outcome.negative_impact = step->negative_impact;
+      outcome.total_utility = step->total_utility;
+      outcome.events_below_lower_bound = step->events_below_lower_bound;
+      outcome.added_by_topup = step->added_by_topup;
+      metrics_.RecordApplied(elapsed_ms, step->negative_impact);
+    } else {
+      outcome.applied = false;
+      outcome.error = step.status().ToString();
+      metrics_.RecordRejected(elapsed_ms);
+    }
+    ++applied_since_snapshot_;
+    if (applied_since_snapshot_ >=
+            static_cast<uint64_t>(options_.snapshot_every) ||
+        queue_.depth() == 0) {
+      PublishSnapshot();
+    }
+  }
+
+  // Publish-before-resolve: whoever waits on the future (or on Drain) sees
+  // a snapshot that already includes this operation.
+  pending->promise.set_value(std::move(outcome));
+  FinishOne();
+}
+
+void PlanningService::PublishSnapshot() {
+  std::shared_ptr<const ServiceSnapshot> fresh =
+      MakeServiceSnapshot(planner_.instance(), planner_.plan(), sequence_);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(fresh);
+  }
+  metrics_.RecordSnapshotPublished();
+  applied_since_snapshot_ = 0;
+}
+
+void PlanningService::FinishOne() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_finished_;
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace gepc

@@ -1,0 +1,160 @@
+#ifndef GEPC_SERVICE_PLANNING_SERVICE_H_
+#define GEPC_SERVICE_PLANNING_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/itinerary.h"
+#include "core/plan.h"
+#include "iep/planner.h"
+#include "service/journal.h"
+#include "service/metrics.h"
+#include "service/op_queue.h"
+#include "service/snapshot.h"
+
+namespace gepc {
+
+struct ServiceOptions {
+  /// Bound of the submission queue; producers beyond it block (Submit) or
+  /// get backpressure (TrySubmit).
+  size_t queue_capacity = 1024;
+
+  /// Journal file (GOPS1). Empty disables journaling (tests, throwaway
+  /// what-if services). `Create` refuses a pre-existing non-empty journal —
+  /// use `Recover` to resume from one.
+  std::string journal_path;
+
+  /// Publish a fresh snapshot every N applied operations. The writer also
+  /// publishes whenever its queue runs empty, so idle services are always
+  /// fresh; raising N batches the O(instance) snapshot copy under load.
+  int snapshot_every = 1;
+};
+
+/// What happened to one submitted operation, delivered via the future that
+/// Submit/TrySubmit return (Apply returns it directly).
+struct ApplyOutcome {
+  /// 1-based position in the apply/journal order; 0 when never applied.
+  uint64_t sequence = 0;
+  /// False when the op failed validation (state unchanged) or the service
+  /// shut down before reaching it; `error` says which.
+  bool applied = false;
+  std::string error;
+  int64_t negative_impact = 0;
+  double total_utility = 0.0;
+  int events_below_lower_bound = 0;
+  int added_by_topup = 0;
+};
+
+/// Long-running online planning core (the paper's IEP loop turned into a
+/// service): owns an Instance + Plan behind a single writer thread that
+/// drains a bounded MPSC queue of atomic operations, journals every
+/// accepted op *before* applying it (crash recovery = ReplayJournal), and
+/// publishes immutable ServiceSnapshots so any number of reader threads can
+/// query plans, itineraries and stats without ever blocking the writer.
+///
+/// Thread-safety: every public method may be called from any thread.
+/// Ordering: operations are applied in queue (FIFO) order, which is exactly
+/// the journal order, so a replay reconstructs the identical state.
+class PlanningService {
+ public:
+  /// Validates (instance, plan) — normally a SolveGepc output — opens the
+  /// journal (if configured), publishes the initial snapshot, and starts
+  /// the writer thread.
+  static Result<std::unique_ptr<PlanningService>> Create(
+      Instance instance, Plan plan, ServiceOptions options = {});
+
+  /// Crash recovery: replays options.journal_path (which must exist) on top
+  /// of the base state, then serves with the journal extended in place.
+  /// The recovered service is byte-for-byte the one that crashed.
+  static Result<std::unique_ptr<PlanningService>> Recover(
+      Instance base_instance, Plan base_plan, ServiceOptions options);
+
+  ~PlanningService();
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Enqueues `op`; blocks while the queue is full. The future resolves
+  /// when the writer thread has journaled + applied (or rejected) the op.
+  /// After Shutdown the future resolves immediately with applied=false.
+  std::future<ApplyOutcome> Submit(AtomicOp op);
+
+  /// Non-blocking Submit; kUnavailable when the queue is full or the
+  /// service is shut down.
+  Result<std::future<ApplyOutcome>> TrySubmit(AtomicOp op);
+
+  /// Submit + wait: the synchronous convenience the CLI front end uses.
+  ApplyOutcome Apply(AtomicOp op);
+
+  /// Latest published snapshot; never null. Hold it as long as you like.
+  std::shared_ptr<const ServiceSnapshot> snapshot() const;
+
+  /// Renders `user`'s current itinerary from the latest snapshot.
+  Result<Itinerary> QueryUser(UserId user) const;
+
+  /// One coherent read of all built-in counters.
+  ServiceStats Stats() const;
+
+  /// Blocks until every operation submitted before this call has been
+  /// applied or rejected. The writer publishes each op's snapshot before
+  /// resolving it, so after Drain the snapshot covers all drained ops.
+  void Drain();
+
+  /// Stops accepting, drains the queue, joins the writer thread, closes
+  /// the journal. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// False once Shutdown has begun.
+  bool accepting() const { return accepting_.load(std::memory_order_acquire); }
+
+ private:
+  struct PendingOp {
+    AtomicOp op;
+    std::promise<ApplyOutcome> promise;
+  };
+
+  PlanningService(IncrementalPlanner planner, ServiceOptions options,
+                  std::optional<Journal> journal, uint64_t base_sequence);
+
+  void WriterLoop();
+  void ApplyOne(PendingOp* pending);
+  void PublishSnapshot();
+  void FinishOne();  // bookkeeping for Drain()
+
+  const ServiceOptions options_;
+  IncrementalPlanner planner_;  // touched only by the writer thread
+  std::optional<Journal> journal_;
+  uint64_t sequence_;  // ops journaled so far (incl. recovered ones)
+  uint64_t applied_since_snapshot_ = 0;
+  std::atomic<int64_t> journal_bytes_{0};  // mirrored for lock-free Stats()
+
+  BoundedQueue<PendingOp> queue_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ServiceSnapshot> snapshot_;
+
+  // Drain accounting: ticket = ops accepted into the queue, finished = ops
+  // the writer fully resolved.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t tickets_issued_ = 0;
+  uint64_t tickets_finished_ = 0;
+
+  std::atomic<bool> accepting_{true};
+  std::once_flag shutdown_once_;
+  std::thread writer_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_PLANNING_SERVICE_H_

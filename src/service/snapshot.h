@@ -1,0 +1,43 @@
+#ifndef GEPC_SERVICE_SNAPSHOT_H_
+#define GEPC_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+
+/// An immutable, internally consistent view of the service state, published
+/// by the writer thread after applying operations. Readers hold a
+/// `shared_ptr<const ServiceSnapshot>` and can keep querying it for as long
+/// as they like while the writer races ahead — the snapshot never mutates,
+/// so no reader ever blocks the apply loop.
+struct ServiceSnapshot {
+  /// Number of journal operations absorbed when this snapshot was taken
+  /// (monotone; snapshot version v reflects ops 1..v, rejected ones
+  /// included as no-ops).
+  uint64_t version = 0;
+
+  std::shared_ptr<const Instance> instance;
+  std::shared_ptr<const Plan> plan;
+
+  // Derived aggregates, precomputed so `stats` queries cost O(1).
+  double total_utility = 0.0;
+  int64_t total_assignments = 0;
+  int events_below_lower_bound = 0;
+};
+
+/// Deep-copies (instance, plan) into a fresh immutable snapshot and fills
+/// the derived aggregates.
+std::shared_ptr<const ServiceSnapshot> MakeServiceSnapshot(
+    const Instance& instance, const Plan& plan, uint64_t version);
+
+/// Number of events whose attendance is below their lower bound xi_j —
+/// the shortfall the paper's Algorithm 4 works to repair.
+int CountEventsBelowLowerBound(const Instance& instance, const Plan& plan);
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_SNAPSHOT_H_

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "data/io.h"
@@ -113,6 +114,42 @@ TEST_F(CliTest, ItineraryPrints) {
 
 TEST_F(CliTest, UnknownCommandFails) {
   EXPECT_NE(RunCommand(Cli() + " frobnicate"), 0);
+  EXPECT_NE(RunCommand(Cli()), 0);  // no command at all
+}
+
+TEST_F(CliTest, UnknownFlagRejectedWithUsage) {
+  const std::string command = Cli() + " stats --in " + instance_path_ +
+                              " --frobnicate 3";
+  EXPECT_EQ(RunCommand(command), 64);
+  // The error message names the bad flag and the usage block follows.
+  const std::string capture = Tmp("cli_test_stderr.txt");
+  ASSERT_EQ(WEXITSTATUS(std::system(
+                (command + " > /dev/null 2> " + capture).c_str())),
+            64);
+  std::ifstream in(capture);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("--frobnicate"), std::string::npos);
+  EXPECT_NE(text.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagMissingValueRejected) {
+  EXPECT_EQ(RunCommand(Cli() + " stats --in"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --algorithm"),
+            64);
+}
+
+TEST_F(CliTest, StrayPositionalRejected) {
+  EXPECT_EQ(RunCommand(Cli() + " stats --in " + instance_path_ + " extra"),
+            64);
+}
+
+TEST_F(CliTest, FlagFromOtherCommandRejected) {
+  // --op belongs to `apply`, not `stats`.
+  EXPECT_EQ(RunCommand(Cli() + " stats --in " + instance_path_ +
+                       " --op eta:0:1"),
+            64);
 }
 
 TEST_F(CliTest, MissingFilesFailCleanly) {

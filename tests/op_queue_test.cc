@@ -1,0 +1,124 @@
+#include "service/op_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gepc {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.depth(), 3u);
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushReportsFull) {
+  BoundedQueue<int> queue(2);
+  bool full = false;
+  EXPECT_TRUE(queue.TryPush(1, &full));
+  EXPECT_TRUE(queue.TryPush(2, &full));
+  EXPECT_FALSE(queue.TryPush(3, &full));
+  EXPECT_TRUE(full);
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.TryPush(3, &full));
+}
+
+TEST(BoundedQueueTest, TryPushAfterCloseIsNotFull) {
+  BoundedQueue<int> queue(2);
+  queue.Close();
+  bool full = true;
+  EXPECT_FALSE(queue.TryPush(1, &full));
+  EXPECT_FALSE(full);
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingItems) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and empty
+}
+
+TEST(BoundedQueueTest, HighWaterTracksDeepestPoint) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(int{i}));
+  int out = 0;
+  while (queue.depth() > 0) queue.Pop(&out);
+  EXPECT_EQ(queue.high_water(), 5u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(7));
+  bool full = false;
+  EXPECT_FALSE(queue.TryPush(8, &full));
+  EXPECT_TRUE(full);
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(16);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  int received = 0;
+  int out = 0;
+  while (received < kProducers * kPerProducer && queue.Pop(&out)) {
+    ASSERT_FALSE(seen[static_cast<size_t>(out)]);
+    seen[static_cast<size_t>(out)] = true;
+    ++received;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(received, kProducers * kPerProducer);
+  EXPECT_LE(queue.high_water(), queue.capacity());
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,191 @@
+// End-to-end tests of the gepc_serve binary (path injected by CMake as
+// GEPC_SERVE_PATH). Each test writes a request script, pipes it through a
+// full server session over stdin/stdout, and inspects the JSONL responses.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/io.h"
+#include "service/journal.h"
+
+namespace gepc {
+namespace {
+
+std::string Serve() { return GEPC_SERVE_PATH; }
+
+std::string Tmp(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteLines(const std::string& path,
+                const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::vector<std::string> lines;  // stdout, one response per line
+};
+
+RunResult RunSession(const std::string& flags,
+                     const std::vector<std::string>& requests) {
+  const std::string requests_path = Tmp("serve_requests.jsonl");
+  const std::string output_path = Tmp("serve_responses.jsonl");
+  WriteLines(requests_path, requests);
+  const std::string command = Serve() + " " + flags + " < " + requests_path +
+                              " > " + output_path + " 2> /dev/null";
+  RunResult result;
+  result.exit_code = WEXITSTATUS(std::system(command.c_str()));
+  std::ifstream in(output_path);
+  std::string line;
+  while (std::getline(in, line)) result.lines.push_back(line);
+  return result;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_users = 30;
+    config.num_events = 8;
+    config.mean_xi = 1;
+    config.mean_eta = 6;
+    config.seed = 11;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    instance_path_ = Tmp("serve_test.gepc");
+    ASSERT_TRUE(SaveInstanceToFile(*instance, instance_path_).ok());
+  }
+
+  std::string instance_path_;
+};
+
+TEST_F(ServeTest, SessionAppliesQueriesAndShutsDown) {
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"query_user","user":0})",
+       R"({"cmd":"query_event","event":0})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  // ready + 4 responses + shutdown acknowledgement.
+  ASSERT_EQ(result.lines.size(), 6u);
+  EXPECT_NE(result.lines[0].find("\"ready\":true"), std::string::npos);
+  EXPECT_NE(result.lines[1].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(result.lines[1].find("\"applied\":true"), std::string::npos);
+  EXPECT_NE(result.lines[1].find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(result.lines[2].find("\"user\":0"), std::string::npos);
+  EXPECT_NE(result.lines[3].find("\"attendance\":"), std::string::npos);
+  EXPECT_NE(result.lines[4].find("\"ops_applied\":1"), std::string::npos);
+  EXPECT_NE(result.lines[5].find("\"shutdown\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, ErrorsKeepTheSessionAlive) {
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {"this is not json",
+       R"({"cmd":"frobnicate"})",
+       R"({"cmd":"apply","op":"bogus:1:2"})",
+       R"({"cmd":"apply"})",
+       R"({"cmd":"query_user","user":999})",
+       R"({"cmd":"apply","op":"eta:99:1"})",
+       R"({"cmd":"stats"})"});
+  EXPECT_EQ(result.exit_code, 0);  // EOF is a clean shutdown
+  ASSERT_EQ(result.lines.size(), 9u);  // ready + 7 + shutdown line
+  for (size_t i = 1; i <= 5; ++i) {
+    EXPECT_NE(result.lines[i].find("\"ok\":false"), std::string::npos)
+        << "line " << i << ": " << result.lines[i];
+    EXPECT_NE(result.lines[i].find("\"error\":"), std::string::npos);
+  }
+  // An op on an unknown event id parses fine but the planner rejects it;
+  // the request itself still succeeds.
+  EXPECT_NE(result.lines[6].find("\"applied\":false"), std::string::npos);
+  EXPECT_NE(result.lines[6].find("\"error\":"), std::string::npos);
+  EXPECT_NE(result.lines[7].find("\"ops_rejected\":1"), std::string::npos);
+}
+
+TEST_F(ServeTest, JournalSurvivesRestartViaRecover) {
+  const std::string journal_path = Tmp("serve_test_journal.gops");
+  std::remove(journal_path.c_str());
+
+  const RunResult first = RunSession(
+      "--in " + instance_path_ + " --journal " + journal_path,
+      {R"({"cmd":"apply","op":"budget:0:55.5"})",
+       R"({"cmd":"apply","op":"budget:2:60"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(first.exit_code, 0);
+  ASSERT_GE(first.lines.size(), 4u);
+  EXPECT_NE(first.lines[3].find("\"ops_applied\":2"), std::string::npos);
+
+  // Without --recover a populated journal is refused (exit nonzero)...
+  const RunResult refused = RunSession(
+      "--in " + instance_path_ + " --journal " + journal_path,
+      {R"({"cmd":"shutdown"})"});
+  EXPECT_NE(refused.exit_code, 0);
+
+  // ...with --recover the session resumes at sequence 3.
+  const RunResult second = RunSession(
+      "--in " + instance_path_ + " --journal " + journal_path + " --recover",
+      {R"({"cmd":"apply","op":"budget:1:44.25"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(second.exit_code, 0);
+  ASSERT_GE(second.lines.size(), 2u);
+  EXPECT_NE(second.lines[0].find("\"recovered_ops\":2"), std::string::npos);
+  EXPECT_NE(second.lines[1].find("\"seq\":3"), std::string::npos);
+}
+
+TEST_F(ServeTest, SavePlanWritesLoadablePlan) {
+  const std::string plan_path = Tmp("serve_test_saved.gpln");
+  std::remove(plan_path.c_str());
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"apply","op":"eta:1:2"})",
+       R"({"cmd":"save_plan","path":")" + plan_path + R"("})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  auto plan = LoadPlanFromFile(plan_path);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_LE(plan->attendance(1), 2);
+}
+
+TEST_F(ServeTest, AsyncApplyAndDrain) {
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"apply","op":"budget:2:70","wait":false})",
+       R"({"cmd":"drain"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 5u);
+  EXPECT_NE(result.lines[1].find("\"queued\":true"), std::string::npos);
+  EXPECT_NE(result.lines[2].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(result.lines[3].find("\"ops_applied\":1"), std::string::npos);
+}
+
+TEST_F(ServeTest, BadFlagsFail) {
+  EXPECT_NE(WEXITSTATUS(std::system(
+                (Serve() + " --in /no/such/file.gepc < /dev/null"
+                           " > /dev/null 2>&1")
+                    .c_str())),
+            0);
+  EXPECT_NE(WEXITSTATUS(std::system(
+                (Serve() + " --bogus-flag < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            0);
+  EXPECT_NE(WEXITSTATUS(std::system(
+                (Serve() + " < /dev/null > /dev/null 2>&1").c_str())),
+            0);  // --in is required
+}
+
+}  // namespace
+}  // namespace gepc

@@ -121,6 +121,40 @@ TEST(TraceTest, EmptyTraceIsValid) {
   EXPECT_TRUE(loaded->empty());
 }
 
+TEST(TraceTest, EveryOpKindRoundTripsByteIdentically) {
+  // Awkward doubles on purpose: values that lose digits under default
+  // stream precision. write -> parse -> write must reproduce the exact
+  // bytes, which is what makes the service journal's replay exact.
+  Event fresh;
+  fresh.location = {1.0 / 3.0, -0.1};
+  fresh.lower_bound = 0;
+  fresh.upper_bound = 7;
+  fresh.time = {539, 1261};
+  fresh.fee = 12.880807237860413;
+  const std::vector<AtomicOp> ops = {
+      AtomicOp::UpperBoundChange(3, 10),
+      AtomicOp::LowerBoundChange(0, 2),
+      AtomicOp::TimeChange(2, {61, 179}),
+      AtomicOp::LocationChange(4, {0.1 + 0.2, 1e-9}),
+      AtomicOp::BudgetChange(5, 100.0 / 7.0),
+      AtomicOp::UtilityChange(6, 1, 2.0 / 3.0),
+      AtomicOp::NewEvent(fresh, {0.1, 1.0 / 7.0, 0.30000000000000004}),
+  };
+
+  std::stringstream first;
+  ASSERT_TRUE(SaveOps(ops, first).ok());
+  auto loaded = LoadOps(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::stringstream second;
+  ASSERT_TRUE(SaveOps(*loaded, second).ok());
+  EXPECT_EQ(first.str(), second.str());
+
+  // And per-row SaveOp agrees with the batch writer (header aside).
+  std::stringstream rows;
+  for (const AtomicOp& op : ops) ASSERT_TRUE(SaveOp(op, rows).ok());
+  EXPECT_EQ(std::string("GOPS1\n") + rows.str(), first.str());
+}
+
 TEST(TraceTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/gepc_trace_test.gops";
   ASSERT_TRUE(SaveOpsToFile(SampleOps(), path).ok());

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,11 +31,31 @@
 #include "data/io.h"
 #include "gepc/solver.h"
 #include "iep/batch.h"
+#include "iep/op_spec.h"
 #include "iep/planner.h"
 #include "iep/trace.h"
 
 namespace gepc {
 namespace cli {
+
+constexpr char kUsage[] =
+    "usage: gepc_cli <command> [options]\n"
+    "\n"
+    "  generate  --users N --events M --out inst.gepc\n"
+    "            [--seed S] [--xi X] [--eta E] [--conflict R] [--fee F]\n"
+    "  stats     --in inst.gepc\n"
+    "  solve     --in inst.gepc [--algorithm greedy|gap|regret]\n"
+    "            [--no-topup] [--plan-out plan.gpln]\n"
+    "  validate  --in inst.gepc --plan plan.gpln\n"
+    "  itinerary --in inst.gepc --plan plan.gpln [--user N]\n"
+    "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
+    "            [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]\n"
+    "\n"
+    "  SPEC is one of:\n"
+    "    eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END\n"
+    "    budget:USER:VALUE   mu:USER:EVENT:VALUE  loc:EVENT:X:Y\n"
+    "\n"
+    "(see docs/cli.md; the online service front end is gepc_serve)\n";
 
 struct Args {
   std::string command;
@@ -44,22 +65,71 @@ struct Args {
   bool no_topup = false;
 };
 
-Args ParseArgs(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
+/// The flags each command accepts; anything else is rejected loudly so a
+/// typo ("--uesrs 100") cannot silently fall back to a default.
+struct CommandSpec {
+  std::set<std::string> value_options;
+  std::set<std::string> bool_flags;
+};
+
+const std::map<std::string, CommandSpec>& Commands() {
+  static const std::map<std::string, CommandSpec> kCommands = {
+      {"generate",
+       {{"users", "events", "seed", "xi", "eta", "conflict", "fee", "out"},
+        {}}},
+      {"stats", {{"in"}, {}}},
+      {"solve", {{"in", "algorithm", "plan-out"}, {"no-topup"}}},
+      {"validate", {{"in", "plan"}, {}}},
+      {"itinerary", {{"in", "plan", "user"}, {}}},
+      {"apply",
+       {{"in", "plan", "op", "ops-file", "plan-out"}, {"reorder"}}},
+  };
+  return kCommands;
+}
+
+/// Strict parse: unknown commands, unknown flags, missing values and stray
+/// positional arguments all fail with a message in `error`.
+bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
+  if (argc < 2) {
+    *error = "missing command";
+    return false;
+  }
+  args->command = argv[1];
+  const auto spec_it = Commands().find(args->command);
+  if (spec_it == Commands().end()) {
+    *error = "unknown command '" + args->command + "'";
+    return false;
+  }
+  const CommandSpec& spec = spec_it->second;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--reorder") {
-      args.reorder = true;
-    } else if (arg == "--no-topup") {
-      args.no_topup = true;
-    } else if (arg == "--op" && i + 1 < argc) {
-      args.ops.push_back(argv[++i]);
-    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-      args.options[arg.substr(2)] = argv[++i];
+    if (arg.rfind("--", 0) != 0) {
+      *error = "unexpected argument '" + arg + "'";
+      return false;
+    }
+    const std::string name = arg.substr(2);
+    if (spec.bool_flags.count(name) > 0) {
+      if (name == "reorder") args->reorder = true;
+      if (name == "no-topup") args->no_topup = true;
+      continue;
+    }
+    if (spec.value_options.count(name) == 0) {
+      *error = "unknown flag '" + arg + "' for command '" + args->command +
+               "'";
+      return false;
+    }
+    if (i + 1 >= argc) {
+      *error = "flag '" + arg + "' needs a value";
+      return false;
+    }
+    const std::string value = argv[++i];
+    if (name == "op") {
+      args->ops.push_back(value);
+    } else {
+      args->options[name] = value;
     }
   }
-  return args;
+  return true;
 }
 
 std::string GetOption(const Args& args, const std::string& key,
@@ -71,68 +141,6 @@ std::string GetOption(const Args& args, const std::string& key,
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
-}
-
-/// Splits "a:b:c" into fields.
-std::vector<std::string> SplitSpec(const std::string& spec) {
-  std::vector<std::string> fields;
-  size_t begin = 0;
-  while (begin <= spec.size()) {
-    const size_t colon = spec.find(':', begin);
-    if (colon == std::string::npos) {
-      fields.push_back(spec.substr(begin));
-      break;
-    }
-    fields.push_back(spec.substr(begin, colon - begin));
-    begin = colon + 1;
-  }
-  return fields;
-}
-
-Result<AtomicOp> ParseOp(const std::string& spec) {
-  const std::vector<std::string> f = SplitSpec(spec);
-  auto need = [&](size_t n) -> Status {
-    if (f.size() != n) {
-      return Status::InvalidArgument("op '" + spec + "' needs " +
-                                     std::to_string(n - 1) + " fields");
-    }
-    return Status::OK();
-  };
-  if (f.empty()) return Status::InvalidArgument("empty op spec");
-  if (f[0] == "eta") {
-    GEPC_RETURN_IF_ERROR(need(3));
-    return AtomicOp::UpperBoundChange(std::atoi(f[1].c_str()),
-                                      std::atoi(f[2].c_str()));
-  }
-  if (f[0] == "xi") {
-    GEPC_RETURN_IF_ERROR(need(3));
-    return AtomicOp::LowerBoundChange(std::atoi(f[1].c_str()),
-                                      std::atoi(f[2].c_str()));
-  }
-  if (f[0] == "time") {
-    GEPC_RETURN_IF_ERROR(need(4));
-    return AtomicOp::TimeChange(
-        std::atoi(f[1].c_str()),
-        {std::atoi(f[2].c_str()), std::atoi(f[3].c_str())});
-  }
-  if (f[0] == "budget") {
-    GEPC_RETURN_IF_ERROR(need(3));
-    return AtomicOp::BudgetChange(std::atoi(f[1].c_str()),
-                                  std::atof(f[2].c_str()));
-  }
-  if (f[0] == "mu") {
-    GEPC_RETURN_IF_ERROR(need(4));
-    return AtomicOp::UtilityChange(std::atoi(f[1].c_str()),
-                                   std::atoi(f[2].c_str()),
-                                   std::atof(f[3].c_str()));
-  }
-  if (f[0] == "loc") {
-    GEPC_RETURN_IF_ERROR(need(4));
-    return AtomicOp::LocationChange(
-        std::atoi(f[1].c_str()),
-        {std::atof(f[2].c_str()), std::atof(f[3].c_str())});
-  }
-  return Status::InvalidArgument("unknown op kind '" + f[0] + "'");
 }
 
 int CmdGenerate(const Args& args) {
@@ -271,7 +279,7 @@ int CmdApply(const Args& args) {
     ops = *std::move(loaded);
   }
   for (const std::string& spec : args.ops) {
-    auto op = ParseOp(spec);
+    auto op = ParseOpSpec(spec);
     if (!op.ok()) return Fail(op.status().ToString());
     ops.push_back(*std::move(op));
   }
@@ -314,22 +322,21 @@ int CmdApply(const Args& args) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: gepc_cli <generate|stats|solve|validate|apply|itinerary> "
-               "[options]\n(see the header of tools/gepc_cli.cc)\n");
-  return 64;
-}
-
 int Main(int argc, char** argv) {
-  const Args args = ParseArgs(argc, argv);
+  Args args;
+  std::string error;
+  if (!ParseArgs(argc, argv, &args, &error)) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), kUsage);
+    return 64;
+  }
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "solve") return CmdSolve(args);
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "apply") return CmdApply(args);
   if (args.command == "itinerary") return CmdItinerary(args);
-  return Usage();
+  std::fprintf(stderr, "%s", kUsage);  // unreachable: ParseArgs validated
+  return 64;
 }
 
 }  // namespace cli

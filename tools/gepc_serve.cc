@@ -1,0 +1,431 @@
+// gepc_serve — long-running online planning service front end.
+//
+//   gepc_serve --in inst.gepc [--plan plan.gpln] [--journal ops.gops]
+//              [--recover] [--algorithm greedy|gap|regret]
+//              [--queue N] [--snapshot-every N]
+//
+// Loads the instance (solving it with the chosen algorithm unless --plan is
+// given), wraps it in a PlanningService, and speaks a line-oriented JSONL
+// protocol on stdin/stdout — one flat JSON object per line each way:
+//
+//   -> {"cmd":"apply","op":"eta:3:10"}
+//   <- {"ok":true,"seq":1,"applied":true,"dif":2,"utility":88.25,...}
+//   -> {"cmd":"apply","op":"budget:4:0.5","wait":false}
+//   <- {"ok":true,"queued":true}
+//   -> {"cmd":"query_user","user":7}
+//   <- {"ok":true,"user":7,"utility":1.62,...,"stops":[{"event":3,...}]}
+//   -> {"cmd":"query_event","event":3}
+//   <- {"ok":true,"event":3,"attendance":5,"xi":2,"eta":10,"attendees":[...]}
+//   -> {"cmd":"stats"}
+//   <- {"ok":true,"ops_applied":12,...,"apply_ms_p99":0.4,...}
+//   -> {"cmd":"save_plan","path":"now.gpln"}
+//   <- {"ok":true,"saved":"now.gpln","version":12}
+//   -> {"cmd":"shutdown"}
+//   <- {"ok":true,"shutdown":true}
+//
+// Errors never kill the session: {"ok":false,"error":"..."} and the loop
+// continues. EOF on stdin is treated as shutdown. See docs/cli.md for the
+// full protocol and docs/file-formats.md for the journal format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "data/io.h"
+#include "gepc/solver.h"
+#include "iep/op_spec.h"
+#include "service/jsonl.h"
+#include "service/planning_service.h"
+
+namespace gepc {
+namespace serve {
+
+struct Args {
+  std::string in;
+  std::string plan;
+  std::string journal;
+  std::string algorithm = "greedy";
+  bool recover = false;
+  size_t queue_capacity = 1024;
+  int snapshot_every = 1;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gepc_serve --in inst.gepc [--plan plan.gpln]\n"
+      "                  [--journal ops.gops] [--recover]\n"
+      "                  [--algorithm greedy|gap|regret]\n"
+      "                  [--queue N] [--snapshot-every N]\n"
+      "Speaks a JSONL request/response protocol on stdin/stdout; see\n"
+      "docs/cli.md for the command set.\n");
+  return 64;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        *error = arg + " needs a value";
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string text;
+    if (arg == "--recover") {
+      args->recover = true;
+    } else if (arg == "--in") {
+      if (!value(&args->in)) return false;
+    } else if (arg == "--plan") {
+      if (!value(&args->plan)) return false;
+    } else if (arg == "--journal") {
+      if (!value(&args->journal)) return false;
+    } else if (arg == "--algorithm") {
+      if (!value(&args->algorithm)) return false;
+    } else if (arg == "--queue") {
+      if (!value(&text)) return false;
+      args->queue_capacity = static_cast<size_t>(std::atoll(text.c_str()));
+    } else if (arg == "--snapshot-every") {
+      if (!value(&text)) return false;
+      args->snapshot_every = std::atoi(text.c_str());
+    } else {
+      *error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  if (args->in.empty()) {
+    *error = "--in FILE is required";
+    return false;
+  }
+  return true;
+}
+
+void Respond(const JsonWriter& writer) {
+  std::fputs(writer.Finish().c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void RespondError(const std::string& message) {
+  JsonWriter writer;
+  writer.Add("ok", false);
+  writer.Add("error", message);
+  Respond(writer);
+}
+
+/// Fetches a required non-negative integer field.
+bool GetIntField(const JsonObject& request, const std::string& key, int* out,
+                 std::string* error) {
+  auto it = request.find(key);
+  if (it == request.end() || it->second.type != JsonValue::Type::kNumber) {
+    *error = "'" + key + "' (number) is required";
+    return false;
+  }
+  *out = static_cast<int>(it->second.number_value);
+  return true;
+}
+
+bool GetStringField(const JsonObject& request, const std::string& key,
+                    std::string* out, std::string* error) {
+  auto it = request.find(key);
+  if (it == request.end() || it->second.type != JsonValue::Type::kString) {
+    *error = "'" + key + "' (string) is required";
+    return false;
+  }
+  *out = it->second.string_value;
+  return true;
+}
+
+void HandleApply(PlanningService* service, const JsonObject& request) {
+  std::string spec;
+  std::string error;
+  if (!GetStringField(request, "op", &spec, &error)) {
+    RespondError(error);
+    return;
+  }
+  auto op = ParseOpSpec(spec);
+  if (!op.ok()) {
+    RespondError(op.status().ToString());
+    return;
+  }
+  auto wait_it = request.find("wait");
+  const bool wait = wait_it == request.end() ||
+                    wait_it->second.type != JsonValue::Type::kBool ||
+                    wait_it->second.bool_value;
+  if (!wait) {
+    auto submitted = service->TrySubmit(*std::move(op));
+    JsonWriter writer;
+    if (submitted.ok()) {
+      writer.Add("ok", true);
+      writer.Add("queued", true);
+    } else {
+      writer.Add("ok", false);
+      writer.Add("error", submitted.status().ToString());
+    }
+    Respond(writer);
+    return;
+  }
+  const ApplyOutcome outcome = service->Apply(*std::move(op));
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("seq", outcome.sequence);
+  writer.Add("applied", outcome.applied);
+  if (outcome.applied) {
+    writer.Add("dif", outcome.negative_impact);
+    writer.Add("utility", outcome.total_utility);
+    writer.Add("below_xi", outcome.events_below_lower_bound);
+    if (outcome.added_by_topup > 0) {
+      writer.Add("added_by_topup", outcome.added_by_topup);
+    }
+  } else {
+    writer.Add("error", outcome.error);
+  }
+  Respond(writer);
+}
+
+void HandleQueryUser(const PlanningService& service,
+                     const JsonObject& request) {
+  int user = -1;
+  std::string error;
+  if (!GetIntField(request, "user", &user, &error)) {
+    RespondError(error);
+    return;
+  }
+  auto itinerary = service.QueryUser(user);
+  if (!itinerary.ok()) {
+    RespondError(itinerary.status().ToString());
+    return;
+  }
+  std::string stops = "[";
+  for (size_t k = 0; k < itinerary->stops.size(); ++k) {
+    const ItineraryStop& stop = itinerary->stops[k];
+    JsonWriter item;
+    item.Add("event", stop.event);
+    item.Add("start", stop.time.start);
+    item.Add("end", stop.time.end);
+    item.Add("travel", stop.travel_from_previous);
+    item.Add("fee", stop.fee);
+    item.Add("utility", stop.utility);
+    if (k > 0) stops += ",";
+    stops += item.Finish();
+  }
+  stops += "]";
+
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("user", itinerary->user);
+  writer.Add("budget", itinerary->budget);
+  writer.Add("utility", itinerary->total_utility);
+  writer.Add("travel", itinerary->total_travel);
+  writer.Add("fees", itinerary->total_fees);
+  writer.Add("cost", itinerary->total_cost);
+  writer.Add("within_budget", itinerary->within_budget);
+  writer.Add("conflict_free", itinerary->conflict_free);
+  writer.AddRaw("stops", stops);
+  Respond(writer);
+}
+
+void HandleQueryEvent(const PlanningService& service,
+                      const JsonObject& request) {
+  int event = -1;
+  std::string error;
+  if (!GetIntField(request, "event", &event, &error)) {
+    RespondError(error);
+    return;
+  }
+  const auto snap = service.snapshot();
+  if (event < 0 || event >= snap->instance->num_events()) {
+    RespondError("event " + std::to_string(event) + " outside [0, " +
+                 std::to_string(snap->instance->num_events()) + ")");
+    return;
+  }
+  const Event& meta = snap->instance->event(event);
+  std::string attendees = "[";
+  bool first = true;
+  for (const UserId user : snap->plan->attendees_of(event)) {
+    if (!first) attendees += ",";
+    attendees += std::to_string(user);
+    first = false;
+  }
+  attendees += "]";
+
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("event", event);
+  writer.Add("attendance", snap->plan->attendance(event));
+  writer.Add("xi", meta.lower_bound);
+  writer.Add("eta", meta.upper_bound);
+  writer.Add("start", meta.time.start);
+  writer.Add("end", meta.time.end);
+  writer.Add("fee", meta.fee);
+  writer.AddRaw("attendees", attendees);
+  Respond(writer);
+}
+
+void HandleStats(const PlanningService& service) {
+  const ServiceStats stats = service.Stats();
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("ops_submitted", stats.ops_submitted);
+  writer.Add("ops_applied", stats.ops_applied);
+  writer.Add("ops_rejected", stats.ops_rejected);
+  writer.Add("ops_dropped", stats.ops_dropped);
+  writer.Add("negative_impact_total", stats.negative_impact_total);
+  writer.Add("queue_depth", stats.queue_depth);
+  writer.Add("queue_high_water", stats.queue_high_water);
+  writer.Add("queue_capacity", stats.queue_capacity);
+  writer.Add("apply_ms_mean", stats.apply_ms_mean);
+  writer.Add("apply_ms_p50", stats.apply_ms_p50);
+  writer.Add("apply_ms_p90", stats.apply_ms_p90);
+  writer.Add("apply_ms_p99", stats.apply_ms_p99);
+  writer.Add("apply_ms_max", stats.apply_ms_max);
+  writer.Add("journal_bytes", stats.journal_bytes);
+  writer.Add("snapshots_published", stats.snapshots_published);
+  writer.Add("version", stats.snapshot_version);
+  writer.Add("utility", stats.total_utility);
+  writer.Add("assignments", stats.total_assignments);
+  writer.Add("below_xi", stats.events_below_lower_bound);
+  writer.Add("heap_bytes", stats.heap_bytes);
+  writer.Add("peak_heap_bytes", stats.peak_heap_bytes);
+  writer.Add("rss_bytes", stats.rss_bytes);
+  Respond(writer);
+}
+
+void HandleSavePlan(PlanningService* service, const JsonObject& request) {
+  std::string path;
+  std::string error;
+  if (!GetStringField(request, "path", &path, &error)) {
+    RespondError(error);
+    return;
+  }
+  service->Drain();
+  const auto snap = service->snapshot();
+  const Status saved = SavePlanToFile(*snap->plan, path);
+  if (!saved.ok()) {
+    RespondError(saved.ToString());
+    return;
+  }
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("saved", path);
+  writer.Add("version", snap->version);
+  Respond(writer);
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  std::string parse_error;
+  if (!ParseArgs(argc, argv, &args, &parse_error)) {
+    std::fprintf(stderr, "error: %s\n", parse_error.c_str());
+    return Usage();
+  }
+
+  auto instance = LoadInstanceFromFile(args.in);
+  if (!instance.ok()) return Fail(instance.status().ToString());
+
+  Plan plan;
+  if (!args.plan.empty()) {
+    auto loaded = LoadPlanFromFile(args.plan);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    plan = *std::move(loaded);
+  } else {
+    GepcOptions options;
+    if (args.algorithm == "gap") {
+      options.algorithm = GepcAlgorithm::kGapBased;
+    } else if (args.algorithm == "greedy") {
+      options.algorithm = GepcAlgorithm::kGreedy;
+    } else if (args.algorithm == "regret") {
+      options.algorithm = GepcAlgorithm::kRegret;
+    } else {
+      return Fail("--algorithm must be 'greedy', 'gap' or 'regret'");
+    }
+    auto solved = SolveGepc(*instance, options);
+    if (!solved.ok()) return Fail(solved.status().ToString());
+    plan = std::move(solved->plan);
+  }
+
+  ServiceOptions options;
+  options.journal_path = args.journal;
+  options.queue_capacity = args.queue_capacity;
+  options.snapshot_every = args.snapshot_every;
+
+  auto service =
+      args.recover
+          ? PlanningService::Recover(*std::move(instance), std::move(plan),
+                                     std::move(options))
+          : PlanningService::Create(*std::move(instance), std::move(plan),
+                                    std::move(options));
+  if (!service.ok()) return Fail(service.status().ToString());
+
+  {
+    const auto snap = (*service)->snapshot();
+    JsonWriter ready;
+    ready.Add("ok", true);
+    ready.Add("ready", true);
+    ready.Add("users", snap->instance->num_users());
+    ready.Add("events", snap->instance->num_events());
+    ready.Add("utility", snap->total_utility);
+    ready.Add("assignments", snap->total_assignments);
+    ready.Add("recovered_ops", snap->version);
+    Respond(ready);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    auto request = ParseJsonObject(line);
+    if (!request.ok()) {
+      RespondError(request.status().ToString());
+      continue;
+    }
+    std::string cmd;
+    std::string error;
+    if (!GetStringField(*request, "cmd", &cmd, &error)) {
+      RespondError(error);
+      continue;
+    }
+    if (cmd == "apply") {
+      HandleApply(service->get(), *request);
+    } else if (cmd == "query_user") {
+      HandleQueryUser(**service, *request);
+    } else if (cmd == "query_event") {
+      HandleQueryEvent(**service, *request);
+    } else if (cmd == "stats") {
+      HandleStats(**service);
+    } else if (cmd == "save_plan") {
+      HandleSavePlan(service->get(), *request);
+    } else if (cmd == "drain") {
+      (*service)->Drain();
+      JsonWriter writer;
+      writer.Add("ok", true);
+      writer.Add("drained", true);
+      Respond(writer);
+    } else if (cmd == "shutdown") {
+      break;
+    } else {
+      RespondError("unknown cmd '" + cmd + "'");
+    }
+  }
+
+  (*service)->Drain();
+  (*service)->Shutdown();
+  JsonWriter bye;
+  bye.Add("ok", true);
+  bye.Add("shutdown", true);
+  bye.Add("version", (*service)->snapshot()->version);
+  Respond(bye);
+  return 0;
+}
+
+}  // namespace serve
+}  // namespace gepc
+
+int main(int argc, char** argv) { return gepc::serve::Main(argc, argv); }
