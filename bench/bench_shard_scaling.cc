@@ -1,0 +1,138 @@
+// Sharded-engine scaling bench: one large spatially-local instance solved
+// sequentially (the plain greedy GEPC solver) and through the sharded
+// partition/solve/merge engine at increasing thread counts. For each run we
+// report wall time, speedup over the sequential baseline, the utility ratio
+// sharded/sequential, and whether the merged plan passes the hard
+// constraints (1-3).
+//
+// Acceptance shape (ISSUE): at 8 threads the sharded engine is >= 3x faster
+// than the sequential solve while retaining >= 99% of its utility. The
+// speedup has two sources: the budget-reachability prefilter shrinks every
+// user's candidate set before menus are built, and each shard sorts and
+// scans only its own slice (the greedy solver's priority queues are
+// super-linear in instance size). Thread-level parallelism stacks on top on
+// multi-core hosts; determinism is guaranteed regardless (per-shard RNG
+// streams + slot-indexed results), which ThreadCountNeverChangesTheResult
+// and the thread sweep below both exercise.
+//
+// Default: 50k users x 200 events with budgets drawn from 4-12% of the city
+// diagonal (spatial locality is what makes sharding effective; the
+// generator's default 35-110% budgets make nearly every user boundary).
+// --scale shrinks proportionally; --quick runs a CI-sized instance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "benchutil/csv.h"
+#include "benchutil/measure.h"
+#include "benchutil/table.h"
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "shard/sharded_solver.h"
+
+namespace gepc {
+
+int Run(const bench::BenchFlags& flags) {
+  const int num_users = std::max(500, static_cast<int>(50000 * flags.scale));
+  const int num_events = std::max(20, static_cast<int>(200 * flags.scale));
+  std::printf("== Sharded engine scaling: %d users x %d events ==\n\n",
+              num_users, num_events);
+
+  GeneratorConfig config;
+  config.num_users = num_users;
+  config.num_events = num_events;
+  config.mean_xi = 2;
+  // Capacity ~2x the per-event user load: the paper's real datasets run
+  // with several-fold slack (eta 50 at ~7-9 users/event), and a load
+  // factor of exactly 1.0 makes utility hostage to assignment order for
+  // any solver, sequential included.
+  config.mean_eta = std::max(8, 2 * num_users / num_events);
+  config.seed = 4242;
+  config.budget_min_fraction = 0.04;
+  config.budget_max_fraction = 0.12;
+  auto instance = GenerateInstance(config);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<GepcResult> sequential = Status::Internal("unset");
+  const Measurement baseline = RunMeasured(
+      [&] { sequential = SolveGepc(*instance, bench::GreedyPreset()); });
+  if (!sequential.ok()) {
+    std::fprintf(stderr, "sequential solve failed: %s\n",
+                 sequential.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sequential greedy: %s, utility %s\n\n",
+              FormatSeconds(baseline.seconds).c_str(),
+              FormatUtility(sequential->total_utility).c_str());
+
+  TextTable table({"Threads", "Shards", "Time (s)", "Speedup", "Utility",
+                   "Ratio", "Boundary", "Feasible"});
+  CsvWriter csv({"threads", "shards", "seconds", "speedup", "utility",
+                 "utility_ratio", "boundary_users", "feasible"});
+  bool accepted = true;
+  for (int threads : {1, 2, 4, 8}) {
+    ShardedGepcOptions options;
+    options.threads = threads;
+    options.shards = 8;
+    options.gepc = bench::GreedyPreset();
+    ShardedGepcStats stats;
+    Result<GepcResult> sharded = Status::Internal("unset");
+    const Measurement run = RunMeasured(
+        [&] { sharded = SolveSharded(*instance, options, &stats); });
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "sharded solve (%d threads) failed: %s\n",
+                   threads, sharded.status().ToString().c_str());
+      return 1;
+    }
+    ValidationOptions validation;
+    validation.check_lower_bounds = false;  // xi is best-effort by contract
+    const bool feasible =
+        ValidatePlan(*instance, sharded->plan, validation).ok();
+    const double speedup =
+        run.seconds > 0.0 ? baseline.seconds / run.seconds : 0.0;
+    const double ratio = sequential->total_utility > 0.0
+                             ? sharded->total_utility /
+                                   sequential->total_utility
+                             : 1.0;
+    table.AddRow({std::to_string(threads), std::to_string(options.shards),
+                  FormatSeconds(run.seconds),
+                  std::to_string(speedup).substr(0, 5) + "x",
+                  FormatUtility(sharded->total_utility),
+                  std::to_string(ratio).substr(0, 6),
+                  std::to_string(stats.boundary_users),
+                  feasible ? "yes" : "NO"});
+    csv.AddRow({std::to_string(threads), std::to_string(options.shards),
+                std::to_string(run.seconds), std::to_string(speedup),
+                std::to_string(sharded->total_utility),
+                std::to_string(ratio), std::to_string(stats.boundary_users),
+                feasible ? "1" : "0"});
+    if (threads == 8 && (speedup < 3.0 || ratio < 0.99 || !feasible)) {
+      accepted = false;
+    }
+  }
+  table.Print();
+  std::printf("\nAcceptance (8 threads): speedup >= 3x, utility ratio >= "
+              "0.99, merged plan feasible -> %s\n",
+              accepted ? "PASS" : "FAIL");
+  if (!flags.csv_prefix.empty()) {
+    const Status written =
+        csv.WriteToFile(flags.csv_prefix + "_shard_scaling.csv");
+    if (!written.ok()) {
+      std::fprintf(stderr, "csv: %s\n", written.ToString().c_str());
+    }
+  }
+  return accepted ? 0 : 1;
+}
+
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  return gepc::Run(gepc::bench::BenchFlags::Parse(argc, argv));
+}

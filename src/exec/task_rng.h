@@ -1,0 +1,31 @@
+#ifndef GEPC_EXEC_TASK_RNG_H_
+#define GEPC_EXEC_TASK_RNG_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace gepc {
+
+/// Derives the seed of task `task_index`'s private random stream from the
+/// instance's master seed. The mapping is a SplitMix64 finalizer over
+/// (master_seed, task_index), so streams for distinct tasks are
+/// statistically independent while depending ONLY on the two inputs — never
+/// on which thread runs the task or in what order. This is what makes the
+/// sharded solver's output identical at any thread count: shard s always
+/// draws from DeriveTaskSeed(seed, s).
+inline uint64_t DeriveTaskSeed(uint64_t master_seed, uint64_t task_index) {
+  uint64_t z = master_seed + (task_index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// The per-task generator itself.
+inline Rng TaskRng(uint64_t master_seed, uint64_t task_index) {
+  return Rng(DeriveTaskSeed(master_seed, task_index));
+}
+
+}  // namespace gepc
+
+#endif  // GEPC_EXEC_TASK_RNG_H_

@@ -1,0 +1,67 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace gepc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int begin, int end,
+                             const std::function<void(int)>& fn) {
+  if (end <= begin) return;
+  const int span = end - begin;
+  // One claim-the-next-index worker per thread; the caller runs one too, so
+  // a 1-thread pool still makes progress even while its worker is busy.
+  std::atomic<int> next{begin};
+  const auto drain = [&next, end, &fn] {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed); i < end;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  const int helpers = std::min(num_threads(), span);
+  std::vector<std::future<void>> joined;
+  joined.reserve(static_cast<size_t>(helpers));
+  for (int t = 0; t < helpers; ++t) joined.push_back(Submit(drain));
+  drain();
+  for (std::future<void>& f : joined) f.get();
+}
+
+}  // namespace gepc

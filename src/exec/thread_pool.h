@@ -1,0 +1,79 @@
+#ifndef GEPC_EXEC_THREAD_POOL_H_
+#define GEPC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gepc {
+
+/// A small fixed-size thread pool for CPU-bound solver work (shard solves,
+/// parallel candidate builds). Tasks are plain std::function thunks; Submit
+/// returns a future so callers can fan out and join. The pool is
+/// intentionally minimal: no priorities, no work stealing, no resizing —
+/// the sharded solver's units of work are coarse (one shard each), so a
+/// mutex-guarded deque is nowhere near contention.
+///
+/// Determinism contract: the pool never influences *what* a task computes,
+/// only *when* it runs. Components that need reproducible randomness derive
+/// a per-task Rng stream from (instance seed, task index) — see task_rng.h —
+/// so results are identical for any thread count, including 1.
+///
+/// Tasks must not Submit work to their own pool and block on it
+/// (ParallelFor from inside a pool task can deadlock when every worker
+/// waits); the solvers only ever drive the pool from the calling thread.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface from future::get (the library itself reports errors
+  /// via Status and never throws).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [begin, end), distributing indices over the
+  /// workers, and blocks until all calls return. The calling thread
+  /// participates, so ParallelFor on a 1-thread pool degenerates to a plain
+  /// loop. fn must be safe to call concurrently for distinct indices; the
+  /// scheduling order is unspecified, so deterministic callers write each
+  /// index's result into its own slot.
+  void ParallelFor(int begin, int end, const std::function<void(int)>& fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_EXEC_THREAD_POOL_H_

@@ -12,11 +12,10 @@ namespace {
 
 class Search {
  public:
-  Search(const Instance& instance, const ExactOptions& options)
-      : instance_(instance), options_(options) {
+  Search(const Instance& instance, const ExactOptions& options,
+         std::vector<UserMenu> menus)
+      : instance_(instance), options_(options), menus_(std::move(menus)) {
     const int n = instance.num_users();
-    menus_.reserve(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) menus_.push_back(BuildUserMenu(instance, i, /*sort_by_utility_desc=*/true));
     // Suffix sums of per-user best utility for the optimistic bound.
     suffix_best_.assign(static_cast<size_t>(n) + 1, 0.0);
     for (int i = n - 1; i >= 0; --i) {
@@ -138,7 +137,19 @@ Result<ExactResult> SolveGepcExact(const Instance& instance,
         "instance too large for the exact solver (raise ExactOptions limits)");
   }
 
-  Search search(instance, options);
+  // Menus are built through the budget-reachability grid: seeding each
+  // user's feasible singles costs O(cells touched) instead of O(m).
+  const ReachabilityFilter filter(instance);
+  std::vector<UserMenu> menus;
+  menus.reserve(static_cast<size_t>(instance.num_users()));
+  for (int i = 0; i < instance.num_users(); ++i) {
+    GEPC_ASSIGN_OR_RETURN(
+        UserMenu menu,
+        BuildUserMenu(instance, i, /*sort_by_utility_desc=*/true, &filter));
+    menus.push_back(std::move(menu));
+  }
+
+  Search search(instance, options, std::move(menus));
   GEPC_RETURN_IF_ERROR(search.Run());
 
   ExactResult result;

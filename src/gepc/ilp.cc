@@ -28,9 +28,11 @@ Result<ExactResult> SolveGepcIlp(const Instance& instance,
   };
   std::vector<Var> vars;
   std::vector<std::pair<int, int>> user_var_range(static_cast<size_t>(n));
+  const ReachabilityFilter filter(instance);
   for (int i = 0; i < n; ++i) {
-    const UserMenu menu =
-        BuildUserMenu(instance, i, /*sort_by_utility_desc=*/false);
+    GEPC_ASSIGN_OR_RETURN(
+        const UserMenu menu,
+        BuildUserMenu(instance, i, /*sort_by_utility_desc=*/false, &filter));
     const int begin = static_cast<int>(vars.size());
     for (size_t s = 0; s < menu.subsets.size(); ++s) {
       vars.push_back(Var{i, menu.subsets[s], menu.utilities[s]});

@@ -10,19 +10,25 @@ namespace gepc {
 namespace {
 
 TopUpStats TopUpImpl(const Instance& instance,
-                     const std::vector<UserId>& users, Plan* plan) {
+                     const std::vector<UserId>& users, Plan* plan,
+                     const ReachabilityFilter* filter) {
   struct Candidate {
     UserId user;
     EventId event;
     double utility;
   };
   std::vector<Candidate> candidates;
+  const auto consider = [&](UserId i, EventId j) {
+    const double mu = instance.utility(i, j);
+    if (mu > 0.0 && !plan->Contains(i, j)) {
+      candidates.push_back(Candidate{i, j, mu});
+    }
+  };
   for (UserId i : users) {
-    for (int j = 0; j < instance.num_events(); ++j) {
-      const double mu = instance.utility(i, j);
-      if (mu > 0.0 && !plan->Contains(i, j)) {
-        candidates.push_back(Candidate{i, j, mu});
-      }
+    if (filter != nullptr) {
+      for (EventId j : filter->AttendableEvents(i)) consider(i, j);
+    } else {
+      for (int j = 0; j < instance.num_events(); ++j) consider(i, j);
     }
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -46,17 +52,19 @@ TopUpStats TopUpImpl(const Instance& instance,
 
 }  // namespace
 
-TopUpStats TopUpPlan(const Instance& instance, Plan* plan) {
+TopUpStats TopUpPlan(const Instance& instance, Plan* plan,
+                     const ReachabilityFilter* filter) {
   std::vector<UserId> users(static_cast<size_t>(instance.num_users()));
   for (int i = 0; i < instance.num_users(); ++i) {
     users[static_cast<size_t>(i)] = i;
   }
-  return TopUpImpl(instance, users, plan);
+  return TopUpImpl(instance, users, plan, filter);
 }
 
 TopUpStats TopUpUsers(const Instance& instance,
-                      const std::vector<UserId>& users, Plan* plan) {
-  return TopUpImpl(instance, users, plan);
+                      const std::vector<UserId>& users, Plan* plan,
+                      const ReachabilityFilter* filter) {
+  return TopUpImpl(instance, users, plan, filter);
 }
 
 }  // namespace gepc

@@ -3,6 +3,7 @@
 
 #include "core/instance.h"
 #include "core/plan.h"
+#include "spatial/reachability.h"
 
 namespace gepc {
 
@@ -18,12 +19,21 @@ struct TopUpStats {
 /// that would conflict, bust a budget, or exceed an upper bound — the
 /// utility-ordered greedy arrangement of the GEP solvers of [4]. Only adds
 /// events, so lower bounds stay satisfied.
-TopUpStats TopUpPlan(const Instance& instance, Plan* plan);
+///
+/// A non-null `filter` (built over the same instance) restricts candidate
+/// enumeration to each user's budget-reachable events. Events outside a
+/// user's reach always fail the insertion's budget check, so the result is
+/// identical — the filter only cuts the O(n * m) candidate build down to
+/// O(sum of candidate-set sizes).
+TopUpStats TopUpPlan(const Instance& instance, Plan* plan,
+                     const ReachabilityFilter* filter = nullptr);
 
 /// Same, but only allowed to add events to the given users (used by the IEP
-/// algorithms, which re-offer events only to users whose plans changed).
+/// algorithms, which re-offer events only to users whose plans changed, and
+/// by the sharded solver's boundary-user merge).
 TopUpStats TopUpUsers(const Instance& instance,
-                      const std::vector<UserId>& users, Plan* plan);
+                      const std::vector<UserId>& users, Plan* plan,
+                      const ReachabilityFilter* filter = nullptr);
 
 }  // namespace gepc
 

@@ -1,26 +1,41 @@
 #include "gepc/user_menus.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/feasibility.h"
 
 namespace gepc {
 
-
-UserMenu BuildUserMenu(const Instance& instance, UserId i,
-                       bool sort_by_utility_desc) {
+Result<UserMenu> BuildUserMenu(const Instance& instance, UserId i,
+                               bool sort_by_utility_desc,
+                               const ReachabilityFilter* filter) {
   const int m = instance.num_events();
+  if (m > kMaxUserMenuEvents) {
+    return Status::InvalidArgument(
+        "user menus support at most " + std::to_string(kMaxUserMenuEvents) +
+        " events (instance has " + std::to_string(m) +
+        "); use the approximate solvers for large instances");
+  }
   UserMenu menu;
-  // Events the user could attend alone.
+  // Events the user could attend alone. The grid prefilter hands back the
+  // budget-reachable candidates directly; the brute-force path checks the
+  // same round-trip bound against every event.
   std::vector<EventId> singles;
-  for (int j = 0; j < m; ++j) {
-    if (instance.utility(i, j) <= 0.0) continue;
-    if (2.0 * instance.UserEventDistance(i, j) + instance.event(j).fee >
-        instance.user(i).budget + 1e-9) {
-      continue;
+  if (filter != nullptr) {
+    for (EventId j : filter->AttendableEvents(i)) {
+      if (instance.utility(i, j) > 0.0) singles.push_back(j);
     }
-    singles.push_back(j);
+  } else {
+    for (int j = 0; j < m; ++j) {
+      if (instance.utility(i, j) <= 0.0) continue;
+      if (2.0 * instance.UserEventDistance(i, j) + instance.event(j).fee >
+          instance.user(i).budget + 1e-9) {
+        continue;
+      }
+      singles.push_back(j);
+    }
   }
   // Grow feasible subsets incrementally (every subset of a feasible set is
   // feasible for conflicts, and tours are monotone, so BFS over additions
@@ -72,6 +87,5 @@ UserMenu BuildUserMenu(const Instance& instance, UserId i,
   }
   return sorted;
 }
-
 
 }  // namespace gepc

@@ -4,15 +4,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "core/instance.h"
 #include "core/types.h"
+#include "spatial/reachability.h"
 
 namespace gepc {
 
+/// Largest event count the subset bitmasks can represent. Menus are a
+/// small-instance device shared by the exact branch-and-bound and the ILP
+/// formulation; instances beyond this make BuildUserMenu fail loudly
+/// (kInvalidArgument) instead of silently computing garbage masks.
+inline constexpr int kMaxUserMenuEvents = 31;
+
 /// One user's menu of individually feasible plans: every conflict-free,
 /// within-budget subset of positive-utility events, as bitmasks over event
-/// ids (events beyond bit 31 are unsupported — menus are a small-instance
-/// device shared by the exact branch-and-bound and the ILP formulation).
+/// ids (bit j = event j; see kMaxUserMenuEvents).
 struct UserMenu {
   std::vector<uint32_t> subsets;  ///< always contains the empty set
   std::vector<double> utilities;  ///< aligned with `subsets`
@@ -24,9 +31,14 @@ struct UserMenu {
 /// subset is feasible only if all its subsets are, because conflicts are
 /// pairwise and tour costs are monotone under insertion). When
 /// `sort_by_utility_desc` is set, subsets come highest-utility-first
-/// (useful for branch-and-bound incumbents).
-UserMenu BuildUserMenu(const Instance& instance, UserId i,
-                       bool sort_by_utility_desc);
+/// (useful for branch-and-bound incumbents). A non-null `filter` (built
+/// over the same instance) replaces the O(m) seed scan with a grid lookup
+/// of the user's budget-reachable events; the result is identical either
+/// way. Returns kInvalidArgument when the instance has more than
+/// kMaxUserMenuEvents events.
+Result<UserMenu> BuildUserMenu(const Instance& instance, UserId i,
+                               bool sort_by_utility_desc,
+                               const ReachabilityFilter* filter = nullptr);
 
 }  // namespace gepc
 

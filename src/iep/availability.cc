@@ -3,23 +3,30 @@
 namespace gepc {
 
 std::vector<AtomicOp> AvailabilityChangeOps(const Instance& instance,
-                                            UserId user, Interval window) {
+                                            UserId user, Interval window,
+                                            const ReachabilityFilter* filter) {
   std::vector<AtomicOp> ops;
   if (user < 0 || user >= instance.num_users()) return ops;
-  for (int j = 0; j < instance.num_events(); ++j) {
-    if (instance.utility(user, j) <= 0.0) continue;
+  const auto consider = [&](EventId j) {
+    if (instance.utility(user, j) <= 0.0) return;
     const Interval& time = instance.event(j).time;
     const bool inside = window.start <= time.start && time.end <= window.end;
     if (!inside) {
       ops.push_back(AtomicOp::UtilityChange(user, j, 0.0));
     }
+  };
+  if (filter != nullptr) {
+    for (EventId j : filter->AttendableEvents(user)) consider(j);
+  } else {
+    for (int j = 0; j < instance.num_events(); ++j) consider(j);
   }
   return ops;
 }
 
 Result<BatchResult> ApplyAvailabilityChange(IncrementalPlanner* planner,
                                             UserId user, Interval window,
-                                            BatchMode mode) {
+                                            BatchMode mode,
+                                            const ReachabilityFilter* filter) {
   if (planner == nullptr) {
     return Status::InvalidArgument("planner must not be null");
   }
@@ -29,9 +36,9 @@ Result<BatchResult> ApplyAvailabilityChange(IncrementalPlanner* planner,
   if (!window.IsValid()) {
     return Status::InvalidArgument("availability window must have start < end");
   }
-  return ApplyBatch(planner,
-                    AvailabilityChangeOps(planner->instance(), user, window),
-                    mode);
+  return ApplyBatch(
+      planner,
+      AvailabilityChangeOps(planner->instance(), user, window, filter), mode);
 }
 
 }  // namespace gepc

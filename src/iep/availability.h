@@ -5,6 +5,7 @@
 
 #include "iep/batch.h"
 #include "iep/planner.h"
+#include "spatial/reachability.h"
 #include "temporal/interval.h"
 
 namespace gepc {
@@ -17,13 +18,23 @@ namespace gepc {
 ///
 /// Returns one kUtilityChanged operation per event that (a) lies outside
 /// the window and (b) currently has positive utility for the user.
-std::vector<AtomicOp> AvailabilityChangeOps(const Instance& instance,
-                                            UserId user, Interval window);
+///
+/// A non-null `filter` (built over the same instance) additionally skips
+/// events the user cannot reach within their travel budget: those events
+/// can never enter any plan, so zeroing their utility is a no-op for the
+/// planner and the resulting plan is identical with strictly fewer ops.
+/// Note the instance then keeps the unattendable events' (unusable)
+/// utilities — callers who later RAISE the user's budget should run the
+/// unfiltered variant.
+std::vector<AtomicOp> AvailabilityChangeOps(
+    const Instance& instance, UserId user, Interval window,
+    const ReachabilityFilter* filter = nullptr);
 
 /// Convenience: builds the ops and applies them as one batch.
 Result<BatchResult> ApplyAvailabilityChange(
     IncrementalPlanner* planner, UserId user, Interval window,
-    BatchMode mode = BatchMode::kSequential);
+    BatchMode mode = BatchMode::kSequential,
+    const ReachabilityFilter* filter = nullptr);
 
 }  // namespace gepc
 

@@ -138,6 +138,31 @@ ApplyOutcome PlanningService::Apply(AtomicOp op) {
   return Submit(std::move(op)).get();
 }
 
+std::future<RebuildOutcome> PlanningService::SubmitRebuild(
+    ShardedGepcOptions options) {
+  PendingOp pending;
+  pending.is_rebuild = true;
+  pending.rebuild_options = std::move(options);
+  std::future<RebuildOutcome> future = pending.rebuild_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_issued_;
+  }
+  metrics_.RecordSubmitted();
+  if (!queue_.Push(std::move(pending))) {
+    metrics_.RecordDropped();
+    RebuildOutcome outcome;
+    outcome.error = "service is shut down";
+    pending.rebuild_promise.set_value(std::move(outcome));
+    FinishOne();
+  }
+  return future;
+}
+
+RebuildOutcome PlanningService::Rebuild(ShardedGepcOptions options) {
+  return SubmitRebuild(std::move(options)).get();
+}
+
 std::shared_ptr<const ServiceSnapshot> PlanningService::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
@@ -189,7 +214,11 @@ void PlanningService::Shutdown() {
 void PlanningService::WriterLoop() {
   PendingOp pending;
   while (queue_.Pop(&pending)) {
-    ApplyOne(&pending);
+    if (pending.is_rebuild) {
+      ApplyRebuild(&pending);
+    } else {
+      ApplyOne(&pending);
+    }
   }
   // Queue closed and drained: leave a final snapshot of the end state.
   PublishSnapshot();
@@ -239,6 +268,39 @@ void PlanningService::ApplyOne(PendingOp* pending) {
   // Publish-before-resolve: whoever waits on the future (or on Drain) sees
   // a snapshot that already includes this operation.
   pending->promise.set_value(std::move(outcome));
+  FinishOne();
+}
+
+void PlanningService::ApplyRebuild(PendingOp* pending) {
+  Timer timer;
+  RebuildOutcome outcome;
+  // Deliberately not journaled: the journal is the log of EBSN changes,
+  // and replaying it reconstructs a consistent served state without the
+  // rebuild (see SubmitRebuild's contract).
+  auto solved = SolveSharded(planner_.instance(), pending->rebuild_options,
+                             &outcome.stats);
+  if (!solved.ok()) {
+    outcome.error = solved.status().ToString();
+    metrics_.RecordRejected(timer.ElapsedMillis());
+  } else {
+    outcome.total_utility = solved->total_utility;
+    outcome.events_below_lower_bound = solved->events_below_lower_bound;
+    outcome.negative_impact = NegativeImpact(planner_.plan(), solved->plan);
+    auto fresh = IncrementalPlanner::Create(planner_.instance(),
+                                            std::move(solved->plan));
+    if (!fresh.ok()) {
+      // SolveSharded's plan is always consistent with its instance; treat
+      // a mismatch as a rejected request rather than tearing down.
+      outcome.error = fresh.status().ToString();
+      metrics_.RecordRejected(timer.ElapsedMillis());
+    } else {
+      planner_ = *std::move(fresh);
+      outcome.rebuilt = true;
+      metrics_.RecordApplied(timer.ElapsedMillis(), outcome.negative_impact);
+      PublishSnapshot();
+    }
+  }
+  pending->rebuild_promise.set_value(std::move(outcome));
   FinishOne();
 }
 

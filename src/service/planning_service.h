@@ -20,6 +20,7 @@
 #include "service/metrics.h"
 #include "service/op_queue.h"
 #include "service/snapshot.h"
+#include "shard/sharded_solver.h"
 
 namespace gepc {
 
@@ -52,6 +53,19 @@ struct ApplyOutcome {
   double total_utility = 0.0;
   int events_below_lower_bound = 0;
   int added_by_topup = 0;
+};
+
+/// What a full plan rebuild did, delivered via SubmitRebuild's future.
+struct RebuildOutcome {
+  /// False when the solve failed (state unchanged) or the service shut
+  /// down before reaching the request; `error` says which.
+  bool rebuilt = false;
+  std::string error;
+  double total_utility = 0.0;
+  int events_below_lower_bound = 0;
+  /// dif(old plan, new plan): attendances the rebuild took away.
+  int64_t negative_impact = 0;
+  ShardedGepcStats stats;
 };
 
 /// Long-running online planning core (the paper's IEP loop turned into a
@@ -95,6 +109,18 @@ class PlanningService {
   /// Submit + wait: the synchronous convenience the CLI front end uses.
   ApplyOutcome Apply(AtomicOp op);
 
+  /// Enqueues a full plan rebuild: when the writer thread reaches it, the
+  /// current instance is re-solved from scratch with the sharded engine
+  /// (SolveSharded) and the service's plan replaced by the result. Rides
+  /// the same FIFO queue as atomic ops, so it serializes cleanly between
+  /// them. NOT journaled — the journal records externally-observed EBSN
+  /// changes only, and replaying them reconstructs a valid served state;
+  /// re-issue the rebuild after recovery if the rebuilt plan is wanted.
+  std::future<RebuildOutcome> SubmitRebuild(ShardedGepcOptions options = {});
+
+  /// SubmitRebuild + wait.
+  RebuildOutcome Rebuild(ShardedGepcOptions options = {});
+
   /// Latest published snapshot; never null. Hold it as long as you like.
   std::shared_ptr<const ServiceSnapshot> snapshot() const;
 
@@ -120,6 +146,11 @@ class PlanningService {
   struct PendingOp {
     AtomicOp op;
     std::promise<ApplyOutcome> promise;
+    /// Full-rebuild request: `op`/`promise` are ignored, the rebuild
+    /// fields below are used instead.
+    bool is_rebuild = false;
+    ShardedGepcOptions rebuild_options;
+    std::promise<RebuildOutcome> rebuild_promise;
   };
 
   PlanningService(IncrementalPlanner planner, ServiceOptions options,
@@ -127,6 +158,7 @@ class PlanningService {
 
   void WriterLoop();
   void ApplyOne(PendingOp* pending);
+  void ApplyRebuild(PendingOp* pending);
   void PublishSnapshot();
   void FinishOne();  // bookkeeping for Drain()
 

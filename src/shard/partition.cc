@@ -1,0 +1,130 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gepc {
+
+namespace {
+
+/// One occupied grid cell and the events inside it — the unit the
+/// bisection moves between shards (events in one cell never split).
+struct Cell {
+  int cx = 0;
+  int cy = 0;
+  std::vector<EventId> events;
+};
+
+/// Assigns `cells[begin..end)` to shards [shard_base, shard_base + k) by
+/// recursive bisection: split the wider axis of the cell-coordinate box at
+/// the event-count-weighted median, handing the left part k/2 shards.
+void Bisect(std::vector<Cell>* cells, size_t begin, size_t end,
+            int shard_base, int k, std::vector<int>* event_shard) {
+  if (k <= 1 || end - begin <= 1) {
+    for (size_t c = begin; c < end; ++c) {
+      for (EventId j : (*cells)[c].events) {
+        (*event_shard)[static_cast<size_t>(j)] = shard_base;
+      }
+    }
+    return;
+  }
+  int min_x = (*cells)[begin].cx, max_x = min_x;
+  int min_y = (*cells)[begin].cy, max_y = min_y;
+  int64_t total = 0;
+  for (size_t c = begin; c < end; ++c) {
+    min_x = std::min(min_x, (*cells)[c].cx);
+    max_x = std::max(max_x, (*cells)[c].cx);
+    min_y = std::min(min_y, (*cells)[c].cy);
+    max_y = std::max(max_y, (*cells)[c].cy);
+    total += static_cast<int64_t>((*cells)[c].events.size());
+  }
+  const bool split_x = (max_x - min_x) >= (max_y - min_y);
+  std::sort(cells->begin() + static_cast<ptrdiff_t>(begin),
+            cells->begin() + static_cast<ptrdiff_t>(end),
+            [split_x](const Cell& a, const Cell& b) {
+              if (split_x) {
+                if (a.cx != b.cx) return a.cx < b.cx;
+                return a.cy < b.cy;
+              }
+              if (a.cy != b.cy) return a.cy < b.cy;
+              return a.cx < b.cx;
+            });
+
+  const int k_left = k / 2;
+  // Smallest prefix whose weight reaches total * k_left / k, but always a
+  // strict split so both recursions see at least one cell.
+  int64_t prefix = 0;
+  size_t mid = begin;
+  for (size_t c = begin; c + 1 < end; ++c) {
+    prefix += static_cast<int64_t>((*cells)[c].events.size());
+    mid = c + 1;
+    if (prefix * k >= total * k_left) break;
+  }
+  Bisect(cells, begin, mid, shard_base, k_left, event_shard);
+  Bisect(cells, mid, end, shard_base + k_left, k - k_left, event_shard);
+}
+
+}  // namespace
+
+ShardPartition PartitionInstance(const Instance& instance,
+                                 const ReachabilityFilter& filter,
+                                 int num_shards) {
+  const int n = instance.num_users();
+  const int m = instance.num_events();
+  ShardPartition partition;
+  partition.num_shards = std::max(1, num_shards);
+  partition.event_shard.assign(static_cast<size_t>(m), 0);
+  partition.user_shard.assign(static_cast<size_t>(n), kBoundaryUser);
+  partition.shard_events.assign(static_cast<size_t>(partition.num_shards),
+                                {});
+  partition.shard_users.assign(static_cast<size_t>(partition.num_shards), {});
+
+  // Bucket events by occupied grid cell (cell lists and event ids both
+  // ascend, so the whole construction is order-deterministic).
+  const GridIndex& grid = filter.grid();
+  std::vector<Cell> cells;
+  for (int cy = 0; cy < grid.cells_y(); ++cy) {
+    for (int cx = 0; cx < grid.cells_x(); ++cx) {
+      const std::vector<int>& members = grid.PointsInCell(cx, cy);
+      if (members.empty()) continue;
+      Cell cell;
+      cell.cx = cx;
+      cell.cy = cy;
+      cell.events.assign(members.begin(), members.end());
+      cells.push_back(std::move(cell));
+    }
+  }
+  if (!cells.empty()) {
+    Bisect(&cells, 0, cells.size(), 0, partition.num_shards,
+           &partition.event_shard);
+  }
+  for (int j = 0; j < m; ++j) {
+    partition.shard_events[static_cast<size_t>(
+        partition.event_shard[static_cast<size_t>(j)])]
+        .push_back(j);
+  }
+
+  // Interior iff every budget-reachable event sits in one shard.
+  for (int i = 0; i < n; ++i) {
+    int home = kBoundaryUser;
+    bool interior = true;
+    for (EventId j : filter.AttendableEvents(i)) {
+      const int s = partition.event_shard[static_cast<size_t>(j)];
+      if (home == kBoundaryUser) {
+        home = s;
+      } else if (home != s) {
+        interior = false;
+        break;
+      }
+    }
+    if (interior && home != kBoundaryUser) {
+      partition.user_shard[static_cast<size_t>(i)] = home;
+      partition.shard_users[static_cast<size_t>(home)].push_back(i);
+    } else {
+      partition.boundary_users.push_back(i);
+    }
+  }
+  return partition;
+}
+
+}  // namespace gepc

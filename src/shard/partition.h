@@ -1,0 +1,49 @@
+#ifndef GEPC_SHARD_PARTITION_H_
+#define GEPC_SHARD_PARTITION_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "spatial/reachability.h"
+
+namespace gepc {
+
+/// user_shard value for users whose budget disk spans several shards (or
+/// reaches none): they are withheld from the per-shard solves and assigned
+/// during the merge pass.
+inline constexpr int kBoundaryUser = -1;
+
+/// A spatial cut of an instance into `num_shards` sub-instances.
+///
+/// Events are partitioned by recursive bisection of the occupied grid
+/// cells (split the wider axis at the event-count-weighted median), so
+/// every event belongs to exactly one shard and shards are spatially
+/// contiguous blocks of cells. A user is *interior* to shard s when every
+/// event they can reach within budget (ReachabilityFilter) lives in s —
+/// solving s in isolation then sees the user's complete candidate set, so
+/// no utility is lost by the cut. Everyone else is a *boundary* user.
+struct ShardPartition {
+  int num_shards = 1;
+  /// Shard of each event (size m, values in [0, num_shards)).
+  std::vector<int> event_shard;
+  /// Shard of each interior user, kBoundaryUser otherwise (size n).
+  std::vector<int> user_shard;
+  /// Per-shard event / interior-user id lists, ascending (global ids).
+  std::vector<std::vector<EventId>> shard_events;
+  std::vector<std::vector<UserId>> shard_users;
+  /// Users withheld for the merge pass, ascending.
+  std::vector<UserId> boundary_users;
+};
+
+/// Cuts `instance` into `num_shards` spatial shards (clamped to >= 1).
+/// Deterministic: depends only on event locations, the filter's grid and
+/// the shard count. Shards may end up empty when events are concentrated
+/// in fewer occupied cells than shards requested.
+ShardPartition PartitionInstance(const Instance& instance,
+                                 const ReachabilityFilter& filter,
+                                 int num_shards);
+
+}  // namespace gepc
+
+#endif  // GEPC_SHARD_PARTITION_H_

@@ -1,0 +1,123 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gepc {
+
+namespace {
+
+/// Hard cap on cells per axis: pathological cell sizes (tiny cell over a
+/// huge extent) degrade to a coarser grid instead of an enormous table.
+constexpr int kMaxCellsPerAxis = 2048;
+
+int ClampCell(int c, int cells) {
+  return std::clamp(c, 0, cells - 1);
+}
+
+}  // namespace
+
+GridIndex::GridIndex(std::vector<Point> points, double cell_size)
+    : points_(std::move(points)) {
+  for (const Point& p : points_) bounds_.Extend(p);
+  if (points_.empty()) {
+    bounds_ = BoundingBox{0.0, 0.0, 0.0, 0.0};
+  }
+
+  const double width = std::max(0.0, bounds_.Width());
+  const double height = std::max(0.0, bounds_.Height());
+  if (cell_size > 0.0) {
+    cell_size_ = cell_size;
+  } else {
+    // ~1 point per cell on average: edge = sqrt(area / n). Degenerate
+    // extents (all points collinear or identical) fall back to one cell.
+    const double area = width * height;
+    const size_t n = std::max<size_t>(1, points_.size());
+    cell_size_ = area > 0.0 ? std::sqrt(area / static_cast<double>(n)) : 0.0;
+    if (cell_size_ <= 0.0) {
+      cell_size_ = std::max({width, height, 1.0});
+    }
+  }
+
+  cells_x_ = std::clamp(
+      static_cast<int>(std::floor(width / cell_size_)) + 1, 1,
+      kMaxCellsPerAxis);
+  cells_y_ = std::clamp(
+      static_cast<int>(std::floor(height / cell_size_)) + 1, 1,
+      kMaxCellsPerAxis);
+  cells_.assign(static_cast<size_t>(cells_x_) * static_cast<size_t>(cells_y_),
+                {});
+  for (int id = 0; id < num_points(); ++id) {
+    cells_[static_cast<size_t>(CellOf(points_[static_cast<size_t>(id)]))]
+        .push_back(id);  // ids ascend, so each cell list is sorted
+  }
+}
+
+int GridIndex::CellX(const Point& p) const {
+  return ClampCell(
+      static_cast<int>(std::floor((p.x - bounds_.min_x) / cell_size_)),
+      cells_x_);
+}
+
+int GridIndex::CellY(const Point& p) const {
+  return ClampCell(
+      static_cast<int>(std::floor((p.y - bounds_.min_y) / cell_size_)),
+      cells_y_);
+}
+
+int GridIndex::CellOf(const Point& p) const {
+  return CellY(p) * cells_x_ + CellX(p);
+}
+
+const std::vector<int>& GridIndex::PointsInCell(int cx, int cy) const {
+  return cells_[static_cast<size_t>(cy) * static_cast<size_t>(cells_x_) +
+                static_cast<size_t>(cx)];
+}
+
+std::vector<int> GridIndex::RangeQuery(const BoundingBox& box) const {
+  std::vector<int> hits;
+  if (num_points() == 0 || box.max_x < box.min_x || box.max_y < box.min_y) {
+    return hits;
+  }
+  const int x0 = CellX(Point{box.min_x, box.min_y});
+  const int y0 = CellY(Point{box.min_x, box.min_y});
+  const int x1 = CellX(Point{box.max_x, box.max_y});
+  const int y1 = CellY(Point{box.max_x, box.max_y});
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (int id : PointsInCell(cx, cy)) {
+        if (box.Contains(points_[static_cast<size_t>(id)])) {
+          hits.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+std::vector<int> GridIndex::RadiusQuery(const Point& center,
+                                        double radius) const {
+  std::vector<int> hits;
+  if (num_points() == 0 || radius < 0.0) return hits;
+  const BoundingBox disk_box{center.x - radius, center.y - radius,
+                             center.x + radius, center.y + radius};
+  const int x0 = CellX(Point{disk_box.min_x, disk_box.min_y});
+  const int y0 = CellY(Point{disk_box.min_x, disk_box.min_y});
+  const int x1 = CellX(Point{disk_box.max_x, disk_box.max_y});
+  const int y1 = CellY(Point{disk_box.max_x, disk_box.max_y});
+  const double r2 = radius * radius;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (int id : PointsInCell(cx, cy)) {
+        if (SquaredDistance(center, points_[static_cast<size_t>(id)]) <= r2) {
+          hits.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+}  // namespace gepc

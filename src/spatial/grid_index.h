@@ -1,0 +1,67 @@
+#ifndef GEPC_SPATIAL_GRID_INDEX_H_
+#define GEPC_SPATIAL_GRID_INDEX_H_
+
+#include <vector>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+
+namespace gepc {
+
+/// A uniform grid over a static point set (event locations, in practice).
+/// Range and radius queries touch only the cells overlapping the query
+/// region, so a query costs O(cells touched + hits) instead of O(points) —
+/// the paper's utilities are zero outside a user's travel budget, so this
+/// is the index behind every "which events can u_i reach?" question.
+///
+/// The index is immutable after construction (IEP location mutations are
+/// rare enough that callers rebuild; see ReachabilityFilter). All query
+/// results are returned in ascending point-id order so downstream solvers
+/// stay deterministic regardless of cell iteration order.
+class GridIndex {
+ public:
+  /// Indexes `points` (ids are positions in the vector). `cell_size <= 0`
+  /// picks a cell edge automatically, targeting ~1 point per cell (capped
+  /// so degenerate clouds cannot explode the cell table).
+  explicit GridIndex(std::vector<Point> points, double cell_size = 0.0);
+
+  int num_points() const { return static_cast<int>(points_.size()); }
+  const Point& point(int id) const {
+    return points_[static_cast<size_t>(id)];
+  }
+
+  /// Bounding box of the indexed points (empty-extent for 0 points).
+  const BoundingBox& bounds() const { return bounds_; }
+  double cell_size() const { return cell_size_; }
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+
+  /// Grid coordinates of the cell containing `p`, clamped into the grid.
+  int CellX(const Point& p) const;
+  int CellY(const Point& p) const;
+  /// Flat cell id (y * cells_x + x), clamped into the grid.
+  int CellOf(const Point& p) const;
+
+  /// Point ids whose location falls in cell (cx, cy); ascending.
+  const std::vector<int>& PointsInCell(int cx, int cy) const;
+
+  /// Ids of points inside `box` (inclusive edges), ascending.
+  std::vector<int> RangeQuery(const BoundingBox& box) const;
+
+  /// Ids of points within Euclidean distance `radius` of `center`
+  /// (inclusive), ascending. Negative radius returns nothing.
+  std::vector<int> RadiusQuery(const Point& center, double radius) const;
+
+ private:
+  std::vector<Point> points_;
+  BoundingBox bounds_;
+  double cell_size_ = 1.0;
+  int cells_x_ = 1;
+  int cells_y_ = 1;
+  /// cells_[cy * cells_x_ + cx] = ascending point ids in that cell.
+  std::vector<std::vector<int>> cells_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_SPATIAL_GRID_INDEX_H_

@@ -166,5 +166,48 @@ TEST_F(CliTest, BadOpSpecFails) {
             0);
 }
 
+TEST_F(CliTest, ShardedSolveWritesValidPlan) {
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --shards 3 --threads 2 --plan-out " + plan_path_),
+            0);
+  EXPECT_EQ(RunCommand(Cli() + " validate --in " + instance_path_ +
+                       " --plan " + plan_path_),
+            0);
+}
+
+TEST_F(CliTest, ShardedSolveIndependentOfThreadCount) {
+  const std::string one = Tmp("cli_test_t1.gpln");
+  const std::string eight = Tmp("cli_test_t8.gpln");
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --shards 4 --threads 1 --plan-out " + one),
+            0);
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --shards 4 --threads 8 --plan-out " + eight),
+            0);
+  auto plan_one = LoadPlanFromFile(one);
+  auto plan_eight = LoadPlanFromFile(eight);
+  ASSERT_TRUE(plan_one.ok() && plan_eight.ok());
+  EXPECT_TRUE(*plan_one == *plan_eight);
+}
+
+TEST_F(CliTest, InvalidThreadsOrShardsRejectedWithUsage) {
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --threads 0"),
+            64);
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --threads -2"),
+            64);
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --shards banana"),
+            64);
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --shards 4x"),
+            64);
+  // --threads/--shards belong to solve only.
+  EXPECT_EQ(RunCommand(Cli() + " stats --in " + instance_path_ +
+                       " --threads 2"),
+            64);
+}
+
 }  // namespace
 }  // namespace gepc

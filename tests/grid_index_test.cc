@@ -1,0 +1,153 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+
+namespace gepc {
+namespace {
+
+std::vector<Point> RandomPoints(int count, double width, double height,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    points.push_back(Point{rng.UniformDouble() * width,
+                           rng.UniformDouble() * height});
+  }
+  return points;
+}
+
+std::vector<int> BruteRange(const std::vector<Point>& points,
+                            const BoundingBox& box) {
+  std::vector<int> hits;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (box.Contains(points[i])) hits.push_back(static_cast<int>(i));
+  }
+  return hits;
+}
+
+std::vector<int> BruteRadius(const std::vector<Point>& points,
+                             const Point& center, double radius) {
+  std::vector<int> hits;
+  if (radius < 0.0) return hits;
+  for (size_t i = 0; i < points.size(); ++i) {
+    // Same criterion as GridIndex::RadiusQuery: squared-distance compare,
+    // inclusive, so the cross-check cannot flake on the boundary.
+    if (SquaredDistance(points[i], center) <= radius * radius) {
+      hits.push_back(static_cast<int>(i));
+    }
+  }
+  return hits;
+}
+
+TEST(GridIndexTest, RangeQueryMatchesBruteForceOnRandomClouds) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<Point> points = RandomPoints(200, 100.0, 80.0, seed);
+    const GridIndex index(points);
+    Rng rng(seed + 100);
+    for (int q = 0; q < 50; ++q) {
+      const double x0 = rng.UniformDouble() * 110.0 - 5.0;
+      const double y0 = rng.UniformDouble() * 90.0 - 5.0;
+      const BoundingBox box{x0, y0, x0 + rng.UniformDouble() * 40.0,
+                            y0 + rng.UniformDouble() * 40.0};
+      EXPECT_EQ(index.RangeQuery(box), BruteRange(points, box))
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST(GridIndexTest, RadiusQueryMatchesBruteForceOnRandomClouds) {
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    const std::vector<Point> points = RandomPoints(200, 100.0, 80.0, seed);
+    const GridIndex index(points);
+    Rng rng(seed + 100);
+    for (int q = 0; q < 50; ++q) {
+      const Point center{rng.UniformDouble() * 120.0 - 10.0,
+                         rng.UniformDouble() * 100.0 - 10.0};
+      const double radius = rng.UniformDouble() * 50.0;
+      EXPECT_EQ(index.RadiusQuery(center, radius),
+                BruteRadius(points, center, radius))
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST(GridIndexTest, DiskStraddlingCellBoundariesFindsAllHits) {
+  // Points sitting exactly on / just beside cell edges with a forced cell
+  // size, probed by disks centered on the edges — the straddling case a
+  // one-cell-off bug would miss.
+  std::vector<Point> points;
+  for (int gx = 0; gx <= 4; ++gx) {
+    for (int gy = 0; gy <= 4; ++gy) {
+      const double x = gx * 10.0;
+      const double y = gy * 10.0;
+      points.push_back(Point{x, y});              // on the corner
+      points.push_back(Point{x + 1e-9, y});       // just inside the next cell
+      points.push_back(Point{x - 1e-9, y + 1e-9});
+    }
+  }
+  const GridIndex index(points, /*cell_size=*/10.0);
+  for (const Point& center :
+       {Point{10.0, 10.0}, Point{20.0, 15.0}, Point{5.0, 30.0},
+        Point{0.0, 0.0}, Point{40.0, 40.0}}) {
+    for (double radius : {0.0, 1e-9, 5.0, 10.0, 14.2, 25.0}) {
+      EXPECT_EQ(index.RadiusQuery(center, radius),
+                BruteRadius(points, center, radius))
+          << "center (" << center.x << "," << center.y << ") r " << radius;
+    }
+  }
+}
+
+TEST(GridIndexTest, DegenerateAllPointsCoincident) {
+  // Zero-extent cloud: everything lands in one cell and the auto cell size
+  // must not divide by zero.
+  const std::vector<Point> points(50, Point{3.0, 4.0});
+  const GridIndex index(points);
+  EXPECT_EQ(index.RadiusQuery(Point{3.0, 4.0}, 0.0).size(), 50u);
+  EXPECT_EQ(index.RadiusQuery(Point{0.0, 0.0}, 4.9).size(), 0u);
+  EXPECT_EQ(index.RadiusQuery(Point{0.0, 0.0}, 5.0).size(), 50u);
+  const BoundingBox everything{-10.0, -10.0, 10.0, 10.0};
+  const std::vector<int> all = index.RangeQuery(everything);
+  ASSERT_EQ(all.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(GridIndexTest, CollinearCloudsDoNotBreakCellSizing) {
+  // Zero-height extent: auto-sizing must cope with a degenerate axis.
+  std::vector<Point> points;
+  for (int i = 0; i < 30; ++i) points.push_back(Point{i * 1.0, 7.0});
+  const GridIndex index(points);
+  EXPECT_EQ(index.RadiusQuery(Point{14.5, 7.0}, 1.0),
+            BruteRadius(points, Point{14.5, 7.0}, 1.0));
+  EXPECT_EQ(index.RadiusQuery(Point{0.0, 7.0}, 100.0).size(), 30u);
+}
+
+TEST(GridIndexTest, EmptyIndexAnswersEmpty) {
+  const GridIndex index(std::vector<Point>{});
+  EXPECT_EQ(index.num_points(), 0);
+  EXPECT_TRUE(index.RadiusQuery(Point{0.0, 0.0}, 100.0).empty());
+  EXPECT_TRUE(index.RangeQuery(BoundingBox{-1.0, -1.0, 1.0, 1.0}).empty());
+}
+
+TEST(GridIndexTest, NegativeRadiusReturnsNothing) {
+  const GridIndex index(RandomPoints(20, 10.0, 10.0, 9));
+  EXPECT_TRUE(index.RadiusQuery(Point{5.0, 5.0}, -1.0).empty());
+}
+
+TEST(GridIndexTest, ResultsAscendRegardlessOfLayout) {
+  const std::vector<Point> points = RandomPoints(300, 50.0, 50.0, 11);
+  const GridIndex index(points, /*cell_size=*/3.0);
+  const std::vector<int> hits = index.RadiusQuery(Point{25.0, 25.0}, 20.0);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+}
+
+}  // namespace
+}  // namespace gepc

@@ -172,6 +172,44 @@ TEST_F(ServeTest, AsyncApplyAndDrain) {
   EXPECT_NE(result.lines[3].find("\"ops_applied\":1"), std::string::npos);
 }
 
+TEST_F(ServeTest, RebuildSwapsInAFreshPlan) {
+  const RunResult result = RunSession(
+      "--in " + instance_path_ + " --shards 2 --threads 2",
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"rebuild","shards":3,"threads":2})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"rebuild","shards":0})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 6u);
+  EXPECT_NE(result.lines[0].find("\"ready\":true"), std::string::npos);
+  EXPECT_NE(result.lines[2].find("\"rebuilt\":true"), std::string::npos);
+  EXPECT_NE(result.lines[2].find("\"shards\":3"), std::string::npos);
+  EXPECT_NE(result.lines[2].find("\"utility\":"), std::string::npos);
+  // apply + rebuild both count as applied work.
+  EXPECT_NE(result.lines[3].find("\"ops_applied\":2"), std::string::npos);
+  // Invalid override is a request error, not a session killer.
+  EXPECT_NE(result.lines[4].find("\"ok\":false"), std::string::npos);
+}
+
+TEST_F(ServeTest, RebuildIsDeterministicAcrossSessions) {
+  const std::string a = Tmp("serve_rebuild_a.gpln");
+  const std::string b = Tmp("serve_rebuild_b.gpln");
+  for (const std::string* path : {&a, &b}) {
+    std::remove(path->c_str());
+    const RunResult result = RunSession(
+        "--in " + instance_path_,
+        {R"({"cmd":"rebuild","shards":4,"threads":2})",
+         R"({"cmd":"save_plan","path":")" + *path + R"("})",
+         R"({"cmd":"shutdown"})"});
+    EXPECT_EQ(result.exit_code, 0);
+  }
+  auto plan_a = LoadPlanFromFile(a);
+  auto plan_b = LoadPlanFromFile(b);
+  ASSERT_TRUE(plan_a.ok() && plan_b.ok());
+  EXPECT_TRUE(*plan_a == *plan_b);
+}
+
 TEST_F(ServeTest, BadFlagsFail) {
   EXPECT_NE(WEXITSTATUS(std::system(
                 (Serve() + " --in /no/such/file.gepc < /dev/null"
@@ -185,6 +223,17 @@ TEST_F(ServeTest, BadFlagsFail) {
   EXPECT_NE(WEXITSTATUS(std::system(
                 (Serve() + " < /dev/null > /dev/null 2>&1").c_str())),
             0);  // --in is required
+  // Sharded-engine flags demand strict positive integers (exit 64).
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --threads 0 < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --shards nope < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
 }
 
 }  // namespace

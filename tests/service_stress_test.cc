@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/feasibility.h"
 #include "data/generator.h"
 #include "gepc/solver.h"
 #include "service/journal.h"
 #include "service/planning_service.h"
+#include "shard/sharded_solver.h"
 
 namespace gepc {
 namespace {
@@ -153,6 +155,73 @@ TEST(ServiceStressTest, ProducersAndReadersRaceCleanly) {
   EXPECT_EQ(replay->ops_rejected, stats.ops_rejected);
   EXPECT_TRUE(replay->plan == *final_snap->plan);
   EXPECT_DOUBLE_EQ(replay->total_utility, final_snap->total_utility);
+}
+
+TEST(ServiceStressTest, RebuildsRaceWithOpsAndReaders) {
+  // Sharded rebuilds interleaved with atomic ops while readers hammer
+  // snapshots — the writer thread runs the whole sharded engine (its own
+  // inner thread pool) between ops, so this exercises exec + shard +
+  // service together. Run under TSan in CI (the sanitize=thread job).
+  GeneratorConfig config;
+  config.num_users = 60;
+  config.num_events = 12;
+  config.mean_xi = 1;
+  config.mean_eta = 6;
+  config.seed = 7;
+  config.budget_min_fraction = 0.1;
+  config.budget_max_fraction = 0.3;
+  auto instance = GenerateInstance(config);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  auto solved = SolveGepc(*instance, GepcOptions{});
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  const int num_users = instance->num_users();
+  const int num_events = instance->num_events();
+  auto service = PlanningService::Create(*std::move(instance),
+                                         std::move(solved->plan));
+  ASSERT_TRUE(service.ok()) << service.status();
+  PlanningService& svc = **service;
+
+  std::atomic<bool> done{false};
+  std::thread producer([&svc, num_users, num_events] {
+    Rng rng(31);
+    for (int i = 0; i < 200; ++i) {
+      svc.Submit(RandomBenignOp(num_users, num_events, &rng));
+      if (i % 25 == 0) {
+        ShardedGepcOptions options;
+        options.shards = 3;
+        options.threads = 4;
+        svc.SubmitRebuild(options);
+      }
+    }
+  });
+  std::thread rebuilder([&svc] {
+    for (int i = 0; i < 8; ++i) {
+      ShardedGepcOptions options;
+      options.shards = 2;
+      options.threads = 2;
+      const RebuildOutcome outcome = svc.Rebuild(options);
+      ASSERT_TRUE(outcome.rebuilt) << outcome.error;
+    }
+  });
+  std::thread reader([&svc, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = svc.snapshot();
+      ASSERT_NE(snap, nullptr);
+      ASSERT_DOUBLE_EQ(snap->total_utility,
+                       snap->plan->TotalUtility(*snap->instance));
+    }
+  });
+
+  producer.join();
+  rebuilder.join();
+  svc.Drain();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto snap = svc.snapshot();
+  ValidationOptions validation;
+  validation.check_lower_bounds = false;
+  EXPECT_TRUE(ValidatePlan(*snap->instance, *snap->plan, validation).ok());
 }
 
 }  // namespace

@@ -8,7 +8,9 @@
 
 #include "iep/batch.h"
 #include "iep/planner.h"
+#include "iep/trace.h"
 #include "service/journal.h"
+#include "shard/sharded_solver.h"
 #include "tests/paper_example.h"
 
 namespace gepc {
@@ -246,6 +248,62 @@ TEST(PlanningServiceTest, StatsTrackLatencyAndImpact) {
   EXPECT_GE(stats.apply_ms_p99, stats.apply_ms_p50);
   EXPECT_GE(stats.queue_high_water, 1u);
   EXPECT_EQ(stats.queue_capacity, 1024u);
+}
+
+TEST(PlanningServiceTest, RebuildSwapsPlanAndSerializesWithOps) {
+  auto service = PlanningService::Create(MakePaperInstance(), MakePaperPlan());
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Apply(AtomicOp::UpperBoundChange(kE4, 1)).applied);
+
+  ShardedGepcOptions options;
+  options.shards = 2;
+  options.threads = 2;
+  const RebuildOutcome outcome = (*service)->Rebuild(options);
+  ASSERT_TRUE(outcome.rebuilt) << outcome.error;
+  EXPECT_GT(outcome.total_utility, 0.0);
+
+  // The swapped-in plan is what the snapshot serves, it respects the
+  // mutated instance (eta(kE4) = 1), and equals a direct solve of the
+  // same instance state.
+  const auto snap = (*service)->snapshot();
+  EXPECT_LE(snap->plan->attendance(kE4), 1);
+  EXPECT_DOUBLE_EQ(snap->total_utility, outcome.total_utility);
+  auto planner = IncrementalPlanner::Create(MakePaperInstance(),
+                                            MakePaperPlan());
+  ASSERT_TRUE(planner.ok());
+  ASSERT_TRUE(planner->Apply(AtomicOp::UpperBoundChange(kE4, 1)).ok());
+  auto direct = SolveSharded(planner->instance(), options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(*snap->plan == direct->plan);
+
+  // Ops keep applying after the swap.
+  EXPECT_TRUE((*service)->Apply(AtomicOp::BudgetChange(0, 18.0)).applied);
+}
+
+TEST(PlanningServiceTest, RebuildIsNotJournaled) {
+  const std::string journal_path = Tmp("rebuild_journal.gops");
+  std::remove(journal_path.c_str());
+  ServiceOptions options;
+  options.journal_path = journal_path;
+  auto service = PlanningService::Create(MakePaperInstance(), MakePaperPlan(),
+                                         options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Apply(AtomicOp::BudgetChange(1, 9.5)).applied);
+  ASSERT_TRUE((*service)->Rebuild().rebuilt);
+  (*service)->Shutdown();
+
+  auto replayed = LoadOpsFromFile(journal_path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(replayed->size(), 1u);  // only the budget op
+}
+
+TEST(PlanningServiceTest, RebuildAfterShutdownResolvesUnbuilt) {
+  auto service = PlanningService::Create(MakePaperInstance(), MakePaperPlan());
+  ASSERT_TRUE(service.ok());
+  (*service)->Shutdown();
+  const RebuildOutcome outcome = (*service)->Rebuild();
+  EXPECT_FALSE(outcome.rebuilt);
+  EXPECT_FALSE(outcome.error.empty());
 }
 
 }  // namespace

@@ -5,7 +5,7 @@
 //                     [--conflict R] [--fee F] --out inst.gepc
 //   gepc_cli stats    --in inst.gepc
 //   gepc_cli solve    --in inst.gepc [--algorithm greedy|gap|regret]
-//                     [--no-topup]
+//                     [--no-topup] [--threads N] [--shards K]
 //                     [--plan-out plan.gpln]
 //   gepc_cli validate --in inst.gepc --plan plan.gpln
 //   gepc_cli itinerary --in inst.gepc --plan plan.gpln [--user N]
@@ -31,6 +31,7 @@
 #include "data/io.h"
 #include "gepc/solver.h"
 #include "iep/batch.h"
+#include "shard/sharded_solver.h"
 #include "iep/op_spec.h"
 #include "iep/planner.h"
 #include "iep/trace.h"
@@ -45,7 +46,8 @@ constexpr char kUsage[] =
     "            [--seed S] [--xi X] [--eta E] [--conflict R] [--fee F]\n"
     "  stats     --in inst.gepc\n"
     "  solve     --in inst.gepc [--algorithm greedy|gap|regret]\n"
-    "            [--no-topup] [--plan-out plan.gpln]\n"
+    "            [--no-topup] [--threads N] [--shards K]\n"
+    "            [--plan-out plan.gpln]\n"
     "  validate  --in inst.gepc --plan plan.gpln\n"
     "  itinerary --in inst.gepc --plan plan.gpln [--user N]\n"
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
@@ -78,7 +80,8 @@ const std::map<std::string, CommandSpec>& Commands() {
        {{"users", "events", "seed", "xi", "eta", "conflict", "fee", "out"},
         {}}},
       {"stats", {{"in"}, {}}},
-      {"solve", {{"in", "algorithm", "plan-out"}, {"no-topup"}}},
+      {"solve",
+       {{"in", "algorithm", "plan-out", "threads", "shards"}, {"no-topup"}}},
       {"validate", {{"in", "plan"}, {}}},
       {"itinerary", {{"in", "plan", "user"}, {}}},
       {"apply",
@@ -143,6 +146,24 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// A bad flag *value* (e.g. --threads zero) is a usage error, same as a
+/// bad flag name: message + usage text, exit 64.
+int UsageFail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), kUsage);
+  return 64;
+}
+
+/// Parses a strictly positive integer; rejects trailing garbage ("4x").
+bool ParsePositiveInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (value < 1 || value > 1'000'000) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
 int CmdGenerate(const Args& args) {
   GeneratorConfig config;
   config.num_users = std::atoi(GetOption(args, "users", "100").c_str());
@@ -194,26 +215,41 @@ int CmdSolve(const Args& args) {
   auto instance = LoadInstanceFromFile(GetOption(args, "in"));
   if (!instance.ok()) return Fail(instance.status().ToString());
 
-  GepcOptions options;
+  ShardedGepcOptions options;
   const std::string algorithm = GetOption(args, "algorithm", "greedy");
   if (algorithm == "gap") {
-    options.algorithm = GepcAlgorithm::kGapBased;
+    options.gepc.algorithm = GepcAlgorithm::kGapBased;
   } else if (algorithm == "greedy") {
-    options.algorithm = GepcAlgorithm::kGreedy;
+    options.gepc.algorithm = GepcAlgorithm::kGreedy;
   } else if (algorithm == "regret") {
-    options.algorithm = GepcAlgorithm::kRegret;
+    options.gepc.algorithm = GepcAlgorithm::kRegret;
   } else {
-    return Fail("--algorithm must be 'greedy', 'gap' or 'regret'");
+    return UsageFail("--algorithm must be 'greedy', 'gap' or 'regret'");
   }
-  options.run_topup = !args.no_topup;
+  options.gepc.run_topup = !args.no_topup;
+  if (!ParsePositiveInt(GetOption(args, "threads", "1"), &options.threads)) {
+    return UsageFail("--threads must be a positive integer");
+  }
+  if (!ParsePositiveInt(GetOption(args, "shards", "1"), &options.shards)) {
+    return UsageFail("--shards must be a positive integer");
+  }
 
-  auto result = SolveGepc(*instance, options);
+  ShardedGepcStats stats;
+  auto result = SolveSharded(*instance, options, &stats);
   if (!result.ok()) return Fail(result.status().ToString());
-  std::printf("algorithm:        %s\n", GepcAlgorithmName(options.algorithm));
+  std::printf("algorithm:        %s\n",
+              GepcAlgorithmName(options.gepc.algorithm));
   std::printf("total utility:    %.4f\n", result->total_utility);
   std::printf("assignments:      %lld\n",
               static_cast<long long>(result->plan.TotalAssignments()));
   std::printf("events below xi:  %d\n", result->events_below_lower_bound);
+  if (options.shards > 1) {
+    std::printf("shards:           %d (%d interior / %d boundary users)\n",
+                stats.shards, stats.interior_users, stats.boundary_users);
+    std::printf("merge added:      %d flow + %d repair + %d topup\n",
+                stats.merge_flow_assigned, stats.lower_bound_repair_added,
+                stats.merge_topup_added);
+  }
 
   const std::string plan_out = GetOption(args, "plan-out");
   if (!plan_out.empty()) {

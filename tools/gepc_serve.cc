@@ -2,6 +2,7 @@
 //
 //   gepc_serve --in inst.gepc [--plan plan.gpln] [--journal ops.gops]
 //              [--recover] [--algorithm greedy|gap|regret]
+//              [--threads N] [--shards K]
 //              [--queue N] [--snapshot-every N]
 //
 // Loads the instance (solving it with the chosen algorithm unless --plan is
@@ -20,6 +21,8 @@
 //   <- {"ok":true,"ops_applied":12,...,"apply_ms_p99":0.4,...}
 //   -> {"cmd":"save_plan","path":"now.gpln"}
 //   <- {"ok":true,"saved":"now.gpln","version":12}
+//   -> {"cmd":"rebuild"}                        (or {"shards":4,"threads":2})
+//   <- {"ok":true,"rebuilt":true,"utility":91.0,"dif":3,...}
 //   -> {"cmd":"shutdown"}
 //   <- {"ok":true,"shutdown":true}
 //
@@ -37,6 +40,7 @@
 #include "iep/op_spec.h"
 #include "service/jsonl.h"
 #include "service/planning_service.h"
+#include "shard/sharded_solver.h"
 
 namespace gepc {
 namespace serve {
@@ -49,6 +53,10 @@ struct Args {
   bool recover = false;
   size_t queue_capacity = 1024;
   int snapshot_every = 1;
+  /// Sharded-engine defaults: used for the startup solve (when no --plan is
+  /// given) and as the defaults of the `rebuild` command.
+  int threads = 1;
+  int shards = 1;
 };
 
 int Usage() {
@@ -57,6 +65,7 @@ int Usage() {
       "usage: gepc_serve --in inst.gepc [--plan plan.gpln]\n"
       "                  [--journal ops.gops] [--recover]\n"
       "                  [--algorithm greedy|gap|regret]\n"
+      "                  [--threads N] [--shards K]\n"
       "                  [--queue N] [--snapshot-every N]\n"
       "Speaks a JSONL request/response protocol on stdin/stdout; see\n"
       "docs/cli.md for the command set.\n");
@@ -66,6 +75,17 @@ int Usage() {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// Parses a strictly positive integer; rejects trailing garbage ("4x").
+bool ParsePositiveInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (value < 1 || value > 1'000'000) return false;
+  *out = static_cast<int>(value);
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
@@ -90,6 +110,18 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       if (!value(&args->journal)) return false;
     } else if (arg == "--algorithm") {
       if (!value(&args->algorithm)) return false;
+    } else if (arg == "--threads") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->threads)) {
+        *error = "--threads must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--shards") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->shards)) {
+        *error = "--shards must be a positive integer";
+        return false;
+      }
     } else if (arg == "--queue") {
       if (!value(&text)) return false;
       args->queue_capacity = static_cast<size_t>(std::atoll(text.c_str()));
@@ -105,7 +137,19 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
     *error = "--in FILE is required";
     return false;
   }
+  if (args->algorithm != "greedy" && args->algorithm != "gap" &&
+      args->algorithm != "regret") {
+    *error = "--algorithm must be 'greedy', 'gap' or 'regret'";
+    return false;
+  }
   return true;
+}
+
+/// Maps a (pre-validated) algorithm name to the enum.
+GepcAlgorithm AlgorithmFromName(const std::string& name) {
+  if (name == "gap") return GepcAlgorithm::kGapBased;
+  if (name == "regret") return GepcAlgorithm::kRegret;
+  return GepcAlgorithm::kGreedy;
 }
 
 void Respond(const JsonWriter& writer) {
@@ -320,6 +364,62 @@ void HandleSavePlan(PlanningService* service, const JsonObject& request) {
   Respond(writer);
 }
 
+void HandleRebuild(PlanningService* service, const JsonObject& request,
+                   const Args& defaults) {
+  ShardedGepcOptions options;
+  options.threads = defaults.threads;
+  options.shards = defaults.shards;
+  options.gepc.algorithm = AlgorithmFromName(defaults.algorithm);
+
+  // Optional per-request overrides of the command-line defaults.
+  auto override_int = [&request](const char* key, int* out) {
+    auto it = request.find(key);
+    if (it == request.end()) return true;
+    if (it->second.type != JsonValue::Type::kNumber) return false;
+    const double value = it->second.number_value;
+    if (value < 1.0 || value != static_cast<double>(static_cast<int>(value))) {
+      return false;
+    }
+    *out = static_cast<int>(value);
+    return true;
+  };
+  if (!override_int("threads", &options.threads)) {
+    RespondError("'threads' must be a positive integer");
+    return;
+  }
+  if (!override_int("shards", &options.shards)) {
+    RespondError("'shards' must be a positive integer");
+    return;
+  }
+  auto alg_it = request.find("algorithm");
+  if (alg_it != request.end()) {
+    const bool valid = alg_it->second.type == JsonValue::Type::kString &&
+                       (alg_it->second.string_value == "greedy" ||
+                        alg_it->second.string_value == "gap" ||
+                        alg_it->second.string_value == "regret");
+    if (!valid) {
+      RespondError("'algorithm' must be 'greedy', 'gap' or 'regret'");
+      return;
+    }
+    options.gepc.algorithm = AlgorithmFromName(alg_it->second.string_value);
+  }
+
+  const RebuildOutcome outcome = service->Rebuild(std::move(options));
+  if (!outcome.rebuilt) {
+    RespondError(outcome.error);
+    return;
+  }
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("rebuilt", true);
+  writer.Add("utility", outcome.total_utility);
+  writer.Add("below_xi", outcome.events_below_lower_bound);
+  writer.Add("dif", outcome.negative_impact);
+  writer.Add("shards", outcome.stats.shards);
+  writer.Add("boundary_users", outcome.stats.boundary_users);
+  Respond(writer);
+}
+
 int Main(int argc, char** argv) {
   Args args;
   std::string parse_error;
@@ -337,17 +437,11 @@ int Main(int argc, char** argv) {
     if (!loaded.ok()) return Fail(loaded.status().ToString());
     plan = *std::move(loaded);
   } else {
-    GepcOptions options;
-    if (args.algorithm == "gap") {
-      options.algorithm = GepcAlgorithm::kGapBased;
-    } else if (args.algorithm == "greedy") {
-      options.algorithm = GepcAlgorithm::kGreedy;
-    } else if (args.algorithm == "regret") {
-      options.algorithm = GepcAlgorithm::kRegret;
-    } else {
-      return Fail("--algorithm must be 'greedy', 'gap' or 'regret'");
-    }
-    auto solved = SolveGepc(*instance, options);
+    ShardedGepcOptions solve_options;
+    solve_options.threads = args.threads;
+    solve_options.shards = args.shards;
+    solve_options.gepc.algorithm = AlgorithmFromName(args.algorithm);
+    auto solved = SolveSharded(*instance, solve_options);
     if (!solved.ok()) return Fail(solved.status().ToString());
     plan = std::move(solved->plan);
   }
@@ -402,6 +496,8 @@ int Main(int argc, char** argv) {
       HandleStats(**service);
     } else if (cmd == "save_plan") {
       HandleSavePlan(service->get(), *request);
+    } else if (cmd == "rebuild") {
+      HandleRebuild(service->get(), *request, args);
     } else if (cmd == "drain") {
       (*service)->Drain();
       JsonWriter writer;
