@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/csv.cc" "src/benchutil/CMakeFiles/gepc_benchutil.dir/csv.cc.o" "gcc" "src/benchutil/CMakeFiles/gepc_benchutil.dir/csv.cc.o.d"
+  "/root/repo/src/benchutil/table.cc" "src/benchutil/CMakeFiles/gepc_benchutil.dir/table.cc.o" "gcc" "src/benchutil/CMakeFiles/gepc_benchutil.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_benchutil.dir/csv.cc.o"
+  "CMakeFiles/gepc_benchutil.dir/csv.cc.o.d"
+  "CMakeFiles/gepc_benchutil.dir/table.cc.o"
+  "CMakeFiles/gepc_benchutil.dir/table.cc.o.d"
+  "libgepc_benchutil.a"
+  "libgepc_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

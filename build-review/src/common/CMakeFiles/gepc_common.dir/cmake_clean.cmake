@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_common.dir/logging.cc.o"
+  "CMakeFiles/gepc_common.dir/logging.cc.o.d"
+  "CMakeFiles/gepc_common.dir/memory_tracker.cc.o"
+  "CMakeFiles/gepc_common.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/gepc_common.dir/rng.cc.o"
+  "CMakeFiles/gepc_common.dir/rng.cc.o.d"
+  "CMakeFiles/gepc_common.dir/status.cc.o"
+  "CMakeFiles/gepc_common.dir/status.cc.o.d"
+  "libgepc_common.a"
+  "libgepc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_memhooks.dir/memory_hooks.cc.o"
+  "CMakeFiles/gepc_memhooks.dir/memory_hooks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_memhooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feasibility.cc" "src/core/CMakeFiles/gepc_core.dir/feasibility.cc.o" "gcc" "src/core/CMakeFiles/gepc_core.dir/feasibility.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/core/CMakeFiles/gepc_core.dir/instance.cc.o" "gcc" "src/core/CMakeFiles/gepc_core.dir/instance.cc.o.d"
+  "/root/repo/src/core/itinerary.cc" "src/core/CMakeFiles/gepc_core.dir/itinerary.cc.o" "gcc" "src/core/CMakeFiles/gepc_core.dir/itinerary.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/gepc_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/gepc_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/plan_diff.cc" "src/core/CMakeFiles/gepc_core.dir/plan_diff.cc.o" "gcc" "src/core/CMakeFiles/gepc_core.dir/plan_diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

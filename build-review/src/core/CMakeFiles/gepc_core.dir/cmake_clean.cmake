@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_core.dir/feasibility.cc.o"
+  "CMakeFiles/gepc_core.dir/feasibility.cc.o.d"
+  "CMakeFiles/gepc_core.dir/instance.cc.o"
+  "CMakeFiles/gepc_core.dir/instance.cc.o.d"
+  "CMakeFiles/gepc_core.dir/itinerary.cc.o"
+  "CMakeFiles/gepc_core.dir/itinerary.cc.o.d"
+  "CMakeFiles/gepc_core.dir/plan.cc.o"
+  "CMakeFiles/gepc_core.dir/plan.cc.o.d"
+  "CMakeFiles/gepc_core.dir/plan_diff.cc.o"
+  "CMakeFiles/gepc_core.dir/plan_diff.cc.o.d"
+  "libgepc_core.a"
+  "libgepc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cities.cc" "src/data/CMakeFiles/gepc_data.dir/cities.cc.o" "gcc" "src/data/CMakeFiles/gepc_data.dir/cities.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/gepc_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/gepc_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/gepc_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/gepc_data.dir/io.cc.o.d"
+  "/root/repo/src/data/tags.cc" "src/data/CMakeFiles/gepc_data.dir/tags.cc.o" "gcc" "src/data/CMakeFiles/gepc_data.dir/tags.cc.o.d"
+  "/root/repo/src/data/utility_model.cc" "src/data/CMakeFiles/gepc_data.dir/utility_model.cc.o" "gcc" "src/data/CMakeFiles/gepc_data.dir/utility_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/gepc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_data.dir/cities.cc.o"
+  "CMakeFiles/gepc_data.dir/cities.cc.o.d"
+  "CMakeFiles/gepc_data.dir/generator.cc.o"
+  "CMakeFiles/gepc_data.dir/generator.cc.o.d"
+  "CMakeFiles/gepc_data.dir/io.cc.o"
+  "CMakeFiles/gepc_data.dir/io.cc.o.d"
+  "CMakeFiles/gepc_data.dir/tags.cc.o"
+  "CMakeFiles/gepc_data.dir/tags.cc.o.d"
+  "CMakeFiles/gepc_data.dir/utility_model.cc.o"
+  "CMakeFiles/gepc_data.dir/utility_model.cc.o.d"
+  "libgepc_data.a"
+  "libgepc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

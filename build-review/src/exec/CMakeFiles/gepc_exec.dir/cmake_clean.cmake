@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_exec.dir/thread_pool.cc.o"
+  "CMakeFiles/gepc_exec.dir/thread_pool.cc.o.d"
+  "libgepc_exec.a"
+  "libgepc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/hungarian.cc" "src/flow/CMakeFiles/gepc_flow.dir/hungarian.cc.o" "gcc" "src/flow/CMakeFiles/gepc_flow.dir/hungarian.cc.o.d"
+  "/root/repo/src/flow/min_cost_flow.cc" "src/flow/CMakeFiles/gepc_flow.dir/min_cost_flow.cc.o" "gcc" "src/flow/CMakeFiles/gepc_flow.dir/min_cost_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_flow.dir/hungarian.cc.o"
+  "CMakeFiles/gepc_flow.dir/hungarian.cc.o.d"
+  "CMakeFiles/gepc_flow.dir/min_cost_flow.cc.o"
+  "CMakeFiles/gepc_flow.dir/min_cost_flow.cc.o.d"
+  "libgepc_flow.a"
+  "libgepc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gap/exact_gap.cc" "src/gap/CMakeFiles/gepc_gap.dir/exact_gap.cc.o" "gcc" "src/gap/CMakeFiles/gepc_gap.dir/exact_gap.cc.o.d"
+  "/root/repo/src/gap/gap_instance.cc" "src/gap/CMakeFiles/gepc_gap.dir/gap_instance.cc.o" "gcc" "src/gap/CMakeFiles/gepc_gap.dir/gap_instance.cc.o.d"
+  "/root/repo/src/gap/gap_lp.cc" "src/gap/CMakeFiles/gepc_gap.dir/gap_lp.cc.o" "gcc" "src/gap/CMakeFiles/gepc_gap.dir/gap_lp.cc.o.d"
+  "/root/repo/src/gap/shmoys_tardos.cc" "src/gap/CMakeFiles/gepc_gap.dir/shmoys_tardos.cc.o" "gcc" "src/gap/CMakeFiles/gepc_gap.dir/shmoys_tardos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/gepc_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/gepc_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

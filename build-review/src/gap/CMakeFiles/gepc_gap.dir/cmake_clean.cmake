@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_gap.dir/exact_gap.cc.o"
+  "CMakeFiles/gepc_gap.dir/exact_gap.cc.o.d"
+  "CMakeFiles/gepc_gap.dir/gap_instance.cc.o"
+  "CMakeFiles/gepc_gap.dir/gap_instance.cc.o.d"
+  "CMakeFiles/gepc_gap.dir/gap_lp.cc.o"
+  "CMakeFiles/gepc_gap.dir/gap_lp.cc.o.d"
+  "CMakeFiles/gepc_gap.dir/shmoys_tardos.cc.o"
+  "CMakeFiles/gepc_gap.dir/shmoys_tardos.cc.o.d"
+  "libgepc_gap.a"
+  "libgepc_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gepc/analysis.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/analysis.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/analysis.cc.o.d"
+  "/root/repo/src/gepc/baselines.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/baselines.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/baselines.cc.o.d"
+  "/root/repo/src/gepc/conflict_adjust.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/conflict_adjust.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/conflict_adjust.cc.o.d"
+  "/root/repo/src/gepc/event_copies.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/event_copies.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/event_copies.cc.o.d"
+  "/root/repo/src/gepc/exact.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/exact.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/exact.cc.o.d"
+  "/root/repo/src/gepc/gap_based.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/gap_based.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/gap_based.cc.o.d"
+  "/root/repo/src/gepc/greedy.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/greedy.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/greedy.cc.o.d"
+  "/root/repo/src/gepc/ilp.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/ilp.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/ilp.cc.o.d"
+  "/root/repo/src/gepc/local_search.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/local_search.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/local_search.cc.o.d"
+  "/root/repo/src/gepc/regret_greedy.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/regret_greedy.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/regret_greedy.cc.o.d"
+  "/root/repo/src/gepc/solver.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/solver.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/solver.cc.o.d"
+  "/root/repo/src/gepc/topup.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/topup.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/topup.cc.o.d"
+  "/root/repo/src/gepc/user_menus.cc" "src/gepc/CMakeFiles/gepc_solvers.dir/user_menus.cc.o" "gcc" "src/gepc/CMakeFiles/gepc_solvers.dir/user_menus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/gepc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gap/CMakeFiles/gepc_gap.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/gepc_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/gepc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/gepc_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

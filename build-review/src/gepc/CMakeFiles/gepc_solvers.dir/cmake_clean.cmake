@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_solvers.dir/analysis.cc.o"
+  "CMakeFiles/gepc_solvers.dir/analysis.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/baselines.cc.o"
+  "CMakeFiles/gepc_solvers.dir/baselines.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/conflict_adjust.cc.o"
+  "CMakeFiles/gepc_solvers.dir/conflict_adjust.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/event_copies.cc.o"
+  "CMakeFiles/gepc_solvers.dir/event_copies.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/exact.cc.o"
+  "CMakeFiles/gepc_solvers.dir/exact.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/gap_based.cc.o"
+  "CMakeFiles/gepc_solvers.dir/gap_based.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/greedy.cc.o"
+  "CMakeFiles/gepc_solvers.dir/greedy.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/ilp.cc.o"
+  "CMakeFiles/gepc_solvers.dir/ilp.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/local_search.cc.o"
+  "CMakeFiles/gepc_solvers.dir/local_search.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/regret_greedy.cc.o"
+  "CMakeFiles/gepc_solvers.dir/regret_greedy.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/solver.cc.o"
+  "CMakeFiles/gepc_solvers.dir/solver.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/topup.cc.o"
+  "CMakeFiles/gepc_solvers.dir/topup.cc.o.d"
+  "CMakeFiles/gepc_solvers.dir/user_menus.cc.o"
+  "CMakeFiles/gepc_solvers.dir/user_menus.cc.o.d"
+  "libgepc_solvers.a"
+  "libgepc_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iep/availability.cc" "src/iep/CMakeFiles/gepc_iep.dir/availability.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/availability.cc.o.d"
+  "/root/repo/src/iep/batch.cc" "src/iep/CMakeFiles/gepc_iep.dir/batch.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/batch.cc.o.d"
+  "/root/repo/src/iep/eta_decrease.cc" "src/iep/CMakeFiles/gepc_iep.dir/eta_decrease.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/eta_decrease.cc.o.d"
+  "/root/repo/src/iep/op_spec.cc" "src/iep/CMakeFiles/gepc_iep.dir/op_spec.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/op_spec.cc.o.d"
+  "/root/repo/src/iep/planner.cc" "src/iep/CMakeFiles/gepc_iep.dir/planner.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/planner.cc.o.d"
+  "/root/repo/src/iep/time_change.cc" "src/iep/CMakeFiles/gepc_iep.dir/time_change.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/time_change.cc.o.d"
+  "/root/repo/src/iep/trace.cc" "src/iep/CMakeFiles/gepc_iep.dir/trace.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/trace.cc.o.d"
+  "/root/repo/src/iep/xi_increase.cc" "src/iep/CMakeFiles/gepc_iep.dir/xi_increase.cc.o" "gcc" "src/iep/CMakeFiles/gepc_iep.dir/xi_increase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/gepc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gepc/CMakeFiles/gepc_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/gepc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gap/CMakeFiles/gepc_gap.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/gepc_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/gepc_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_iep.dir/availability.cc.o"
+  "CMakeFiles/gepc_iep.dir/availability.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/batch.cc.o"
+  "CMakeFiles/gepc_iep.dir/batch.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/eta_decrease.cc.o"
+  "CMakeFiles/gepc_iep.dir/eta_decrease.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/op_spec.cc.o"
+  "CMakeFiles/gepc_iep.dir/op_spec.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/planner.cc.o"
+  "CMakeFiles/gepc_iep.dir/planner.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/time_change.cc.o"
+  "CMakeFiles/gepc_iep.dir/time_change.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/trace.cc.o"
+  "CMakeFiles/gepc_iep.dir/trace.cc.o.d"
+  "CMakeFiles/gepc_iep.dir/xi_increase.cc.o"
+  "CMakeFiles/gepc_iep.dir/xi_increase.cc.o.d"
+  "libgepc_iep.a"
+  "libgepc_iep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_iep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_lp.dir/branch_and_bound.cc.o"
+  "CMakeFiles/gepc_lp.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/gepc_lp.dir/linear_program.cc.o"
+  "CMakeFiles/gepc_lp.dir/linear_program.cc.o.d"
+  "CMakeFiles/gepc_lp.dir/simplex.cc.o"
+  "CMakeFiles/gepc_lp.dir/simplex.cc.o.d"
+  "libgepc_lp.a"
+  "libgepc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

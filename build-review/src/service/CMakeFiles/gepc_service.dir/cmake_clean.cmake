@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_service.dir/journal.cc.o"
+  "CMakeFiles/gepc_service.dir/journal.cc.o.d"
+  "CMakeFiles/gepc_service.dir/jsonl.cc.o"
+  "CMakeFiles/gepc_service.dir/jsonl.cc.o.d"
+  "CMakeFiles/gepc_service.dir/planning_service.cc.o"
+  "CMakeFiles/gepc_service.dir/planning_service.cc.o.d"
+  "CMakeFiles/gepc_service.dir/snapshot.cc.o"
+  "CMakeFiles/gepc_service.dir/snapshot.cc.o.d"
+  "libgepc_service.a"
+  "libgepc_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

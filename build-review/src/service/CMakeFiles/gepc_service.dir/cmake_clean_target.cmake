@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgepc_service.a"
+)

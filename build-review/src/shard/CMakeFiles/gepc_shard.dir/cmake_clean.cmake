@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_shard.dir/partition.cc.o"
+  "CMakeFiles/gepc_shard.dir/partition.cc.o.d"
+  "CMakeFiles/gepc_shard.dir/sharded_solver.cc.o"
+  "CMakeFiles/gepc_shard.dir/sharded_solver.cc.o.d"
+  "libgepc_shard.a"
+  "libgepc_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

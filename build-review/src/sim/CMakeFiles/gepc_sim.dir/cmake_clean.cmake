@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_sim.dir/simulator.cc.o"
+  "CMakeFiles/gepc_sim.dir/simulator.cc.o.d"
+  "libgepc_sim.a"
+  "libgepc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

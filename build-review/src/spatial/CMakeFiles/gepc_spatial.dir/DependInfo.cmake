@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/grid_index.cc" "src/spatial/CMakeFiles/gepc_spatial.dir/grid_index.cc.o" "gcc" "src/spatial/CMakeFiles/gepc_spatial.dir/grid_index.cc.o.d"
+  "/root/repo/src/spatial/reachability.cc" "src/spatial/CMakeFiles/gepc_spatial.dir/reachability.cc.o" "gcc" "src/spatial/CMakeFiles/gepc_spatial.dir/reachability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/gepc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

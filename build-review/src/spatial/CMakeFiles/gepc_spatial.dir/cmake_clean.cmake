@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_spatial.dir/grid_index.cc.o"
+  "CMakeFiles/gepc_spatial.dir/grid_index.cc.o.d"
+  "CMakeFiles/gepc_spatial.dir/reachability.cc.o"
+  "CMakeFiles/gepc_spatial.dir/reachability.cc.o.d"
+  "libgepc_spatial.a"
+  "libgepc_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

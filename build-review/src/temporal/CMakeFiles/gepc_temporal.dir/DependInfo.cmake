@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/conflict_graph.cc" "src/temporal/CMakeFiles/gepc_temporal.dir/conflict_graph.cc.o" "gcc" "src/temporal/CMakeFiles/gepc_temporal.dir/conflict_graph.cc.o.d"
+  "/root/repo/src/temporal/interval.cc" "src/temporal/CMakeFiles/gepc_temporal.dir/interval.cc.o" "gcc" "src/temporal/CMakeFiles/gepc_temporal.dir/interval.cc.o.d"
+  "/root/repo/src/temporal/interval_index.cc" "src/temporal/CMakeFiles/gepc_temporal.dir/interval_index.cc.o" "gcc" "src/temporal/CMakeFiles/gepc_temporal.dir/interval_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

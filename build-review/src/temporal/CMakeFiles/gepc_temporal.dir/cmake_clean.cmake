@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_temporal.dir/conflict_graph.cc.o"
+  "CMakeFiles/gepc_temporal.dir/conflict_graph.cc.o.d"
+  "CMakeFiles/gepc_temporal.dir/interval.cc.o"
+  "CMakeFiles/gepc_temporal.dir/interval.cc.o.d"
+  "CMakeFiles/gepc_temporal.dir/interval_index.cc.o"
+  "CMakeFiles/gepc_temporal.dir/interval_index.cc.o.d"
+  "libgepc_temporal.a"
+  "libgepc_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

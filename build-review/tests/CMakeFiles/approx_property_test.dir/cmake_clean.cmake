@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_property_test.dir/approx_property_test.cc.o"
+  "CMakeFiles/approx_property_test.dir/approx_property_test.cc.o.d"
+  "approx_property_test"
+  "approx_property_test.pdb"
+  "approx_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchutil_test.dir/benchutil_test.cc.o"
+  "CMakeFiles/benchutil_test.dir/benchutil_test.cc.o.d"
+  "benchutil_test"
+  "benchutil_test.pdb"
+  "benchutil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_and_bound_test.dir/branch_and_bound_test.cc.o"
+  "CMakeFiles/branch_and_bound_test.dir/branch_and_bound_test.cc.o.d"
+  "branch_and_bound_test"
+  "branch_and_bound_test.pdb"
+  "branch_and_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_and_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_adjust_test.dir/conflict_adjust_test.cc.o"
+  "CMakeFiles/conflict_adjust_test.dir/conflict_adjust_test.cc.o.d"
+  "conflict_adjust_test"
+  "conflict_adjust_test.pdb"
+  "conflict_adjust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_adjust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

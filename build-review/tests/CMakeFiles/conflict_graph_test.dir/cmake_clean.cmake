@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_graph_test.dir/conflict_graph_test.cc.o"
+  "CMakeFiles/conflict_graph_test.dir/conflict_graph_test.cc.o.d"
+  "conflict_graph_test"
+  "conflict_graph_test.pdb"
+  "conflict_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_decrease_test.dir/eta_decrease_test.cc.o"
+  "CMakeFiles/eta_decrease_test.dir/eta_decrease_test.cc.o.d"
+  "eta_decrease_test"
+  "eta_decrease_test.pdb"
+  "eta_decrease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_decrease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_copies_test.dir/event_copies_test.cc.o"
+  "CMakeFiles/event_copies_test.dir/event_copies_test.cc.o.d"
+  "event_copies_test"
+  "event_copies_test.pdb"
+  "event_copies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_copies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

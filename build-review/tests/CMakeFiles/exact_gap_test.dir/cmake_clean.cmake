@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_gap_test.dir/exact_gap_test.cc.o"
+  "CMakeFiles/exact_gap_test.dir/exact_gap_test.cc.o.d"
+  "exact_gap_test"
+  "exact_gap_test.pdb"
+  "exact_gap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_gap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

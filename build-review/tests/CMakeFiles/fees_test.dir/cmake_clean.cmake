@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fees_test.dir/fees_test.cc.o"
+  "CMakeFiles/fees_test.dir/fees_test.cc.o.d"
+  "fees_test"
+  "fees_test.pdb"
+  "fees_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

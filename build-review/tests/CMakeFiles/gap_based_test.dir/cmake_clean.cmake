@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_based_test.dir/gap_based_test.cc.o"
+  "CMakeFiles/gap_based_test.dir/gap_based_test.cc.o.d"
+  "gap_based_test"
+  "gap_based_test.pdb"
+  "gap_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

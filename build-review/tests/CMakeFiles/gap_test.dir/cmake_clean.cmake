@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_test.dir/gap_test.cc.o"
+  "CMakeFiles/gap_test.dir/gap_test.cc.o.d"
+  "gap_test"
+  "gap_test.pdb"
+  "gap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

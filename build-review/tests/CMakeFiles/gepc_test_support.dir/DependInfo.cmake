@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/paper_example.cc" "tests/CMakeFiles/gepc_test_support.dir/paper_example.cc.o" "gcc" "tests/CMakeFiles/gepc_test_support.dir/paper_example.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/gepc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_test_support.dir/paper_example.cc.o"
+  "CMakeFiles/gepc_test_support.dir/paper_example.cc.o.d"
+  "libgepc_test_support.a"
+  "libgepc_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgepc_test_support.a"
+)

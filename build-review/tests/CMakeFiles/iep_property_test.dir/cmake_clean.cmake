@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iep_property_test.dir/iep_property_test.cc.o"
+  "CMakeFiles/iep_property_test.dir/iep_property_test.cc.o.d"
+  "iep_property_test"
+  "iep_property_test.pdb"
+  "iep_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iep_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itinerary_test.dir/itinerary_test.cc.o"
+  "CMakeFiles/itinerary_test.dir/itinerary_test.cc.o.d"
+  "itinerary_test"
+  "itinerary_test.pdb"
+  "itinerary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itinerary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsonl_test.dir/jsonl_test.cc.o"
+  "CMakeFiles/jsonl_test.dir/jsonl_test.cc.o.d"
+  "jsonl_test"
+  "jsonl_test.pdb"
+  "jsonl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsonl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

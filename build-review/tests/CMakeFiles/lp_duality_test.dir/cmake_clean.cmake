@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_duality_test.dir/lp_duality_test.cc.o"
+  "CMakeFiles/lp_duality_test.dir/lp_duality_test.cc.o.d"
+  "lp_duality_test"
+  "lp_duality_test.pdb"
+  "lp_duality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_duality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_op_sequence_test.dir/multi_op_sequence_test.cc.o"
+  "CMakeFiles/multi_op_sequence_test.dir/multi_op_sequence_test.cc.o.d"
+  "multi_op_sequence_test"
+  "multi_op_sequence_test.pdb"
+  "multi_op_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_op_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_queue_test.dir/op_queue_test.cc.o"
+  "CMakeFiles/op_queue_test.dir/op_queue_test.cc.o.d"
+  "op_queue_test"
+  "op_queue_test.pdb"
+  "op_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_diff_test.dir/plan_diff_test.cc.o"
+  "CMakeFiles/plan_diff_test.dir/plan_diff_test.cc.o.d"
+  "plan_diff_test"
+  "plan_diff_test.pdb"
+  "plan_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

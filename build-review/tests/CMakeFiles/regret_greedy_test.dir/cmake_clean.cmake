@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regret_greedy_test.dir/regret_greedy_test.cc.o"
+  "CMakeFiles/regret_greedy_test.dir/regret_greedy_test.cc.o.d"
+  "regret_greedy_test"
+  "regret_greedy_test.pdb"
+  "regret_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regret_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

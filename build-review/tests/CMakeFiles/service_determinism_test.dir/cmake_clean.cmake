@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_determinism_test.dir/service_determinism_test.cc.o"
+  "CMakeFiles/service_determinism_test.dir/service_determinism_test.cc.o.d"
+  "service_determinism_test"
+  "service_determinism_test.pdb"
+  "service_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

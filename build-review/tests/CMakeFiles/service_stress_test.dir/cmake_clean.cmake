@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_stress_test.dir/service_stress_test.cc.o"
+  "CMakeFiles/service_stress_test.dir/service_stress_test.cc.o.d"
+  "service_stress_test"
+  "service_stress_test.pdb"
+  "service_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_solver_test.dir/sharded_solver_test.cc.o"
+  "CMakeFiles/sharded_solver_test.dir/sharded_solver_test.cc.o.d"
+  "sharded_solver_test"
+  "sharded_solver_test.pdb"
+  "sharded_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_assignment_test.dir/single_assignment_test.cc.o"
+  "CMakeFiles/single_assignment_test.dir/single_assignment_test.cc.o.d"
+  "single_assignment_test"
+  "single_assignment_test.pdb"
+  "single_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_test.dir/tags_test.cc.o"
+  "CMakeFiles/tags_test.dir/tags_test.cc.o.d"
+  "tags_test"
+  "tags_test.pdb"
+  "tags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/tests/CMakeFiles/gepc_test_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/gepc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/gepc_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/service/CMakeFiles/gepc_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/iep/CMakeFiles/gepc_iep.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/shard/CMakeFiles/gepc_shard.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/gepc_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gepc/CMakeFiles/gepc_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spatial/CMakeFiles/gepc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gap/CMakeFiles/gepc_gap.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/gepc_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/gepc_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/benchutil/CMakeFiles/gepc_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/gepc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/temporal/CMakeFiles/gepc_temporal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/gepc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_change_test.dir/time_change_test.cc.o"
+  "CMakeFiles/time_change_test.dir/time_change_test.cc.o.d"
+  "time_change_test"
+  "time_change_test.pdb"
+  "time_change_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_change_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topup_test.dir/topup_test.cc.o"
+  "CMakeFiles/topup_test.dir/topup_test.cc.o.d"
+  "topup_test"
+  "topup_test.pdb"
+  "topup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

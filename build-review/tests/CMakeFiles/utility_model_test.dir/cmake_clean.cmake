@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_model_test.dir/utility_model_test.cc.o"
+  "CMakeFiles/utility_model_test.dir/utility_model_test.cc.o.d"
+  "utility_model_test"
+  "utility_model_test.pdb"
+  "utility_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

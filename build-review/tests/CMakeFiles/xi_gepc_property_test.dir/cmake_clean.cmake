@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xi_gepc_property_test.dir/xi_gepc_property_test.cc.o"
+  "CMakeFiles/xi_gepc_property_test.dir/xi_gepc_property_test.cc.o.d"
+  "xi_gepc_property_test"
+  "xi_gepc_property_test.pdb"
+  "xi_gepc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xi_gepc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xi_increase_test.dir/xi_increase_test.cc.o"
+  "CMakeFiles/xi_increase_test.dir/xi_increase_test.cc.o.d"
+  "xi_increase_test"
+  "xi_increase_test.pdb"
+  "xi_increase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xi_increase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

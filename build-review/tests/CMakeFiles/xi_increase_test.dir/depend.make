@@ -1,0 +1,2 @@
+# Empty dependencies file for xi_increase_test.
+# This may be replaced when dependencies are built.

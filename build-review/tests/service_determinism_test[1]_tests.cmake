@@ -1,0 +1,3 @@
+add_test([=[ServiceDeterminismTest.ThousandOpJournalReplaysToIdenticalState]=]  /root/repo/build-review/tests/service_determinism_test [==[--gtest_filter=ServiceDeterminismTest.ThousandOpJournalReplaysToIdenticalState]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ServiceDeterminismTest.ThousandOpJournalReplaysToIdenticalState]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  service_determinism_test_TESTS ServiceDeterminismTest.ThousandOpJournalReplaysToIdenticalState)

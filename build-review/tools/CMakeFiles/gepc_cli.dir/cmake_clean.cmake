@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_cli.dir/gepc_cli.cc.o"
+  "CMakeFiles/gepc_cli.dir/gepc_cli.cc.o.d"
+  "gepc_cli"
+  "gepc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

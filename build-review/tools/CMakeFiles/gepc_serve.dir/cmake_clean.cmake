@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepc_serve.dir/gepc_serve.cc.o"
+  "CMakeFiles/gepc_serve.dir/gepc_serve.cc.o.d"
+  "gepc_serve"
+  "gepc_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepc_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
