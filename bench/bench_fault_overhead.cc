@@ -1,0 +1,152 @@
+// Fault-layer overhead bench: quantifies the "zero overhead when disabled"
+// contract of src/fault. Three measurements:
+//
+//   1. raw ns/call of fault::Inject with nothing armed (one relaxed atomic
+//      load), with an *unrelated* point armed (registry lock taken), and
+//      with the point armed but outside its window (skip=inf);
+//   2. journaled PlanningService apply throughput with the registry empty
+//      vs. an unrelated point armed — the end-to-end regression an operator
+//      would see from merely linking the fault layer;
+//   3. the same solve through SolveSharded, covering the shard.solve /
+//      shard.slow instrumentation.
+//
+// The acceptance bar of the PR that introduced the layer: < 2% service
+// throughput regression with faults disabled.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "fault/fault.h"
+#include "gepc/solver.h"
+#include "service/planning_service.h"
+#include "shard/sharded_solver.h"
+
+namespace gepc {
+namespace {
+
+double InjectNsPerCall(int iterations) {
+  Timer timer;
+  // volatile sink so the loop cannot be optimised away.
+  volatile bool sink = false;
+  for (int i = 0; i < iterations; ++i) {
+    sink = fault::Inject("bench.overhead.point").ok();
+  }
+  (void)sink;
+  return timer.ElapsedMillis() * 1e6 / iterations;
+}
+
+double ServiceOpsPerSec(const Instance& instance, const Plan& plan,
+                        int total_ops, const std::string& journal_path) {
+  std::remove(journal_path.c_str());
+  ServiceOptions options;
+  options.journal_path = journal_path;
+  auto service = PlanningService::Create(instance, plan, options);
+  if (!service.ok()) return 0.0;
+  Rng rng(17);
+  Timer timer;
+  for (int i = 0; i < total_ops; ++i) {
+    const UserId user =
+        static_cast<UserId>(rng.UniformUint64(instance.num_users()));
+    (*service)->Apply(
+        AtomicOp::BudgetChange(user, rng.UniformDouble(20.0, 160.0)));
+  }
+  const double seconds = timer.ElapsedMillis() / 1000.0;
+  (*service)->Shutdown();
+  std::remove(journal_path.c_str());
+  return seconds > 0.0 ? total_ops / seconds : 0.0;
+}
+
+double ShardedSolveMs(const Instance& instance) {
+  ShardedGepcOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  Timer timer;
+  auto result = SolveSharded(instance, options);
+  if (!result.ok()) return -1.0;
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  using namespace gepc;
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const int inject_iters = static_cast<int>(2e7 * flags.scale) + 1000;
+  const int service_ops = static_cast<int>(20000 * flags.scale) + 500;
+
+  std::printf("fault-layer overhead (scale=%.2f)\n\n", flags.scale);
+
+  // --- 1. raw injection-site cost -----------------------------------------
+  fault::Registry::Global().Reset();
+  const double disabled_ns = InjectNsPerCall(inject_iters);
+
+  fault::FaultSpec unrelated;
+  fault::Registry::Global().Arm("bench.unrelated.point", unrelated);
+  const double enabled_other_ns = InjectNsPerCall(inject_iters);
+
+  fault::FaultSpec dormant;
+  dormant.skip = UINT64_MAX;  // armed, but the window never opens
+  fault::Registry::Global().Arm("bench.overhead.point", dormant);
+  const double armed_dormant_ns = InjectNsPerCall(inject_iters / 4);
+  fault::Registry::Global().Reset();
+
+  std::printf("%-38s %10.2f ns/call\n", "Inject, registry empty",
+              disabled_ns);
+  std::printf("%-38s %10.2f ns/call\n", "Inject, unrelated point armed",
+              enabled_other_ns);
+  std::printf("%-38s %10.2f ns/call\n\n", "Inject, armed but dormant",
+              armed_dormant_ns);
+
+  // --- 2. end-to-end service throughput -----------------------------------
+  GeneratorConfig config;
+  config.num_users = static_cast<int>(400 * flags.scale) + 50;
+  config.num_events = static_cast<int>(24 * flags.scale) + 6;
+  config.seed = 11;
+  auto instance = GenerateInstance(config);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  auto solved = SolveGepc(*instance);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().ToString().c_str());
+    return 1;
+  }
+  const std::string journal = "/tmp/bench_fault_overhead.gops";
+
+  fault::Registry::Global().Reset();
+  const double ops_disabled =
+      ServiceOpsPerSec(*instance, solved->plan, service_ops, journal);
+  fault::Registry::Global().Arm("bench.unrelated.point", unrelated);
+  const double ops_enabled =
+      ServiceOpsPerSec(*instance, solved->plan, service_ops, journal);
+  fault::Registry::Global().Reset();
+
+  std::printf("%-38s %10.0f ops/s\n", "service apply, faults disabled",
+              ops_disabled);
+  std::printf("%-38s %10.0f ops/s\n", "service apply, unrelated armed",
+              ops_enabled);
+  if (ops_disabled > 0.0 && ops_enabled > 0.0) {
+    std::printf("%-38s %+9.2f %%\n\n", "throughput delta",
+                100.0 * (ops_enabled - ops_disabled) / ops_disabled);
+  }
+
+  // --- 3. sharded solve ----------------------------------------------------
+  fault::Registry::Global().Reset();
+  const double solve_disabled_ms = ShardedSolveMs(*instance);
+  fault::Registry::Global().Arm("bench.unrelated.point", unrelated);
+  const double solve_enabled_ms = ShardedSolveMs(*instance);
+  fault::Registry::Global().Reset();
+  std::printf("%-38s %10.2f ms\n", "SolveSharded, faults disabled",
+              solve_disabled_ms);
+  std::printf("%-38s %10.2f ms\n", "SolveSharded, unrelated armed",
+              solve_enabled_ms);
+  return 0;
+}

@@ -1,0 +1,273 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace gepc {
+namespace fault {
+
+namespace detail {
+std::atomic<int> g_armed_points{0};
+}  // namespace detail
+
+const char* const kKnownPoints[] = {
+    "journal.append",     // fail before any row byte reaches disk
+    "journal.flush",      // fail after the row was written (tail restored)
+    "journal.torn_tail",  // crash mid-row: a prefix of the row hits disk
+    "queue.push",         // backpressure: TryPush reports a full queue
+    "shard.solve",        // a shard solve errors (greedy fallback kicks in)
+    "shard.slow",         // a shard solve stalls (arm with ok:delay=MS)
+    nullptr,
+};
+
+namespace {
+
+bool IsKnownPoint(const std::string& point) {
+  for (const char* const* p = kKnownPoints; *p != nullptr; ++p) {
+    if (point == *p) return true;
+  }
+  return false;
+}
+
+/// FNV-1a — stable across platforms so (seed, point, hit) decisions are too.
+uint64_t HashPoint(const std::string& point) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct Registry::State {
+  struct Point {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+};
+
+Registry& Registry::Global() {
+  static Registry* instance = [] {
+    auto* r = new Registry();
+    r->state_ = new State();
+    return r;
+  }();
+  return *instance;
+}
+
+void Registry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  State::Point& p = state_->points[point];
+  if (!p.armed) detail::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  p.spec = std::move(spec);
+  p.armed = true;
+  p.hits = 0;
+  p.fired = 0;
+}
+
+void Registry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->points.find(point);
+  if (it == state_->points.end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  int armed = 0;
+  for (const auto& [name, p] : state_->points) {
+    if (p.armed) ++armed;
+  }
+  state_->points.clear();
+  detail::g_armed_points.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+Status Registry::Hit(const std::string& point, int64_t* arg_out,
+                     uint64_t* fire_index) {
+  FaultSpec spec;
+  uint64_t my_fire = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->points.find(point);
+    if (it == state_->points.end() || !it->second.armed) return Status::OK();
+    State::Point& p = it->second;
+    const uint64_t hit = p.hits++;
+    if (hit < p.spec.skip) return Status::OK();
+    if (hit - p.spec.skip >= p.spec.count) return Status::OK();
+    if (p.spec.probability < 1.0) {
+      // Keyed on (seed, point, hit index): the decision depends on how many
+      // times the point was reached, never on scheduling or wall clock.
+      Rng draw(p.spec.seed ^ HashPoint(point) ^ (hit * 0x9E3779B97F4A7C15ULL));
+      if (!draw.Bernoulli(p.spec.probability)) return Status::OK();
+    }
+    my_fire = p.fired++;
+    spec = p.spec;
+  }
+  // Sleep outside the lock so a delay fault never serializes other points.
+  if (spec.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+  }
+  if (arg_out != nullptr) *arg_out = spec.arg;
+  if (fire_index != nullptr) *fire_index = my_fire;
+  if (spec.code == StatusCode::kOk) return Status::OK();  // delay-only point
+  std::string message = "injected fault at " + point;
+  if (!spec.message.empty()) message += ": " + spec.message;
+  return Status(spec.code, std::move(message));
+}
+
+uint64_t Registry::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->points.find(point);
+  return it == state_->points.end() ? 0 : it->second.hits;
+}
+
+uint64_t Registry::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->points.find(point);
+  return it == state_->points.end() ? 0 : it->second.fired;
+}
+
+std::vector<PointStatus> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::vector<PointStatus> out;
+  out.reserve(state_->points.size());
+  for (const auto& [name, p] : state_->points) {
+    PointStatus status;
+    status.point = name;
+    status.armed = p.armed;
+    status.hits = p.hits;
+    status.fired = p.fired;
+    status.spec = p.spec;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+namespace {
+
+Status SpecError(const std::string& item, const std::string& what) {
+  return Status::InvalidArgument("bad fault spec '" + item + "': " + what);
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseCode(const std::string& name, StatusCode* out) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kInfeasible,   StatusCode::kNotFound,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,     StatusCode::kUnimplemented,
+      StatusCode::kUnavailable,
+  };
+  for (const StatusCode code : kCodes) {
+    if (name == StatusCodeToString(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ArmOne(const std::string& item) {
+  const size_t eq = item.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return SpecError(item, "expected point=token[:token...]");
+  }
+  const std::string point = item.substr(0, eq);
+  if (!IsKnownPoint(point)) {
+    return SpecError(item, "unknown failure point '" + point + "'");
+  }
+  FaultSpec spec;
+  std::string rest = item.substr(eq + 1);
+  while (!rest.empty()) {
+    const size_t colon = rest.find(':');
+    const std::string token = rest.substr(0, colon);
+    rest = colon == std::string::npos ? "" : rest.substr(colon + 1);
+    if (token.empty()) return SpecError(item, "empty token");
+    const size_t teq = token.find('=');
+    if (teq == std::string::npos) {
+      if (!ParseCode(token, &spec.code)) {
+        return SpecError(item, "unknown status code '" + token + "'");
+      }
+      continue;
+    }
+    const std::string key = token.substr(0, teq);
+    const std::string value = token.substr(teq + 1);
+    uint64_t number = 0;
+    if (key == "skip") {
+      if (!ParseUint(value, &number)) return SpecError(item, "bad skip");
+      spec.skip = number;
+    } else if (key == "count") {
+      if (!ParseUint(value, &number)) return SpecError(item, "bad count");
+      spec.count = number;
+    } else if (key == "prob") {
+      char* end = nullptr;
+      spec.probability = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || spec.probability < 0.0 ||
+          spec.probability > 1.0) {
+        return SpecError(item, "prob must be in [0, 1]");
+      }
+    } else if (key == "seed") {
+      if (!ParseUint(value, &number)) return SpecError(item, "bad seed");
+      spec.seed = number;
+    } else if (key == "delay") {
+      if (!ParseUint(value, &number) || number > 60000) {
+        return SpecError(item, "delay must be 0..60000 ms");
+      }
+      spec.delay_ms = static_cast<int>(number);
+    } else if (key == "arg") {
+      if (!ParseUint(value, &number)) return SpecError(item, "bad arg");
+      spec.arg = static_cast<int64_t>(number);
+    } else if (key == "msg") {
+      spec.message = value;
+    } else {
+      return SpecError(item, "unknown key '" + key + "'");
+    }
+  }
+  Registry::Global().Arm(point, std::move(spec));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ArmFromSpec(const std::string& spec) {
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string item = rest.substr(0, semi);
+    rest = semi == std::string::npos ? "" : rest.substr(semi + 1);
+    if (item.empty()) continue;
+    GEPC_RETURN_IF_ERROR(ArmOne(item));
+  }
+  return Status::OK();
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("GEPC_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return ArmFromSpec(spec);
+}
+
+}  // namespace fault
+}  // namespace gepc

@@ -1,0 +1,148 @@
+#ifndef GEPC_FAULT_FAULT_H_
+#define GEPC_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gepc {
+namespace fault {
+
+/// How an armed failure point behaves when its code path is hit.
+///
+/// The trigger sequence is deterministic: each point keeps a hit counter,
+/// the first `skip` hits pass, the next `count` hits *may* fire, and every
+/// candidate hit draws its Bernoulli(probability) decision from a stream
+/// keyed on (seed, point name, hit index) — so a run fires the same faults
+/// at the same hits regardless of thread interleaving or wall clock.
+struct FaultSpec {
+  /// Status returned by a firing fault (delay-only points return OK).
+  StatusCode code = StatusCode::kUnavailable;
+  /// Extra text appended to the injected status message.
+  std::string message;
+  /// Hits that pass before the fault window opens.
+  uint64_t skip = 0;
+  /// Size of the fault window; hits after skip+count pass again.
+  uint64_t count = UINT64_MAX;
+  /// Per-hit firing probability inside the window (1.0 = always).
+  double probability = 1.0;
+  /// Seed of the per-hit Bernoulli stream (only used when probability<1).
+  uint64_t seed = 0;
+  /// Sleep this long when the fault fires (0 = no delay). A point armed
+  /// with delay_ms but code == kOk delays without failing ("slow", not
+  /// "broken").
+  int delay_ms = 0;
+  /// Point-specific payload. journal.torn_tail reads it as the number of
+  /// row bytes that reach disk before the simulated crash; -1 lets the
+  /// point derive a value from the hit index.
+  int64_t arg = -1;
+};
+
+/// Live counters of one failure point, for tests and the serve `faults`
+/// command.
+struct PointStatus {
+  std::string point;
+  bool armed = false;
+  uint64_t hits = 0;   ///< times the instrumented code path was reached
+  uint64_t fired = 0;  ///< hits on which the fault actually triggered
+  FaultSpec spec;
+};
+
+namespace detail {
+/// Global gate read on every instrumented hit. One relaxed atomic load when
+/// nothing is armed — the "zero overhead when disabled" contract.
+extern std::atomic<int> g_armed_points;
+}  // namespace detail
+
+/// Process-wide registry of named failure points. Points are implicit: any
+/// string can be armed; instrumented code declares the names it honours
+/// (see docs/fault-injection.md for the catalogue).
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Arms (or re-arms, resetting counters for) `point`.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms `point`; its counters survive for inspection.
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and forgets all counters. Tests call this in
+  /// SetUp/TearDown so armed faults never leak across test cases.
+  void Reset();
+
+  /// Deterministic fault decision for one hit of `point`. Returns OK when
+  /// the point is disarmed or outside its fault window; sleeps spec.delay_ms
+  /// and returns Status(spec.code, ...) when it fires. When firing,
+  /// `*arg_out` (if non-null) receives spec.arg and `*fire_index` the
+  /// 0-based index of this firing.
+  Status Hit(const std::string& point, int64_t* arg_out = nullptr,
+             uint64_t* fire_index = nullptr);
+
+  uint64_t HitCount(const std::string& point) const;
+  uint64_t FireCount(const std::string& point) const;
+
+  /// Every point ever armed this process, with live counters.
+  std::vector<PointStatus> Snapshot() const;
+
+ private:
+  Registry() = default;
+  struct State;
+  State* state_;  // opaque; lives in fault.cc
+};
+
+/// True iff any failure point is currently armed — the fast-path gate.
+inline bool Enabled() {
+  return detail::g_armed_points.load(std::memory_order_relaxed) > 0;
+}
+
+/// The instrumentation primitive: returns OK (without touching any lock)
+/// when nothing is armed, otherwise asks the registry whether `point`
+/// fires. A firing delay-only point (code == kOk) sleeps and returns OK.
+inline Status Inject(const char* point) {
+  if (!Enabled()) return Status::OK();
+  return Registry::Global().Hit(point);
+}
+
+/// Inject with the firing fault's payload (see FaultSpec::arg).
+inline Status InjectWithArg(const char* point, int64_t* arg_out,
+                            uint64_t* fire_index = nullptr) {
+  if (!Enabled()) return Status::OK();
+  return Registry::Global().Hit(point, arg_out, fire_index);
+}
+
+/// Arms points from a compact spec string — the `--faults` flag / the
+/// GEPC_FAULTS environment variable:
+///
+///   point=token[:token...][;point=token[:token...]...]
+///
+/// where each token is a status-code name (unavailable, internal,
+/// invalid_argument, ...) or one of skip=N, count=N, prob=P, seed=N,
+/// delay=MS, arg=N, msg=TEXT. Example:
+///
+///   journal.append=unavailable:skip=2:count=1;shard.slow=ok:delay=5
+///
+/// Point names are validated against the catalogue of instrumented points;
+/// unknown names are a kInvalidArgument (catching typos beats silently
+/// injecting nothing).
+Status ArmFromSpec(const std::string& spec);
+
+/// Arms from the GEPC_FAULTS environment variable if it is set and
+/// non-empty. Returns OK when the variable is absent.
+Status ArmFromEnv();
+
+/// The instrumented failure points (terminated by nullptr), for docs/tools.
+extern const char* const kKnownPoints[];
+
+}  // namespace fault
+}  // namespace gepc
+
+/// Injects `point` in a function returning Status or Result<T>: propagates
+/// the injected status when the point fires, otherwise falls through.
+#define GEPC_INJECT_FAULT(point) \
+  GEPC_RETURN_IF_ERROR(::gepc::fault::Inject(point))
+
+#endif  // GEPC_FAULT_FAULT_H_

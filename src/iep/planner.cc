@@ -112,6 +112,13 @@ Status IncrementalPlanner::Mutate(const AtomicOp& op, Instance* instance,
       return Status::OK();
     case AtomicOp::Kind::kLowerBoundChanged:
       GEPC_RETURN_IF_ERROR(check_event(op.event));
+      if (op.new_bound > instance->num_users()) {
+        // Would leave the instance permanently infeasible — and, worse,
+        // unbootable: Instance::Validate refuses xi > n, so a journaled
+        // state with it could never be recovered after a crash.
+        return Status::Infeasible(
+            "lower bound exceeds the number of users");
+      }
       return instance->set_event_bounds(op.event, op.new_bound,
                                         std::max(op.new_bound,
                                                  instance->event(op.event)
@@ -137,6 +144,10 @@ Status IncrementalPlanner::Mutate(const AtomicOp& op, Instance* instance,
       }
       if (!op.new_event.IsValid()) {
         return Status::InvalidArgument("new event is malformed");
+      }
+      if (op.new_event.lower_bound > instance->num_users()) {
+        return Status::Infeasible(
+            "new event's lower bound exceeds the number of users");
       }
       const EventId id = instance->AddEvent(op.new_event,
                                             op.new_event_utilities);

@@ -69,6 +69,55 @@ Status SaveOpsToFile(const std::vector<AtomicOp>& ops,
   return SaveOps(ops, out);
 }
 
+Result<AtomicOp> ParseOpRow(const std::string& line) {
+  std::istringstream row(line);
+  std::string kind;
+  row >> kind;
+  if (kind == "eta" || kind == "xi") {
+    int event = -1;
+    int value = 0;
+    row >> event >> value;
+    if (row.fail()) return Status::InvalidArgument("bad " + kind + " row");
+    return kind == "eta" ? AtomicOp::UpperBoundChange(event, value)
+                         : AtomicOp::LowerBoundChange(event, value);
+  } else if (kind == "time") {
+    int event = -1;
+    Interval time;
+    row >> event >> time.start >> time.end;
+    if (row.fail()) return Status::InvalidArgument("bad time row");
+    return AtomicOp::TimeChange(event, time);
+  } else if (kind == "loc") {
+    int event = -1;
+    Point location;
+    row >> event >> location.x >> location.y;
+    if (row.fail()) return Status::InvalidArgument("bad loc row");
+    return AtomicOp::LocationChange(event, location);
+  } else if (kind == "budget") {
+    int user = -1;
+    double budget = 0.0;
+    row >> user >> budget;
+    if (row.fail()) return Status::InvalidArgument("bad budget row");
+    return AtomicOp::BudgetChange(user, budget);
+  } else if (kind == "mu") {
+    int user = -1;
+    int event = -1;
+    double mu = 0.0;
+    row >> user >> event >> mu;
+    if (row.fail()) return Status::InvalidArgument("bad mu row");
+    return AtomicOp::UtilityChange(user, event, mu);
+  } else if (kind == "new") {
+    Event fresh;
+    row >> fresh.location.x >> fresh.location.y >> fresh.lower_bound >>
+        fresh.upper_bound >> fresh.time.start >> fresh.time.end >> fresh.fee;
+    if (row.fail()) return Status::InvalidArgument("bad new-event row");
+    std::vector<double> utilities;
+    double mu = 0.0;
+    while (row >> mu) utilities.push_back(mu);
+    return AtomicOp::NewEvent(fresh, std::move(utilities));
+  }
+  return Status::InvalidArgument("unknown op kind '" + kind + "'");
+}
+
 Result<std::vector<AtomicOp>> LoadOps(std::istream& in) {
   std::string line;
   int line_number = 0;
@@ -84,53 +133,9 @@ Result<std::vector<AtomicOp>> LoadOps(std::istream& in) {
       saw_header = true;
       continue;
     }
-    std::istringstream row(line);
-    std::string kind;
-    row >> kind;
-    if (kind == "eta" || kind == "xi") {
-      int event = -1;
-      int value = 0;
-      row >> event >> value;
-      if (row.fail()) return TraceError(line_number, "bad " + kind + " row");
-      ops.push_back(kind == "eta" ? AtomicOp::UpperBoundChange(event, value)
-                                  : AtomicOp::LowerBoundChange(event, value));
-    } else if (kind == "time") {
-      int event = -1;
-      Interval time;
-      row >> event >> time.start >> time.end;
-      if (row.fail()) return TraceError(line_number, "bad time row");
-      ops.push_back(AtomicOp::TimeChange(event, time));
-    } else if (kind == "loc") {
-      int event = -1;
-      Point location;
-      row >> event >> location.x >> location.y;
-      if (row.fail()) return TraceError(line_number, "bad loc row");
-      ops.push_back(AtomicOp::LocationChange(event, location));
-    } else if (kind == "budget") {
-      int user = -1;
-      double budget = 0.0;
-      row >> user >> budget;
-      if (row.fail()) return TraceError(line_number, "bad budget row");
-      ops.push_back(AtomicOp::BudgetChange(user, budget));
-    } else if (kind == "mu") {
-      int user = -1;
-      int event = -1;
-      double mu = 0.0;
-      row >> user >> event >> mu;
-      if (row.fail()) return TraceError(line_number, "bad mu row");
-      ops.push_back(AtomicOp::UtilityChange(user, event, mu));
-    } else if (kind == "new") {
-      Event fresh;
-      row >> fresh.location.x >> fresh.location.y >> fresh.lower_bound >>
-          fresh.upper_bound >> fresh.time.start >> fresh.time.end >> fresh.fee;
-      if (row.fail()) return TraceError(line_number, "bad new-event row");
-      std::vector<double> utilities;
-      double mu = 0.0;
-      while (row >> mu) utilities.push_back(mu);
-      ops.push_back(AtomicOp::NewEvent(fresh, std::move(utilities)));
-    } else {
-      return TraceError(line_number, "unknown op kind '" + kind + "'");
-    }
+    auto op = ParseOpRow(line);
+    if (!op.ok()) return TraceError(line_number, op.status().message());
+    ops.push_back(*std::move(op));
   }
   if (!saw_header) return Status::InvalidArgument("missing GOPS1 header");
   return ops;

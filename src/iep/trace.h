@@ -38,6 +38,11 @@ Status SaveOpsToFile(const std::vector<AtomicOp>& ops,
 Result<std::vector<AtomicOp>> LoadOps(std::istream& in);
 Result<std::vector<AtomicOp>> LoadOpsFromFile(const std::string& path);
 
+/// Parses a single op row (one line, no header, no trailing newline) —
+/// the primitive LoadOps and the journal's crash-tolerant scanner share.
+/// Returns kInvalidArgument on anything that is not a well-formed row.
+Result<AtomicOp> ParseOpRow(const std::string& line);
+
 }  // namespace gepc
 
 #endif  // GEPC_IEP_TRACE_H_

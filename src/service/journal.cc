@@ -1,29 +1,78 @@
 #include "service/journal.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <sstream>
 #include <utility>
 
+#include "common/logging.h"
+#include "fault/fault.h"
 #include "iep/trace.h"
 
 namespace gepc {
 
+Result<JournalScan> ScanJournalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open journal: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  JournalScan scan;
+  bool saw_header = false;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    const size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) break;  // torn tail: newline never hit disk
+    const std::string line = content.substr(pos, newline - pos);
+    if (line.empty() || line[0] == '#') {
+      // committed comment/blank row
+    } else if (!saw_header) {
+      if (line.rfind("GOPS1", 0) != 0) {
+        return Status::InvalidArgument("journal " + path +
+                                       ": expected GOPS1 header");
+      }
+      saw_header = true;
+    } else {
+      auto op = ParseOpRow(line);
+      if (!op.ok()) {
+        // A complete line that does not parse is interior corruption, not a
+        // crash artifact — refuse rather than replay a partial history.
+        return Status::InvalidArgument(
+            "journal " + path + " is corrupt at byte " + std::to_string(pos) +
+            ": " + op.status().message());
+      }
+      scan.ops.push_back(*std::move(op));
+    }
+    pos = newline + 1;
+    scan.committed_bytes = static_cast<int64_t>(pos);
+  }
+  scan.torn_bytes =
+      static_cast<int64_t>(content.size()) - scan.committed_bytes;
+  return scan;
+}
+
 Result<Journal> Journal::Open(const std::string& path) {
   uint64_t preexisting = 0;
-  int64_t existing_bytes = 0;
+  int64_t committed = 0;
   std::error_code ec;
   if (std::filesystem::exists(path, ec)) {
-    // Count the ops already journaled (also validates the header/rows, so
-    // corruption surfaces at open time, not at replay time).
-    std::ifstream in(path);
-    if (in && in.peek() != std::ifstream::traits_type::eof()) {
-      auto existing = LoadOps(in);
-      if (!existing.ok()) {
-        return Status::InvalidArgument("journal " + path + " is corrupt: " +
-                                       existing.status().message());
+    auto scan = ScanJournalFile(path);
+    if (!scan.ok()) return scan.status();
+    preexisting = scan->ops.size();
+    committed = scan->committed_bytes;
+    if (scan->torn_bytes > 0) {
+      // Crash artifact: drop the torn tail so appends extend a well-formed
+      // file. The discarded op was never applied (write-ahead ordering).
+      std::error_code resize_ec;
+      std::filesystem::resize_file(path, static_cast<uintmax_t>(committed),
+                                   resize_ec);
+      if (resize_ec) {
+        return Status::Internal("cannot truncate torn journal tail: " + path +
+                                ": " + resize_ec.message());
       }
-      preexisting = existing->size();
-      existing_bytes =
-          static_cast<int64_t>(std::filesystem::file_size(path, ec));
+      GEPC_LOG(Warning) << "journal " << path << ": discarded "
+                        << scan->torn_bytes << " torn tail byte(s)";
     }
   }
 
@@ -33,41 +82,88 @@ Result<Journal> Journal::Open(const std::string& path) {
   if (!*journal.out_) {
     return Status::NotFound("cannot open journal for appending: " + path);
   }
-  if (preexisting == 0 && existing_bytes == 0) {
+  if (committed == 0) {
     *journal.out_ << "GOPS1\n";
     journal.out_->flush();
     if (!*journal.out_) return Status::Internal("journal header write failed");
+    committed = 6;  // strlen("GOPS1\n")
   }
-  std::error_code size_ec;
-  const auto size = std::filesystem::file_size(path, size_ec);
-  journal.bytes_written_ =
-      size_ec ? existing_bytes : static_cast<int64_t>(size);
+  journal.bytes_written_ = committed;
   journal.preexisting_ops_ = preexisting;
   return journal;
+}
+
+Status Journal::RestoreTail(int64_t size) {
+  out_->close();
+  std::error_code ec;
+  std::filesystem::resize_file(path_, static_cast<uintmax_t>(size), ec);
+  if (ec) {
+    out_.reset();  // journal unusable: better closed than silently corrupt
+    return Status::Internal("cannot restore journal tail: " + path_ + ": " +
+                            ec.message());
+  }
+  out_ = std::make_unique<std::ofstream>(path_, std::ios::app);
+  if (!*out_) {
+    out_.reset();
+    return Status::Internal("cannot reopen journal: " + path_);
+  }
+  return Status::OK();
 }
 
 Status Journal::Append(const AtomicOp& op) {
   if (out_ == nullptr || !*out_) {
     return Status::FailedPrecondition("journal is not open");
   }
-  const auto before = out_->tellp();
-  GEPC_RETURN_IF_ERROR(SaveOp(op, *out_));
+  // Serialize first: a row either reaches the stream whole or not at all,
+  // and its exact length is known for the bytes accounting.
+  std::ostringstream buffer;
+  GEPC_RETURN_IF_ERROR(SaveOp(op, buffer));
+  const std::string row = buffer.str();
+
+  // Fails before any byte reaches disk (transient IO error).
+  GEPC_INJECT_FAULT("journal.append");
+
+  int64_t torn_arg = -1;
+  uint64_t torn_fire = 0;
+  const Status torn =
+      fault::InjectWithArg("journal.torn_tail", &torn_arg, &torn_fire);
+  if (!torn.ok()) {
+    // Simulated crash mid-write: a strict prefix of the row hits disk,
+    // then the append "fails". Restore the committed tail so the journal
+    // stays well-formed and the append is retryable.
+    const size_t cut =
+        torn_arg >= 0
+            ? std::min(static_cast<size_t>(torn_arg), row.size() - 1)
+            : torn_fire % row.size();
+    out_->write(row.data(), static_cast<std::streamsize>(cut));
+    out_->flush();
+    GEPC_RETURN_IF_ERROR(RestoreTail(bytes_written_));
+    return torn;
+  }
+
+  out_->write(row.data(), static_cast<std::streamsize>(row.size()));
+  const Status flush_fault = fault::Inject("journal.flush");
   out_->flush();
-  if (!*out_) return Status::Internal("journal append failed: " + path_);
-  bytes_written_ += static_cast<int64_t>(out_->tellp() - before);
+  if (!flush_fault.ok() || !*out_) {
+    GEPC_RETURN_IF_ERROR(RestoreTail(bytes_written_));
+    if (!flush_fault.ok()) return flush_fault;
+    return Status::Unavailable("journal append failed: " + path_);
+  }
+  bytes_written_ += static_cast<int64_t>(row.size());
   return Status::OK();
 }
 
 Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
                                    const std::string& path) {
-  GEPC_ASSIGN_OR_RETURN(const std::vector<AtomicOp> ops,
-                        LoadOpsFromFile(path));
+  GEPC_ASSIGN_OR_RETURN(JournalScan scan, ScanJournalFile(path));
   GEPC_ASSIGN_OR_RETURN(
       IncrementalPlanner planner,
       IncrementalPlanner::Create(std::move(base_instance),
                                  std::move(base_plan)));
   ReplayReport report;
-  for (const AtomicOp& op : ops) {
+  report.torn_bytes_discarded = scan.torn_bytes;
+  report.committed_bytes = scan.committed_bytes;
+  for (const AtomicOp& op : scan.ops) {
     auto step = planner.Apply(op);
     if (step.ok()) {
       ++report.ops_applied;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/instance.h"
@@ -12,6 +13,26 @@
 #include "iep/planner.h"
 
 namespace gepc {
+
+/// Crash-tolerant scan of a GOPS1 journal file. A journal record is
+/// *committed* iff its terminating newline reached disk; a trailing chunk
+/// without one — what a crash mid-append leaves behind — is a torn tail
+/// and is discarded, never an error. A complete line that fails to parse
+/// (bit rot, truncation in the middle of the file) IS an error: the data
+/// before it cannot be trusted to be the full accepted-op history.
+struct JournalScan {
+  std::vector<AtomicOp> ops;
+  /// Byte length of the committed prefix (header + complete rows). The
+  /// file is safe to extend after truncating to this length.
+  int64_t committed_bytes = 0;
+  /// Trailing bytes after the committed prefix (0 = clean shutdown).
+  int64_t torn_bytes = 0;
+};
+
+/// Scans `path` tolerantly (see JournalScan). An empty or header-torn file
+/// yields 0 ops — the crash-before-first-commit case. Returns kNotFound if
+/// the file cannot be opened, kInvalidArgument on interior corruption.
+Result<JournalScan> ScanJournalFile(const std::string& path);
 
 /// Append-only operation journal in the GOPS1 trace format (iep/trace.h).
 /// The service appends every *accepted* operation before applying it, so
@@ -22,7 +43,8 @@ namespace gepc {
 class Journal {
  public:
   /// Opens `path` for appending. Writes the GOPS1 header iff the file is
-  /// new or empty; an existing journal (recovery) is extended in place.
+  /// new or empty; an existing journal (recovery) is extended in place
+  /// after truncating away any torn tail a crash left behind.
   static Result<Journal> Open(const std::string& path);
 
   Journal(Journal&&) = default;
@@ -30,6 +52,10 @@ class Journal {
 
   /// Appends one op row and flushes, so a crash between append and apply
   /// loses at most the un-applied tail (replay simply re-applies it).
+  /// On an IO failure — real or injected (journal.append / journal.flush /
+  /// journal.torn_tail) — the file is restored to its pre-append length, so
+  /// a failed append never corrupts the committed tail; kUnavailable means
+  /// the append is safe to retry.
   Status Append(const AtomicOp& op);
 
   /// Bytes appended through this handle plus any pre-existing content.
@@ -42,6 +68,10 @@ class Journal {
 
  private:
   Journal() = default;
+
+  /// After a failed/torn write: truncate the file back to `size` and
+  /// reopen the append stream. Leaves the journal usable on success.
+  Status RestoreTail(int64_t size);
 
   std::string path_;
   std::unique_ptr<std::ofstream> out_;  // unique_ptr keeps Journal movable
@@ -56,13 +86,20 @@ struct ReplayReport {
   uint64_t ops_applied = 0;
   uint64_t ops_rejected = 0;  ///< journaled ops that failed validation again
   double total_utility = 0.0;
+  /// Torn-tail bytes the crash-tolerant scan discarded (0 = clean file).
+  int64_t torn_bytes_discarded = 0;
+  /// Length of the committed journal prefix that was replayed.
+  int64_t committed_bytes = 0;
 };
 
-/// Replays every operation of the GOPS1 file at `path` against the base
-/// state, skipping (and counting) the ones that fail validation — the same
-/// accept/reject sequence the live service produced. Returns kNotFound if
-/// the journal does not exist, kInvalidArgument if base plan/instance are
-/// inconsistent or the journal is malformed.
+/// Replays every committed operation of the GOPS1 file at `path` against
+/// the base state, skipping (and counting) the ones that fail validation —
+/// the same accept/reject sequence the live service produced. A torn tail
+/// (crash mid-append) is discarded and reported, matching the write-ahead
+/// contract: an op whose newline never hit disk was never applied either.
+/// Returns kNotFound if the journal does not exist, kInvalidArgument if
+/// base plan/instance are inconsistent or the journal is corrupt in the
+/// middle.
 Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
                                    const std::string& path);
 

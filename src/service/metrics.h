@@ -18,6 +18,10 @@ struct ServiceStats {
   uint64_t ops_dropped = 0;    ///< submitted after shutdown / backpressure
   int64_t negative_impact_total = 0;  ///< summed dif over applied ops
 
+  /// Journal appends that failed transiently and were retried (each retry
+  /// attempt counts once, whether or not it eventually succeeded).
+  uint64_t journal_retries = 0;
+
   // Queue saturation.
   uint64_t queue_depth = 0;
   uint64_t queue_high_water = 0;
@@ -74,6 +78,11 @@ class ServiceMetrics {
     ++dropped_;
   }
 
+  void RecordJournalRetry() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++journal_retries_;
+  }
+
   void RecordSnapshotPublished() {
     std::lock_guard<std::mutex> lock(mu_);
     ++snapshots_;
@@ -88,6 +97,7 @@ class ServiceMetrics {
     stats->ops_rejected = rejected_;
     stats->ops_dropped = dropped_;
     stats->negative_impact_total = negative_impact_;
+    stats->journal_retries = journal_retries_;
     stats->snapshots_published = snapshots_;
     stats->apply_ms_mean = apply_ms_.mean();
     stats->apply_ms_p50 = apply_ms_.percentile(0.50);
@@ -102,6 +112,7 @@ class ServiceMetrics {
   uint64_t applied_ = 0;
   uint64_t rejected_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t journal_retries_ = 0;
   uint64_t snapshots_ = 0;
   int64_t negative_impact_ = 0;
   SampleStats apply_ms_;

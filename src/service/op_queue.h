@@ -7,6 +7,8 @@
 #include <mutex>
 #include <utility>
 
+#include "fault/fault.h"
+
 namespace gepc {
 
 /// Bounded multi-producer single-consumer queue: the hand-off between the
@@ -39,8 +41,14 @@ class BoundedQueue {
   }
 
   /// Non-blocking push. Returns false (item untouched) if the queue is full
-  /// or closed; `*full` distinguishes the two when non-null.
+  /// or closed; `*full` distinguishes the two when non-null. The
+  /// `queue.push` failure point simulates overflow: when armed and firing,
+  /// the push reports backpressure exactly as if the queue were full.
   bool TryPush(T&& item, bool* full = nullptr) {
+    if (!fault::Inject("queue.push").ok()) {
+      if (full != nullptr) *full = true;
+      return false;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (full != nullptr) *full = !closed_ && items_.size() >= capacity_;
     if (closed_ || items_.size() >= capacity_) return false;

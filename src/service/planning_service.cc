@@ -1,6 +1,9 @@
 #include "service/planning_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -231,6 +234,21 @@ void PlanningService::ApplyOne(PendingOp* pending) {
   Status journaled = Status::OK();
   if (journal_) {
     journaled = journal_->Append(pending->op);
+    // Transient append failures (the journal restored its tail, so the
+    // file is intact) are retried with capped exponential backoff; anything
+    // else — or exhausting the budget — rejects the op without applying it.
+    int backoff_ms = options_.journal_backoff_initial_ms;
+    for (int retry = 0; !journaled.ok() &&
+                        journaled.code() == StatusCode::kUnavailable &&
+                        retry < options_.journal_retry_limit;
+         ++retry) {
+      metrics_.RecordJournalRetry();
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+      backoff_ms = std::min(backoff_ms * 2, options_.journal_backoff_max_ms);
+      journaled = journal_->Append(pending->op);
+    }
     journal_bytes_.store(journal_->bytes_written(),
                          std::memory_order_relaxed);
   }

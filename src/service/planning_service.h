@@ -38,6 +38,17 @@ struct ServiceOptions {
   /// publishes whenever its queue runs empty, so idle services are always
   /// fresh; raising N batches the O(instance) snapshot copy under load.
   int snapshot_every = 1;
+
+  /// Transient journal-append failures (kUnavailable: disk hiccup, injected
+  /// fault) are retried up to this many times before the op is rejected.
+  /// Non-transient failures reject immediately. The journal restores its
+  /// tail on every failed append, so retries never see a corrupt file.
+  int journal_retry_limit = 3;
+
+  /// Exponential backoff between journal retries: first wait, then doubled
+  /// per attempt, capped. Zero disables the sleep (tests).
+  int journal_backoff_initial_ms = 1;
+  int journal_backoff_max_ms = 50;
 };
 
 /// What happened to one submitted operation, delivered via the future that

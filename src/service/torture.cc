@@ -1,0 +1,318 @@
+#include "service/torture.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "gepc/solver.h"
+#include "service/journal.h"
+#include "service/planning_service.h"
+
+namespace gepc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<std::string> SerializeServiceState(const Instance& instance,
+                                          const Plan& plan,
+                                          uint64_t version) {
+  std::ostringstream out;
+  GEPC_RETURN_IF_ERROR(SaveInstance(instance, out));
+  GEPC_RETURN_IF_ERROR(SavePlan(plan, out));
+  out << "version " << version << "\n";
+  return out.str();
+}
+
+std::vector<AtomicOp> GenerateTortureOps(IncrementalPlanner* planner,
+                                         int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AtomicOp> ops;
+  ops.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Instance& instance = planner->instance();
+    const int n = instance.num_users();
+    const int m = instance.num_events();
+    const EventId e = static_cast<EventId>(rng.UniformUint64(
+        static_cast<uint64_t>(m)));
+    const UserId u = static_cast<UserId>(rng.UniformUint64(
+        static_cast<uint64_t>(n)));
+    const Event& event = instance.event(e);
+    AtomicOp op = AtomicOp::BudgetChange(u, instance.user(u).budget);
+    // One op in eight is deliberately malformed — the service journals it
+    // and rejects it, and a replay must reproduce exactly that.
+    const bool invalid = rng.Bernoulli(0.125);
+    switch (rng.UniformUint64(7)) {
+      case 0:
+        op = AtomicOp::UpperBoundChange(
+            e, invalid ? -1
+                       : static_cast<int>(rng.UniformInt(
+                             std::max(1, event.lower_bound),
+                             event.upper_bound + 3)));
+        break;
+      case 1:
+        op = AtomicOp::LowerBoundChange(
+            e, invalid ? event.upper_bound + 5
+                       : static_cast<int>(
+                             rng.UniformInt(0, event.upper_bound)));
+        break;
+      case 2: {
+        const double shift = rng.UniformDouble(-2.0, 2.0);
+        Interval time = event.time;
+        time.start += shift;
+        time.end += shift;
+        if (invalid) time.end = time.start - 1.0;
+        op = AtomicOp::TimeChange(e, time);
+        break;
+      }
+      case 3: {
+        Point location = event.location;
+        location.x += rng.UniformDouble(-5.0, 5.0);
+        location.y += rng.UniformDouble(-5.0, 5.0);
+        op = AtomicOp::LocationChange(invalid ? m + 7 : e, location);
+        break;
+      }
+      case 4:
+        op = AtomicOp::BudgetChange(
+            u, invalid ? -1.0
+                       : instance.user(u).budget *
+                             rng.UniformDouble(0.6, 1.4));
+        break;
+      case 5:
+        op = AtomicOp::UtilityChange(
+            invalid ? n + 3 : u, e,
+            rng.Bernoulli(0.25) ? 0.0 : rng.UniformDouble());
+        break;
+      case 6: {
+        Event fresh = event;
+        fresh.location.x += rng.UniformDouble(-10.0, 10.0);
+        fresh.location.y += rng.UniformDouble(-10.0, 10.0);
+        fresh.lower_bound = static_cast<int>(rng.UniformInt(0, 2));
+        fresh.upper_bound =
+            fresh.lower_bound + static_cast<int>(rng.UniformInt(1, 6));
+        std::vector<double> utilities(static_cast<size_t>(n), 0.0);
+        for (double& mu : utilities) {
+          if (rng.Bernoulli(0.3)) mu = rng.UniformDouble();
+        }
+        if (invalid) fresh.upper_bound = -2;
+        op = AtomicOp::NewEvent(fresh, std::move(utilities));
+        break;
+      }
+    }
+    planner->Apply(op);  // accepted or rejected: both legal stream entries
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Result<TortureReport> RunCrashRecoveryTorture(const TortureOptions& options) {
+  if (options.workdir.empty()) {
+    return Status::InvalidArgument("TortureOptions.workdir is required");
+  }
+  std::error_code ec;
+  if (!fs::is_directory(options.workdir, ec)) {
+    return Status::InvalidArgument("workdir is not a directory: " +
+                                   options.workdir);
+  }
+
+  // 1. Seeded city + base plan.
+  GeneratorConfig config;
+  config.num_users = options.users;
+  config.num_events = options.events;
+  config.seed = options.seed;
+  GEPC_ASSIGN_OR_RETURN(const Instance base, GenerateInstance(config));
+  GEPC_ASSIGN_OR_RETURN(GepcResult solved, SolveGepc(base));
+  const Plan base_plan = std::move(solved.plan);
+
+  // 2. Reference run: journal + apply every generated op, recording the
+  // committed byte boundary and the serialized state after each one.
+  GEPC_ASSIGN_OR_RETURN(
+      IncrementalPlanner generator_planner,
+      IncrementalPlanner::Create(base, base_plan));
+  const std::vector<AtomicOp> ops =
+      GenerateTortureOps(&generator_planner, options.ops, options.seed);
+
+  const std::string journal_path = options.workdir + "/torture.gops";
+  fs::remove(journal_path, ec);
+  GEPC_ASSIGN_OR_RETURN(Journal journal, Journal::Open(journal_path));
+  GEPC_ASSIGN_OR_RETURN(IncrementalPlanner planner,
+                        IncrementalPlanner::Create(base, base_plan));
+
+  std::vector<int64_t> boundaries;  // journal bytes after op i committed
+  std::vector<std::string> states;  // serialized state after i ops
+  GEPC_ASSIGN_OR_RETURN(std::string initial,
+                        SerializeServiceState(base, base_plan, 0));
+  states.push_back(std::move(initial));
+  for (const AtomicOp& op : ops) {
+    GEPC_RETURN_IF_ERROR(journal.Append(op));
+    boundaries.push_back(journal.bytes_written());
+    planner.Apply(op);
+    GEPC_ASSIGN_OR_RETURN(
+        std::string state,
+        SerializeServiceState(planner.instance(), planner.plan(),
+                              states.size()));
+    states.push_back(std::move(state));
+  }
+
+  TortureReport report;
+  report.ops_journaled = ops.size();
+  report.journal_bytes = journal.bytes_written();
+
+  GEPC_ASSIGN_OR_RETURN(const std::string full, ReadBytes(journal_path));
+  if (static_cast<int64_t>(full.size()) != report.journal_bytes) {
+    return Status::Internal("journal size does not match bytes_written");
+  }
+
+  // 3. Crash offsets: every byte, or every record boundary +/- 1 byte.
+  std::vector<int64_t> offsets;
+  if (options.byte_level) {
+    offsets.reserve(full.size() + 1);
+    for (int64_t L = 0; L <= report.journal_bytes; ++L) offsets.push_back(L);
+  } else {
+    offsets = {0, 1, 5, 6, 7};  // around the header
+    for (const int64_t b : boundaries) {
+      offsets.push_back(b - 1);
+      offsets.push_back(b);
+      offsets.push_back(b + 1);
+    }
+    for (int64_t& L : offsets) {
+      L = std::clamp<int64_t>(L, 0, report.journal_bytes);
+    }
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+  }
+
+  auto fail = [&report](std::string what) {
+    if (report.failure.empty()) report.failure = std::move(what);
+  };
+  auto committed_ops = [&boundaries](int64_t L) {
+    return static_cast<size_t>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), L) -
+        boundaries.begin());
+  };
+
+  const std::string crash_path = options.workdir + "/torture.crash.gops";
+  for (const int64_t L : offsets) {
+    GEPC_RETURN_IF_ERROR(WriteBytes(
+        crash_path, full.substr(0, static_cast<size_t>(L))));
+    const size_t c = committed_ops(L);
+    auto replay = ReplayJournal(base, base_plan, crash_path);
+    ++report.truncation_points;
+    if (!replay.ok()) {
+      fail("offset " + std::to_string(L) +
+           ": replay failed: " + replay.status().ToString());
+      break;
+    }
+    if (replay->torn_bytes_discarded > 0) ++report.torn_recoveries;
+    if (replay->ops_applied + replay->ops_rejected != c) {
+      fail("offset " + std::to_string(L) + ": replayed " +
+           std::to_string(replay->ops_applied + replay->ops_rejected) +
+           " ops, expected " + std::to_string(c));
+      break;
+    }
+    auto state = SerializeServiceState(replay->instance, replay->plan,
+                                       static_cast<uint64_t>(c));
+    if (!state.ok()) return state.status();
+    if (*state != states[c]) {
+      fail("offset " + std::to_string(L) + ": recovered state diverges " +
+           "from reference after " + std::to_string(c) + " ops");
+      break;
+    }
+  }
+
+  // 4. Full service recovery at record boundaries: boot, verify the served
+  // snapshot, absorb one more op, prove the journal is still append-clean.
+  if (options.service_recover && report.failure.empty()) {
+    const std::string recover_path = options.workdir + "/torture.recover.gops";
+    std::vector<int64_t> recover_offsets = {0};
+    recover_offsets.insert(recover_offsets.end(), boundaries.begin(),
+                           boundaries.end());
+    for (const int64_t b : recover_offsets) {
+      GEPC_RETURN_IF_ERROR(WriteBytes(
+          recover_path, full.substr(0, static_cast<size_t>(b))));
+      const size_t c = committed_ops(b);
+      ServiceOptions service_options;
+      service_options.journal_path = recover_path;
+      auto service = PlanningService::Recover(base, base_plan,
+                                              service_options);
+      if (!service.ok()) {
+        fail("boundary " + std::to_string(b) +
+             ": Recover failed: " + service.status().ToString());
+        break;
+      }
+      ++report.service_recoveries;
+      const auto snap = (*service)->snapshot();
+      if (snap->version != c) {
+        fail("boundary " + std::to_string(b) + ": recovered version " +
+             std::to_string(snap->version) + ", expected " +
+             std::to_string(c));
+        break;
+      }
+      auto state =
+          SerializeServiceState(*snap->instance, *snap->plan, snap->version);
+      if (!state.ok()) return state.status();
+      if (*state != states[c]) {
+        fail("boundary " + std::to_string(b) +
+             ": recovered service state diverges after " +
+             std::to_string(c) + " ops");
+        break;
+      }
+      // The recovered journal must accept appends: absorb one benign op.
+      const AtomicOp extra =
+          AtomicOp::BudgetChange(0, snap->instance->user(0).budget + 0.25);
+      const ApplyOutcome outcome = (*service)->Apply(extra);
+      (*service)->Shutdown();
+      if (outcome.sequence != c + 1) {
+        fail("boundary " + std::to_string(b) +
+             ": post-recovery op got sequence " +
+             std::to_string(outcome.sequence) + ", expected " +
+             std::to_string(c + 1));
+        break;
+      }
+      auto rescan = ScanJournalFile(recover_path);
+      if (!rescan.ok()) {
+        fail("boundary " + std::to_string(b) +
+             ": journal unreadable after recovery: " +
+             rescan.status().ToString());
+        break;
+      }
+      if (rescan->ops.size() != c + 1 || rescan->torn_bytes != 0) {
+        fail("boundary " + std::to_string(b) +
+             ": journal has " + std::to_string(rescan->ops.size()) +
+             " ops / " + std::to_string(rescan->torn_bytes) +
+             " torn bytes after recovery, expected " +
+             std::to_string(c + 1) + " / 0");
+        break;
+      }
+    }
+  }
+
+  report.passed = report.failure.empty();
+  return report;
+}
+
+}  // namespace gepc

@@ -1,0 +1,88 @@
+#ifndef GEPC_SERVICE_TORTURE_H_
+#define GEPC_SERVICE_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "iep/planner.h"
+
+namespace gepc {
+
+/// Configuration of the crash-recovery torture run (tools/gepc_torture and
+/// torture_test). Everything is seed-driven; two runs with the same options
+/// exercise the same crashes and must reach the same verdict.
+struct TortureOptions {
+  int users = 40;
+  int events = 10;
+  /// Length of the recorded op stream (a deterministic mix of every
+  /// AtomicOp kind, including ops that fail validation).
+  int ops = 60;
+  uint64_t seed = 1;
+
+  /// true: simulate a crash at EVERY byte offset of the journal — the
+  /// exhaustive mode. false: crash at every record boundary plus one byte
+  /// before and after it (the interesting torn/clean transitions).
+  bool byte_level = false;
+
+  /// Additionally boot a full PlanningService::Recover at every record
+  /// boundary and verify it serves the right state, truncates the torn
+  /// tail, and accepts one more op afterwards.
+  bool service_recover = true;
+
+  /// Scratch directory for the journal and its truncated copies. Must
+  /// exist and be writable.
+  std::string workdir;
+};
+
+/// What the torture run did and whether every recovery matched.
+struct TortureReport {
+  uint64_t ops_journaled = 0;
+  int64_t journal_bytes = 0;
+  int truncation_points = 0;  ///< crash offsets exercised
+  int torn_recoveries = 0;    ///< offsets where a torn tail was discarded
+  int service_recoveries = 0; ///< full PlanningService::Recover boots
+  bool passed = false;
+  /// Empty when passed; otherwise describes the first divergence.
+  std::string failure;
+};
+
+/// Canonical byte serialization of a service state — GEPC1 instance +
+/// GPLN1 plan + version line. Two states are "the same" iff these strings
+/// are byte-identical; this is the equality the torture harness asserts.
+Result<std::string> SerializeServiceState(const Instance& instance,
+                                          const Plan& plan, uint64_t version);
+
+/// Deterministically generates `count` atomic operations against the
+/// evolving `planner` state (the planner advances as ops are generated, so
+/// event ids stay meaningful as `new` ops grow the instance). Roughly one
+/// op in eight is deliberately invalid, to exercise the journal's
+/// journaled-but-rejected path.
+std::vector<AtomicOp> GenerateTortureOps(IncrementalPlanner* planner,
+                                         int count, uint64_t seed);
+
+/// The torture harness:
+///
+///   1. generates an instance (seeded), solves it for the base plan,
+///   2. runs the reference: journal + apply each generated op, recording
+///      the journal byte offset and serialized state after every op,
+///   3. for every chosen truncation offset L, copies the first L journal
+///      bytes to a fresh file — the crash image — replays it with
+///      ReplayJournal, and asserts the recovered (instance, plan, version)
+///      serializes byte-identically to the reference state at the last
+///      record boundary <= L,
+///   4. at record boundaries (service_recover), additionally boots
+///      PlanningService::Recover on the crash image, checks the served
+///      snapshot, applies one more op, and re-scans the journal to prove
+///      the recovered file is still append-clean.
+///
+/// Returns the report (passed/failure inside); a non-OK status means the
+/// harness itself could not run (bad workdir, generator failure), not that
+/// recovery diverged.
+Result<TortureReport> RunCrashRecoveryTorture(const TortureOptions& options);
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_TORTURE_H_

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "core/feasibility.h"
 #include "exec/task_rng.h"
+#include "fault/fault.h"
 #include "exec/thread_pool.h"
 #include "flow/min_cost_flow.h"
 #include "gepc/topup.h"
@@ -168,13 +169,24 @@ Result<GepcResult> SolveSharded(const Instance& instance,
   if (stats != nullptr) *stats = ShardedGepcStats{};
 
   // shards <= 1: no cut, no merge — delegate so the result (plan AND
-  // stats) is byte-identical to the sequential solver.
+  // stats) is byte-identical to the sequential solver. The single solve is
+  // still a fault-injectable "shard" with the same greedy degradation.
   if (options.shards <= 1) {
     if (stats != nullptr) {
       stats->shards = 1;
       stats->interior_users = instance.num_users();
     }
-    return SolveGepc(instance, options.gepc);
+    fault::Inject("shard.slow");
+    const Status injected = fault::Inject("shard.solve");
+    Result<GepcResult> solved = injected.ok()
+                                    ? SolveGepc(instance, options.gepc)
+                                    : Result<GepcResult>(injected);
+    if (solved.ok()) return solved;
+    GepcOptions fallback = options.gepc;
+    fallback.algorithm = GepcAlgorithm::kGreedy;
+    fallback.refine_with_local_search = false;
+    if (stats != nullptr) stats->degraded_shards = 1;
+    return SolveGepc(instance, fallback);
   }
 
   const int n = instance.num_users();
@@ -220,13 +232,32 @@ Result<GepcResult> SolveSharded(const Instance& instance,
       GepcOptions shard_options = options.gepc;
       shard_options.greedy.seed =
           DeriveTaskSeed(master_seed, static_cast<uint64_t>(s));
-      shard_results[static_cast<size_t>(s)] = SolveGepc(sub, shard_options);
+      fault::Inject("shard.slow");  // delay-only: simulates a stalled shard
+      const Status injected = fault::Inject("shard.solve");
+      shard_results[static_cast<size_t>(s)] =
+          injected.ok() ? SolveGepc(sub, shard_options)
+                        : Result<GepcResult>(injected);
     });
   }
+  // Graceful degradation: re-solve failed shards sequentially with the
+  // greedy algorithm (same derived seed, so the degraded result is still
+  // deterministic). Only if the fallback itself fails does the whole solve
+  // error out.
   for (int s = 0; s < k; ++s) {
-    if (!shard_results[static_cast<size_t>(s)].ok()) {
-      return shard_results[static_cast<size_t>(s)].status();
-    }
+    if (shard_results[static_cast<size_t>(s)].ok()) continue;
+    const std::vector<UserId>& users =
+        partition.shard_users[static_cast<size_t>(s)];
+    const std::vector<EventId>& events =
+        partition.shard_events[static_cast<size_t>(s)];
+    const Instance sub = BuildSubInstance(instance, users, events);
+    GepcOptions fallback = options.gepc;
+    fallback.algorithm = GepcAlgorithm::kGreedy;
+    fallback.refine_with_local_search = false;
+    fallback.greedy.seed = DeriveTaskSeed(master_seed, static_cast<uint64_t>(s));
+    auto degraded = SolveGepc(sub, fallback);
+    if (!degraded.ok()) return degraded.status();
+    shard_results[static_cast<size_t>(s)] = *std::move(degraded);
+    if (stats != nullptr) ++stats->degraded_shards;
   }
   if (stats != nullptr) stats->solve_seconds = timer.ElapsedSeconds();
 

@@ -36,6 +36,11 @@ struct ShardedGepcStats {
   int lower_bound_repair_added = 0;
   /// Boundary attendances added by the closing top-up pass.
   int merge_topup_added = 0;
+  /// Shards whose configured solve failed (error or injected fault) and
+  /// were re-solved with the sequential greedy fallback. The merge still
+  /// produces a feasible plan; utility degrades gracefully instead of the
+  /// whole solve erroring out.
+  int degraded_shards = 0;
   double partition_seconds = 0.0;
   double solve_seconds = 0.0;
   double merge_seconds = 0.0;
@@ -62,6 +67,12 @@ struct ShardedGepcStats {
 /// upper bounds); lower bounds are best-effort with the shortfall reported,
 /// exactly like the sequential SolveGepc. Deterministic for a fixed
 /// (instance, options.shards, options.gepc) regardless of options.threads.
+///
+/// Failure handling: a shard whose solve errors — including the injected
+/// `shard.solve` fault — is re-solved sequentially with the greedy
+/// algorithm (same derived seed), so one bad shard degrades utility instead
+/// of failing the solve. `shard.slow` (delay-only) simulates a stalled
+/// shard without changing the result.
 Result<GepcResult> SolveSharded(const Instance& instance,
                                 const ShardedGepcOptions& options,
                                 ShardedGepcStats* stats = nullptr);

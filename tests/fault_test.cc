@@ -1,0 +1,174 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace gepc {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::Global().Reset(); }
+  void TearDown() override { fault::Registry::Global().Reset(); }
+};
+
+TEST_F(FaultTest, DisabledInjectsNothing) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::Inject("journal.append").ok());
+  EXPECT_TRUE(fault::Inject("no.such.point").ok());
+  // The disabled fast path records nothing at all.
+  EXPECT_EQ(fault::Registry::Global().HitCount("journal.append"), 0u);
+}
+
+TEST_F(FaultTest, ArmedPointFiresWithConfiguredCode) {
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "disk on fire";
+  fault::Registry::Global().Arm("journal.append", spec);
+  EXPECT_TRUE(fault::Enabled());
+
+  const Status status = fault::Inject("journal.append");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("journal.append"), std::string::npos);
+  EXPECT_NE(status.message().find("disk on fire"), std::string::npos);
+
+  // Other points stay silent.
+  EXPECT_TRUE(fault::Inject("journal.flush").ok());
+  EXPECT_EQ(fault::Registry::Global().HitCount("journal.append"), 1u);
+  EXPECT_EQ(fault::Registry::Global().FireCount("journal.append"), 1u);
+}
+
+TEST_F(FaultTest, SkipAndCountDefineTheFaultWindow) {
+  fault::FaultSpec spec;
+  spec.skip = 2;
+  spec.count = 3;
+  fault::Registry::Global().Arm("queue.push", spec);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(!fault::Inject("queue.push").ok());
+  }
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(fault::Registry::Global().HitCount("queue.push"), 8u);
+  EXPECT_EQ(fault::Registry::Global().FireCount("queue.push"), 3u);
+}
+
+TEST_F(FaultTest, DisarmStopsFiring) {
+  fault::Registry::Global().Arm("shard.solve", fault::FaultSpec{});
+  EXPECT_FALSE(fault::Inject("shard.solve").ok());
+  fault::Registry::Global().Disarm("shard.solve");
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::Inject("shard.solve").ok());
+}
+
+TEST_F(FaultTest, ProbabilityDrawsAreDeterministic) {
+  fault::FaultSpec spec;
+  spec.probability = 0.4;
+  spec.seed = 1234;
+
+  auto run = [&spec]() {
+    fault::Registry::Global().Reset();
+    fault::Registry::Global().Arm("shard.solve", spec);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(!fault::Inject("shard.solve").ok());
+    }
+    return pattern;
+  };
+
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+
+  int fires = 0;
+  for (const bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 40);   // ~80 expected; generous two-sided bounds
+  EXPECT_LT(fires, 130);
+
+  // A different seed fires a different pattern.
+  spec.seed = 99;
+  EXPECT_NE(run(), first);
+}
+
+TEST_F(FaultTest, DelayOnlyPointReturnsOk) {
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kOk;
+  spec.delay_ms = 1;
+  fault::Registry::Global().Arm("shard.slow", spec);
+  EXPECT_TRUE(fault::Inject("shard.slow").ok());
+  EXPECT_EQ(fault::Registry::Global().FireCount("shard.slow"), 1u);
+}
+
+TEST_F(FaultTest, InjectWithArgDeliversPayload) {
+  fault::FaultSpec spec;
+  spec.arg = 7;
+  fault::Registry::Global().Arm("journal.torn_tail", spec);
+  int64_t arg = -1;
+  uint64_t fire_index = 99;
+  const Status status =
+      fault::InjectWithArg("journal.torn_tail", &arg, &fire_index);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(arg, 7);
+  EXPECT_EQ(fire_index, 0u);
+}
+
+TEST_F(FaultTest, ArmFromSpecParsesFullGrammar) {
+  ASSERT_TRUE(fault::ArmFromSpec(
+                  "journal.append=unavailable:skip=1:count=2:msg=hiccup;"
+                  "shard.slow=ok:delay=1;"
+                  "shard.solve=internal:prob=0.5:seed=9")
+                  .ok());
+  const auto points = fault::Registry::Global().Snapshot();
+  ASSERT_EQ(points.size(), 3u);
+
+  EXPECT_TRUE(fault::Inject("journal.append").ok());  // skipped
+  const Status second = fault::Inject("journal.append");
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.message().find("hiccup"), std::string::npos);
+}
+
+TEST_F(FaultTest, ArmFromSpecRejectsBadInput) {
+  EXPECT_FALSE(fault::ArmFromSpec("no.such.point=unavailable").ok());
+  EXPECT_FALSE(fault::ArmFromSpec("journal.append").ok());
+  EXPECT_FALSE(fault::ArmFromSpec("journal.append=bogus_code").ok());
+  EXPECT_FALSE(fault::ArmFromSpec("journal.append=prob=1.5").ok());
+  EXPECT_FALSE(fault::ArmFromSpec("journal.append=skip=abc").ok());
+  EXPECT_FALSE(fault::ArmFromSpec("journal.append=frobnicate=1").ok());
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(FaultTest, ArmFromEnvHonoursVariable) {
+  ASSERT_EQ(setenv("GEPC_FAULTS", "queue.push=unavailable:count=1", 1), 0);
+  EXPECT_TRUE(fault::ArmFromEnv().ok());
+  EXPECT_FALSE(fault::Inject("queue.push").ok());
+  EXPECT_TRUE(fault::Inject("queue.push").ok());
+  ASSERT_EQ(unsetenv("GEPC_FAULTS"), 0);
+  fault::Registry::Global().Reset();
+  EXPECT_TRUE(fault::ArmFromEnv().ok());
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(FaultTest, ResetForgetsCounters) {
+  fault::Registry::Global().Arm("queue.push", fault::FaultSpec{});
+  fault::Inject("queue.push");
+  fault::Registry::Global().Reset();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_EQ(fault::Registry::Global().HitCount("queue.push"), 0u);
+  EXPECT_TRUE(fault::Registry::Global().Snapshot().empty());
+}
+
+TEST_F(FaultTest, KnownPointsCatalogueIsTerminated) {
+  int count = 0;
+  for (const char* const* p = fault::kKnownPoints; *p != nullptr; ++p) {
+    ++count;
+  }
+  EXPECT_GE(count, 6);
+}
+
+}  // namespace
+}  // namespace gepc

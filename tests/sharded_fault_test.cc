@@ -1,0 +1,185 @@
+// Satellite of the fault-injection PR: the graceful-degradation property of
+// the sharded engine. With any single shard's solve failing (injected
+// `shard.solve` fault), SolveSharded must still return a feasible plan —
+// constraints 1-3 via ValidatePlan — whose utility is no worse than the
+// all-greedy lower bound (the plan produced when *every* shard degrades to
+// the sequential greedy fallback).
+
+#include "shard/sharded_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/feasibility.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "fault/fault.h"
+#include "gepc/solver.h"
+
+namespace gepc {
+namespace {
+
+class ShardedFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Registry::Global().Reset();
+    GeneratorConfig config;
+    config.num_users = 160;
+    config.num_events = 12;
+    config.seed = 3;
+    auto generated = GenerateInstance(config);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    instance_ = *std::move(generated);
+  }
+  void TearDown() override { fault::Registry::Global().Reset(); }
+
+  // Regret insertion per shard, so the greedy fallback is a real downgrade
+  // and the degradation property is not vacuous.
+  static ShardedGepcOptions Options() {
+    ShardedGepcOptions options;
+    options.shards = 4;
+    // One worker: shards solve in index order, so a skip=s window
+    // deterministically targets shard s.
+    options.threads = 1;
+    options.gepc.algorithm = GepcAlgorithm::kRegret;
+    options.gepc.greedy.seed = 99;
+    return options;
+  }
+
+  static std::string Serialize(const Plan& plan) {
+    std::ostringstream out;
+    EXPECT_TRUE(SavePlan(plan, out).ok());
+    return out.str();
+  }
+
+  Instance instance_;
+};
+
+TEST_F(ShardedFaultTest, AnySingleShardFaultKeepsPlanFeasibleAboveGreedy) {
+  const ShardedGepcOptions options = Options();
+
+  // The all-greedy floor: every shard's solve fails, every shard degrades.
+  fault::FaultSpec all;
+  all.code = StatusCode::kInternal;
+  fault::Registry::Global().Arm("shard.solve", all);
+  ShardedGepcStats floor_stats;
+  auto floor = SolveSharded(instance_, options, &floor_stats);
+  ASSERT_TRUE(floor.ok()) << floor.status().ToString();
+  EXPECT_EQ(floor_stats.degraded_shards, options.shards);
+  fault::Registry::Global().Reset();
+
+  auto healthy = SolveSharded(instance_, options);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_GE(healthy->total_utility, floor->total_utility - 1e-9);
+
+  ValidationOptions feasibility;
+  feasibility.check_lower_bounds = false;  // best-effort, like SolveGepc
+  for (int s = 0; s < options.shards; ++s) {
+    fault::FaultSpec spec;
+    spec.code = StatusCode::kInternal;
+    spec.skip = static_cast<uint64_t>(s);
+    spec.count = 1;
+    fault::Registry::Global().Arm("shard.solve", spec);
+
+    ShardedGepcStats stats;
+    auto degraded = SolveSharded(instance_, options, &stats);
+    ASSERT_TRUE(degraded.ok())
+        << "shard " << s << ": " << degraded.status().ToString();
+    EXPECT_EQ(stats.degraded_shards, 1) << "shard " << s;
+    EXPECT_TRUE(ValidatePlan(instance_, degraded->plan, feasibility).ok())
+        << "shard " << s;
+    // Degrading one shard can cost utility, but never below the floor in
+    // which every shard already runs the same greedy fallback.
+    EXPECT_GE(degraded->total_utility, floor->total_utility - 1e-9)
+        << "shard " << s;
+    EXPECT_LE(degraded->total_utility, healthy->total_utility + 1e-9)
+        << "shard " << s;
+    EXPECT_EQ(degraded->events_below_lower_bound, 0) << "shard " << s;
+
+    fault::Registry::Global().Reset();
+  }
+}
+
+TEST_F(ShardedFaultTest, DegradedSolveIsDeterministic) {
+  const ShardedGepcOptions options = Options();
+  auto run = [&]() {
+    fault::Registry::Global().Reset();
+    fault::FaultSpec spec;
+    spec.skip = 1;
+    spec.count = 1;
+    fault::Registry::Global().Arm("shard.solve", spec);
+    auto result = SolveSharded(instance_, options);
+    EXPECT_TRUE(result.ok());
+    return Serialize(result->plan);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(ShardedFaultTest, SingleShardPathFallsBackToSequentialGreedy) {
+  ShardedGepcOptions options = Options();
+  options.shards = 1;
+  fault::Registry::Global().Arm("shard.solve", fault::FaultSpec{});
+
+  ShardedGepcStats stats;
+  auto degraded = SolveSharded(instance_, options, &stats);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(stats.degraded_shards, 1);
+  fault::Registry::Global().Reset();
+
+  // The fallback is the plain sequential greedy solve with the same seed.
+  GepcOptions greedy = options.gepc;
+  greedy.algorithm = GepcAlgorithm::kGreedy;
+  greedy.refine_with_local_search = false;
+  auto reference = SolveGepc(instance_, greedy);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(Serialize(degraded->plan), Serialize(reference->plan));
+}
+
+TEST_F(ShardedFaultTest, SlowShardChangesNothingButTime) {
+  ShardedGepcOptions options = Options();
+  options.threads = 2;
+
+  auto baseline = SolveSharded(instance_, options);
+  ASSERT_TRUE(baseline.ok());
+
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kOk;  // delay only
+  spec.delay_ms = 5;
+  spec.count = 2;
+  fault::Registry::Global().Arm("shard.slow", spec);
+  ShardedGepcStats stats;
+  auto delayed = SolveSharded(instance_, options, &stats);
+  ASSERT_TRUE(delayed.ok());
+  EXPECT_GE(fault::Registry::Global().FireCount("shard.slow"), 2u);
+
+  EXPECT_EQ(stats.degraded_shards, 0);
+  EXPECT_EQ(Serialize(delayed->plan), Serialize(baseline->plan));
+  EXPECT_DOUBLE_EQ(delayed->total_utility, baseline->total_utility);
+}
+
+TEST_F(ShardedFaultTest, ProbabilisticFaultsNeverBreakFeasibility) {
+  ShardedGepcOptions options = Options();
+  ValidationOptions feasibility;
+  feasibility.check_lower_bounds = false;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    fault::Registry::Global().Reset();
+    fault::FaultSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    fault::Registry::Global().Arm("shard.solve", spec);
+
+    ShardedGepcStats stats;
+    auto result = SolveSharded(instance_, options, &stats);
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    EXPECT_TRUE(ValidatePlan(instance_, result->plan, feasibility).ok())
+        << "seed " << seed;
+    EXPECT_EQ(stats.degraded_shards,
+              static_cast<int>(
+                  fault::Registry::Global().FireCount("shard.solve")));
+  }
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,45 @@
+// Full-size crash-recovery torture run, registered under the `slow` ctest
+// label so CI can select it with `ctest -L slow` while the default suite
+// stays fast. ~6s release build: byte-level truncation of an 80-op journal
+// (several thousand recoveries) plus a full service boot per boundary.
+
+#include "service/torture.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+
+namespace gepc {
+namespace {
+
+TEST(TortureSlowTest, FullByteLevelTortureRecoversEverywhere) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string workdir = ::testing::TempDir() + "/torture_slow";
+  std::error_code ec;
+  std::filesystem::create_directories(workdir, ec);
+  ASSERT_FALSE(ec) << ec.message();
+
+  TortureOptions options;
+  options.users = 50;
+  options.events = 12;
+  options.ops = 80;
+  options.seed = 7;
+  options.byte_level = true;
+  options.workdir = workdir;
+
+  auto report = RunCrashRecoveryTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->passed) << report->failure;
+  EXPECT_EQ(report->ops_journaled, 80u);
+  EXPECT_EQ(report->truncation_points,
+            static_cast<int>(report->journal_bytes) + 1);
+  EXPECT_GT(report->torn_recoveries, 0);
+  EXPECT_EQ(report->service_recoveries, 81);
+  SetLogLevel(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace gepc

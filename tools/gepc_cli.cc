@@ -29,6 +29,7 @@
 #include "core/plan_diff.h"
 #include "data/generator.h"
 #include "data/io.h"
+#include "fault/fault.h"
 #include "gepc/solver.h"
 #include "iep/batch.h"
 #include "shard/sharded_solver.h"
@@ -47,7 +48,7 @@ constexpr char kUsage[] =
     "  stats     --in inst.gepc\n"
     "  solve     --in inst.gepc [--algorithm greedy|gap|regret]\n"
     "            [--no-topup] [--threads N] [--shards K]\n"
-    "            [--plan-out plan.gpln]\n"
+    "            [--plan-out plan.gpln] [--faults SPEC]\n"
     "  validate  --in inst.gepc --plan plan.gpln\n"
     "  itinerary --in inst.gepc --plan plan.gpln [--user N]\n"
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
@@ -81,7 +82,8 @@ const std::map<std::string, CommandSpec>& Commands() {
         {}}},
       {"stats", {{"in"}, {}}},
       {"solve",
-       {{"in", "algorithm", "plan-out", "threads", "shards"}, {"no-topup"}}},
+       {{"in", "algorithm", "plan-out", "threads", "shards", "faults"},
+        {"no-topup"}}},
       {"validate", {{"in", "plan"}, {}}},
       {"itinerary", {{"in", "plan", "user"}, {}}},
       {"apply",
@@ -365,6 +367,16 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), kUsage);
     return 64;
   }
+  // Fault injection (docs/fault-injection.md): --faults SPEC (solve) and
+  // the GEPC_FAULTS environment variable; a bad spec is a usage error.
+  const std::string faults = GetOption(args, "faults");
+  if (!faults.empty()) {
+    const Status armed = fault::ArmFromSpec(faults);
+    if (!armed.ok()) return UsageFail("--faults: " + armed.ToString());
+  }
+  const Status env_armed = fault::ArmFromEnv();
+  if (!env_armed.ok()) return UsageFail("GEPC_FAULTS: " +
+                                        env_armed.ToString());
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "solve") return CmdSolve(args);

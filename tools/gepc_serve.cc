@@ -3,7 +3,7 @@
 //   gepc_serve --in inst.gepc [--plan plan.gpln] [--journal ops.gops]
 //              [--recover] [--algorithm greedy|gap|regret]
 //              [--threads N] [--shards K]
-//              [--queue N] [--snapshot-every N]
+//              [--queue N] [--snapshot-every N] [--faults SPEC]
 //
 // Loads the instance (solving it with the chosen algorithm unless --plan is
 // given), wraps it in a PlanningService, and speaks a line-oriented JSONL
@@ -23,6 +23,8 @@
 //   <- {"ok":true,"saved":"now.gpln","version":12}
 //   -> {"cmd":"rebuild"}                        (or {"shards":4,"threads":2})
 //   <- {"ok":true,"rebuilt":true,"utility":91.0,"dif":3,...}
+//   -> {"cmd":"faults"}
+//   <- {"ok":true,"enabled":false,"points":[{"point":"journal.append",...}]}
 //   -> {"cmd":"shutdown"}
 //   <- {"ok":true,"shutdown":true}
 //
@@ -36,6 +38,7 @@
 #include <string>
 
 #include "data/io.h"
+#include "fault/fault.h"
 #include "gepc/solver.h"
 #include "iep/op_spec.h"
 #include "service/jsonl.h"
@@ -50,6 +53,7 @@ struct Args {
   std::string plan;
   std::string journal;
   std::string algorithm = "greedy";
+  std::string faults;
   bool recover = false;
   size_t queue_capacity = 1024;
   int snapshot_every = 1;
@@ -67,6 +71,7 @@ int Usage() {
       "                  [--algorithm greedy|gap|regret]\n"
       "                  [--threads N] [--shards K]\n"
       "                  [--queue N] [--snapshot-every N]\n"
+      "                  [--faults SPEC]\n"
       "Speaks a JSONL request/response protocol on stdin/stdout; see\n"
       "docs/cli.md for the command set.\n");
   return 64;
@@ -122,6 +127,8 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
         *error = "--shards must be a positive integer";
         return false;
       }
+    } else if (arg == "--faults") {
+      if (!value(&args->faults)) return false;
     } else if (arg == "--queue") {
       if (!value(&text)) return false;
       args->queue_capacity = static_cast<size_t>(std::atoll(text.c_str()));
@@ -331,6 +338,7 @@ void HandleStats(const PlanningService& service) {
   writer.Add("apply_ms_p90", stats.apply_ms_p90);
   writer.Add("apply_ms_p99", stats.apply_ms_p99);
   writer.Add("apply_ms_max", stats.apply_ms_max);
+  writer.Add("journal_retries", stats.journal_retries);
   writer.Add("journal_bytes", stats.journal_bytes);
   writer.Add("snapshots_published", stats.snapshots_published);
   writer.Add("version", stats.snapshot_version);
@@ -340,6 +348,30 @@ void HandleStats(const PlanningService& service) {
   writer.Add("heap_bytes", stats.heap_bytes);
   writer.Add("peak_heap_bytes", stats.peak_heap_bytes);
   writer.Add("rss_bytes", stats.rss_bytes);
+  Respond(writer);
+}
+
+void HandleFaults() {
+  // Live fault-point counters (docs/fault-injection.md): which points are
+  // armed and how often each has been hit / has fired.
+  std::string points = "[";
+  bool first = true;
+  for (const fault::PointStatus& status : fault::Registry::Global()
+                                              .Snapshot()) {
+    if (!first) points += ",";
+    first = false;
+    JsonWriter point;
+    point.Add("point", status.point);
+    point.Add("armed", status.armed);
+    point.Add("hits", status.hits);
+    point.Add("fired", status.fired);
+    points += point.Finish();
+  }
+  points += "]";
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("enabled", fault::Enabled());
+  writer.AddRaw("points", points);
   Respond(writer);
 }
 
@@ -428,6 +460,20 @@ int Main(int argc, char** argv) {
     return Usage();
   }
 
+  // Fault injection (docs/fault-injection.md): the --faults flag and the
+  // GEPC_FAULTS environment variable both arm named failure points; a bad
+  // spec is a usage error, not a silently-unfaulted run.
+  if (!args.faults.empty()) {
+    const Status armed = fault::ArmFromSpec(args.faults);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: --faults: %s\n",
+                   armed.ToString().c_str());
+      return Usage();
+    }
+  }
+  const Status env_armed = fault::ArmFromEnv();
+  if (!env_armed.ok()) return Fail(env_armed.ToString());
+
   auto instance = LoadInstanceFromFile(args.in);
   if (!instance.ok()) return Fail(instance.status().ToString());
 
@@ -498,6 +544,8 @@ int Main(int argc, char** argv) {
       HandleSavePlan(service->get(), *request);
     } else if (cmd == "rebuild") {
       HandleRebuild(service->get(), *request, args);
+    } else if (cmd == "faults") {
+      HandleFaults();
     } else if (cmd == "drain") {
       (*service)->Drain();
       JsonWriter writer;

@@ -1,0 +1,126 @@
+// gepc_torture — crash-recovery torture harness for the planning service.
+//
+//   gepc_torture [--users N] [--events M] [--ops K] [--seed S]
+//                [--byte-level] [--no-service-recover] [--workdir DIR]
+//
+// Generates a seeded city and op stream, records a reference run through
+// the GOPS1 journal, then simulates a crash at every chosen journal offset
+// (every byte with --byte-level, otherwise every record boundary +/- 1),
+// recovers via ReplayJournal / PlanningService::Recover, and verifies the
+// recovered (instance, plan, snapshot version) is byte-identical to the
+// reference. Exit 0 when every recovery matches, 1 on divergence, 64 on
+// usage errors. See docs/fault-injection.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+#include "service/torture.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gepc_torture [--users N] [--events M] [--ops K] [--seed S]\n"
+      "                    [--byte-level] [--no-service-recover]\n"
+      "                    [--workdir DIR]\n"
+      "Simulates a crash at every journal truncation point and verifies\n"
+      "recovery reproduces the reference state byte-for-byte.\n");
+  return 64;
+}
+
+bool ParsePositiveInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0 || value > 1000000) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Thousands of recoveries: the per-recovery Info lines are pure noise.
+  gepc::SetLogLevel(gepc::LogLevel::kWarning);
+  gepc::TortureOptions options;
+  std::string workdir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--byte-level") {
+      options.byte_level = true;
+    } else if (arg == "--no-service-recover") {
+      options.service_recover = false;
+    } else if (arg == "--users") {
+      const char* value = next();
+      if (value == nullptr || !ParsePositiveInt(value, &options.users)) {
+        return Usage();
+      }
+    } else if (arg == "--events") {
+      const char* value = next();
+      if (value == nullptr || !ParsePositiveInt(value, &options.events)) {
+        return Usage();
+      }
+    } else if (arg == "--ops") {
+      const char* value = next();
+      if (value == nullptr || !ParsePositiveInt(value, &options.ops)) {
+        return Usage();
+      }
+    } else if (arg == "--seed") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      char* end = nullptr;
+      options.seed = std::strtoull(value, &end, 10);
+      if (end == nullptr || *end != '\0') return Usage();
+    } else if (arg == "--workdir") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      workdir = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  std::error_code ec;
+  if (workdir.empty()) {
+    workdir = (std::filesystem::temp_directory_path(ec) /
+               ("gepc_torture." + std::to_string(options.seed)))
+                  .string();
+    std::filesystem::create_directories(workdir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create workdir %s: %s\n", workdir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+  options.workdir = workdir;
+
+  auto report = gepc::RunCrashRecoveryTorture(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "torture harness error: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ops journaled      %llu\n",
+              static_cast<unsigned long long>(report->ops_journaled));
+  std::printf("journal bytes      %lld\n",
+              static_cast<long long>(report->journal_bytes));
+  std::printf("truncation points  %d\n", report->truncation_points);
+  std::printf("torn recoveries    %d\n", report->torn_recoveries);
+  std::printf("service recoveries %d\n", report->service_recoveries);
+  if (!report->passed) {
+    std::printf("FAILED: %s\n", report->failure.c_str());
+    return 1;
+  }
+  std::printf("PASSED: every crash point recovered byte-identically\n");
+  return 0;
+}
