@@ -2,6 +2,7 @@
 #define GEPC_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -18,10 +19,13 @@ namespace bench {
 ///   --quick          preset: scale 0.25, trials 3 (CI-friendly)
 ///   --csv=PREFIX     also write machine-readable CSV series to
 ///                    PREFIX_<series>.csv (supported by the figure benches)
+///   --json=FILE      write a flat JSON object of headline numbers to FILE
+///                    (CI perf-trajectory artifact; see JsonResults)
 struct BenchFlags {
   double scale = 1.0;
   int trials = 5;
   std::string csv_prefix;
+  std::string json_path;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -33,6 +37,8 @@ struct BenchFlags {
         flags.trials = std::atoi(arg + 9);
       } else if (std::strncmp(arg, "--csv=", 6) == 0) {
         flags.csv_prefix = arg + 6;
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        flags.json_path = arg + 7;
       } else if (std::strcmp(arg, "--quick") == 0) {
         flags.scale = 0.25;
         flags.trials = 3;
@@ -42,6 +48,40 @@ struct BenchFlags {
     if (flags.trials < 1) flags.trials = 1;
     return flags;
   }
+};
+
+/// Flat {"bench":"...","results":{"key":number,...}} sink for --json=FILE.
+/// Keys are bench-chosen snake_case identifiers (no escaping is applied);
+/// one file per binary per run, uploaded as a CI artifact so headline
+/// numbers accumulate a machine-readable trajectory across commits.
+class JsonResults {
+ public:
+  explicit JsonResults(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":" + buffer;
+  }
+
+  /// No-op when `path` is empty (flag not given). Returns false on IO error.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\"bench\":\"%s\",\"results\":{%s}}\n", bench_.c_str(),
+                 body_.c_str());
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string body_;
 };
 
 /// Solver preset used across all benches: the GAP-based algorithm keeps its

@@ -1,0 +1,183 @@
+// Observability-layer overhead bench: quantifies the src/obs cost model.
+// Three measurements:
+//
+//   1. raw ns/call of the primitives: Counter::Increment (never gated),
+//      Histogram::Observe with observability on, and Histogram::Observe +
+//      ScopedTimerMs with observability off (one relaxed atomic load, no
+//      clock reads) — the "~0 overhead when idle" contract;
+//   2. journaled PlanningService apply throughput with the full metric set
+//      recording vs. obs::SetEnabled(false) — the end-to-end regression an
+//      operator pays for live latency histograms. Acceptance bar: < 2%;
+//   3. the same comparison through SolveSharded, covering the solver-phase
+//      timers (menu build, LP, flow, partition/solve/merge).
+//
+// Run with --json=FILE to emit the headline numbers for the CI perf
+// trajectory (see docs/observability.md).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "obs/metrics.h"
+#include "service/planning_service.h"
+#include "shard/sharded_solver.h"
+
+namespace gepc {
+namespace {
+
+double CounterNsPerCall(int iterations) {
+  obs::Counter counter;
+  Timer timer;
+  for (int i = 0; i < iterations; ++i) counter.Increment();
+  const double ns = timer.ElapsedMillis() * 1e6 / iterations;
+  // Defeat dead-code elimination: the final value feeds a volatile sink.
+  volatile uint64_t sink = counter.value();
+  (void)sink;
+  return ns;
+}
+
+double ObserveNsPerCall(int iterations) {
+  obs::Histogram histogram(obs::Histogram::DefaultLatencyBucketsMs());
+  Timer timer;
+  for (int i = 0; i < iterations; ++i) {
+    histogram.Observe(0.25 + static_cast<double>(i % 7));
+  }
+  const double ns = timer.ElapsedMillis() * 1e6 / iterations;
+  volatile uint64_t sink = histogram.count();
+  (void)sink;
+  return ns;
+}
+
+double ScopedTimerNsPerCall(int iterations) {
+  obs::Histogram histogram(obs::Histogram::DefaultLatencyBucketsMs());
+  Timer timer;
+  for (int i = 0; i < iterations; ++i) {
+    obs::ScopedTimerMs scoped(&histogram);
+  }
+  const double ns = timer.ElapsedMillis() * 1e6 / iterations;
+  volatile uint64_t sink = histogram.count();
+  (void)sink;
+  return ns;
+}
+
+double ServiceOpsPerSec(const Instance& instance, const Plan& plan,
+                        int total_ops, const std::string& journal_path) {
+  std::remove(journal_path.c_str());
+  ServiceOptions options;
+  options.journal_path = journal_path;
+  auto service = PlanningService::Create(instance, plan, options);
+  if (!service.ok()) return 0.0;
+  Rng rng(17);
+  Timer timer;
+  for (int i = 0; i < total_ops; ++i) {
+    const UserId user =
+        static_cast<UserId>(rng.UniformUint64(instance.num_users()));
+    (*service)->Apply(
+        AtomicOp::BudgetChange(user, rng.UniformDouble(20.0, 160.0)));
+  }
+  const double seconds = timer.ElapsedMillis() / 1000.0;
+  (*service)->Shutdown();
+  std::remove(journal_path.c_str());
+  return seconds > 0.0 ? total_ops / seconds : 0.0;
+}
+
+double ShardedSolveMs(const Instance& instance) {
+  ShardedGepcOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  Timer timer;
+  auto result = SolveSharded(instance, options);
+  if (!result.ok()) return -1.0;
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace gepc
+
+int main(int argc, char** argv) {
+  using namespace gepc;
+  const bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  bench::JsonResults results("obs_overhead");
+  const int prim_iters = static_cast<int>(2e7 * flags.scale) + 1000;
+  const int service_ops = static_cast<int>(20000 * flags.scale) + 500;
+
+  std::printf("observability-layer overhead (scale=%.2f)\n\n", flags.scale);
+
+  // --- 1. raw primitive cost ----------------------------------------------
+  obs::SetEnabled(true);
+  const double counter_ns = CounterNsPerCall(prim_iters);
+  const double observe_on_ns = ObserveNsPerCall(prim_iters);
+  const double timer_on_ns = ScopedTimerNsPerCall(prim_iters / 4);
+  obs::SetEnabled(false);
+  const double observe_off_ns = ObserveNsPerCall(prim_iters);
+  const double timer_off_ns = ScopedTimerNsPerCall(prim_iters);
+  obs::SetEnabled(true);
+
+  std::printf("%-38s %10.2f ns/call\n", "Counter::Increment", counter_ns);
+  std::printf("%-38s %10.2f ns/call\n", "Histogram::Observe, obs on",
+              observe_on_ns);
+  std::printf("%-38s %10.2f ns/call\n", "ScopedTimerMs, obs on", timer_on_ns);
+  std::printf("%-38s %10.2f ns/call\n", "Histogram::Observe, obs off",
+              observe_off_ns);
+  std::printf("%-38s %10.2f ns/call\n\n", "ScopedTimerMs, obs off",
+              timer_off_ns);
+  results.Add("counter_ns", counter_ns);
+  results.Add("observe_on_ns", observe_on_ns);
+  results.Add("observe_off_ns", observe_off_ns);
+  results.Add("scoped_timer_on_ns", timer_on_ns);
+  results.Add("scoped_timer_off_ns", timer_off_ns);
+
+  // --- 2. end-to-end service throughput -----------------------------------
+  GeneratorConfig config;
+  config.num_users = static_cast<int>(400 * flags.scale) + 50;
+  config.num_events = static_cast<int>(24 * flags.scale) + 6;
+  config.seed = 11;
+  auto instance = GenerateInstance(config);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  auto solved = SolveGepc(*instance);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().ToString().c_str());
+    return 1;
+  }
+  const std::string journal = "/tmp/bench_obs_overhead.gops";
+
+  obs::SetEnabled(false);
+  const double ops_off =
+      ServiceOpsPerSec(*instance, solved->plan, service_ops, journal);
+  obs::SetEnabled(true);
+  const double ops_on =
+      ServiceOpsPerSec(*instance, solved->plan, service_ops, journal);
+
+  std::printf("%-38s %10.0f ops/s\n", "service apply, obs off", ops_off);
+  std::printf("%-38s %10.0f ops/s\n", "service apply, obs on", ops_on);
+  results.Add("service_ops_per_sec_off", ops_off);
+  results.Add("service_ops_per_sec_on", ops_on);
+  if (ops_off > 0.0 && ops_on > 0.0) {
+    const double delta_pct = 100.0 * (ops_on - ops_off) / ops_off;
+    std::printf("%-38s %+9.2f %%  (bar: > -2%%)\n\n", "throughput delta",
+                delta_pct);
+    results.Add("service_delta_pct", delta_pct);
+  }
+
+  // --- 3. sharded solve ----------------------------------------------------
+  obs::SetEnabled(false);
+  const double solve_off_ms = ShardedSolveMs(*instance);
+  obs::SetEnabled(true);
+  const double solve_on_ms = ShardedSolveMs(*instance);
+  std::printf("%-38s %10.2f ms\n", "SolveSharded, obs off", solve_off_ms);
+  std::printf("%-38s %10.2f ms\n", "SolveSharded, obs on", solve_on_ms);
+  results.Add("sharded_solve_off_ms", solve_off_ms);
+  results.Add("sharded_solve_on_ms", solve_on_ms);
+
+  if (!results.WriteTo(flags.json_path)) return 1;
+  return 0;
+}

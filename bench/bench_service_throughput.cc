@@ -7,6 +7,7 @@
 // a journal to see the durability cost.
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -97,7 +98,21 @@ RunRow RunService(const Instance& instance, const Plan& plan, int total_ops,
   return row;
 }
 
+/// CityPreset names become JSON keys ("NYC" -> "nyc").
+std::string KeySlug(const std::string& name) {
+  std::string slug;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      slug += '_';
+    }
+  }
+  return slug;
+}
+
 int Run(const bench::BenchFlags& flags) {
+  bench::JsonResults results("service_throughput");
   const int total_ops = flags.trials * 1000;
   std::printf("== PlanningService apply-loop throughput "
               "(scale %.2f, %d ops, 2 producers + 1 reader) ==\n\n",
@@ -132,9 +147,14 @@ int Run(const bench::BenchFlags& flags) {
       table.AddRow({journaled == 0 ? city.name : "",
                     journaled ? "yes" : "no", ops_str, p50_str, p99_str,
                     max_str, hw_str, journaled ? mb_str : "-"});
+      const std::string key =
+          KeySlug(city.name) + (journaled ? "_journaled" : "_memory");
+      results.Add(key + "_ops_per_sec", row.ops_per_sec);
+      results.Add(key + "_apply_ms_p99", row.stats.apply_ms_p99);
     }
   }
   table.Print();
+  if (!results.WriteTo(flags.json_path)) return 1;
   std::printf("\nShape check: journaling costs one formatted write + flush "
               "per op; the queue high-water shows how far the producers ran "
               "ahead of the single apply thread.\n");

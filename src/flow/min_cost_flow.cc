@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace gepc {
 
 namespace {
@@ -28,6 +30,9 @@ int MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
 }
 
 Result<MinCostFlow::FlowStats> MinCostFlow::Solve(int source, int sink) {
+  static const auto solve_ms = obs::Registry::Global().GetHistogram(
+      "gepc_flow_solve_ms", "min-cost-flow solve latency");
+  obs::ScopedTimerMs timer(solve_ms.get());
   const int n = num_nodes();
   if (source < 0 || source >= n || sink < 0 || sink >= n || source == sink) {
     return Status::InvalidArgument("bad source/sink node ids");

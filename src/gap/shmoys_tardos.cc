@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "flow/min_cost_flow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gepc {
 
@@ -144,12 +146,23 @@ Result<GapAssignment> SolveGapShmoysTardos(const GapInstance& gap,
     engine = simplex_fits ? GapLpEngine::kSimplex : GapLpEngine::kMwu;
   }
 
+  static const auto lp_ms = obs::Registry::Global().GetHistogram(
+      "gepc_gap_lp_ms", "GAP LP relaxation latency (simplex or MWU)");
+  static const auto round_ms = obs::Registry::Global().GetHistogram(
+      "gepc_gap_round_ms", "Shmoys-Tardos rounding latency");
+
   FractionalAssignment fractional;
-  if (engine == GapLpEngine::kSimplex) {
-    GEPC_ASSIGN_OR_RETURN(fractional, SolveGapLpSimplex(gap, options.lp));
-  } else {
-    GEPC_ASSIGN_OR_RETURN(fractional, SolveGapLpMwu(gap, options.mwu));
+  {
+    obs::ScopedTimerMs timer(lp_ms.get());
+    GEPC_TRACE_SPAN("gap.lp");
+    if (engine == GapLpEngine::kSimplex) {
+      GEPC_ASSIGN_OR_RETURN(fractional, SolveGapLpSimplex(gap, options.lp));
+    } else {
+      GEPC_ASSIGN_OR_RETURN(fractional, SolveGapLpMwu(gap, options.mwu));
+    }
   }
+  obs::ScopedTimerMs timer(round_ms.get());
+  GEPC_TRACE_SPAN("gap.round");
   return RoundFractional(gap, fractional);
 }
 

@@ -5,12 +5,19 @@
 #include <vector>
 
 #include "core/feasibility.h"
+#include "obs/metrics.h"
 
 namespace gepc {
 
 Result<UserMenu> BuildUserMenu(const Instance& instance, UserId i,
                                bool sort_by_utility_desc,
                                const ReachabilityFilter* filter) {
+  static const auto menus_total = obs::Registry::Global().GetCounter(
+      "gepc_menu_builds_total", "user menus enumerated");
+  static const auto menu_ms = obs::Registry::Global().GetHistogram(
+      "gepc_menu_build_ms", "per-user menu enumeration latency");
+  menus_total->Increment();
+  obs::ScopedTimerMs timer(menu_ms.get());
   const int m = instance.num_events();
   if (m > kMaxUserMenuEvents) {
     return Status::InvalidArgument(

@@ -1,0 +1,327 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace gepc {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+void SetEnabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (exact && !samples.empty()) {
+    // Nearest-rank on the sorted retained samples (matches SampleStats).
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    return samples[rank == 0 ? 0 : rank - 1];
+  }
+  // Bucket interpolation: find the bucket holding the target rank and
+  // interpolate linearly inside it (Prometheus histogram_quantile style),
+  // clamped to the observed min/max so tails stay sane.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lower = b == 0 ? std::min(min, bounds.empty() ? min : bounds[0])
+                                : bounds[b - 1];
+    const double upper = b < bounds.size() ? bounds[b] : max;
+    if (in_bucket == 0) return std::clamp(upper, min, max);
+    const double fraction =
+        static_cast<double>(target - cumulative) / static_cast<double>(in_bucket);
+    return std::clamp(lower + (upper - lower) * fraction, min, max);
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::vector<double> Histogram::DefaultLatencyBucketsMs() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0, 2.5,
+          5.0,   10.0,   25.0,  50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds, size_t reservoir_capacity)
+    : bounds_(bounds.empty() ? DefaultLatencyBucketsMs() : std::move(bounds)),
+      reservoir_capacity_(reservoir_capacity) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  if (reservoir_capacity_ > 0) {
+    reservoir_ = std::make_unique<std::atomic<double>[]>(reservoir_capacity_);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+
+  // First bucket whose upper bound holds the value (+Inf bucket otherwise).
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+
+  if (reservoir_capacity_ > 0) {
+    const uint64_t slot = reservoir_next_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < reservoir_capacity_) {
+      reservoir_[slot].store(value, std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.bounds = bounds_;
+  snapshot.buckets.resize(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    snapshot.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  if (snapshot.count > 0) {
+    snapshot.min = min_.load(std::memory_order_relaxed);
+    snapshot.max = max_.load(std::memory_order_relaxed);
+  }
+  const uint64_t observed = reservoir_next_.load(std::memory_order_relaxed);
+  const size_t retained =
+      static_cast<size_t>(std::min<uint64_t>(observed, reservoir_capacity_));
+  snapshot.samples.reserve(retained);
+  for (size_t s = 0; s < retained; ++s) {
+    snapshot.samples.push_back(reservoir_[s].load(std::memory_order_relaxed));
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end());
+  snapshot.exact = observed <= reservoir_capacity_ &&
+                   snapshot.samples.size() == snapshot.count;
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  reservoir_next_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::State {
+  struct Entry {
+    std::string help;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu;
+  std::map<std::string, Entry> metrics;  // map: exposition in name order
+};
+
+Registry& Registry::Global() {
+  // Leaked singleton: metrics outlive every static destructor, so worker
+  // threads can record during shutdown.
+  static Registry* instance = [] {
+    Registry* registry = new Registry();
+    registry->state_ = new State();
+    return registry;
+  }();
+  return *instance;
+}
+
+std::shared_ptr<Counter> Registry::GetCounter(const std::string& name,
+                                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  State::Entry& entry = state_->metrics[name];
+  if (entry.gauge != nullptr || entry.histogram != nullptr) {
+    GEPC_LOG(Warning) << "obs metric '" << name
+                      << "' re-requested as a counter; returning detached";
+    return std::make_shared<Counter>();
+  }
+  if (entry.counter == nullptr) {
+    entry.counter = std::make_shared<Counter>();
+    entry.help = help;
+  }
+  return entry.counter;
+}
+
+std::shared_ptr<Gauge> Registry::GetGauge(const std::string& name,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  State::Entry& entry = state_->metrics[name];
+  if (entry.counter != nullptr || entry.histogram != nullptr) {
+    GEPC_LOG(Warning) << "obs metric '" << name
+                      << "' re-requested as a gauge; returning detached";
+    return std::make_shared<Gauge>();
+  }
+  if (entry.gauge == nullptr) {
+    entry.gauge = std::make_shared<Gauge>();
+    entry.help = help;
+  }
+  return entry.gauge;
+}
+
+std::shared_ptr<Histogram> Registry::GetHistogram(const std::string& name,
+                                                  const std::string& help,
+                                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  State::Entry& entry = state_->metrics[name];
+  if (entry.counter != nullptr || entry.gauge != nullptr) {
+    GEPC_LOG(Warning) << "obs metric '" << name
+                      << "' re-requested as a histogram; returning detached";
+    return std::make_shared<Histogram>(std::move(bounds));
+  }
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_shared<Histogram>(std::move(bounds));
+    entry.help = help;
+  }
+  return entry.histogram;
+}
+
+std::string Registry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, entry] : state_->metrics) {
+    if (entry.counter != nullptr) {
+      AppendCounterText(name, entry.help, entry.counter->value(), &out);
+    } else if (entry.gauge != nullptr) {
+      AppendGaugeText(name, entry.help,
+                      static_cast<double>(entry.gauge->value()), &out);
+    } else if (entry.histogram != nullptr) {
+      AppendHistogramText(name, entry.help, entry.histogram->Snapshot(), &out);
+    }
+  }
+  return out;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (auto& [name, entry] : state_->metrics) {
+    (void)name;
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Reset();
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->metrics.size();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text helpers
+// ---------------------------------------------------------------------------
+
+std::string FormatMetricValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+namespace {
+
+void AppendHeader(const std::string& name, const std::string& help,
+                  const char* type, std::string* out) {
+  if (!help.empty()) {
+    out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  }
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+void AppendCounterText(const std::string& name, const std::string& help,
+                       uint64_t value, std::string* out) {
+  AppendHeader(name, help, "counter", out);
+  out->append(name).append(" ").append(std::to_string(value)).append("\n");
+}
+
+void AppendGaugeText(const std::string& name, const std::string& help,
+                     double value, std::string* out) {
+  AppendHeader(name, help, "gauge", out);
+  out->append(name).append(" ").append(FormatMetricValue(value)).append("\n");
+}
+
+void AppendHistogramText(const std::string& name, const std::string& help,
+                         const HistogramSnapshot& snapshot, std::string* out) {
+  AppendHeader(name, help, "histogram", out);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < snapshot.bounds.size(); ++b) {
+    cumulative += snapshot.buckets[b];
+    out->append(name)
+        .append("_bucket{le=\"")
+        .append(FormatMetricValue(snapshot.bounds[b]))
+        .append("\"} ")
+        .append(std::to_string(cumulative))
+        .append("\n");
+  }
+  out->append(name)
+      .append("_bucket{le=\"+Inf\"} ")
+      .append(std::to_string(snapshot.count))
+      .append("\n");
+  out->append(name).append("_sum ").append(FormatMetricValue(snapshot.sum)).append("\n");
+  out->append(name).append("_count ").append(std::to_string(snapshot.count)).append("\n");
+}
+
+void AppendSummaryText(const std::string& name, const std::string& help,
+                       const HistogramSnapshot& snapshot, std::string* out) {
+  AppendHeader(name, help, "summary", out);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    out->append(name)
+        .append("{quantile=\"")
+        .append(FormatMetricValue(q))
+        .append("\"} ")
+        .append(FormatMetricValue(snapshot.Quantile(q)))
+        .append("\n");
+  }
+  out->append(name).append("_sum ").append(FormatMetricValue(snapshot.sum)).append("\n");
+  out->append(name).append("_count ").append(std::to_string(snapshot.count)).append("\n");
+}
+
+}  // namespace obs
+}  // namespace gepc

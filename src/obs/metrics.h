@@ -1,0 +1,223 @@
+#ifndef GEPC_OBS_METRICS_H_
+#define GEPC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gepc {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Global enable gate
+// ---------------------------------------------------------------------------
+
+namespace detail {
+/// Read on every time-based instrumentation hit (histogram observations,
+/// scoped timers). One relaxed atomic load when observability is off — the
+/// "~0 overhead when idle" contract (see bench_obs_overhead). Counters and
+/// gauges are NOT gated: a relaxed fetch_add is cheaper than the mutex they
+/// replaced, and services rely on them for bookkeeping.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True iff time-based instrumentation (histograms, scoped timers) records.
+inline bool Enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns time-based instrumentation on (default) or off process-wide.
+void SetEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// Metric value types (lock-free, usable standalone or via the Registry)
+// ---------------------------------------------------------------------------
+
+/// Monotonic event count. Prometheus convention: name it `*_total`.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, bytes, boundary users).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One coherent read of a Histogram, plus derived summaries.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+  /// Ascending bucket upper bounds; an implicit +Inf bucket follows.
+  std::vector<double> bounds;
+  /// Per-bucket (NON-cumulative) counts; size bounds.size() + 1.
+  std::vector<uint64_t> buckets;
+  /// Retained samples, sorted ascending. Covers every observation while the
+  /// reservoir has room — then `exact` is true and Quantile is the true
+  /// nearest-rank quantile, not a bucket interpolation.
+  std::vector<double> samples;
+  bool exact = false;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Nearest-rank quantile from the retained samples when `exact`; linear
+  /// interpolation inside the owning bucket otherwise. q in [0, 1].
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket latency/size histogram with lock-free observation and an
+/// exact-sample reservoir: deterministic workloads that fit the reservoir
+/// (default 8192 observations) get *exact* quantile summaries; larger
+/// streams degrade gracefully to bucket interpolation.
+///
+/// Observe() is gated on obs::Enabled() — an idle process pays one relaxed
+/// load per call. Reset() assumes no concurrent observers (tests/benches).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = {},
+                     size_t reservoir_capacity = kDefaultReservoirCapacity);
+
+  void Observe(double value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  static constexpr size_t kDefaultReservoirCapacity = 8192;
+  /// 21 bounds from 1us to 5s — the default for `*_ms` histograms.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  size_t reservoir_capacity_;
+  std::unique_ptr<std::atomic<double>[]> reservoir_;
+  std::atomic<uint64_t> reservoir_next_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Process-wide name -> metric table with Prometheus text exposition.
+///
+/// Get* returns the existing metric (creating on first use), so any code
+/// path can cheaply cache a pointer:
+///
+///   static const auto h = obs::Registry::Global().GetHistogram(
+///       "gepc_flow_solve_ms", "MinCostFlow::Solve latency");
+///   obs::ScopedTimerMs timer(h.get());
+///
+/// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* (Prometheus grammar);
+/// counters should end in `_total`, latency histograms in `_ms`. Asking for
+/// an existing name with a different metric type returns a detached
+/// instance (and the registry logs a warning) rather than aliasing.
+class Registry {
+ public:
+  static Registry& Global();
+
+  std::shared_ptr<Counter> GetCounter(const std::string& name,
+                                      const std::string& help = "");
+  std::shared_ptr<Gauge> GetGauge(const std::string& name,
+                                  const std::string& help = "");
+  std::shared_ptr<Histogram> GetHistogram(const std::string& name,
+                                          const std::string& help = "",
+                                          std::vector<double> bounds = {});
+
+  /// Prometheus text exposition (# HELP / # TYPE / sample lines) of every
+  /// registered metric, in name order.
+  std::string RenderPrometheusText() const;
+
+  /// Zeroes every registered metric's value. Registrations (and cached
+  /// pointers) survive — tests and benches use this between phases.
+  void ResetValues();
+
+  /// Number of registered metrics.
+  size_t size() const;
+
+ private:
+  Registry() = default;
+  struct State;
+  State* state_;  // opaque; lives in metrics.cc
+};
+
+// ---------------------------------------------------------------------------
+// Prometheus text helpers (shared with the service-level exposition)
+// ---------------------------------------------------------------------------
+
+/// Shortest %g rendering, with "+Inf"/"-Inf" for infinities.
+std::string FormatMetricValue(double value);
+
+/// Appends `# HELP` / `# TYPE histogram` / cumulative `_bucket{le=...}` /
+/// `_sum` / `_count` lines for one histogram snapshot.
+void AppendHistogramText(const std::string& name, const std::string& help,
+                         const HistogramSnapshot& snapshot, std::string* out);
+
+/// Appends a `summary`-typed metric with exact-when-possible quantiles
+/// (0.5, 0.9, 0.99) plus `_sum` / `_count`.
+void AppendSummaryText(const std::string& name, const std::string& help,
+                       const HistogramSnapshot& snapshot, std::string* out);
+
+/// Appends `# HELP` / `# TYPE` / one sample line for a counter or gauge.
+void AppendCounterText(const std::string& name, const std::string& help,
+                       uint64_t value, std::string* out);
+void AppendGaugeText(const std::string& name, const std::string& help,
+                     double value, std::string* out);
+
+// ---------------------------------------------------------------------------
+// RAII phase timer
+// ---------------------------------------------------------------------------
+
+/// Observes the scope's wall time, in milliseconds, into a histogram — the
+/// phase-timing primitive. Skips the clock reads entirely (two per scope)
+/// when observability is off or the histogram is null.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram* histogram)
+      : histogram_(Enabled() ? histogram : nullptr) {
+    if (histogram_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedTimerMs() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          std::chrono::duration<double, std::milli>(Clock::now() - start_)
+              .count());
+    }
+  }
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace gepc
+
+#endif  // GEPC_OBS_METRICS_H_

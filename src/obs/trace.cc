@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"  // FormatMetricValue
+
+namespace gepc {
+namespace obs {
+
+double TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+struct TraceRecorder::State {
+  struct Span {
+    const char* name;
+    const char* category;
+    double start_us;
+    double duration_us;
+    int tid;
+  };
+  mutable std::mutex mu;
+  std::vector<Span> spans;
+  std::unordered_map<std::thread::id, int> thread_ids;
+  size_t capacity = 1 << 20;
+  uint64_t dropped = 0;
+
+  int TidLocked() {
+    const auto id = std::this_thread::get_id();
+    auto it = thread_ids.find(id);
+    if (it != thread_ids.end()) return it->second;
+    const int tid = static_cast<int>(thread_ids.size()) + 1;
+    thread_ids.emplace(id, tid);
+    return tid;
+  }
+};
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked singleton — see Registry::Global().
+  static TraceRecorder* instance = [] {
+    TraceRecorder* recorder = new TraceRecorder();
+    recorder->state_ = new State();
+    return recorder;
+  }();
+  return *instance;
+}
+
+void TraceRecorder::Start() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->spans.clear();
+    state_->dropped = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceRecorder::Record(const char* name, const char* category,
+                           double start_us, double duration_us) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->spans.size() >= state_->capacity) {
+    ++state_->dropped;
+    return;
+  }
+  state_->spans.push_back(
+      State::Span{name, category, start_us, duration_us, state_->TidLocked()});
+}
+
+size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->spans.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->dropped;
+}
+
+void TraceRecorder::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->capacity = capacity;
+}
+
+std::string TraceRecorder::RenderChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const State::Span& span : state_->spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += span.name;  // literals: no escaping needed by construction
+    out += "\",\"cat\":\"";
+    out += span.category;
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += FormatMetricValue(span.start_us);
+    out += ",\"dur\":";
+    out += FormatMetricValue(span.duration_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open trace file: " + path);
+  out << RenderChromeTraceJson() << "\n";
+  out.flush();
+  if (!out) return Status::Internal("trace write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace gepc

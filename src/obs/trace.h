@@ -1,0 +1,93 @@
+#ifndef GEPC_OBS_TRACE_H_
+#define GEPC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+
+namespace gepc {
+namespace obs {
+
+/// Microseconds since the process trace epoch (first use). Monotonic.
+double TraceNowMicros();
+
+/// Process-wide recorder of lightweight spans, exportable as
+/// chrome://tracing / Perfetto "traceEvents" JSON (complete "X" events).
+///
+/// Disabled (the default) a span costs one relaxed atomic load. Enabled, a
+/// span is two clock reads plus a short mutex push — spans mark coarse
+/// solver phases (one per solve phase / shard / service op), not inner
+/// loops, so the mutex is uncontended in practice. The buffer is bounded:
+/// spans past `capacity` are counted in dropped() instead of growing
+/// without bound inside a long-running service.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Clears the buffer and starts recording.
+  void Start();
+  /// Stops recording; the buffer is kept for export.
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one complete span. `name` and `category` must be string
+  /// literals (the recorder keeps the pointers, not copies).
+  void Record(const char* name, const char* category, double start_us,
+              double duration_us);
+
+  size_t span_count() const;
+  uint64_t dropped() const;
+  void set_capacity(size_t capacity);
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — load in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string RenderChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  TraceRecorder() = default;
+  struct State;
+  State* state_;  // opaque; lives in trace.cc
+
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: records [construction, destruction) into the global recorder
+/// when tracing is on; a single relaxed load otherwise.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "gepc")
+      : name_(TraceRecorder::Global().enabled() ? name : nullptr),
+        category_(category) {
+    if (name_ != nullptr) start_us_ = TraceNowMicros();
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().Record(name_, category_, start_us_,
+                                     TraceNowMicros() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace gepc
+
+#define GEPC_OBS_CONCAT_INNER_(a, b) a##b
+#define GEPC_OBS_CONCAT_(a, b) GEPC_OBS_CONCAT_INNER_(a, b)
+
+/// Declares an anonymous scope span: GEPC_TRACE_SPAN("gepc.topup").
+#define GEPC_TRACE_SPAN(...) \
+  ::gepc::obs::TraceSpan GEPC_OBS_CONCAT_(gepc_trace_span_, __COUNTER__)( \
+      __VA_ARGS__)
+
+#endif  // GEPC_OBS_TRACE_H_

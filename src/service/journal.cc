@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "fault/fault.h"
 #include "iep/trace.h"
+#include "obs/metrics.h"
 
 namespace gepc {
 
@@ -111,6 +112,9 @@ Status Journal::RestoreTail(int64_t size) {
 }
 
 Status Journal::Append(const AtomicOp& op) {
+  static const auto append_ms = obs::Registry::Global().GetHistogram(
+      "gepc_journal_append_ms", "journal append latency (serialize + flush)");
+  obs::ScopedTimerMs append_timer(append_ms.get());
   if (out_ == nullptr || !*out_) {
     return Status::FailedPrecondition("journal is not open");
   }
@@ -143,7 +147,12 @@ Status Journal::Append(const AtomicOp& op) {
 
   out_->write(row.data(), static_cast<std::streamsize>(row.size()));
   const Status flush_fault = fault::Inject("journal.flush");
-  out_->flush();
+  {
+    static const auto flush_ms = obs::Registry::Global().GetHistogram(
+        "gepc_journal_flush_ms", "journal stream flush latency");
+    obs::ScopedTimerMs flush_timer(flush_ms.get());
+    out_->flush();
+  }
   if (!flush_fault.ok() || !*out_) {
     GEPC_RETURN_IF_ERROR(RestoreTail(bytes_written_));
     if (!flush_fault.ok()) return flush_fault;

@@ -1,0 +1,65 @@
+#include "service/metrics.h"
+
+namespace gepc {
+
+std::string RenderServiceStatsText(const ServiceStats& stats) {
+  std::string out;
+  obs::AppendCounterText("gepc_service_ops_submitted_total",
+                         "operations accepted into the queue",
+                         stats.ops_submitted, &out);
+  obs::AppendCounterText("gepc_service_ops_applied_total",
+                         "operations journaled and applied", stats.ops_applied,
+                         &out);
+  obs::AppendCounterText("gepc_service_ops_rejected_total",
+                         "operations that failed validation",
+                         stats.ops_rejected, &out);
+  obs::AppendCounterText("gepc_service_ops_dropped_total",
+                         "operations dropped by shutdown or backpressure",
+                         stats.ops_dropped, &out);
+  obs::AppendCounterText("gepc_service_journal_retries_total",
+                         "transient journal-append retries",
+                         stats.journal_retries, &out);
+  obs::AppendCounterText("gepc_service_snapshots_published_total",
+                         "snapshots published", stats.snapshots_published,
+                         &out);
+  obs::AppendGaugeText("gepc_service_negative_impact_total",
+                       "summed dif over applied operations",
+                       static_cast<double>(stats.negative_impact_total), &out);
+  obs::AppendGaugeText("gepc_service_queue_depth", "operations waiting",
+                       static_cast<double>(stats.queue_depth), &out);
+  obs::AppendGaugeText("gepc_service_queue_high_water",
+                       "maximum queue depth observed",
+                       static_cast<double>(stats.queue_high_water), &out);
+  obs::AppendGaugeText("gepc_service_queue_capacity", "queue bound",
+                       static_cast<double>(stats.queue_capacity), &out);
+  obs::AppendGaugeText("gepc_service_journal_bytes", "journal file size",
+                       static_cast<double>(stats.journal_bytes), &out);
+  obs::AppendGaugeText("gepc_service_snapshot_version",
+                       "sequence of the latest snapshot",
+                       static_cast<double>(stats.snapshot_version), &out);
+  obs::AppendGaugeText("gepc_service_total_utility",
+                       "total utility of the served plan", stats.total_utility,
+                       &out);
+  obs::AppendGaugeText("gepc_service_total_assignments",
+                       "assignments in the served plan",
+                       static_cast<double>(stats.total_assignments), &out);
+  obs::AppendGaugeText("gepc_service_events_below_lower_bound",
+                       "events short of xi_j in the served plan",
+                       static_cast<double>(stats.events_below_lower_bound),
+                       &out);
+  obs::AppendGaugeText("gepc_service_rss_bytes", "resident set size",
+                       static_cast<double>(stats.rss_bytes), &out);
+  obs::AppendHistogramText("gepc_service_apply_ms",
+                           "apply latency (journal append included)",
+                           stats.apply_ms, &out);
+  obs::AppendSummaryText("gepc_service_apply_ms_summary",
+                         "apply latency quantiles", stats.apply_ms, &out);
+  obs::AppendHistogramText("gepc_service_queue_wait_ms",
+                           "queue residency before the writer dequeues",
+                           stats.queue_wait_ms, &out);
+  obs::AppendSummaryText("gepc_service_queue_wait_ms_summary",
+                         "queue-wait quantiles", stats.queue_wait_ms, &out);
+  return out;
+}
+
+}  // namespace gepc

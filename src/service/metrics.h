@@ -2,9 +2,9 @@
 #define GEPC_SERVICE_METRICS_H_
 
 #include <cstdint>
-#include <mutex>
+#include <string>
 
-#include "benchutil/stats.h"
+#include "obs/metrics.h"
 
 namespace gepc {
 
@@ -28,11 +28,18 @@ struct ServiceStats {
   uint64_t queue_capacity = 0;
 
   // Apply-latency distribution (milliseconds, journal append included).
+  // Scalars derived from `apply_ms`, kept for existing callers.
   double apply_ms_mean = 0.0;
   double apply_ms_p50 = 0.0;
   double apply_ms_p90 = 0.0;
   double apply_ms_p99 = 0.0;
   double apply_ms_max = 0.0;
+
+  /// Full apply-latency distribution (exact quantiles while the reservoir
+  /// holds every observation — see obs::HistogramSnapshot).
+  obs::HistogramSnapshot apply_ms;
+  /// Queue residency per op: enqueue (Submit) to dequeue by the writer.
+  obs::HistogramSnapshot queue_wait_ms;
 
   // Journal / snapshot.
   int64_t journal_bytes = 0;
@@ -50,73 +57,74 @@ struct ServiceStats {
   int64_t rss_bytes = 0;
 };
 
-/// Thread-safe counter sink shared by the service's producer threads and
-/// its writer thread. A plain mutex is enough: Record* calls are a few
-/// nanoseconds and sit next to an Apply that costs microseconds.
+/// Counter sink shared by the service's producer threads and its writer
+/// thread, built on the lock-free obs value types so a Record* call is a
+/// handful of relaxed atomic ops. Instances are standalone (NOT in the
+/// global obs::Registry): ServiceStats is per-service and a process may run
+/// several services; the process-global registry carries the solver-phase
+/// and journal metrics instead.
+///
+/// Latency histograms honor obs::SetEnabled(false) like every other
+/// time-based instrument, so the apply_ms/queue_wait_ms fields read empty
+/// when observability is off; the counters always record.
 class ServiceMetrics {
  public:
-  void RecordSubmitted() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++submitted_;
-  }
+  void RecordSubmitted() { submitted_.Increment(); }
 
   void RecordApplied(double apply_ms, int64_t negative_impact) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++applied_;
-    negative_impact_ += negative_impact;
-    apply_ms_.Add(apply_ms);
+    applied_.Increment();
+    negative_impact_.Add(negative_impact);
+    apply_ms_.Observe(apply_ms);
   }
 
   void RecordRejected(double apply_ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++rejected_;
-    apply_ms_.Add(apply_ms);
+    rejected_.Increment();
+    apply_ms_.Observe(apply_ms);
   }
 
-  void RecordDropped() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++dropped_;
-  }
+  void RecordDropped() { dropped_.Increment(); }
 
-  void RecordJournalRetry() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++journal_retries_;
-  }
+  void RecordJournalRetry() { journal_retries_.Increment(); }
 
-  void RecordSnapshotPublished() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++snapshots_;
-  }
+  void RecordSnapshotPublished() { snapshots_.Increment(); }
+
+  void RecordQueueWait(double wait_ms) { queue_wait_ms_.Observe(wait_ms); }
 
   /// Fills the counter/latency fields of `stats` (the queue, journal and
   /// snapshot fields are owned by the service).
   void FillStats(ServiceStats* stats) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats->ops_submitted = submitted_;
-    stats->ops_applied = applied_;
-    stats->ops_rejected = rejected_;
-    stats->ops_dropped = dropped_;
-    stats->negative_impact_total = negative_impact_;
-    stats->journal_retries = journal_retries_;
-    stats->snapshots_published = snapshots_;
-    stats->apply_ms_mean = apply_ms_.mean();
-    stats->apply_ms_p50 = apply_ms_.percentile(0.50);
-    stats->apply_ms_p90 = apply_ms_.percentile(0.90);
-    stats->apply_ms_p99 = apply_ms_.percentile(0.99);
-    stats->apply_ms_max = apply_ms_.max();
+    stats->ops_submitted = submitted_.value();
+    stats->ops_applied = applied_.value();
+    stats->ops_rejected = rejected_.value();
+    stats->ops_dropped = dropped_.value();
+    stats->negative_impact_total = negative_impact_.value();
+    stats->journal_retries = journal_retries_.value();
+    stats->snapshots_published = snapshots_.value();
+    stats->apply_ms = apply_ms_.Snapshot();
+    stats->queue_wait_ms = queue_wait_ms_.Snapshot();
+    stats->apply_ms_mean = stats->apply_ms.Mean();
+    stats->apply_ms_p50 = stats->apply_ms.Quantile(0.50);
+    stats->apply_ms_p90 = stats->apply_ms.Quantile(0.90);
+    stats->apply_ms_p99 = stats->apply_ms.Quantile(0.99);
+    stats->apply_ms_max = stats->apply_ms.max;
   }
 
  private:
-  mutable std::mutex mu_;
-  uint64_t submitted_ = 0;
-  uint64_t applied_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t journal_retries_ = 0;
-  uint64_t snapshots_ = 0;
-  int64_t negative_impact_ = 0;
-  SampleStats apply_ms_;
+  obs::Counter submitted_;
+  obs::Counter applied_;
+  obs::Counter rejected_;
+  obs::Counter dropped_;
+  obs::Counter journal_retries_;
+  obs::Counter snapshots_;
+  obs::Gauge negative_impact_;
+  obs::Histogram apply_ms_{obs::Histogram::DefaultLatencyBucketsMs()};
+  obs::Histogram queue_wait_ms_{obs::Histogram::DefaultLatencyBucketsMs()};
 };
+
+/// Prometheus text exposition of one ServiceStats read (gepc_service_*
+/// metrics). `gepc_serve` concatenates this with the global registry's
+/// RenderPrometheusText() for its `metrics` command.
+std::string RenderServiceStatsText(const ServiceStats& stats);
 
 }  // namespace gepc
 

@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "common/memory_tracker.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gepc {
 
@@ -99,6 +101,7 @@ PlanningService::~PlanningService() { Shutdown(); }
 std::future<ApplyOutcome> PlanningService::Submit(AtomicOp op) {
   PendingOp pending;
   pending.op = std::move(op);
+  if (obs::Enabled()) pending.enqueue_time = std::chrono::steady_clock::now();
   std::future<ApplyOutcome> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -117,6 +120,7 @@ std::future<ApplyOutcome> PlanningService::Submit(AtomicOp op) {
 Result<std::future<ApplyOutcome>> PlanningService::TrySubmit(AtomicOp op) {
   PendingOp pending;
   pending.op = std::move(op);
+  if (obs::Enabled()) pending.enqueue_time = std::chrono::steady_clock::now();
   std::future<ApplyOutcome> future = pending.promise.get_future();
   bool full = false;
   {
@@ -146,6 +150,7 @@ std::future<RebuildOutcome> PlanningService::SubmitRebuild(
   PendingOp pending;
   pending.is_rebuild = true;
   pending.rebuild_options = std::move(options);
+  if (obs::Enabled()) pending.enqueue_time = std::chrono::steady_clock::now();
   std::future<RebuildOutcome> future = pending.rebuild_promise.get_future();
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -217,6 +222,12 @@ void PlanningService::Shutdown() {
 void PlanningService::WriterLoop() {
   PendingOp pending;
   while (queue_.Pop(&pending)) {
+    if (pending.enqueue_time != std::chrono::steady_clock::time_point{}) {
+      metrics_.RecordQueueWait(std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() -
+                                   pending.enqueue_time)
+                                   .count());
+    }
     if (pending.is_rebuild) {
       ApplyRebuild(&pending);
     } else {
@@ -228,6 +239,7 @@ void PlanningService::WriterLoop() {
 }
 
 void PlanningService::ApplyOne(PendingOp* pending) {
+  GEPC_TRACE_SPAN("service.apply", "service");
   Timer timer;
   ApplyOutcome outcome;
 
@@ -290,6 +302,7 @@ void PlanningService::ApplyOne(PendingOp* pending) {
 }
 
 void PlanningService::ApplyRebuild(PendingOp* pending) {
+  GEPC_TRACE_SPAN("service.rebuild", "service");
   Timer timer;
   RebuildOutcome outcome;
   // Deliberately not journaled: the journal is the log of EBSN changes,

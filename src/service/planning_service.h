@@ -2,6 +2,7 @@
 #define GEPC_SERVICE_PLANNING_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -157,6 +158,9 @@ class PlanningService {
   struct PendingOp {
     AtomicOp op;
     std::promise<ApplyOutcome> promise;
+    /// Set at enqueue when observability is on; feeds the queue-wait
+    /// histogram when the writer dequeues. Epoch (zero) when off.
+    std::chrono::steady_clock::time_point enqueue_time{};
     /// Full-rebuild request: `op`/`promise` are ignored, the rebuild
     /// fields below are used instead.
     bool is_rebuild = false;

@@ -11,10 +11,38 @@
 #include "exec/thread_pool.h"
 #include "flow/min_cost_flow.h"
 #include "gepc/topup.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gepc {
 
 namespace {
+
+/// Cached registry handles for the partition/solve/merge phase metrics.
+struct ShardMetrics {
+  std::shared_ptr<obs::Histogram> partition_ms;
+  std::shared_ptr<obs::Histogram> solve_ms;
+  std::shared_ptr<obs::Histogram> merge_ms;
+  std::shared_ptr<obs::Counter> degraded;
+
+  static const ShardMetrics& Get() {
+    static const ShardMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      ShardMetrics m;
+      m.partition_ms = registry.GetHistogram(
+          "gepc_shard_partition_ms", "reachability filter + partition latency");
+      m.solve_ms = registry.GetHistogram(
+          "gepc_shard_solve_ms", "parallel per-shard solve phase latency");
+      m.merge_ms = registry.GetHistogram(
+          "gepc_shard_merge_ms", "splice + boundary flow + repair latency");
+      m.degraded = registry.GetCounter(
+          "gepc_shard_degraded_total",
+          "shards re-solved with the greedy fallback after a failure");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 /// Copies the (users, events) slice of `instance` into a standalone
 /// sub-instance. Only reads users()/events()/utility() — never the lazy
@@ -167,6 +195,8 @@ Result<GepcResult> SolveSharded(const Instance& instance,
                                 ShardedGepcStats* stats) {
   GEPC_RETURN_IF_ERROR(instance.Validate());
   if (stats != nullptr) *stats = ShardedGepcStats{};
+  const ShardMetrics& om = ShardMetrics::Get();
+  GEPC_TRACE_SPAN("shard.sharded_solve");
 
   // shards <= 1: no cut, no merge — delegate so the result (plan AND
   // stats) is byte-identical to the sequential solver. The single solve is
@@ -186,6 +216,7 @@ Result<GepcResult> SolveSharded(const Instance& instance,
     fallback.algorithm = GepcAlgorithm::kGreedy;
     fallback.refine_with_local_search = false;
     if (stats != nullptr) stats->degraded_shards = 1;
+    om.degraded->Increment();
     return SolveGepc(instance, fallback);
   }
 
@@ -208,6 +239,7 @@ Result<GepcResult> SolveSharded(const Instance& instance,
         n - static_cast<int>(partition.boundary_users.size());
     stats->partition_seconds = timer.ElapsedSeconds();
   }
+  om.partition_ms->Observe(timer.ElapsedSeconds() * 1e3);
 
   // Per-shard solves. Each task reads the shared instance, builds its
   // private sub-instance and writes one result slot; shard s's randomness
@@ -228,6 +260,7 @@ Result<GepcResult> SolveSharded(const Instance& instance,
         shard_results[static_cast<size_t>(s)] = GepcResult{};
         return;
       }
+      GEPC_TRACE_SPAN("shard.shard_solve");
       const Instance sub = BuildSubInstance(instance, users, events);
       GepcOptions shard_options = options.gepc;
       shard_options.greedy.seed =
@@ -258,8 +291,10 @@ Result<GepcResult> SolveSharded(const Instance& instance,
     if (!degraded.ok()) return degraded.status();
     shard_results[static_cast<size_t>(s)] = *std::move(degraded);
     if (stats != nullptr) ++stats->degraded_shards;
+    om.degraded->Increment();
   }
   if (stats != nullptr) stats->solve_seconds = timer.ElapsedSeconds();
+  om.solve_ms->Observe(timer.ElapsedSeconds() * 1e3);
 
   // Merge step 1: splice the shard plans (disjoint users and events, and
   // sub-instance distances equal global distances, so feasibility carries).
@@ -311,6 +346,7 @@ Result<GepcResult> SolveSharded(const Instance& instance,
     stats->merge_topup_added = boundary_topup.added;
     stats->merge_seconds = timer.ElapsedSeconds();
   }
+  om.merge_ms->Observe(timer.ElapsedSeconds() * 1e3);
 
   result.total_utility = result.plan.TotalUtility(instance);
   for (int j = 0; j < m; ++j) {

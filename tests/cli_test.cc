@@ -209,5 +209,63 @@ TEST_F(CliTest, InvalidThreadsOrShardsRejectedWithUsage) {
             64);
 }
 
+TEST_F(CliTest, SolveMetricsPrintsExposition) {
+  const std::string capture = Tmp("cli_test_metrics_stdout.txt");
+  ASSERT_EQ(WEXITSTATUS(std::system((Cli() + " solve --in " + instance_path_ +
+                                     " --metrics > " + capture + " 2>&1")
+                                        .c_str())),
+            0);
+  std::ifstream in(capture);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("--- metrics ---"), std::string::npos);
+  EXPECT_NE(text.find("gepc_solver_solves_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gepc_solver_total_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gepc_solver_topup_ms histogram"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, SolveMetricsFileForm) {
+  const std::string metrics_path = Tmp("cli_test_metrics.prom");
+  std::remove(metrics_path.c_str());
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --metrics=" + metrics_path),
+            0);
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "metrics file not written";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("gepc_solver_solves_total 1"), std::string::npos);
+}
+
+TEST_F(CliTest, SolveTraceWritesChromeTraceJson) {
+  const std::string trace_path = Tmp("cli_test_trace.json");
+  std::remove(trace_path.c_str());
+  ASSERT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ + " --trace " +
+                       trace_path),
+            0);
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"gepc.solve\""), std::string::npos);
+}
+
+TEST_F(CliTest, ObservabilityFlagsValidatedStrictly) {
+  // --trace is a required-value flag; --metrics only takes the = form.
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ + " --trace"),
+            64);
+  // --metrics belongs to solve only.
+  EXPECT_EQ(RunCommand(Cli() + " stats --in " + instance_path_ +
+                       " --metrics"),
+            64);
+  // = on a flag that takes no value is rejected.
+  EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ +
+                       " --no-topup=1"),
+            64);
+}
+
 }  // namespace
 }  // namespace gepc

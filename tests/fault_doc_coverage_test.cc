@@ -1,0 +1,42 @@
+// Keeps docs/fault-injection.md honest: every failure point the library
+// actually instruments (fault::kKnownPoints) must be named in the document,
+// so an operator reading the docs sees the complete injectable surface. A
+// new GEPC_INJECT_FAULT site without a matching doc line fails this test.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/fault.h"
+
+#ifndef GEPC_FAULT_DOC_PATH
+#error "GEPC_FAULT_DOC_PATH must point at docs/fault-injection.md"
+#endif
+
+namespace gepc {
+namespace {
+
+TEST(FaultDocCoverageTest, EveryKnownPointIsDocumented) {
+  std::ifstream in(GEPC_FAULT_DOC_PATH);
+  ASSERT_TRUE(in.good()) << "cannot open " << GEPC_FAULT_DOC_PATH;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  ASSERT_FALSE(doc.empty());
+
+  int points = 0;
+  for (const char* const* p = fault::kKnownPoints; *p != nullptr; ++p) {
+    EXPECT_NE(doc.find(*p), std::string::npos)
+        << "failure point \"" << *p
+        << "\" is instrumented but not mentioned in docs/fault-injection.md";
+    ++points;
+  }
+  // The table is nullptr-terminated and non-trivial; if this shrinks the
+  // fault surface changed and the docs need a pass anyway.
+  EXPECT_GE(points, 6);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -1,0 +1,206 @@
+// Metamorphic properties of the GEPC solvers: transformations of an
+// instance that provably cannot change the optimum must not change the
+// solver's answer either.
+//
+//   * Isometries of the plane (rotation by 90 degrees, axis reflection,
+//     translation) leave every pairwise distance — and therefore every
+//     budget-feasibility decision — untouched, while utilities live in an
+//     explicit n x m matrix that never looks at coordinates. The chosen
+//     transforms are FP-*exact*: (x,y) -> (-y,x) and (x,y) -> (y,x) only
+//     negate/swap coordinates (squares and the commutative sum in
+//     Distance() are bit-identical), and translation is applied to
+//     coordinates snapped to a power-of-two grid so the additions never
+//     round. The solver must return the *same plan*, not merely an equally
+//     good one.
+//
+//   * Relabelling users/events (a permutation) cannot change what is
+//     achievable; a solved plan mapped through the permutation must stay
+//     feasible on the relabelled instance with the same total utility. (We
+//     deliberately do NOT re-solve: the greedy/regret solvers iterate in
+//     index order, so relabelling may find a different — equally valid —
+//     local optimum.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/feasibility.h"
+#include "core/instance.h"
+#include "core/plan.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "shard/sharded_solver.h"
+
+namespace gepc {
+namespace {
+
+/// Snaps a coordinate to the 2^-10 grid so that later translations by grid
+/// multiples are exact in double arithmetic (all values and sums stay far
+/// below 2^53 ulp-loss territory).
+double Snap(double v) { return std::round(v * 1024.0) / 1024.0; }
+
+Instance MakeSnappedInstance(uint64_t seed, int users = 70, int events = 20) {
+  GeneratorConfig config;
+  config.num_users = users;
+  config.num_events = events;
+  config.seed = seed;
+  auto generated = GenerateInstance(config);
+  EXPECT_TRUE(generated.ok()) << generated.status();
+
+  std::vector<User> snapped_users = generated->users();
+  for (User& user : snapped_users) {
+    user.location = {Snap(user.location.x), Snap(user.location.y)};
+  }
+  std::vector<Event> snapped_events = generated->events();
+  for (Event& event : snapped_events) {
+    event.location = {Snap(event.location.x), Snap(event.location.y)};
+  }
+  Instance instance(std::move(snapped_users), std::move(snapped_events));
+  for (int i = 0; i < instance.num_users(); ++i) {
+    for (int j = 0; j < instance.num_events(); ++j) {
+      instance.set_utility(i, j, generated->utility(i, j));
+    }
+  }
+  return instance;
+}
+
+/// Rebuilds `base` with every location mapped through `point_fn`.
+template <typename PointFn>
+Instance TransformLocations(const Instance& base, PointFn point_fn) {
+  std::vector<User> users = base.users();
+  for (User& user : users) user.location = point_fn(user.location);
+  std::vector<Event> events = base.events();
+  for (Event& event : events) event.location = point_fn(event.location);
+  Instance instance(std::move(users), std::move(events));
+  for (int i = 0; i < base.num_users(); ++i) {
+    for (int j = 0; j < base.num_events(); ++j) {
+      instance.set_utility(i, j, base.utility(i, j));
+    }
+  }
+  return instance;
+}
+
+void ExpectSameSolve(const Instance& base, const Instance& transformed) {
+  auto base_result = SolveGepc(base, GepcOptions{});
+  auto transformed_result = SolveGepc(transformed, GepcOptions{});
+  ASSERT_TRUE(base_result.ok()) << base_result.status();
+  ASSERT_TRUE(transformed_result.ok()) << transformed_result.status();
+  EXPECT_DOUBLE_EQ(base_result->total_utility,
+                   transformed_result->total_utility);
+  EXPECT_TRUE(base_result->plan == transformed_result->plan);
+  ValidationOptions lenient;
+  lenient.check_lower_bounds = false;
+  EXPECT_TRUE(
+      ValidatePlan(transformed, transformed_result->plan, lenient).ok());
+}
+
+TEST(MetamorphicTest, QuarterTurnRotationIsInvariant) {
+  for (uint64_t seed : {2u, 11u, 23u}) {
+    const Instance base = MakeSnappedInstance(seed);
+    const Instance rotated = TransformLocations(
+        base, [](const Point& p) { return Point{-p.y, p.x}; });
+    ExpectSameSolve(base, rotated);
+  }
+}
+
+TEST(MetamorphicTest, DiagonalReflectionIsInvariant) {
+  for (uint64_t seed : {3u, 17u}) {
+    const Instance base = MakeSnappedInstance(seed);
+    const Instance reflected = TransformLocations(
+        base, [](const Point& p) { return Point{p.y, p.x}; });
+    ExpectSameSolve(base, reflected);
+  }
+}
+
+TEST(MetamorphicTest, GridTranslationIsInvariant) {
+  for (uint64_t seed : {5u, 29u}) {
+    const Instance base = MakeSnappedInstance(seed);
+    // Offsets are multiples of the snap grid, so x + dx never rounds.
+    const double dx = 512.0 + 1.0 / 1024.0 * 37.0;
+    const double dy = -256.0 + 1.0 / 1024.0 * 5.0;
+    const Instance translated = TransformLocations(
+        base, [dx, dy](const Point& p) { return Point{p.x + dx, p.y + dy}; });
+    ExpectSameSolve(base, translated);
+  }
+}
+
+TEST(MetamorphicTest, ShardedSolverTranslationIsInvariant) {
+  // Translation also preserves the spatial bisection used by the sharded
+  // partitioner (relative order and exact midpoints are unchanged on the
+  // snap grid), so even the partition/solve/merge pipeline must agree
+  // bit-for-bit. Rotations would change the widest-axis choice, so they are
+  // deliberately NOT tested through SolveSharded.
+  const Instance base = MakeSnappedInstance(13, /*users=*/120, /*events=*/30);
+  const Instance translated = TransformLocations(
+      base, [](const Point& p) { return Point{p.x + 128.0, p.y + 64.0}; });
+
+  ShardedGepcOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  auto base_result = SolveSharded(base, options);
+  auto translated_result = SolveSharded(translated, options);
+  ASSERT_TRUE(base_result.ok()) << base_result.status();
+  ASSERT_TRUE(translated_result.ok()) << translated_result.status();
+  EXPECT_DOUBLE_EQ(base_result->total_utility,
+                   translated_result->total_utility);
+  EXPECT_TRUE(base_result->plan == translated_result->plan);
+}
+
+TEST(MetamorphicTest, PermutationMapsSolutionToSolution) {
+  for (uint64_t seed : {7u, 19u}) {
+    const Instance base = MakeSnappedInstance(seed);
+    auto solved = SolveGepc(base, GepcOptions{});
+    ASSERT_TRUE(solved.ok()) << solved.status();
+
+    // Deterministic shuffles of both index spaces.
+    Rng rng(seed * 1000 + 1);
+    std::vector<int> user_map(base.num_users());
+    std::iota(user_map.begin(), user_map.end(), 0);
+    for (size_t k = user_map.size(); k > 1; --k) {
+      std::swap(user_map[k - 1], user_map[rng.UniformUint64(k)]);
+    }
+    std::vector<int> event_map(base.num_events());
+    std::iota(event_map.begin(), event_map.end(), 0);
+    for (size_t k = event_map.size(); k > 1; --k) {
+      std::swap(event_map[k - 1], event_map[rng.UniformUint64(k)]);
+    }
+
+    // Relabelled instance: user i becomes user_map[i], event j event_map[j].
+    std::vector<User> users(base.num_users());
+    for (int i = 0; i < base.num_users(); ++i) {
+      users[static_cast<size_t>(user_map[i])] = base.user(i);
+    }
+    std::vector<Event> events(base.num_events());
+    for (int j = 0; j < base.num_events(); ++j) {
+      events[static_cast<size_t>(event_map[j])] = base.event(j);
+    }
+    Instance permuted(std::move(users), std::move(events));
+    for (int i = 0; i < base.num_users(); ++i) {
+      for (int j = 0; j < base.num_events(); ++j) {
+        permuted.set_utility(user_map[i], event_map[j], base.utility(i, j));
+      }
+    }
+
+    // Map the solved plan through the permutation; it must remain feasible
+    // on the relabelled instance with the same utility (summation order
+    // differs, hence the tolerance).
+    Plan mapped(base.num_users(), base.num_events());
+    for (int i = 0; i < base.num_users(); ++i) {
+      for (const EventId j : solved->plan.events_of(i)) {
+        mapped.Add(user_map[i], event_map[j]);
+      }
+    }
+    ValidationOptions lenient;
+    lenient.check_lower_bounds = false;
+    EXPECT_TRUE(ValidatePlan(permuted, mapped, lenient).ok());
+    EXPECT_NEAR(mapped.TotalUtility(permuted), solved->total_utility, 1e-9);
+    EXPECT_EQ(mapped.TotalAssignments(), solved->plan.TotalAssignments());
+  }
+}
+
+}  // namespace
+}  // namespace gepc

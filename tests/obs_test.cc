@@ -1,0 +1,377 @@
+// Unit tests for the observability layer (src/obs): lock-free metric value
+// types, exact-quantile histogram snapshots, the process-global registry's
+// Prometheus text exposition, the enable gate, and chrome://tracing export.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gepc {
+namespace obs {
+namespace {
+
+/// Restores the global enable gate on scope exit — tests flip it.
+struct EnabledGuard {
+  ~EnabledGuard() { SetEnabled(true); }
+};
+
+/// Validates Prometheus text exposition line by line: every line is either
+/// a `# HELP name ...` / `# TYPE name counter|gauge|histogram|summary`
+/// comment or a `name{labels} value` sample whose name matches the metric
+/// grammar. Returns the first offending line ("" when the text parses).
+std::string FirstBadPrometheusLine(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  const std::string name_start =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:";
+  const std::string name_rest = name_start + "0123456789";
+  while (std::getline(in, line)) {
+    if (line.empty()) return line + " (blank line)";
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        return line;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const size_t type_at = line.rfind(' ');
+        const std::string type = line.substr(type_at + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary") {
+          return line;
+        }
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t pos = 0;
+    if (name_start.find(line[0]) == std::string::npos) return line;
+    while (pos < line.size() && name_rest.find(line[pos]) != std::string::npos) {
+      ++pos;
+    }
+    if (pos < line.size() && line[pos] == '{') {
+      const size_t close = line.find('}', pos);
+      if (close == std::string::npos) return line;
+      pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') return line;
+    const std::string value = line.substr(pos + 1);
+    if (value.empty() || value.find(' ') != std::string::npos) return line;
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') return line;
+    }
+  }
+  return "";
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, NotGatedByEnabled) {
+  EnabledGuard guard;
+  SetEnabled(false);
+  Counter counter;
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Observe(50.0);
+  histogram.Observe(500.0);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 555.5 / 4.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+}
+
+TEST(HistogramTest, BoundaryValueLandsInLowerBucket) {
+  // le semantics: an observation equal to a bound belongs to that bucket.
+  Histogram histogram({1.0, 10.0});
+  histogram.Observe(1.0);
+  histogram.Observe(10.0);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+}
+
+TEST(HistogramTest, ExactQuantilesWhileReservoirHolds) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  // 1..100 in scrambled order; every deterministic quantile is knowable.
+  for (int k = 0; k < 100; ++k) histogram.Observe(((k * 37) % 100) + 1);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_TRUE(snap.exact);
+  ASSERT_EQ(snap.samples.size(), 100u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 50.0);   // nearest rank: ceil(50)=50th
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, OverflowFallsBackToBucketInterpolation) {
+  Histogram histogram({1.0, 10.0, 100.0}, /*reservoir_capacity=*/8);
+  for (int k = 1; k <= 64; ++k) histogram.Observe(static_cast<double>(k));
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_FALSE(snap.exact);
+  EXPECT_EQ(snap.count, 64u);
+  EXPECT_EQ(snap.samples.size(), 8u);  // first 8 retained
+  // The interpolated median must land inside the bucket that holds rank 32
+  // ((10, 100]) and inside the observed range.
+  const double p50 = snap.Quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 64.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram histogram({1.0});
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram histogram({1.0});
+  histogram.Observe(2.0);
+  histogram.Reset();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(snap.samples.empty());
+  histogram.Observe(3.0);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(HistogramTest, ObserveGatedByEnabled) {
+  EnabledGuard guard;
+  Histogram histogram({1.0});
+  SetEnabled(false);
+  histogram.Observe(0.5);
+  EXPECT_EQ(histogram.count(), 0u);
+  SetEnabled(true);
+  histogram.Observe(0.5);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(HistogramTest, ConcurrentObserversAgreeOnCount) {
+  Histogram histogram(Histogram::DefaultLatencyBucketsMs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        histogram.Observe(0.1 * ((t + k) % 10 + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ScopedTimerTest, ObservesOncePerScope) {
+  Histogram histogram(Histogram::DefaultLatencyBucketsMs());
+  { ScopedTimerMs timer(&histogram); }
+  EXPECT_EQ(histogram.count(), 1u);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_GE(snap.max, 0.0);
+}
+
+TEST(ScopedTimerTest, SkipsWhenDisabledOrNull) {
+  EnabledGuard guard;
+  Histogram histogram(Histogram::DefaultLatencyBucketsMs());
+  SetEnabled(false);
+  { ScopedTimerMs timer(&histogram); }
+  EXPECT_EQ(histogram.count(), 0u);
+  SetEnabled(true);
+  { ScopedTimerMs timer(nullptr); }  // must not crash
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameInstance) {
+  Registry& registry = Registry::Global();
+  const auto a = registry.GetCounter("obs_test_shared_total", "help");
+  const auto b = registry.GetCounter("obs_test_shared_total");
+  EXPECT_EQ(a.get(), b.get());
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsDetachedInstance) {
+  Registry& registry = Registry::Global();
+  const auto counter = registry.GetCounter("obs_test_mismatch_total");
+  const auto gauge = registry.GetGauge("obs_test_mismatch_total");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(5);
+  counter->Increment();
+  // The registry still renders the original counter, not the detached gauge.
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE obs_test_mismatch_total counter"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, RenderPrometheusTextParses) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("obs_test_render_total", "a counter")->Increment(3);
+  registry.GetGauge("obs_test_render_depth", "a gauge")->Set(-2);
+  const auto histogram =
+      registry.GetHistogram("obs_test_render_ms", "a histogram", {1.0, 10.0});
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_EQ(FirstBadPrometheusLine(text), "");
+  EXPECT_NE(text.find("obs_test_render_total 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_depth -2"), std::string::npos);
+  // Cumulative buckets plus the +Inf bucket equal to _count.
+  EXPECT_NE(text.find("obs_test_render_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_render_ms_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetValuesKeepsRegistrations) {
+  Registry& registry = Registry::Global();
+  const auto counter = registry.GetCounter("obs_test_reset_total");
+  counter->Increment(7);
+  const size_t size_before = registry.size();
+  registry.ResetValues();
+  EXPECT_EQ(registry.size(), size_before);
+  EXPECT_EQ(counter->value(), 0u);  // cached pointer still live
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(RegistryTest, InstrumentedSolverMetricsAreRegistered) {
+  // The library registers its phase metrics on first use; merely asking for
+  // them here must agree with the instrumented sites' names.
+  Registry& registry = Registry::Global();
+  const std::string text = registry.RenderPrometheusText();
+  (void)text;
+  const auto solves = registry.GetCounter("gepc_solver_solves_total");
+  ASSERT_NE(solves, nullptr);
+}
+
+TEST(SummaryTextTest, QuantileLinesParse) {
+  Histogram histogram({1.0, 10.0});
+  for (int k = 1; k <= 10; ++k) histogram.Observe(static_cast<double>(k));
+  std::string out;
+  AppendSummaryText("obs_test_summary_ms", "quantiles", histogram.Snapshot(),
+                    &out);
+  EXPECT_EQ(FirstBadPrometheusLine(out), "");
+  EXPECT_NE(out.find("obs_test_summary_ms{quantile=\"0.5\"} 5"),
+            std::string::npos);
+  EXPECT_NE(out.find("obs_test_summary_ms{quantile=\"0.99\"} 10"),
+            std::string::npos);
+  EXPECT_NE(out.find("obs_test_summary_ms_count 10"), std::string::npos);
+}
+
+TEST(FormatMetricValueTest, Infinities) {
+  EXPECT_EQ(FormatMetricValue(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(FormatMetricValue(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(FormatMetricValue(0.25), "0.25");
+}
+
+TEST(TraceRecorderTest, RecordsSpansWhenStarted) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    GEPC_TRACE_SPAN("obs_test.span_a");
+    GEPC_TRACE_SPAN("obs_test.span_b", "testcat");
+  }
+  recorder.Stop();
+  EXPECT_GE(recorder.span_count(), 2u);
+  const std::string json = recorder.RenderChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.span_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"testcat\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DisabledSpansAreFree) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  recorder.Stop();
+  { GEPC_TRACE_SPAN("obs_test.not_recorded"); }
+  EXPECT_EQ(recorder.span_count(), 0u);
+}
+
+TEST(TraceRecorderTest, CapacityBoundsBufferAndCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.set_capacity(4);
+  recorder.Start();
+  for (int k = 0; k < 10; ++k) {
+    GEPC_TRACE_SPAN("obs_test.capped");
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.span_count(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  recorder.set_capacity(1 << 20);  // restore for other tests
+}
+
+TEST(TraceRecorderTest, WriteChromeTraceRoundTrips) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  { GEPC_TRACE_SPAN("obs_test.file_span"); }
+  recorder.Stop();
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("obs_test.file_span"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"displayTimeUnit\":\"ms\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gepc

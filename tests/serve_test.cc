@@ -210,6 +210,92 @@ TEST_F(ServeTest, RebuildIsDeterministicAcrossSessions) {
   EXPECT_TRUE(*plan_a == *plan_b);
 }
 
+TEST_F(ServeTest, MetricsCommandReturnsPrometheusText) {
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"metrics"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 4u);
+  const std::string& line = result.lines[2];
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"format\":\"prometheus\""), std::string::npos);
+  // The payload carries both the global registry (solver phases) and the
+  // per-service block; \n is JSON-escaped inside the line.
+  EXPECT_NE(line.find("# TYPE gepc_solver_solves_total counter"),
+            std::string::npos);
+  EXPECT_NE(line.find("gepc_service_ops_submitted_total 1"),
+            std::string::npos);
+  EXPECT_NE(line.find("# TYPE gepc_service_apply_ms histogram"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, StatsIncludesHistogramSummaries) {
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 4u);
+  const std::string& stats = result.lines[2];
+  EXPECT_NE(stats.find("\"apply_ms_count\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"apply_ms_exact\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"queue_wait_ms_p99\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"queue_wait_ms_max\":"), std::string::npos);
+}
+
+TEST_F(ServeTest, MetricsFileWrittenAtShutdown) {
+  const std::string metrics_path = Tmp("serve_test_metrics.prom");
+  std::remove(metrics_path.c_str());
+  const RunResult result = RunSession(
+      "--in " + instance_path_ + " --metrics " + metrics_path,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "metrics file not written";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("gepc_service_ops_applied_total 1"),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("# TYPE gepc_service_apply_ms histogram"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, TraceFileCapturesServiceSpans) {
+  const std::string trace_path = Tmp("serve_test_trace.json");
+  std::remove(trace_path.c_str());
+  const RunResult result = RunSession(
+      "--in " + instance_path_ + " --trace " + trace_path,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"name\":\"service.apply\""),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(ServeTest, ObservabilityFlagsRequireValues) {
+  // --metrics / --trace with a missing value are usage errors (exit 64).
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --metrics < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --trace < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+}
+
 TEST_F(ServeTest, BadFlagsFail) {
   EXPECT_NE(WEXITSTATUS(std::system(
                 (Serve() + " --in /no/such/file.gepc < /dev/null"

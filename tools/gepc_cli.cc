@@ -6,7 +6,8 @@
 //   gepc_cli stats    --in inst.gepc
 //   gepc_cli solve    --in inst.gepc [--algorithm greedy|gap|regret]
 //                     [--no-topup] [--threads N] [--shards K]
-//                     [--plan-out plan.gpln]
+//                     [--plan-out plan.gpln] [--metrics[=FILE]]
+//                     [--trace FILE]
 //   gepc_cli validate --in inst.gepc --plan plan.gpln
 //   gepc_cli itinerary --in inst.gepc --plan plan.gpln [--user N]
 //   gepc_cli apply    --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]
@@ -31,6 +32,8 @@
 #include "data/io.h"
 #include "fault/fault.h"
 #include "gepc/solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "iep/batch.h"
 #include "shard/sharded_solver.h"
 #include "iep/op_spec.h"
@@ -49,6 +52,7 @@ constexpr char kUsage[] =
     "  solve     --in inst.gepc [--algorithm greedy|gap|regret]\n"
     "            [--no-topup] [--threads N] [--shards K]\n"
     "            [--plan-out plan.gpln] [--faults SPEC]\n"
+    "            [--metrics[=FILE]] [--trace FILE]\n"
     "  validate  --in inst.gepc --plan plan.gpln\n"
     "  itinerary --in inst.gepc --plan plan.gpln [--user N]\n"
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
@@ -73,21 +77,28 @@ struct Args {
 struct CommandSpec {
   std::set<std::string> value_options;
   std::set<std::string> bool_flags;
+  /// Flags whose value is optional: `--metrics` (stdout) or
+  /// `--metrics=FILE`. The separate-token form `--metrics FILE` is NOT
+  /// accepted for these — the next token could be a stray positional.
+  std::set<std::string> optional_value_options;
 };
 
 const std::map<std::string, CommandSpec>& Commands() {
   static const std::map<std::string, CommandSpec> kCommands = {
       {"generate",
        {{"users", "events", "seed", "xi", "eta", "conflict", "fee", "out"},
+        {},
         {}}},
-      {"stats", {{"in"}, {}}},
+      {"stats", {{"in"}, {}, {}}},
       {"solve",
-       {{"in", "algorithm", "plan-out", "threads", "shards", "faults"},
-        {"no-topup"}}},
-      {"validate", {{"in", "plan"}, {}}},
-      {"itinerary", {{"in", "plan", "user"}, {}}},
+       {{"in", "algorithm", "plan-out", "threads", "shards", "faults",
+         "trace"},
+        {"no-topup"},
+        {"metrics"}}},
+      {"validate", {{"in", "plan"}, {}, {}}},
+      {"itinerary", {{"in", "plan", "user"}, {}, {}}},
       {"apply",
-       {{"in", "plan", "op", "ops-file", "plan-out"}, {"reorder"}}},
+       {{"in", "plan", "op", "ops-file", "plan-out"}, {"reorder"}, {}}},
   };
   return kCommands;
 }
@@ -112,22 +123,43 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       *error = "unexpected argument '" + arg + "'";
       return false;
     }
-    const std::string name = arg.substr(2);
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
     if (spec.bool_flags.count(name) > 0) {
+      if (has_inline) {
+        *error = "flag '--" + name + "' does not take a value";
+        return false;
+      }
       if (name == "reorder") args->reorder = true;
       if (name == "no-topup") args->no_topup = true;
       continue;
     }
+    if (spec.optional_value_options.count(name) > 0) {
+      args->options[name] = has_inline ? inline_value : "";
+      continue;
+    }
     if (spec.value_options.count(name) == 0) {
-      *error = "unknown flag '" + arg + "' for command '" + args->command +
+      *error = "unknown flag '--" + name + "' for command '" + args->command +
                "'";
       return false;
     }
-    if (i + 1 >= argc) {
-      *error = "flag '" + arg + "' needs a value";
-      return false;
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        *error = "flag '" + arg + "' needs a value";
+        return false;
+      }
+      value = argv[++i];
     }
-    const std::string value = argv[++i];
     if (name == "op") {
       args->ops.push_back(value);
     } else {
@@ -214,6 +246,9 @@ int CmdStats(const Args& args) {
 }
 
 int CmdSolve(const Args& args) {
+  const std::string trace_file = GetOption(args, "trace");
+  if (!trace_file.empty()) obs::TraceRecorder::Global().Start();
+
   auto instance = LoadInstanceFromFile(GetOption(args, "in"));
   if (!instance.ok()) return Fail(instance.status().ToString());
 
@@ -258,6 +293,30 @@ int CmdSolve(const Args& args) {
     const Status saved = SavePlanToFile(result->plan, plan_out);
     if (!saved.ok()) return Fail(saved.ToString());
     std::printf("plan written to:  %s\n", plan_out.c_str());
+  }
+
+  if (!trace_file.empty()) {
+    obs::TraceRecorder::Global().Stop();
+    const Status written =
+        obs::TraceRecorder::Global().WriteChromeTrace(trace_file);
+    if (!written.ok()) return Fail(written.ToString());
+    std::printf("trace written to: %s (%zu spans)\n", trace_file.c_str(),
+                obs::TraceRecorder::Global().span_count());
+  }
+  if (args.options.count("metrics") > 0) {
+    const std::string text = obs::Registry::Global().RenderPrometheusText();
+    const std::string metrics_file = GetOption(args, "metrics");
+    if (metrics_file.empty()) {
+      std::printf("--- metrics ---\n%s", text.c_str());
+    } else {
+      std::FILE* out = std::fopen(metrics_file.c_str(), "w");
+      if (out == nullptr) {
+        return Fail("cannot write metrics file " + metrics_file);
+      }
+      std::fputs(text.c_str(), out);
+      std::fclose(out);
+      std::printf("metrics written:  %s\n", metrics_file.c_str());
+    }
   }
   return 0;
 }

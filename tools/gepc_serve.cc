@@ -4,6 +4,7 @@
 //              [--recover] [--algorithm greedy|gap|regret]
 //              [--threads N] [--shards K]
 //              [--queue N] [--snapshot-every N] [--faults SPEC]
+//              [--metrics FILE] [--trace FILE]
 //
 // Loads the instance (solving it with the chosen algorithm unless --plan is
 // given), wraps it in a PlanningService, and speaks a line-oriented JSONL
@@ -19,6 +20,8 @@
 //   <- {"ok":true,"event":3,"attendance":5,"xi":2,"eta":10,"attendees":[...]}
 //   -> {"cmd":"stats"}
 //   <- {"ok":true,"ops_applied":12,...,"apply_ms_p99":0.4,...}
+//   -> {"cmd":"metrics"}
+//   <- {"ok":true,"format":"prometheus","metrics":"# HELP ...\n..."}
 //   -> {"cmd":"save_plan","path":"now.gpln"}
 //   <- {"ok":true,"saved":"now.gpln","version":12}
 //   -> {"cmd":"rebuild"}                        (or {"shards":4,"threads":2})
@@ -34,6 +37,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -41,6 +45,8 @@
 #include "fault/fault.h"
 #include "gepc/solver.h"
 #include "iep/op_spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/jsonl.h"
 #include "service/planning_service.h"
 #include "shard/sharded_solver.h"
@@ -54,6 +60,10 @@ struct Args {
   std::string journal;
   std::string algorithm = "greedy";
   std::string faults;
+  /// Written at shutdown: Prometheus text (--metrics) and chrome://tracing
+  /// JSON (--trace). --trace also turns span recording on.
+  std::string metrics_file;
+  std::string trace_file;
   bool recover = false;
   size_t queue_capacity = 1024;
   int snapshot_every = 1;
@@ -72,6 +82,7 @@ int Usage() {
       "                  [--threads N] [--shards K]\n"
       "                  [--queue N] [--snapshot-every N]\n"
       "                  [--faults SPEC]\n"
+      "                  [--metrics FILE] [--trace FILE]\n"
       "Speaks a JSONL request/response protocol on stdin/stdout; see\n"
       "docs/cli.md for the command set.\n");
   return 64;
@@ -129,6 +140,10 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       }
     } else if (arg == "--faults") {
       if (!value(&args->faults)) return false;
+    } else if (arg == "--metrics") {
+      if (!value(&args->metrics_file)) return false;
+    } else if (arg == "--trace") {
+      if (!value(&args->trace_file)) return false;
     } else if (arg == "--queue") {
       if (!value(&text)) return false;
       args->queue_capacity = static_cast<size_t>(std::atoll(text.c_str()));
@@ -338,6 +353,13 @@ void HandleStats(const PlanningService& service) {
   writer.Add("apply_ms_p90", stats.apply_ms_p90);
   writer.Add("apply_ms_p99", stats.apply_ms_p99);
   writer.Add("apply_ms_max", stats.apply_ms_max);
+  writer.Add("apply_ms_count", stats.apply_ms.count);
+  writer.Add("apply_ms_exact", stats.apply_ms.exact);
+  writer.Add("queue_wait_ms_mean", stats.queue_wait_ms.Mean());
+  writer.Add("queue_wait_ms_p50", stats.queue_wait_ms.Quantile(0.50));
+  writer.Add("queue_wait_ms_p90", stats.queue_wait_ms.Quantile(0.90));
+  writer.Add("queue_wait_ms_p99", stats.queue_wait_ms.Quantile(0.99));
+  writer.Add("queue_wait_ms_max", stats.queue_wait_ms.max);
   writer.Add("journal_retries", stats.journal_retries);
   writer.Add("journal_bytes", stats.journal_bytes);
   writer.Add("snapshots_published", stats.snapshots_published);
@@ -348,6 +370,21 @@ void HandleStats(const PlanningService& service) {
   writer.Add("heap_bytes", stats.heap_bytes);
   writer.Add("peak_heap_bytes", stats.peak_heap_bytes);
   writer.Add("rss_bytes", stats.rss_bytes);
+  Respond(writer);
+}
+
+/// Full Prometheus text exposition: the process-global registry (solver
+/// phases, journal, flow) followed by this service's gepc_service_* block.
+std::string RenderAllMetricsText(const PlanningService& service) {
+  return obs::Registry::Global().RenderPrometheusText() +
+         RenderServiceStatsText(service.Stats());
+}
+
+void HandleMetrics(const PlanningService& service) {
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("format", "prometheus");
+  writer.Add("metrics", RenderAllMetricsText(service));
   Respond(writer);
 }
 
@@ -474,6 +511,10 @@ int Main(int argc, char** argv) {
   const Status env_armed = fault::ArmFromEnv();
   if (!env_armed.ok()) return Fail(env_armed.ToString());
 
+  // Span recording is opt-in (it buffers every span until shutdown); the
+  // metrics registry is always live.
+  if (!args.trace_file.empty()) obs::TraceRecorder::Global().Start();
+
   auto instance = LoadInstanceFromFile(args.in);
   if (!instance.ok()) return Fail(instance.status().ToString());
 
@@ -540,6 +581,8 @@ int Main(int argc, char** argv) {
       HandleQueryEvent(**service, *request);
     } else if (cmd == "stats") {
       HandleStats(**service);
+    } else if (cmd == "metrics") {
+      HandleMetrics(**service);
     } else if (cmd == "save_plan") {
       HandleSavePlan(service->get(), *request);
     } else if (cmd == "rebuild") {
@@ -560,7 +603,23 @@ int Main(int argc, char** argv) {
   }
 
   (*service)->Drain();
+  if (!args.metrics_file.empty()) {
+    std::ofstream out(args.metrics_file, std::ios::trunc);
+    if (out) out << RenderAllMetricsText(**service);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics file %s\n",
+                   args.metrics_file.c_str());
+    }
+  }
   (*service)->Shutdown();
+  if (!args.trace_file.empty()) {
+    obs::TraceRecorder::Global().Stop();
+    const Status written =
+        obs::TraceRecorder::Global().WriteChromeTrace(args.trace_file);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    }
+  }
   JsonWriter bye;
   bye.Add("ok", true);
   bye.Add("shutdown", true);
