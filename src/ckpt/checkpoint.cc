@@ -1,0 +1,308 @@
+#include "ckpt/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/feasibility.h"
+#include "data/io.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace gepc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[] = "GCKP1";
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".gckp";
+constexpr int kVersionDigits = 20;
+
+std::string ChecksumHex(uint64_t sum) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(sum));
+  return buffer;
+}
+
+/// fsync the file (or directory) at `path`. A checkpoint only counts as
+/// durable once both the file's data and its directory entry are on disk.
+Status FsyncPath(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) return Status::Internal("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Unavailable("fsync failed: " + path);
+  return Status::OK();
+}
+
+Status Invalid(const std::string& what) {
+  return Status::InvalidArgument("GCKP1 checkpoint: " + what);
+}
+
+}  // namespace
+
+uint64_t CheckpointChecksum(const char* data, size_t size) {
+  // FNV-1a 64 with the canonical offset basis / prime.
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string CheckpointFileName(uint64_t version) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s%0*llu%s", kPrefix, kVersionDigits,
+                static_cast<unsigned long long>(version), kSuffix);
+  return buffer;
+}
+
+Result<std::string> EncodeCheckpoint(const Instance& instance,
+                                     const Plan& plan, uint64_t version) {
+  std::ostringstream instance_out;
+  GEPC_RETURN_IF_ERROR(SaveInstance(instance, instance_out));
+  std::ostringstream plan_out;
+  GEPC_RETURN_IF_ERROR(SavePlan(plan, plan_out));
+  const std::string instance_bytes = instance_out.str();
+  const std::string plan_bytes = plan_out.str();
+
+  std::string header = std::string(kMagic) + " " + std::to_string(version) +
+                       " " + std::to_string(instance_bytes.size()) + " " +
+                       std::to_string(plan_bytes.size()) + " " +
+                       ChecksumHex(CheckpointChecksum(instance_bytes.data(),
+                                                      instance_bytes.size())) +
+                       " " +
+                       ChecksumHex(CheckpointChecksum(plan_bytes.data(),
+                                                      plan_bytes.size()));
+  header += " " + ChecksumHex(CheckpointChecksum(header.data(),
+                                                 header.size()));
+  header += "\n";
+  return header + instance_bytes + plan_bytes;
+}
+
+Result<CheckpointData> DecodeCheckpoint(const std::string& bytes) {
+  const size_t newline = bytes.find('\n');
+  if (newline == std::string::npos) return Invalid("torn header");
+  const std::string header = bytes.substr(0, newline);
+
+  std::istringstream fields(header);
+  std::string magic;
+  uint64_t version = 0;
+  uint64_t instance_size = 0;
+  uint64_t plan_size = 0;
+  std::string instance_sum;
+  std::string plan_sum;
+  std::string header_sum;
+  if (!(fields >> magic >> version >> instance_size >> plan_size >>
+        instance_sum >> plan_sum >> header_sum) ||
+      magic != kMagic) {
+    return Invalid("malformed header");
+  }
+  std::string trailing;
+  if (fields >> trailing) return Invalid("trailing header field");
+
+  // The header checksum covers everything before itself, so a flipped bit
+  // in any field (version included) is caught before it can mislead the
+  // tail-replay arithmetic.
+  const size_t covered = header.rfind(' ');
+  if (covered == std::string::npos ||
+      ChecksumHex(CheckpointChecksum(header.data(), covered)) != header_sum) {
+    return Invalid("header checksum mismatch");
+  }
+
+  const size_t body = newline + 1;
+  if (bytes.size() != body + instance_size + plan_size) {
+    return Invalid("file size does not match header (torn or truncated)");
+  }
+  const char* instance_data = bytes.data() + body;
+  const char* plan_data = instance_data + instance_size;
+  if (ChecksumHex(CheckpointChecksum(instance_data, instance_size)) !=
+      instance_sum) {
+    return Invalid("instance section checksum mismatch");
+  }
+  if (ChecksumHex(CheckpointChecksum(plan_data, plan_size)) != plan_sum) {
+    return Invalid("plan section checksum mismatch");
+  }
+
+  std::istringstream instance_in(std::string(instance_data, instance_size));
+  auto instance = LoadInstance(instance_in);
+  if (!instance.ok()) {
+    return Invalid("instance section: " + instance.status().message());
+  }
+  std::istringstream plan_in(std::string(plan_data, plan_size));
+  auto plan = LoadPlan(plan_in);
+  if (!plan.ok()) return Invalid("plan section: " + plan.status().message());
+  if (plan->num_users() != instance->num_users() ||
+      plan->num_events() != instance->num_events()) {
+    return Invalid("plan dimensions do not match instance");
+  }
+
+  CheckpointData data;
+  data.instance = *std::move(instance);
+  data.plan = *std::move(plan);
+  data.version = version;
+  return data;
+}
+
+Result<std::string> WriteCheckpoint(const std::string& dir,
+                                    const Instance& instance, const Plan& plan,
+                                    uint64_t version) {
+  static const auto write_ms = obs::Registry::Global().GetHistogram(
+      "gepc_ckpt_write_ms", "checkpoint encode + write + fsync + rename");
+  static const auto bytes_total = obs::Registry::Global().GetCounter(
+      "gepc_ckpt_bytes_written_total", "checkpoint bytes made durable");
+  obs::ScopedTimerMs timer(write_ms.get());
+
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument("checkpoint dir is not a directory: " +
+                                   dir);
+  }
+  GEPC_ASSIGN_OR_RETURN(const std::string bytes,
+                        EncodeCheckpoint(instance, plan, version));
+
+  const std::string final_path =
+      (fs::path(dir) / CheckpointFileName(version)).string();
+  const std::string tmp_path = final_path + ".tmp";
+  auto abort_tmp = [&tmp_path] {
+    std::error_code remove_ec;
+    fs::remove(tmp_path, remove_ec);
+  };
+
+  {
+    const Status faulted = fault::Inject("ckpt.write");
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot open checkpoint temp: " + tmp_path);
+    }
+    if (!faulted.ok()) {
+      // Simulated crash mid-write: a strict prefix reaches disk, then the
+      // publication fails. The torn bytes live only under the .tmp name.
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() / 2));
+      out.close();
+      abort_tmp();
+      return faulted;
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      abort_tmp();
+      return Status::Unavailable("checkpoint write failed: " + tmp_path);
+    }
+  }
+
+  Status fsynced = fault::Inject("ckpt.fsync");
+  if (fsynced.ok()) fsynced = FsyncPath(tmp_path, /*directory=*/false);
+  if (!fsynced.ok()) {
+    abort_tmp();
+    return fsynced;
+  }
+
+  Status renamed = fault::Inject("ckpt.rename");
+  if (renamed.ok()) {
+    std::error_code rename_ec;
+    fs::rename(tmp_path, final_path, rename_ec);
+    if (rename_ec) {
+      renamed = Status::Unavailable("checkpoint rename failed: " +
+                                    final_path + ": " + rename_ec.message());
+    }
+  }
+  if (!renamed.ok()) {
+    abort_tmp();
+    return renamed;
+  }
+  // Make the directory entry durable too; a failure here is logged but not
+  // fatal — the rename is already visible and most filesystems order it.
+  const Status dir_synced = FsyncPath(dir, /*directory=*/true);
+  if (!dir_synced.ok()) {
+    GEPC_LOG(Warning) << "checkpoint dir fsync: " << dir_synced.ToString();
+  }
+  bytes_total->Increment(bytes.size());
+  return final_path;
+}
+
+Result<CheckpointData> LoadCheckpoint(const std::string& path) {
+  static const auto load_ms = obs::Registry::Global().GetHistogram(
+      "gepc_ckpt_load_ms", "checkpoint read + verify + parse");
+  obs::ScopedTimerMs timer(load_ms.get());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open checkpoint: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto decoded = DecodeCheckpoint(buffer.str());
+  if (!decoded.ok()) {
+    return Status(decoded.status().code(),
+                  path + ": " + decoded.status().message());
+  }
+  return decoded;
+}
+
+Result<std::vector<CheckpointRef>> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointRef> refs;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return refs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) != 0 ||
+        name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix) ||
+        name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                     kSuffix) != 0) {
+      continue;  // foreign file, or a .tmp a crash left behind
+    }
+    const std::string digits = name.substr(
+        std::strlen(kPrefix),
+        name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    CheckpointRef ref;
+    ref.path = entry.path().string();
+    ref.version = std::strtoull(digits.c_str(), nullptr, 10);
+    refs.push_back(std::move(ref));
+  }
+  if (ec) {
+    return Status::Internal("cannot list checkpoint dir " + dir + ": " +
+                            ec.message());
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const CheckpointRef& a, const CheckpointRef& b) {
+              return a.version > b.version;
+            });
+  return refs;
+}
+
+Result<std::vector<CheckpointRef>> PruneCheckpoints(const std::string& dir,
+                                                    int retain) {
+  retain = std::max(retain, 1);
+  GEPC_ASSIGN_OR_RETURN(std::vector<CheckpointRef> refs, ListCheckpoints(dir));
+  while (static_cast<int>(refs.size()) > retain) {
+    std::error_code ec;
+    fs::remove(refs.back().path, ec);
+    if (ec) {
+      GEPC_LOG(Warning) << "cannot prune checkpoint " << refs.back().path
+                        << ": " << ec.message();
+      break;  // keep the extra file; pruning retries at the next publication
+    }
+    refs.pop_back();
+  }
+  return refs;
+}
+
+}  // namespace gepc

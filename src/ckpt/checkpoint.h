@@ -1,0 +1,98 @@
+#ifndef GEPC_CKPT_CHECKPOINT_H_
+#define GEPC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/plan.h"
+
+namespace gepc {
+
+/// Durable checkpoint subsystem ("GCKP1"): a checkpoint is one
+/// self-contained file capturing the full service state at a snapshot
+/// version, so crash recovery can load it and replay only the journal tail
+/// past that version instead of the whole op history from genesis.
+///
+/// File layout (text header, binary-faithful sections):
+///
+///   GCKP1 <version> <instance_bytes> <plan_bytes> <isum> <psum> <hsum>\n
+///   <GEPC1 instance section, exactly instance_bytes long>
+///   <GPLN1 plan section, exactly plan_bytes long>
+///
+/// `isum`/`psum` are FNV-1a-64 checksums (16 hex digits) of the two
+/// sections; `hsum` covers the header prefix up to and including `psum`, so
+/// a bit flip anywhere in the header is as detectable as one in a section.
+/// A loader accepts a file iff the header parses, the file size is exactly
+/// header + instance_bytes + plan_bytes, all three checksums match, and
+/// both sections parse into a consistent (instance, plan) pair — anything
+/// else is a clean, loud failure, never a silently wrong state.
+///
+/// Publication is atomic: the file is written to `<final>.tmp`, flushed,
+/// fsync'd, then renamed into place (and the directory fsync'd), so a crash
+/// at any point leaves either the previous checkpoint set or the new file
+/// complete — never a half-written checkpoint under the final name.
+/// Failure points `ckpt.write`, `ckpt.fsync` and `ckpt.rename`
+/// (fault::Inject) cover the three stages.
+
+/// FNV-1a 64-bit checksum of a byte range — stable across platforms, the
+/// integrity primitive of the GCKP1 format.
+uint64_t CheckpointChecksum(const char* data, size_t size);
+
+/// Canonical file name of the checkpoint at `version` inside a checkpoint
+/// directory: "ckpt-<version, 20 digits zero-padded>.gckp" (zero-padding
+/// makes lexicographic order = version order).
+std::string CheckpointFileName(uint64_t version);
+
+/// A checkpoint file found by ListCheckpoints. `version` is parsed from the
+/// file name; the content is NOT validated until LoadCheckpoint.
+struct CheckpointRef {
+  std::string path;
+  uint64_t version = 0;
+};
+
+/// One loaded-and-verified checkpoint.
+struct CheckpointData {
+  Instance instance;
+  Plan plan;
+  uint64_t version = 0;
+};
+
+/// Serializes (instance, plan, version) into the exact bytes of a GCKP1
+/// file. Deterministic: the same state always yields the same bytes, which
+/// is what the round-trip tests assert.
+Result<std::string> EncodeCheckpoint(const Instance& instance,
+                                     const Plan& plan, uint64_t version);
+
+/// Parses and fully verifies GCKP1 bytes (header, sizes, checksums, section
+/// parses, plan-vs-instance consistency). kInvalidArgument on any defect.
+Result<CheckpointData> DecodeCheckpoint(const std::string& bytes);
+
+/// Atomically publishes the checkpoint into `dir` (which must exist) under
+/// CheckpointFileName(version): write temp -> flush -> fsync -> rename ->
+/// fsync dir. Returns the final path. On any failure (real or injected via
+/// ckpt.write / ckpt.fsync / ckpt.rename) the temp file is removed and the
+/// directory is left as it was.
+Result<std::string> WriteCheckpoint(const std::string& dir,
+                                    const Instance& instance, const Plan& plan,
+                                    uint64_t version);
+
+/// Reads and verifies the checkpoint file at `path`. kNotFound if it cannot
+/// be opened, kInvalidArgument if it is torn/corrupt in any way.
+Result<CheckpointData> LoadCheckpoint(const std::string& path);
+
+/// Every "ckpt-*.gckp" file in `dir`, newest (highest version) first.
+/// A missing directory yields an empty list, not an error — a service that
+/// has never checkpointed has nothing to list.
+Result<std::vector<CheckpointRef>> ListCheckpoints(const std::string& dir);
+
+/// Deletes all but the newest `retain` checkpoints in `dir`. Returns the
+/// refs that survive (newest first). retain < 1 is clamped to 1.
+Result<std::vector<CheckpointRef>> PruneCheckpoints(const std::string& dir,
+                                                    int retain);
+
+}  // namespace gepc
+
+#endif  // GEPC_CKPT_CHECKPOINT_H_

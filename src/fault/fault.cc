@@ -19,6 +19,10 @@ const char* const kKnownPoints[] = {
     "journal.append",     // fail before any row byte reaches disk
     "journal.flush",      // fail after the row was written (tail restored)
     "journal.torn_tail",  // crash mid-row: a prefix of the row hits disk
+    "journal.rotate",     // compaction aborts before touching the file
+    "ckpt.write",         // checkpoint temp write fails (partial .tmp removed)
+    "ckpt.fsync",         // checkpoint fsync fails before the rename
+    "ckpt.rename",        // checkpoint rename into place fails
     "queue.push",         // backpressure: TryPush reports a full queue
     "shard.solve",        // a shard solve errors (greedy fallback kicks in)
     "shard.slow",         // a shard solve stalls (arm with ok:delay=MS)

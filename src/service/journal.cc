@@ -1,7 +1,12 @@
 #include "service/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -33,6 +38,16 @@ Result<JournalScan> ScanJournalFile(const std::string& path) {
         return Status::InvalidArgument("journal " + path +
                                        ": expected GOPS1 header");
       }
+      // `GOPS1 <base>` after a compaction; bare `GOPS1` means base 0.
+      if (line.size() > 5) {
+        const std::string base_text = line.substr(6);
+        if (line[5] != ' ' || base_text.empty() ||
+            base_text.find_first_not_of("0123456789") != std::string::npos) {
+          return Status::InvalidArgument(
+              "journal " + path + ": malformed GOPS1 header '" + line + "'");
+        }
+        scan.base_sequence = std::strtoull(base_text.c_str(), nullptr, 10);
+      }
       saw_header = true;
     } else {
       auto op = ParseOpRow(line);
@@ -53,15 +68,34 @@ Result<JournalScan> ScanJournalFile(const std::string& path) {
   return scan;
 }
 
-Result<Journal> Journal::Open(const std::string& path) {
+namespace {
+
+std::string JournalHeader(uint64_t base_sequence) {
+  return base_sequence == 0 ? "GOPS1\n"
+                            : "GOPS1 " + std::to_string(base_sequence) + "\n";
+}
+
+}  // namespace
+
+Result<Journal> Journal::Open(const std::string& path,
+                              const JournalScan* prior_scan,
+                              uint64_t base_if_new) {
   uint64_t preexisting = 0;
   int64_t committed = 0;
+  uint64_t base = base_if_new;
   std::error_code ec;
-  if (std::filesystem::exists(path, ec)) {
-    auto scan = ScanJournalFile(path);
-    if (!scan.ok()) return scan.status();
+  std::optional<JournalScan> own_scan;
+  const JournalScan* scan = prior_scan;
+  if (scan == nullptr && std::filesystem::exists(path, ec)) {
+    auto scanned = ScanJournalFile(path);
+    if (!scanned.ok()) return scanned.status();
+    own_scan = *std::move(scanned);
+    scan = &*own_scan;
+  }
+  if (scan != nullptr) {
     preexisting = scan->ops.size();
     committed = scan->committed_bytes;
+    if (committed > 0) base = scan->base_sequence;
     if (scan->torn_bytes > 0) {
       // Crash artifact: drop the torn tail so appends extend a well-formed
       // file. The discarded op was never applied (write-ahead ordering).
@@ -84,13 +118,15 @@ Result<Journal> Journal::Open(const std::string& path) {
     return Status::NotFound("cannot open journal for appending: " + path);
   }
   if (committed == 0) {
-    *journal.out_ << "GOPS1\n";
+    const std::string header = JournalHeader(base);
+    *journal.out_ << header;
     journal.out_->flush();
     if (!*journal.out_) return Status::Internal("journal header write failed");
-    committed = 6;  // strlen("GOPS1\n")
+    committed = static_cast<int64_t>(header.size());
   }
   journal.bytes_written_ = committed;
   journal.preexisting_ops_ = preexisting;
+  journal.base_sequence_ = base;
   return journal;
 }
 
@@ -162,9 +198,117 @@ Status Journal::Append(const AtomicOp& op) {
   return Status::OK();
 }
 
-Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
-                                   const std::string& path) {
-  GEPC_ASSIGN_OR_RETURN(JournalScan scan, ScanJournalFile(path));
+Status Journal::Compact(uint64_t through_sequence) {
+  if (out_ == nullptr || !*out_) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (through_sequence <= base_sequence_) return Status::OK();
+
+  // Injected abort happens before any filesystem mutation, so a firing
+  // fault leaves the journal byte-identical (just uncompacted).
+  GEPC_INJECT_FAULT("journal.rotate");
+
+  static const auto compact_ms = obs::Registry::Global().GetHistogram(
+      "gepc_journal_compact_ms", "journal compaction (rewrite + rename)");
+  obs::ScopedTimerMs timer(compact_ms.get());
+
+  // Re-read the committed file and locate the byte offset after the last
+  // row being dropped. The live file has no torn tail (appends restore it).
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::NotFound("cannot reopen journal: " + path_);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  uint64_t dropped = 0;
+  const uint64_t to_drop =
+      through_sequence - base_sequence_;  // rows to cut (may exceed rows)
+  size_t cut = 0;
+  bool saw_header = false;
+  size_t pos = 0;
+  while (pos < content.size() && dropped < to_drop) {
+    const size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) break;
+    const std::string line = content.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      saw_header = true;
+    } else {
+      ++dropped;
+    }
+    cut = pos;  // comments between dropped rows go with them
+  }
+  const uint64_t new_base = base_sequence_ + dropped < through_sequence
+                                ? through_sequence  // rebase past the tail
+                                : base_sequence_ + dropped;
+  if (dropped < to_drop) cut = content.size();
+
+  const std::string rotated = JournalHeader(new_base) + content.substr(cut);
+  const std::string tmp_path = path_ + ".rotate.tmp";
+  {
+    std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!tmp) {
+      return Status::Unavailable("cannot open rotate temp: " + tmp_path);
+    }
+    tmp.write(rotated.data(), static_cast<std::streamsize>(rotated.size()));
+    tmp.flush();
+    if (!tmp) {
+      std::error_code remove_ec;
+      std::filesystem::remove(tmp_path, remove_ec);
+      return Status::Unavailable("journal rotate write failed: " + tmp_path);
+    }
+  }
+  {
+    const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+    const int rc = fd >= 0 ? ::fsync(fd) : -1;
+    if (fd >= 0) ::close(fd);
+    if (rc != 0) {
+      std::error_code remove_ec;
+      std::filesystem::remove(tmp_path, remove_ec);
+      return Status::Unavailable("journal rotate fsync failed: " + tmp_path);
+    }
+  }
+  // Close the append stream before the rename so no buffered write can land
+  // on the old inode, then atomically swap the rotated file in.
+  out_->close();
+  std::error_code rename_ec;
+  std::filesystem::rename(tmp_path, path_, rename_ec);
+  if (rename_ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp_path, remove_ec);
+    // The old journal is still in place and intact; reopen and carry on.
+    out_ = std::make_unique<std::ofstream>(path_, std::ios::app);
+    if (!*out_) {
+      out_.reset();
+      return Status::Internal("cannot reopen journal after failed rotate: " +
+                              path_);
+    }
+    return Status::Unavailable("journal rotate rename failed: " + path_ +
+                               ": " + rename_ec.message());
+  }
+  out_ = std::make_unique<std::ofstream>(path_, std::ios::app);
+  if (!*out_) {
+    out_.reset();
+    return Status::Internal("cannot reopen compacted journal: " + path_);
+  }
+  bytes_written_ = static_cast<int64_t>(rotated.size());
+  preexisting_ops_ = preexisting_ops_ > dropped ? preexisting_ops_ - dropped
+                                                : 0;
+  base_sequence_ = new_base;
+  ++compactions_;
+  return Status::OK();
+}
+
+Result<ReplayReport> ReplayJournalTail(Instance base_instance, Plan base_plan,
+                                       const JournalScan& scan,
+                                       uint64_t from_sequence) {
+  if (from_sequence < scan.base_sequence) {
+    return Status::InvalidArgument(
+        "cannot replay from sequence " + std::to_string(from_sequence) +
+        ": journal is compacted through " +
+        std::to_string(scan.base_sequence));
+  }
   GEPC_ASSIGN_OR_RETURN(
       IncrementalPlanner planner,
       IncrementalPlanner::Create(std::move(base_instance),
@@ -172,8 +316,12 @@ Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
   ReplayReport report;
   report.torn_bytes_discarded = scan.torn_bytes;
   report.committed_bytes = scan.committed_bytes;
-  for (const AtomicOp& op : scan.ops) {
-    auto step = planner.Apply(op);
+  report.base_sequence = scan.base_sequence;
+  const uint64_t skip = from_sequence - scan.base_sequence;
+  for (size_t i = static_cast<size_t>(std::min<uint64_t>(skip,
+                                                         scan.ops.size()));
+       i < scan.ops.size(); ++i) {
+    auto step = planner.Apply(scan.ops[i]);
     if (step.ok()) {
       ++report.ops_applied;
     } else {
@@ -182,10 +330,19 @@ Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
       ++report.ops_rejected;
     }
   }
+  const uint64_t scan_end = scan.base_sequence + scan.ops.size();
+  report.end_sequence = std::max(from_sequence, scan_end);
   report.instance = planner.instance();
   report.plan = planner.plan();
   report.total_utility = report.plan.TotalUtility(report.instance);
   return report;
+}
+
+Result<ReplayReport> ReplayJournal(Instance base_instance, Plan base_plan,
+                                   const std::string& path) {
+  GEPC_ASSIGN_OR_RETURN(JournalScan scan, ScanJournalFile(path));
+  return ReplayJournalTail(std::move(base_instance), std::move(base_plan),
+                           scan, scan.base_sequence);
 }
 
 }  // namespace gepc

@@ -27,6 +27,10 @@ struct JournalScan {
   int64_t committed_bytes = 0;
   /// Trailing bytes after the committed prefix (0 = clean shutdown).
   int64_t torn_bytes = 0;
+  /// Operations absorbed by a checkpoint and compacted away: the header is
+  /// `GOPS1 <base>` after a compaction (`GOPS1` alone means base 0), and
+  /// row i (1-based) of the file carries sequence base + i.
+  uint64_t base_sequence = 0;
 };
 
 /// Scans `path` tolerantly (see JournalScan). An empty or header-torn file
@@ -45,7 +49,16 @@ class Journal {
   /// Opens `path` for appending. Writes the GOPS1 header iff the file is
   /// new or empty; an existing journal (recovery) is extended in place
   /// after truncating away any torn tail a crash left behind.
-  static Result<Journal> Open(const std::string& path);
+  ///
+  /// `prior_scan`, when non-null, must be a fresh ScanJournalFile result
+  /// for `path`; Open then trusts it instead of re-reading the file, so a
+  /// recovery that already scanned the journal pays for exactly one read.
+  /// `base_if_new` is the base sequence written into the header of a new or
+  /// empty file (a service booting from a checkpoint with no journal rows
+  /// starts its journal at the checkpoint's version).
+  static Result<Journal> Open(const std::string& path,
+                              const JournalScan* prior_scan = nullptr,
+                              uint64_t base_if_new = 0);
 
   Journal(Journal&&) = default;
   Journal& operator=(Journal&&) = default;
@@ -58,11 +71,29 @@ class Journal {
   /// the append is safe to retry.
   Status Append(const AtomicOp& op);
 
+  /// Compaction: drops every row with sequence <= through_sequence and
+  /// rewrites the header as `GOPS1 <through_sequence>`, so the journal only
+  /// carries the tail a recovery still needs after the checkpoint at
+  /// `through_sequence`. Atomic (write temp -> flush -> fsync -> rename):
+  /// the committed-iff-newline contract survives a crash at any point —
+  /// the old journal stays intact until the rename lands. A
+  /// `through_sequence` beyond the last row rebases the journal to an
+  /// empty tail (recovery found a checkpoint newer than the journal).
+  /// No-op when through_sequence <= base_sequence(). The `journal.rotate`
+  /// failure point aborts before any filesystem mutation.
+  Status Compact(uint64_t through_sequence);
+
   /// Bytes appended through this handle plus any pre-existing content.
   int64_t bytes_written() const { return bytes_written_; }
 
   /// Operations already in the file when it was opened (0 for a new file).
   uint64_t preexisting_ops() const { return preexisting_ops_; }
+
+  /// Sequence of the last op compacted away; row i carries base + i.
+  uint64_t base_sequence() const { return base_sequence_; }
+
+  /// Journal rewrites (Compact) that landed through this handle.
+  uint64_t compactions() const { return compactions_; }
 
   const std::string& path() const { return path_; }
 
@@ -77,6 +108,8 @@ class Journal {
   std::unique_ptr<std::ofstream> out_;  // unique_ptr keeps Journal movable
   int64_t bytes_written_ = 0;
   uint64_t preexisting_ops_ = 0;
+  uint64_t base_sequence_ = 0;
+  uint64_t compactions_ = 0;
 };
 
 /// Outcome of replaying a journal on top of a base (instance, plan).
@@ -90,7 +123,24 @@ struct ReplayReport {
   int64_t torn_bytes_discarded = 0;
   /// Length of the committed journal prefix that was replayed.
   int64_t committed_bytes = 0;
+  /// Journal base (ops compacted away before the first row).
+  uint64_t base_sequence = 0;
+  /// Sequence after the last replayed row: the version the recovered
+  /// state corresponds to (>= from_sequence for tail replays).
+  uint64_t end_sequence = 0;
 };
+
+/// Replays the tail of an already-scanned journal on top of a state that
+/// has absorbed ops 1..from_sequence (normally a checkpoint): rows with
+/// sequence <= from_sequence are skipped, the rest apply in order. A
+/// from_sequence beyond the scan's last row replays nothing and reports
+/// end_sequence = from_sequence — the checkpoint is newer than the journal
+/// (the journal lost its tail in a crash), and the checkpoint wins.
+/// from_sequence < scan.base_sequence is kInvalidArgument: the ops needed
+/// to bridge the gap were compacted away.
+Result<ReplayReport> ReplayJournalTail(Instance base_instance, Plan base_plan,
+                                       const JournalScan& scan,
+                                       uint64_t from_sequence);
 
 /// Replays every committed operation of the GOPS1 file at `path` against
 /// the base state, skipping (and counting) the ones that fail validation —

@@ -22,6 +22,15 @@ std::string RenderServiceStatsText(const ServiceStats& stats) {
   obs::AppendCounterText("gepc_service_snapshots_published_total",
                          "snapshots published", stats.snapshots_published,
                          &out);
+  obs::AppendCounterText("gepc_service_checkpoints_published_total",
+                         "durable checkpoints published",
+                         stats.checkpoints_published, &out);
+  obs::AppendCounterText("gepc_service_checkpoint_failures_total",
+                         "checkpoint publications that failed",
+                         stats.checkpoint_failures, &out);
+  obs::AppendCounterText("gepc_service_journal_compactions_total",
+                         "journal compactions after checkpoints",
+                         stats.journal_compactions, &out);
   obs::AppendGaugeText("gepc_service_negative_impact_total",
                        "summed dif over applied operations",
                        static_cast<double>(stats.negative_impact_total), &out);
@@ -34,6 +43,28 @@ std::string RenderServiceStatsText(const ServiceStats& stats) {
                        static_cast<double>(stats.queue_capacity), &out);
   obs::AppendGaugeText("gepc_service_journal_bytes", "journal file size",
                        static_cast<double>(stats.journal_bytes), &out);
+  obs::AppendGaugeText("gepc_service_journal_base_sequence",
+                       "ops compacted out of the journal",
+                       static_cast<double>(stats.journal_base_sequence), &out);
+  obs::AppendGaugeText("gepc_service_last_checkpoint_version",
+                       "sequence captured by the newest checkpoint",
+                       static_cast<double>(stats.last_checkpoint_version),
+                       &out);
+  obs::AppendGaugeText("gepc_service_last_checkpoint_bytes",
+                       "size of the newest checkpoint file",
+                       static_cast<double>(stats.last_checkpoint_bytes), &out);
+  obs::AppendGaugeText("gepc_service_last_checkpoint_age_seconds",
+                       "seconds since the newest checkpoint (-1 = never)",
+                       stats.last_checkpoint_age_seconds, &out);
+  obs::AppendGaugeText("gepc_service_recovered_from_checkpoint",
+                       "1 when the last boot loaded a checkpoint",
+                       stats.recovered_from_checkpoint ? 1.0 : 0.0, &out);
+  obs::AppendGaugeText("gepc_service_recovery_ops_replayed",
+                       "journal ops replayed at the last boot",
+                       static_cast<double>(stats.recovery_ops_replayed), &out);
+  obs::AppendGaugeText("gepc_service_recovery_ms",
+                       "wall time of the last recovery resolution",
+                       stats.recovery_ms, &out);
   obs::AppendGaugeText("gepc_service_snapshot_version",
                        "sequence of the latest snapshot",
                        static_cast<double>(stats.snapshot_version), &out);

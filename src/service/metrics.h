@@ -46,6 +46,23 @@ struct ServiceStats {
   uint64_t snapshots_published = 0;
   uint64_t snapshot_version = 0;
 
+  // Checkpoint / compaction.
+  uint64_t checkpoints_published = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t last_checkpoint_version = 0;  ///< 0 = none this run
+  int64_t last_checkpoint_bytes = 0;
+  double last_checkpoint_age_seconds = -1.0;  ///< -1 = never published
+  uint64_t journal_compactions = 0;
+  /// Ops absorbed by checkpoints and compacted out of the journal; the
+  /// journal's first row carries sequence journal_base_sequence + 1.
+  uint64_t journal_base_sequence = 0;
+
+  // How the service last booted (set by Recover, zeros for Create).
+  bool recovered_from_checkpoint = false;
+  uint64_t recovery_checkpoint_version = 0;
+  uint64_t recovery_ops_replayed = 0;
+  double recovery_ms = 0.0;
+
   // Plan aggregates (from the latest snapshot).
   double total_utility = 0.0;
   int64_t total_assignments = 0;
@@ -88,6 +105,10 @@ class ServiceMetrics {
 
   void RecordSnapshotPublished() { snapshots_.Increment(); }
 
+  void RecordCheckpointPublished() { checkpoints_.Increment(); }
+
+  void RecordCheckpointFailure() { checkpoint_failures_.Increment(); }
+
   void RecordQueueWait(double wait_ms) { queue_wait_ms_.Observe(wait_ms); }
 
   /// Fills the counter/latency fields of `stats` (the queue, journal and
@@ -100,6 +121,8 @@ class ServiceMetrics {
     stats->negative_impact_total = negative_impact_.value();
     stats->journal_retries = journal_retries_.value();
     stats->snapshots_published = snapshots_.value();
+    stats->checkpoints_published = checkpoints_.value();
+    stats->checkpoint_failures = checkpoint_failures_.value();
     stats->apply_ms = apply_ms_.Snapshot();
     stats->queue_wait_ms = queue_wait_ms_.Snapshot();
     stats->apply_ms_mean = stats->apply_ms.Mean();
@@ -116,6 +139,8 @@ class ServiceMetrics {
   obs::Counter dropped_;
   obs::Counter journal_retries_;
   obs::Counter snapshots_;
+  obs::Counter checkpoints_;
+  obs::Counter checkpoint_failures_;
   obs::Gauge negative_impact_;
   obs::Histogram apply_ms_{obs::Histogram::DefaultLatencyBucketsMs()};
   obs::Histogram queue_wait_ms_{obs::Histogram::DefaultLatencyBucketsMs()};

@@ -6,11 +6,13 @@
 #include <thread>
 #include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "common/logging.h"
 #include "common/memory_tracker.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/recovery.h"
 
 namespace gepc {
 
@@ -29,22 +31,51 @@ bool FileHasContent(const std::string& path) {
          std::filesystem::file_size(path, ec) > 0;
 }
 
+Status EnsureCheckpointDir(const std::string& dir) {
+  if (dir.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create checkpoint dir " + dir + ": " +
+                               ec.message());
+  }
+  return Status::OK();
+}
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 PlanningService::PlanningService(IncrementalPlanner planner,
                                  ServiceOptions options,
                                  std::optional<Journal> journal,
-                                 uint64_t base_sequence)
+                                 uint64_t base_sequence,
+                                 RecoveryInfo recovery)
     : options_([&options] {
         if (options.snapshot_every < 1) options.snapshot_every = 1;
+        if (options.checkpoint_retain < 1) options.checkpoint_retain = 1;
         return options;
       }()),
       planner_(std::move(planner)),
       journal_(std::move(journal)),
       sequence_(base_sequence),
+      recovery_(recovery),
       queue_(options_.queue_capacity) {
   journal_bytes_.store(journal_ ? journal_->bytes_written() : 0,
                        std::memory_order_relaxed);
+  journal_base_sequence_.store(journal_ ? journal_->base_sequence() : 0,
+                               std::memory_order_relaxed);
+  if (recovery_.from_checkpoint) {
+    // The checkpoint that booted us is on disk and current as of
+    // recovery_.checkpoint_version; surface it so the age gauge does not
+    // pretend no checkpoint exists until the next publication.
+    last_checkpoint_version_.store(recovery_.checkpoint_version,
+                                   std::memory_order_relaxed);
+  }
   PublishSnapshot();
   writer_ = std::thread(&PlanningService::WriterLoop, this);
 }
@@ -54,6 +85,7 @@ Result<std::unique_ptr<PlanningService>> PlanningService::Create(
   GEPC_ASSIGN_OR_RETURN(
       IncrementalPlanner planner,
       IncrementalPlanner::Create(std::move(instance), std::move(plan)));
+  GEPC_RETURN_IF_ERROR(EnsureCheckpointDir(options.checkpoint_dir));
   std::optional<Journal> journal;
   if (!options.journal_path.empty()) {
     if (FileHasContent(options.journal_path)) {
@@ -66,7 +98,7 @@ Result<std::unique_ptr<PlanningService>> PlanningService::Create(
   }
   return std::unique_ptr<PlanningService>(new PlanningService(
       std::move(planner), std::move(options), std::move(journal),
-      /*base_sequence=*/0));
+      /*base_sequence=*/0, RecoveryInfo{}));
 }
 
 Result<std::unique_ptr<PlanningService>> PlanningService::Recover(
@@ -74,26 +106,53 @@ Result<std::unique_ptr<PlanningService>> PlanningService::Recover(
   if (options.journal_path.empty()) {
     return Status::InvalidArgument("Recover needs options.journal_path");
   }
-  if (!FileHasContent(options.journal_path)) {
-    // First boot: nothing to replay yet.
-    return Create(std::move(base_instance), std::move(base_plan),
-                  std::move(options));
+  GEPC_RETURN_IF_ERROR(EnsureCheckpointDir(options.checkpoint_dir));
+  Timer timer;
+  GEPC_ASSIGN_OR_RETURN(
+      RecoveredState recovered,
+      RecoverServiceState(std::move(base_instance), std::move(base_plan),
+                          options.journal_path, options.checkpoint_dir));
+  GEPC_ASSIGN_OR_RETURN(
+      IncrementalPlanner planner,
+      IncrementalPlanner::Create(std::move(recovered.instance),
+                                 std::move(recovered.plan)));
+  // The journal was already scanned once; Open reuses that scan. A journal
+  // that never existed (checkpoint-only boot) starts at the recovered
+  // version so row i keeps carrying sequence base + i.
+  GEPC_ASSIGN_OR_RETURN(
+      Journal journal,
+      Journal::Open(options.journal_path, &recovered.scan,
+                    /*base_if_new=*/recovered.version));
+  if (recovered.journal_needs_rebase) {
+    // The checkpoint is newer than the journal's last committed row (the
+    // crash tore the journal tail after the checkpoint was published):
+    // rebase the journal to the recovered version so future appends align.
+    GEPC_RETURN_IF_ERROR(journal.Compact(recovered.version));
   }
-  GEPC_ASSIGN_OR_RETURN(ReplayReport replay,
-                        ReplayJournal(std::move(base_instance),
-                                      std::move(base_plan),
-                                      options.journal_path));
-  const uint64_t recovered = replay.ops_applied + replay.ops_rejected;
-  GEPC_ASSIGN_OR_RETURN(IncrementalPlanner planner,
-                        IncrementalPlanner::Create(std::move(replay.instance),
-                                                   std::move(replay.plan)));
-  GEPC_ASSIGN_OR_RETURN(Journal journal, Journal::Open(options.journal_path));
-  GEPC_LOG(Info) << "recovered " << recovered << " ops from "
-                 << options.journal_path << " (" << replay.ops_rejected
-                 << " rejected)";
-  return std::unique_ptr<PlanningService>(
-      new PlanningService(std::move(planner), std::move(options),
-                          std::move(journal), /*base_sequence=*/recovered));
+  RecoveryInfo info;
+  info.from_checkpoint = recovered.used_checkpoint;
+  info.checkpoint_version = recovered.checkpoint_version;
+  info.ops_replayed = recovered.ops_replayed + recovered.ops_rejected;
+  info.recovery_ms = timer.ElapsedMillis();
+  static const auto recoveries = obs::Registry::Global().GetCounter(
+      "gepc_service_recoveries_total", "service boots through Recover");
+  static const auto ckpt_recoveries = obs::Registry::Global().GetCounter(
+      "gepc_service_recoveries_from_checkpoint_total",
+      "recoveries bootstrapped by a checkpoint");
+  recoveries->Increment();
+  if (recovered.used_checkpoint) ckpt_recoveries->Increment();
+  GEPC_LOG(Info) << "recovered to sequence " << recovered.version
+                 << (recovered.used_checkpoint
+                         ? " from checkpoint " + recovered.checkpoint_path +
+                               " + "
+                         : " by full replay of ") +
+                        std::to_string(info.ops_replayed) +
+                        " journal ops ("
+                 << recovered.ops_rejected << " rejected, "
+                 << recovered.checkpoints_skipped << " checkpoints skipped)";
+  return std::unique_ptr<PlanningService>(new PlanningService(
+      std::move(planner), std::move(options), std::move(journal),
+      /*base_sequence=*/recovered.version, info));
 }
 
 PlanningService::~PlanningService() { Shutdown(); }
@@ -171,6 +230,31 @@ RebuildOutcome PlanningService::Rebuild(ShardedGepcOptions options) {
   return SubmitRebuild(std::move(options)).get();
 }
 
+std::future<CheckpointOutcome> PlanningService::SubmitCheckpoint() {
+  PendingOp pending;
+  pending.is_checkpoint = true;
+  if (obs::Enabled()) pending.enqueue_time = std::chrono::steady_clock::now();
+  std::future<CheckpointOutcome> future =
+      pending.checkpoint_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_issued_;
+  }
+  metrics_.RecordSubmitted();
+  if (!queue_.Push(std::move(pending))) {
+    metrics_.RecordDropped();
+    CheckpointOutcome outcome;
+    outcome.error = "service is shut down";
+    pending.checkpoint_promise.set_value(std::move(outcome));
+    FinishOne();
+  }
+  return future;
+}
+
+CheckpointOutcome PlanningService::Checkpoint() {
+  return SubmitCheckpoint().get();
+}
+
 std::shared_ptr<const ServiceSnapshot> PlanningService::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
@@ -194,6 +278,22 @@ ServiceStats PlanningService::Stats() const {
   stats.queue_high_water = queue_.high_water();
   stats.queue_capacity = queue_.capacity();
   stats.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
+  stats.journal_base_sequence =
+      journal_base_sequence_.load(std::memory_order_relaxed);
+  stats.journal_compactions =
+      journal_compactions_.load(std::memory_order_relaxed);
+  stats.last_checkpoint_version =
+      last_checkpoint_version_.load(std::memory_order_relaxed);
+  stats.last_checkpoint_bytes =
+      last_checkpoint_bytes_.load(std::memory_order_relaxed);
+  const int64_t ckpt_at = last_checkpoint_at_ms_.load(std::memory_order_relaxed);
+  stats.last_checkpoint_age_seconds =
+      ckpt_at > 0 ? static_cast<double>(SteadyNowMs() - ckpt_at) / 1000.0
+                  : -1.0;
+  stats.recovered_from_checkpoint = recovery_.from_checkpoint;
+  stats.recovery_checkpoint_version = recovery_.checkpoint_version;
+  stats.recovery_ops_replayed = recovery_.ops_replayed;
+  stats.recovery_ms = recovery_.recovery_ms;
   const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
   stats.snapshot_version = snap->version;
   stats.total_utility = snap->total_utility;
@@ -228,7 +328,9 @@ void PlanningService::WriterLoop() {
                                    pending.enqueue_time)
                                    .count());
     }
-    if (pending.is_rebuild) {
+    if (pending.is_checkpoint) {
+      ApplyCheckpoint(&pending);
+    } else if (pending.is_rebuild) {
       ApplyRebuild(&pending);
     } else {
       ApplyOne(&pending);
@@ -293,6 +395,17 @@ void PlanningService::ApplyOne(PendingOp* pending) {
         queue_.depth() == 0) {
       PublishSnapshot();
     }
+    ++ops_since_checkpoint_;
+    if (options_.checkpoint_every > 0 && !options_.checkpoint_dir.empty() &&
+        ops_since_checkpoint_ >=
+            static_cast<uint64_t>(options_.checkpoint_every)) {
+      // Auto-trigger: failures are surfaced via metrics and the log only —
+      // the op itself succeeded and the journal still covers the state.
+      const CheckpointOutcome checkpointed = DoCheckpoint();
+      if (!checkpointed.published) {
+        GEPC_LOG(Warning) << "auto checkpoint failed: " << checkpointed.error;
+      }
+    }
   }
 
   // Publish-before-resolve: whoever waits on the future (or on Drain) sees
@@ -333,6 +446,72 @@ void PlanningService::ApplyRebuild(PendingOp* pending) {
   }
   pending->rebuild_promise.set_value(std::move(outcome));
   FinishOne();
+}
+
+void PlanningService::ApplyCheckpoint(PendingOp* pending) {
+  GEPC_TRACE_SPAN("service.checkpoint", "service");
+  pending->checkpoint_promise.set_value(DoCheckpoint());
+  FinishOne();
+}
+
+CheckpointOutcome PlanningService::DoCheckpoint() {
+  CheckpointOutcome outcome;
+  outcome.version = sequence_;
+  if (options_.checkpoint_dir.empty()) {
+    outcome.error = "no checkpoint_dir configured";
+    metrics_.RecordCheckpointFailure();
+    return outcome;
+  }
+  // Publication is atomic (temp -> fsync -> rename) and the journal is
+  // untouched until it lands, so a crash or failure anywhere in here leaves
+  // the previous checkpoint set + full journal — recovery is unaffected.
+  auto written = WriteCheckpoint(options_.checkpoint_dir, planner_.instance(),
+                                 planner_.plan(), sequence_);
+  if (!written.ok()) {
+    outcome.error = written.status().ToString();
+    metrics_.RecordCheckpointFailure();
+    return outcome;
+  }
+  outcome.published = true;
+  outcome.path = *written;
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(*written, ec);
+    outcome.bytes = ec ? 0 : static_cast<int64_t>(size);
+  }
+  ops_since_checkpoint_ = 0;
+  metrics_.RecordCheckpointPublished();
+  last_checkpoint_version_.store(sequence_, std::memory_order_relaxed);
+  last_checkpoint_bytes_.store(outcome.bytes, std::memory_order_relaxed);
+  last_checkpoint_at_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
+
+  auto survivors =
+      PruneCheckpoints(options_.checkpoint_dir, options_.checkpoint_retain);
+  if (!survivors.ok()) {
+    GEPC_LOG(Warning) << "checkpoint prune failed: "
+                      << survivors.status().ToString();
+    return outcome;  // published; pruning/compaction are best-effort
+  }
+  if (journal_ && !survivors->empty()) {
+    // Compact through the OLDEST retained checkpoint so every survivor can
+    // still bridge from its version to the journal tail — if the newest
+    // file rots, recovery falls back one generation without data loss.
+    const uint64_t through = survivors->back().version;
+    const Status compacted = journal_->Compact(through);
+    if (compacted.ok()) {
+      outcome.compacted = true;
+      journal_bytes_.store(journal_->bytes_written(),
+                           std::memory_order_relaxed);
+      journal_base_sequence_.store(journal_->base_sequence(),
+                                   std::memory_order_relaxed);
+      journal_compactions_.store(journal_->compactions(),
+                                 std::memory_order_relaxed);
+    } else {
+      GEPC_LOG(Warning) << "journal compaction failed (journal intact): "
+                        << compacted.ToString();
+    }
+  }
+  return outcome;
 }
 
 void PlanningService::PublishSnapshot() {

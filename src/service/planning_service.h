@@ -50,6 +50,22 @@ struct ServiceOptions {
   /// per attempt, capped. Zero disables the sleep (tests).
   int journal_backoff_initial_ms = 1;
   int journal_backoff_max_ms = 50;
+
+  /// Directory for GCKP1 checkpoint files. Empty disables checkpointing;
+  /// the directory is created on startup when set. Recover scans it for the
+  /// newest usable checkpoint and replays only the journal tail past it.
+  std::string checkpoint_dir;
+
+  /// Auto-publish a checkpoint every N *applied* operations (0 = only on
+  /// demand via Checkpoint/SubmitCheckpoint). Requires checkpoint_dir.
+  int checkpoint_every = 0;
+
+  /// Checkpoints kept after each successful publication; older files are
+  /// pruned and the journal is compacted through the OLDEST survivor's
+  /// version, so every retained checkpoint can still bridge to the journal
+  /// tail. Clamped to >= 1. The default keeps one fallback generation in
+  /// case the newest file rots.
+  int checkpoint_retain = 2;
 };
 
 /// What happened to one submitted operation, delivered via the future that
@@ -80,6 +96,22 @@ struct RebuildOutcome {
   ShardedGepcStats stats;
 };
 
+/// What a checkpoint request did, delivered via SubmitCheckpoint's future.
+struct CheckpointOutcome {
+  /// False when the checkpoint could not be published (state and journal
+  /// unchanged) or the service shut down first; `error` says which.
+  bool published = false;
+  std::string error;
+  /// Sequence the checkpoint captures: ops 1..version are absorbed by it.
+  uint64_t version = 0;
+  std::string path;
+  int64_t bytes = 0;
+  /// True when the journal was compacted after the publication (it is
+  /// skipped — with a warning, not an error — when compaction fails; the
+  /// journal stays valid, merely longer than necessary).
+  bool compacted = false;
+};
+
 /// Long-running online planning core (the paper's IEP loop turned into a
 /// service): owns an Instance + Plan behind a single writer thread that
 /// drains a bounded MPSC queue of atomic operations, journals every
@@ -98,9 +130,13 @@ class PlanningService {
   static Result<std::unique_ptr<PlanningService>> Create(
       Instance instance, Plan plan, ServiceOptions options = {});
 
-  /// Crash recovery: replays options.journal_path (which must exist) on top
-  /// of the base state, then serves with the journal extended in place.
-  /// The recovered service is byte-for-byte the one that crashed.
+  /// Crash recovery: loads the newest usable checkpoint from
+  /// options.checkpoint_dir (when set) and replays only the journal tail
+  /// past its version — bounded by ops-since-last-checkpoint instead of the
+  /// full history — falling back to older checkpoints when the newest is
+  /// torn or corrupt, and to a full journal replay on top of the base state
+  /// when no checkpoint is usable. The journal is read exactly once. The
+  /// recovered service is byte-for-byte the one that crashed.
   static Result<std::unique_ptr<PlanningService>> Recover(
       Instance base_instance, Plan base_plan, ServiceOptions options);
 
@@ -132,6 +168,17 @@ class PlanningService {
 
   /// SubmitRebuild + wait.
   RebuildOutcome Rebuild(ShardedGepcOptions options = {});
+
+  /// Enqueues a durable checkpoint: when the writer thread reaches it, the
+  /// current (instance, plan, sequence) is written as a GCKP1 file and
+  /// published atomically (temp -> fsync -> rename), older checkpoints
+  /// beyond options.checkpoint_retain are pruned, and the journal is
+  /// compacted through the oldest surviving checkpoint's version. Rides the
+  /// FIFO queue, so it captures exactly the ops ahead of it.
+  std::future<CheckpointOutcome> SubmitCheckpoint();
+
+  /// SubmitCheckpoint + wait.
+  CheckpointOutcome Checkpoint();
 
   /// Latest published snapshot; never null. Hold it as long as you like.
   std::shared_ptr<const ServiceSnapshot> snapshot() const;
@@ -166,14 +213,32 @@ class PlanningService {
     bool is_rebuild = false;
     ShardedGepcOptions rebuild_options;
     std::promise<RebuildOutcome> rebuild_promise;
+    /// Checkpoint request: only `checkpoint_promise` is used.
+    bool is_checkpoint = false;
+    std::promise<CheckpointOutcome> checkpoint_promise;
+  };
+
+  /// How the service came to be (filled by Recover, defaults for Create);
+  /// surfaced verbatim through Stats so operators can see whether the last
+  /// boot paid a full replay or a checkpoint + tail.
+  struct RecoveryInfo {
+    bool from_checkpoint = false;
+    uint64_t checkpoint_version = 0;
+    uint64_t ops_replayed = 0;
+    double recovery_ms = 0.0;
   };
 
   PlanningService(IncrementalPlanner planner, ServiceOptions options,
-                  std::optional<Journal> journal, uint64_t base_sequence);
+                  std::optional<Journal> journal, uint64_t base_sequence,
+                  RecoveryInfo recovery);
 
   void WriterLoop();
   void ApplyOne(PendingOp* pending);
   void ApplyRebuild(PendingOp* pending);
+  void ApplyCheckpoint(PendingOp* pending);
+  /// Writes + publishes the checkpoint, prunes, compacts the journal.
+  /// Writer thread only. Returns the outcome (never throws the service).
+  CheckpointOutcome DoCheckpoint();
   void PublishSnapshot();
   void FinishOne();  // bookkeeping for Drain()
 
@@ -182,7 +247,17 @@ class PlanningService {
   std::optional<Journal> journal_;
   uint64_t sequence_;  // ops journaled so far (incl. recovered ones)
   uint64_t applied_since_snapshot_ = 0;
+  uint64_t ops_since_checkpoint_ = 0;  // writer thread only
+  const RecoveryInfo recovery_;
   std::atomic<int64_t> journal_bytes_{0};  // mirrored for lock-free Stats()
+  // Checkpoint/compaction mirrors, updated by the writer after each
+  // publication so Stats() stays lock-free. last_checkpoint_at_ms_ is a
+  // steady-clock reading (0 = never) from which Stats derives the age.
+  std::atomic<uint64_t> last_checkpoint_version_{0};
+  std::atomic<int64_t> last_checkpoint_bytes_{0};
+  std::atomic<int64_t> last_checkpoint_at_ms_{0};
+  std::atomic<uint64_t> journal_base_sequence_{0};
+  std::atomic<uint64_t> journal_compactions_{0};
 
   BoundedQueue<PendingOp> queue_;
   ServiceMetrics metrics_;

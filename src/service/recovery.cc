@@ -1,0 +1,108 @@
+#include "service/recovery.h"
+
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace gepc {
+
+Result<RecoveredState> RecoverServiceState(Instance base_instance,
+                                           Plan base_plan,
+                                           const std::string& journal_path,
+                                           const std::string& checkpoint_dir) {
+  static const auto recovery_ms = obs::Registry::Global().GetHistogram(
+      "gepc_recovery_resolve_ms",
+      "checkpoint + journal-tail recovery resolution");
+  obs::ScopedTimerMs timer(recovery_ms.get());
+
+  RecoveredState state;
+
+  // The one and only journal read. A journal that does not exist yet (first
+  // boot, or compacted-to-nothing then lost) is an empty scan, not an
+  // error: checkpoints can still carry the state.
+  auto scanned = ScanJournalFile(journal_path);
+  if (scanned.ok()) {
+    state.scan = *std::move(scanned);
+  } else if (scanned.status().code() == StatusCode::kNotFound) {
+    state.scan = JournalScan{};
+  } else {
+    return scanned.status();
+  }
+  const uint64_t scan_end =
+      state.scan.base_sequence + state.scan.ops.size();
+
+  std::vector<CheckpointRef> refs;
+  if (!checkpoint_dir.empty()) {
+    GEPC_ASSIGN_OR_RETURN(refs, ListCheckpoints(checkpoint_dir));
+  }
+
+  // Newest checkpoint first; fall back through older ones on any defect.
+  for (const CheckpointRef& ref : refs) {
+    if (ref.version < state.scan.base_sequence) {
+      // The journal no longer carries rows ref.version+1..base — this
+      // checkpoint cannot bridge to the tail. Neither can any older one
+      // (the list is version-sorted), but count them all as skipped so the
+      // operator sees how deep the rot goes.
+      GEPC_LOG(Warning) << "checkpoint " << ref.path << " (version "
+                        << ref.version << ") predates journal base "
+                        << state.scan.base_sequence << "; skipping";
+      ++state.checkpoints_skipped;
+      continue;
+    }
+    auto loaded = LoadCheckpoint(ref.path);
+    if (!loaded.ok()) {
+      GEPC_LOG(Warning) << "checkpoint " << ref.path
+                        << " unusable: " << loaded.status().ToString();
+      ++state.checkpoints_skipped;
+      continue;
+    }
+    auto replayed = ReplayJournalTail(std::move(loaded->instance),
+                                      std::move(loaded->plan), state.scan,
+                                      ref.version);
+    if (!replayed.ok()) {
+      GEPC_LOG(Warning) << "checkpoint " << ref.path << " replay failed: "
+                        << replayed.status().ToString();
+      ++state.checkpoints_skipped;
+      continue;
+    }
+    state.instance = std::move(replayed->instance);
+    state.plan = std::move(replayed->plan);
+    state.version = replayed->end_sequence;
+    state.used_checkpoint = true;
+    state.checkpoint_version = ref.version;
+    state.checkpoint_path = ref.path;
+    state.ops_replayed = replayed->ops_applied;
+    state.ops_rejected = replayed->ops_rejected;
+    state.journal_needs_rebase =
+        state.scan.committed_bytes > 0 && state.version > scan_end;
+    return state;
+  }
+
+  if (state.scan.base_sequence > 0) {
+    // The journal was compacted on the promise that a checkpoint covers the
+    // absorbed prefix; with every checkpoint gone or rotten, replaying from
+    // genesis would silently drop committed operations 1..base. Refuse.
+    return Status::FailedPrecondition(
+        "journal " + journal_path + " is compacted through sequence " +
+        std::to_string(state.scan.base_sequence) +
+        " but no usable checkpoint covers it (" +
+        std::to_string(state.checkpoints_skipped) +
+        " skipped); recovery would lose committed operations");
+  }
+
+  GEPC_ASSIGN_OR_RETURN(
+      ReplayReport replayed,
+      ReplayJournalTail(std::move(base_instance), std::move(base_plan),
+                        state.scan, /*from_sequence=*/0));
+  state.instance = std::move(replayed.instance);
+  state.plan = std::move(replayed.plan);
+  state.version = replayed.end_sequence;
+  state.ops_replayed = replayed.ops_applied;
+  state.ops_rejected = replayed.ops_rejected;
+  return state;
+}
+
+}  // namespace gepc

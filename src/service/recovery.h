@@ -1,0 +1,78 @@
+#ifndef GEPC_SERVICE_RECOVERY_H_
+#define GEPC_SERVICE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/instance.h"
+#include "core/plan.h"
+#include "service/journal.h"
+
+namespace gepc {
+
+/// Everything `RecoverServiceState` worked out, packaged so the caller
+/// (PlanningService::Recover, the torture harness, gepc_cli) can boot a
+/// service without reading the journal a second time: `scan` is the one
+/// ScanJournalFile result and feeds straight into Journal::Open.
+struct RecoveredState {
+  Instance instance;
+  Plan plan;
+
+  /// Sequence the recovered state corresponds to: every committed op
+  /// 1..version is absorbed (max of checkpoint version and journal end).
+  uint64_t version = 0;
+
+  /// The single journal scan; pass `&scan` to Journal::Open as prior_scan.
+  JournalScan scan;
+
+  /// True when a checkpoint bootstrapped the state (the journal alone was
+  /// not replayed from genesis).
+  bool used_checkpoint = false;
+  uint64_t checkpoint_version = 0;
+  std::string checkpoint_path;
+
+  /// Checkpoints passed over because they were corrupt, torn, or could not
+  /// bridge to the journal tail (version < journal base).
+  uint64_t checkpoints_skipped = 0;
+
+  /// Journal rows replayed on top of the base (checkpoint or genesis) and
+  /// rows that failed validation again, exactly as they did live.
+  uint64_t ops_replayed = 0;
+  uint64_t ops_rejected = 0;
+
+  /// True when `version` is beyond the journal's last committed row — the
+  /// checkpoint outlived the journal tail (crash between checkpoint publish
+  /// and journal compaction, or a torn journal). The caller must rebase the
+  /// journal (Journal::Compact(version)) before appending, so that row i
+  /// keeps carrying sequence base + i.
+  bool journal_needs_rebase = false;
+};
+
+/// Resolves the freshest recoverable state from a checkpoint directory plus
+/// a GOPS1 journal, reading the journal exactly once:
+///
+///  1. Scan the journal tolerantly (a missing file is an empty journal; a
+///     torn tail is discarded; interior corruption is a hard error).
+///  2. Try checkpoints newest-first. A checkpoint older than the journal's
+///     base cannot bridge to the tail and is skipped, as is any checkpoint
+///     that fails GCKP1 validation (torn file, bit rot, dimension
+///     mismatch). The first usable checkpoint wins: replay only the journal
+///     rows past its version.
+///  3. With no usable checkpoint and journal base 0, fall back to a full
+///     replay from the genesis (base_instance, base_plan).
+///  4. With no usable checkpoint and journal base > 0, fail loudly
+///     (kFailedPrecondition): the compacted prefix is unrecoverable from
+///     the journal alone, and booting from genesis would silently lose
+///     committed operations.
+///
+/// `checkpoint_dir` may be empty (no checkpointing configured): recovery is
+/// then a pure journal replay, with the same base-0 guard.
+Result<RecoveredState> RecoverServiceState(Instance base_instance,
+                                           Plan base_plan,
+                                           const std::string& journal_path,
+                                           const std::string& checkpoint_dir);
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_RECOVERY_H_

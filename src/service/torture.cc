@@ -6,12 +6,14 @@
 #include <sstream>
 #include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "gepc/solver.h"
 #include "service/journal.h"
 #include "service/planning_service.h"
+#include "service/recovery.h"
 
 namespace gepc {
 
@@ -307,6 +309,265 @@ Result<TortureReport> RunCrashRecoveryTorture(const TortureOptions& options) {
              " torn bytes after recovery, expected " +
              std::to_string(c + 1) + " / 0");
         break;
+      }
+    }
+  }
+
+  // 5. Checkpoint + compaction torture: the same crash-at-every-offset
+  // discipline, now with a GCKP1 checkpoint set next to the journal and
+  // with the journal compacted through a checkpoint. The contract under
+  // test: recovery always serializes byte-identically to the reference
+  // state at max(checkpoint version, committed journal sequence) — no
+  // committed op is ever lost, no torn checkpoint is ever trusted.
+  if (options.checkpoint_every > 0 && report.failure.empty()) {
+    const std::string ckpt_dir = options.workdir + "/torture_ckpt";
+    fs::remove_all(ckpt_dir, ec);
+    fs::create_directories(ckpt_dir, ec);
+    if (ec) {
+      return Status::Unavailable("cannot create checkpoint dir: " + ckpt_dir);
+    }
+
+    // Re-run the op stream and publish a checkpoint every N applied ops,
+    // exactly where the live service's auto-trigger would.
+    std::vector<uint64_t> versions;
+    {
+      GEPC_ASSIGN_OR_RETURN(IncrementalPlanner ckpt_planner,
+                            IncrementalPlanner::Create(base, base_plan));
+      for (size_t i = 0; i < ops.size(); ++i) {
+        ckpt_planner.Apply(ops[i]);
+        const uint64_t version = i + 1;
+        if (version % static_cast<uint64_t>(options.checkpoint_every) == 0) {
+          GEPC_ASSIGN_OR_RETURN(
+              std::string path,
+              WriteCheckpoint(ckpt_dir, ckpt_planner.instance(),
+                              ckpt_planner.plan(), version));
+          (void)path;
+          versions.push_back(version);
+        }
+      }
+    }
+    if (versions.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_every exceeds the op count: no checkpoint published");
+    }
+    report.checkpoints_published = versions.size();
+    const uint64_t newest = versions.back();
+    const uint64_t oldest = versions.front();
+
+    // Asserts one recovery against the reference states; returns false
+    // (and records the failure) on the first divergence.
+    auto check_recovery = [&](const std::string& journal,
+                              const std::string& dir, uint64_t expected,
+                              const std::string& what) {
+      auto recovered = RecoverServiceState(base, base_plan, journal, dir);
+      if (!recovered.ok()) {
+        fail(what + ": recovery failed: " + recovered.status().ToString());
+        return false;
+      }
+      if (!recovered->used_checkpoint ||
+          recovered->checkpoint_version != newest) {
+        ++report.checkpoint_fallbacks;
+      }
+      if (recovered->version != expected) {
+        fail(what + ": recovered version " +
+             std::to_string(recovered->version) + ", expected " +
+             std::to_string(expected));
+        return false;
+      }
+      auto state = SerializeServiceState(recovered->instance, recovered->plan,
+                                         recovered->version);
+      if (!state.ok()) {
+        fail(what + ": serialize failed: " + state.status().ToString());
+        return false;
+      }
+      if (*state != states[static_cast<size_t>(expected)]) {
+        fail(what + ": recovered state diverges from reference at version " +
+             std::to_string(expected));
+        return false;
+      }
+      return true;
+    };
+
+    // 5a. Journal truncations again, now with checkpoints present: the
+    // newest checkpoint bridges any journal prefix, so the recovered
+    // version is max(newest, committed ops in the prefix).
+    for (const int64_t L : offsets) {
+      GEPC_RETURN_IF_ERROR(
+          WriteBytes(crash_path, full.substr(0, static_cast<size_t>(L))));
+      const uint64_t expected =
+          std::max<uint64_t>(newest, committed_ops(L));
+      if (!check_recovery(crash_path, ckpt_dir, expected,
+                          "ckpt journal offset " + std::to_string(L))) {
+        break;
+      }
+    }
+
+    // 5b. Truncate the NEWEST checkpoint file at every byte offset (a
+    // torn temp that somehow reached the final name, bit-rot truncation —
+    // the worst case). The full journal is present, so recovery must land
+    // on the final state every time, falling back to an older checkpoint
+    // or a plain full replay. A final-name checkpoint is never torn in
+    // reality (publication renames a fully-fsynced temp), which is exactly
+    // why recovery may never trust one that is.
+    if (report.failure.empty()) {
+      const std::string newest_name = CheckpointFileName(newest);
+      GEPC_ASSIGN_OR_RETURN(const std::string ckpt_bytes,
+                            ReadBytes(ckpt_dir + "/" + newest_name));
+      const std::string crash_dir = options.workdir + "/torture_ckpt_crash";
+      fs::remove_all(crash_dir, ec);
+      fs::create_directories(crash_dir, ec);
+      if (ec) {
+        return Status::Unavailable("cannot create dir: " + crash_dir);
+      }
+      for (const uint64_t version : versions) {
+        if (version == newest) continue;
+        const std::string name = CheckpointFileName(version);
+        fs::copy_file(ckpt_dir + "/" + name, crash_dir + "/" + name,
+                      fs::copy_options::overwrite_existing, ec);
+        if (ec) return Status::Unavailable("cannot copy checkpoint " + name);
+      }
+      const size_t header_len = ckpt_bytes.find('\n') + 1;
+      std::vector<size_t> cuts;
+      if (options.byte_level) {
+        for (size_t k = 0; k <= ckpt_bytes.size(); ++k) cuts.push_back(k);
+      } else {
+        // The header and every 31st body byte, plus the section seams.
+        for (size_t k = 0; k <= header_len + 1; ++k) cuts.push_back(k);
+        for (size_t k = header_len; k < ckpt_bytes.size(); k += 31) {
+          cuts.push_back(k);
+        }
+        cuts.push_back(ckpt_bytes.size() - 1);
+        cuts.push_back(ckpt_bytes.size());
+      }
+      const uint64_t final_version = ops.size();
+      for (const size_t k : cuts) {
+        GEPC_RETURN_IF_ERROR(WriteBytes(crash_dir + "/" + newest_name,
+                                        ckpt_bytes.substr(0, k)));
+        ++report.checkpoint_truncation_points;
+        if (!check_recovery(journal_path, crash_dir,
+                            std::max<uint64_t>(final_version, newest),
+                            "ckpt truncated at " + std::to_string(k))) {
+          break;
+        }
+      }
+    }
+
+    // 5c. Compact the journal through the OLDEST checkpoint, then truncate
+    // the rotated journal at every offset. Rows now carry base + i; a
+    // prefix that loses even the header must still recover through the
+    // newest checkpoint with zero committed-op loss.
+    const std::string rotated_path = options.workdir + "/torture.rotated.gops";
+    if (report.failure.empty()) {
+      GEPC_RETURN_IF_ERROR(WriteBytes(rotated_path, full));
+      {
+        GEPC_ASSIGN_OR_RETURN(Journal rotated, Journal::Open(rotated_path));
+        GEPC_RETURN_IF_ERROR(rotated.Compact(oldest));
+      }
+      GEPC_ASSIGN_OR_RETURN(const std::string rotated_bytes,
+                            ReadBytes(rotated_path));
+      const size_t header_len = rotated_bytes.find('\n') + 1;
+      std::vector<size_t> row_ends;  // byte offset after row i's newline
+      for (size_t p = header_len; p < rotated_bytes.size();) {
+        const size_t nl = rotated_bytes.find('\n', p);
+        if (nl == std::string::npos) break;
+        row_ends.push_back(nl + 1);
+        p = nl + 1;
+      }
+      std::vector<size_t> cuts;
+      if (options.byte_level) {
+        for (size_t k = 0; k <= rotated_bytes.size(); ++k) cuts.push_back(k);
+      } else {
+        for (size_t k = 0; k <= header_len + 1; ++k) cuts.push_back(k);
+        for (const size_t b : row_ends) {
+          cuts.push_back(b - 1);
+          cuts.push_back(b);
+          cuts.push_back(std::min(b + 1, rotated_bytes.size()));
+        }
+        std::sort(cuts.begin(), cuts.end());
+        cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+      }
+      auto rotated_expected = [&](size_t k) {
+        if (k < header_len) return newest;  // torn header: checkpoint only
+        const uint64_t rows = static_cast<uint64_t>(
+            std::upper_bound(row_ends.begin(), row_ends.end(), k) -
+            row_ends.begin());
+        return std::max<uint64_t>(newest, oldest + rows);
+      };
+      const std::string rotated_crash =
+          options.workdir + "/torture.rotated.crash.gops";
+      for (const size_t k : cuts) {
+        GEPC_RETURN_IF_ERROR(
+            WriteBytes(rotated_crash, rotated_bytes.substr(0, k)));
+        ++report.rotated_truncation_points;
+        if (!check_recovery(rotated_crash, ckpt_dir, rotated_expected(k),
+                            "rotated journal offset " + std::to_string(k))) {
+          break;
+        }
+      }
+
+      // 5d. Full service boots on the rotated crash images at row
+      // boundaries: Recover must serve the right state, rebase the journal
+      // when the checkpoint outruns it, and keep accepting appends with
+      // row i still carrying sequence base + i.
+      if (options.service_recover && report.failure.empty()) {
+        std::vector<size_t> boots = {header_len};
+        boots.insert(boots.end(), row_ends.begin(), row_ends.end());
+        for (const size_t b : boots) {
+          GEPC_RETURN_IF_ERROR(
+              WriteBytes(rotated_crash, rotated_bytes.substr(0, b)));
+          const uint64_t expected = rotated_expected(b);
+          ServiceOptions service_options;
+          service_options.journal_path = rotated_crash;
+          service_options.checkpoint_dir = ckpt_dir;
+          auto service =
+              PlanningService::Recover(base, base_plan, service_options);
+          if (!service.ok()) {
+            fail("rotated boundary " + std::to_string(b) +
+                 ": Recover failed: " + service.status().ToString());
+            break;
+          }
+          ++report.service_recoveries;
+          const auto snap = (*service)->snapshot();
+          auto state = SerializeServiceState(*snap->instance, *snap->plan,
+                                             snap->version);
+          if (!state.ok()) return state.status();
+          if (snap->version != expected ||
+              *state != states[static_cast<size_t>(expected)]) {
+            fail("rotated boundary " + std::to_string(b) +
+                 ": recovered service at version " +
+                 std::to_string(snap->version) + ", expected " +
+                 std::to_string(expected));
+            break;
+          }
+          const AtomicOp extra = AtomicOp::BudgetChange(
+              0, snap->instance->user(0).budget + 0.25);
+          const ApplyOutcome outcome = (*service)->Apply(extra);
+          (*service)->Shutdown();
+          if (outcome.sequence != expected + 1) {
+            fail("rotated boundary " + std::to_string(b) +
+                 ": post-recovery op got sequence " +
+                 std::to_string(outcome.sequence) + ", expected " +
+                 std::to_string(expected + 1));
+            break;
+          }
+          auto rescan = ScanJournalFile(rotated_crash);
+          if (!rescan.ok()) {
+            fail("rotated boundary " + std::to_string(b) +
+                 ": journal unreadable after recovery: " +
+                 rescan.status().ToString());
+            break;
+          }
+          if (rescan->base_sequence + rescan->ops.size() != expected + 1 ||
+              rescan->torn_bytes != 0) {
+            fail("rotated boundary " + std::to_string(b) + ": journal at " +
+                 std::to_string(rescan->base_sequence) + "+" +
+                 std::to_string(rescan->ops.size()) + " ops / " +
+                 std::to_string(rescan->torn_bytes) +
+                 " torn bytes after recovery, expected " +
+                 std::to_string(expected + 1) + " / 0");
+            break;
+          }
+        }
       }
     }
   }

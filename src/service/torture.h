@@ -32,6 +32,20 @@ struct TortureOptions {
   /// tail, and accepts one more op afterwards.
   bool service_recover = true;
 
+  /// > 0: also run the checkpoint/compaction torture — publish a GCKP1
+  /// checkpoint every N ops alongside the journal, then (a) re-run the
+  /// journal truncations with the checkpoint set present, (b) truncate the
+  /// newest checkpoint file at every byte offset against the full journal
+  /// (recovery must fall back to an older checkpoint or a full replay,
+  /// never lose a committed op), and (c) compact the journal through the
+  /// oldest checkpoint and truncate the ROTATED journal at every offset.
+  /// Recovery must always serialize byte-identically to the reference
+  /// state at max(checkpoint version, committed journal sequence).
+  int checkpoint_every = 0;
+  /// Checkpoints kept on disk by the variant (older ones exist so fallback
+  /// paths get exercised).
+  int checkpoint_retain = 2;
+
   /// Scratch directory for the journal and its truncated copies. Must
   /// exist and be writable.
   std::string workdir;
@@ -44,6 +58,12 @@ struct TortureReport {
   int truncation_points = 0;  ///< crash offsets exercised
   int torn_recoveries = 0;    ///< offsets where a torn tail was discarded
   int service_recoveries = 0; ///< full PlanningService::Recover boots
+  // Checkpoint variant (checkpoint_every > 0).
+  uint64_t checkpoints_published = 0;
+  int checkpoint_truncation_points = 0;  ///< offsets of the checkpoint file
+  int rotated_truncation_points = 0;     ///< offsets of the compacted journal
+  /// Recoveries that had to skip a torn/corrupt checkpoint and fall back.
+  int checkpoint_fallbacks = 0;
   bool passed = false;
   /// Empty when passed; otherwise describes the first divergence.
   std::string failure;

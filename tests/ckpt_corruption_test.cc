@@ -1,0 +1,118 @@
+// GCKP1 corruption fuzz: a checkpoint loader must never crash and never
+// silently accept damaged bytes. Flips every single byte of a real
+// checkpoint (header and both sections), truncates at every offset, and
+// extends the file — each variant must either fail DecodeCheckpoint
+// cleanly or (for flips that cancel out, which FNV-1a does not allow for
+// single-byte flips) reproduce the identical state.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "service/recovery.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+class CkptCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bytes = EncodeCheckpoint(MakePaperInstance(), MakePaperPlan(), 17);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    bytes_ = *bytes;
+    header_len_ = bytes_.find('\n');
+    ASSERT_NE(header_len_, std::string::npos);
+    ++header_len_;  // include the newline
+  }
+
+  std::string bytes_;
+  size_t header_len_ = 0;
+};
+
+TEST_F(CkptCorruptionTest, EveryHeaderByteFlipIsRejected) {
+  for (size_t i = 0; i < header_len_; ++i) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string damaged = bytes_;
+      damaged[i] = static_cast<char>(damaged[i] ^ mask);
+      auto decoded = DecodeCheckpoint(damaged);
+      EXPECT_FALSE(decoded.ok())
+          << "header byte " << i << " mask " << static_cast<int>(mask)
+          << " accepted";
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+            << "header byte " << i;
+      }
+    }
+  }
+}
+
+TEST_F(CkptCorruptionTest, EverySectionByteFlipIsRejected) {
+  // Single-byte XOR changes the section's FNV-1a checksum, so every flip
+  // in either section must be caught by the checksum gate (well before
+  // any parser sees the damaged bytes).
+  for (size_t i = header_len_; i < bytes_.size(); ++i) {
+    std::string damaged = bytes_;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x40);
+    auto decoded = DecodeCheckpoint(damaged);
+    EXPECT_FALSE(decoded.ok()) << "section byte " << i << " accepted";
+  }
+}
+
+TEST_F(CkptCorruptionTest, EveryTruncationIsRejected) {
+  for (size_t keep = 0; keep < bytes_.size(); ++keep) {
+    auto decoded = DecodeCheckpoint(bytes_.substr(0, keep));
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << keep << " accepted";
+  }
+  // And the exact full file is accepted — the fuzz loop's sanity anchor.
+  auto intact = DecodeCheckpoint(bytes_);
+  ASSERT_TRUE(intact.ok()) << intact.status().ToString();
+  EXPECT_EQ(intact->version, 17u);
+}
+
+TEST_F(CkptCorruptionTest, TrailingGarbageIsRejected) {
+  auto decoded = DecodeCheckpoint(bytes_ + "x");
+  EXPECT_FALSE(decoded.ok());
+  decoded = DecodeCheckpoint(bytes_ + std::string(64, '\0'));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST_F(CkptCorruptionTest, LoadOfCorruptFileFailsAndRecoveryFallsBack) {
+  // A torn checkpoint on disk must not be load-bearing: LoadCheckpoint
+  // rejects it and RecoverServiceState falls back to an older intact
+  // checkpoint, recovering the same final state.
+  const std::string dir = ::testing::TempDir() + "/ckpt_corruption_dir";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  ASSERT_FALSE(ec);
+
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  ASSERT_TRUE(WriteCheckpoint(dir, instance, plan, 1).ok());
+  auto newest = WriteCheckpoint(dir, instance, plan, 2);
+  ASSERT_TRUE(newest.ok());
+
+  // Tear the newest checkpoint mid-section.
+  std::string torn = bytes_.substr(0, bytes_.size() / 2);
+  std::ofstream(*newest, std::ios::binary | std::ios::trunc) << torn;
+  EXPECT_FALSE(LoadCheckpoint(*newest).ok());
+
+  const std::string journal = dir + "/empty.gops";
+  auto recovered = RecoverServiceState(instance, plan, journal, dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->used_checkpoint);
+  EXPECT_EQ(recovered->checkpoint_version, 1u);
+  EXPECT_EQ(recovered->checkpoints_skipped, 1);
+  EXPECT_EQ(recovered->version, 1u);
+}
+
+}  // namespace
+}  // namespace gepc

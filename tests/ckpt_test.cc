@@ -1,0 +1,179 @@
+// GCKP1 checkpoint subsystem: deterministic byte-level round-trips,
+// canonical file naming, atomic publication, newest-first listing, and
+// retention pruning. The corruption-fuzz counterpart (every byte flipped /
+// every truncation) lives in ckpt_corruption_test.cc.
+
+#include "ckpt/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_support::MakePaperInstance;
+using testing_support::MakePaperPlan;
+
+std::string MakeDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  EXPECT_FALSE(ec) << ec.message();
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CheckpointChecksumTest, StableAndSensitive) {
+  const std::string bytes = "GCKP1 checksum probe";
+  const uint64_t sum = CheckpointChecksum(bytes.data(), bytes.size());
+  EXPECT_EQ(sum, CheckpointChecksum(bytes.data(), bytes.size()));
+  std::string flipped = bytes;
+  flipped[0] ^= 1;
+  EXPECT_NE(sum, CheckpointChecksum(flipped.data(), flipped.size()));
+  // FNV-1a offset basis for the empty range — a fixed, documented anchor.
+  EXPECT_EQ(CheckpointChecksum(nullptr, 0), 14695981039346656037ull);
+}
+
+TEST(CheckpointFileNameTest, ZeroPaddedSoLexicographicIsVersionOrder) {
+  EXPECT_EQ(CheckpointFileName(7), "ckpt-00000000000000000007.gckp");
+  EXPECT_LT(CheckpointFileName(9), CheckpointFileName(10));
+  EXPECT_LT(CheckpointFileName(99), CheckpointFileName(100));
+}
+
+TEST(CheckpointEncodeTest, RoundTripPreservesStateAndBytes) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  auto bytes = EncodeCheckpoint(instance, plan, 42);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  ASSERT_TRUE(bytes->rfind("GCKP1 42 ", 0) == 0) << bytes->substr(0, 40);
+
+  auto decoded = DecodeCheckpoint(*bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, 42u);
+  EXPECT_EQ(decoded->instance.num_users(), instance.num_users());
+  EXPECT_EQ(decoded->instance.num_events(), instance.num_events());
+  EXPECT_DOUBLE_EQ(decoded->plan.TotalUtility(decoded->instance),
+                   plan.TotalUtility(instance));
+
+  // Determinism: re-encoding the decoded state is byte-identical.
+  auto again = EncodeCheckpoint(decoded->instance, decoded->plan, 42);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*bytes, *again);
+}
+
+TEST(CheckpointEncodeTest, VersionIsPartOfTheBytes) {
+  const Instance instance = MakePaperInstance();
+  const Plan plan = MakePaperPlan();
+  auto a = EncodeCheckpoint(instance, plan, 1);
+  auto b = EncodeCheckpoint(instance, plan, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(CheckpointWriteTest, PublishesUnderCanonicalNameWithExactBytes) {
+  const std::string dir = MakeDir("ckpt_write");
+  auto path = WriteCheckpoint(dir, MakePaperInstance(), MakePaperPlan(), 5);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(fs::path(*path).filename().string(), CheckpointFileName(5));
+
+  auto expected = EncodeCheckpoint(MakePaperInstance(), MakePaperPlan(), 5);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(ReadFile(*path), *expected);
+  // No temp files left behind.
+  int entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+
+  auto loaded = LoadCheckpoint(*path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version, 5u);
+}
+
+TEST(CheckpointWriteTest, MissingDirectoryFailsCleanly) {
+  auto path = WriteCheckpoint(::testing::TempDir() + "/ckpt_no_such_dir",
+                              MakePaperInstance(), MakePaperPlan(), 1);
+  EXPECT_FALSE(path.ok());
+}
+
+TEST(CheckpointLoadTest, MissingFileIsNotFound) {
+  auto loaded = LoadCheckpoint(::testing::TempDir() + "/ckpt_nope.gckp");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointListTest, NewestFirstAndStrictNameFilter) {
+  const std::string dir = MakeDir("ckpt_list");
+  for (const uint64_t version : {3u, 1u, 12u}) {
+    ASSERT_TRUE(
+        WriteCheckpoint(dir, MakePaperInstance(), MakePaperPlan(), version)
+            .ok());
+  }
+  // Non-checkpoint files are ignored, not errors.
+  std::ofstream(dir + "/README.txt") << "not a checkpoint";
+  std::ofstream(dir + "/ckpt-junk.gckp") << "bad name";
+
+  auto list = ListCheckpoints(dir);
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].version, 12u);
+  EXPECT_EQ((*list)[1].version, 3u);
+  EXPECT_EQ((*list)[2].version, 1u);
+}
+
+TEST(CheckpointListTest, MissingDirectoryIsEmptyNotError) {
+  auto list = ListCheckpoints(::testing::TempDir() + "/ckpt_list_missing");
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_TRUE(list->empty());
+}
+
+TEST(CheckpointPruneTest, KeepsNewestRetainAndReportsSurvivors) {
+  const std::string dir = MakeDir("ckpt_prune");
+  for (uint64_t version = 1; version <= 5; ++version) {
+    ASSERT_TRUE(
+        WriteCheckpoint(dir, MakePaperInstance(), MakePaperPlan(), version)
+            .ok());
+  }
+  auto survivors = PruneCheckpoints(dir, 2);
+  ASSERT_TRUE(survivors.ok()) << survivors.status().ToString();
+  ASSERT_EQ(survivors->size(), 2u);
+  EXPECT_EQ((*survivors)[0].version, 5u);
+  EXPECT_EQ((*survivors)[1].version, 4u);
+
+  auto list = ListCheckpoints(dir);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].version, 5u);
+  EXPECT_EQ((*list)[1].version, 4u);
+}
+
+TEST(CheckpointPruneTest, RetainBelowOneIsClampedToOne) {
+  const std::string dir = MakeDir("ckpt_prune_clamp");
+  for (uint64_t version = 1; version <= 3; ++version) {
+    ASSERT_TRUE(
+        WriteCheckpoint(dir, MakePaperInstance(), MakePaperPlan(), version)
+            .ok());
+  }
+  auto survivors = PruneCheckpoints(dir, 0);
+  ASSERT_TRUE(survivors.ok());
+  ASSERT_EQ(survivors->size(), 1u);
+  EXPECT_EQ((*survivors)[0].version, 3u);
+}
+
+}  // namespace
+}  // namespace gepc

@@ -6,10 +6,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "data/io.h"
 
 namespace gepc {
@@ -17,8 +19,12 @@ namespace {
 
 std::string Cli() { return GEPC_CLI_PATH; }
 
+// Per-test-case temp path: ctest runs every discovered case as its own
+// process in parallel, so fixed file names under the shared TempDir would
+// collide across cases.
 std::string Tmp(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/" + info->name() + "_" + name;
 }
 
 int RunCommand(const std::string& command) {
@@ -251,6 +257,71 @@ TEST_F(CliTest, SolveTraceWritesChromeTraceJson) {
                    std::istreambuf_iterator<char>());
   EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(text.find("\"name\":\"gepc.solve\""), std::string::npos);
+}
+
+class CliCkptTest : public CliTest {
+ protected:
+  // A real checkpoint directory with two valid GCKP1 files (versions 1, 2).
+  void SetUp() override {
+    CliTest::SetUp();
+    ckpt_dir_ = Tmp("ckpt");
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt_dir_, ec);
+    std::filesystem::create_directories(ckpt_dir_, ec);
+    ASSERT_FALSE(ec) << ec.message();
+    auto instance = LoadInstanceFromFile(instance_path_);
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    Plan plan(instance->num_users(), instance->num_events());
+    for (const uint64_t version : {1u, 2u}) {
+      auto path = WriteCheckpoint(ckpt_dir_, *instance, plan, version);
+      ASSERT_TRUE(path.ok()) << path.status().ToString();
+      if (version == 2) newest_path_ = *path;
+    }
+  }
+
+  std::string ckpt_dir_;
+  std::string newest_path_;
+};
+
+TEST_F(CliCkptTest, InspectSingleValidCheckpoint) {
+  EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect --ckpt " + newest_path_), 0);
+}
+
+TEST_F(CliCkptTest, InspectDirectoryListsNewestFirst) {
+  const std::string out_path = Tmp("ckpt_inspect.txt");
+  ASSERT_EQ(WEXITSTATUS(std::system((Cli() + " ckpt-inspect --dir " +
+                                     ckpt_dir_ + " > " + out_path + " 2>&1")
+                                        .c_str())),
+            0);
+  std::ifstream in(out_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Version 2 is reported before version 1.
+  const size_t v2 = text.find("version:          2");
+  const size_t v1 = text.find("version:          1");
+  EXPECT_NE(v2, std::string::npos) << text;
+  EXPECT_NE(v1, std::string::npos) << text;
+  EXPECT_LT(v2, v1);
+}
+
+TEST_F(CliCkptTest, TornCheckpointIsDefectiveAndExitIsNonzero) {
+  std::error_code ec;
+  std::filesystem::resize_file(newest_path_, 40, ec);
+  ASSERT_FALSE(ec);
+  // Single-file mode reports the defect...
+  EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect --ckpt " + newest_path_), 1);
+  // ...and directory mode flags the dir as unhealthy while still listing
+  // the intact sibling.
+  EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect --dir " + ckpt_dir_), 1);
+}
+
+TEST_F(CliCkptTest, UsageErrorsExit64) {
+  // Exactly one of --ckpt / --dir is required.
+  EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect --ckpt " + newest_path_ +
+                       " --dir " + ckpt_dir_),
+            64);
+  EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect --bogus x"), 64);
 }
 
 TEST_F(CliTest, ObservabilityFlagsValidatedStrictly) {

@@ -20,8 +20,12 @@ namespace {
 
 std::string Serve() { return GEPC_SERVE_PATH; }
 
+// Per-test-case temp path: ctest runs every discovered case as its own
+// process in parallel, so fixed file names under the shared TempDir would
+// collide across cases.
 std::string Tmp(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/" + info->name() + "_" + name;
 }
 
 void WriteLines(const std::string& path,
@@ -292,6 +296,106 @@ TEST_F(ServeTest, ObservabilityFlagsRequireValues) {
   EXPECT_EQ(WEXITSTATUS(std::system(
                 (Serve() + " --in " + instance_path_ +
                  " --trace < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+}
+
+TEST_F(ServeTest, CheckpointCommandPublishesAndShowsInStats) {
+  const std::string journal_path = Tmp("journal.gops");
+  const std::string ckpt_dir = Tmp("ckpt");
+  std::remove(journal_path.c_str());
+  const RunResult result = RunSession(
+      "--in " + instance_path_ + " --journal " + journal_path +
+          " --checkpoint-dir " + ckpt_dir,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"apply","op":"budget:1:60"})",
+       R"({"cmd":"checkpoint"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 6u);
+  const std::string& ckpt = result.lines[3];
+  EXPECT_NE(ckpt.find("\"ok\":true"), std::string::npos) << ckpt;
+  EXPECT_NE(ckpt.find("\"checkpoint\":true"), std::string::npos);
+  EXPECT_NE(ckpt.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(ckpt.find("\"compacted\":true"), std::string::npos);
+  const std::string& stats = result.lines[4];
+  EXPECT_NE(stats.find("\"checkpoints_published\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"last_checkpoint_version\":2"), std::string::npos);
+  EXPECT_NE(stats.find("\"checkpoint_failures\":0"), std::string::npos);
+}
+
+TEST_F(ServeTest, AutoCheckpointEveryNAndRecoverFromCheckpoint) {
+  const std::string journal_path = Tmp("journal.gops");
+  const std::string ckpt_dir = Tmp("ckpt");
+  std::remove(journal_path.c_str());
+  const std::string flags = "--in " + instance_path_ + " --journal " +
+                            journal_path + " --checkpoint-dir " + ckpt_dir +
+                            " --checkpoint-every 2";
+  const RunResult first = RunSession(
+      flags,
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"apply","op":"budget:1:60"})",
+       R"({"cmd":"apply","op":"budget:2:65"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(first.exit_code, 0);
+  ASSERT_EQ(first.lines.size(), 6u);
+  // The auto-trigger fired once, at op 2; op 3 sits in the open window.
+  EXPECT_NE(first.lines[4].find("\"checkpoints_published\":1"),
+            std::string::npos)
+      << first.lines[4];
+  EXPECT_NE(first.lines[4].find("\"journal_base\":2"), std::string::npos);
+
+  // Recovery loads the checkpoint and replays only the one-op tail.
+  const RunResult second = RunSession(
+      flags + " --recover",
+      {R"({"cmd":"apply","op":"budget:3:50"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(second.exit_code, 0);
+  ASSERT_GE(second.lines.size(), 2u);
+  EXPECT_NE(second.lines[0].find("\"recovered_ops\":3"), std::string::npos)
+      << second.lines[0];
+  EXPECT_NE(second.lines[0].find("\"recovered_from_checkpoint\":true"),
+            std::string::npos);
+  EXPECT_NE(second.lines[0].find("\"recovery_ops_replayed\":1"),
+            std::string::npos);
+  EXPECT_NE(second.lines[1].find("\"seq\":4"), std::string::npos);
+}
+
+TEST_F(ServeTest, CheckpointWithoutDirIsRequestError) {
+  // No --checkpoint-dir: the checkpoint command fails but the session
+  // lives on.
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"checkpoint"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 4u);
+  EXPECT_NE(result.lines[1].find("\"ok\":false"), std::string::npos)
+      << result.lines[1];
+  EXPECT_NE(result.lines[2].find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, CheckpointFlagValidation) {
+  // --checkpoint-every without --checkpoint-dir is a usage error.
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --checkpoint-every 5 < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --checkpoint-dir " + Tmp("ckpt") +
+                 " --checkpoint-every nope < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --checkpoint-dir " + Tmp("ckpt") +
+                 " --checkpoint-retain 0 < /dev/null > /dev/null 2>&1")
                     .c_str())),
             64);
 }

@@ -41,5 +41,37 @@ TEST(TortureSlowTest, FullByteLevelTortureRecoversEverywhere) {
   SetLogLevel(LogLevel::kInfo);
 }
 
+TEST(TortureSlowTest, ByteLevelCheckpointTortureRecoversEverywhere) {
+  // Every byte of the newest GCKP1 checkpoint AND of the compacted journal
+  // is a crash point; fallback warnings fire at each, so only errors show.
+  SetLogLevel(LogLevel::kError);
+  const std::string workdir = ::testing::TempDir() + "/torture_slow_ckpt";
+  std::error_code ec;
+  std::filesystem::create_directories(workdir, ec);
+  ASSERT_FALSE(ec) << ec.message();
+
+  TortureOptions options;
+  options.users = 40;
+  options.events = 10;
+  options.ops = 60;
+  options.seed = 17;
+  options.byte_level = true;
+  options.checkpoint_every = 10;
+  options.checkpoint_retain = 2;
+  options.workdir = workdir;
+
+  auto report = RunCrashRecoveryTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->passed) << report->failure;
+  EXPECT_GE(report->checkpoints_published, 5u);
+  // Byte-level: every checkpoint byte offset 0..size is a truncation point,
+  // so there are strictly more crash points than checkpoint bytes... at
+  // minimum, far more than the boundary-only variant's handful.
+  EXPECT_GT(report->checkpoint_truncation_points, 1000);
+  EXPECT_GT(report->rotated_truncation_points, 100);
+  EXPECT_GT(report->checkpoint_fallbacks, 0);
+  SetLogLevel(LogLevel::kInfo);
+}
+
 }  // namespace
 }  // namespace gepc

@@ -93,6 +93,31 @@ TEST_F(TortureTest, DifferentSeedsAllPass) {
   }
 }
 
+TEST_F(TortureTest, CheckpointVariantRecoversAtEveryBoundary) {
+  // Fallback warnings fire at every torn-checkpoint offset by design.
+  SetLogLevel(LogLevel::kError);
+  TortureOptions options;
+  options.users = 20;
+  options.events = 6;
+  options.ops = 30;
+  options.seed = 13;
+  options.byte_level = false;
+  options.checkpoint_every = 6;
+  options.checkpoint_retain = 2;
+  options.workdir = MakeWorkdir("torture_ckpt");
+
+  auto report = RunCrashRecoveryTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->passed) << report->failure;
+  // One checkpoint per full window of 6 committed ops.
+  EXPECT_GE(report->checkpoints_published, 4u);
+  // Both the newest checkpoint and the rotated journal were tortured.
+  EXPECT_GT(report->checkpoint_truncation_points, 0);
+  EXPECT_GT(report->rotated_truncation_points, 0);
+  // Torn-checkpoint offsets must have exercised the fallback path.
+  EXPECT_GT(report->checkpoint_fallbacks, 0);
+}
+
 TEST_F(TortureTest, MissingWorkdirIsError) {
   TortureOptions options;
   auto report = RunCrashRecoveryTorture(options);

@@ -12,6 +12,7 @@
 //   gepc_cli itinerary --in inst.gepc --plan plan.gpln [--user N]
 //   gepc_cli apply    --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]
 //                     [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]
+//   gepc_cli ckpt-inspect --ckpt file.gckp | --dir ckpt_dir
 //
 //   SPEC is one of:
 //     eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/feasibility.h"
 #include "core/itinerary.h"
 #include "core/plan_diff.h"
@@ -57,6 +59,7 @@ constexpr char kUsage[] =
     "  itinerary --in inst.gepc --plan plan.gpln [--user N]\n"
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
     "            [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]\n"
+    "  ckpt-inspect --ckpt file.gckp | --dir ckpt_dir\n"
     "\n"
     "  SPEC is one of:\n"
     "    eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END\n"
@@ -99,6 +102,7 @@ const std::map<std::string, CommandSpec>& Commands() {
       {"itinerary", {{"in", "plan", "user"}, {}, {}}},
       {"apply",
        {{"in", "plan", "op", "ops-file", "plan-out"}, {"reorder"}, {}}},
+      {"ckpt-inspect", {{"ckpt", "dir"}, {}, {}}},
   };
   return kCommands;
 }
@@ -419,6 +423,54 @@ int CmdApply(const Args& args) {
   return 0;
 }
 
+/// Prints one checkpoint's header, validity and state summary. A torn or
+/// corrupt file is reported (with the exact defect), not a crash — this is
+/// the operator's "can I still recover from this?" probe.
+int InspectOneCheckpoint(const std::string& path) {
+  std::printf("checkpoint:       %s\n", path.c_str());
+  auto loaded = LoadCheckpoint(path);
+  if (!loaded.ok()) {
+    std::printf("valid:            no\n");
+    std::printf("defect:           %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("valid:            yes\n");
+  std::printf("version:          %llu\n",
+              static_cast<unsigned long long>(loaded->version));
+  std::printf("users:            %d\n", loaded->instance.num_users());
+  std::printf("events:           %d\n", loaded->instance.num_events());
+  std::printf("assignments:      %lld\n",
+              static_cast<long long>(loaded->plan.TotalAssignments()));
+  std::printf("utility:          %.4f\n",
+              loaded->plan.TotalUtility(loaded->instance));
+  return 0;
+}
+
+int CmdCkptInspect(const Args& args) {
+  const std::string ckpt = GetOption(args, "ckpt");
+  const std::string dir = GetOption(args, "dir");
+  if (ckpt.empty() == dir.empty()) {
+    return UsageFail("ckpt-inspect needs exactly one of --ckpt or --dir");
+  }
+  if (!ckpt.empty()) return InspectOneCheckpoint(ckpt);
+
+  auto refs = ListCheckpoints(dir);
+  if (!refs.ok()) return Fail(refs.status().ToString());
+  if (refs->empty()) {
+    std::printf("no checkpoints in %s\n", dir.c_str());
+    return 0;
+  }
+  // Newest first, matching the order recovery tries them in.
+  int defects = 0;
+  for (size_t i = 0; i < refs->size(); ++i) {
+    if (i > 0) std::printf("\n");
+    if (InspectOneCheckpoint((*refs)[i].path) != 0) ++defects;
+  }
+  std::printf("\ncheckpoints:      %zu (%d defective)\n", refs->size(),
+              defects);
+  return defects == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   std::string error;
@@ -442,6 +494,7 @@ int Main(int argc, char** argv) {
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "apply") return CmdApply(args);
   if (args.command == "itinerary") return CmdItinerary(args);
+  if (args.command == "ckpt-inspect") return CmdCkptInspect(args);
   std::fprintf(stderr, "%s", kUsage);  // unreachable: ParseArgs validated
   return 64;
 }

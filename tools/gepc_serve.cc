@@ -4,6 +4,8 @@
 //              [--recover] [--algorithm greedy|gap|regret]
 //              [--threads N] [--shards K]
 //              [--queue N] [--snapshot-every N] [--faults SPEC]
+//              [--checkpoint-dir DIR] [--checkpoint-every N]
+//              [--checkpoint-retain N]
 //              [--metrics FILE] [--trace FILE]
 //
 // Loads the instance (solving it with the chosen algorithm unless --plan is
@@ -26,6 +28,9 @@
 //   <- {"ok":true,"saved":"now.gpln","version":12}
 //   -> {"cmd":"rebuild"}                        (or {"shards":4,"threads":2})
 //   <- {"ok":true,"rebuilt":true,"utility":91.0,"dif":3,...}
+//   -> {"cmd":"checkpoint"}
+//   <- {"ok":true,"checkpoint":true,"version":12,"path":"...","bytes":4096,
+//      "compacted":true}
 //   -> {"cmd":"faults"}
 //   <- {"ok":true,"enabled":false,"points":[{"point":"journal.append",...}]}
 //   -> {"cmd":"shutdown"}
@@ -67,6 +72,12 @@ struct Args {
   bool recover = false;
   size_t queue_capacity = 1024;
   int snapshot_every = 1;
+  /// Durable checkpointing (src/ckpt): directory for GCKP1 files, the
+  /// auto-trigger cadence (0 = on demand only), and how many generations
+  /// survive each publication.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  int checkpoint_retain = 2;
   /// Sharded-engine defaults: used for the startup solve (when no --plan is
   /// given) and as the defaults of the `rebuild` command.
   int threads = 1;
@@ -82,6 +93,8 @@ int Usage() {
       "                  [--threads N] [--shards K]\n"
       "                  [--queue N] [--snapshot-every N]\n"
       "                  [--faults SPEC]\n"
+      "                  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "                  [--checkpoint-retain N]\n"
       "                  [--metrics FILE] [--trace FILE]\n"
       "Speaks a JSONL request/response protocol on stdin/stdout; see\n"
       "docs/cli.md for the command set.\n");
@@ -140,6 +153,20 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       }
     } else if (arg == "--faults") {
       if (!value(&args->faults)) return false;
+    } else if (arg == "--checkpoint-dir") {
+      if (!value(&args->checkpoint_dir)) return false;
+    } else if (arg == "--checkpoint-every") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->checkpoint_every)) {
+        *error = "--checkpoint-every must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--checkpoint-retain") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->checkpoint_retain)) {
+        *error = "--checkpoint-retain must be a positive integer";
+        return false;
+      }
     } else if (arg == "--metrics") {
       if (!value(&args->metrics_file)) return false;
     } else if (arg == "--trace") {
@@ -162,6 +189,10 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
   if (args->algorithm != "greedy" && args->algorithm != "gap" &&
       args->algorithm != "regret") {
     *error = "--algorithm must be 'greedy', 'gap' or 'regret'";
+    return false;
+  }
+  if (args->checkpoint_every > 0 && args->checkpoint_dir.empty()) {
+    *error = "--checkpoint-every needs --checkpoint-dir";
     return false;
   }
   return true;
@@ -362,7 +393,17 @@ void HandleStats(const PlanningService& service) {
   writer.Add("queue_wait_ms_max", stats.queue_wait_ms.max);
   writer.Add("journal_retries", stats.journal_retries);
   writer.Add("journal_bytes", stats.journal_bytes);
+  writer.Add("journal_base", stats.journal_base_sequence);
+  writer.Add("journal_compactions", stats.journal_compactions);
   writer.Add("snapshots_published", stats.snapshots_published);
+  writer.Add("checkpoints_published", stats.checkpoints_published);
+  writer.Add("checkpoint_failures", stats.checkpoint_failures);
+  writer.Add("last_checkpoint_version", stats.last_checkpoint_version);
+  writer.Add("last_checkpoint_bytes", stats.last_checkpoint_bytes);
+  writer.Add("last_checkpoint_age_s", stats.last_checkpoint_age_seconds);
+  writer.Add("recovered_from_checkpoint", stats.recovered_from_checkpoint);
+  writer.Add("recovery_ops_replayed", stats.recovery_ops_replayed);
+  writer.Add("recovery_ms", stats.recovery_ms);
   writer.Add("version", stats.snapshot_version);
   writer.Add("utility", stats.total_utility);
   writer.Add("assignments", stats.total_assignments);
@@ -409,6 +450,22 @@ void HandleFaults() {
   writer.Add("ok", true);
   writer.Add("enabled", fault::Enabled());
   writer.AddRaw("points", points);
+  Respond(writer);
+}
+
+void HandleCheckpoint(PlanningService* service) {
+  const CheckpointOutcome outcome = service->Checkpoint();
+  if (!outcome.published) {
+    RespondError(outcome.error);
+    return;
+  }
+  JsonWriter writer;
+  writer.Add("ok", true);
+  writer.Add("checkpoint", true);
+  writer.Add("version", outcome.version);
+  writer.Add("path", outcome.path);
+  writer.Add("bytes", outcome.bytes);
+  writer.Add("compacted", outcome.compacted);
   Respond(writer);
 }
 
@@ -537,6 +594,9 @@ int Main(int argc, char** argv) {
   options.journal_path = args.journal;
   options.queue_capacity = args.queue_capacity;
   options.snapshot_every = args.snapshot_every;
+  options.checkpoint_dir = args.checkpoint_dir;
+  options.checkpoint_every = args.checkpoint_every;
+  options.checkpoint_retain = args.checkpoint_retain;
 
   auto service =
       args.recover
@@ -556,6 +616,11 @@ int Main(int argc, char** argv) {
     ready.Add("utility", snap->total_utility);
     ready.Add("assignments", snap->total_assignments);
     ready.Add("recovered_ops", snap->version);
+    if (args.recover) {
+      const ServiceStats stats = (*service)->Stats();
+      ready.Add("recovered_from_checkpoint", stats.recovered_from_checkpoint);
+      ready.Add("recovery_ops_replayed", stats.recovery_ops_replayed);
+    }
     Respond(ready);
   }
 
@@ -583,6 +648,8 @@ int Main(int argc, char** argv) {
       HandleStats(**service);
     } else if (cmd == "metrics") {
       HandleMetrics(**service);
+    } else if (cmd == "checkpoint") {
+      HandleCheckpoint(service->get());
     } else if (cmd == "save_plan") {
       HandleSavePlan(service->get(), *request);
     } else if (cmd == "rebuild") {

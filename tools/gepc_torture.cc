@@ -1,15 +1,20 @@
 // gepc_torture — crash-recovery torture harness for the planning service.
 //
 //   gepc_torture [--users N] [--events M] [--ops K] [--seed S]
-//                [--byte-level] [--no-service-recover] [--workdir DIR]
+//                [--byte-level] [--no-service-recover]
+//                [--checkpoint-every N] [--workdir DIR]
 //
 // Generates a seeded city and op stream, records a reference run through
 // the GOPS1 journal, then simulates a crash at every chosen journal offset
 // (every byte with --byte-level, otherwise every record boundary +/- 1),
 // recovers via ReplayJournal / PlanningService::Recover, and verifies the
 // recovered (instance, plan, snapshot version) is byte-identical to the
-// reference. Exit 0 when every recovery matches, 1 on divergence, 64 on
-// usage errors. See docs/fault-injection.md.
+// reference. With --checkpoint-every N the checkpoint variant also runs:
+// GCKP1 checkpoints are published every N ops, the newest checkpoint and
+// the compacted journal are each truncated at every chosen offset, and
+// recovery must still reconstruct the reference state with zero loss of
+// committed operations. Exit 0 when every recovery matches, 1 on
+// divergence, 64 on usage errors. See docs/fault-injection.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,9 +31,11 @@ int Usage() {
       stderr,
       "usage: gepc_torture [--users N] [--events M] [--ops K] [--seed S]\n"
       "                    [--byte-level] [--no-service-recover]\n"
-      "                    [--workdir DIR]\n"
+      "                    [--checkpoint-every N] [--workdir DIR]\n"
       "Simulates a crash at every journal truncation point and verifies\n"
-      "recovery reproduces the reference state byte-for-byte.\n");
+      "recovery reproduces the reference state byte-for-byte. With\n"
+      "--checkpoint-every N, also tortures the GCKP1 checkpoint file and\n"
+      "the compacted journal at every offset.\n");
   return 64;
 }
 
@@ -74,6 +81,12 @@ int main(int argc, char** argv) {
       if (value == nullptr || !ParsePositiveInt(value, &options.ops)) {
         return Usage();
       }
+    } else if (arg == "--checkpoint-every") {
+      const char* value = next();
+      if (value == nullptr ||
+          !ParsePositiveInt(value, &options.checkpoint_every)) {
+        return Usage();
+      }
     } else if (arg == "--seed") {
       const char* value = next();
       if (value == nullptr) return Usage();
@@ -104,6 +117,11 @@ int main(int argc, char** argv) {
   }
   options.workdir = workdir;
 
+  // The checkpoint variant deliberately provokes a "checkpoint unusable"
+  // warning at every truncation offset; only real errors are worth seeing.
+  if (options.checkpoint_every > 0) {
+    gepc::SetLogLevel(gepc::LogLevel::kError);
+  }
   auto report = gepc::RunCrashRecoveryTorture(options);
   if (!report.ok()) {
     std::fprintf(stderr, "torture harness error: %s\n",
@@ -117,6 +135,15 @@ int main(int argc, char** argv) {
   std::printf("truncation points  %d\n", report->truncation_points);
   std::printf("torn recoveries    %d\n", report->torn_recoveries);
   std::printf("service recoveries %d\n", report->service_recoveries);
+  if (options.checkpoint_every > 0) {
+    std::printf("checkpoints        %llu\n",
+                static_cast<unsigned long long>(report->checkpoints_published));
+    std::printf("ckpt truncations   %d\n",
+                report->checkpoint_truncation_points);
+    std::printf("rotated truncations %d\n",
+                report->rotated_truncation_points);
+    std::printf("ckpt fallbacks     %d\n", report->checkpoint_fallbacks);
+  }
   if (!report->passed) {
     std::printf("FAILED: %s\n", report->failure.c_str());
     return 1;
