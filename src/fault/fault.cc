@@ -26,6 +26,9 @@ const char* const kKnownPoints[] = {
     "queue.push",         // backpressure: TryPush reports a full queue
     "shard.solve",        // a shard solve errors (greedy fallback kicks in)
     "shard.slow",         // a shard solve stalls (arm with ok:delay=MS)
+    "net.accept",         // a freshly accepted connection is dropped
+    "net.read",           // a connection's read path fails (peer reset)
+    "net.write",          // a connection's write path fails (peer gone)
     nullptr,
 };
 

@@ -1,0 +1,130 @@
+#include "net/compress.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gepc {
+namespace net {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 131;      // (0x7f) + kMinMatch
+constexpr size_t kMaxLiteralRun = 128;  // 0x7f + 1
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 15;
+
+/// Multiplicative hash of the next 4 bytes — the match-candidate index.
+inline uint32_t Hash4(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void FlushLiterals(std::string_view input, size_t start, size_t end,
+                          std::string* out) {
+  while (start < end) {
+    const size_t run = std::min(kMaxLiteralRun, end - start);
+    out->push_back(static_cast<char>(run - 1));
+    out->append(input.data() + start, run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+std::string GlzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  const size_t n = input.size();
+
+  // Last position each 4-byte hash was seen at (+1 so 0 means "never").
+  std::vector<uint32_t> table(size_t{1} << kHashBits, 0);
+
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos + kMinMatch <= n) {
+    const uint32_t h = Hash4(data + pos);
+    const uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos + 1);
+    if (candidate != 0) {
+      const size_t match_pos = candidate - 1;
+      const size_t distance = pos - match_pos;
+      if (distance >= 1 && distance <= kMaxDistance) {
+        size_t len = 0;
+        const size_t limit = std::min(kMaxMatch, n - pos);
+        while (len < limit && data[match_pos + len] == data[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          FlushLiterals(input, literal_start, pos, &out);
+          out.push_back(static_cast<char>(0x80 | (len - kMinMatch)));
+          out.push_back(static_cast<char>(distance & 0xff));
+          out.push_back(static_cast<char>((distance >> 8) & 0xff));
+          // Seed the table inside the match so later repeats are found.
+          const size_t stop = std::min(pos + len, n - kMinMatch);
+          for (size_t k = pos + 1; k < stop; ++k) {
+            table[Hash4(data + k)] = static_cast<uint32_t>(k + 1);
+          }
+          pos += len;
+          literal_start = pos;
+          continue;
+        }
+      }
+    }
+    ++pos;
+  }
+  FlushLiterals(input, literal_start, n, &out);
+  return out;
+}
+
+Result<std::string> GlzDecompress(std::string_view compressed,
+                                  size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  size_t pos = 0;
+  const size_t n = compressed.size();
+  while (pos < n) {
+    const auto control = static_cast<unsigned char>(compressed[pos++]);
+    if (control < 0x80) {
+      const size_t run = static_cast<size_t>(control) + 1;
+      if (pos + run > n) {
+        return Status::InvalidArgument("GLZ1: truncated literal run");
+      }
+      if (out.size() + run > raw_size) {
+        return Status::InvalidArgument("GLZ1: output exceeds declared size");
+      }
+      out.append(compressed.data() + pos, run);
+      pos += run;
+    } else {
+      if (pos + 2 > n) {
+        return Status::InvalidArgument("GLZ1: truncated match token");
+      }
+      const size_t len = static_cast<size_t>(control & 0x7f) + kMinMatch;
+      const size_t distance =
+          static_cast<unsigned char>(compressed[pos]) |
+          (static_cast<size_t>(static_cast<unsigned char>(compressed[pos + 1]))
+           << 8);
+      pos += 2;
+      if (distance == 0 || distance > out.size()) {
+        return Status::InvalidArgument("GLZ1: match distance past start");
+      }
+      if (out.size() + len > raw_size) {
+        return Status::InvalidArgument("GLZ1: output exceeds declared size");
+      }
+      // Byte-by-byte so overlapping matches (distance < len) replicate.
+      size_t from = out.size() - distance;
+      for (size_t k = 0; k < len; ++k) out.push_back(out[from + k]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::InvalidArgument(
+        "GLZ1: stream produced " + std::to_string(out.size()) +
+        " bytes, expected " + std::to_string(raw_size));
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace gepc

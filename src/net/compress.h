@@ -1,0 +1,46 @@
+#ifndef GEPC_NET_COMPRESS_H_
+#define GEPC_NET_COMPRESS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gepc {
+namespace net {
+
+/// GLZ1 — the dependency-free byte-oriented LZ codec used for optional
+/// frame-payload compression (docs/network-protocol.md). Format is a token
+/// stream:
+///
+///   control byte c < 0x80 : literal run of c+1 bytes follows (1..128)
+///   control byte c >= 0x80: match of length (c & 0x7f) + 4 (4..131) at
+///                           distance d (u16 little-endian, 1..65535)
+///                           counted back from the current output position
+///
+/// Matches may overlap themselves (d < len copies byte-by-byte), which is
+/// what makes runs compress. The codec is deterministic: the same input
+/// always yields the same output, so golden tests and cross-version replay
+/// stay stable. It is a transport codec, not an archival one — JSON frames
+/// shrink 3-6x, which is all the wire needs.
+///
+/// Compresses `input`. The output is self-delimiting only together with the
+/// raw size, which the frame layer carries next to the compressed bytes.
+std::string GlzCompress(std::string_view input);
+
+/// Decompresses exactly `raw_size` bytes. kInvalidArgument on any
+/// malformed stream: truncated token, distance past the start, or a stream
+/// that produces more or fewer than `raw_size` bytes. Never reads or
+/// writes out of bounds on hostile input.
+Result<std::string> GlzDecompress(std::string_view compressed,
+                                  size_t raw_size);
+
+/// Payloads below this size skip compression — the token overhead and the
+/// extra copy are not worth it.
+inline constexpr size_t kCompressMinBytes = 128;
+
+}  // namespace net
+}  // namespace gepc
+
+#endif  // GEPC_NET_COMPRESS_H_

@@ -1,0 +1,84 @@
+#ifndef GEPC_SERVICE_DISPATCH_H_
+#define GEPC_SERVICE_DISPATCH_H_
+
+#include <string>
+
+#include "gepc/solver.h"
+#include "service/planning_service.h"
+
+namespace gepc {
+
+/// Whether a protocol command mutates service state (rides the writer
+/// queue) or is served entirely from immutable snapshots. Front ends use
+/// this to route work: the socket server runs reads on a dedicated worker
+/// pool so a saturated op queue never delays snapshot queries.
+enum class CommandKind {
+  kRead,     ///< query_user, query_event, stats, metrics, faults
+  kWrite,    ///< apply, rebuild, checkpoint, save_plan, drain, shutdown
+  kUnknown,  ///< not a protocol command; Dispatch will answer with an error
+};
+
+CommandKind ClassifyCommand(const std::string& cmd);
+
+/// Cheap routing hint: scans one JSONL request line for its "cmd" string
+/// value without a full JSON parse (the worker that executes the request
+/// re-parses and validates properly). Returns "" when no cmd is found —
+/// callers should then route to the write pool, whose Dispatch will emit
+/// the real parse error.
+std::string ExtractCmdHint(const std::string& line);
+
+/// What executing one request produced.
+struct DispatchOutcome {
+  /// One flat JSON object (no trailing newline). For shutdown it is the
+  /// acknowledgement — the socket server sends it to the requesting client
+  /// before stopping, while the stdio loop discards it in favour of its
+  /// post-drain bye line (which reports the final version).
+  std::string response;
+  /// True when the request asked the hosting front end to stop serving.
+  bool shutdown = false;
+};
+
+/// Defaults a front end passes through to the `rebuild` command (its
+/// per-request JSON fields override them).
+struct DispatchDefaults {
+  int threads = 1;
+  int shards = 1;
+  GepcAlgorithm algorithm = GepcAlgorithm::kGreedy;
+};
+
+/// Maps a (pre-validated) algorithm name to the enum; unknown names fall
+/// back to greedy.
+GepcAlgorithm AlgorithmFromName(const std::string& name);
+
+/// Full Prometheus text exposition: the process-global registry (solver
+/// phases, journal, net) followed by this service's gepc_service_* block —
+/// the payload of the `metrics` command and of gepc_serve's --metrics file.
+std::string RenderAllMetricsText(const PlanningService& service);
+
+/// The JSONL command-dispatch layer shared by every gepc_serve front end
+/// (stdio and socket speak byte-identical requests and responses; see
+/// docs/cli.md for the command set). Thread-safe: Dispatch may be called
+/// concurrently from any number of threads — PlanningService serializes
+/// writes through its queue and serves reads from immutable snapshots.
+///
+/// Every response echoes the request's optional "id" field (string or
+/// number) as its first member, so clients may pipeline requests over one
+/// connection and correlate out-of-order responses.
+class CommandDispatcher {
+ public:
+  CommandDispatcher(PlanningService* service, DispatchDefaults defaults)
+      : service_(service), defaults_(defaults) {}
+
+  /// Parses and executes one request line. Protocol errors (bad JSON,
+  /// unknown cmd, missing fields) become {"ok":false,"error":...}
+  /// responses — they never throw and never kill the session.
+  DispatchOutcome Dispatch(const std::string& line) const;
+
+ private:
+  PlanningService* service_;
+  const DispatchDefaults defaults_;
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_SERVICE_DISPATCH_H_

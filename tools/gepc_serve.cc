@@ -7,57 +7,64 @@
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-retain N]
 //              [--metrics FILE] [--trace FILE]
+//              [--listen [HOST:]PORT] [--max-conns N]
+//              [--net-read-workers N] [--net-op-workers N]
+//              [--net-queue N] [--net-compress]
 //
 // Loads the instance (solving it with the chosen algorithm unless --plan is
-// given), wraps it in a PlanningService, and speaks a line-oriented JSONL
-// protocol on stdin/stdout — one flat JSON object per line each way:
+// given), wraps it in a PlanningService, and serves the JSONL command set
+// (src/service/dispatch.h) through one of two front ends sharing that
+// single dispatch layer:
 //
-//   -> {"cmd":"apply","op":"eta:3:10"}
-//   <- {"ok":true,"seq":1,"applied":true,"dif":2,"utility":88.25,...}
-//   -> {"cmd":"apply","op":"budget:4:0.5","wait":false}
-//   <- {"ok":true,"queued":true}
-//   -> {"cmd":"query_user","user":7}
-//   <- {"ok":true,"user":7,"utility":1.62,...,"stops":[{"event":3,...}]}
-//   -> {"cmd":"query_event","event":3}
-//   <- {"ok":true,"event":3,"attendance":5,"xi":2,"eta":10,"attendees":[...]}
-//   -> {"cmd":"stats"}
-//   <- {"ok":true,"ops_applied":12,...,"apply_ms_p99":0.4,...}
-//   -> {"cmd":"metrics"}
-//   <- {"ok":true,"format":"prometheus","metrics":"# HELP ...\n..."}
-//   -> {"cmd":"save_plan","path":"now.gpln"}
-//   <- {"ok":true,"saved":"now.gpln","version":12}
-//   -> {"cmd":"rebuild"}                        (or {"shards":4,"threads":2})
-//   <- {"ok":true,"rebuilt":true,"utility":91.0,"dif":3,...}
-//   -> {"cmd":"checkpoint"}
-//   <- {"ok":true,"checkpoint":true,"version":12,"path":"...","bytes":4096,
-//      "compacted":true}
-//   -> {"cmd":"faults"}
-//   <- {"ok":true,"enabled":false,"points":[{"point":"journal.append",...}]}
-//   -> {"cmd":"shutdown"}
-//   <- {"ok":true,"shutdown":true}
+//   * default: line-oriented JSONL on stdin/stdout — one flat JSON object
+//     per line each way:
 //
-// Errors never kill the session: {"ok":false,"error":"..."} and the loop
-// continues. EOF on stdin is treated as shutdown. See docs/cli.md for the
-// full protocol and docs/file-formats.md for the journal format.
+//       -> {"cmd":"apply","op":"eta:3:10"}
+//       <- {"ok":true,"seq":1,"applied":true,"dif":2,"utility":88.25,...}
+//       -> {"cmd":"query_user","user":7}
+//       <- {"ok":true,"user":7,"utility":1.62,...,"stops":[...]}
+//       -> {"cmd":"stats"} / {"cmd":"metrics"} / {"cmd":"faults"}
+//       -> {"cmd":"save_plan","path":"now.gpln"} / {"cmd":"rebuild"}
+//       -> {"cmd":"checkpoint"} / {"cmd":"drain"} / {"cmd":"shutdown"}
+//
+//     Errors never kill the session: {"ok":false,"error":"..."} and the
+//     loop continues. EOF on stdin is treated as shutdown.
+//
+//   * --listen: an epoll socket server (src/net/) speaking the same JSONL
+//     commands inside length-prefixed binary frames to thousands of
+//     concurrent clients, with admission control — a saturated op queue
+//     answers with a Status frame instead of blocking the accept loop.
+//     Port 0 binds an ephemeral port; the ready line reports the real one.
+//     The server runs until a client sends {"cmd":"shutdown"} or the
+//     process receives SIGINT/SIGTERM. See docs/network-protocol.md.
+//
+// See docs/cli.md for the full protocol and docs/file-formats.md for the
+// journal format.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "data/io.h"
 #include "fault/fault.h"
 #include "gepc/solver.h"
-#include "iep/op_spec.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/dispatch.h"
 #include "service/jsonl.h"
 #include "service/planning_service.h"
 #include "shard/sharded_solver.h"
 
 namespace gepc {
 namespace serve {
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int) { g_signal = 1; }
 
 struct Args {
   std::string in;
@@ -82,6 +89,15 @@ struct Args {
   /// given) and as the defaults of the `rebuild` command.
   int threads = 1;
   int shards = 1;
+  /// Socket front end (src/net): empty keeps the stdio JSONL mode.
+  bool listen = false;
+  std::string listen_host = "127.0.0.1";
+  int listen_port = 0;
+  int max_connections = 4096;
+  int net_read_workers = 2;
+  int net_op_workers = 2;
+  int net_queue = 256;
+  bool net_compress = false;
 };
 
 int Usage() {
@@ -96,8 +112,12 @@ int Usage() {
       "                  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "                  [--checkpoint-retain N]\n"
       "                  [--metrics FILE] [--trace FILE]\n"
-      "Speaks a JSONL request/response protocol on stdin/stdout; see\n"
-      "docs/cli.md for the command set.\n");
+      "                  [--listen [HOST:]PORT] [--max-conns N]\n"
+      "                  [--net-read-workers N] [--net-op-workers N]\n"
+      "                  [--net-queue N] [--net-compress]\n"
+      "Speaks a JSONL request/response protocol on stdin/stdout, or (with\n"
+      "--listen) the same commands over length-prefixed binary frames on a\n"
+      "TCP socket; see docs/cli.md and docs/network-protocol.md.\n");
   return 64;
 }
 
@@ -114,6 +134,24 @@ bool ParsePositiveInt(const std::string& text, int* out) {
   if (end == nullptr || *end != '\0') return false;
   if (value < 1 || value > 1'000'000) return false;
   *out = static_cast<int>(value);
+  return true;
+}
+
+/// Parses the --listen spec: "PORT" or "HOST:PORT"; port 0 = ephemeral.
+bool ParseListenSpec(const std::string& spec, std::string* host, int* port) {
+  std::string port_text = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    *host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+    if (host->empty()) return false;
+  }
+  if (port_text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (value < 0 || value > 65535) return false;
+  *port = static_cast<int>(value);
   return true;
 }
 
@@ -177,6 +215,39 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
     } else if (arg == "--snapshot-every") {
       if (!value(&text)) return false;
       args->snapshot_every = std::atoi(text.c_str());
+    } else if (arg == "--listen") {
+      if (!value(&text)) return false;
+      if (!ParseListenSpec(text, &args->listen_host, &args->listen_port)) {
+        *error = "--listen must be PORT or HOST:PORT (port 0 = ephemeral)";
+        return false;
+      }
+      args->listen = true;
+    } else if (arg == "--max-conns") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->max_connections)) {
+        *error = "--max-conns must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--net-read-workers") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->net_read_workers)) {
+        *error = "--net-read-workers must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--net-op-workers") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->net_op_workers)) {
+        *error = "--net-op-workers must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--net-queue") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->net_queue)) {
+        *error = "--net-queue must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--net-compress") {
+      args->net_compress = true;
     } else {
       *error = "unknown flag '" + arg + "'";
       return false;
@@ -198,352 +269,44 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
   return true;
 }
 
-/// Maps a (pre-validated) algorithm name to the enum.
-GepcAlgorithm AlgorithmFromName(const std::string& name) {
-  if (name == "gap") return GepcAlgorithm::kGapBased;
-  if (name == "regret") return GepcAlgorithm::kRegret;
-  return GepcAlgorithm::kGreedy;
-}
-
 void Respond(const JsonWriter& writer) {
   std::fputs(writer.Finish().c_str(), stdout);
   std::fputc('\n', stdout);
   std::fflush(stdout);
 }
 
-void RespondError(const std::string& message) {
-  JsonWriter writer;
-  writer.Add("ok", false);
-  writer.Add("error", message);
-  Respond(writer);
+/// The stdio front end: one JSONL request per stdin line, one response per
+/// stdout line, until EOF or a shutdown command.
+void RunStdioLoop(const CommandDispatcher& dispatcher) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const DispatchOutcome outcome = dispatcher.Dispatch(line);
+    if (outcome.shutdown) break;  // the post-drain bye line acknowledges
+    std::fputs(outcome.response.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
 }
 
-/// Fetches a required non-negative integer field.
-bool GetIntField(const JsonObject& request, const std::string& key, int* out,
-                 std::string* error) {
-  auto it = request.find(key);
-  if (it == request.end() || it->second.type != JsonValue::Type::kNumber) {
-    *error = "'" + key + "' (number) is required";
-    return false;
-  }
-  *out = static_cast<int>(it->second.number_value);
-  return true;
-}
-
-bool GetStringField(const JsonObject& request, const std::string& key,
-                    std::string* out, std::string* error) {
-  auto it = request.find(key);
-  if (it == request.end() || it->second.type != JsonValue::Type::kString) {
-    *error = "'" + key + "' (string) is required";
-    return false;
-  }
-  *out = it->second.string_value;
-  return true;
-}
-
-void HandleApply(PlanningService* service, const JsonObject& request) {
-  std::string spec;
-  std::string error;
-  if (!GetStringField(request, "op", &spec, &error)) {
-    RespondError(error);
-    return;
-  }
-  auto op = ParseOpSpec(spec);
-  if (!op.ok()) {
-    RespondError(op.status().ToString());
-    return;
-  }
-  auto wait_it = request.find("wait");
-  const bool wait = wait_it == request.end() ||
-                    wait_it->second.type != JsonValue::Type::kBool ||
-                    wait_it->second.bool_value;
-  if (!wait) {
-    auto submitted = service->TrySubmit(*std::move(op));
-    JsonWriter writer;
-    if (submitted.ok()) {
-      writer.Add("ok", true);
-      writer.Add("queued", true);
-    } else {
-      writer.Add("ok", false);
-      writer.Add("error", submitted.status().ToString());
+/// The socket front end: runs the net server until a client's shutdown
+/// command or SIGINT/SIGTERM.
+int RunNetServer(const Args& args, PlanningService* service,
+                 const CommandDispatcher& dispatcher, net::NetServer* server) {
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!server->stopped()) {
+    if (g_signal != 0) {
+      server->Stop();
+      break;
     }
-    Respond(writer);
-    return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  const ApplyOutcome outcome = service->Apply(*std::move(op));
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("seq", outcome.sequence);
-  writer.Add("applied", outcome.applied);
-  if (outcome.applied) {
-    writer.Add("dif", outcome.negative_impact);
-    writer.Add("utility", outcome.total_utility);
-    writer.Add("below_xi", outcome.events_below_lower_bound);
-    if (outcome.added_by_topup > 0) {
-      writer.Add("added_by_topup", outcome.added_by_topup);
-    }
-  } else {
-    writer.Add("error", outcome.error);
-  }
-  Respond(writer);
-}
-
-void HandleQueryUser(const PlanningService& service,
-                     const JsonObject& request) {
-  int user = -1;
-  std::string error;
-  if (!GetIntField(request, "user", &user, &error)) {
-    RespondError(error);
-    return;
-  }
-  auto itinerary = service.QueryUser(user);
-  if (!itinerary.ok()) {
-    RespondError(itinerary.status().ToString());
-    return;
-  }
-  std::string stops = "[";
-  for (size_t k = 0; k < itinerary->stops.size(); ++k) {
-    const ItineraryStop& stop = itinerary->stops[k];
-    JsonWriter item;
-    item.Add("event", stop.event);
-    item.Add("start", stop.time.start);
-    item.Add("end", stop.time.end);
-    item.Add("travel", stop.travel_from_previous);
-    item.Add("fee", stop.fee);
-    item.Add("utility", stop.utility);
-    if (k > 0) stops += ",";
-    stops += item.Finish();
-  }
-  stops += "]";
-
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("user", itinerary->user);
-  writer.Add("budget", itinerary->budget);
-  writer.Add("utility", itinerary->total_utility);
-  writer.Add("travel", itinerary->total_travel);
-  writer.Add("fees", itinerary->total_fees);
-  writer.Add("cost", itinerary->total_cost);
-  writer.Add("within_budget", itinerary->within_budget);
-  writer.Add("conflict_free", itinerary->conflict_free);
-  writer.AddRaw("stops", stops);
-  Respond(writer);
-}
-
-void HandleQueryEvent(const PlanningService& service,
-                      const JsonObject& request) {
-  int event = -1;
-  std::string error;
-  if (!GetIntField(request, "event", &event, &error)) {
-    RespondError(error);
-    return;
-  }
-  const auto snap = service.snapshot();
-  if (event < 0 || event >= snap->instance->num_events()) {
-    RespondError("event " + std::to_string(event) + " outside [0, " +
-                 std::to_string(snap->instance->num_events()) + ")");
-    return;
-  }
-  const Event& meta = snap->instance->event(event);
-  std::string attendees = "[";
-  bool first = true;
-  for (const UserId user : snap->plan->attendees_of(event)) {
-    if (!first) attendees += ",";
-    attendees += std::to_string(user);
-    first = false;
-  }
-  attendees += "]";
-
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("event", event);
-  writer.Add("attendance", snap->plan->attendance(event));
-  writer.Add("xi", meta.lower_bound);
-  writer.Add("eta", meta.upper_bound);
-  writer.Add("start", meta.time.start);
-  writer.Add("end", meta.time.end);
-  writer.Add("fee", meta.fee);
-  writer.AddRaw("attendees", attendees);
-  Respond(writer);
-}
-
-void HandleStats(const PlanningService& service) {
-  const ServiceStats stats = service.Stats();
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("ops_submitted", stats.ops_submitted);
-  writer.Add("ops_applied", stats.ops_applied);
-  writer.Add("ops_rejected", stats.ops_rejected);
-  writer.Add("ops_dropped", stats.ops_dropped);
-  writer.Add("negative_impact_total", stats.negative_impact_total);
-  writer.Add("queue_depth", stats.queue_depth);
-  writer.Add("queue_high_water", stats.queue_high_water);
-  writer.Add("queue_capacity", stats.queue_capacity);
-  writer.Add("apply_ms_mean", stats.apply_ms_mean);
-  writer.Add("apply_ms_p50", stats.apply_ms_p50);
-  writer.Add("apply_ms_p90", stats.apply_ms_p90);
-  writer.Add("apply_ms_p99", stats.apply_ms_p99);
-  writer.Add("apply_ms_max", stats.apply_ms_max);
-  writer.Add("apply_ms_count", stats.apply_ms.count);
-  writer.Add("apply_ms_exact", stats.apply_ms.exact);
-  writer.Add("queue_wait_ms_mean", stats.queue_wait_ms.Mean());
-  writer.Add("queue_wait_ms_p50", stats.queue_wait_ms.Quantile(0.50));
-  writer.Add("queue_wait_ms_p90", stats.queue_wait_ms.Quantile(0.90));
-  writer.Add("queue_wait_ms_p99", stats.queue_wait_ms.Quantile(0.99));
-  writer.Add("queue_wait_ms_max", stats.queue_wait_ms.max);
-  writer.Add("journal_retries", stats.journal_retries);
-  writer.Add("journal_bytes", stats.journal_bytes);
-  writer.Add("journal_base", stats.journal_base_sequence);
-  writer.Add("journal_compactions", stats.journal_compactions);
-  writer.Add("snapshots_published", stats.snapshots_published);
-  writer.Add("checkpoints_published", stats.checkpoints_published);
-  writer.Add("checkpoint_failures", stats.checkpoint_failures);
-  writer.Add("last_checkpoint_version", stats.last_checkpoint_version);
-  writer.Add("last_checkpoint_bytes", stats.last_checkpoint_bytes);
-  writer.Add("last_checkpoint_age_s", stats.last_checkpoint_age_seconds);
-  writer.Add("recovered_from_checkpoint", stats.recovered_from_checkpoint);
-  writer.Add("recovery_ops_replayed", stats.recovery_ops_replayed);
-  writer.Add("recovery_ms", stats.recovery_ms);
-  writer.Add("version", stats.snapshot_version);
-  writer.Add("utility", stats.total_utility);
-  writer.Add("assignments", stats.total_assignments);
-  writer.Add("below_xi", stats.events_below_lower_bound);
-  writer.Add("heap_bytes", stats.heap_bytes);
-  writer.Add("peak_heap_bytes", stats.peak_heap_bytes);
-  writer.Add("rss_bytes", stats.rss_bytes);
-  Respond(writer);
-}
-
-/// Full Prometheus text exposition: the process-global registry (solver
-/// phases, journal, flow) followed by this service's gepc_service_* block.
-std::string RenderAllMetricsText(const PlanningService& service) {
-  return obs::Registry::Global().RenderPrometheusText() +
-         RenderServiceStatsText(service.Stats());
-}
-
-void HandleMetrics(const PlanningService& service) {
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("format", "prometheus");
-  writer.Add("metrics", RenderAllMetricsText(service));
-  Respond(writer);
-}
-
-void HandleFaults() {
-  // Live fault-point counters (docs/fault-injection.md): which points are
-  // armed and how often each has been hit / has fired.
-  std::string points = "[";
-  bool first = true;
-  for (const fault::PointStatus& status : fault::Registry::Global()
-                                              .Snapshot()) {
-    if (!first) points += ",";
-    first = false;
-    JsonWriter point;
-    point.Add("point", status.point);
-    point.Add("armed", status.armed);
-    point.Add("hits", status.hits);
-    point.Add("fired", status.fired);
-    points += point.Finish();
-  }
-  points += "]";
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("enabled", fault::Enabled());
-  writer.AddRaw("points", points);
-  Respond(writer);
-}
-
-void HandleCheckpoint(PlanningService* service) {
-  const CheckpointOutcome outcome = service->Checkpoint();
-  if (!outcome.published) {
-    RespondError(outcome.error);
-    return;
-  }
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("checkpoint", true);
-  writer.Add("version", outcome.version);
-  writer.Add("path", outcome.path);
-  writer.Add("bytes", outcome.bytes);
-  writer.Add("compacted", outcome.compacted);
-  Respond(writer);
-}
-
-void HandleSavePlan(PlanningService* service, const JsonObject& request) {
-  std::string path;
-  std::string error;
-  if (!GetStringField(request, "path", &path, &error)) {
-    RespondError(error);
-    return;
-  }
-  service->Drain();
-  const auto snap = service->snapshot();
-  const Status saved = SavePlanToFile(*snap->plan, path);
-  if (!saved.ok()) {
-    RespondError(saved.ToString());
-    return;
-  }
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("saved", path);
-  writer.Add("version", snap->version);
-  Respond(writer);
-}
-
-void HandleRebuild(PlanningService* service, const JsonObject& request,
-                   const Args& defaults) {
-  ShardedGepcOptions options;
-  options.threads = defaults.threads;
-  options.shards = defaults.shards;
-  options.gepc.algorithm = AlgorithmFromName(defaults.algorithm);
-
-  // Optional per-request overrides of the command-line defaults.
-  auto override_int = [&request](const char* key, int* out) {
-    auto it = request.find(key);
-    if (it == request.end()) return true;
-    if (it->second.type != JsonValue::Type::kNumber) return false;
-    const double value = it->second.number_value;
-    if (value < 1.0 || value != static_cast<double>(static_cast<int>(value))) {
-      return false;
-    }
-    *out = static_cast<int>(value);
-    return true;
-  };
-  if (!override_int("threads", &options.threads)) {
-    RespondError("'threads' must be a positive integer");
-    return;
-  }
-  if (!override_int("shards", &options.shards)) {
-    RespondError("'shards' must be a positive integer");
-    return;
-  }
-  auto alg_it = request.find("algorithm");
-  if (alg_it != request.end()) {
-    const bool valid = alg_it->second.type == JsonValue::Type::kString &&
-                       (alg_it->second.string_value == "greedy" ||
-                        alg_it->second.string_value == "gap" ||
-                        alg_it->second.string_value == "regret");
-    if (!valid) {
-      RespondError("'algorithm' must be 'greedy', 'gap' or 'regret'");
-      return;
-    }
-    options.gepc.algorithm = AlgorithmFromName(alg_it->second.string_value);
-  }
-
-  const RebuildOutcome outcome = service->Rebuild(std::move(options));
-  if (!outcome.rebuilt) {
-    RespondError(outcome.error);
-    return;
-  }
-  JsonWriter writer;
-  writer.Add("ok", true);
-  writer.Add("rebuilt", true);
-  writer.Add("utility", outcome.total_utility);
-  writer.Add("below_xi", outcome.events_below_lower_bound);
-  writer.Add("dif", outcome.negative_impact);
-  writer.Add("shards", outcome.stats.shards);
-  writer.Add("boundary_users", outcome.stats.boundary_users);
-  Respond(writer);
+  server->Stop();  // idempotent; joins everything when shutdown came in-band
+  (void)args;
+  (void)service;
+  (void)dispatcher;
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -606,6 +369,53 @@ int Main(int argc, char** argv) {
                                     std::move(options));
   if (!service.ok()) return Fail(service.status().ToString());
 
+  DispatchDefaults defaults;
+  defaults.threads = args.threads;
+  defaults.shards = args.shards;
+  defaults.algorithm = AlgorithmFromName(args.algorithm);
+  const CommandDispatcher dispatcher(service->get(), defaults);
+
+  // The socket front end is constructed before the ready line so the line
+  // can carry the actually-bound (possibly ephemeral) port.
+  std::unique_ptr<net::NetServer> server;
+  if (args.listen) {
+    net::NetServerOptions net_options;
+    net_options.host = args.listen_host;
+    net_options.port = args.listen_port;
+    net_options.max_connections = args.max_connections;
+    net_options.read_workers = args.net_read_workers;
+    net_options.op_workers = args.net_op_workers;
+    net_options.op_queue_capacity = static_cast<size_t>(args.net_queue);
+    net_options.read_queue_capacity =
+        static_cast<size_t>(args.net_queue) * 4;
+    net_options.compress = args.net_compress;
+
+    const auto snap = (*service)->snapshot();
+    JsonWriter welcome;
+    welcome.Add("users", snap->instance->num_users());
+    welcome.Add("events", snap->instance->num_events());
+    std::string welcome_fields = welcome.Finish();
+    // Strip the braces: the server splices these fields into its Welcome
+    // object.
+    welcome_fields = welcome_fields.substr(1, welcome_fields.size() - 2);
+
+    server = std::make_unique<net::NetServer>(
+        std::move(net_options),
+        [&dispatcher](const std::string& request) {
+          const DispatchOutcome outcome = dispatcher.Dispatch(request);
+          return net::HandlerResult{outcome.response, outcome.shutdown};
+        },
+        [](const std::string& request) {
+          // Route snapshot-only commands to the read pool; everything else
+          // (including unparseable requests, whose error the op worker
+          // renders) rides the op pool.
+          return ClassifyCommand(ExtractCmdHint(request)) != CommandKind::kRead;
+        },
+        welcome_fields);
+    const Status started = server->Start();
+    if (!started.ok()) return Fail(started.ToString());
+  }
+
   {
     const auto snap = (*service)->snapshot();
     JsonWriter ready;
@@ -621,52 +431,17 @@ int Main(int argc, char** argv) {
       ready.Add("recovered_from_checkpoint", stats.recovered_from_checkpoint);
       ready.Add("recovery_ops_replayed", stats.recovery_ops_replayed);
     }
+    if (server != nullptr) {
+      ready.Add("listen", args.listen_host);
+      ready.Add("port", server->port());
+    }
     Respond(ready);
   }
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    auto request = ParseJsonObject(line);
-    if (!request.ok()) {
-      RespondError(request.status().ToString());
-      continue;
-    }
-    std::string cmd;
-    std::string error;
-    if (!GetStringField(*request, "cmd", &cmd, &error)) {
-      RespondError(error);
-      continue;
-    }
-    if (cmd == "apply") {
-      HandleApply(service->get(), *request);
-    } else if (cmd == "query_user") {
-      HandleQueryUser(**service, *request);
-    } else if (cmd == "query_event") {
-      HandleQueryEvent(**service, *request);
-    } else if (cmd == "stats") {
-      HandleStats(**service);
-    } else if (cmd == "metrics") {
-      HandleMetrics(**service);
-    } else if (cmd == "checkpoint") {
-      HandleCheckpoint(service->get());
-    } else if (cmd == "save_plan") {
-      HandleSavePlan(service->get(), *request);
-    } else if (cmd == "rebuild") {
-      HandleRebuild(service->get(), *request, args);
-    } else if (cmd == "faults") {
-      HandleFaults();
-    } else if (cmd == "drain") {
-      (*service)->Drain();
-      JsonWriter writer;
-      writer.Add("ok", true);
-      writer.Add("drained", true);
-      Respond(writer);
-    } else if (cmd == "shutdown") {
-      break;
-    } else {
-      RespondError("unknown cmd '" + cmd + "'");
-    }
+  if (server != nullptr) {
+    RunNetServer(args, service->get(), dispatcher, server.get());
+  } else {
+    RunStdioLoop(dispatcher);
   }
 
   (*service)->Drain();
