@@ -289,20 +289,40 @@ Result<std::vector<CheckpointRef>> ListCheckpoints(const std::string& dir) {
 }
 
 Result<std::vector<CheckpointRef>> PruneCheckpoints(const std::string& dir,
-                                                    int retain) {
+                                                    int retain, uint64_t pin) {
   retain = std::max(retain, 1);
   GEPC_ASSIGN_OR_RETURN(std::vector<CheckpointRef> refs, ListCheckpoints(dir));
-  while (static_cast<int>(refs.size()) > retain) {
-    std::error_code ec;
-    fs::remove(refs.back().path, ec);
-    if (ec) {
-      GEPC_LOG(Warning) << "cannot prune checkpoint " << refs.back().path
-                        << ": " << ec.message();
-      break;  // keep the extra file; pruning retries at the next publication
+  // The pin anchor: the newest checkpoint a follower pinned at `pin` can
+  // bootstrap from. It must survive even when older than the retain window.
+  size_t anchor = refs.size();
+  if (pin != kNoRetentionPin) {
+    for (size_t i = 0; i < refs.size(); ++i) {  // newest first
+      if (refs[i].version <= pin) {
+        anchor = i;
+        break;
+      }
     }
-    refs.pop_back();
   }
-  return refs;
+  std::vector<CheckpointRef> survivors;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i < static_cast<size_t>(retain) || i == anchor) {
+      survivors.push_back(refs[i]);
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(refs[i].path, ec);
+    if (ec) {
+      GEPC_LOG(Warning) << "cannot prune checkpoint " << refs[i].path << ": "
+                        << ec.message();
+      survivors.push_back(refs[i]);  // keep it; pruning retries next time
+    }
+  }
+  return survivors;
+}
+
+Result<std::vector<CheckpointRef>> PruneCheckpoints(const std::string& dir,
+                                                    int retain) {
+  return PruneCheckpoints(dir, retain, kNoRetentionPin);
 }
 
 }  // namespace gepc

@@ -88,8 +88,20 @@ Result<CheckpointData> LoadCheckpoint(const std::string& path);
 /// has never checkpointed has nothing to list.
 Result<std::vector<CheckpointRef>> ListCheckpoints(const std::string& dir);
 
+/// "No retention pin": the sentinel pin value that keeps nothing extra.
+inline constexpr uint64_t kNoRetentionPin = UINT64_MAX;
+
 /// Deletes all but the newest `retain` checkpoints in `dir`. Returns the
 /// refs that survive (newest first). retain < 1 is clamped to 1.
+///
+/// `pin` is the replication retention floor (docs/replication.md): the
+/// newest checkpoint with version <= pin is a registered follower's
+/// bootstrap anchor and survives pruning even when it falls outside the
+/// newest `retain`, so checkpoint shipping never races file deletion.
+/// kNoRetentionPin pins nothing.
+Result<std::vector<CheckpointRef>> PruneCheckpoints(const std::string& dir,
+                                                    int retain,
+                                                    uint64_t pin);
 Result<std::vector<CheckpointRef>> PruneCheckpoints(const std::string& dir,
                                                     int retain);
 

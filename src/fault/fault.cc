@@ -29,6 +29,9 @@ const char* const kKnownPoints[] = {
     "net.accept",         // a freshly accepted connection is dropped
     "net.read",           // a connection's read path fails (peer reset)
     "net.write",          // a connection's write path fails (peer gone)
+    "repl.ship",          // a follower sync/checkpoint ship aborts (ReplError)
+    "repl.tail",          // a follower's tail-apply fails; it must resync
+    "repl.promote",       // a promotion attempt aborts (retried later)
     nullptr,
 };
 

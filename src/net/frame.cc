@@ -36,7 +36,7 @@ inline uint32_t GetU32(const char* p) {
 
 bool IsValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kStatus);
+         type <= static_cast<uint8_t>(FrameType::kReplError);
 }
 
 uint16_t FrameChecksum(std::string_view payload) {

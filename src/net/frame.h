@@ -42,6 +42,17 @@ enum class FrameType : uint8_t {
   kStatus = 5,   ///< server -> client: transport-level condition (JSON
                  ///< {"ok":false,"code":...,"error":...}); e.g. admission-
                  ///< control rejection or a protocol violation
+
+  // Replication (src/repl/, docs/replication.md). A follower opens a
+  // normal session (Hello/Welcome), then sends one kReplSync; everything
+  // after that is pushed primary -> follower on the same connection.
+  kReplSync = 6,       ///< follower -> primary: {"have":N[,"need_base":b]}
+  kReplCkptBegin = 7,  ///< primary -> follower: {"version":V,"bytes":B}
+  kReplCkptChunk = 8,  ///< primary -> follower: raw GCKP1 bytes (in order)
+  kReplRow = 9,        ///< primary -> follower: "<seq> <GOPS1 row>"
+  kReplHeartbeat = 10, ///< primary -> follower: {"version":V} keepalive
+  kReplError = 11,     ///< primary -> follower: {"error":...}; the sync is
+                       ///< dead, the follower must reconnect and resync
 };
 
 /// True iff `type` is one of the FrameType enumerators.

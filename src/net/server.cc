@@ -413,6 +413,13 @@ void NetServer::HandleFrame(Connection* conn, Frame frame) {
       return;
     }
     default: {
+      // Extension frames (replication sync, future subsystems) are offered
+      // to the frame hook once the session is established; anything it does
+      // not consume is a protocol violation.
+      if (frame_hook_ && conn->session != 0 &&
+          frame_hook_(conn->id, std::move(frame))) {
+        return;
+      }
       protocol_errors_total_->Increment();
       conn->closing = true;
       SendStatus(conn, "invalid_argument",
@@ -514,7 +521,20 @@ void NetServer::CloseConnection(Connection* conn) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   close(conn->fd);
   active_connections_->Add(-1);
+  const uint64_t id = conn->id;
   conns_.erase(conn->id);  // destroys *conn
+  if (disconnect_hook_) disconnect_hook_(id);
+}
+
+void NetServer::Push(uint64_t conn_id, std::string frame_bytes) {
+  Completion completion;
+  completion.conn_id = conn_id;
+  completion.frame = std::move(frame_bytes);
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  WakeLoop();
 }
 
 }  // namespace net

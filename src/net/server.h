@@ -88,6 +88,15 @@ class NetServer {
   /// Returns true when the request must ride the op (write) pool; false
   /// routes to the read pool. Null routes everything to the op pool.
   using Router = std::function<bool(const std::string& request)>;
+  /// First look at any frame type the core protocol does not handle
+  /// (everything beyond Hello/Request), offered only after the handshake.
+  /// Runs on the event-loop thread, so it must be quick — hand heavy work
+  /// to another thread and answer later through Push(). Return true when
+  /// the frame was consumed; false falls through to the protocol error.
+  using FrameHook = std::function<bool(uint64_t conn_id, Frame frame)>;
+  /// Observes every connection teardown (event-loop thread). Fires for all
+  /// connections, whether or not the hook ever saw a frame from them.
+  using DisconnectHook = std::function<void(uint64_t conn_id)>;
 
   /// `welcome_fields` is appended verbatim into the Welcome frame's JSON
   /// object (e.g. "\"users\":500,\"events\":40") so clients can size their
@@ -99,8 +108,21 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
+  /// Installs the extension hooks (replication uses both). Must be called
+  /// before Start(); the hooks run on the event-loop thread.
+  void SetFrameHook(FrameHook hook) { frame_hook_ = std::move(hook); }
+  void SetDisconnectHook(DisconnectHook hook) {
+    disconnect_hook_ = std::move(hook);
+  }
+
   /// Binds, listens, and spawns the event loop + worker threads.
   Status Start();
+
+  /// Queues pre-encoded frame bytes for `conn_id` and wakes the event loop
+  /// to flush them. Safe from any thread; a connection that has meanwhile
+  /// closed silently drops the bytes. This is how replication fans rows out
+  /// to followers without ever touching a socket off the loop thread.
+  void Push(uint64_t conn_id, std::string frame_bytes);
 
   /// The bound port (resolves option 0 to the kernel's choice). Valid
   /// after a successful Start.
@@ -151,6 +173,8 @@ class NetServer {
   const Handler handler_;
   const Router router_;
   const std::string welcome_fields_;
+  FrameHook frame_hook_;            // set before Start, then immutable
+  DisconnectHook disconnect_hook_;  // set before Start, then immutable
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -1,0 +1,80 @@
+#ifndef GEPC_REPL_FAILOVER_H_
+#define GEPC_REPL_FAILOVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace gepc {
+namespace repl {
+
+/// Configuration of the failover torture run (tools/gepc_torture --failover
+/// and failover_torture_test). Seed-driven like the crash torture: two runs
+/// with the same options kill the primary at the same points and must reach
+/// the same verdict.
+struct FailoverTortureOptions {
+  int users = 40;
+  int events = 10;
+  /// Length of the recorded op stream (the crash torture's deterministic
+  /// mix, invalid ops included — a follower must journal-and-reject those
+  /// byte-identically too).
+  int ops = 30;
+  uint64_t seed = 7;
+
+  /// Primary checkpoint cadence during the run; > 0 exercises checkpoint
+  /// publication + pruning + journal compaction racing the live tail (the
+  /// retention pin is what keeps that safe).
+  int checkpoint_every = 8;
+
+  /// Kill the primary after every `offset_stride`-th committed op (offsets
+  /// 0 and `ops` are always exercised). 1 = every journal offset — the
+  /// exhaustive mode the slow CI job runs.
+  int offset_stride = 1;
+
+  /// Scratch directory (must exist and be writable); fresh per-offset
+  /// primary/follower trees are created inside it.
+  std::string workdir;
+};
+
+/// What the failover torture did and whether every promotion matched.
+struct FailoverTortureReport {
+  uint64_t ops_total = 0;
+  int offsets_exercised = 0;
+  int promotions = 0;
+  /// Follower bootstraps that shipped a checkpoint (vs journal-bridged).
+  int checkpoint_bootstraps = 0;
+  int state_mismatches = 0;        ///< promoted state != reference state
+  int resumed_write_failures = 0;  ///< promoted primary refused a valid op
+  bool passed = false;
+  /// Empty when passed; otherwise describes the first divergence.
+  std::string failure;
+};
+
+/// The failover torture harness (docs/replication.md):
+///
+///   1. generates an instance (seeded), solves it for the base plan, and
+///      records the reference: the serialized service state after every op
+///      of the generated stream,
+///   2. for every chosen offset k: boots a fresh primary (journal +
+///      checkpoints + replication source on an ephemeral port), starts a
+///      follower against it (checkpoint bootstrap — the follower starts
+///      empty), applies ops[0..k) on the primary, waits for the follower to
+///      have applied exactly k rows,
+///   3. kills the primary (server torn down, service destroyed — the
+///      follower gets EOF, exactly what a crashed process produces),
+///      promotes the follower, and asserts the promoted state serializes
+///      byte-identically to the reference state after k ops — zero
+///      committed-op loss, no phantom ops,
+///   4. applies one more valid op to the promoted primary and asserts it
+///      lands at sequence k + 1 — the promoted journal is append-clean.
+///
+/// Returns the report (passed/failure inside); a non-OK status means the
+/// harness itself could not run, not that failover diverged.
+Result<FailoverTortureReport> RunFailoverTorture(
+    const FailoverTortureOptions& options);
+
+}  // namespace repl
+}  // namespace gepc
+
+#endif  // GEPC_REPL_FAILOVER_H_

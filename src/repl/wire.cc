@@ -1,0 +1,138 @@
+#include "repl/wire.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "iep/trace.h"
+#include "service/jsonl.h"
+
+namespace gepc {
+namespace repl {
+
+namespace {
+
+/// Pulls an unsigned integer field out of a flat protocol object. The jsonl
+/// layer parses numbers as double, which is exact for every sequence this
+/// service can reach (well under 2^53).
+Result<uint64_t> GetUint(const JsonObject& object, const std::string& key) {
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (it->second.type != JsonValue::Type::kNumber ||
+      it->second.number_value < 0) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' must be a non-negative number");
+  }
+  return static_cast<uint64_t>(it->second.number_value);
+}
+
+}  // namespace
+
+std::string EncodeSyncRequest(const SyncRequest& request) {
+  JsonWriter writer;
+  writer.Add("have", request.have);
+  if (request.need_base) writer.Add("need_base", true);
+  return writer.Finish();
+}
+
+Result<SyncRequest> ParseSyncRequest(const std::string& payload) {
+  auto object = ParseJsonObject(payload);
+  GEPC_RETURN_IF_ERROR(object.status());
+  SyncRequest request;
+  auto have = GetUint(*object, "have");
+  GEPC_RETURN_IF_ERROR(have.status());
+  request.have = *have;
+  const auto need = object->find("need_base");
+  if (need != object->end()) {
+    if (need->second.type != JsonValue::Type::kBool) {
+      return Status::InvalidArgument("field 'need_base' must be a bool");
+    }
+    request.need_base = need->second.bool_value;
+  }
+  return request;
+}
+
+std::string EncodeCkptBegin(const CkptBegin& begin) {
+  JsonWriter writer;
+  writer.Add("version", begin.version);
+  writer.Add("bytes", begin.bytes);
+  return writer.Finish();
+}
+
+Result<CkptBegin> ParseCkptBegin(const std::string& payload) {
+  auto object = ParseJsonObject(payload);
+  GEPC_RETURN_IF_ERROR(object.status());
+  CkptBegin begin;
+  auto version = GetUint(*object, "version");
+  GEPC_RETURN_IF_ERROR(version.status());
+  auto bytes = GetUint(*object, "bytes");
+  GEPC_RETURN_IF_ERROR(bytes.status());
+  begin.version = *version;
+  begin.bytes = *bytes;
+  return begin;
+}
+
+std::string EncodeHeartbeat(uint64_t version) {
+  JsonWriter writer;
+  writer.Add("version", version);
+  return writer.Finish();
+}
+
+Result<uint64_t> ParseHeartbeat(const std::string& payload) {
+  auto object = ParseJsonObject(payload);
+  GEPC_RETURN_IF_ERROR(object.status());
+  return GetUint(*object, "version");
+}
+
+Result<std::string> EncodeRow(uint64_t sequence, const AtomicOp& op) {
+  std::ostringstream row;
+  GEPC_RETURN_IF_ERROR(SaveOp(op, row));
+  std::string text = row.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return std::to_string(sequence) + " " + text;
+}
+
+Result<ReplRow> ParseRow(const std::string& payload) {
+  const size_t space = payload.find(' ');
+  if (space == std::string::npos || space == 0) {
+    return Status::InvalidArgument("bad repl row: expected '<seq> <row>'");
+  }
+  uint64_t sequence = 0;
+  for (size_t i = 0; i < space; ++i) {
+    const char c = payload[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad repl row: non-numeric sequence");
+    }
+    sequence = sequence * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (sequence == 0) {
+    return Status::InvalidArgument("bad repl row: sequence must be positive");
+  }
+  auto op = ParseOpRow(payload.substr(space + 1));
+  GEPC_RETURN_IF_ERROR(op.status());
+  ReplRow row;
+  row.sequence = sequence;
+  row.op = std::move(*op);
+  return row;
+}
+
+std::string EncodeReplError(const std::string& message) {
+  JsonWriter writer;
+  writer.Add("error", message);
+  return writer.Finish();
+}
+
+std::string ParseReplError(const std::string& payload) {
+  auto object = ParseJsonObject(payload);
+  if (object.ok()) {
+    const auto it = object->find("error");
+    if (it != object->end() && it->second.type == JsonValue::Type::kString) {
+      return it->second.string_value;
+    }
+  }
+  return payload.empty() ? "unspecified replication error" : payload;
+}
+
+}  // namespace repl
+}  // namespace gepc

@@ -1,0 +1,65 @@
+#ifndef GEPC_REPL_WIRE_H_
+#define GEPC_REPL_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "iep/planner.h"
+
+namespace gepc {
+namespace repl {
+
+/// Payload codecs for the replication frame types (net/frame.h, types
+/// kReplSync..kReplError; docs/replication.md). Control payloads are flat
+/// JSON objects like the rest of the protocol; row payloads are the GOPS1
+/// row itself prefixed with its decimal sequence, so a follower journals
+/// byte-identical rows to the primary's.
+
+/// kReplSync, follower -> primary.
+struct SyncRequest {
+  /// Sequence the follower has fully applied; the primary ships everything
+  /// after it.
+  uint64_t have = 0;
+  /// True when the follower holds no base state at all — the primary must
+  /// ship a checkpoint even if its journal could bridge from `have`.
+  bool need_base = false;
+};
+
+std::string EncodeSyncRequest(const SyncRequest& request);
+Result<SyncRequest> ParseSyncRequest(const std::string& payload);
+
+/// kReplCkptBegin, primary -> follower: the GCKP1 file that follows in
+/// kReplCkptChunk frames.
+struct CkptBegin {
+  uint64_t version = 0;
+  uint64_t bytes = 0;
+};
+
+std::string EncodeCkptBegin(const CkptBegin& begin);
+Result<CkptBegin> ParseCkptBegin(const std::string& payload);
+
+/// kReplHeartbeat, primary -> follower: {"version":<committed sequence>}.
+std::string EncodeHeartbeat(uint64_t version);
+Result<uint64_t> ParseHeartbeat(const std::string& payload);
+
+/// kReplRow, primary -> follower: "<sequence> <GOPS1 row text>". The row
+/// text is exactly what SaveOp wrote into the primary's journal, without
+/// the trailing newline.
+struct ReplRow {
+  uint64_t sequence = 0;
+  AtomicOp op;
+};
+
+Result<std::string> EncodeRow(uint64_t sequence, const AtomicOp& op);
+Result<ReplRow> ParseRow(const std::string& payload);
+
+/// kReplError, primary -> follower: {"error":...}. The sync is dead; the
+/// follower reconnects and resyncs from scratch.
+std::string EncodeReplError(const std::string& message);
+std::string ParseReplError(const std::string& payload);
+
+}  // namespace repl
+}  // namespace gepc
+
+#endif  // GEPC_REPL_WIRE_H_

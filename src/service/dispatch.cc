@@ -173,10 +173,18 @@ void HandleQueryEvent(const PlanningService& service,
   writer->AddRaw("attendees", attendees);
 }
 
-void HandleStats(const PlanningService& service, JsonWriter* writer) {
+void HandleStats(const PlanningService& service, const ServeRole* role,
+                 JsonWriter* writer) {
   const ServiceStats stats = service.Stats();
   const auto snap = service.snapshot();
   writer->Add("ok", true);
+  // Role surface (docs/replication.md): harnesses read the mode here
+  // instead of inferring it from command-line flags.
+  const bool follower =
+      role != nullptr && role->follower.load(std::memory_order_acquire);
+  writer->Add("role", follower ? "follower" : "primary");
+  writer->Add("net_compress", role != nullptr && role->net_compress);
+  if (follower) writer->Add("primary", role->primary);
   writer->Add("users", snap->instance->num_users());
   writer->Add("events", snap->instance->num_events());
   writer->Add("ops_submitted", stats.ops_submitted);
@@ -399,6 +407,19 @@ DispatchOutcome CommandDispatcher::Dispatch(const std::string& line) const {
     outcome.response = writer.Finish();
     return outcome;
   }
+  // While the role says follower, state mutations belong to the primary:
+  // the client gets a structured redirect it can follow (code + address)
+  // rather than a generic error. Local-only writes (checkpoint, save_plan,
+  // drain, shutdown) still run — they never change the replicated state.
+  if (role_ != nullptr && role_->follower.load(std::memory_order_acquire) &&
+      (cmd == "apply" || cmd == "rebuild")) {
+    writer.Add("ok", false);
+    writer.Add("code", "redirect");
+    writer.Add("error", "follower is read-only; send writes to the primary");
+    writer.Add("primary", role_->primary);
+    outcome.response = writer.Finish();
+    return outcome;
+  }
   if (cmd == "apply") {
     HandleApply(service_, *request, &writer);
   } else if (cmd == "query_user") {
@@ -406,7 +427,7 @@ DispatchOutcome CommandDispatcher::Dispatch(const std::string& line) const {
   } else if (cmd == "query_event") {
     HandleQueryEvent(*service_, *request, &writer);
   } else if (cmd == "stats") {
-    HandleStats(*service_, &writer);
+    HandleStats(*service_, role_, &writer);
   } else if (cmd == "metrics") {
     HandleMetrics(*service_, &writer);
   } else if (cmd == "checkpoint") {

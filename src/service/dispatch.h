@@ -1,6 +1,7 @@
 #ifndef GEPC_SERVICE_DISPATCH_H_
 #define GEPC_SERVICE_DISPATCH_H_
 
+#include <atomic>
 #include <string>
 
 #include "gepc/solver.h"
@@ -50,6 +51,23 @@ struct DispatchDefaults {
 /// back to greedy.
 GepcAlgorithm AlgorithmFromName(const std::string& name);
 
+/// Which role this process serves (docs/replication.md), shared between the
+/// front end, the dispatcher and a repl::Follower. Promotion flips
+/// `follower` to false at runtime, so the dispatcher reads it per request:
+/// on a follower, state-mutating commands (`apply`, `rebuild`) answer
+/// {"ok":false,"code":"redirect","primary":...} instead of executing.
+/// Snapshot reads, `stats`, `metrics`, local `checkpoint`/`save_plan`,
+/// `drain` and `shutdown` always run locally.
+struct ServeRole {
+  std::atomic<bool> follower{false};
+  /// "host:port" of the primary this process follows (fixed at startup);
+  /// named in write-redirect responses.
+  std::string primary;
+  /// Whether the socket front end compresses its payloads (--net-compress);
+  /// surfaced through `stats` so harnesses stop inferring mode from flags.
+  bool net_compress = false;
+};
+
 /// Full Prometheus text exposition: the process-global registry (solver
 /// phases, journal, net) followed by this service's gepc_service_* block —
 /// the payload of the `metrics` command and of gepc_serve's --metrics file.
@@ -66,8 +84,12 @@ std::string RenderAllMetricsText(const PlanningService& service);
 /// connection and correlate out-of-order responses.
 class CommandDispatcher {
  public:
-  CommandDispatcher(PlanningService* service, DispatchDefaults defaults)
-      : service_(service), defaults_(defaults) {}
+  /// `role` (optional, not owned, must outlive the dispatcher) makes the
+  /// responses role-aware: `stats` reports it and, while it says follower,
+  /// write commands redirect to the primary. Null behaves as a primary.
+  CommandDispatcher(PlanningService* service, DispatchDefaults defaults,
+                    const ServeRole* role = nullptr)
+      : service_(service), defaults_(defaults), role_(role) {}
 
   /// Parses and executes one request line. Protocol errors (bad JSON,
   /// unknown cmd, missing fields) become {"ok":false,"error":...}
@@ -77,6 +99,7 @@ class CommandDispatcher {
  private:
   PlanningService* service_;
   const DispatchDefaults defaults_;
+  const ServeRole* role_;
 };
 
 }  // namespace gepc

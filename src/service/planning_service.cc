@@ -69,6 +69,7 @@ PlanningService::PlanningService(IncrementalPlanner planner,
                        std::memory_order_relaxed);
   journal_base_sequence_.store(journal_ ? journal_->base_sequence() : 0,
                                std::memory_order_relaxed);
+  committed_sequence_.store(base_sequence, std::memory_order_release);
   if (recovery_.from_checkpoint) {
     // The checkpoint that booted us is on disk and current as of
     // recovery_.checkpoint_version; surface it so the age gauge does not
@@ -255,6 +256,19 @@ CheckpointOutcome PlanningService::Checkpoint() {
   return SubmitCheckpoint().get();
 }
 
+void PlanningService::SetCommitHook(CommitHook hook) {
+  std::lock_guard<std::mutex> lock(commit_hook_mu_);
+  commit_hook_ = std::move(hook);
+}
+
+void PlanningService::SetRetentionPin(uint64_t pin) {
+  retention_pin_.store(pin, std::memory_order_release);
+}
+
+uint64_t PlanningService::retention_pin() const {
+  return retention_pin_.load(std::memory_order_acquire);
+}
+
 std::shared_ptr<const ServiceSnapshot> PlanningService::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
@@ -374,6 +388,13 @@ void PlanningService::ApplyOne(PendingOp* pending) {
     metrics_.RecordRejected(timer.ElapsedMillis());
   } else {
     const uint64_t sequence = ++sequence_;
+    committed_sequence_.store(sequence, std::memory_order_release);
+    // Commit point: the row's newline is on disk. Fan it out to followers
+    // before applying, so replication latency never includes apply time.
+    {
+      std::lock_guard<std::mutex> lock(commit_hook_mu_);
+      if (commit_hook_) commit_hook_(sequence, pending->op);
+    }
     auto step = planner_.Apply(pending->op);
     const double elapsed_ms = timer.ElapsedMillis();
     outcome.sequence = sequence;
@@ -485,8 +506,12 @@ CheckpointOutcome PlanningService::DoCheckpoint() {
   last_checkpoint_bytes_.store(outcome.bytes, std::memory_order_relaxed);
   last_checkpoint_at_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
 
-  auto survivors =
-      PruneCheckpoints(options_.checkpoint_dir, options_.checkpoint_retain);
+  // Retention pinning (docs/replication.md): a registered follower's sync
+  // floor caps both pruning and compaction so the checkpoint + journal
+  // prefix it still needs outlive this publication.
+  const uint64_t pin = retention_pin_.load(std::memory_order_acquire);
+  auto survivors = PruneCheckpoints(options_.checkpoint_dir,
+                                    options_.checkpoint_retain, pin);
   if (!survivors.ok()) {
     GEPC_LOG(Warning) << "checkpoint prune failed: "
                       << survivors.status().ToString();
@@ -496,7 +521,9 @@ CheckpointOutcome PlanningService::DoCheckpoint() {
     // Compact through the OLDEST retained checkpoint so every survivor can
     // still bridge from its version to the journal tail — if the newest
     // file rots, recovery falls back one generation without data loss.
-    const uint64_t through = survivors->back().version;
+    // Clamped to the retention pin: rows past a follower's floor survive
+    // even when no checkpoint anchors there.
+    const uint64_t through = std::min(survivors->back().version, pin);
     const Status compacted = journal_->Compact(through);
     if (compacted.ok()) {
       outcome.compacted = true;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -180,6 +181,30 @@ class PlanningService {
   /// SubmitCheckpoint + wait.
   CheckpointOutcome Checkpoint();
 
+  /// Called by the writer thread immediately after an op's journal row is
+  /// committed (its newline reached disk) and its sequence assigned —
+  /// before the op is applied or its future resolved. Replication fans the
+  /// row out to followers from here. The hook must be fast and must not
+  /// call back into the service's write path.
+  using CommitHook = std::function<void(uint64_t sequence, const AtomicOp& op)>;
+
+  /// Installs (or clears, with nullptr) the commit hook. Thread-safe; ops
+  /// committed before the hook is set are only visible through the journal.
+  void SetCommitHook(CommitHook hook);
+
+  /// Replication retention floor: checkpoint pruning keeps the newest
+  /// checkpoint at or below `pin` and journal compaction never advances the
+  /// base past it, so a follower synced at `pin` can still bridge to the
+  /// live tail. kNoRetentionPin (the default) releases the floor.
+  void SetRetentionPin(uint64_t pin);
+  uint64_t retention_pin() const;
+
+  /// Sequence of the last committed (journaled) op; ops beyond it are still
+  /// queued. Equals the snapshot version once the writer goes idle.
+  uint64_t committed_sequence() const {
+    return committed_sequence_.load(std::memory_order_acquire);
+  }
+
   /// Latest published snapshot; never null. Hold it as long as you like.
   std::shared_ptr<const ServiceSnapshot> snapshot() const;
 
@@ -258,6 +283,12 @@ class PlanningService {
   std::atomic<int64_t> last_checkpoint_at_ms_{0};
   std::atomic<uint64_t> journal_base_sequence_{0};
   std::atomic<uint64_t> journal_compactions_{0};
+  std::atomic<uint64_t> committed_sequence_{0};
+  // Replication hooks (src/repl/): retention floor consulted by
+  // DoCheckpoint, and the per-commit fan-out callback.
+  std::atomic<uint64_t> retention_pin_{UINT64_MAX};
+  mutable std::mutex commit_hook_mu_;
+  CommitHook commit_hook_;
 
   BoundedQueue<PendingOp> queue_;
   ServiceMetrics metrics_;

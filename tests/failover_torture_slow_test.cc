@@ -1,0 +1,48 @@
+// Exhaustive failover sweep (ctest -L slow; the CI repl-torture job): a
+// longer op stream, the primary killed after EVERY committed op, with
+// checkpoint publication + retention-pinned compaction racing the live
+// tail throughout. Byte-identical promoted state and an accepted resumed
+// write are required at every offset.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+#include "repl/failover.h"
+
+namespace gepc {
+namespace repl {
+namespace {
+
+TEST(FailoverTortureSlowTest, EveryOffsetPromotesByteIdentically) {
+  SetLogLevel(LogLevel::kError);
+  const std::string workdir = ::testing::TempDir() + "/failover_slow";
+  std::error_code ec;
+  std::filesystem::remove_all(workdir, ec);
+  std::filesystem::create_directories(workdir, ec);
+  ASSERT_FALSE(ec) << ec.message();
+
+  FailoverTortureOptions options;
+  options.users = 40;
+  options.events = 10;
+  options.ops = 30;
+  options.seed = 7;
+  options.checkpoint_every = 8;
+  options.offset_stride = 1;
+  options.workdir = workdir;
+
+  auto report = RunFailoverTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->passed) << report->failure;
+  EXPECT_EQ(report->offsets_exercised, 31);  // 0..30 inclusive
+  EXPECT_EQ(report->promotions, 31);
+  EXPECT_EQ(report->state_mismatches, 0);
+  EXPECT_EQ(report->resumed_write_failures, 0);
+  SetLogLevel(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace repl
+}  // namespace gepc

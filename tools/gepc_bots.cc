@@ -4,6 +4,7 @@
 //             [--threads T] [--arrival closed|poisson] [--rate OPS_S]
 //             [--think-ms MS] [--mix op=W,read=W,stats=W[,rebuild=W]]
 //             [--seed S] [--compress] [--json FILE] [--shutdown]
+//             [--replica HOST:PORT] [--replica-clients N] [--audit-port P]
 //
 // Spawns N concurrent clients of the binary frame protocol
 // (docs/network-protocol.md), each running a scripted mix of mutating ops,
@@ -25,6 +26,17 @@
 // apply acknowledgements the bots collected: `committed_op_loss` must be
 // zero — every op the server acked must still be in its state. The process
 // exits 1 on loss (or when nothing connected), making the check CI-able.
+//
+// Replication-aware load (docs/replication.md): --replica HOST:PORT points
+// a second, read-only client fleet (--replica-clients) at a follower, so
+// one run captures primary write throughput and replica read throughput
+// side by side (replica_* report fields). --audit-port redirects the
+// end-of-run drain + zero-loss audit to that port — after a failover
+// drill, the promoted follower must still hold every op the bots were
+// acked. With --audit-port set, a monitor thread also probes the primary;
+// when it dies, the monitor times how long until the audit target reports
+// role=primary, and reports it as failover_blackout_ms (-1 = primary
+// never died / replica never promoted within the run).
 //
 // The JSON report (--json) uses the BENCH_*.json shape
 // ({"bench":"gepc_bots","results":{...}}) so CI uploads it next to the
@@ -80,6 +92,14 @@ struct Options {
   bool compress = false;
   std::string json_path;
   bool send_shutdown = false;
+
+  /// Replication targets (empty/0 = off). The replica fleet is read-only;
+  /// the audit port is where the end-of-run drain + zero-loss audit (and
+  /// the failover blackout probe) go instead of the primary.
+  std::string replica_host;
+  int replica_port = 0;
+  int replica_clients = 50;
+  int audit_port = 0;
 };
 
 int Usage() {
@@ -90,7 +110,11 @@ int Usage() {
       "                 [--rate OPS_PER_S] [--think-ms MS]\n"
       "                 [--mix op=W,read=W,stats=W[,rebuild=W]]\n"
       "                 [--seed S] [--compress] [--json FILE] [--shutdown]\n"
-      "Load-tests a gepc_serve --listen endpoint; see docs/cli.md.\n");
+      "                 [--replica HOST:PORT] [--replica-clients N]\n"
+      "                 [--audit-port P]\n"
+      "Load-tests a gepc_serve --listen endpoint; see docs/cli.md.\n"
+      "--replica adds a read-only client fleet against a follower;\n"
+      "--audit-port audits (and times failover against) that port.\n");
   return 64;
 }
 
@@ -183,6 +207,33 @@ bool ParseArgs(int argc, char** argv, Options* options, std::string* error) {
       if (!value(&options->json_path)) return false;
     } else if (arg == "--shutdown") {
       options->send_shutdown = true;
+    } else if (arg == "--replica") {
+      if (!value(&text)) return false;
+      const size_t colon = text.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        *error = "--replica must be HOST:PORT";
+        return false;
+      }
+      options->replica_host = text.substr(0, colon);
+      options->replica_port = std::atoi(text.c_str() + colon + 1);
+      if (options->replica_port < 1 || options->replica_port > 65535) {
+        *error = "--replica port must be in 1..65535";
+        return false;
+      }
+    } else if (arg == "--replica-clients") {
+      if (!value(&text)) return false;
+      options->replica_clients = std::atoi(text.c_str());
+      if (options->replica_clients < 1 || options->replica_clients > 100000) {
+        *error = "--replica-clients must be in 1..100000";
+        return false;
+      }
+    } else if (arg == "--audit-port") {
+      if (!value(&text)) return false;
+      options->audit_port = std::atoi(text.c_str());
+      if (options->audit_port < 1 || options->audit_port > 65535) {
+        *error = "--audit-port must be in 1..65535";
+        return false;
+      }
     } else {
       *error = "unknown flag '" + arg + "'";
       return false;
@@ -264,6 +315,15 @@ int64_t FindIntField(const std::string& json, const std::string& key) {
   const size_t pos = json.find(needle);
   if (pos == std::string::npos) return -1;
   return std::strtoll(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+/// Fills an IPv4 socket address; "localhost" is accepted as 127.0.0.1.
+bool ResolveIPv4(const std::string& host, int port, sockaddr_in* out) {
+  *out = sockaddr_in{};
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  return inet_pton(AF_INET, ip.c_str(), &out->sin_addr) == 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -693,11 +753,11 @@ class Driver {
 
 class ControlClient {
  public:
-  bool Connect(const RunState& run) {
+  bool Connect(const sockaddr_in& addr) {
     fd_ = socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
-    if (connect(fd_, reinterpret_cast<const sockaddr*>(&run.addr),
-                sizeof(run.addr)) != 0) {
+    if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
       close(fd_);
       fd_ = -1;
       return false;
@@ -763,12 +823,84 @@ class ControlClient {
 };
 
 // ---------------------------------------------------------------------------
+// Failover blackout monitor
+// ---------------------------------------------------------------------------
+
+/// Times the write blackout of a failover drill: the gap between the
+/// primary dying and the audit target reporting role=primary (i.e.
+/// accepting writes again). Both transitions are detected by polling
+/// stats over short-lived control connections from a dedicated thread, so
+/// the measurement is independent of the load fleets' reconnect behavior.
+class FailoverMonitor {
+ public:
+  FailoverMonitor(const sockaddr_in& primary, const sockaddr_in& audit)
+      : primary_(primary), audit_(audit), thread_([this] { Loop(); }) {}
+
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ~FailoverMonitor() { Stop(); }
+
+  double blackout_ms() const { return blackout_ms_.load(); }
+  bool promoted_seen() const { return promoted_seen_.load(); }
+
+ private:
+  static bool ProbeStats(const sockaddr_in& addr, std::string* out) {
+    ControlClient probe;
+    if (!probe.Connect(addr)) return false;
+    *out = probe.Request("{\"cmd\":\"stats\"}");
+    return !out->empty();
+  }
+
+  void Loop() {
+    bool primary_was_up = false;
+    bool primary_died = false;
+    Clock::time_point death{};
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::string stats;
+      if (!primary_died) {
+        // A probe failure only counts as death after at least one success:
+        // the monitor may start before the primary finishes booting.
+        if (ProbeStats(primary_, &stats)) {
+          primary_was_up = true;
+        } else if (primary_was_up) {
+          death = Clock::now();
+          primary_died = true;
+          continue;  // switch to the promotion probe immediately
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      if (ProbeStats(audit_, &stats) &&
+          stats.find("\"role\":\"primary\"") != std::string::npos) {
+        blackout_ms_.store(std::chrono::duration<double, std::milli>(
+                               Clock::now() - death)
+                               .count());
+        promoted_seen_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  const sockaddr_in primary_;
+  const sockaddr_in audit_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> promoted_seen_{false};
+  std::atomic<double> blackout_ms_{-1.0};
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
 // Report
 // ---------------------------------------------------------------------------
 
-std::string BuildReport(const RunState& run, double elapsed_s,
-                        int threads_used, int64_t server_applied,
-                        uint64_t loss) {
+std::string BuildReport(const RunState& run, const RunState* replica,
+                        double elapsed_s, int threads_used,
+                        int64_t server_applied, uint64_t loss,
+                        const FailoverMonitor* monitor) {
   const auto all = run.latency_all.Snapshot();
   JsonWriter results;
   results.Add("clients", run.options->clients);
@@ -806,6 +938,29 @@ std::string BuildReport(const RunState& run, double elapsed_s,
   results.Add("acked_applied", run.acked_applied.load());
   results.Add("server_ops_applied", server_applied);
   results.Add("committed_op_loss", loss);
+  if (replica != nullptr) {
+    const auto snap = replica->latency_all.Snapshot();
+    results.Add("replica_clients", replica->options->clients);
+    results.Add("replica_connected", replica->connected.load());
+    results.Add("replica_reconnects", replica->reconnects.load());
+    results.Add("replica_ops_total", replica->responses.load());
+    results.Add("replica_ops_ok", replica->ops_ok.load());
+    results.Add("replica_ops_rejected", replica->rejected.load());
+    results.Add("replica_transport_errors",
+                replica->transport_errors.load());
+    results.Add("replica_throughput_ops_s",
+                elapsed_s > 0.0
+                    ? static_cast<double>(replica->responses.load()) /
+                          elapsed_s
+                    : 0.0);
+    results.Add("replica_read_ms_p50", snap.Quantile(0.50));
+    results.Add("replica_read_ms_p90", snap.Quantile(0.90));
+    results.Add("replica_read_ms_p99", snap.Quantile(0.99));
+  }
+  if (monitor != nullptr) {
+    results.Add("failover_blackout_ms", monitor->blackout_ms());
+    results.Add("replica_promoted", monitor->promoted_seen());
+  }
   return "{\"bench\":\"gepc_bots\",\"results\":" + results.Finish() + "}";
 }
 
@@ -820,13 +975,39 @@ int Main(int argc, char** argv) {
 
   RunState run;
   run.options = &options;
-  run.addr.sin_family = AF_INET;
-  run.addr.sin_port = htons(static_cast<uint16_t>(options.port));
-  const std::string host =
-      options.host == "localhost" ? "127.0.0.1" : options.host;
-  if (inet_pton(AF_INET, host.c_str(), &run.addr.sin_addr) != 1) {
+  if (!ResolveIPv4(options.host, options.port, &run.addr)) {
     std::fprintf(stderr, "error: --host must be an IPv4 address\n");
     return Usage();
+  }
+
+  // Replica read fleet: a second RunState with a read-only mix. Its
+  // drivers run in the same worker pool but share nothing with the primary
+  // fleet, so the report can split the two throughputs cleanly.
+  Options replica_options;
+  RunState replica_run;
+  if (options.replica_port > 0) {
+    replica_options = options;
+    replica_options.clients = options.replica_clients;
+    replica_options.mix_op = 0.0;
+    replica_options.mix_rebuild = 0.0;
+    replica_options.mix_read = 0.9;
+    replica_options.mix_stats = 0.1;
+    replica_run.options = &replica_options;
+    if (!ResolveIPv4(options.replica_host, options.replica_port,
+                     &replica_run.addr)) {
+      std::fprintf(stderr, "error: --replica host must be an IPv4 address\n");
+      return Usage();
+    }
+  }
+
+  sockaddr_in audit_addr = run.addr;
+  if (options.audit_port > 0) {
+    const std::string audit_host =
+        options.replica_host.empty() ? options.host : options.replica_host;
+    if (!ResolveIPv4(audit_host, options.audit_port, &audit_addr)) {
+      std::fprintf(stderr, "error: audit host must be an IPv4 address\n");
+      return Usage();
+    }
   }
 
   int threads = options.threads;
@@ -844,16 +1025,40 @@ int Main(int argc, char** argv) {
     drivers.push_back(
         std::make_unique<Driver>(&run, count, static_cast<uint64_t>(t)));
   }
+  std::vector<std::unique_ptr<Driver>> replica_drivers;
+  if (options.replica_port > 0) {
+    const int replica_threads =
+        std::min(2, replica_options.clients);
+    const int rbase = replica_options.clients / replica_threads;
+    const int rextra = replica_options.clients % replica_threads;
+    for (int t = 0; t < replica_threads; ++t) {
+      const int count = rbase + (t < rextra ? 1 : 0);
+      // Salt offset keeps replica client rngs decorrelated from the
+      // primary fleet's.
+      replica_drivers.push_back(std::make_unique<Driver>(
+          &replica_run, count, static_cast<uint64_t>(1000 + t)));
+    }
+  }
+
   std::vector<std::thread> workers;
   const Clock::time_point start = Clock::now();
-  workers.reserve(drivers.size());
+  workers.reserve(drivers.size() + replica_drivers.size());
   for (auto& driver : drivers) {
     workers.emplace_back([&driver] { driver->Run(); });
+  }
+  for (auto& driver : replica_drivers) {
+    workers.emplace_back([&driver] { driver->Run(); });
+  }
+
+  std::unique_ptr<FailoverMonitor> monitor;
+  if (options.audit_port > 0) {
+    monitor = std::make_unique<FailoverMonitor>(run.addr, audit_addr);
   }
 
   std::this_thread::sleep_for(
       std::chrono::duration<double>(options.duration_s));
   run.stop_sending.store(true, std::memory_order_relaxed);
+  replica_run.stop_sending.store(true, std::memory_order_relaxed);
 
   // Grace period: let in-flight responses land before tearing down.
   const Clock::time_point grace_deadline =
@@ -861,19 +1066,27 @@ int Main(int argc, char** argv) {
   while (Clock::now() < grace_deadline) {
     uint64_t outstanding = 0;
     for (const auto& driver : drivers) outstanding += driver->OutstandingTotal();
+    for (const auto& driver : replica_drivers) {
+      outstanding += driver->OutstandingTotal();
+    }
     if (outstanding == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   run.stop_loop.store(true, std::memory_order_relaxed);
+  replica_run.stop_loop.store(true, std::memory_order_relaxed);
   for (auto& worker : workers) worker.join();
+  if (monitor != nullptr) monitor->Stop();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
   // Zero-committed-op-loss audit: drain the server, then compare its
-  // applied-op count against the acks the bots collected.
+  // applied-op count against the acks the bots collected. With
+  // --audit-port the audit goes to the (promoted) replica instead — after
+  // a failover drill it must hold every op the primary acked.
   int64_t server_applied = -1;
   ControlClient control;
-  bool control_ok = control.Connect(run);
+  bool control_ok =
+      control.Connect(options.audit_port > 0 ? audit_addr : run.addr);
   if (control_ok) {
     control_ok = !control.Request("{\"cmd\":\"drain\"}").empty();
   }
@@ -896,8 +1109,9 @@ int Main(int argc, char** argv) {
     }
   }
 
-  const std::string report =
-      BuildReport(run, elapsed_s, threads, server_applied, loss);
+  const std::string report = BuildReport(
+      run, options.replica_port > 0 ? &replica_run : nullptr, elapsed_s,
+      threads, server_applied, loss, monitor.get());
   std::fputs(report.c_str(), stdout);
   std::fputc('\n', stdout);
   if (!options.json_path.empty()) {
@@ -916,6 +1130,10 @@ int Main(int argc, char** argv) {
   }
   if (run.responses.load() == 0) {
     std::fprintf(stderr, "error: no response ever received\n");
+    return 1;
+  }
+  if (options.replica_port > 0 && replica_run.responses.load() == 0) {
+    std::fprintf(stderr, "error: no replica response ever received\n");
     return 1;
   }
   if (server_applied < 0) {

@@ -13,6 +13,7 @@
 //   gepc_cli apply    --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]
 //                     [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]
 //   gepc_cli ckpt-inspect --ckpt file.gckp | --dir ckpt_dir
+//   gepc_cli journal-inspect --journal file.gops
 //
 //   SPEC is one of:
 //     eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END
@@ -41,6 +42,7 @@
 #include "iep/op_spec.h"
 #include "iep/planner.h"
 #include "iep/trace.h"
+#include "service/journal.h"
 
 namespace gepc {
 namespace cli {
@@ -60,6 +62,7 @@ constexpr char kUsage[] =
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
     "            [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]\n"
     "  ckpt-inspect --ckpt file.gckp | --dir ckpt_dir\n"
+    "  journal-inspect --journal file.gops\n"
     "\n"
     "  SPEC is one of:\n"
     "    eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END\n"
@@ -103,6 +106,7 @@ const std::map<std::string, CommandSpec>& Commands() {
       {"apply",
        {{"in", "plan", "op", "ops-file", "plan-out"}, {"reorder"}, {}}},
       {"ckpt-inspect", {{"ckpt", "dir"}, {}, {}}},
+      {"journal-inspect", {{"journal"}, {}, {}}},
   };
   return kCommands;
 }
@@ -471,6 +475,42 @@ int CmdCkptInspect(const Args& args) {
   return defects == 0 ? 0 : 1;
 }
 
+/// Prints a GOPS1 journal's base header, row count, sequence span and torn
+/// tail. Mirrors ckpt-inspect: the operator's "what survived the crash?"
+/// probe. A missing file or interior corruption is a defect (exit 1); a
+/// torn tail alone is not — recovery discards it by design — but it is
+/// reported so the operator knows a crash interrupted an append.
+int CmdJournalInspect(const Args& args) {
+  const std::string path = GetOption(args, "journal");
+  if (path.empty()) return UsageFail("journal-inspect needs --journal FILE");
+  std::printf("journal:          %s\n", path.c_str());
+  auto scan = ScanJournalFile(path);
+  if (!scan.ok()) {
+    std::printf("valid:            no\n");
+    std::printf("defect:           %s\n", scan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("valid:            yes\n");
+  std::printf("base sequence:    %llu%s\n",
+              static_cast<unsigned long long>(scan->base_sequence),
+              scan->base_sequence > 0 ? " (compacted)" : "");
+  std::printf("committed rows:   %zu\n", scan->ops.size());
+  if (!scan->ops.empty()) {
+    std::printf("sequence span:    %llu..%llu\n",
+                static_cast<unsigned long long>(scan->base_sequence + 1),
+                static_cast<unsigned long long>(scan->base_sequence +
+                                                scan->ops.size()));
+  }
+  std::printf("committed bytes:  %lld\n",
+              static_cast<long long>(scan->committed_bytes));
+  std::printf("torn bytes:       %lld%s\n",
+              static_cast<long long>(scan->torn_bytes),
+              scan->torn_bytes > 0 ? " (torn tail: crash mid-append; "
+                                     "recovery discards it)"
+                                   : "");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   std::string error;
@@ -495,6 +535,7 @@ int Main(int argc, char** argv) {
   if (args.command == "apply") return CmdApply(args);
   if (args.command == "itinerary") return CmdItinerary(args);
   if (args.command == "ckpt-inspect") return CmdCkptInspect(args);
+  if (args.command == "journal-inspect") return CmdJournalInspect(args);
   std::fprintf(stderr, "%s", kUsage);  // unreachable: ParseArgs validated
   return 64;
 }

@@ -10,6 +10,10 @@
 //              [--listen [HOST:]PORT] [--max-conns N]
 //              [--net-read-workers N] [--net-op-workers N]
 //              [--net-queue N] [--net-compress]
+//              [--repl] [--repl-heartbeat-ms N]
+//   gepc_serve --follow HOST:PORT --journal ops.gops --checkpoint-dir DIR
+//              [--listen [HOST:]PORT] [--repl-timeout-ms N]
+//              [--repl-promote-after-ms N] ...
 //
 // Loads the instance (solving it with the chosen algorithm unless --plan is
 // given), wraps it in a PlanningService, and serves the JSONL command set
@@ -38,6 +42,13 @@
 //     The server runs until a client sends {"cmd":"shutdown"} or the
 //     process receives SIGINT/SIGTERM. See docs/network-protocol.md.
 //
+// Replication (docs/replication.md): --repl turns a --listen primary into a
+// replication endpoint (followers bootstrap from shipped checkpoints, then
+// tail committed journal rows); --follow HOST:PORT boots this process as a
+// follower of that primary instead of loading --in — it serves reads from
+// its replayed state, redirects writes to the primary, and promotes itself
+// when the primary stays gone past --repl-promote-after-ms.
+//
 // See docs/cli.md for the full protocol and docs/file-formats.md for the
 // journal format.
 
@@ -55,6 +66,8 @@
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "repl/follower.h"
+#include "repl/source.h"
 #include "service/dispatch.h"
 #include "service/jsonl.h"
 #include "service/planning_service.h"
@@ -98,6 +111,16 @@ struct Args {
   int net_op_workers = 2;
   int net_queue = 256;
   bool net_compress = false;
+  /// Replication (src/repl): --repl exposes this --listen primary as a
+  /// replication endpoint; --follow makes this process a follower of the
+  /// given primary instead of loading --in.
+  bool repl = false;
+  bool follow = false;
+  std::string follow_host = "127.0.0.1";
+  int follow_port = 0;
+  int repl_heartbeat_ms = 500;
+  int repl_timeout_ms = 3000;
+  int repl_promote_after_ms = 10000;  // 0 disables automatic promotion
 };
 
 int Usage() {
@@ -115,9 +138,14 @@ int Usage() {
       "                  [--listen [HOST:]PORT] [--max-conns N]\n"
       "                  [--net-read-workers N] [--net-op-workers N]\n"
       "                  [--net-queue N] [--net-compress]\n"
+      "                  [--repl] [--repl-heartbeat-ms N]\n"
+      "   or: gepc_serve --follow HOST:PORT --journal ops.gops\n"
+      "                  --checkpoint-dir DIR [--listen [HOST:]PORT]\n"
+      "                  [--repl-timeout-ms N] [--repl-promote-after-ms N]\n"
       "Speaks a JSONL request/response protocol on stdin/stdout, or (with\n"
       "--listen) the same commands over length-prefixed binary frames on a\n"
-      "TCP socket; see docs/cli.md and docs/network-protocol.md.\n");
+      "TCP socket; see docs/cli.md, docs/network-protocol.md and\n"
+      "docs/replication.md.\n");
   return 64;
 }
 
@@ -248,14 +276,74 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       }
     } else if (arg == "--net-compress") {
       args->net_compress = true;
+    } else if (arg == "--repl") {
+      args->repl = true;
+    } else if (arg == "--follow") {
+      if (!value(&text)) return false;
+      if (!ParseListenSpec(text, &args->follow_host, &args->follow_port) ||
+          args->follow_port == 0) {
+        *error = "--follow must be HOST:PORT or PORT (the primary's)";
+        return false;
+      }
+      args->follow = true;
+    } else if (arg == "--repl-heartbeat-ms") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->repl_heartbeat_ms)) {
+        *error = "--repl-heartbeat-ms must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--repl-timeout-ms") {
+      if (!value(&text)) return false;
+      if (!ParsePositiveInt(text, &args->repl_timeout_ms)) {
+        *error = "--repl-timeout-ms must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--repl-promote-after-ms") {
+      if (!value(&text)) return false;
+      if (text == "0") {
+        args->repl_promote_after_ms = 0;  // manual failover only
+      } else if (!ParsePositiveInt(text, &args->repl_promote_after_ms)) {
+        *error = "--repl-promote-after-ms must be a non-negative integer";
+        return false;
+      }
     } else {
       *error = "unknown flag '" + arg + "'";
       return false;
     }
   }
-  if (args->in.empty()) {
+  if (args->follow) {
+    if (!args->in.empty()) {
+      *error = "--follow and --in are incompatible (a follower's state comes "
+               "from the primary)";
+      return false;
+    }
+    if (args->recover) {
+      *error = "--follow recovers local state automatically; drop --recover";
+      return false;
+    }
+    if (args->repl) {
+      *error = "--follow and --repl are incompatible (no chained replication)";
+      return false;
+    }
+    if (args->journal.empty() || args->checkpoint_dir.empty()) {
+      *error = "--follow needs --journal and --checkpoint-dir (promotion and "
+               "crash recovery depend on local durability)";
+      return false;
+    }
+  } else if (args->in.empty()) {
     *error = "--in FILE is required";
     return false;
+  }
+  if (args->repl) {
+    if (!args->listen) {
+      *error = "--repl needs --listen (followers connect to that port)";
+      return false;
+    }
+    if (args->journal.empty() || args->checkpoint_dir.empty()) {
+      *error = "--repl needs --journal and --checkpoint-dir (they are what "
+               "gets shipped)";
+      return false;
+    }
   }
   if (args->algorithm != "greedy" && args->algorithm != "gap" &&
       args->algorithm != "regret") {
@@ -335,48 +423,82 @@ int Main(int argc, char** argv) {
   // metrics registry is always live.
   if (!args.trace_file.empty()) obs::TraceRecorder::Global().Start();
 
-  auto instance = LoadInstanceFromFile(args.in);
-  if (!instance.ok()) return Fail(instance.status().ToString());
+  // Which role this process serves; shared by the dispatcher (write
+  // redirects, stats), the ready line, and a Follower's promotion flip.
+  ServeRole role;
+  role.net_compress = args.net_compress;
 
-  Plan plan;
-  if (!args.plan.empty()) {
-    auto loaded = LoadPlanFromFile(args.plan);
-    if (!loaded.ok()) return Fail(loaded.status().ToString());
-    plan = *std::move(loaded);
+  // The service is owned either directly (primary) or by the follower that
+  // replays into it. Destruction order matters at every return below:
+  // server first (declared last), then the replication source (its Stop
+  // detaches the commit hook), then the service's owner.
+  std::unique_ptr<PlanningService> owned_service;
+  std::unique_ptr<repl::Follower> follower;
+  PlanningService* service = nullptr;
+
+  if (args.follow) {
+    repl::FollowerOptions follow_options;
+    follow_options.primary_host = args.follow_host;
+    follow_options.primary_port = args.follow_port;
+    follow_options.journal_path = args.journal;
+    follow_options.checkpoint_dir = args.checkpoint_dir;
+    follow_options.queue_capacity = args.queue_capacity;
+    follow_options.snapshot_every = args.snapshot_every;
+    follow_options.checkpoint_every = args.checkpoint_every;
+    follow_options.checkpoint_retain = args.checkpoint_retain;
+    follow_options.heartbeat_timeout_ms = args.repl_timeout_ms;
+    follow_options.promote_after_ms = args.repl_promote_after_ms;
+    auto started = repl::Follower::Start(std::move(follow_options), &role);
+    if (!started.ok()) return Fail(started.status().ToString());
+    follower = std::move(*started);
+    service = follower->service();
   } else {
-    ShardedGepcOptions solve_options;
-    solve_options.threads = args.threads;
-    solve_options.shards = args.shards;
-    solve_options.gepc.algorithm = AlgorithmFromName(args.algorithm);
-    auto solved = SolveSharded(*instance, solve_options);
-    if (!solved.ok()) return Fail(solved.status().ToString());
-    plan = std::move(solved->plan);
+    auto instance = LoadInstanceFromFile(args.in);
+    if (!instance.ok()) return Fail(instance.status().ToString());
+
+    Plan plan;
+    if (!args.plan.empty()) {
+      auto loaded = LoadPlanFromFile(args.plan);
+      if (!loaded.ok()) return Fail(loaded.status().ToString());
+      plan = *std::move(loaded);
+    } else {
+      ShardedGepcOptions solve_options;
+      solve_options.threads = args.threads;
+      solve_options.shards = args.shards;
+      solve_options.gepc.algorithm = AlgorithmFromName(args.algorithm);
+      auto solved = SolveSharded(*instance, solve_options);
+      if (!solved.ok()) return Fail(solved.status().ToString());
+      plan = std::move(solved->plan);
+    }
+
+    ServiceOptions options;
+    options.journal_path = args.journal;
+    options.queue_capacity = args.queue_capacity;
+    options.snapshot_every = args.snapshot_every;
+    options.checkpoint_dir = args.checkpoint_dir;
+    options.checkpoint_every = args.checkpoint_every;
+    options.checkpoint_retain = args.checkpoint_retain;
+
+    auto created =
+        args.recover
+            ? PlanningService::Recover(*std::move(instance), std::move(plan),
+                                       std::move(options))
+            : PlanningService::Create(*std::move(instance), std::move(plan),
+                                      std::move(options));
+    if (!created.ok()) return Fail(created.status().ToString());
+    owned_service = std::move(*created);
+    service = owned_service.get();
   }
-
-  ServiceOptions options;
-  options.journal_path = args.journal;
-  options.queue_capacity = args.queue_capacity;
-  options.snapshot_every = args.snapshot_every;
-  options.checkpoint_dir = args.checkpoint_dir;
-  options.checkpoint_every = args.checkpoint_every;
-  options.checkpoint_retain = args.checkpoint_retain;
-
-  auto service =
-      args.recover
-          ? PlanningService::Recover(*std::move(instance), std::move(plan),
-                                     std::move(options))
-          : PlanningService::Create(*std::move(instance), std::move(plan),
-                                    std::move(options));
-  if (!service.ok()) return Fail(service.status().ToString());
 
   DispatchDefaults defaults;
   defaults.threads = args.threads;
   defaults.shards = args.shards;
   defaults.algorithm = AlgorithmFromName(args.algorithm);
-  const CommandDispatcher dispatcher(service->get(), defaults);
+  const CommandDispatcher dispatcher(service, defaults, &role);
 
   // The socket front end is constructed before the ready line so the line
   // can carry the actually-bound (possibly ephemeral) port.
+  std::unique_ptr<repl::ReplicationSource> source;
   std::unique_ptr<net::NetServer> server;
   if (args.listen) {
     net::NetServerOptions net_options;
@@ -390,7 +512,7 @@ int Main(int argc, char** argv) {
         static_cast<size_t>(args.net_queue) * 4;
     net_options.compress = args.net_compress;
 
-    const auto snap = (*service)->snapshot();
+    const auto snap = service->snapshot();
     JsonWriter welcome;
     welcome.Add("users", snap->instance->num_users());
     welcome.Add("events", snap->instance->num_events());
@@ -412,22 +534,37 @@ int Main(int argc, char** argv) {
           return ClassifyCommand(ExtractCmdHint(request)) != CommandKind::kRead;
         },
         welcome_fields);
+    if (args.repl) {
+      repl::ReplicationSourceOptions source_options;
+      source_options.journal_path = args.journal;
+      source_options.checkpoint_dir = args.checkpoint_dir;
+      source_options.heartbeat_interval_ms = args.repl_heartbeat_ms;
+      source = std::make_unique<repl::ReplicationSource>(service,
+                                                         source_options);
+      const Status attached = source->Attach(server.get());
+      if (!attached.ok()) return Fail(attached.ToString());
+    }
     const Status started = server->Start();
     if (!started.ok()) return Fail(started.ToString());
   }
 
   {
-    const auto snap = (*service)->snapshot();
+    const auto snap = service->snapshot();
     JsonWriter ready;
     ready.Add("ok", true);
     ready.Add("ready", true);
+    ready.Add("role", role.follower.load(std::memory_order_acquire)
+                          ? "follower"
+                          : "primary");
+    if (args.follow) ready.Add("primary", role.primary);
+    ready.Add("net_compress", args.net_compress);
     ready.Add("users", snap->instance->num_users());
     ready.Add("events", snap->instance->num_events());
     ready.Add("utility", snap->total_utility);
     ready.Add("assignments", snap->total_assignments);
     ready.Add("recovered_ops", snap->version);
     if (args.recover) {
-      const ServiceStats stats = (*service)->Stats();
+      const ServiceStats stats = service->Stats();
       ready.Add("recovered_from_checkpoint", stats.recovered_from_checkpoint);
       ready.Add("recovery_ops_replayed", stats.recovery_ops_replayed);
     }
@@ -435,25 +572,29 @@ int Main(int argc, char** argv) {
       ready.Add("listen", args.listen_host);
       ready.Add("port", server->port());
     }
+    if (args.repl) ready.Add("repl", true);
     Respond(ready);
   }
 
   if (server != nullptr) {
-    RunNetServer(args, service->get(), dispatcher, server.get());
+    RunNetServer(args, service, dispatcher, server.get());
   } else {
     RunStdioLoop(dispatcher);
   }
 
-  (*service)->Drain();
+  // Teardown order: stop replication before the sockets/service it bridges.
+  if (source != nullptr) source->Stop();
+  if (follower != nullptr) follower->Stop();
+  service->Drain();
   if (!args.metrics_file.empty()) {
     std::ofstream out(args.metrics_file, std::ios::trunc);
-    if (out) out << RenderAllMetricsText(**service);
+    if (out) out << RenderAllMetricsText(*service);
     if (!out) {
       std::fprintf(stderr, "error: cannot write metrics file %s\n",
                    args.metrics_file.c_str());
     }
   }
-  (*service)->Shutdown();
+  service->Shutdown();
   if (!args.trace_file.empty()) {
     obs::TraceRecorder::Global().Stop();
     const Status written =
@@ -465,7 +606,7 @@ int Main(int argc, char** argv) {
   JsonWriter bye;
   bye.Add("ok", true);
   bye.Add("shutdown", true);
-  bye.Add("version", (*service)->snapshot()->version);
+  bye.Add("version", service->snapshot()->version);
   Respond(bye);
   return 0;
 }

@@ -3,6 +3,7 @@
 //   gepc_torture [--users N] [--events M] [--ops K] [--seed S]
 //                [--byte-level] [--no-service-recover]
 //                [--checkpoint-every N] [--workdir DIR]
+//                [--failover] [--offset-stride N]
 //
 // Generates a seeded city and op stream, records a reference run through
 // the GOPS1 journal, then simulates a crash at every chosen journal offset
@@ -13,8 +14,18 @@
 // GCKP1 checkpoints are published every N ops, the newest checkpoint and
 // the compacted journal are each truncated at every chosen offset, and
 // recovery must still reconstruct the reference state with zero loss of
-// committed operations. Exit 0 when every recovery matches, 1 on
-// divergence, 64 on usage errors. See docs/fault-injection.md.
+// committed operations.
+//
+// --failover switches to the replication torture (docs/replication.md):
+// for every chosen journal offset k (every committed op with the default
+// stride 1), a fresh primary + replication source is booted, a follower
+// bootstraps from a shipped checkpoint and tails k rows, the primary is
+// killed, the follower promotes, and the promoted state must serialize
+// byte-identically to the reference state after k ops — then accept one
+// more write at sequence k + 1. --offset-stride thins the sweep for CI.
+//
+// Exit 0 when every recovery matches, 1 on divergence, 64 on usage
+// errors. See docs/fault-injection.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +33,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "repl/failover.h"
 #include "service/torture.h"
 
 namespace {
@@ -32,10 +44,13 @@ int Usage() {
       "usage: gepc_torture [--users N] [--events M] [--ops K] [--seed S]\n"
       "                    [--byte-level] [--no-service-recover]\n"
       "                    [--checkpoint-every N] [--workdir DIR]\n"
+      "                    [--failover] [--offset-stride N]\n"
       "Simulates a crash at every journal truncation point and verifies\n"
       "recovery reproduces the reference state byte-for-byte. With\n"
       "--checkpoint-every N, also tortures the GCKP1 checkpoint file and\n"
-      "the compacted journal at every offset.\n");
+      "the compacted journal at every offset. With --failover, kills a\n"
+      "replicating primary at every journal offset instead and verifies\n"
+      "the promoted follower matches the reference byte-for-byte.\n");
   return 64;
 }
 
@@ -56,6 +71,8 @@ int main(int argc, char** argv) {
   // Thousands of recoveries: the per-recovery Info lines are pure noise.
   gepc::SetLogLevel(gepc::LogLevel::kWarning);
   gepc::TortureOptions options;
+  bool failover = false;
+  int offset_stride = 1;
   std::string workdir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +81,13 @@ int main(int argc, char** argv) {
     };
     if (arg == "--byte-level") {
       options.byte_level = true;
+    } else if (arg == "--failover") {
+      failover = true;
+    } else if (arg == "--offset-stride") {
+      const char* value = next();
+      if (value == nullptr || !ParsePositiveInt(value, &offset_stride)) {
+        return Usage();
+      }
     } else if (arg == "--no-service-recover") {
       options.service_recover = false;
     } else if (arg == "--users") {
@@ -116,6 +140,43 @@ int main(int argc, char** argv) {
     }
   }
   options.workdir = workdir;
+
+  if (failover) {
+    // Killing the primary at every offset provokes the follower's normal
+    // disconnect/reconnect warnings by design; only real errors matter.
+    gepc::SetLogLevel(gepc::LogLevel::kError);
+    gepc::repl::FailoverTortureOptions failover_options;
+    failover_options.users = options.users;
+    failover_options.events = options.events;
+    failover_options.ops = options.ops;
+    failover_options.seed = options.seed;
+    if (options.checkpoint_every > 0) {
+      failover_options.checkpoint_every = options.checkpoint_every;
+    }
+    failover_options.offset_stride = offset_stride;
+    failover_options.workdir = workdir;
+    auto report = gepc::repl::RunFailoverTorture(failover_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "failover torture harness error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ops in stream        %llu\n",
+                static_cast<unsigned long long>(report->ops_total));
+    std::printf("offsets exercised    %d\n", report->offsets_exercised);
+    std::printf("promotions           %d\n", report->promotions);
+    std::printf("ckpt bootstraps      %d\n", report->checkpoint_bootstraps);
+    std::printf("state mismatches     %d\n", report->state_mismatches);
+    std::printf("resumed write fails  %d\n", report->resumed_write_failures);
+    if (!report->passed) {
+      std::printf("FAILED: %s\n", report->failure.c_str());
+      return 1;
+    }
+    std::printf(
+        "PASSED: every promoted follower matched the reference "
+        "byte-identically\n");
+    return 0;
+  }
 
   // The checkpoint variant deliberately provokes a "checkpoint unusable"
   // warning at every truncation offset; only real errors are worth seeing.
