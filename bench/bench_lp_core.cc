@@ -1,0 +1,172 @@
+// LP-core microbench: legacy dense tableau vs. the flat arena-backed
+// tableau on paper-sized GAP relaxations (the LP the GAP-based GEPC
+// algorithm solves per event-copy batch). Reports per-solve wall time for
+// three configurations — legacy, flat without workspace reuse, flat with a
+// shared workspace — plus the arena allocation counts that demonstrate the
+// O(1)-allocations reuse contract.
+//
+//   ./bench_lp_core [--scale=S] [--trials=N] [--quick] [--json=FILE]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+
+namespace gepc {
+namespace bench {
+namespace {
+
+/// GAP-relaxation-shaped LP, mirroring gap_lp.cc's construction: one x_ij
+/// per candidate (machine, job) pair in job-major order, an equality row
+/// per job (assign exactly once) and a capacity row per machine. Costs in
+/// [0, 1], processing times ~ travel distances — the shapes the reduction
+/// of Sec. III-A produces (machines = users, jobs = event copies).
+LinearProgram MakeGapShapedLp(uint64_t seed, int machines, int jobs,
+                              int candidates_per_job) {
+  Rng rng(seed);
+  struct Var {
+    int machine;
+    int job;
+  };
+  std::vector<Var> vars;
+  std::vector<std::vector<int>> vars_of_machine(
+      static_cast<size_t>(machines));
+  for (int j = 0; j < jobs; ++j) {
+    for (int k = 0; k < candidates_per_job; ++k) {
+      const int i = static_cast<int>(rng.UniformInt(0, machines - 1));
+      const int v = static_cast<int>(vars.size());
+      vars.push_back(Var{i, j});
+      vars_of_machine[static_cast<size_t>(i)].push_back(v);
+    }
+  }
+
+  LinearProgram lp(LinearProgram::Sense::kMinimize,
+                   static_cast<int>(vars.size()));
+  for (size_t v = 0; v < vars.size(); ++v) {
+    lp.set_objective(static_cast<int>(v), rng.UniformDouble());  // 1 - mu
+  }
+  int cursor = 0;
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<std::pair<int, double>> terms;
+    for (int k = 0; k < candidates_per_job; ++k) {
+      terms.emplace_back(cursor++, 1.0);
+    }
+    lp.AddConstraint(std::move(terms), Relation::kEqual, 1.0);
+  }
+  for (int i = 0; i < machines; ++i) {
+    if (vars_of_machine[static_cast<size_t>(i)].empty()) continue;
+    std::vector<std::pair<int, double>> terms;
+    for (int v : vars_of_machine[static_cast<size_t>(i)]) {
+      terms.emplace_back(v, rng.UniformDouble(0.5, 6.0));  // 2 d(u_i, e_j)
+    }
+    // (2 + eps) B_i, generous enough that most instances are feasible.
+    lp.AddConstraint(std::move(terms), Relation::kLessEqual,
+                     rng.UniformDouble(8.0, 30.0));
+  }
+  return lp;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct RunStats {
+  double total_ms = 0.0;
+  int solved = 0;
+  int64_t allocations = 0;
+};
+
+RunStats RunSolves(const std::vector<LinearProgram>& programs,
+                   SimplexEngine engine, bool reuse_workspace) {
+  SimplexOptions options;
+  options.engine = engine;
+  RunStats stats;
+  LpWorkspace shared;
+  for (const LinearProgram& lp : programs) {
+    LpWorkspace local;
+    LpWorkspace& workspace = reuse_workspace ? shared : local;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = SolveLp(lp, options, &workspace);
+    stats.total_ms += MillisSince(start);
+    if (result.ok()) ++stats.solved;
+    if (!reuse_workspace) stats.allocations += workspace.allocation_count();
+  }
+  if (reuse_workspace) stats.allocations = shared.allocation_count();
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int machines = 5 + static_cast<int>(60 * flags.scale);
+  const int jobs = 10 + static_cast<int>(150 * flags.scale);
+  const int candidates_per_job = 6;
+  const int solves = flags.trials * 8;
+
+  std::vector<LinearProgram> programs;
+  programs.reserve(static_cast<size_t>(solves));
+  for (int s = 0; s < solves; ++s) {
+    programs.push_back(
+        MakeGapShapedLp(0xBEEFu + s, machines, jobs, candidates_per_job));
+  }
+
+  std::printf("bench_lp_core: %d GAP-shaped LPs, %d machines x %d jobs, "
+              "%d candidates/job (%d vars, %d rows each)\n",
+              solves, machines, jobs, candidates_per_job,
+              programs.front().num_vars(),
+              programs.front().num_constraints());
+
+  const RunStats legacy =
+      RunSolves(programs, SimplexEngine::kLegacy, /*reuse_workspace=*/false);
+  const RunStats flat_fresh =
+      RunSolves(programs, SimplexEngine::kFlat, /*reuse_workspace=*/false);
+  const RunStats flat_reuse =
+      RunSolves(programs, SimplexEngine::kFlat, /*reuse_workspace=*/true);
+
+  const auto per_solve = [&](const RunStats& stats) {
+    return stats.total_ms / static_cast<double>(solves);
+  };
+  const double speedup_fresh = legacy.total_ms / flat_fresh.total_ms;
+  const double speedup_reuse = legacy.total_ms / flat_reuse.total_ms;
+
+  std::printf("%-22s %10s %10s %8s %8s\n", "config", "total_ms", "ms/solve",
+              "solved", "allocs");
+  std::printf("%-22s %10.2f %10.3f %8d %8lld\n", "legacy", legacy.total_ms,
+              per_solve(legacy), legacy.solved,
+              static_cast<long long>(legacy.allocations));
+  std::printf("%-22s %10.2f %10.3f %8d %8lld\n", "flat (fresh arena)",
+              flat_fresh.total_ms, per_solve(flat_fresh), flat_fresh.solved,
+              static_cast<long long>(flat_fresh.allocations));
+  std::printf("%-22s %10.2f %10.3f %8d %8lld\n", "flat (reused arena)",
+              flat_reuse.total_ms, per_solve(flat_reuse), flat_reuse.solved,
+              static_cast<long long>(flat_reuse.allocations));
+  std::printf("speedup vs legacy: %.2fx fresh, %.2fx reused\n", speedup_fresh,
+              speedup_reuse);
+
+  JsonResults json("lp_core");
+  json.Add("solves", solves);
+  json.Add("lp_vars", programs.front().num_vars());
+  json.Add("lp_rows", programs.front().num_constraints());
+  json.Add("legacy_ms_per_solve", per_solve(legacy));
+  json.Add("flat_fresh_ms_per_solve", per_solve(flat_fresh));
+  json.Add("flat_reuse_ms_per_solve", per_solve(flat_reuse));
+  json.Add("speedup_fresh_vs_legacy", speedup_fresh);
+  json.Add("speedup_reuse_vs_legacy", speedup_reuse);
+  json.Add("allocs_without_reuse",
+           static_cast<double>(flat_fresh.allocations));
+  json.Add("allocs_with_reuse", static_cast<double>(flat_reuse.allocations));
+  if (!json.WriteTo(flags.json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gepc
+
+int main(int argc, char** argv) { return gepc::bench::Main(argc, argv); }

@@ -5,10 +5,20 @@
 #include <vector>
 
 #include "lp/linear_program.h"
+#include "obs/metrics.h"
 
 namespace gepc {
 
 namespace {
+
+/// One workspace per thread: consecutive GAP relaxations (and the retry
+/// after a candidate-cap infeasibility) share a single tableau arena, so the
+/// per-solve allocation count is O(1) once the arena has grown to the
+/// instance family's working size.
+LpWorkspace& ThreadWorkspace() {
+  thread_local LpWorkspace workspace;
+  return workspace;
+}
 
 /// Eligible (machine, job) pairs that survive the per-job candidate cap.
 struct CandidateSet {
@@ -79,7 +89,19 @@ Result<FractionalAssignment> SolveWithCandidates(const GapInstance& gap,
     lp.AddConstraint(std::move(terms), Relation::kLessEqual, gap.capacity(i));
   }
 
-  GEPC_ASSIGN_OR_RETURN(LpSolution solution, SolveLp(lp, simplex));
+  static const auto solves = obs::Registry::Global().GetCounter(
+      "gepc_gap_lp_solves_total", "GAP LP relaxations solved via simplex");
+  static const auto arena_allocs = obs::Registry::Global().GetCounter(
+      "gepc_gap_lp_arena_allocs_total",
+      "Tableau arena (re)allocations across GAP LP solves; flat when the "
+      "workspace reuse contract holds");
+
+  LpWorkspace& workspace = ThreadWorkspace();
+  const int64_t allocs_before = workspace.allocation_count();
+  GEPC_ASSIGN_OR_RETURN(LpSolution solution, SolveLp(lp, simplex, &workspace));
+  solves->Increment();
+  arena_allocs->Increment(
+      static_cast<uint64_t>(workspace.allocation_count() - allocs_before));
 
   FractionalAssignment frac;
   frac.job_shares.resize(static_cast<size_t>(gap.num_jobs()));

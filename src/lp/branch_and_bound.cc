@@ -24,8 +24,10 @@ class MipSearch {
   int64_t nodes() const { return nodes_; }
 
  private:
-  /// Relaxation with 0/1 box and current fixings as extra rows.
-  Result<LpSolution> SolveRelaxation() const {
+  /// Relaxation with 0/1 box and current fixings as extra rows. Every node
+  /// has the same tableau shape, so one workspace serves the whole search
+  /// with O(1) allocations after the root solve.
+  Result<LpSolution> SolveRelaxation() {
     LinearProgram node = lp_;
     for (int v = 0; v < lp_.num_vars(); ++v) {
       const int fix = fixed_[static_cast<size_t>(v)];
@@ -36,7 +38,7 @@ class MipSearch {
                            static_cast<double>(fix));
       }
     }
-    return SolveLp(node, options_.simplex);
+    return SolveLp(node, options_.simplex, &workspace_);
   }
 
   /// True iff `candidate` cannot beat the incumbent.
@@ -97,6 +99,7 @@ class MipSearch {
   const LinearProgram& lp_;
   const MipOptions& options_;
   const bool maximize_;
+  LpWorkspace workspace_;
   std::vector<int> fixed_;  // -1 free, 0/1 fixed
   std::vector<double> best_x_;
   double best_objective_ = 0.0;

@@ -1,0 +1,331 @@
+#include "lp/certificates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace gepc {
+namespace {
+
+/// Dense rows rebuilt straight from the program (duplicate terms summed),
+/// with the caller's original relations and rhs — no solver normalization,
+/// so the checks below cannot inherit a solver-side sign mistake.
+struct DenseRows {
+  std::vector<std::vector<double>> coef;
+  std::vector<Relation> relation;
+  std::vector<double> rhs;
+};
+
+DenseRows BuildDenseRows(const LinearProgram& lp) {
+  DenseRows rows;
+  const int m = lp.num_constraints();
+  const int n = lp.num_vars();
+  rows.coef.assign(static_cast<size_t>(m),
+                   std::vector<double>(static_cast<size_t>(n), 0.0));
+  rows.relation.resize(static_cast<size_t>(m));
+  rows.rhs.resize(static_cast<size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    const auto& c = lp.constraint(r);
+    rows.relation[static_cast<size_t>(r)] = c.relation;
+    rows.rhs[static_cast<size_t>(r)] = c.rhs;
+    for (const auto& [var, coef] : c.terms) {
+      rows.coef[static_cast<size_t>(r)][static_cast<size_t>(var)] += coef;
+    }
+  }
+  return rows;
+}
+
+double MaxAbs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Status Violated(const std::string& what, int index, double value) {
+  return Status::Internal("certificate check failed: " + what + " (index " +
+                          std::to_string(index) + ", value " +
+                          std::to_string(value) + ")");
+}
+
+/// Sign of the row multiplier required by the dual / Farkas conventions:
+/// +1 means y_r >= 0, -1 means y_r <= 0, 0 means free. `flip` selects the
+/// maximization column of the convention table.
+int RequiredMultiplierSign(Relation rel, bool flip) {
+  int sign = 0;
+  switch (rel) {
+    case Relation::kLessEqual:
+      sign = -1;
+      break;
+    case Relation::kGreaterEqual:
+      sign = +1;
+      break;
+    case Relation::kEqual:
+      return 0;
+  }
+  return flip ? -sign : sign;
+}
+
+Status CheckMultiplierSigns(const DenseRows& rows, const std::vector<double>& y,
+                            bool flip, double tol, const char* what) {
+  for (size_t r = 0; r < y.size(); ++r) {
+    const int sign = RequiredMultiplierSign(rows.relation[r], flip);
+    if (sign > 0 && y[r] < -tol) {
+      return Violated(std::string(what) + " multiplier must be >= 0",
+                      static_cast<int>(r), y[r]);
+    }
+    if (sign < 0 && y[r] > tol) {
+      return Violated(std::string(what) + " multiplier must be <= 0",
+                      static_cast<int>(r), y[r]);
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyOptimal(const LinearProgram& lp, const DenseRows& rows,
+                     const CertifiedLpResult& certified, double tol) {
+  const int m = lp.num_constraints();
+  const int n = lp.num_vars();
+  const bool maximize = lp.sense() == LinearProgram::Sense::kMaximize;
+  const std::vector<double>& x = certified.solution.x;
+  const std::vector<double>& y = certified.dual;
+  if (static_cast<int>(x.size()) != n) {
+    return Status::Internal("certificate check failed: solution size " +
+                            std::to_string(x.size()) + " != num_vars " +
+                            std::to_string(n));
+  }
+  if (static_cast<int>(y.size()) != m) {
+    return Status::Internal("certificate check failed: dual size " +
+                            std::to_string(y.size()) + " != num_constraints " +
+                            std::to_string(m));
+  }
+  if (static_cast<int>(certified.reduced_costs.size()) != n) {
+    return Status::Internal(
+        "certificate check failed: reduced_costs size mismatch");
+  }
+
+  // Primal feasibility: x >= 0 and each row satisfied within tol (scaled by
+  // the row magnitude so huge-coefficient rows are not held to an absolute
+  // bar their own rounding cannot meet).
+  for (int j = 0; j < n; ++j) {
+    if (x[static_cast<size_t>(j)] < -tol) {
+      return Violated("primal x must be >= 0", j, x[static_cast<size_t>(j)]);
+    }
+  }
+  std::vector<double> activity(static_cast<size_t>(m), 0.0);
+  for (int r = 0; r < m; ++r) {
+    double ax = 0.0;
+    double scale = std::fabs(rows.rhs[static_cast<size_t>(r)]);
+    for (int j = 0; j < n; ++j) {
+      ax += rows.coef[static_cast<size_t>(r)][static_cast<size_t>(j)] *
+            x[static_cast<size_t>(j)];
+      scale = std::max(
+          scale,
+          std::fabs(rows.coef[static_cast<size_t>(r)][static_cast<size_t>(j)] *
+                    x[static_cast<size_t>(j)]));
+    }
+    activity[static_cast<size_t>(r)] = ax;
+    const double slack = ax - rows.rhs[static_cast<size_t>(r)];
+    const double row_tol = tol * std::max(1.0, scale);
+    switch (rows.relation[static_cast<size_t>(r)]) {
+      case Relation::kLessEqual:
+        if (slack > row_tol) return Violated("primal row <= violated", r, slack);
+        break;
+      case Relation::kGreaterEqual:
+        if (slack < -row_tol) {
+          return Violated("primal row >= violated", r, slack);
+        }
+        break;
+      case Relation::kEqual:
+        if (std::fabs(slack) > row_tol) {
+          return Violated("primal row = violated", r, slack);
+        }
+        break;
+    }
+  }
+
+  // Dual feasibility: multiplier signs plus the dual constraints. The
+  // reported reduced cost must agree with the recomputed dual slack.
+  GEPC_RETURN_IF_ERROR(
+      CheckMultiplierSigns(rows, y, /*flip=*/maximize, tol, "dual"));
+  std::vector<double> dual_slack(static_cast<size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    double yta = 0.0;
+    for (int r = 0; r < m; ++r) {
+      yta += y[static_cast<size_t>(r)] *
+             rows.coef[static_cast<size_t>(r)][static_cast<size_t>(j)];
+    }
+    const double cj = lp.objective(j);
+    // min: c_j - y^T a_j >= 0; max: y^T a_j - c_j >= 0.
+    const double slack = maximize ? yta - cj : cj - yta;
+    dual_slack[static_cast<size_t>(j)] = slack;
+    if (slack < -tol) return Violated("dual constraint violated", j, slack);
+    const double reported = certified.reduced_costs[static_cast<size_t>(j)];
+    if (std::fabs(reported - slack) > tol * std::max(1.0, std::fabs(slack))) {
+      return Violated("reported reduced cost disagrees with dual slack", j,
+                      reported - slack);
+    }
+  }
+
+  // Complementary slackness, both directions.
+  for (int j = 0; j < n; ++j) {
+    const double prod =
+        x[static_cast<size_t>(j)] * dual_slack[static_cast<size_t>(j)];
+    if (std::fabs(prod) > tol * std::max(1.0, std::fabs(prod))) {
+      if (std::fabs(prod) > tol) {
+        return Violated("complementary slackness x_j * dual_slack_j != 0", j,
+                        prod);
+      }
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    const double prod =
+        y[static_cast<size_t>(r)] *
+        (activity[static_cast<size_t>(r)] - rows.rhs[static_cast<size_t>(r)]);
+    if (std::fabs(prod) > tol) {
+      return Violated("complementary slackness y_r * row_slack_r != 0", r,
+                      prod);
+    }
+  }
+
+  // Strong duality: b^T y == c^T x == reported objective.
+  double primal_obj = 0.0;
+  for (int j = 0; j < n; ++j) {
+    primal_obj += lp.objective(j) * x[static_cast<size_t>(j)];
+  }
+  double dual_obj = 0.0;
+  for (int r = 0; r < m; ++r) {
+    dual_obj += rows.rhs[static_cast<size_t>(r)] * y[static_cast<size_t>(r)];
+  }
+  const double obj_scale =
+      std::max({1.0, std::fabs(primal_obj), std::fabs(dual_obj)});
+  if (std::fabs(primal_obj - dual_obj) > tol * obj_scale) {
+    return Violated("strong duality b^T y != c^T x", -1, primal_obj - dual_obj);
+  }
+  if (std::fabs(primal_obj - certified.solution.objective_value) >
+      tol * obj_scale) {
+    return Violated("reported objective disagrees with c^T x", -1,
+                    primal_obj - certified.solution.objective_value);
+  }
+  return Status::OK();
+}
+
+Status VerifyInfeasible(const LinearProgram& lp, const DenseRows& rows,
+                        const CertifiedLpResult& certified, double tol) {
+  const int m = lp.num_constraints();
+  const int n = lp.num_vars();
+  std::vector<double> y = certified.farkas;
+  if (static_cast<int>(y.size()) != m) {
+    return Status::Internal("certificate check failed: farkas size " +
+                            std::to_string(y.size()) + " != num_constraints " +
+                            std::to_string(m));
+  }
+  // Farkas vectors are scale-free; normalize to unit max-magnitude so the
+  // strict-positivity margin below is meaningful regardless of solver
+  // scaling.
+  const double scale = MaxAbs(y);
+  if (scale <= 0.0) {
+    return Status::Internal("certificate check failed: farkas vector is zero");
+  }
+  for (double& v : y) v /= scale;
+
+  GEPC_RETURN_IF_ERROR(
+      CheckMultiplierSigns(rows, y, /*flip=*/false, tol, "farkas"));
+  for (int j = 0; j < n; ++j) {
+    double yta = 0.0;
+    for (int r = 0; r < m; ++r) {
+      yta += y[static_cast<size_t>(r)] *
+             rows.coef[static_cast<size_t>(r)][static_cast<size_t>(j)];
+    }
+    if (yta > tol) return Violated("farkas y^T a_j must be <= 0", j, yta);
+  }
+  double bty = 0.0;
+  for (int r = 0; r < m; ++r) {
+    bty += rows.rhs[static_cast<size_t>(r)] * y[static_cast<size_t>(r)];
+  }
+  if (bty <= 10.0 * tol) {
+    return Violated("farkas b^T y must be strictly positive", -1, bty);
+  }
+  return Status::OK();
+}
+
+Status VerifyUnbounded(const LinearProgram& lp, const DenseRows& rows,
+                       const CertifiedLpResult& certified, double tol) {
+  const int m = lp.num_constraints();
+  const int n = lp.num_vars();
+  const bool maximize = lp.sense() == LinearProgram::Sense::kMaximize;
+  std::vector<double> d = certified.ray;
+  if (static_cast<int>(d.size()) != n) {
+    return Status::Internal("certificate check failed: ray size " +
+                            std::to_string(d.size()) + " != num_vars " +
+                            std::to_string(n));
+  }
+  const double scale = MaxAbs(d);
+  if (scale <= 0.0) {
+    return Status::Internal("certificate check failed: ray is zero");
+  }
+  for (double& v : d) v /= scale;
+
+  for (int j = 0; j < n; ++j) {
+    if (d[static_cast<size_t>(j)] < -tol) {
+      return Violated("ray must be >= 0", j, d[static_cast<size_t>(j)]);
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    double ad = 0.0;
+    for (int j = 0; j < n; ++j) {
+      ad += rows.coef[static_cast<size_t>(r)][static_cast<size_t>(j)] *
+            d[static_cast<size_t>(j)];
+    }
+    switch (rows.relation[static_cast<size_t>(r)]) {
+      case Relation::kLessEqual:
+        if (ad > tol) return Violated("ray a_r d must be <= 0", r, ad);
+        break;
+      case Relation::kGreaterEqual:
+        if (ad < -tol) return Violated("ray a_r d must be >= 0", r, ad);
+        break;
+      case Relation::kEqual:
+        if (std::fabs(ad) > tol) return Violated("ray a_r d must be 0", r, ad);
+        break;
+    }
+  }
+  double ctd = 0.0;
+  for (int j = 0; j < n; ++j) {
+    ctd += lp.objective(j) * d[static_cast<size_t>(j)];
+  }
+  if (maximize) {
+    if (ctd <= 10.0 * tol) {
+      return Violated("ray c^T d must be strictly positive (maximize)", -1,
+                      ctd);
+    }
+  } else {
+    if (ctd >= -10.0 * tol) {
+      return Violated("ray c^T d must be strictly negative (minimize)", -1,
+                      ctd);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyLpCertificate(const LinearProgram& lp,
+                           const CertifiedLpResult& certified,
+                           double tolerance) {
+  GEPC_RETURN_IF_ERROR(lp.Validate());
+  if (!(tolerance > 0.0)) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  const DenseRows rows = BuildDenseRows(lp);
+  switch (certified.outcome) {
+    case LpOutcome::kOptimal:
+      return VerifyOptimal(lp, rows, certified, tolerance);
+    case LpOutcome::kInfeasible:
+      return VerifyInfeasible(lp, rows, certified, tolerance);
+    case LpOutcome::kUnbounded:
+      return VerifyUnbounded(lp, rows, certified, tolerance);
+  }
+  return Status::Internal("unknown certificate outcome");
+}
+
+}  // namespace gepc

@@ -1,0 +1,77 @@
+#ifndef GEPC_LP_CERTIFICATES_H_
+#define GEPC_LP_CERTIFICATES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+
+namespace gepc {
+
+/// How a certified LP solve ended. Unlike SolveLp (which folds infeasible
+/// and unbounded into error Statuses), the certified API reports all three
+/// outcomes as values, each carrying an independently checkable witness.
+enum class LpOutcome {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+/// An LP solve result plus the certificate that proves it, in terms of the
+/// ORIGINAL program (rows as the caller stated them, including sense).
+///
+/// Conventions, with A the dense constraint matrix (duplicate terms
+/// summed), rows related to b by <=, >= or =:
+///
+///  * kOptimal: `solution` holds x; `dual` holds one multiplier y_r per
+///    constraint row with
+///      minimize: y_r <= 0 for <= rows, y_r >= 0 for >= rows, free for =;
+///                sum_r y_r a_rj <= c_j for every variable j;
+///      maximize: y_r >= 0 for <= rows, y_r <= 0 for >= rows, free for =;
+///                sum_r y_r a_rj >= c_j for every variable j;
+///    complementary slackness x_j * (dual slack)_j = 0 and
+///    y_r * (a_r x - b_r) = 0, and strong duality b^T y = c^T x.
+///    `reduced_costs[j]` is the (nonnegative) dual-constraint slack of
+///    variable j: c_j - sum_r y_r a_rj when minimizing, the negation when
+///    maximizing.
+///  * kInfeasible: `farkas` holds y_r with y_r <= 0 for <= rows, y_r >= 0
+///    for >= rows, free for =, such that sum_r y_r a_rj <= 0 for every j
+///    and b^T y > 0 — a Farkas proof that no x >= 0 satisfies the rows.
+///  * kUnbounded: `ray` holds a direction d >= 0, d != 0, with
+///    a_r d <= 0 for <= rows, >= 0 for >= rows, = 0 for = rows, and
+///    c^T d < 0 when minimizing (> 0 when maximizing) — a recession
+///    direction that improves the objective forever from any feasible
+///    point (the solver reached phase 2, so one exists).
+struct CertifiedLpResult {
+  LpOutcome outcome = LpOutcome::kOptimal;
+  LpSolution solution;                // kOptimal only
+  std::vector<double> dual;           // kOptimal: one entry per constraint
+  std::vector<double> reduced_costs;  // kOptimal: one entry per variable
+  std::vector<double> farkas;         // kInfeasible: one entry per constraint
+  std::vector<double> ray;            // kUnbounded: one entry per variable
+};
+
+/// Solves `lp` on the flat engine and returns the outcome with its
+/// certificate. Statuses are reserved for genuine failures:
+/// kInvalidArgument (malformed program / options) and kInternal (iteration
+/// cap). `options.engine` is ignored — certificates come from the flat
+/// tableau. `workspace` may be nullptr.
+Result<CertifiedLpResult> SolveLpCertified(const LinearProgram& lp,
+                                           const SimplexOptions& options = {},
+                                           LpWorkspace* workspace = nullptr);
+
+/// Independently verifies `certified` against `lp`: rebuilds the dense rows
+/// straight from the program (no solver state involved) and numerically
+/// checks every condition listed on CertifiedLpResult within `tolerance`.
+/// Farkas vectors and rays are scale-free, so they are normalized to unit
+/// max-magnitude before checking. Returns OK or kInternal naming the first
+/// violated condition. This is what lp_certificate_test leans on, so LP
+/// correctness does not rest on a second solver being right.
+Status VerifyLpCertificate(const LinearProgram& lp,
+                           const CertifiedLpResult& certified,
+                           double tolerance = 1e-6);
+
+}  // namespace gepc
+
+#endif  // GEPC_LP_CERTIFICATES_H_

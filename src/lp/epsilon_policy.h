@@ -1,0 +1,44 @@
+#ifndef GEPC_LP_EPSILON_POLICY_H_
+#define GEPC_LP_EPSILON_POLICY_H_
+
+namespace gepc {
+
+struct SimplexOptions;
+
+/// Every floating-point tolerance the simplex cores use, in one place.
+///
+/// Both LP engines (the legacy row-per-vector tableau and the flat
+/// arena-backed tableau) derive their comparisons from the same policy so
+/// the differential suite can compare them pivot-for-pivot. Historically
+/// these thresholds were scattered literals inside simplex.cc; the values
+/// below are those literals, now named and shared.
+struct EpsilonPolicy {
+  /// A column enters only if its reduced cost is below -reduced_cost.
+  double reduced_cost = 1e-9;
+  /// Ratio-test rows with pivot element <= pivot are skipped (too unstable
+  /// to divide by); also the drive-out scan's "non-zero entry" threshold.
+  double pivot = 1e-9;
+  /// Two ratios within ratio_tie of each other count as tied; ties break
+  /// on the smallest basis index (Bland) to resist cycling.
+  double ratio_tie = 1e-9;
+  /// A pivot step shorter than degenerate_step counts as degenerate and
+  /// advances the streak that eventually forces Bland's rule.
+  double degenerate_step = 1e-9;
+  /// Phase-1 optimum above this value proves the program infeasible.
+  double phase1_feasible = 1e-7;
+  /// An artificial variable basic above this level after phase 1 is an
+  /// internal error (phase 1 claimed feasibility it cannot back up).
+  double drive_out_rhs = 1e-7;
+  /// Solution values with magnitude below value_clamp are snapped to 0
+  /// before the objective is recomputed.
+  double value_clamp = 1e-11;
+
+  /// Policy derived from user options: the four pivot-loop tolerances track
+  /// options.epsilon (the documented "reduced-cost / pivot tolerance"), the
+  /// feasibility and clamping constants stay fixed.
+  static EpsilonPolicy FromOptions(const SimplexOptions& options);
+};
+
+}  // namespace gepc
+
+#endif  // GEPC_LP_EPSILON_POLICY_H_

@@ -1,0 +1,513 @@
+#include "lp/flat_tableau.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lp/epsilon_policy.h"
+
+namespace gepc {
+namespace lp_internal {
+
+// ---------------------------------------------------------------------------
+// FlatTableau: arena management + tableau construction
+// ---------------------------------------------------------------------------
+
+void FlatTableau::Layout(int row_cap, int col_cap) {
+  row_cap_ = row_cap;
+  col_cap_ = col_cap;
+  const size_t rc = static_cast<size_t>(row_cap);
+  const size_t cc = static_cast<size_t>(col_cap);
+
+  const size_t doubles_needed = rc * cc + rc + 4 * cc;
+  const size_t ints_needed = 2 * rc + 2 * cc;
+  const size_t flags_needed = 2 * rc;
+  if (doubles_.size() < doubles_needed || ints_.size() < ints_needed ||
+      flags_.size() < flags_needed) {
+    doubles_.resize(doubles_needed);
+    ints_.resize(ints_needed);
+    flags_.resize(flags_needed);
+    ++allocations_;
+  }
+
+  tab_ = doubles_.data();
+  rhs_ = tab_ + rc * cc;
+  cost_ = rhs_ + rc;
+  reduced_ = cost_ + cc;
+  pricing_ = reduced_ + cc;
+  norms_ = pricing_ + cc;
+
+  basis_ = ints_.data();
+  identity_col_ = basis_ + rc;
+  ext_to_store_ = identity_col_ + rc;
+  store_to_ext_ = ext_to_store_ + cc;
+
+  row_active_ = flags_.data();
+  row_flipped_ = row_active_ + rc;
+}
+
+Status FlatTableau::Reset(const LinearProgram& lp) {
+  const int n = lp.num_vars();
+  const int m = lp.num_constraints();
+
+  // Pass 1: count slack / artificial columns after rhs >= 0 normalization
+  // (a flipped row also flips its relation, which can change both counts).
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (int r = 0; r < m; ++r) {
+    const auto& c = lp.constraint(r);
+    Relation rel = c.relation;
+    if (c.rhs < 0.0) {
+      if (rel == Relation::kLessEqual) {
+        rel = Relation::kGreaterEqual;
+      } else if (rel == Relation::kGreaterEqual) {
+        rel = Relation::kLessEqual;
+      }
+    }
+    if (rel != Relation::kEqual) ++num_slack;
+    if (rel != Relation::kLessEqual) ++num_artificial;
+  }
+
+  structural_ = n;
+  slack_ = num_slack;
+  artificial_ = num_artificial;
+  rows_ = m;
+  cols_ = n + num_slack + num_artificial;
+
+  // Reuse the arenas when everything fits; grow with 25% headroom (plus a
+  // small constant so tiny programs still land a little slack) otherwise.
+  if (rows_ > row_cap_ || cols_ > col_cap_) {
+    const int row_cap = std::max(row_cap_, rows_ + rows_ / 4 + 4);
+    const int col_cap = std::max(col_cap_, cols_ + cols_ / 4 + 8);
+    Layout(row_cap, col_cap);
+  }
+
+  // Zero only the region this program uses; stale headroom is never read.
+  for (int r = 0; r < rows_; ++r) {
+    double* row = tab_ + static_cast<size_t>(r) * col_cap_;
+    std::fill(row, row + cols_, 0.0);
+  }
+  std::fill(rhs_, rhs_ + rows_, 0.0);
+
+  // Column permutation between slack-first storage order
+  // [slacks | structural | artificial] and the external (legacy) order
+  // [structural | slacks | artificial].
+  for (int v = 0; v < n; ++v) ext_to_store_[v] = slack_ + v;
+  for (int k = 0; k < slack_; ++k) ext_to_store_[n + k] = k;
+  for (int k = 0; k < artificial_; ++k) {
+    ext_to_store_[n + slack_ + k] = n + slack_ + k;
+  }
+  for (int ext = 0; ext < cols_; ++ext) store_to_ext_[ext_to_store_[ext]] = ext;
+
+  // Pass 2: normalize each row (sum duplicate terms, rhs >= 0) and place
+  // its coefficients, slack and artificial.
+  int next_slack = 0;
+  int next_artificial = slack_ + structural_;
+  dense_row_.assign(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const auto& c = lp.constraint(r);
+    std::fill(dense_row_.begin(), dense_row_.end(), 0.0);
+    for (const auto& [var, coef] : c.terms) {
+      dense_row_[static_cast<size_t>(var)] += coef;
+    }
+    Relation rel = c.relation;
+    double rhs = c.rhs;
+    bool flipped = false;
+    if (rhs < 0.0) {
+      for (double& v : dense_row_) v = -v;
+      rhs = -rhs;
+      flipped = true;
+      if (rel == Relation::kLessEqual) {
+        rel = Relation::kGreaterEqual;
+      } else if (rel == Relation::kGreaterEqual) {
+        rel = Relation::kLessEqual;
+      }
+    }
+
+    double* row = tab_ + static_cast<size_t>(r) * col_cap_;
+    for (int v = 0; v < n; ++v) {
+      row[slack_ + v] = dense_row_[static_cast<size_t>(v)];
+    }
+    rhs_[r] = rhs;
+    row_active_[r] = 1;
+    row_flipped_[r] = flipped ? 1 : 0;
+    switch (rel) {
+      case Relation::kLessEqual:
+        row[next_slack] = 1.0;
+        basis_[r] = next_slack;
+        identity_col_[r] = next_slack;
+        ++next_slack;
+        break;
+      case Relation::kGreaterEqual:
+        row[next_slack] = -1.0;
+        row[next_artificial] = 1.0;
+        basis_[r] = next_artificial;
+        identity_col_[r] = next_artificial;
+        ++next_slack;
+        ++next_artificial;
+        break;
+      case Relation::kEqual:
+        row[next_artificial] = 1.0;
+        basis_[r] = next_artificial;
+        identity_col_[r] = next_artificial;
+        ++next_artificial;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+TableauView FlatTableau::View() {
+  TableauView view;
+  view.tab = tab_;
+  view.rhs = rhs_;
+  view.basis = basis_;
+  view.row_active = row_active_;
+  view.rows = rows_;
+  view.cols = cols_;
+  view.stride = col_cap_;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// FlatSimplex: the pivot kernel, operating on a TableauView
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class RunOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+class FlatSimplex {
+ public:
+  FlatSimplex(FlatTableau* tableau, const SimplexOptions& options)
+      : t_(*tableau),
+        view_(tableau->View()),
+        options_(options),
+        policy_(EpsilonPolicy::FromOptions(options)) {}
+
+  /// Runs phase 1 + phase 2 for `lp` and fills `out` (outcome, solution and
+  /// certificate). Non-OK only for internal failures (iteration cap,
+  /// drive-out inconsistency).
+  Status Optimize(const LinearProgram& lp, CertifiedLpResult* out) {
+    const bool maximize = lp.sense() == LinearProgram::Sense::kMaximize;
+    const int cols = view_.cols;
+    double* cost = t_.cost();
+
+    if (t_.num_artificial() > 0) {
+      std::fill(cost, cost + cols, 0.0);
+      for (int c = t_.artificial_store_begin(); c < cols; ++c) cost[c] = 1.0;
+      const RunOutcome phase1 = RunSimplex(/*forbid_artificials=*/false);
+      if (phase1 == RunOutcome::kIterationLimit) {
+        return Status::Internal("simplex iteration limit reached");
+      }
+      if (phase1 == RunOutcome::kUnbounded) {
+        // Phase-1 cost is bounded below by 0; reaching this means the
+        // tableau lost coherence.
+        return Status::Internal("phase-1 objective reported unbounded");
+      }
+      if (PhaseObjective() > policy_.phase1_feasible) {
+        out->outcome = LpOutcome::kInfeasible;
+        // The phase-1 duals y = c1_B B^{-1} are exactly a Farkas witness:
+        // optimality gives y^T A_j <= c1_j = 0 for every non-artificial
+        // column, and y^T b is the positive phase-1 optimum.
+        ExtractRowMultipliers(/*negate=*/false, &out->farkas);
+        return Status::OK();
+      }
+      GEPC_RETURN_IF_ERROR(DriveOutArtificials());
+    }
+
+    std::fill(cost, cost + cols, 0.0);
+    for (int v = 0; v < t_.num_structural(); ++v) {
+      const double c = lp.objective(v);
+      cost[t_.structural_store(v)] = maximize ? -c : c;
+    }
+    const RunOutcome phase2 = RunSimplex(/*forbid_artificials=*/true);
+    if (phase2 == RunOutcome::kIterationLimit) {
+      return Status::Internal("simplex iteration limit reached");
+    }
+    if (phase2 == RunOutcome::kUnbounded) {
+      out->outcome = LpOutcome::kUnbounded;
+      ExtractRay(&out->ray);
+      return Status::OK();
+    }
+
+    out->outcome = LpOutcome::kOptimal;
+    ExtractSolution(lp, &out->solution);
+    // For maximization the internal duals solve the negated minimization;
+    // negating them restores the conventions documented on
+    // CertifiedLpResult.
+    ExtractRowMultipliers(/*negate=*/maximize, &out->dual);
+    out->reduced_costs.resize(static_cast<size_t>(t_.num_structural()));
+    for (int v = 0; v < t_.num_structural(); ++v) {
+      out->reduced_costs[static_cast<size_t>(v)] =
+          t_.reduced()[t_.structural_store(v)];
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool structural_store_col(int c) const {
+    return c >= t_.num_slack() && c < t_.num_slack() + t_.num_structural();
+  }
+
+  /// Reduced costs r = c - c_B^T (B^{-1} A) for every storage column.
+  /// Accumulates z = c_B^T (B^{-1} A) row-by-row so the inner loop is a
+  /// contiguous axpy over the flat buffer (the cache-friendly transpose of
+  /// the legacy column-at-a-time loop; identical FP operation order per
+  /// element, so the two engines agree bit-for-bit).
+  void ComputeReducedCosts() {
+    const int cols = view_.cols;
+    const double* cost = t_.cost();
+    double* z = t_.pricing();
+    double* reduced = t_.reduced();
+    std::fill(z, z + cols, 0.0);
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;
+      const double cb = cost[view_.basis[r]];
+      if (cb == 0.0) continue;
+      const double* row = view_.row(r);
+      for (int c = 0; c < cols; ++c) z[c] += cb * row[c];
+    }
+    for (int c = 0; c < cols; ++c) reduced[c] = cost[c] - z[c];
+  }
+
+  /// Squared column norms (plus 1 for the implicit objective-row entry)
+  /// for steepest-edge pricing; recomputed per iteration.
+  void ComputeColumnNorms() {
+    const int cols = view_.cols;
+    double* norms = t_.norms();
+    std::fill(norms, norms + cols, 1.0);
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;
+      const double* row = view_.row(r);
+      for (int c = 0; c < cols; ++c) norms[c] += row[c] * row[c];
+    }
+  }
+
+  double PhaseObjective() const {
+    const double* cost = t_.cost();
+    double value = 0.0;
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;
+      value += cost[view_.basis[r]] * view_.rhs[r];
+    }
+    return value;
+  }
+
+  void Pivot(int pivot_row, int pivot_col) {
+    const int cols = view_.cols;
+    double* prow = view_.row(pivot_row);
+    const double pivot = prow[pivot_col];
+    for (int c = 0; c < cols; ++c) prow[c] /= pivot;
+    view_.rhs[pivot_row] /= pivot;
+    prow[pivot_col] = 1.0;  // cancel rounding
+    const double pivot_rhs = view_.rhs[pivot_row];
+    for (int r = 0; r < view_.rows; ++r) {
+      if (r == pivot_row || !view_.row_active[r]) continue;
+      double* row = view_.row(r);
+      const double factor = row[pivot_col];
+      if (factor == 0.0) continue;
+      for (int c = 0; c < cols; ++c) row[c] -= factor * prow[c];
+      row[pivot_col] = 0.0;
+      view_.rhs[r] -= factor * pivot_rhs;
+    }
+    view_.basis[pivot_row] = pivot_col;
+  }
+
+  /// One simplex phase over the current cost row. Entering-column scans run
+  /// in EXTERNAL column order (structural, slack, artificial — the legacy
+  /// numbering) so Dantzig tie-breaks, Bland's rule and therefore the whole
+  /// pivot sequence match the legacy engine exactly.
+  RunOutcome RunSimplex(bool forbid_artificials) {
+    const int cols = view_.cols;
+    const int ext_limit =
+        forbid_artificials ? t_.num_structural() + t_.num_slack() : cols;
+    const int64_t max_iter =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : 200LL * (view_.rows + cols) + 10000;
+    const double* reduced = t_.reduced();
+    int degenerate_streak = 0;
+    bool use_bland = options_.pivot_rule == SimplexPivotRule::kBland;
+    const bool steepest =
+        options_.pivot_rule == SimplexPivotRule::kSteepestEdge;
+
+    for (int64_t iter = 0; iter < max_iter; ++iter) {
+      ComputeReducedCosts();
+      int entering = -1;  // storage column
+      if (use_bland) {
+        for (int ext = 0; ext < ext_limit; ++ext) {
+          const int c = t_.ext_to_store(ext);
+          if (reduced[c] < -policy_.reduced_cost) {
+            entering = c;
+            break;
+          }
+        }
+      } else if (steepest) {
+        ComputeColumnNorms();
+        const double* norms = t_.norms();
+        double best_score = 0.0;
+        for (int ext = 0; ext < ext_limit; ++ext) {
+          const int c = t_.ext_to_store(ext);
+          const double rc = reduced[c];
+          if (rc >= -policy_.reduced_cost) continue;
+          const double score = rc * rc / norms[c];
+          if (score > best_score) {
+            best_score = score;
+            entering = c;
+          }
+        }
+      } else {
+        double best = -policy_.reduced_cost;
+        for (int ext = 0; ext < ext_limit; ++ext) {
+          const int c = t_.ext_to_store(ext);
+          if (reduced[c] < best) {
+            best = reduced[c];
+            entering = c;
+          }
+        }
+      }
+      if (entering < 0) return RunOutcome::kOptimal;
+
+      // Ratio test; Bland tie-break on the smallest EXTERNAL basis index.
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < view_.rows; ++r) {
+        if (!view_.row_active[r]) continue;
+        const double a = view_.at(r, entering);
+        if (a <= policy_.pivot) continue;
+        const double ratio = view_.rhs[r] / a;
+        if (ratio < best_ratio - policy_.ratio_tie ||
+            (ratio < best_ratio + policy_.ratio_tie &&
+             (leaving < 0 || t_.store_to_ext(view_.basis[r]) <
+                                 t_.store_to_ext(view_.basis[leaving])))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+      if (leaving < 0) {
+        unbounded_entering_ = entering;
+        return RunOutcome::kUnbounded;
+      }
+      if (best_ratio < policy_.degenerate_step) {
+        if (++degenerate_streak >= options_.degenerate_pivots_before_bland) {
+          use_bland = true;
+        }
+      } else {
+        degenerate_streak = 0;
+      }
+      Pivot(leaving, entering);
+    }
+    return RunOutcome::kIterationLimit;
+  }
+
+  /// After phase 1: pivot still-basic artificials out on any non-artificial
+  /// column (scanned in external order); rows that cannot pivot are
+  /// redundant and get deactivated.
+  Status DriveOutArtificials() {
+    const int art_begin = t_.artificial_store_begin();
+    const int ext_nonartificial = t_.num_structural() + t_.num_slack();
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;
+      if (view_.basis[r] < art_begin) continue;
+      if (std::fabs(view_.rhs[r]) > policy_.drive_out_rhs) {
+        return Status::Internal("artificial variable basic at non-zero level");
+      }
+      int pivot_col = -1;
+      for (int ext = 0; ext < ext_nonartificial; ++ext) {
+        const int c = t_.ext_to_store(ext);
+        if (std::fabs(view_.at(r, c)) > policy_.pivot) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col < 0) {
+        view_.row_active[r] = 0;  // redundant constraint
+      } else {
+        Pivot(r, pivot_col);
+      }
+    }
+    return Status::OK();
+  }
+
+  void ExtractSolution(const LinearProgram& lp, LpSolution* solution) {
+    const int n = t_.num_structural();
+    solution->x.assign(static_cast<size_t>(n), 0.0);
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;
+      const int c = view_.basis[r];
+      if (structural_store_col(c)) {
+        solution->x[static_cast<size_t>(c - t_.num_slack())] = view_.rhs[r];
+      }
+    }
+    double objective = 0.0;
+    for (int v = 0; v < n; ++v) {
+      double& value = solution->x[static_cast<size_t>(v)];
+      if (std::fabs(value) < policy_.value_clamp) value = 0.0;
+      objective += lp.objective(v) * value;
+    }
+    solution->objective_value = objective;
+  }
+
+  /// Row multipliers y = cost_B^T B^{-1}, read off the final reduced costs
+  /// of each row's initial-identity column (y_r = c_id - reduced_id), then
+  /// mapped back to the caller's row orientation (sign flip for rows that
+  /// were rhs-normalized; global negation for maximization duals).
+  void ExtractRowMultipliers(bool negate, std::vector<double>* y) {
+    y->assign(static_cast<size_t>(view_.rows), 0.0);
+    const double* cost = t_.cost();
+    const double* reduced = t_.reduced();
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;  // redundant rows keep y_r = 0
+      const int id = t_.identity_col(r);
+      double value = cost[id] - reduced[id];
+      if (t_.row_flipped(r)) value = -value;
+      if (negate) value = -value;
+      (*y)[static_cast<size_t>(r)] = value;
+    }
+  }
+
+  /// Recession direction from the failed ratio test: the entering column
+  /// rises with every basic variable moving at -tableau[r][entering]. Only
+  /// structural components are reported (slack motion is implied by the
+  /// row relations); ratio-test noise below the pivot tolerance clamps
+  /// to 0.
+  void ExtractRay(std::vector<double>* ray) {
+    const int n = t_.num_structural();
+    ray->assign(static_cast<size_t>(n), 0.0);
+    if (structural_store_col(unbounded_entering_)) {
+      (*ray)[static_cast<size_t>(unbounded_entering_ - t_.num_slack())] = 1.0;
+    }
+    for (int r = 0; r < view_.rows; ++r) {
+      if (!view_.row_active[r]) continue;
+      const int c = view_.basis[r];
+      if (!structural_store_col(c)) continue;
+      const double direction = -view_.at(r, unbounded_entering_);
+      (*ray)[static_cast<size_t>(c - t_.num_slack())] =
+          direction < 0.0 ? 0.0 : direction;
+    }
+  }
+
+  FlatTableau& t_;
+  TableauView view_;
+  SimplexOptions options_;
+  EpsilonPolicy policy_;
+  int unbounded_entering_ = -1;
+};
+
+}  // namespace
+
+Result<CertifiedLpResult> SolveLpFlat(const LinearProgram& lp,
+                                      const SimplexOptions& options,
+                                      FlatTableau* tableau) {
+  FlatTableau local;
+  FlatTableau* t = tableau != nullptr ? tableau : &local;
+  GEPC_RETURN_IF_ERROR(t->Reset(lp));
+  FlatSimplex simplex(t, options);
+  CertifiedLpResult out;
+  GEPC_RETURN_IF_ERROR(simplex.Optimize(lp, &out));
+  return out;
+}
+
+}  // namespace lp_internal
+}  // namespace gepc

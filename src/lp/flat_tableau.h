@@ -1,0 +1,149 @@
+#ifndef GEPC_LP_FLAT_TABLEAU_H_
+#define GEPC_LP_FLAT_TABLEAU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "lp/certificates.h"
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+
+namespace gepc {
+namespace lp_internal {
+
+/// Unmanaged view of a simplex tableau: raw pointers plus dimensions into
+/// an arena someone else owns (the LoopModels Simplex.hpp unmanaged/managed
+/// split). The pivot kernel works exclusively through this view, so it
+/// never cares whether the storage came from a reused workspace or a
+/// one-shot local tableau. Rows are contiguous with stride `stride`
+/// (the column capacity), which is what makes the pivot-row axpy and the
+/// reduced-cost accumulation plain vectorizable loops.
+struct TableauView {
+  double* tab = nullptr;      // rows x cols, row r at tab + r * stride
+  double* rhs = nullptr;      // length rows
+  int32_t* basis = nullptr;   // length rows; storage column basic in row r
+  uint8_t* row_active = nullptr;  // length rows; 0 = deactivated (redundant)
+  int rows = 0;
+  int cols = 0;               // columns in use (slack + structural + artificial)
+  int stride = 0;             // column capacity; >= cols
+
+  double* row(int r) { return tab + static_cast<size_t>(r) * stride; }
+  const double* row(int r) const {
+    return tab + static_cast<size_t>(r) * stride;
+  }
+  double& at(int r, int c) { return row(r)[c]; }
+  double at(int r, int c) const { return row(r)[c]; }
+};
+
+/// Managed owner of the flat tableau arena.
+///
+/// One contiguous double buffer holds the tableau, the rhs column and the
+/// cost / reduced-cost / pricing scratch rows; one contiguous int32 buffer
+/// holds the basis, the column permutations and the per-row metadata. Both
+/// are allocated with capacity headroom and survive Reset(), so solving a
+/// stream of same-shaped programs (the GAP event-copy loop, branch-and-
+/// bound nodes) costs zero allocations after the first.
+///
+/// Storage column order is slack-first — [slacks | structural | artificial]
+/// — following LoopModels' Simplex.hpp: the initial basis occupies a
+/// contiguous left-adjacent block. The *external* order (structural
+/// variables first, then slacks, then artificials, exactly the legacy
+/// engine's column numbering) is kept as a permutation and drives every
+/// order-sensitive scan — entering-column selection, ratio-test
+/// tie-breaking, artificial drive-out — so the flat engine reproduces the
+/// legacy engine's pivot sequence bit-for-bit under Dantzig pricing.
+class FlatTableau {
+ public:
+  FlatTableau() = default;
+
+  /// Builds the phase-0 tableau for `lp` (rows normalized to rhs >= 0,
+  /// initial slack/artificial basis), reusing the arenas when capacity
+  /// allows. Only fails on programs whose dimensions overflow int.
+  Status Reset(const LinearProgram& lp);
+
+  TableauView View();
+
+  // --- dimensions (valid after Reset) ---
+  int rows() const { return rows_; }
+  int num_structural() const { return structural_; }
+  int num_slack() const { return slack_; }
+  int num_artificial() const { return artificial_; }
+  int cols() const { return cols_; }
+
+  /// First storage column that is an artificial variable.
+  int artificial_store_begin() const { return slack_ + structural_; }
+
+  // --- column permutations ---
+  int ext_to_store(int ext) const { return ext_to_store_[ext]; }
+  int store_to_ext(int store) const { return store_to_ext_[store]; }
+  /// Storage column of structural variable v.
+  int structural_store(int v) const { return slack_ + v; }
+
+  // --- per-row metadata ---
+  /// Storage column of the row's initial-identity column (its slack for <=
+  /// rows, its artificial otherwise); the dual value of the row is read off
+  /// this column's final reduced cost.
+  int identity_col(int r) const { return identity_col_[r]; }
+  /// True when normalization negated the row (rhs was negative); dual /
+  /// Farkas multipliers for the row flip sign on the way out.
+  bool row_flipped(int r) const { return row_flipped_[r] != 0; }
+
+  // --- scratch rows living in the arena ---
+  double* cost() { return cost_; }          // length >= cols()
+  double* reduced() { return reduced_; }    // length >= cols()
+  double* pricing() { return pricing_; }    // length >= cols()
+  double* norms() { return norms_; }        // length >= cols()
+
+  // --- reuse accounting ---
+  int64_t allocation_count() const { return allocations_; }
+  size_t arena_bytes() const {
+    return doubles_.capacity() * sizeof(double) +
+           ints_.capacity() * sizeof(int32_t);
+  }
+
+ private:
+  void Layout(int row_cap, int col_cap);
+
+  std::vector<double> doubles_;
+  std::vector<int32_t> ints_;
+  std::vector<uint8_t> flags_;
+
+  // Pointers into the arenas, set by Layout().
+  double* tab_ = nullptr;
+  double* rhs_ = nullptr;
+  double* cost_ = nullptr;
+  double* reduced_ = nullptr;
+  double* pricing_ = nullptr;
+  double* norms_ = nullptr;
+  int32_t* basis_ = nullptr;
+  int32_t* ext_to_store_ = nullptr;
+  int32_t* store_to_ext_ = nullptr;
+  int32_t* identity_col_ = nullptr;
+  uint8_t* row_active_ = nullptr;
+  uint8_t* row_flipped_ = nullptr;
+
+  int rows_ = 0;
+  int structural_ = 0;
+  int slack_ = 0;
+  int artificial_ = 0;
+  int cols_ = 0;
+  int row_cap_ = 0;
+  int col_cap_ = 0;  // also the row stride
+  int64_t allocations_ = 0;
+
+  std::vector<double> dense_row_;  // Reset() scratch for duplicate summing
+};
+
+/// Runs the two-phase simplex for `lp` on the flat tableau and returns the
+/// outcome with certificates. `tableau` may be nullptr (a local one is
+/// used). This is the engine behind SolveLp(kFlat) and SolveLpCertified.
+Result<CertifiedLpResult> SolveLpFlat(const LinearProgram& lp,
+                                      const SimplexOptions& options,
+                                      FlatTableau* tableau);
+
+}  // namespace lp_internal
+}  // namespace gepc
+
+#endif  // GEPC_LP_FLAT_TABLEAU_H_

@@ -3,23 +3,73 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "lp/epsilon_policy.h"
+#include "lp/flat_tableau.h"
+
 namespace gepc {
+
+EpsilonPolicy EpsilonPolicy::FromOptions(const SimplexOptions& options) {
+  EpsilonPolicy policy;
+  policy.reduced_cost = options.epsilon;
+  policy.pivot = options.epsilon;
+  policy.ratio_tie = options.epsilon;
+  policy.degenerate_step = options.epsilon;
+  return policy;
+}
+
+Status ValidateSimplexOptions(const SimplexOptions& options) {
+  if (!(options.epsilon > 0.0) || options.epsilon > 1e-2) {
+    return Status::InvalidArgument(
+        "SimplexOptions.epsilon must be in (0, 1e-2], got " +
+        std::to_string(options.epsilon));
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument(
+        "SimplexOptions.max_iterations must be >= 0 (0 = default cap), got " +
+        std::to_string(options.max_iterations));
+  }
+  if (options.degenerate_pivots_before_bland < 1) {
+    return Status::InvalidArgument(
+        "SimplexOptions.degenerate_pivots_before_bland must be >= 1, got " +
+        std::to_string(options.degenerate_pivots_before_bland));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// LpWorkspace
+// ---------------------------------------------------------------------------
+
+LpWorkspace::LpWorkspace() : tableau_(new lp_internal::FlatTableau()) {}
+LpWorkspace::~LpWorkspace() = default;
+LpWorkspace::LpWorkspace(LpWorkspace&&) noexcept = default;
+LpWorkspace& LpWorkspace::operator=(LpWorkspace&&) noexcept = default;
+
+int64_t LpWorkspace::allocation_count() const {
+  return tableau_->allocation_count();
+}
+size_t LpWorkspace::arena_bytes() const { return tableau_->arena_bytes(); }
+
+// ---------------------------------------------------------------------------
+// Legacy engine: dense full-tableau primal simplex, one row-major matrix
+// allocated per solve. Kept behind SimplexEngine::kLegacy for one release so
+// lp_differential_test can compare it against the flat core directly.
+// ---------------------------------------------------------------------------
 
 namespace {
 
-/// Dense full-tableau primal simplex. Layout:
+/// Layout:
 ///   columns [0, n)                    original variables
 ///   columns [n, n + s)                slack / surplus variables
 ///   columns [n + s, n + s + a)        artificial variables (phase 1 only)
 /// rows    [0, m)                      constraints (B^{-1} A | B^{-1} b)
-class Tableau {
+class LegacyTableau {
  public:
-  Tableau(const LinearProgram& lp, const SimplexOptions& options)
-      : options_(options) {
+  LegacyTableau(const LinearProgram& lp, const SimplexOptions& options)
+      : options_(options), policy_(EpsilonPolicy::FromOptions(options)) {
     n_ = lp.num_vars();
     m_ = lp.num_constraints();
 
@@ -99,7 +149,7 @@ class Tableau {
         phase1[static_cast<size_t>(c)] = 1.0;
       }
       GEPC_RETURN_IF_ERROR(RunSimplex(phase1, /*forbid_artificials=*/false));
-      if (PhaseObjective(phase1) > 1e-7) {
+      if (PhaseObjective(phase1) > policy_.phase1_feasible) {
         return Status::Infeasible("phase-1 optimum is positive");
       }
       GEPC_RETURN_IF_ERROR(DriveOutArtificials());
@@ -119,6 +169,8 @@ class Tableau {
     }
     return 0.0;
   }
+
+  double value_clamp() const { return policy_.value_clamp; }
 
  private:
   double& At(int r, int c) {
@@ -174,7 +226,6 @@ class Tableau {
   }
 
   Status RunSimplex(const std::vector<double>& cost, bool forbid_artificials) {
-    const double eps = options_.epsilon;
     const int64_t max_iter = options_.max_iterations > 0
                                  ? options_.max_iterations
                                  : 200LL * (m_ + cols_) + 10000;
@@ -187,13 +238,13 @@ class Tableau {
       int entering = -1;
       if (use_bland) {
         for (int c = 0; c < col_limit; ++c) {
-          if (reduced[static_cast<size_t>(c)] < -eps) {
+          if (reduced[static_cast<size_t>(c)] < -policy_.reduced_cost) {
             entering = c;
             break;
           }
         }
       } else {
-        double best = -eps;
+        double best = -policy_.reduced_cost;
         for (int c = 0; c < col_limit; ++c) {
           if (reduced[static_cast<size_t>(c)] < best) {
             best = reduced[static_cast<size_t>(c)];
@@ -209,10 +260,10 @@ class Tableau {
       for (int r = 0; r < m_; ++r) {
         if (!row_active_[static_cast<size_t>(r)]) continue;
         const double a = At(r, entering);
-        if (a <= eps) continue;
+        if (a <= policy_.pivot) continue;
         const double ratio = b_[static_cast<size_t>(r)] / a;
-        if (ratio < best_ratio - eps ||
-            (ratio < best_ratio + eps &&
+        if (ratio < best_ratio - policy_.ratio_tie ||
+            (ratio < best_ratio + policy_.ratio_tie &&
              (leaving < 0 || basis_[static_cast<size_t>(r)] <
                                  basis_[static_cast<size_t>(leaving)]))) {
           best_ratio = ratio;
@@ -222,7 +273,7 @@ class Tableau {
       if (leaving < 0) {
         return Status::Internal("LP is unbounded below");
       }
-      if (best_ratio < eps) {
+      if (best_ratio < policy_.degenerate_step) {
         if (++degenerate_streak >= options_.degenerate_pivots_before_bland) {
           use_bland = true;
         }
@@ -240,12 +291,12 @@ class Tableau {
     for (int r = 0; r < m_; ++r) {
       if (!row_active_[static_cast<size_t>(r)]) continue;
       if (basis_[static_cast<size_t>(r)] < artificial_begin_) continue;
-      if (std::fabs(b_[static_cast<size_t>(r)]) > 1e-7) {
+      if (std::fabs(b_[static_cast<size_t>(r)]) > policy_.drive_out_rhs) {
         return Status::Internal("artificial variable basic at non-zero level");
       }
       int pivot_col = -1;
       for (int c = 0; c < artificial_begin_; ++c) {
-        if (std::fabs(At(r, c)) > options_.epsilon) {
+        if (std::fabs(At(r, c)) > policy_.pivot) {
           pivot_col = c;
           break;
         }
@@ -260,6 +311,7 @@ class Tableau {
   }
 
   SimplexOptions options_;
+  EpsilonPolicy policy_;
   int n_ = 0;     // original variables
   int m_ = 0;     // constraint rows
   int cols_ = 0;  // total columns incl. slack + artificial
@@ -271,13 +323,9 @@ class Tableau {
   std::vector<bool> row_active_;
 };
 
-}  // namespace
-
-Result<LpSolution> SolveLp(const LinearProgram& lp,
-                           const SimplexOptions& options) {
-  GEPC_RETURN_IF_ERROR(lp.Validate());
-
-  Tableau tableau(lp, options);
+Result<LpSolution> SolveLpLegacy(const LinearProgram& lp,
+                                 const SimplexOptions& options) {
+  LegacyTableau tableau(lp, options);
 
   // Internally we always minimize; flip the sign for maximization.
   std::vector<double> cost(lp.objective());
@@ -291,7 +339,7 @@ Result<LpSolution> SolveLp(const LinearProgram& lp,
   solution.x.resize(static_cast<size_t>(lp.num_vars()));
   for (int v = 0; v < lp.num_vars(); ++v) {
     double value = tableau.VariableValue(v);
-    if (std::fabs(value) < 1e-11) value = 0.0;
+    if (std::fabs(value) < tableau.value_clamp()) value = 0.0;
     solution.x[static_cast<size_t>(v)] = value;
   }
   double objective = 0.0;
@@ -300,6 +348,53 @@ Result<LpSolution> SolveLp(const LinearProgram& lp,
   }
   solution.objective_value = objective;
   return solution;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const SimplexOptions& options) {
+  return SolveLp(lp, options, nullptr);
+}
+
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const SimplexOptions& options,
+                           LpWorkspace* workspace) {
+  GEPC_RETURN_IF_ERROR(lp.Validate());
+  GEPC_RETURN_IF_ERROR(ValidateSimplexOptions(options));
+
+  if (options.engine == SimplexEngine::kLegacy) {
+    return SolveLpLegacy(lp, options);
+  }
+
+  GEPC_ASSIGN_OR_RETURN(
+      CertifiedLpResult certified,
+      lp_internal::SolveLpFlat(
+          lp, options, workspace != nullptr ? workspace->tableau() : nullptr));
+  switch (certified.outcome) {
+    case LpOutcome::kInfeasible:
+      // Same shape the legacy engine reports, so callers' fallback logic
+      // (e.g. the GAP candidate-cap retry) is engine-agnostic.
+      return Status::Infeasible("phase-1 optimum is positive");
+    case LpOutcome::kUnbounded:
+      return Status::Internal("LP is unbounded below");
+    case LpOutcome::kOptimal:
+      break;
+  }
+  return std::move(certified.solution);
+}
+
+Result<CertifiedLpResult> SolveLpCertified(const LinearProgram& lp,
+                                           const SimplexOptions& options,
+                                           LpWorkspace* workspace) {
+  GEPC_RETURN_IF_ERROR(lp.Validate());
+  GEPC_RETURN_IF_ERROR(ValidateSimplexOptions(options));
+  return lp_internal::SolveLpFlat(
+      lp, options, workspace != nullptr ? workspace->tableau() : nullptr);
 }
 
 }  // namespace gepc

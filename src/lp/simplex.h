@@ -2,28 +2,96 @@
 #define GEPC_LP_SIMPLEX_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/result.h"
 #include "lp/linear_program.h"
 
 namespace gepc {
 
+namespace lp_internal {
+class FlatTableau;
+}  // namespace lp_internal
+
+/// Which tableau implementation SolveLp runs on.
+enum class SimplexEngine {
+  /// Single flat arena-backed tableau (slack-first storage, capacity
+  /// headroom, reusable across solves via LpWorkspace). The default.
+  kFlat,
+  /// The original dense tableau that allocates per solve. Kept for one
+  /// release so the differential suite can compare the two engines
+  /// directly; scheduled for removal once the flat core has soaked.
+  kLegacy,
+};
+
+/// Entering-column selection rule (flat engine only; the legacy engine
+/// always prices with Dantzig and ignores this knob).
+enum class SimplexPivotRule {
+  /// Most negative reduced cost. Matches the legacy engine pivot-for-pivot,
+  /// so it is the rule the byte-identical differential guarantee holds for.
+  kDantzig,
+  /// Lowest-index negative reduced cost from the first iteration on
+  /// (termination guarantee; slower).
+  kBland,
+  /// Reduced cost normalized by the current tableau column norm
+  /// (textbook steepest-edge pricing, recomputed per iteration). Fewer
+  /// pivots on ill-conditioned programs; may reach a different vertex of
+  /// the same optimal face than Dantzig.
+  kSteepestEdge,
+};
+
 /// Tuning knobs for the simplex solver.
 struct SimplexOptions {
-  /// Reduced-cost / pivot tolerance.
+  /// Reduced-cost / pivot tolerance; must be in (0, 1e-2].
   double epsilon = 1e-9;
-  /// Hard iteration cap per phase (0 = 50 * (rows + cols), the default).
+  /// Hard iteration cap per phase (0 = 200 * (rows + cols) + 10000, the
+  /// default); must be >= 0.
   int64_t max_iterations = 0;
-  /// After this many consecutive degenerate pivots, switch from Dantzig
-  /// pricing to Bland's rule (guarantees termination).
+  /// After this many consecutive degenerate pivots, switch from the
+  /// configured pricing rule to Bland's rule (guarantees termination);
+  /// must be >= 1.
   int degenerate_pivots_before_bland = 64;
+  SimplexEngine engine = SimplexEngine::kFlat;
+  SimplexPivotRule pivot_rule = SimplexPivotRule::kDantzig;
+};
+
+/// Rejects out-of-range options loudly (kInvalidArgument) instead of
+/// silently clamping them. Called by every solver entry point.
+Status ValidateSimplexOptions(const SimplexOptions& options);
+
+/// Reusable solver state for the flat engine: owns the arena the tableau
+/// lives in. Passing the same workspace to consecutive SolveLp calls reuses
+/// the allocation whenever the new program fits the arena's capacity
+/// headroom, which makes per-solve heap traffic O(1) in steady state (the
+/// GAP loop and branch-and-bound both lean on this). A workspace is not
+/// thread-safe; use one per thread. The legacy engine ignores it.
+class LpWorkspace {
+ public:
+  LpWorkspace();
+  ~LpWorkspace();
+  LpWorkspace(LpWorkspace&&) noexcept;
+  LpWorkspace& operator=(LpWorkspace&&) noexcept;
+  LpWorkspace(const LpWorkspace&) = delete;
+  LpWorkspace& operator=(const LpWorkspace&) = delete;
+
+  /// Number of times the arena actually (re)allocated. Stays flat across
+  /// solves that fit the current capacity — the reuse contract the
+  /// bench_lp_core allocation columns measure.
+  int64_t allocation_count() const;
+  /// Current arena footprint in bytes.
+  size_t arena_bytes() const;
+
+  lp_internal::FlatTableau* tableau() { return tableau_.get(); }
+
+ private:
+  std::unique_ptr<lp_internal::FlatTableau> tableau_;
 };
 
 /// Solves `lp` exactly with the two-phase dense primal simplex method.
 ///
 /// Returns the optimal solution, or:
 ///  * kInfeasible      — no x >= 0 satisfies the constraints;
-///  * kInvalidArgument — malformed program (bad variable index);
+///  * kInvalidArgument — malformed program or out-of-range options;
 ///  * kInternal        — unbounded objective or iteration cap hit.
 ///
 /// This is the exact LP engine behind the GAP-based GEPC algorithm
@@ -32,6 +100,11 @@ struct SimplexOptions {
 /// hundred pivots for the GAP relaxations we build.
 Result<LpSolution> SolveLp(const LinearProgram& lp,
                            const SimplexOptions& options = {});
+
+/// As above, but reuses `workspace` (flat engine only; may be nullptr).
+Result<LpSolution> SolveLp(const LinearProgram& lp,
+                           const SimplexOptions& options,
+                           LpWorkspace* workspace);
 
 }  // namespace gepc
 

@@ -1,0 +1,223 @@
+// Certificate battery for the flat LP core: every outcome the solver can
+// report carries a witness, and VerifyLpCertificate checks that witness
+// against the program with no solver state involved — so LP correctness
+// does not rest on a second solver being right.
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/certificates.h"
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+
+namespace gepc {
+namespace {
+
+void ExpectCertified(const LinearProgram& lp, LpOutcome expected,
+                     const std::string& label) {
+  auto certified = SolveLpCertified(lp);
+  ASSERT_TRUE(certified.ok()) << label << ": " << certified.status();
+  EXPECT_EQ(certified->outcome, expected) << label;
+  const Status verdict = VerifyLpCertificate(lp, *certified);
+  EXPECT_TRUE(verdict.ok()) << label << ": " << verdict;
+}
+
+TEST(LpCertificateTest, OptimalMinimizationWithAllRelations) {
+  // min 2x + 3y s.t. x + y >= 2, x - y = 0, x <= 5 -> x = y = 1, obj 5.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.set_objective(0, 2.0);
+  lp.set_objective(1, 3.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 2.0);
+  lp.AddConstraint({{0, 1.0}, {1, -1.0}}, Relation::kEqual, 0.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 5.0);
+  auto certified = SolveLpCertified(lp);
+  ASSERT_TRUE(certified.ok()) << certified.status();
+  ASSERT_EQ(certified->outcome, LpOutcome::kOptimal);
+  EXPECT_NEAR(certified->solution.objective_value, 5.0, 1e-9);
+  EXPECT_TRUE(VerifyLpCertificate(lp, *certified).ok());
+}
+
+TEST(LpCertificateTest, OptimalMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> (4, 0), obj 12.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 3.0);
+  lp.set_objective(1, 2.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({{0, 1.0}, {1, 3.0}}, Relation::kLessEqual, 6.0);
+  auto certified = SolveLpCertified(lp);
+  ASSERT_TRUE(certified.ok()) << certified.status();
+  ASSERT_EQ(certified->outcome, LpOutcome::kOptimal);
+  EXPECT_NEAR(certified->solution.objective_value, 12.0, 1e-9);
+  EXPECT_TRUE(VerifyLpCertificate(lp, *certified).ok());
+}
+
+TEST(LpCertificateTest, InfeasibleContradictoryBounds) {
+  // x >= 3 and x <= 1 cannot both hold.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 1);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kGreaterEqual, 3.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  ExpectCertified(lp, LpOutcome::kInfeasible, "contradictory bounds");
+}
+
+TEST(LpCertificateTest, InfeasibleEqualitySystem) {
+  // x + y = 1 and x + y = 2.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 2.0);
+  ExpectCertified(lp, LpOutcome::kInfeasible, "equality system");
+}
+
+TEST(LpCertificateTest, InfeasibleNegativeRhsNormalization) {
+  // -x - y >= 1 over x, y >= 0 is impossible; normalization flips the row,
+  // so the reported Farkas multiplier must flip back.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, -1.0}, {1, -1.0}}, Relation::kGreaterEqual, 1.0);
+  ExpectCertified(lp, LpOutcome::kInfeasible, "flipped row");
+}
+
+TEST(LpCertificateTest, UnboundedMinimization) {
+  // min -x s.t. y <= 1: x can grow forever.
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.set_objective(0, -1.0);
+  lp.AddConstraint({{1, 1.0}}, Relation::kLessEqual, 1.0);
+  ExpectCertified(lp, LpOutcome::kUnbounded, "min -x");
+}
+
+TEST(LpCertificateTest, UnboundedMaximizationWithCoupledRay) {
+  // max x + y s.t. x - y <= 1, y - x <= 1: the ray must move x and y
+  // together to keep both rows satisfied.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, -1.0}}, Relation::kLessEqual, 1.0);
+  lp.AddConstraint({{0, -1.0}, {1, 1.0}}, Relation::kLessEqual, 1.0);
+  ExpectCertified(lp, LpOutcome::kUnbounded, "coupled ray");
+}
+
+TEST(LpCertificateTest, VerifierRejectsTamperedCertificates) {
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+  lp.set_objective(0, 2.0);
+  lp.set_objective(1, 3.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 2.0);
+  auto certified = SolveLpCertified(lp);
+  ASSERT_TRUE(certified.ok()) << certified.status();
+  ASSERT_EQ(certified->outcome, LpOutcome::kOptimal);
+  ASSERT_TRUE(VerifyLpCertificate(lp, *certified).ok());
+
+  // Tampered primal: infeasible point.
+  auto tampered = *certified;
+  tampered.solution.x[0] = -1.0;
+  EXPECT_FALSE(VerifyLpCertificate(lp, tampered).ok());
+
+  // Tampered dual: wrong sign for a >= row under minimization.
+  tampered = *certified;
+  tampered.dual[0] = -1.0;
+  EXPECT_FALSE(VerifyLpCertificate(lp, tampered).ok());
+
+  // Tampered objective.
+  tampered = *certified;
+  tampered.solution.objective_value += 1.0;
+  EXPECT_FALSE(VerifyLpCertificate(lp, tampered).ok());
+
+  // Wrong outcome entirely: claims infeasible with a zero Farkas vector.
+  tampered = *certified;
+  tampered.outcome = LpOutcome::kInfeasible;
+  tampered.farkas.assign(static_cast<size_t>(lp.num_constraints()), 0.0);
+  EXPECT_FALSE(VerifyLpCertificate(lp, tampered).ok());
+}
+
+/// Random-program sweep: whatever the solver reports, the certificate must
+/// verify. Mirrors the differential test's generator shape but goes through
+/// the certified API.
+TEST(LpCertificateTest, RandomProgramsAlwaysVerify) {
+  constexpr int kTrials = 600;
+  int optimal = 0, infeasible = 0, unbounded = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(0xFACADEu + trial);
+    const int n = static_cast<int>(rng.UniformInt(1, 10));
+    const int m = static_cast<int>(rng.UniformInt(1, 8));
+    LinearProgram lp(rng.Bernoulli(0.3) ? LinearProgram::Sense::kMaximize
+                                        : LinearProgram::Sense::kMinimize,
+                     n);
+    for (int v = 0; v < n; ++v) {
+      lp.set_objective(v, 0.25 * static_cast<double>(rng.UniformInt(-8, 8)));
+    }
+    for (int r = 0; r < m; ++r) {
+      std::vector<std::pair<int, double>> terms;
+      for (int v = 0; v < n; ++v) {
+        if (rng.Bernoulli(0.7)) {
+          terms.emplace_back(
+              v, 0.25 * static_cast<double>(rng.UniformInt(-8, 8)));
+        }
+      }
+      if (terms.empty()) terms.emplace_back(0, 1.0);
+      const double rhs = 0.5 * static_cast<double>(rng.UniformInt(-6, 6));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          lp.AddConstraint(std::move(terms), Relation::kLessEqual,
+                           std::fabs(rhs));
+          break;
+        case 1:
+          lp.AddConstraint(std::move(terms), Relation::kGreaterEqual, rhs);
+          break;
+        default:
+          lp.AddConstraint(std::move(terms), Relation::kEqual, rhs);
+          break;
+      }
+    }
+    auto certified = SolveLpCertified(lp);
+    if (!certified.ok()) {
+      // Iteration cap is the only acceptable failure on random programs.
+      EXPECT_EQ(certified.status().code(), StatusCode::kInternal)
+          << "trial " << trial << ": " << certified.status();
+      continue;
+    }
+    const Status verdict = VerifyLpCertificate(lp, *certified);
+    EXPECT_TRUE(verdict.ok()) << "trial " << trial << ": " << verdict;
+    switch (certified->outcome) {
+      case LpOutcome::kOptimal:
+        ++optimal;
+        break;
+      case LpOutcome::kInfeasible:
+        ++infeasible;
+        break;
+      case LpOutcome::kUnbounded:
+        ++unbounded;
+        break;
+    }
+  }
+  EXPECT_GT(optimal, 0);
+  EXPECT_GT(infeasible, 0);
+  EXPECT_GT(unbounded, 0);
+}
+
+/// The certified path honors the workspace reuse contract too.
+TEST(LpCertificateTest, WorkspaceReuseAcrossCertifiedSolves) {
+  LpWorkspace workspace;
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 3);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 2.0);
+  lp.set_objective(2, 3.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, Relation::kGreaterEqual,
+                   3.0);
+  for (int round = 0; round < 5; ++round) {
+    auto certified = SolveLpCertified(lp, {}, &workspace);
+    ASSERT_TRUE(certified.ok()) << certified.status();
+    EXPECT_TRUE(VerifyLpCertificate(lp, *certified).ok());
+  }
+  const int64_t allocs_after_warmup = workspace.allocation_count();
+  for (int round = 0; round < 20; ++round) {
+    auto certified = SolveLpCertified(lp, {}, &workspace);
+    ASSERT_TRUE(certified.ok()) << certified.status();
+  }
+  EXPECT_EQ(workspace.allocation_count(), allocs_after_warmup);
+}
+
+}  // namespace
+}  // namespace gepc

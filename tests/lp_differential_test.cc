@@ -1,0 +1,298 @@
+// Differential battery gating the flat LP core: the flat engine must agree
+// with the legacy engine on thousands of seeded random programs, and the
+// full GEPC pipeline must produce byte-identical plans whichever engine
+// solves the GAP relaxation.
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "gap/gap_instance.h"
+#include "gap/gap_lp.h"
+#include "gepc/solver.h"
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+#include "tests/paper_example.h"
+
+namespace gepc {
+namespace {
+
+SimplexOptions EngineOptions(SimplexEngine engine) {
+  SimplexOptions options;
+  options.engine = engine;
+  return options;
+}
+
+/// Coefficient families the random programs draw from. Rational-friendly
+/// values keep intermediate pivots exactly representable (so any mismatch
+/// is a logic bug, not rounding); adversarial floats stress the tolerance
+/// policy with values that do round.
+double DrawCoefficient(Rng& rng, bool rational_friendly) {
+  if (rational_friendly) {
+    // Multiples of 1/4 in [-3, 3]; occasionally exactly zero.
+    return 0.25 * static_cast<double>(rng.UniformInt(-12, 12));
+  }
+  const double magnitude = std::pow(10.0, rng.UniformDouble(-3.0, 3.0));
+  return (rng.Bernoulli(0.5) ? 1.0 : -1.0) * magnitude *
+         rng.UniformDouble(0.5, 1.5);
+}
+
+/// Weighted toward <= rows so a healthy share of programs stays feasible;
+/// >= and = rows still appear often enough to exercise phase 1.
+Relation DrawRelation(Rng& rng) {
+  switch (rng.UniformInt(0, 9)) {
+    case 0:
+    case 1:
+      return Relation::kGreaterEqual;
+    case 2:
+    case 3:
+      return Relation::kEqual;
+    default:
+      return Relation::kLessEqual;
+  }
+}
+
+/// Random LP with degenerate structure on purpose: duplicated rows, zero
+/// rhs, duplicate objective coefficients — everything that forces the
+/// ratio-test tie-breaks the two engines must take identically.
+LinearProgram MakeRandomLp(uint64_t seed) {
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.UniformInt(1, 14));
+  const int m = static_cast<int>(rng.UniformInt(1, 12));
+  const bool rational = rng.Bernoulli(0.5);
+  const bool maximize = rng.Bernoulli(0.3);
+
+  LinearProgram lp(maximize ? LinearProgram::Sense::kMaximize
+                            : LinearProgram::Sense::kMinimize,
+                   n);
+  for (int v = 0; v < n; ++v) {
+    double c = DrawCoefficient(rng, rational);
+    // Bias the objective toward the bounded direction (costs >= 0 when
+    // minimizing, <= 0 when maximizing) so a solid share of programs is
+    // optimal; the rest still produce unbounded coverage.
+    if (rng.Bernoulli(0.75)) c = maximize ? -std::fabs(c) : std::fabs(c);
+    lp.set_objective(v, c);
+  }
+  std::vector<std::pair<int, double>> previous;
+  double previous_rhs = 0.0;
+  Relation previous_rel = Relation::kLessEqual;
+  for (int r = 0; r < m; ++r) {
+    if (!previous.empty() && rng.Bernoulli(0.15)) {
+      // Exact duplicate row: a guaranteed degenerate tie.
+      lp.AddConstraint(previous, previous_rel, previous_rhs);
+      continue;
+    }
+    std::vector<std::pair<int, double>> terms;
+    for (int v = 0; v < n; ++v) {
+      if (rng.Bernoulli(0.7)) {
+        terms.emplace_back(v, DrawCoefficient(rng, rational));
+      }
+    }
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    if (rng.Bernoulli(0.1)) {
+      // Duplicate term for the same variable (exercises term summing).
+      terms.push_back(terms.front());
+    }
+    const Relation rel = DrawRelation(rng);
+    double rhs = rng.Bernoulli(0.15) ? 0.0 : DrawCoefficient(rng, rational);
+    if (rel == Relation::kLessEqual && rng.Bernoulli(0.85)) {
+      rhs = std::fabs(rhs);  // keep a healthy share of feasible programs
+    }
+    if (rel != Relation::kLessEqual && rng.Bernoulli(0.5)) {
+      rhs = -std::fabs(rhs);  // >= / = with rhs <= 0 is satisfiable at x = 0
+    }
+    previous = terms;
+    previous_rhs = rhs;
+    previous_rel = rel;
+    lp.AddConstraint(std::move(terms), rel, rhs);
+  }
+  return lp;
+}
+
+/// Statuses the solver may legitimately return for a random program; both
+/// engines must land in the same bucket.
+enum class Bucket { kOptimal, kInfeasible, kUnbounded, kOther };
+
+Bucket BucketOf(const Result<LpSolution>& result) {
+  if (result.ok()) return Bucket::kOptimal;
+  if (result.status().code() == StatusCode::kInfeasible) {
+    return Bucket::kInfeasible;
+  }
+  if (result.status().message().find("unbounded") != std::string::npos) {
+    return Bucket::kUnbounded;
+  }
+  return Bucket::kOther;
+}
+
+TEST(LpDifferentialTest, RandomLpsAgreeAcrossEngines) {
+  constexpr int kTrials = 1700;
+  int optimal = 0, infeasible = 0, unbounded = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const LinearProgram lp = MakeRandomLp(0x9E3779B9u + trial);
+    const auto legacy = SolveLp(lp, EngineOptions(SimplexEngine::kLegacy));
+    const auto flat = SolveLp(lp, EngineOptions(SimplexEngine::kFlat));
+
+    ASSERT_EQ(BucketOf(legacy), BucketOf(flat))
+        << "trial " << trial << ": legacy=" << legacy.status()
+        << " flat=" << flat.status();
+    switch (BucketOf(legacy)) {
+      case Bucket::kOptimal: {
+        ++optimal;
+        const double scale =
+            std::max(1.0, std::fabs(legacy->objective_value));
+        EXPECT_NEAR(legacy->objective_value, flat->objective_value,
+                    1e-9 * scale)
+            << "trial " << trial;
+        ASSERT_EQ(legacy->x.size(), flat->x.size());
+        for (size_t v = 0; v < legacy->x.size(); ++v) {
+          EXPECT_NEAR(legacy->x[v], flat->x[v], 1e-7 * scale)
+              << "trial " << trial << " var " << v;
+        }
+        break;
+      }
+      case Bucket::kInfeasible:
+        ++infeasible;
+        break;
+      case Bucket::kUnbounded:
+        ++unbounded;
+        break;
+      case Bucket::kOther:
+        FAIL() << "trial " << trial
+               << ": unexpected status " << legacy.status();
+    }
+  }
+  // The generator must actually exercise all three outcomes.
+  EXPECT_GT(optimal, kTrials / 4);
+  EXPECT_GT(infeasible, 0);
+  EXPECT_GT(unbounded, 0);
+}
+
+GapInstance MakeRandomGap(uint64_t seed) {
+  Rng rng(seed);
+  const int machines = static_cast<int>(rng.UniformInt(2, 6));
+  const int jobs = static_cast<int>(rng.UniformInt(2, 12));
+  GapInstance gap(machines, jobs);
+  for (int i = 0; i < machines; ++i) {
+    gap.set_capacity(i, rng.UniformDouble(2.0, 12.0));
+  }
+  for (int j = 0; j < jobs; ++j) {
+    // Every job gets at least one eligible machine so Validate() passes;
+    // ties in cost/processing are common by construction.
+    const int anchor = static_cast<int>(rng.UniformInt(0, machines - 1));
+    for (int i = 0; i < machines; ++i) {
+      if (i != anchor && rng.Bernoulli(0.35)) continue;
+      const double p = 0.5 * static_cast<double>(rng.UniformInt(1, 8));
+      const double c = 0.25 * static_cast<double>(rng.UniformInt(0, 8));
+      gap.SetPair(i, j, std::min(p, gap.capacity(i)), c);
+    }
+  }
+  return gap;
+}
+
+double TotalCost(const GapInstance& gap, const FractionalAssignment& frac) {
+  double cost = 0.0;
+  for (size_t j = 0; j < frac.job_shares.size(); ++j) {
+    for (const auto& share : frac.job_shares[j]) {
+      cost += share.fraction * gap.cost(share.machine, static_cast<int>(j));
+    }
+  }
+  return cost;
+}
+
+TEST(LpDifferentialTest, RandomGapRelaxationsAgreeAcrossEngines) {
+  constexpr int kTrials = 400;
+  int solved = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const GapInstance gap = MakeRandomGap(0xC0FFEEu + trial);
+    GapLpOptions legacy_options;
+    legacy_options.simplex.engine = SimplexEngine::kLegacy;
+    GapLpOptions flat_options;
+    flat_options.simplex.engine = SimplexEngine::kFlat;
+
+    const auto legacy = SolveGapLpSimplex(gap, legacy_options);
+    const auto flat = SolveGapLpSimplex(gap, flat_options);
+    ASSERT_EQ(legacy.ok(), flat.ok())
+        << "trial " << trial << ": legacy=" << legacy.status()
+        << " flat=" << flat.status();
+    if (!legacy.ok()) continue;
+    ++solved;
+
+    const double legacy_cost = TotalCost(gap, *legacy);
+    const double flat_cost = TotalCost(gap, *flat);
+    EXPECT_NEAR(legacy_cost, flat_cost,
+                1e-9 * std::max(1.0, std::fabs(legacy_cost)))
+        << "trial " << trial;
+
+    // Same engine-internal pivot sequence implies the same vertex: the
+    // fractional supports must line up share for share.
+    ASSERT_EQ(legacy->job_shares.size(), flat->job_shares.size());
+    for (size_t j = 0; j < legacy->job_shares.size(); ++j) {
+      ASSERT_EQ(legacy->job_shares[j].size(), flat->job_shares[j].size())
+          << "trial " << trial << " job " << j;
+      for (size_t s = 0; s < legacy->job_shares[j].size(); ++s) {
+        EXPECT_EQ(legacy->job_shares[j][s].machine,
+                  flat->job_shares[j][s].machine)
+            << "trial " << trial << " job " << j;
+        EXPECT_NEAR(legacy->job_shares[j][s].fraction,
+                    flat->job_shares[j][s].fraction, 1e-9)
+            << "trial " << trial << " job " << j;
+      }
+    }
+  }
+  EXPECT_GT(solved, kTrials / 2);
+}
+
+std::string SerializePlan(const Plan& plan) {
+  std::ostringstream out;
+  const Status status = SavePlan(plan, out);
+  EXPECT_TRUE(status.ok()) << status;
+  return out.str();
+}
+
+GepcOptions GapBasedOptionsFor(SimplexEngine engine) {
+  GepcOptions options;
+  options.algorithm = GepcAlgorithm::kGapBased;
+  options.gap_based.gap.engine = GapLpEngine::kSimplex;
+  options.gap_based.gap.lp.simplex.engine = engine;
+  return options;
+}
+
+void ExpectByteIdenticalPlans(const Instance& instance,
+                              const std::string& label) {
+  const auto legacy =
+      SolveGepc(instance, GapBasedOptionsFor(SimplexEngine::kLegacy));
+  const auto flat =
+      SolveGepc(instance, GapBasedOptionsFor(SimplexEngine::kFlat));
+  ASSERT_EQ(legacy.ok(), flat.ok())
+      << label << ": legacy=" << legacy.status()
+      << " flat=" << flat.status();
+  if (!legacy.ok()) return;
+  EXPECT_EQ(legacy->total_utility, flat->total_utility) << label;
+  EXPECT_TRUE(legacy->plan == flat->plan) << label;
+  EXPECT_EQ(SerializePlan(legacy->plan), SerializePlan(flat->plan)) << label;
+}
+
+TEST(LpDifferentialTest, PaperInstancePlansAreByteIdentical) {
+  ExpectByteIdenticalPlans(testing_support::MakePaperInstance(), "paper");
+}
+
+TEST(LpDifferentialTest, GeneratedCorpusPlansAreByteIdentical) {
+  for (uint64_t seed : {1u, 7u, 23u, 42u, 1234u, 90210u}) {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.num_events = 10;
+    config.seed = seed;
+    auto instance = GenerateInstance(config);
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    ExpectByteIdenticalPlans(*instance, "seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace gepc

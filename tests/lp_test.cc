@@ -208,5 +208,196 @@ TEST(SimplexTest, RandomLpsSatisfyConstraintsAtOptimum) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases for the flat core (run on both engines where it makes sense).
+// ---------------------------------------------------------------------------
+
+SimplexOptions WithEngine(SimplexEngine engine) {
+  SimplexOptions options;
+  options.engine = engine;
+  return options;
+}
+
+TEST(SimplexTest, EmptyProgramIsTriviallyOptimal) {
+  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+    LinearProgram lp(LinearProgram::Sense::kMinimize, 0);
+    auto result = SolveLp(lp, WithEngine(engine));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->objective_value, 0.0);
+    EXPECT_TRUE(result->x.empty());
+  }
+}
+
+TEST(SimplexTest, UnconstrainedVariablesStayAtZero) {
+  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+    // No constraints: minimum of a nonnegative-cost program is x = 0.
+    LinearProgram lp(LinearProgram::Sense::kMinimize, 3);
+    lp.set_objective(0, 1.0);
+    lp.set_objective(2, 5.0);
+    auto result = SolveLp(lp, WithEngine(engine));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->objective_value, 0.0);
+    for (double x : result->x) EXPECT_EQ(x, 0.0);
+  }
+}
+
+TEST(SimplexTest, SingleVariableSingleConstraint) {
+  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+    // max 2x s.t. 3x <= 6 -> x = 2, obj 4.
+    LinearProgram lp(LinearProgram::Sense::kMaximize, 1);
+    lp.set_objective(0, 2.0);
+    lp.AddConstraint({{0, 3.0}}, Relation::kLessEqual, 6.0);
+    auto result = SolveLp(lp, WithEngine(engine));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_NEAR(result->objective_value, 4.0, 1e-9);
+    EXPECT_NEAR(result->x[0], 2.0, 1e-9);
+  }
+}
+
+TEST(SimplexTest, AllSlackBasisIsAlreadyOptimal) {
+  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+    // All <= rows, nonnegative costs: the initial slack basis is optimal
+    // and the solver must return x = 0 without a single pivot going wrong.
+    LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
+    lp.set_objective(0, 1.0);
+    lp.set_objective(1, 1.0);
+    lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 4.0);
+    lp.AddConstraint({{1, 2.0}}, Relation::kLessEqual, 9.0);
+    auto result = SolveLp(lp, WithEngine(engine));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->objective_value, 0.0);
+    EXPECT_EQ(result->x[0], 0.0);
+    EXPECT_EQ(result->x[1], 0.0);
+  }
+}
+
+TEST(SimplexTest, BealeCyclingInstanceTerminates) {
+  // Beale's classic cycling example: Dantzig pricing with a naive ratio
+  // test cycles forever. With the degenerate-streak Bland switch (forced
+  // almost immediately here) both engines must terminate at the optimum
+  // -0.05.
+  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+    LinearProgram lp(LinearProgram::Sense::kMinimize, 4);
+    lp.set_objective(0, -0.75);
+    lp.set_objective(1, 150.0);
+    lp.set_objective(2, -0.02);
+    lp.set_objective(3, 6.0);
+    lp.AddConstraint({{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}},
+                     Relation::kLessEqual, 0.0);
+    lp.AddConstraint({{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}},
+                     Relation::kLessEqual, 0.0);
+    lp.AddConstraint({{2, 1.0}}, Relation::kLessEqual, 1.0);
+    SimplexOptions options = WithEngine(engine);
+    options.degenerate_pivots_before_bland = 2;
+    auto result = SolveLp(lp, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_NEAR(result->objective_value, -0.05, 1e-9);
+  }
+}
+
+TEST(SimplexTest, ForcedBlandPivotRuleSolvesToSameOptimum) {
+  // The flat engine's explicit Bland rule (from iteration one) must reach
+  // the same optimum Dantzig does.
+  LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
+  lp.set_objective(0, 3.0);
+  lp.set_objective(1, 2.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({{0, 1.0}, {1, 3.0}}, Relation::kLessEqual, 6.0);
+  SimplexOptions bland;
+  bland.pivot_rule = SimplexPivotRule::kBland;
+  SimplexOptions steepest;
+  steepest.pivot_rule = SimplexPivotRule::kSteepestEdge;
+  for (const SimplexOptions& options : {bland, steepest}) {
+    auto result = SolveLp(lp, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_NEAR(result->objective_value, 12.0, 1e-9);
+  }
+}
+
+TEST(SimplexTest, WorkspaceReusesArenaAcrossSameShapeSolves) {
+  LpWorkspace workspace;
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 4);
+  for (int v = 0; v < 4; ++v) lp.set_objective(v, 1.0 + v);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 2.0);
+  lp.AddConstraint({{2, 1.0}, {3, 1.0}}, Relation::kGreaterEqual, 1.0);
+
+  auto first = SolveLp(lp, {}, &workspace);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const int64_t allocs_after_first = workspace.allocation_count();
+  EXPECT_GT(allocs_after_first, 0);
+  EXPECT_GT(workspace.arena_bytes(), 0u);
+
+  for (int round = 0; round < 50; ++round) {
+    auto result = SolveLp(lp, {}, &workspace);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_NEAR(result->objective_value, first->objective_value, 1e-12);
+  }
+  // Same shape, same arena: zero further allocations — the O(1) reuse
+  // contract the GAP loop depends on.
+  EXPECT_EQ(workspace.allocation_count(), allocs_after_first);
+}
+
+TEST(SimplexTest, WorkspaceGrowsWhenALargerProgramArrives) {
+  LpWorkspace workspace;
+  LinearProgram small(LinearProgram::Sense::kMinimize, 2);
+  small.set_objective(0, 1.0);
+  small.AddConstraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 1.0);
+  ASSERT_TRUE(SolveLp(small, {}, &workspace).ok());
+  const int64_t allocs_small = workspace.allocation_count();
+  const size_t bytes_small = workspace.arena_bytes();
+
+  // A far larger program must trigger a (single) arena growth, then reuse.
+  LinearProgram big(LinearProgram::Sense::kMinimize, 40);
+  for (int v = 0; v < 40; ++v) big.set_objective(v, 1.0 + (v % 7));
+  for (int r = 0; r < 25; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int v = r % 5; v < 40; v += 5) terms.emplace_back(v, 1.0);
+    big.AddConstraint(std::move(terms), Relation::kGreaterEqual, 1.0);
+  }
+  ASSERT_TRUE(SolveLp(big, {}, &workspace).ok());
+  EXPECT_GT(workspace.allocation_count(), allocs_small);
+  EXPECT_GT(workspace.arena_bytes(), bytes_small);
+
+  const int64_t allocs_big = workspace.allocation_count();
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(SolveLp(big, {}, &workspace).ok());
+    // The small program also fits the grown arena now.
+    ASSERT_TRUE(SolveLp(small, {}, &workspace).ok());
+  }
+  EXPECT_EQ(workspace.allocation_count(), allocs_big);
+}
+
+TEST(SimplexTest, InvalidOptionsAreRejectedLoudly) {
+  LinearProgram lp(LinearProgram::Sense::kMinimize, 1);
+  lp.set_objective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}}, Relation::kGreaterEqual, 1.0);
+
+  SimplexOptions bad_epsilon;
+  bad_epsilon.epsilon = 0.0;
+  EXPECT_EQ(SolveLp(lp, bad_epsilon).status().code(),
+            StatusCode::kInvalidArgument);
+  bad_epsilon.epsilon = 0.5;  // above the 1e-2 ceiling
+  EXPECT_EQ(SolveLp(lp, bad_epsilon).status().code(),
+            StatusCode::kInvalidArgument);
+  bad_epsilon.epsilon = -1e-9;
+  EXPECT_EQ(SolveLp(lp, bad_epsilon).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SimplexOptions bad_iterations;
+  bad_iterations.max_iterations = -1;
+  EXPECT_EQ(SolveLp(lp, bad_iterations).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SimplexOptions bad_bland;
+  bad_bland.degenerate_pivots_before_bland = 0;
+  EXPECT_EQ(SolveLp(lp, bad_bland).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Direct validation entry point agrees.
+  EXPECT_TRUE(ValidateSimplexOptions(SimplexOptions{}).ok());
+  EXPECT_EQ(ValidateSimplexOptions(bad_bland).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace gepc
