@@ -1,9 +1,9 @@
-// LP-core microbench: legacy dense tableau vs. the flat arena-backed
-// tableau on paper-sized GAP relaxations (the LP the GAP-based GEPC
-// algorithm solves per event-copy batch). Reports per-solve wall time for
-// three configurations — legacy, flat without workspace reuse, flat with a
-// shared workspace — plus the arena allocation counts that demonstrate the
-// O(1)-allocations reuse contract.
+// LP-core microbench: the flat arena-backed tableau on paper-sized GAP
+// relaxations (the LP the GAP-based GEPC algorithm solves per event-copy
+// batch). Reports per-solve wall time for four configurations — Dantzig
+// with a fresh arena per solve, Dantzig with a shared workspace, Bland,
+// and steepest-edge pricing — plus the arena allocation counts that
+// demonstrate the O(1)-allocations reuse contract.
 //
 //   ./bench_lp_core [--scale=S] [--trials=N] [--quick] [--json=FILE]
 #include <chrono>
@@ -84,9 +84,9 @@ struct RunStats {
 };
 
 RunStats RunSolves(const std::vector<LinearProgram>& programs,
-                   SimplexEngine engine, bool reuse_workspace) {
+                   SimplexPivotRule rule, bool reuse_workspace) {
   SimplexOptions options;
-  options.engine = engine;
+  options.pivot_rule = rule;
   RunStats stats;
   LpWorkspace shared;
   for (const LinearProgram& lp : programs) {
@@ -122,45 +122,46 @@ int Main(int argc, char** argv) {
               programs.front().num_vars(),
               programs.front().num_constraints());
 
-  const RunStats legacy =
-      RunSolves(programs, SimplexEngine::kLegacy, /*reuse_workspace=*/false);
-  const RunStats flat_fresh =
-      RunSolves(programs, SimplexEngine::kFlat, /*reuse_workspace=*/false);
-  const RunStats flat_reuse =
-      RunSolves(programs, SimplexEngine::kFlat, /*reuse_workspace=*/true);
+  const RunStats dantzig_fresh = RunSolves(
+      programs, SimplexPivotRule::kDantzig, /*reuse_workspace=*/false);
+  const RunStats dantzig_reuse = RunSolves(
+      programs, SimplexPivotRule::kDantzig, /*reuse_workspace=*/true);
+  const RunStats bland = RunSolves(programs, SimplexPivotRule::kBland,
+                                   /*reuse_workspace=*/true);
+  const RunStats steepest = RunSolves(
+      programs, SimplexPivotRule::kSteepestEdge, /*reuse_workspace=*/true);
 
   const auto per_solve = [&](const RunStats& stats) {
     return stats.total_ms / static_cast<double>(solves);
   };
-  const double speedup_fresh = legacy.total_ms / flat_fresh.total_ms;
-  const double speedup_reuse = legacy.total_ms / flat_reuse.total_ms;
+  const double reuse_speedup = dantzig_fresh.total_ms / dantzig_reuse.total_ms;
 
-  std::printf("%-22s %10s %10s %8s %8s\n", "config", "total_ms", "ms/solve",
+  std::printf("%-24s %10s %10s %8s %8s\n", "config", "total_ms", "ms/solve",
               "solved", "allocs");
-  std::printf("%-22s %10.2f %10.3f %8d %8lld\n", "legacy", legacy.total_ms,
-              per_solve(legacy), legacy.solved,
-              static_cast<long long>(legacy.allocations));
-  std::printf("%-22s %10.2f %10.3f %8d %8lld\n", "flat (fresh arena)",
-              flat_fresh.total_ms, per_solve(flat_fresh), flat_fresh.solved,
-              static_cast<long long>(flat_fresh.allocations));
-  std::printf("%-22s %10.2f %10.3f %8d %8lld\n", "flat (reused arena)",
-              flat_reuse.total_ms, per_solve(flat_reuse), flat_reuse.solved,
-              static_cast<long long>(flat_reuse.allocations));
-  std::printf("speedup vs legacy: %.2fx fresh, %.2fx reused\n", speedup_fresh,
-              speedup_reuse);
+  const auto row = [&](const char* name, const RunStats& stats) {
+    std::printf("%-24s %10.2f %10.3f %8d %8lld\n", name, stats.total_ms,
+                per_solve(stats), stats.solved,
+                static_cast<long long>(stats.allocations));
+  };
+  row("dantzig (fresh arena)", dantzig_fresh);
+  row("dantzig (reused arena)", dantzig_reuse);
+  row("bland (reused arena)", bland);
+  row("steepest (reused arena)", steepest);
+  std::printf("workspace reuse speedup: %.2fx\n", reuse_speedup);
 
   JsonResults json("lp_core");
   json.Add("solves", solves);
   json.Add("lp_vars", programs.front().num_vars());
   json.Add("lp_rows", programs.front().num_constraints());
-  json.Add("legacy_ms_per_solve", per_solve(legacy));
-  json.Add("flat_fresh_ms_per_solve", per_solve(flat_fresh));
-  json.Add("flat_reuse_ms_per_solve", per_solve(flat_reuse));
-  json.Add("speedup_fresh_vs_legacy", speedup_fresh);
-  json.Add("speedup_reuse_vs_legacy", speedup_reuse);
+  json.Add("dantzig_fresh_ms_per_solve", per_solve(dantzig_fresh));
+  json.Add("dantzig_reuse_ms_per_solve", per_solve(dantzig_reuse));
+  json.Add("bland_ms_per_solve", per_solve(bland));
+  json.Add("steepest_ms_per_solve", per_solve(steepest));
+  json.Add("reuse_speedup", reuse_speedup);
   json.Add("allocs_without_reuse",
-           static_cast<double>(flat_fresh.allocations));
-  json.Add("allocs_with_reuse", static_cast<double>(flat_reuse.allocations));
+           static_cast<double>(dantzig_fresh.allocations));
+  json.Add("allocs_with_reuse",
+           static_cast<double>(dantzig_reuse.allocations));
   if (!json.WriteTo(flags.json_path)) return 1;
   return 0;
 }

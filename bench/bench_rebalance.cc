@@ -1,0 +1,185 @@
+// Shard-maintenance bench: what dynamic rebalancing buys under churn.
+//
+// Both modes must expose a CORRECT partition after every applied op (the
+// planning service's contract). The static baseline gets one by re-running
+// the full centroidal-Voronoi partitioner from scratch (bisection seeds +
+// full Lloyd) whenever an op can change the partition; the dynamic mode
+// keeps the same partition current with ShardTracker's incremental
+// boundary-user migration plus a periodic warm-started rebalance. The
+// headline number is the maintenance throughput ratio — the acceptance gate
+// expects dynamic >= 1.5x static.
+//
+//   ./bench_rebalance [--scale=S] [--trials=N] [--quick] [--json=FILE]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/generator.h"
+#include "gepc/solver.h"
+#include "iep/planner.h"
+#include "service/torture.h"
+#include "shard/partition.h"
+#include "shard/rebalance.h"
+#include "shard/voronoi.h"
+#include "spatial/reachability.h"
+
+namespace gepc {
+namespace bench {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct ModeStats {
+  double maintenance_ms = 0.0;  // partition upkeep only (not planner Apply)
+  int ops_applied = 0;
+  uint64_t migrations = 0;
+  uint64_t full_partitions = 0;  // from-scratch partitioner runs
+  uint64_t rebalances = 0;
+  double final_skew = 0.0;
+};
+
+/// Replays `ops` through a fresh planner, keeping a correct partition after
+/// every applied op. `dynamic_mode` selects incremental migration + warm
+/// rebalance vs a cold full partition per op.
+ModeStats Replay(const Instance& instance, const Plan& plan,
+                 const std::vector<AtomicOp>& ops, int num_shards,
+                 bool dynamic_mode, int rebalance_every) {
+  ModeStats stats;
+  auto planner = IncrementalPlanner::Create(instance, plan);
+  if (!planner.ok()) return stats;
+
+  ShardTracker tracker(planner->instance(), num_shards);
+  ShardPartition static_partition = tracker.partition();
+
+  for (const AtomicOp& op : ops) {
+    if (!planner->Apply(op).ok()) continue;
+    ++stats.ops_applied;
+    const auto start = std::chrono::steady_clock::now();
+    if (dynamic_mode) {
+      if (!tracker.ApplyMigration(planner->instance(), op).ok()) continue;
+      if (rebalance_every > 0 && stats.ops_applied % rebalance_every == 0) {
+        auto report = tracker.Rebalance(planner->instance());
+        if (report.ok()) ++stats.rebalances;
+      }
+    } else {
+      // No incremental path: the only way to a current partition is the
+      // full partitioner (cold — bisection seeds, full Lloyd).
+      const ReachabilityFilter filter(planner->instance());
+      static_partition = PartitionInstanceVoronoi(planner->instance(),
+                                                  filter, num_shards);
+      ++stats.full_partitions;
+    }
+    stats.maintenance_ms += MillisSince(start);
+  }
+  if (dynamic_mode) {
+    stats.migrations = tracker.stats().migrations;
+    stats.full_partitions = tracker.stats().full_rebuilds;
+    stats.final_skew = ShardTracker::StructuralSkew(tracker.partition());
+  } else {
+    stats.final_skew = ShardTracker::StructuralSkew(static_partition);
+  }
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int users = 200 + static_cast<int>(1800 * flags.scale);
+  const int events = 30 + static_cast<int>(170 * flags.scale);
+  const int ops_count = 60 * flags.trials;
+  const int num_shards = 4;
+  const int rebalance_every = 25;
+
+  GeneratorConfig config;
+  config.num_users = users;
+  config.num_events = events;
+  config.seed = 42;
+  config.budget_min_fraction = 0.05;
+  config.budget_max_fraction = 0.15;
+  auto instance = GenerateInstance(config);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generator: %s\n",
+                 instance.status().message().c_str());
+    return 1;
+  }
+  auto solved = SolveGepc(*instance, GreedyPreset());
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve: %s\n", solved.status().message().c_str());
+    return 1;
+  }
+
+  // One shared trace (generated against a throwaway planner — generation
+  // advances it), replayed identically in both modes.
+  std::vector<AtomicOp> ops;
+  {
+    auto scratch = IncrementalPlanner::Create(*instance, solved->plan);
+    if (!scratch.ok()) return 1;
+    ops = GenerateTortureOps(&*scratch, ops_count, /*seed=*/7);
+  }
+
+  std::printf("bench_rebalance: %d users, %d events, %d shards, %zu ops\n",
+              users, events, num_shards, ops.size());
+
+  const ModeStats dynamic_stats =
+      Replay(*instance, solved->plan, ops, num_shards,
+             /*dynamic_mode=*/true, rebalance_every);
+  const ModeStats static_stats =
+      Replay(*instance, solved->plan, ops, num_shards,
+             /*dynamic_mode=*/false, rebalance_every);
+
+  const auto throughput = [](const ModeStats& stats) {
+    return stats.maintenance_ms > 0.0
+               ? 1000.0 * stats.ops_applied / stats.maintenance_ms
+               : 0.0;
+  };
+  const double dynamic_tput = throughput(dynamic_stats);
+  const double static_tput = throughput(static_stats);
+  const double speedup =
+      static_tput > 0.0 ? dynamic_tput / static_tput : 0.0;
+
+  std::printf("%-28s %12s %12s %10s %8s\n", "mode", "maint_ms", "ops/sec",
+              "rebuilds", "skew");
+  std::printf("%-28s %12.2f %12.0f %10llu %8.3f\n", "static (full per op)",
+              static_stats.maintenance_ms, static_tput,
+              static_cast<unsigned long long>(static_stats.full_partitions),
+              static_stats.final_skew);
+  std::printf("%-28s %12.2f %12.0f %10llu %8.3f\n",
+              "dynamic (migrate+rebalance)", dynamic_stats.maintenance_ms,
+              dynamic_tput,
+              static_cast<unsigned long long>(dynamic_stats.full_partitions),
+              dynamic_stats.final_skew);
+  std::printf("dynamic stats: %llu migrations, %llu rebalances\n",
+              static_cast<unsigned long long>(dynamic_stats.migrations),
+              static_cast<unsigned long long>(dynamic_stats.rebalances));
+  std::printf("maintenance speedup: %.2fx dynamic over static\n", speedup);
+
+  JsonResults json("rebalance");
+  json.Add("users", users);
+  json.Add("events", events);
+  json.Add("shards", num_shards);
+  json.Add("ops_applied", dynamic_stats.ops_applied);
+  json.Add("static_maintenance_ms", static_stats.maintenance_ms);
+  json.Add("dynamic_maintenance_ms", dynamic_stats.maintenance_ms);
+  json.Add("static_ops_per_sec", static_tput);
+  json.Add("dynamic_ops_per_sec", dynamic_tput);
+  json.Add("dynamic_over_static_speedup", speedup);
+  json.Add("dynamic_migrations",
+           static_cast<double>(dynamic_stats.migrations));
+  json.Add("dynamic_rebalances",
+           static_cast<double>(dynamic_stats.rebalances));
+  json.Add("dynamic_final_skew", dynamic_stats.final_skew);
+  json.Add("static_final_skew", static_stats.final_skew);
+  if (!json.WriteTo(flags.json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gepc
+
+int main(int argc, char** argv) { return gepc::bench::Main(argc, argv); }

@@ -32,6 +32,8 @@ const char* const kKnownPoints[] = {
     "repl.ship",          // a follower sync/checkpoint ship aborts (ReplError)
     "repl.tail",          // a follower's tail-apply fails; it must resync
     "repl.promote",       // a promotion attempt aborts (retried later)
+    "shard.migrate",      // incremental migration degrades to a full rebuild
+    "shard.rebalance",    // a rebalance attempt aborts (old partition kept)
     nullptr,
 };
 

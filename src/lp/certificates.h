@@ -55,8 +55,8 @@ struct CertifiedLpResult {
 /// Solves `lp` on the flat engine and returns the outcome with its
 /// certificate. Statuses are reserved for genuine failures:
 /// kInvalidArgument (malformed program / options) and kInternal (iteration
-/// cap). `options.engine` is ignored — certificates come from the flat
-/// tableau. `workspace` may be nullptr.
+/// cap). `options.pivot_rule` is honored — every rule produces a
+/// certificate for the vertex it reaches. `workspace` may be nullptr.
 Result<CertifiedLpResult> SolveLpCertified(const LinearProgram& lp,
                                            const SimplexOptions& options = {},
                                            LpWorkspace* workspace = nullptr);

@@ -9,6 +9,20 @@
 namespace gepc {
 namespace lp_internal {
 
+namespace {
+
+/// Nearest power of two to v > 0 (ties in log space round up). Scaling by
+/// exact powers of two never changes a mantissa, so equilibration alters
+/// only the DECISIONS the pivot loops make against absolute tolerances,
+/// never the arithmetic itself — and unscaling on extraction is exact.
+double Pow2Near(double v) {
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [.5,1)
+  return std::ldexp(1.0, frac >= 0.70710678118654752 ? exp : exp - 1);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // FlatTableau: arena management + tableau construction
 // ---------------------------------------------------------------------------
@@ -99,11 +113,50 @@ Status FlatTableau::Reset(const LinearProgram& lp) {
   }
   for (int ext = 0; ext < cols_; ++ext) store_to_ext_[ext_to_store_[ext]] = ext;
 
-  // Pass 2: normalize each row (sum duplicate terms, rhs >= 0) and place
-  // its coefficients, slack and artificial.
+  // Equilibration pre-pass: one row sweep, then one column sweep, both
+  // rounded to exact powers of two. Raw programs can span coefficients
+  // from 1e-3 to 1e3, which makes the solver's absolute tolerances (pivot
+  // admission, reduced-cost optimality) mean wildly different things row
+  // to row; after this sweep every row and column has a max-magnitude
+  // entry near 1. The scales are undone on extraction (exactly — they are
+  // powers of two), so callers never see scaled values.
+  row_scale_.assign(static_cast<size_t>(m), 1.0);
+  col_scale_.assign(static_cast<size_t>(n), 1.0);
+  dense_row_.assign(static_cast<size_t>(n), 0.0);
+  {
+    std::vector<double> col_max(static_cast<size_t>(n), 0.0);
+    for (int r = 0; r < m; ++r) {
+      const auto& c = lp.constraint(r);
+      std::fill(dense_row_.begin(), dense_row_.end(), 0.0);
+      for (const auto& [var, coef] : c.terms) {
+        dense_row_[static_cast<size_t>(var)] += coef;
+      }
+      double row_max = 0.0;
+      for (double v : dense_row_) row_max = std::max(row_max, std::fabs(v));
+      if (row_max > 0.0) {
+        row_scale_[static_cast<size_t>(r)] = Pow2Near(1.0 / row_max);
+      }
+      for (int v = 0; v < n; ++v) {
+        col_max[static_cast<size_t>(v)] =
+            std::max(col_max[static_cast<size_t>(v)],
+                     std::fabs(dense_row_[static_cast<size_t>(v)]) *
+                         row_scale_[static_cast<size_t>(r)]);
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (col_max[static_cast<size_t>(v)] > 0.0) {
+        col_scale_[static_cast<size_t>(v)] =
+            Pow2Near(1.0 / col_max[static_cast<size_t>(v)]);
+      }
+    }
+  }
+
+  // Pass 2: normalize each row (sum duplicate terms, rhs >= 0), scale and
+  // place its coefficients, slack and artificial. Slack and artificial
+  // columns are placed AFTER scaling with unit coefficients — they live in
+  // row-scaled units, which is fine because they are never reported.
   int next_slack = 0;
   int next_artificial = slack_ + structural_;
-  dense_row_.assign(static_cast<size_t>(n), 0.0);
   for (int r = 0; r < m; ++r) {
     const auto& c = lp.constraint(r);
     std::fill(dense_row_.begin(), dense_row_.end(), 0.0);
@@ -125,10 +178,12 @@ Status FlatTableau::Reset(const LinearProgram& lp) {
     }
 
     double* row = tab_ + static_cast<size_t>(r) * col_cap_;
+    const double rscale = row_scale_[static_cast<size_t>(r)];
     for (int v = 0; v < n; ++v) {
-      row[slack_ + v] = dense_row_[static_cast<size_t>(v)];
+      row[slack_ + v] = dense_row_[static_cast<size_t>(v)] * rscale *
+                        col_scale_[static_cast<size_t>(v)];
     }
-    rhs_[r] = rhs;
+    rhs_[r] = rhs * rscale;
     row_active_[r] = 1;
     row_flipped_[r] = flipped ? 1 : 0;
     switch (rel) {
@@ -218,7 +273,9 @@ class FlatSimplex {
 
     std::fill(cost, cost + cols, 0.0);
     for (int v = 0; v < t_.num_structural(); ++v) {
-      const double c = lp.objective(v);
+      // Column-scaled objective: the scaled program minimizes c'x' with
+      // c'_v = c_v * C_v and x_v = C_v * x'_v, so objectives match.
+      const double c = lp.objective(v) * t_.col_scale(v);
       cost[t_.structural_store(v)] = maximize ? -c : c;
     }
     const RunOutcome phase2 = RunSimplex(/*forbid_artificials=*/true);
@@ -239,8 +296,9 @@ class FlatSimplex {
     ExtractRowMultipliers(/*negate=*/maximize, &out->dual);
     out->reduced_costs.resize(static_cast<size_t>(t_.num_structural()));
     for (int v = 0; v < t_.num_structural(); ++v) {
+      // rc'_v = C_v * rc_v; dividing by the power-of-two scale is exact.
       out->reduced_costs[static_cast<size_t>(v)] =
-          t_.reduced()[t_.structural_store(v)];
+          t_.reduced()[t_.structural_store(v)] / t_.col_scale(v);
     }
     return Status::OK();
   }
@@ -310,6 +368,14 @@ class FlatSimplex {
       for (int c = 0; c < cols; ++c) row[c] -= factor * prow[c];
       row[pivot_col] = 0.0;
       view_.rhs[r] -= factor * pivot_rhs;
+      // A basic rhs within update-noise of zero is zero. Without the snap,
+      // a rounding- or ratio-tie-sized negative seeds catastrophic drift: a
+      // later degenerate pivot on that row enters at rhs / a with a as
+      // small as the pivot tolerance, amplifying the negativity by orders
+      // of magnitude and silently losing primal feasibility.
+      const double noise =
+          policy_.ratio_tie * (1.0 + std::fabs(factor * pivot_rhs));
+      if (view_.rhs[r] < 0.0 && view_.rhs[r] >= -noise) view_.rhs[r] = 0.0;
     }
     view_.basis[pivot_row] = pivot_col;
   }
@@ -369,25 +435,45 @@ class FlatSimplex {
       }
       if (entering < 0) return RunOutcome::kOptimal;
 
-      // Ratio test; Bland tie-break on the smallest EXTERNAL basis index.
-      int leaving = -1;
+      // Two-pass Harris-style ratio test. Pass 1 finds the tightest ratio
+      // (clamped at zero: rounding can leave a basic rhs a hair negative,
+      // and a negative step would drive the entering variable — and the
+      // returned x — negative while still reporting "optimal"). Pass 2
+      // picks among the rows inside the tie window: the LARGEST pivot
+      // element by default (dividing a row by a near-tolerance pivot
+      // scales it by up to 1/epsilon and wrecks the dense tableau — this
+      // preference is the main stability lever an unfactorized tableau
+      // has), or the smallest external basis index under Bland's rule
+      // (the termination guarantee needs index order, not stability).
       double best_ratio = std::numeric_limits<double>::infinity();
       for (int r = 0; r < view_.rows; ++r) {
         if (!view_.row_active[r]) continue;
         const double a = view_.at(r, entering);
         if (a <= policy_.pivot) continue;
-        const double ratio = view_.rhs[r] / a;
-        if (ratio < best_ratio - policy_.ratio_tie ||
-            (ratio < best_ratio + policy_.ratio_tie &&
-             (leaving < 0 || t_.store_to_ext(view_.basis[r]) <
-                                 t_.store_to_ext(view_.basis[leaving])))) {
-          best_ratio = ratio;
-          leaving = r;
-        }
+        best_ratio = std::min(best_ratio, std::max(0.0, view_.rhs[r]) / a);
       }
-      if (leaving < 0) {
+      if (best_ratio == std::numeric_limits<double>::infinity()) {
         unbounded_entering_ = entering;
         return RunOutcome::kUnbounded;
+      }
+      int leaving = -1;
+      double leaving_pivot = 0.0;
+      for (int r = 0; r < view_.rows; ++r) {
+        if (!view_.row_active[r]) continue;
+        const double a = view_.at(r, entering);
+        if (a <= policy_.pivot) continue;
+        if (std::max(0.0, view_.rhs[r]) / a > best_ratio + policy_.ratio_tie) {
+          continue;
+        }
+        const bool better =
+            use_bland
+                ? (leaving < 0 || t_.store_to_ext(view_.basis[r]) <
+                                      t_.store_to_ext(view_.basis[leaving]))
+                : a > leaving_pivot;
+        if (better) {
+          leaving = r;
+          leaving_pivot = a;
+        }
       }
       if (best_ratio < policy_.degenerate_step) {
         if (++degenerate_streak >= options_.degenerate_pivots_before_bland) {
@@ -424,6 +510,12 @@ class FlatSimplex {
       if (pivot_col < 0) {
         view_.row_active[r] = 0;  // redundant constraint
       } else {
+        // The artificial is basic at (numerically) zero level — make that
+        // exact before the exchange. Otherwise rhs / a enters the new
+        // basic variable at up to drive_out_rhs / pivot-tolerance (and
+        // with either sign, since the pivot element may be negative),
+        // which silently destroys primal feasibility.
+        view_.rhs[r] = 0.0;
         Pivot(r, pivot_col);
       }
     }
@@ -437,7 +529,13 @@ class FlatSimplex {
       if (!view_.row_active[r]) continue;
       const int c = view_.basis[r];
       if (structural_store_col(c)) {
-        solution->x[static_cast<size_t>(c - t_.num_slack())] = view_.rhs[r];
+        const int v = c - t_.num_slack();
+        // x_v = C_v * x'_v (exact: C_v is a power of two). The ratio test
+        // keeps basic values nonnegative up to rounding noise; clamp the
+        // residual, because a large column scale would otherwise inflate
+        // it into a visibly negative x_v.
+        solution->x[static_cast<size_t>(v)] =
+            std::max(0.0, view_.rhs[r]) * t_.col_scale(v);
       }
     }
     double objective = 0.0;
@@ -460,7 +558,9 @@ class FlatSimplex {
     for (int r = 0; r < view_.rows; ++r) {
       if (!view_.row_active[r]) continue;  // redundant rows keep y_r = 0
       const int id = t_.identity_col(r);
-      double value = cost[id] - reduced[id];
+      // y_r = R_r * y'_r: the identity column is unscaled, so its reduced
+      // cost prices the ROW-SCALED constraint.
+      double value = (cost[id] - reduced[id]) * t_.row_scale(r);
       if (t_.row_flipped(r)) value = -value;
       if (negate) value = -value;
       (*y)[static_cast<size_t>(r)] = value;
@@ -475,16 +575,20 @@ class FlatSimplex {
   void ExtractRay(std::vector<double>* ray) {
     const int n = t_.num_structural();
     ray->assign(static_cast<size_t>(n), 0.0);
+    // Components unscale as d_v = C_v * d'_v; the verifier normalizes the
+    // overall magnitude away but the RELATIVE scales must be right.
     if (structural_store_col(unbounded_entering_)) {
-      (*ray)[static_cast<size_t>(unbounded_entering_ - t_.num_slack())] = 1.0;
+      const int v = unbounded_entering_ - t_.num_slack();
+      (*ray)[static_cast<size_t>(v)] = t_.col_scale(v);
     }
     for (int r = 0; r < view_.rows; ++r) {
       if (!view_.row_active[r]) continue;
       const int c = view_.basis[r];
       if (!structural_store_col(c)) continue;
+      const int v = c - t_.num_slack();
       const double direction = -view_.at(r, unbounded_entering_);
-      (*ray)[static_cast<size_t>(c - t_.num_slack())] =
-          direction < 0.0 ? 0.0 : direction;
+      (*ray)[static_cast<size_t>(v)] =
+          direction < 0.0 ? 0.0 : direction * t_.col_scale(v);
     }
   }
 

@@ -90,6 +90,13 @@ class FlatTableau {
   /// Farkas multipliers for the row flip sign on the way out.
   bool row_flipped(int r) const { return row_flipped_[r] != 0; }
 
+  // --- equilibration (power-of-two row/column scales, exact in FP) ---
+  /// Scale applied to row r during Reset; duals unscale as y = R_r * y'.
+  double row_scale(int r) const { return row_scale_[static_cast<size_t>(r)]; }
+  /// Scale applied to structural column v; the primal unscales as
+  /// x_v = C_v * x'_v and reduced costs as rc_v = rc'_v / C_v.
+  double col_scale(int v) const { return col_scale_[static_cast<size_t>(v)]; }
+
   // --- scratch rows living in the arena ---
   double* cost() { return cost_; }          // length >= cols()
   double* reduced() { return reduced_; }    // length >= cols()
@@ -134,6 +141,8 @@ class FlatTableau {
   int64_t allocations_ = 0;
 
   std::vector<double> dense_row_;  // Reset() scratch for duplicate summing
+  std::vector<double> row_scale_;  // power-of-two equilibration, per row
+  std::vector<double> col_scale_;  // ... per structural column
 };
 
 /// Runs the two-phase simplex for `lp` on the flat tableau and returns the

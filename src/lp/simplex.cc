@@ -54,305 +54,6 @@ int64_t LpWorkspace::allocation_count() const {
 size_t LpWorkspace::arena_bytes() const { return tableau_->arena_bytes(); }
 
 // ---------------------------------------------------------------------------
-// Legacy engine: dense full-tableau primal simplex, one row-major matrix
-// allocated per solve. Kept behind SimplexEngine::kLegacy for one release so
-// lp_differential_test can compare it against the flat core directly.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Layout:
-///   columns [0, n)                    original variables
-///   columns [n, n + s)                slack / surplus variables
-///   columns [n + s, n + s + a)        artificial variables (phase 1 only)
-/// rows    [0, m)                      constraints (B^{-1} A | B^{-1} b)
-class LegacyTableau {
- public:
-  LegacyTableau(const LinearProgram& lp, const SimplexOptions& options)
-      : options_(options), policy_(EpsilonPolicy::FromOptions(options)) {
-    n_ = lp.num_vars();
-    m_ = lp.num_constraints();
-
-    // Normalized rows: summed duplicate terms, rhs >= 0.
-    struct Row {
-      std::vector<double> coef;  // dense over original vars
-      Relation relation;
-      double rhs;
-    };
-    std::vector<Row> rows;
-    rows.reserve(static_cast<size_t>(m_));
-    for (int r = 0; r < m_; ++r) {
-      const auto& c = lp.constraint(r);
-      Row row{std::vector<double>(static_cast<size_t>(n_), 0.0), c.relation,
-              c.rhs};
-      for (const auto& [var, coef] : c.terms) {
-        row.coef[static_cast<size_t>(var)] += coef;
-      }
-      if (row.rhs < 0.0) {
-        for (double& v : row.coef) v = -v;
-        row.rhs = -row.rhs;
-        if (row.relation == Relation::kLessEqual) {
-          row.relation = Relation::kGreaterEqual;
-        } else if (row.relation == Relation::kGreaterEqual) {
-          row.relation = Relation::kLessEqual;
-        }
-      }
-      rows.push_back(std::move(row));
-    }
-
-    int num_slack = 0;
-    int num_artificial = 0;
-    for (const Row& row : rows) {
-      if (row.relation != Relation::kEqual) ++num_slack;
-      if (row.relation != Relation::kLessEqual) ++num_artificial;
-    }
-    slack_begin_ = n_;
-    artificial_begin_ = n_ + num_slack;
-    cols_ = n_ + num_slack + num_artificial;
-
-    a_.assign(static_cast<size_t>(m_) * static_cast<size_t>(cols_), 0.0);
-    b_.assign(static_cast<size_t>(m_), 0.0);
-    basis_.assign(static_cast<size_t>(m_), -1);
-    row_active_.assign(static_cast<size_t>(m_), true);
-
-    int next_slack = slack_begin_;
-    int next_artificial = artificial_begin_;
-    for (int r = 0; r < m_; ++r) {
-      const Row& row = rows[static_cast<size_t>(r)];
-      for (int v = 0; v < n_; ++v) At(r, v) = row.coef[static_cast<size_t>(v)];
-      b_[static_cast<size_t>(r)] = row.rhs;
-      switch (row.relation) {
-        case Relation::kLessEqual:
-          At(r, next_slack) = 1.0;
-          basis_[static_cast<size_t>(r)] = next_slack++;
-          break;
-        case Relation::kGreaterEqual:
-          At(r, next_slack++) = -1.0;
-          At(r, next_artificial) = 1.0;
-          basis_[static_cast<size_t>(r)] = next_artificial++;
-          break;
-        case Relation::kEqual:
-          At(r, next_artificial) = 1.0;
-          basis_[static_cast<size_t>(r)] = next_artificial++;
-          break;
-      }
-    }
-  }
-
-  /// Runs phase 1 (if artificials exist) and phase 2 with cost `cost`
-  /// (minimization over all columns; zero-extended past its size).
-  /// Returns OK / kInfeasible / kInternal.
-  Status Optimize(const std::vector<double>& cost) {
-    if (artificial_begin_ < cols_) {
-      std::vector<double> phase1(static_cast<size_t>(cols_), 0.0);
-      for (int c = artificial_begin_; c < cols_; ++c) {
-        phase1[static_cast<size_t>(c)] = 1.0;
-      }
-      GEPC_RETURN_IF_ERROR(RunSimplex(phase1, /*forbid_artificials=*/false));
-      if (PhaseObjective(phase1) > policy_.phase1_feasible) {
-        return Status::Infeasible("phase-1 optimum is positive");
-      }
-      GEPC_RETURN_IF_ERROR(DriveOutArtificials());
-    }
-    std::vector<double> full_cost(static_cast<size_t>(cols_), 0.0);
-    std::copy(cost.begin(), cost.end(), full_cost.begin());
-    return RunSimplex(full_cost, /*forbid_artificials=*/true);
-  }
-
-  /// Value of original variable v in the current basic solution.
-  double VariableValue(int v) const {
-    for (int r = 0; r < m_; ++r) {
-      if (row_active_[static_cast<size_t>(r)] &&
-          basis_[static_cast<size_t>(r)] == v) {
-        return b_[static_cast<size_t>(r)];
-      }
-    }
-    return 0.0;
-  }
-
-  double value_clamp() const { return policy_.value_clamp; }
-
- private:
-  double& At(int r, int c) {
-    return a_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
-              static_cast<size_t>(c)];
-  }
-  double At(int r, int c) const {
-    return a_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
-              static_cast<size_t>(c)];
-  }
-
-  double PhaseObjective(const std::vector<double>& cost) const {
-    double value = 0.0;
-    for (int r = 0; r < m_; ++r) {
-      if (!row_active_[static_cast<size_t>(r)]) continue;
-      value += cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])] *
-               b_[static_cast<size_t>(r)];
-    }
-    return value;
-  }
-
-  /// Reduced costs r_j = c_j - c_B^T (B^{-1} A_j); tableau rows already hold
-  /// B^{-1} A, so z_j is a plain dot product with the basic costs.
-  void ComputeReducedCosts(const std::vector<double>& cost,
-                           std::vector<double>* reduced) const {
-    reduced->assign(static_cast<size_t>(cols_), 0.0);
-    for (int c = 0; c < cols_; ++c) {
-      double z = 0.0;
-      for (int r = 0; r < m_; ++r) {
-        if (!row_active_[static_cast<size_t>(r)]) continue;
-        const double cb =
-            cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
-        if (cb != 0.0) z += cb * At(r, c);
-      }
-      (*reduced)[static_cast<size_t>(c)] = cost[static_cast<size_t>(c)] - z;
-    }
-  }
-
-  void Pivot(int pivot_row, int pivot_col) {
-    const double pivot = At(pivot_row, pivot_col);
-    for (int c = 0; c < cols_; ++c) At(pivot_row, c) /= pivot;
-    b_[static_cast<size_t>(pivot_row)] /= pivot;
-    At(pivot_row, pivot_col) = 1.0;  // cancel rounding
-    for (int r = 0; r < m_; ++r) {
-      if (r == pivot_row || !row_active_[static_cast<size_t>(r)]) continue;
-      const double factor = At(r, pivot_col);
-      if (factor == 0.0) continue;
-      for (int c = 0; c < cols_; ++c) At(r, c) -= factor * At(pivot_row, c);
-      At(r, pivot_col) = 0.0;
-      b_[static_cast<size_t>(r)] -= factor * b_[static_cast<size_t>(pivot_row)];
-    }
-    basis_[static_cast<size_t>(pivot_row)] = pivot_col;
-  }
-
-  Status RunSimplex(const std::vector<double>& cost, bool forbid_artificials) {
-    const int64_t max_iter = options_.max_iterations > 0
-                                 ? options_.max_iterations
-                                 : 200LL * (m_ + cols_) + 10000;
-    std::vector<double> reduced;
-    int degenerate_streak = 0;
-    bool use_bland = false;
-    for (int64_t iter = 0; iter < max_iter; ++iter) {
-      ComputeReducedCosts(cost, &reduced);
-      const int col_limit = forbid_artificials ? artificial_begin_ : cols_;
-      int entering = -1;
-      if (use_bland) {
-        for (int c = 0; c < col_limit; ++c) {
-          if (reduced[static_cast<size_t>(c)] < -policy_.reduced_cost) {
-            entering = c;
-            break;
-          }
-        }
-      } else {
-        double best = -policy_.reduced_cost;
-        for (int c = 0; c < col_limit; ++c) {
-          if (reduced[static_cast<size_t>(c)] < best) {
-            best = reduced[static_cast<size_t>(c)];
-            entering = c;
-          }
-        }
-      }
-      if (entering < 0) return Status::OK();  // optimal
-
-      // Ratio test; Bland tie-break on the smallest basis index.
-      int leaving = -1;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (int r = 0; r < m_; ++r) {
-        if (!row_active_[static_cast<size_t>(r)]) continue;
-        const double a = At(r, entering);
-        if (a <= policy_.pivot) continue;
-        const double ratio = b_[static_cast<size_t>(r)] / a;
-        if (ratio < best_ratio - policy_.ratio_tie ||
-            (ratio < best_ratio + policy_.ratio_tie &&
-             (leaving < 0 || basis_[static_cast<size_t>(r)] <
-                                 basis_[static_cast<size_t>(leaving)]))) {
-          best_ratio = ratio;
-          leaving = r;
-        }
-      }
-      if (leaving < 0) {
-        return Status::Internal("LP is unbounded below");
-      }
-      if (best_ratio < policy_.degenerate_step) {
-        if (++degenerate_streak >= options_.degenerate_pivots_before_bland) {
-          use_bland = true;
-        }
-      } else {
-        degenerate_streak = 0;
-      }
-      Pivot(leaving, entering);
-    }
-    return Status::Internal("simplex iteration limit reached");
-  }
-
-  /// After phase 1: pivot still-basic artificials out on any non-artificial
-  /// column; rows that cannot pivot are redundant and get deactivated.
-  Status DriveOutArtificials() {
-    for (int r = 0; r < m_; ++r) {
-      if (!row_active_[static_cast<size_t>(r)]) continue;
-      if (basis_[static_cast<size_t>(r)] < artificial_begin_) continue;
-      if (std::fabs(b_[static_cast<size_t>(r)]) > policy_.drive_out_rhs) {
-        return Status::Internal("artificial variable basic at non-zero level");
-      }
-      int pivot_col = -1;
-      for (int c = 0; c < artificial_begin_; ++c) {
-        if (std::fabs(At(r, c)) > policy_.pivot) {
-          pivot_col = c;
-          break;
-        }
-      }
-      if (pivot_col < 0) {
-        row_active_[static_cast<size_t>(r)] = false;  // redundant constraint
-      } else {
-        Pivot(r, pivot_col);
-      }
-    }
-    return Status::OK();
-  }
-
-  SimplexOptions options_;
-  EpsilonPolicy policy_;
-  int n_ = 0;     // original variables
-  int m_ = 0;     // constraint rows
-  int cols_ = 0;  // total columns incl. slack + artificial
-  int slack_begin_ = 0;
-  int artificial_begin_ = 0;
-  std::vector<double> a_;  // m x cols, row-major
-  std::vector<double> b_;  // rhs, length m
-  std::vector<int> basis_;
-  std::vector<bool> row_active_;
-};
-
-Result<LpSolution> SolveLpLegacy(const LinearProgram& lp,
-                                 const SimplexOptions& options) {
-  LegacyTableau tableau(lp, options);
-
-  // Internally we always minimize; flip the sign for maximization.
-  std::vector<double> cost(lp.objective());
-  const bool maximize = lp.sense() == LinearProgram::Sense::kMaximize;
-  if (maximize) {
-    for (double& c : cost) c = -c;
-  }
-  GEPC_RETURN_IF_ERROR(tableau.Optimize(cost));
-
-  LpSolution solution;
-  solution.x.resize(static_cast<size_t>(lp.num_vars()));
-  for (int v = 0; v < lp.num_vars(); ++v) {
-    double value = tableau.VariableValue(v);
-    if (std::fabs(value) < tableau.value_clamp()) value = 0.0;
-    solution.x[static_cast<size_t>(v)] = value;
-  }
-  double objective = 0.0;
-  for (int v = 0; v < lp.num_vars(); ++v) {
-    objective += lp.objective(v) * solution.x[static_cast<size_t>(v)];
-  }
-  solution.objective_value = objective;
-  return solution;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
 // Public entry points
 // ---------------------------------------------------------------------------
 
@@ -367,18 +68,14 @@ Result<LpSolution> SolveLp(const LinearProgram& lp,
   GEPC_RETURN_IF_ERROR(lp.Validate());
   GEPC_RETURN_IF_ERROR(ValidateSimplexOptions(options));
 
-  if (options.engine == SimplexEngine::kLegacy) {
-    return SolveLpLegacy(lp, options);
-  }
-
   GEPC_ASSIGN_OR_RETURN(
       CertifiedLpResult certified,
       lp_internal::SolveLpFlat(
           lp, options, workspace != nullptr ? workspace->tableau() : nullptr));
   switch (certified.outcome) {
     case LpOutcome::kInfeasible:
-      // Same shape the legacy engine reports, so callers' fallback logic
-      // (e.g. the GAP candidate-cap retry) is engine-agnostic.
+      // Status (not a zero solution), so callers' fallback logic (e.g. the
+      // GAP candidate-cap retry) can branch on feasibility directly.
       return Status::Infeasible("phase-1 optimum is positive");
     case LpOutcome::kUnbounded:
       return Status::Internal("LP is unbounded below");

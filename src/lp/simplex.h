@@ -13,22 +13,12 @@ namespace lp_internal {
 class FlatTableau;
 }  // namespace lp_internal
 
-/// Which tableau implementation SolveLp runs on.
-enum class SimplexEngine {
-  /// Single flat arena-backed tableau (slack-first storage, capacity
-  /// headroom, reusable across solves via LpWorkspace). The default.
-  kFlat,
-  /// The original dense tableau that allocates per solve. Kept for one
-  /// release so the differential suite can compare the two engines
-  /// directly; scheduled for removal once the flat core has soaked.
-  kLegacy,
-};
-
-/// Entering-column selection rule (flat engine only; the legacy engine
-/// always prices with Dantzig and ignores this knob).
+/// Entering-column selection rule. The differential suite runs the same
+/// corpus under every rule and demands agreement on status and objective —
+/// the rules may reach different vertices of the same optimal face, never
+/// different optima.
 enum class SimplexPivotRule {
-  /// Most negative reduced cost. Matches the legacy engine pivot-for-pivot,
-  /// so it is the rule the byte-identical differential guarantee holds for.
+  /// Most negative reduced cost. The default.
   kDantzig,
   /// Lowest-index negative reduced cost from the first iteration on
   /// (termination guarantee; slower).
@@ -51,7 +41,6 @@ struct SimplexOptions {
   /// configured pricing rule to Bland's rule (guarantees termination);
   /// must be >= 1.
   int degenerate_pivots_before_bland = 64;
-  SimplexEngine engine = SimplexEngine::kFlat;
   SimplexPivotRule pivot_rule = SimplexPivotRule::kDantzig;
 };
 
@@ -59,12 +48,12 @@ struct SimplexOptions {
 /// silently clamping them. Called by every solver entry point.
 Status ValidateSimplexOptions(const SimplexOptions& options);
 
-/// Reusable solver state for the flat engine: owns the arena the tableau
-/// lives in. Passing the same workspace to consecutive SolveLp calls reuses
-/// the allocation whenever the new program fits the arena's capacity
-/// headroom, which makes per-solve heap traffic O(1) in steady state (the
-/// GAP loop and branch-and-bound both lean on this). A workspace is not
-/// thread-safe; use one per thread. The legacy engine ignores it.
+/// Reusable solver state: owns the arena the flat tableau lives in. Passing
+/// the same workspace to consecutive SolveLp calls reuses the allocation
+/// whenever the new program fits the arena's capacity headroom, which makes
+/// per-solve heap traffic O(1) in steady state (the GAP loop and
+/// branch-and-bound both lean on this). A workspace is not thread-safe; use
+/// one per thread.
 class LpWorkspace {
  public:
   LpWorkspace();
@@ -101,7 +90,7 @@ class LpWorkspace {
 Result<LpSolution> SolveLp(const LinearProgram& lp,
                            const SimplexOptions& options = {});
 
-/// As above, but reuses `workspace` (flat engine only; may be nullptr).
+/// As above, but reuses `workspace` (may be nullptr).
 Result<LpSolution> SolveLp(const LinearProgram& lp,
                            const SimplexOptions& options,
                            LpWorkspace* workspace);

@@ -227,6 +227,15 @@ void HandleStats(const PlanningService& service, const ServeRole* role,
   writer->Add("heap_bytes", stats.heap_bytes);
   writer->Add("peak_heap_bytes", stats.peak_heap_bytes);
   writer->Add("rss_bytes", stats.rss_bytes);
+  writer->Add("rebalance_shards", stats.rebalance_shards);
+  if (stats.rebalance_shards > 0) {
+    writer->Add("shard_skew", stats.shard_skew);
+    writer->Add("shard_boundary_users", stats.shard_boundary_users);
+    writer->Add("rebalances", stats.rebalances);
+    writer->Add("rebalance_failures", stats.rebalance_failures);
+    writer->Add("shard_migrations", stats.shard_migrations);
+    writer->Add("last_rebalance_version", stats.last_rebalance_version);
+  }
 }
 
 void HandleMetrics(const PlanningService& service, JsonWriter* writer) {
@@ -345,6 +354,22 @@ void HandleRebuild(PlanningService* service, const JsonObject& request,
   writer->Add("boundary_users", outcome.stats.boundary_users);
 }
 
+void HandleRebalance(PlanningService* service, JsonWriter* writer) {
+  const RebalanceOutcome outcome = service->Rebalance();
+  if (!outcome.rebalanced) {
+    FillError(writer, outcome.error);
+    return;
+  }
+  writer->Add("ok", true);
+  writer->Add("rebalanced", true);
+  writer->Add("seq", outcome.sequence);
+  writer->Add("iterations", outcome.report.iterations);
+  writer->Add("events_moved", outcome.report.events_moved);
+  writer->Add("users_moved", outcome.report.users_moved);
+  writer->Add("skew_before", outcome.report.skew_before);
+  writer->Add("skew_after", outcome.report.skew_after);
+}
+
 }  // namespace
 
 GepcAlgorithm AlgorithmFromName(const std::string& name) {
@@ -363,8 +388,9 @@ CommandKind ClassifyCommand(const std::string& cmd) {
       cmd == "metrics" || cmd == "faults") {
     return CommandKind::kRead;
   }
-  if (cmd == "apply" || cmd == "rebuild" || cmd == "checkpoint" ||
-      cmd == "save_plan" || cmd == "drain" || cmd == "shutdown") {
+  if (cmd == "apply" || cmd == "rebuild" || cmd == "rebalance" ||
+      cmd == "checkpoint" || cmd == "save_plan" || cmd == "drain" ||
+      cmd == "shutdown") {
     return CommandKind::kWrite;
   }
   return CommandKind::kUnknown;
@@ -436,6 +462,11 @@ DispatchOutcome CommandDispatcher::Dispatch(const std::string& line) const {
     HandleSavePlan(service_, *request, &writer);
   } else if (cmd == "rebuild") {
     HandleRebuild(service_, *request, defaults_, &writer);
+  } else if (cmd == "rebalance") {
+    // A write, but — like checkpoint — a local-only one: the partition is
+    // derived state, so a follower may rebalance without diverging from the
+    // primary's replicated state.
+    HandleRebalance(service_, &writer);
   } else if (cmd == "faults") {
     HandleFaults(&writer);
   } else if (cmd == "drain") {

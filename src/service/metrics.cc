@@ -80,6 +80,37 @@ std::string RenderServiceStatsText(const ServiceStats& stats) {
                        &out);
   obs::AppendGaugeText("gepc_service_rss_bytes", "resident set size",
                        static_cast<double>(stats.rss_bytes), &out);
+  obs::AppendGaugeText("gepc_service_rebalance_shards",
+                       "shards the live rebalance tracker maintains",
+                       static_cast<double>(stats.rebalance_shards), &out);
+  obs::AppendGaugeText("gepc_service_shard_skew",
+                       "per-shard load skew, max over mean (0 = balanced)",
+                       stats.shard_skew, &out);
+  obs::AppendGaugeText("gepc_service_shard_boundary_users",
+                       "boundary users in the live tracked partition",
+                       static_cast<double>(stats.shard_boundary_users), &out);
+  obs::AppendCounterText("gepc_service_rebalances_total",
+                         "successful shard rebalances", stats.rebalances,
+                         &out);
+  obs::AppendCounterText("gepc_service_rebalance_failures_total",
+                         "failed or aborted shard rebalances",
+                         stats.rebalance_failures, &out);
+  obs::AppendCounterText("gepc_service_shard_migrations_total",
+                         "incremental shard migrations applied",
+                         stats.shard_migrations, &out);
+  obs::AppendCounterText("gepc_service_shard_users_migrated_total",
+                         "user reclassifications during migrations",
+                         stats.shard_users_migrated, &out);
+  obs::AppendCounterText("gepc_service_shard_events_migrated_total",
+                         "events re-homed during migrations",
+                         stats.shard_events_migrated, &out);
+  obs::AppendCounterText("gepc_service_shard_full_rebuilds_total",
+                         "migrations degraded to a full partition rebuild",
+                         stats.shard_full_rebuilds, &out);
+  obs::AppendGaugeText("gepc_service_last_rebalance_version",
+                       "sequence at the last successful rebalance",
+                       static_cast<double>(stats.last_rebalance_version),
+                       &out);
   obs::AppendHistogramText("gepc_service_apply_ms",
                            "apply latency (journal append included)",
                            stats.apply_ms, &out);

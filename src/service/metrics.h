@@ -63,6 +63,18 @@ struct ServiceStats {
   uint64_t recovery_ops_replayed = 0;
   double recovery_ms = 0.0;
 
+  // Shard rebalancing (all zero when the tracker is disabled).
+  int rebalance_shards = 0;            ///< shards the live tracker maintains
+  double shard_skew = 0.0;             ///< load skew max/mean (0 = balanced)
+  uint64_t shard_boundary_users = 0;   ///< boundary users in the live cut
+  uint64_t rebalances = 0;             ///< successful rebalances
+  uint64_t rebalance_failures = 0;     ///< failed/aborted rebalances
+  uint64_t shard_migrations = 0;       ///< incremental migrations applied
+  uint64_t shard_users_migrated = 0;   ///< user reclassifications
+  uint64_t shard_events_migrated = 0;  ///< events re-homed by migrations
+  uint64_t shard_full_rebuilds = 0;    ///< migrations degraded to rebuilds
+  uint64_t last_rebalance_version = 0; ///< sequence at the last rebalance
+
   // Plan aggregates (from the latest snapshot).
   double total_utility = 0.0;
   int64_t total_assignments = 0;

@@ -77,6 +77,11 @@ PlanningService::PlanningService(IncrementalPlanner planner,
     last_checkpoint_version_.store(recovery_.checkpoint_version,
                                    std::memory_order_relaxed);
   }
+  if (options_.rebalance_shards > 1) {
+    // Built before the writer starts, then confined to the writer thread.
+    tracker_.emplace(planner_.instance(), options_.rebalance_shards);
+    SyncTrackerStats();
+  }
   PublishSnapshot();
   writer_ = std::thread(&PlanningService::WriterLoop, this);
 }
@@ -256,6 +261,30 @@ CheckpointOutcome PlanningService::Checkpoint() {
   return SubmitCheckpoint().get();
 }
 
+std::future<RebalanceOutcome> PlanningService::SubmitRebalance() {
+  PendingOp pending;
+  pending.is_rebalance = true;
+  if (obs::Enabled()) pending.enqueue_time = std::chrono::steady_clock::now();
+  std::future<RebalanceOutcome> future = pending.rebalance_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++tickets_issued_;
+  }
+  metrics_.RecordSubmitted();
+  if (!queue_.Push(std::move(pending))) {
+    metrics_.RecordDropped();
+    RebalanceOutcome outcome;
+    outcome.error = "service is shut down";
+    pending.rebalance_promise.set_value(std::move(outcome));
+    FinishOne();
+  }
+  return future;
+}
+
+RebalanceOutcome PlanningService::Rebalance() {
+  return SubmitRebalance().get();
+}
+
 void PlanningService::SetCommitHook(CommitHook hook) {
   std::lock_guard<std::mutex> lock(commit_hook_mu_);
   commit_hook_ = std::move(hook);
@@ -308,6 +337,24 @@ ServiceStats PlanningService::Stats() const {
   stats.recovery_checkpoint_version = recovery_.checkpoint_version;
   stats.recovery_ops_replayed = recovery_.ops_replayed;
   stats.recovery_ms = recovery_.recovery_ms;
+  stats.rebalance_shards = tracker_ ? options_.rebalance_shards : 0;
+  stats.shard_skew =
+      static_cast<double>(shard_skew_milli_.load(std::memory_order_relaxed)) /
+      1000.0;
+  stats.shard_boundary_users =
+      shard_boundary_users_.load(std::memory_order_relaxed);
+  stats.rebalances = rebalances_.load(std::memory_order_relaxed);
+  stats.rebalance_failures =
+      rebalance_failures_.load(std::memory_order_relaxed);
+  stats.shard_migrations = shard_migrations_.load(std::memory_order_relaxed);
+  stats.shard_users_migrated =
+      shard_users_migrated_.load(std::memory_order_relaxed);
+  stats.shard_events_migrated =
+      shard_events_migrated_.load(std::memory_order_relaxed);
+  stats.shard_full_rebuilds =
+      shard_full_rebuilds_.load(std::memory_order_relaxed);
+  stats.last_rebalance_version =
+      last_rebalance_version_.load(std::memory_order_relaxed);
   const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
   stats.snapshot_version = snap->version;
   stats.total_utility = snap->total_utility;
@@ -346,6 +393,8 @@ void PlanningService::WriterLoop() {
       ApplyCheckpoint(&pending);
     } else if (pending.is_rebuild) {
       ApplyRebuild(&pending);
+    } else if (pending.is_rebalance) {
+      ApplyRebalance(&pending);
     } else {
       ApplyOne(&pending);
     }
@@ -405,6 +454,35 @@ void PlanningService::ApplyOne(PendingOp* pending) {
       outcome.events_below_lower_bound = step->events_below_lower_bound;
       outcome.added_by_topup = step->added_by_topup;
       metrics_.RecordApplied(elapsed_ms, step->negative_impact);
+      if (tracker_) {
+        // Route against the pre-migration partition (the cut that did the
+        // work), fold the op into the live partition, then charge the cost.
+        const std::vector<int> routed =
+            tracker_->RouteOp(planner_.instance(), pending->op);
+        const Status migrated =
+            tracker_->ApplyMigration(planner_.instance(), pending->op);
+        if (!migrated.ok()) {
+          GEPC_LOG(Warning) << "shard migration failed (partition stale): "
+                            << migrated.ToString();
+        }
+        tracker_->RecordOpCost(routed, elapsed_ms);
+        SyncTrackerStats();
+        ++ops_since_rebalance_check_;
+        if (options_.rebalance_every > 0 &&
+            ops_since_rebalance_check_ >=
+                static_cast<uint64_t>(options_.rebalance_every)) {
+          ops_since_rebalance_check_ = 0;
+          if (tracker_->Skew() >= options_.rebalance_skew) {
+            // Auto-trigger: like auto-checkpoints, failures only warn — the
+            // op itself succeeded and the old partition is still valid.
+            const RebalanceOutcome rebalanced = DoRebalance();
+            if (!rebalanced.rebalanced) {
+              GEPC_LOG(Warning)
+                  << "auto rebalance failed: " << rebalanced.error;
+            }
+          }
+        }
+      }
     } else {
       outcome.applied = false;
       outcome.error = step.status().ToString();
@@ -473,6 +551,54 @@ void PlanningService::ApplyCheckpoint(PendingOp* pending) {
   GEPC_TRACE_SPAN("service.checkpoint", "service");
   pending->checkpoint_promise.set_value(DoCheckpoint());
   FinishOne();
+}
+
+void PlanningService::ApplyRebalance(PendingOp* pending) {
+  GEPC_TRACE_SPAN("service.rebalance", "service");
+  pending->rebalance_promise.set_value(DoRebalance());
+  FinishOne();
+}
+
+RebalanceOutcome PlanningService::DoRebalance() {
+  RebalanceOutcome outcome;
+  if (!tracker_) {
+    outcome.error =
+        "rebalance tracker disabled (options.rebalance_shards <= 1)";
+    rebalance_failures_.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  }
+  outcome.sequence = sequence_;
+  // Like rebuilds, deliberately not journaled: the partition is derived
+  // state and replaying the op journal reconstructs a valid served state
+  // without it.
+  auto rebalanced = tracker_->Rebalance(planner_.instance());
+  if (!rebalanced.ok()) {
+    outcome.error = rebalanced.status().ToString();
+    rebalance_failures_.fetch_add(1, std::memory_order_relaxed);
+    SyncTrackerStats();
+    return outcome;
+  }
+  outcome.rebalanced = true;
+  outcome.report = *rebalanced;
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+  last_rebalance_version_.store(sequence_, std::memory_order_relaxed);
+  SyncTrackerStats();
+  return outcome;
+}
+
+void PlanningService::SyncTrackerStats() {
+  if (!tracker_) return;
+  const ShardTrackerStats& ts = tracker_->stats();
+  shard_migrations_.store(ts.migrations, std::memory_order_relaxed);
+  shard_users_migrated_.store(ts.users_reclassified,
+                              std::memory_order_relaxed);
+  shard_events_migrated_.store(ts.events_moved, std::memory_order_relaxed);
+  shard_full_rebuilds_.store(ts.full_rebuilds, std::memory_order_relaxed);
+  shard_boundary_users_.store(
+      static_cast<uint64_t>(tracker_->partition().boundary_users.size()),
+      std::memory_order_relaxed);
+  shard_skew_milli_.store(static_cast<int64_t>(tracker_->Skew() * 1000.0),
+                          std::memory_order_relaxed);
 }
 
 CheckpointOutcome PlanningService::DoCheckpoint() {

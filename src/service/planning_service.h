@@ -22,6 +22,7 @@
 #include "service/metrics.h"
 #include "service/op_queue.h"
 #include "service/snapshot.h"
+#include "shard/rebalance.h"
 #include "shard/sharded_solver.h"
 
 namespace gepc {
@@ -67,6 +68,21 @@ struct ServiceOptions {
   /// tail. Clamped to >= 1. The default keeps one fallback generation in
   /// case the newest file rots.
   int checkpoint_retain = 2;
+
+  /// Shards the live rebalance tracker (ShardTracker) maintains. <= 1
+  /// disables the tracker entirely: no routing, no skew accounting, and
+  /// rebalance requests fail with kFailedPrecondition.
+  int rebalance_shards = 0;
+
+  /// Load-skew threshold (max/mean shard load) past which the writer
+  /// triggers an automatic rebalance at the next cadence check. 0.0 fires
+  /// on every check (deterministic tests); values below 1.0 behave like
+  /// 0.0 since skew never drops under 1 once load exists.
+  double rebalance_skew = 2.0;
+
+  /// Check the skew every N applied operations (0 = never auto-rebalance;
+  /// explicit Rebalance/SubmitRebalance still work).
+  int rebalance_every = 0;
 };
 
 /// What happened to one submitted operation, delivered via the future that
@@ -95,6 +111,18 @@ struct RebuildOutcome {
   /// dif(old plan, new plan): attendances the rebuild took away.
   int64_t negative_impact = 0;
   ShardedGepcStats stats;
+};
+
+/// What a shard rebalance did, delivered via SubmitRebalance's future.
+struct RebalanceOutcome {
+  /// False when the tracker is disabled, the rebalance aborted (injected
+  /// shard.rebalance fault) or the service shut down first; `error` says
+  /// which. The partition is untouched on failure.
+  bool rebalanced = false;
+  std::string error;
+  /// Sequence at which the rebalance ran (0 when it never ran).
+  uint64_t sequence = 0;
+  RebalanceReport report;
 };
 
 /// What a checkpoint request did, delivered via SubmitCheckpoint's future.
@@ -170,6 +198,17 @@ class PlanningService {
   /// SubmitRebuild + wait.
   RebuildOutcome Rebuild(ShardedGepcOptions options = {});
 
+  /// Enqueues a shard rebalance: when the writer thread reaches it, the
+  /// tracker's Voronoi sites are re-centered with a Lloyd run warm-started
+  /// from the current sites and the live partition rebuilt. Rides the FIFO
+  /// queue, so it sees exactly the ops ahead of it. Like rebuilds, NOT
+  /// journaled — the partition is derived state that replay reconstructs.
+  /// Fails with kFailedPrecondition when options.rebalance_shards <= 1.
+  std::future<RebalanceOutcome> SubmitRebalance();
+
+  /// SubmitRebalance + wait.
+  RebalanceOutcome Rebalance();
+
   /// Enqueues a durable checkpoint: when the writer thread reaches it, the
   /// current (instance, plan, sequence) is written as a GCKP1 file and
   /// published atomically (temp -> fsync -> rename), older checkpoints
@@ -241,6 +280,9 @@ class PlanningService {
     /// Checkpoint request: only `checkpoint_promise` is used.
     bool is_checkpoint = false;
     std::promise<CheckpointOutcome> checkpoint_promise;
+    /// Rebalance request: only `rebalance_promise` is used.
+    bool is_rebalance = false;
+    std::promise<RebalanceOutcome> rebalance_promise;
   };
 
   /// How the service came to be (filled by Recover, defaults for Create);
@@ -261,9 +303,15 @@ class PlanningService {
   void ApplyOne(PendingOp* pending);
   void ApplyRebuild(PendingOp* pending);
   void ApplyCheckpoint(PendingOp* pending);
+  void ApplyRebalance(PendingOp* pending);
   /// Writes + publishes the checkpoint, prunes, compacts the journal.
   /// Writer thread only. Returns the outcome (never throws the service).
   CheckpointOutcome DoCheckpoint();
+  /// Runs the tracker rebalance and mirrors its stats. Writer thread only.
+  RebalanceOutcome DoRebalance();
+  /// Copies the tracker's counters into the lock-free Stats() mirrors.
+  /// Writer thread only; no-op when the tracker is disabled.
+  void SyncTrackerStats();
   void PublishSnapshot();
   void FinishOne();  // bookkeeping for Drain()
 
@@ -273,6 +321,20 @@ class PlanningService {
   uint64_t sequence_;  // ops journaled so far (incl. recovered ones)
   uint64_t applied_since_snapshot_ = 0;
   uint64_t ops_since_checkpoint_ = 0;  // writer thread only
+  // Live shard-rebalance tracker (writer thread only once the writer has
+  // started; constructed before it). nullopt when rebalance_shards <= 1.
+  std::optional<ShardTracker> tracker_;
+  uint64_t ops_since_rebalance_check_ = 0;  // writer thread only
+  // Tracker mirrors for lock-free Stats().
+  std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> rebalance_failures_{0};
+  std::atomic<uint64_t> shard_migrations_{0};
+  std::atomic<uint64_t> shard_users_migrated_{0};
+  std::atomic<uint64_t> shard_events_migrated_{0};
+  std::atomic<uint64_t> shard_full_rebuilds_{0};
+  std::atomic<uint64_t> shard_boundary_users_{0};
+  std::atomic<uint64_t> last_rebalance_version_{0};
+  std::atomic<int64_t> shard_skew_milli_{0};
   const RecoveryInfo recovery_;
   std::atomic<int64_t> journal_bytes_{0};  // mirrored for lock-free Stats()
   // Checkpoint/compaction mirrors, updated by the writer after each

@@ -66,18 +66,51 @@ void Bisect(std::vector<Cell>* cells, size_t begin, size_t end,
 
 }  // namespace
 
+void FinishPartitionFromEventShards(const Instance& instance,
+                                    const ReachabilityFilter& filter,
+                                    ShardPartition* partition) {
+  const int n = instance.num_users();
+  const int m = instance.num_events();
+  const size_t k = static_cast<size_t>(partition->num_shards);
+  partition->shard_events.assign(k, {});
+  partition->shard_users.assign(k, {});
+  partition->user_shard.assign(static_cast<size_t>(n), kBoundaryUser);
+  partition->boundary_users.clear();
+  for (int j = 0; j < m; ++j) {
+    partition->shard_events[static_cast<size_t>(
+        partition->event_shard[static_cast<size_t>(j)])]
+        .push_back(j);
+  }
+
+  // Interior iff every budget-reachable event sits in one shard.
+  for (int i = 0; i < n; ++i) {
+    int home = kBoundaryUser;
+    bool interior = true;
+    for (EventId j : filter.AttendableEvents(i)) {
+      const int s = partition->event_shard[static_cast<size_t>(j)];
+      if (home == kBoundaryUser) {
+        home = s;
+      } else if (home != s) {
+        interior = false;
+        break;
+      }
+    }
+    if (interior && home != kBoundaryUser) {
+      partition->user_shard[static_cast<size_t>(i)] = home;
+      partition->shard_users[static_cast<size_t>(home)].push_back(i);
+    } else {
+      partition->boundary_users.push_back(i);
+    }
+  }
+}
+
 ShardPartition PartitionInstance(const Instance& instance,
                                  const ReachabilityFilter& filter,
                                  int num_shards) {
-  const int n = instance.num_users();
   const int m = instance.num_events();
   ShardPartition partition;
   partition.num_shards = std::max(1, num_shards);
   partition.event_shard.assign(static_cast<size_t>(m), 0);
-  partition.user_shard.assign(static_cast<size_t>(n), kBoundaryUser);
-  partition.shard_events.assign(static_cast<size_t>(partition.num_shards),
-                                {});
-  partition.shard_users.assign(static_cast<size_t>(partition.num_shards), {});
 
   // Bucket events by occupied grid cell (cell lists and event ids both
   // ascend, so the whole construction is order-deterministic).
@@ -98,32 +131,7 @@ ShardPartition PartitionInstance(const Instance& instance,
     Bisect(&cells, 0, cells.size(), 0, partition.num_shards,
            &partition.event_shard);
   }
-  for (int j = 0; j < m; ++j) {
-    partition.shard_events[static_cast<size_t>(
-        partition.event_shard[static_cast<size_t>(j)])]
-        .push_back(j);
-  }
-
-  // Interior iff every budget-reachable event sits in one shard.
-  for (int i = 0; i < n; ++i) {
-    int home = kBoundaryUser;
-    bool interior = true;
-    for (EventId j : filter.AttendableEvents(i)) {
-      const int s = partition.event_shard[static_cast<size_t>(j)];
-      if (home == kBoundaryUser) {
-        home = s;
-      } else if (home != s) {
-        interior = false;
-        break;
-      }
-    }
-    if (interior && home != kBoundaryUser) {
-      partition.user_shard[static_cast<size_t>(i)] = home;
-      partition.shard_users[static_cast<size_t>(home)].push_back(i);
-    } else {
-      partition.boundary_users.push_back(i);
-    }
-  }
+  FinishPartitionFromEventShards(instance, filter, &partition);
   return partition;
 }
 

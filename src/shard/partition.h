@@ -34,7 +34,26 @@ struct ShardPartition {
   std::vector<std::vector<UserId>> shard_users;
   /// Users withheld for the merge pass, ascending.
   std::vector<UserId> boundary_users;
+
+  friend bool operator==(const ShardPartition& a, const ShardPartition& b) {
+    return a.num_shards == b.num_shards && a.event_shard == b.event_shard &&
+           a.user_shard == b.user_shard && a.shard_events == b.shard_events &&
+           a.shard_users == b.shard_users &&
+           a.boundary_users == b.boundary_users;
+  }
+  friend bool operator!=(const ShardPartition& a, const ShardPartition& b) {
+    return !(a == b);
+  }
 };
+
+/// Fills shard_events / user_shard / shard_users / boundary_users from an
+/// already-populated event_shard (values in [0, num_shards)): a user is
+/// interior to shard s iff every budget-reachable event lives in s. Shared
+/// by the bisection and Voronoi partitioners and by the incremental
+/// migration path, so every caller classifies identically.
+void FinishPartitionFromEventShards(const Instance& instance,
+                                    const ReachabilityFilter& filter,
+                                    ShardPartition* partition);
 
 /// Cuts `instance` into `num_shards` spatial shards (clamped to >= 1).
 /// Deterministic: depends only on event locations, the filter's grid and

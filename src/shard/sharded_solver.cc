@@ -226,7 +226,10 @@ Result<GepcResult> SolveSharded(const Instance& instance,
 
   const ReachabilityFilter filter(instance, options.cell_size);
   const ShardPartition partition =
-      PartitionInstance(instance, filter, options.shards);
+      options.partitioner == ShardPartitioner::kVoronoi
+          ? PartitionInstanceVoronoi(instance, filter, options.shards,
+                                     options.voronoi)
+          : PartitionInstance(instance, filter, options.shards);
   const int k = partition.num_shards;
   // Force the lazy conflict cache into existence before the parallel phase:
   // the merge needs it, and building it on the main thread keeps the shard

@@ -5,6 +5,7 @@
 #include "core/instance.h"
 #include "gepc/solver.h"
 #include "shard/partition.h"
+#include "shard/voronoi.h"
 
 namespace gepc {
 
@@ -23,6 +24,12 @@ struct ShardedGepcOptions {
   GepcOptions gepc;
   /// Grid cell edge for the spatial index; <= 0 auto-sizes.
   double cell_size = 0.0;
+  /// How to cut the instance: recursive bisection (the static default) or
+  /// centroidal-Voronoi cells (the rebalancer's partitioner — pass the
+  /// tracker's sites via voronoi.seed_sites to solve on a live cut).
+  ShardPartitioner partitioner = ShardPartitioner::kBisection;
+  /// Lloyd tuning when partitioner == kVoronoi (ignored otherwise).
+  VoronoiOptions voronoi;
 };
 
 /// What the partition/solve/merge pipeline did, for benches and tests.

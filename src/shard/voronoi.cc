@@ -1,0 +1,168 @@
+#include "shard/voronoi.h"
+
+#include <algorithm>
+
+namespace gepc {
+
+namespace {
+
+/// Centroid of the user locations assigned to each site; a site with an
+/// empty cell keeps its position. Sums run in user index order, so the
+/// result is deterministic (and FP-exact under coordinate negation/swap).
+std::vector<Point> CellCentroids(const Instance& instance,
+                                 const std::vector<int>& user_site,
+                                 const std::vector<Point>& sites) {
+  std::vector<double> sum_x(sites.size(), 0.0);
+  std::vector<double> sum_y(sites.size(), 0.0);
+  std::vector<int64_t> count(sites.size(), 0);
+  for (size_t i = 0; i < user_site.size(); ++i) {
+    const size_t s = static_cast<size_t>(user_site[i]);
+    const Point& p = instance.user(static_cast<UserId>(i)).location;
+    sum_x[s] += p.x;
+    sum_y[s] += p.y;
+    ++count[s];
+  }
+  std::vector<Point> centroids(sites);
+  for (size_t s = 0; s < sites.size(); ++s) {
+    if (count[s] == 0) continue;
+    centroids[s] = Point{sum_x[s] / static_cast<double>(count[s]),
+                         sum_y[s] / static_cast<double>(count[s])};
+  }
+  return centroids;
+}
+
+}  // namespace
+
+int NearestSite(const std::vector<Point>& sites, const Point& p) {
+  int best = 0;
+  double best_d2 = SquaredDistance(sites[0], p);
+  for (size_t s = 1; s < sites.size(); ++s) {
+    const double d2 = SquaredDistance(sites[s], p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+std::vector<Point> BisectionSeedSites(const Instance& instance,
+                                      const ReachabilityFilter& filter,
+                                      int num_shards) {
+  const int k = std::max(1, num_shards);
+  const ShardPartition cuts = PartitionInstance(instance, filter, k);
+
+  std::vector<Point> seeds;
+  std::vector<bool> seeded;
+  seeds.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    const std::vector<EventId>& events =
+        cuts.shard_events[static_cast<size_t>(s)];
+    if (events.empty()) {
+      seeds.push_back(Point{0.0, 0.0});
+      seeded.push_back(false);
+      continue;
+    }
+    double sum_x = 0.0, sum_y = 0.0;
+    for (EventId j : events) {
+      const Point& p = instance.event(j).location;
+      sum_x += p.x;
+      sum_y += p.y;
+    }
+    seeds.push_back(Point{sum_x / static_cast<double>(events.size()),
+                          sum_y / static_cast<double>(events.size())});
+    seeded.push_back(true);
+  }
+
+  // Shards the bisection left empty (fewer occupied cells than shards, or
+  // no events at all): supplement with the user location farthest from the
+  // sites chosen so far — deterministic farthest-point seeding, lowest user
+  // index on ties. With no users either, the origin stands.
+  for (int s = 0; s < k; ++s) {
+    if (seeded[static_cast<size_t>(s)]) continue;
+    if (instance.num_users() == 0) {
+      seeded[static_cast<size_t>(s)] = true;
+      continue;
+    }
+    int best_user = 0;
+    double best_min_d2 = -1.0;
+    for (int i = 0; i < instance.num_users(); ++i) {
+      const Point& p = instance.user(i).location;
+      double min_d2 = -1.0;
+      for (int t = 0; t < k; ++t) {
+        if (!seeded[static_cast<size_t>(t)]) continue;
+        const double d2 = SquaredDistance(seeds[static_cast<size_t>(t)], p);
+        if (min_d2 < 0.0 || d2 < min_d2) min_d2 = d2;
+      }
+      if (min_d2 < 0.0) min_d2 = 0.0;  // first site overall: any user works
+      if (min_d2 > best_min_d2) {
+        best_min_d2 = min_d2;
+        best_user = i;
+      }
+    }
+    seeds[static_cast<size_t>(s)] = instance.user(best_user).location;
+    seeded[static_cast<size_t>(s)] = true;
+  }
+  return seeds;
+}
+
+VoronoiResult LloydUserSites(const Instance& instance,
+                             const ReachabilityFilter& filter, int num_shards,
+                             const VoronoiOptions& options) {
+  const int k = std::max(1, num_shards);
+  const int n = instance.num_users();
+
+  VoronoiResult result;
+  result.sites = (options.seed_sites.size() == static_cast<size_t>(k))
+                     ? options.seed_sites
+                     : BisectionSeedSites(instance, filter, k);
+  result.user_site.assign(static_cast<size_t>(n), 0);
+
+  const auto assign = [&]() {
+    double cost = 0.0;
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      const Point& p = instance.user(i).location;
+      const int s = NearestSite(result.sites, p);
+      if (result.user_site[static_cast<size_t>(i)] != s) {
+        result.user_site[static_cast<size_t>(i)] = s;
+        changed = true;
+      }
+      cost += SquaredDistance(result.sites[static_cast<size_t>(s)], p);
+    }
+    result.cost_history.push_back(cost);
+    return changed;
+  };
+
+  assign();
+  for (int it = 0; it < std::max(0, options.max_iterations); ++it) {
+    result.sites = CellCentroids(instance, result.user_site, result.sites);
+    ++result.iterations;
+    // A fixed point: the assignment that produced these centroids is still
+    // nearest-site optimal, so further rounds change nothing.
+    if (!assign()) break;
+  }
+  return result;
+}
+
+ShardPartition PartitionInstanceVoronoi(const Instance& instance,
+                                        const ReachabilityFilter& filter,
+                                        int num_shards,
+                                        const VoronoiOptions& options,
+                                        VoronoiResult* result_out) {
+  VoronoiResult lloyd = LloydUserSites(instance, filter, num_shards, options);
+
+  ShardPartition partition;
+  partition.num_shards = std::max(1, num_shards);
+  const int m = instance.num_events();
+  partition.event_shard.assign(static_cast<size_t>(m), 0);
+  for (int j = 0; j < m; ++j) {
+    partition.event_shard[static_cast<size_t>(j)] =
+        NearestSite(lloyd.sites, instance.event(j).location);
+  }
+  FinishPartitionFromEventShards(instance, filter, &partition);
+  if (result_out != nullptr) *result_out = std::move(lloyd);
+  return partition;
+}
+
+}  // namespace gepc

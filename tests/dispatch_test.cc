@@ -57,6 +57,7 @@ TEST(ClassifyCommandTest, SplitsReadsFromWrites) {
   EXPECT_EQ(ClassifyCommand("apply"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("rebuild"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("checkpoint"), CommandKind::kWrite);
+  EXPECT_EQ(ClassifyCommand("rebalance"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("save_plan"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("drain"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("shutdown"), CommandKind::kWrite);
@@ -101,6 +102,45 @@ TEST_F(DispatchTest, StatsReportInstanceSizeAndOpCounts) {
   EXPECT_EQ(stats.at("events").number_value,
             MakePaperInstance().num_events());
   EXPECT_GE(stats.at("ops_applied").number_value, 1.0);
+}
+
+TEST_F(DispatchTest, RebalanceWithoutTrackerIsAnErrorResponse) {
+  // The fixture's service has no tracker (rebalance_shards = 0): the
+  // command must answer with a clean error, not a crash, and the service
+  // must stay healthy.
+  const JsonObject response = Roundtrip(R"({"cmd":"rebalance"})");
+  EXPECT_FALSE(response.at("ok").bool_value);
+  EXPECT_TRUE(Roundtrip(R"({"cmd":"stats"})").at("ok").bool_value);
+}
+
+TEST(DispatchRebalanceTest, RebalanceReportsTheRunAndStatsExposeTheShards) {
+  ServiceOptions options;
+  options.rebalance_shards = 2;
+  auto service = PlanningService::Create(MakePaperInstance(), MakePaperPlan(),
+                                         options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  CommandDispatcher dispatcher(service->get(), DispatchDefaults{});
+
+  const DispatchOutcome applied = dispatcher.Dispatch(
+      R"({"cmd":"apply","op":"budget:0:75.5"})");
+  EXPECT_NE(applied.response.find("\"applied\":true"), std::string::npos)
+      << applied.response;
+
+  const DispatchOutcome rebalanced =
+      dispatcher.Dispatch(R"({"cmd":"rebalance"})");
+  auto parsed = ParseJsonObject(rebalanced.response);
+  ASSERT_TRUE(parsed.ok()) << rebalanced.response;
+  EXPECT_TRUE(parsed->at("ok").bool_value) << rebalanced.response;
+  EXPECT_TRUE(parsed->at("rebalanced").bool_value);
+  EXPECT_EQ(parsed->at("seq").number_value, 1.0);
+  EXPECT_GE(parsed->at("skew_after").number_value, 0.0);
+  EXPECT_FALSE(rebalanced.shutdown);
+
+  const DispatchOutcome stats = dispatcher.Dispatch(R"({"cmd":"stats"})");
+  auto stats_parsed = ParseJsonObject(stats.response);
+  ASSERT_TRUE(stats_parsed.ok()) << stats.response;
+  EXPECT_EQ(stats_parsed->at("rebalance_shards").number_value, 2.0);
+  EXPECT_EQ(stats_parsed->at("rebalances").number_value, 1.0);
 }
 
 TEST_F(DispatchTest, ErrorsAreResponsesNotCrashes) {

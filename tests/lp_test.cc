@@ -209,19 +209,24 @@ TEST(SimplexTest, RandomLpsSatisfyConstraintsAtOptimum) {
 }
 
 // ---------------------------------------------------------------------------
-// Edge cases for the flat core (run on both engines where it makes sense).
+// Edge cases for the flat core (run under every pivot rule: degenerate
+// shapes must not depend on how the entering column is priced).
 // ---------------------------------------------------------------------------
 
-SimplexOptions WithEngine(SimplexEngine engine) {
+constexpr SimplexPivotRule kAllRules[] = {SimplexPivotRule::kDantzig,
+                                          SimplexPivotRule::kBland,
+                                          SimplexPivotRule::kSteepestEdge};
+
+SimplexOptions WithRule(SimplexPivotRule rule) {
   SimplexOptions options;
-  options.engine = engine;
+  options.pivot_rule = rule;
   return options;
 }
 
 TEST(SimplexTest, EmptyProgramIsTriviallyOptimal) {
-  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+  for (SimplexPivotRule rule : kAllRules) {
     LinearProgram lp(LinearProgram::Sense::kMinimize, 0);
-    auto result = SolveLp(lp, WithEngine(engine));
+    auto result = SolveLp(lp, WithRule(rule));
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_EQ(result->objective_value, 0.0);
     EXPECT_TRUE(result->x.empty());
@@ -229,12 +234,12 @@ TEST(SimplexTest, EmptyProgramIsTriviallyOptimal) {
 }
 
 TEST(SimplexTest, UnconstrainedVariablesStayAtZero) {
-  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+  for (SimplexPivotRule rule : kAllRules) {
     // No constraints: minimum of a nonnegative-cost program is x = 0.
     LinearProgram lp(LinearProgram::Sense::kMinimize, 3);
     lp.set_objective(0, 1.0);
     lp.set_objective(2, 5.0);
-    auto result = SolveLp(lp, WithEngine(engine));
+    auto result = SolveLp(lp, WithRule(rule));
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_EQ(result->objective_value, 0.0);
     for (double x : result->x) EXPECT_EQ(x, 0.0);
@@ -242,12 +247,12 @@ TEST(SimplexTest, UnconstrainedVariablesStayAtZero) {
 }
 
 TEST(SimplexTest, SingleVariableSingleConstraint) {
-  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+  for (SimplexPivotRule rule : kAllRules) {
     // max 2x s.t. 3x <= 6 -> x = 2, obj 4.
     LinearProgram lp(LinearProgram::Sense::kMaximize, 1);
     lp.set_objective(0, 2.0);
     lp.AddConstraint({{0, 3.0}}, Relation::kLessEqual, 6.0);
-    auto result = SolveLp(lp, WithEngine(engine));
+    auto result = SolveLp(lp, WithRule(rule));
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_NEAR(result->objective_value, 4.0, 1e-9);
     EXPECT_NEAR(result->x[0], 2.0, 1e-9);
@@ -255,7 +260,7 @@ TEST(SimplexTest, SingleVariableSingleConstraint) {
 }
 
 TEST(SimplexTest, AllSlackBasisIsAlreadyOptimal) {
-  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+  for (SimplexPivotRule rule : kAllRules) {
     // All <= rows, nonnegative costs: the initial slack basis is optimal
     // and the solver must return x = 0 without a single pivot going wrong.
     LinearProgram lp(LinearProgram::Sense::kMinimize, 2);
@@ -263,7 +268,7 @@ TEST(SimplexTest, AllSlackBasisIsAlreadyOptimal) {
     lp.set_objective(1, 1.0);
     lp.AddConstraint({{0, 1.0}}, Relation::kLessEqual, 4.0);
     lp.AddConstraint({{1, 2.0}}, Relation::kLessEqual, 9.0);
-    auto result = SolveLp(lp, WithEngine(engine));
+    auto result = SolveLp(lp, WithRule(rule));
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_EQ(result->objective_value, 0.0);
     EXPECT_EQ(result->x[0], 0.0);
@@ -274,9 +279,9 @@ TEST(SimplexTest, AllSlackBasisIsAlreadyOptimal) {
 TEST(SimplexTest, BealeCyclingInstanceTerminates) {
   // Beale's classic cycling example: Dantzig pricing with a naive ratio
   // test cycles forever. With the degenerate-streak Bland switch (forced
-  // almost immediately here) both engines must terminate at the optimum
-  // -0.05.
-  for (SimplexEngine engine : {SimplexEngine::kFlat, SimplexEngine::kLegacy}) {
+  // almost immediately here) every pricing rule must terminate at the
+  // optimum -0.05.
+  for (SimplexPivotRule rule : kAllRules) {
     LinearProgram lp(LinearProgram::Sense::kMinimize, 4);
     lp.set_objective(0, -0.75);
     lp.set_objective(1, 150.0);
@@ -287,7 +292,7 @@ TEST(SimplexTest, BealeCyclingInstanceTerminates) {
     lp.AddConstraint({{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}},
                      Relation::kLessEqual, 0.0);
     lp.AddConstraint({{2, 1.0}}, Relation::kLessEqual, 1.0);
-    SimplexOptions options = WithEngine(engine);
+    SimplexOptions options = WithRule(rule);
     options.degenerate_pivots_before_bland = 2;
     auto result = SolveLp(lp, options);
     ASSERT_TRUE(result.ok()) << result.status();
@@ -296,7 +301,7 @@ TEST(SimplexTest, BealeCyclingInstanceTerminates) {
 }
 
 TEST(SimplexTest, ForcedBlandPivotRuleSolvesToSameOptimum) {
-  // The flat engine's explicit Bland rule (from iteration one) must reach
+  // The explicit Bland rule (from iteration one) must reach
   // the same optimum Dantzig does.
   LinearProgram lp(LinearProgram::Sense::kMaximize, 2);
   lp.set_objective(0, 3.0);

@@ -34,6 +34,8 @@
 #include "data/generator.h"
 #include "gepc/solver.h"
 #include "shard/sharded_solver.h"
+#include "shard/voronoi.h"
+#include "spatial/reachability.h"
 
 namespace gepc {
 namespace {
@@ -148,6 +150,136 @@ TEST(MetamorphicTest, ShardedSolverTranslationIsInvariant) {
   EXPECT_DOUBLE_EQ(base_result->total_utility,
                    translated_result->total_utility);
   EXPECT_TRUE(base_result->plan == translated_result->plan);
+}
+
+// ---------------------------------------------------------------------------
+// Centroidal-Voronoi metamorphics. Rotation (x,y) -> (-y,x) and reflection
+// (x,y) -> (y,x) are FP-exact through the FULL Lloyd iteration: squared
+// distances only square/sum the same magnitudes, and cell centroids commute
+// with negate/swap bit-for-bit (IEEE negation is exact and rounding is
+// sign-symmetric). Translation does NOT commute with the centroid division
+// — (sum + n*dx)/n and sum/n + dx may round differently — so translation is
+// pinned at the assignment level only (max_iterations = 0), matching the
+// file's snap-grid contract. Seeds are passed explicitly (transformed
+// alongside the instance) because the bisection seeding is axis-dependent.
+
+std::vector<Point> PickSeedSites(const Instance& instance, int count) {
+  std::vector<Point> sites;
+  for (int s = 0; s < count; ++s) {
+    sites.push_back(
+        instance.user((s * 17) % instance.num_users()).location);
+  }
+  return sites;
+}
+
+template <typename PointFn>
+std::vector<Point> TransformSites(const std::vector<Point>& sites,
+                                  PointFn point_fn) {
+  std::vector<Point> out;
+  for (const Point& p : sites) out.push_back(point_fn(p));
+  return out;
+}
+
+template <typename PointFn>
+void ExpectLloydExactlyEquivariant(const Instance& base, PointFn point_fn,
+                                   int max_iterations) {
+  const Instance transformed = TransformLocations(base, point_fn);
+  const ReachabilityFilter base_filter(base);
+  const ReachabilityFilter transformed_filter(transformed);
+  VoronoiOptions base_options;
+  base_options.max_iterations = max_iterations;
+  base_options.seed_sites = PickSeedSites(base, 3);
+  VoronoiOptions transformed_options;
+  transformed_options.max_iterations = max_iterations;
+  transformed_options.seed_sites =
+      TransformSites(base_options.seed_sites, point_fn);
+
+  const VoronoiResult a =
+      LloydUserSites(base, base_filter, 3, base_options);
+  const VoronoiResult b =
+      LloydUserSites(transformed, transformed_filter, 3,
+                     transformed_options);
+  EXPECT_EQ(a.user_site, b.user_site);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.cost_history, b.cost_history);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (size_t s = 0; s < a.sites.size(); ++s) {
+    const Point mapped = point_fn(a.sites[s]);
+    EXPECT_EQ(mapped.x, b.sites[s].x) << "site " << s;
+    EXPECT_EQ(mapped.y, b.sites[s].y) << "site " << s;
+  }
+
+  // The partition built on those sites matches index-for-index too.
+  const ShardPartition pa = PartitionInstanceVoronoi(
+      base, base_filter, 3, base_options);
+  const ShardPartition pb = PartitionInstanceVoronoi(
+      transformed, transformed_filter, 3, transformed_options);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(MetamorphicTest, VoronoiQuarterTurnIsExactThroughFullLloyd) {
+  for (uint64_t seed : {4u, 21u}) {
+    const Instance base = MakeSnappedInstance(seed, /*users=*/100,
+                                              /*events=*/24);
+    ExpectLloydExactlyEquivariant(
+        base, [](const Point& p) { return Point{-p.y, p.x}; },
+        /*max_iterations=*/25);
+  }
+}
+
+TEST(MetamorphicTest, VoronoiDiagonalReflectionIsExactThroughFullLloyd) {
+  for (uint64_t seed : {6u, 27u}) {
+    const Instance base = MakeSnappedInstance(seed, /*users=*/100,
+                                              /*events=*/24);
+    ExpectLloydExactlyEquivariant(
+        base, [](const Point& p) { return Point{p.y, p.x}; },
+        /*max_iterations=*/25);
+  }
+}
+
+TEST(MetamorphicTest, VoronoiGridTranslationIsExactAtAssignmentLevel) {
+  for (uint64_t seed : {8u, 31u}) {
+    const Instance base = MakeSnappedInstance(seed, /*users=*/100,
+                                              /*events=*/24);
+    // Offsets are multiples of the snap grid, so every coordinate and
+    // coordinate difference stays exact; only the centroid division
+    // (skipped at max_iterations = 0) would break the exactness.
+    const double dx = 256.0 + 1.0 / 1024.0 * 11.0;
+    const double dy = -128.0 + 1.0 / 1024.0 * 3.0;
+    ExpectLloydExactlyEquivariant(
+        base,
+        [dx, dy](const Point& p) { return Point{p.x + dx, p.y + dy}; },
+        /*max_iterations=*/0);
+  }
+}
+
+TEST(MetamorphicTest, VoronoiShardedSolveQuarterTurnIsInvariant) {
+  // Full pipeline under the rotation: explicit (rotated) seeds make the
+  // Lloyd run exactly equivariant, distances decide everything downstream,
+  // so the partition/solve/merge answer must agree bit-for-bit — the
+  // rotation analogue of ShardedSolverTranslationIsInvariant, which the
+  // axis-dependent bisection cut cannot offer.
+  const Instance base = MakeSnappedInstance(35, /*users=*/120, /*events=*/30);
+  const Instance rotated = TransformLocations(
+      base, [](const Point& p) { return Point{-p.y, p.x}; });
+
+  ShardedGepcOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  options.partitioner = ShardPartitioner::kVoronoi;
+  options.voronoi.seed_sites = PickSeedSites(base, 4);
+  ShardedGepcOptions rotated_options = options;
+  rotated_options.voronoi.seed_sites = TransformSites(
+      options.voronoi.seed_sites,
+      [](const Point& p) { return Point{-p.y, p.x}; });
+
+  auto base_result = SolveSharded(base, options);
+  auto rotated_result = SolveSharded(rotated, rotated_options);
+  ASSERT_TRUE(base_result.ok()) << base_result.status();
+  ASSERT_TRUE(rotated_result.ok()) << rotated_result.status();
+  EXPECT_DOUBLE_EQ(base_result->total_utility,
+                   rotated_result->total_utility);
+  EXPECT_TRUE(base_result->plan == rotated_result->plan);
 }
 
 TEST(MetamorphicTest, PermutationMapsSolutionToSolution) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/generator.h"
+#include "shard/voronoi.h"
 #include "spatial/reachability.h"
 
 namespace gepc {
@@ -134,6 +135,114 @@ TEST(PartitionTest, MoreShardsThanOccupiedCellsLeavesSpareShardsEmpty) {
   size_t total = 0;
   for (const auto& shard : partition.shard_events) total += shard.size();
   EXPECT_EQ(total, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs, for BOTH partitioners: the bisection cut and the
+// centroidal-Voronoi cut must survive pathological geometry without
+// crashing and still emit a structurally valid partition.
+
+/// Runs `instance` through one partitioner and checks the structural
+/// contract: every event in exactly one shard, every user classified
+/// exactly once, all ids in range.
+void CheckPartitionStructure(const Instance& instance, int num_shards,
+                             ShardPartitioner partitioner) {
+  const ReachabilityFilter filter(instance);
+  const ShardPartition partition =
+      partitioner == ShardPartitioner::kVoronoi
+          ? PartitionInstanceVoronoi(instance, filter, num_shards)
+          : PartitionInstance(instance, filter, num_shards);
+  ASSERT_EQ(partition.num_shards, std::max(1, num_shards));
+  ASSERT_EQ(partition.event_shard.size(),
+            static_cast<size_t>(instance.num_events()));
+  ASSERT_EQ(partition.user_shard.size(),
+            static_cast<size_t>(instance.num_users()));
+  std::vector<int> seen(static_cast<size_t>(instance.num_events()), 0);
+  for (int s = 0; s < partition.num_shards; ++s) {
+    for (EventId j : partition.shard_events[static_cast<size_t>(s)]) {
+      ASSERT_GE(j, 0);
+      ASSERT_LT(j, instance.num_events());
+      EXPECT_EQ(partition.event_shard[static_cast<size_t>(j)], s);
+      ++seen[static_cast<size_t>(j)];
+    }
+  }
+  for (EventId j = 0; j < instance.num_events(); ++j) {
+    EXPECT_EQ(seen[static_cast<size_t>(j)], 1) << "event " << j;
+  }
+  size_t classified = partition.boundary_users.size();
+  for (int s = 0; s < partition.num_shards; ++s) {
+    classified += partition.shard_users[static_cast<size_t>(s)].size();
+  }
+  EXPECT_EQ(classified, static_cast<size_t>(instance.num_users()));
+}
+
+Instance MakeCoincidentUserInstance(int users) {
+  std::vector<User> all_users;
+  for (int i = 0; i < users; ++i) {
+    all_users.push_back(User{Point{2.5, 2.5}, /*budget=*/50.0});
+  }
+  std::vector<Event> events;
+  for (int j = 0; j < 6; ++j) {
+    Event event;
+    event.location = Point{1.0 * j, 1.0};
+    event.time = Interval{j * 10, j * 10 + 5};
+    event.upper_bound = users;
+    events.push_back(event);
+  }
+  return Instance(std::move(all_users), std::move(events));
+}
+
+TEST(PartitionDegenerateTest, AllUsersAtOnePointSurvivesBothPartitioners) {
+  // Every Lloyd cell but one is empty and every bisection split is forced
+  // to one side; both must still cut the events cleanly.
+  const Instance instance = MakeCoincidentUserInstance(30);
+  for (const auto partitioner :
+       {ShardPartitioner::kBisection, ShardPartitioner::kVoronoi}) {
+    for (const int k : {1, 2, 4}) {
+      CheckPartitionStructure(instance, k, partitioner);
+    }
+  }
+}
+
+TEST(PartitionDegenerateTest, FewerUsersThanShardsSurvivesBothPartitioners) {
+  std::vector<User> users = {User{Point{0.0, 0.0}, 10.0},
+                             User{Point{9.0, 9.0}, 10.0}};
+  std::vector<Event> events;
+  for (int j = 0; j < 4; ++j) {
+    Event event;
+    event.location = Point{3.0 * j, 3.0 * j};
+    event.time = Interval{j * 10, j * 10 + 5};
+    event.upper_bound = 2;
+    events.push_back(event);
+  }
+  const Instance instance(std::move(users), std::move(events));
+  for (const auto partitioner :
+       {ShardPartitioner::kBisection, ShardPartitioner::kVoronoi}) {
+    CheckPartitionStructure(instance, 5, partitioner);
+  }
+}
+
+TEST(PartitionDegenerateTest, EmptyInstanceSurvivesBothPartitioners) {
+  const Instance instance;
+  for (const auto partitioner :
+       {ShardPartitioner::kBisection, ShardPartitioner::kVoronoi}) {
+    for (const int k : {1, 3}) {
+      CheckPartitionStructure(instance, k, partitioner);
+    }
+  }
+}
+
+TEST(PartitionDegenerateTest, VoronoiMatchesBisectionClassificationContract) {
+  // Same classification pass behind both cuts: given identical event
+  // shards, users classify identically. Force that by feeding Voronoi the
+  // degenerate one-site case, where every event lands in shard 0 — exactly
+  // the k=1 bisection cut.
+  const Instance instance = MakeCoincidentUserInstance(12);
+  const ReachabilityFilter filter(instance);
+  const ShardPartition bisection = PartitionInstance(instance, filter, 1);
+  const ShardPartition voronoi =
+      PartitionInstanceVoronoi(instance, filter, 1);
+  EXPECT_EQ(bisection, voronoi);
 }
 
 }  // namespace

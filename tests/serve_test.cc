@@ -426,5 +426,66 @@ TEST_F(ServeTest, BadFlagsFail) {
             64);
 }
 
+TEST_F(ServeTest, RebalanceCommandRunsAndShowsInStats) {
+  // --rebalance-every 0 enables the tracker (on-demand rebalances only);
+  // the explicit command must run one and the stats must expose the
+  // tracker's counters afterwards.
+  const RunResult result = RunSession(
+      "--in " + instance_path_ + " --shards 2 --rebalance-every 0",
+      {R"({"cmd":"apply","op":"budget:0:75.5"})",
+       R"({"cmd":"apply","op":"loc:1:0.25:0.75"})",
+       R"({"cmd":"rebalance"})",
+       R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 6u);
+  EXPECT_NE(result.lines[3].find("\"ok\":true"), std::string::npos)
+      << result.lines[3];
+  EXPECT_NE(result.lines[3].find("\"rebalanced\":true"), std::string::npos)
+      << result.lines[3];
+  EXPECT_NE(result.lines[3].find("\"seq\":2"), std::string::npos);
+  EXPECT_NE(result.lines[4].find("\"rebalance_shards\":2"),
+            std::string::npos)
+      << result.lines[4];
+  EXPECT_NE(result.lines[4].find("\"rebalances\":1"), std::string::npos);
+  EXPECT_NE(result.lines[4].find("\"shard_migrations\":"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, RebalanceWithoutTrackerIsRequestError) {
+  // Without --rebalance-every the tracker never exists; the command must
+  // answer an error and leave the session healthy.
+  const RunResult result = RunSession(
+      "--in " + instance_path_,
+      {R"({"cmd":"rebalance"})", R"({"cmd":"stats"})",
+       R"({"cmd":"shutdown"})"});
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_EQ(result.lines.size(), 4u);
+  EXPECT_NE(result.lines[1].find("\"ok\":false"), std::string::npos)
+      << result.lines[1];
+  EXPECT_NE(result.lines[2].find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, RebalanceFlagValidation) {
+  // The tracker needs at least two shards to balance between (exit 64).
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --rebalance-every 4 < /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --shards 2 --rebalance-every -3 < /dev/null > /dev/null "
+                 "2>&1")
+                    .c_str())),
+            64);
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (Serve() + " --in " + instance_path_ +
+                 " --shards 2 --rebalance-every 4 --rebalance-skew nope "
+                 "< /dev/null > /dev/null 2>&1")
+                    .c_str())),
+            64);
+}
+
 }  // namespace
 }  // namespace gepc

@@ -12,6 +12,7 @@
 //   gepc_cli itinerary --in inst.gepc --plan plan.gpln [--user N]
 //   gepc_cli apply    --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]
 //                     [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]
+//                     [--shards K [--rebalance-every N] [--rebalance-skew X]]
 //   gepc_cli ckpt-inspect --ckpt file.gckp | --dir ckpt_dir
 //   gepc_cli journal-inspect --journal file.gops
 //
@@ -19,6 +20,7 @@
 //     eta:EVENT:VALUE     xi:EVENT:VALUE       time:EVENT:START:END
 //     budget:USER:VALUE   mu:USER:EVENT:VALUE  loc:EVENT:X:Y
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +40,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "iep/batch.h"
+#include "shard/rebalance.h"
 #include "shard/sharded_solver.h"
 #include "iep/op_spec.h"
 #include "iep/planner.h"
@@ -61,6 +64,7 @@ constexpr char kUsage[] =
     "  itinerary --in inst.gepc --plan plan.gpln [--user N]\n"
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
     "            [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]\n"
+    "            [--shards K [--rebalance-every N] [--rebalance-skew X]]\n"
     "  ckpt-inspect --ckpt file.gckp | --dir ckpt_dir\n"
     "  journal-inspect --journal file.gops\n"
     "\n"
@@ -104,7 +108,10 @@ const std::map<std::string, CommandSpec>& Commands() {
       {"validate", {{"in", "plan"}, {}, {}}},
       {"itinerary", {{"in", "plan", "user"}, {}, {}}},
       {"apply",
-       {{"in", "plan", "op", "ops-file", "plan-out"}, {"reorder"}, {}}},
+       {{"in", "plan", "op", "ops-file", "plan-out", "shards",
+         "rebalance-every", "rebalance-skew"},
+        {"reorder"},
+        {}}},
       {"ckpt-inspect", {{"ckpt", "dir"}, {}, {}}},
       {"journal-inspect", {{"journal"}, {}, {}}},
   };
@@ -392,35 +399,123 @@ int CmdApply(const Args& args) {
     return Fail("apply needs --op SPEC or --ops-file FILE");
   }
 
+  int shards = 1;
+  if (!ParsePositiveInt(GetOption(args, "shards", "1"), &shards)) {
+    return UsageFail("--shards must be a positive integer");
+  }
+  int rebalance_every = 0;
+  const std::string every_option = GetOption(args, "rebalance-every", "0");
+  if (every_option != "0" &&
+      !ParsePositiveInt(every_option, &rebalance_every)) {
+    return UsageFail("--rebalance-every must be a non-negative integer");
+  }
+  double rebalance_skew = 2.0;
+  {
+    const std::string skew_option = GetOption(args, "rebalance-skew", "2.0");
+    char* end = nullptr;
+    rebalance_skew = std::strtod(skew_option.c_str(), &end);
+    if (skew_option.empty() || end == nullptr || *end != '\0' ||
+        rebalance_skew < 0.0) {
+      return UsageFail("--rebalance-skew must be a non-negative number");
+    }
+  }
+  if (shards < 2 && (args.options.count("rebalance-every") != 0 ||
+                     args.options.count("rebalance-skew") != 0)) {
+    return UsageFail("--rebalance-every/--rebalance-skew need --shards >= 2");
+  }
+  if (shards >= 2 && args.reorder) {
+    return UsageFail(
+        "--reorder cannot be combined with --shards: shard tracking "
+        "replays ops in submission order");
+  }
+
   auto planner = IncrementalPlanner::Create(*std::move(instance),
                                             *std::move(plan));
   if (!planner.ok()) return Fail(planner.status().ToString());
   const Plan before_plan = planner->plan();
   const double before = before_plan.TotalUtility(planner->instance());
 
-  auto batch = ApplyBatch(&*planner, std::move(ops),
-                          args.reorder ? BatchMode::kReordered
-                                       : BatchMode::kSequential);
-  if (!batch.ok()) return Fail(batch.status().ToString());
+  BatchResult batch;
+  ShardTrackerStats shard_stats;
+  double final_skew = 0.0;
+  size_t boundary_users = 0;
+  if (shards >= 2) {
+    // ApplyBatch cannot interleave tracker maintenance between ops, so the
+    // sharded path replays the sequential loop here: one Apply per op,
+    // stopping at the first validation failure (prior ops stay applied),
+    // with routing / migration / load accounting after each success.
+    ShardTracker tracker(planner->instance(), shards);
+    for (const AtomicOp& op : ops) {
+      const auto started = std::chrono::steady_clock::now();
+      auto step = planner->Apply(op);
+      if (!step.ok()) return Fail(step.status().ToString());
+      const std::vector<int> routed = tracker.RouteOp(planner->instance(), op);
+      const Status migrated = tracker.ApplyMigration(planner->instance(), op);
+      if (!migrated.ok()) return Fail(migrated.ToString());
+      tracker.RecordOpCost(
+          routed, std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - started)
+                      .count());
+      batch.negative_impact += step->negative_impact;
+      ++batch.ops_applied;
+      if (rebalance_every > 0 && batch.ops_applied % rebalance_every == 0 &&
+          tracker.Skew() >= rebalance_skew) {
+        auto report = tracker.Rebalance(planner->instance());
+        if (!report.ok()) return Fail(report.status().ToString());
+      }
+    }
+    batch.plan = planner->plan();
+    batch.total_utility = batch.plan.TotalUtility(planner->instance());
+    for (int j = 0; j < planner->instance().num_events(); ++j) {
+      if (batch.plan.attendance(j) <
+          planner->instance().event(j).lower_bound) {
+        ++batch.events_below_lower_bound;
+      }
+    }
+    shard_stats = tracker.stats();
+    final_skew = tracker.Skew();
+    boundary_users = tracker.partition().boundary_users.size();
+  } else {
+    auto applied = ApplyBatch(&*planner, std::move(ops),
+                              args.reorder ? BatchMode::kReordered
+                                           : BatchMode::kSequential);
+    if (!applied.ok()) return Fail(applied.status().ToString());
+    batch = *std::move(applied);
+  }
 
-  std::printf("ops applied:      %d\n", batch->ops_applied);
+  std::printf("ops applied:      %d\n", batch.ops_applied);
   std::printf("utility:          %.4f -> %.4f\n", before,
-              batch->total_utility);
+              batch.total_utility);
   std::printf("negative impact:  %lld\n",
-              static_cast<long long>(batch->negative_impact));
-  std::printf("events below xi:  %d\n", batch->events_below_lower_bound);
+              static_cast<long long>(batch.negative_impact));
+  std::printf("events below xi:  %d\n", batch.events_below_lower_bound);
   if (args.reorder) {
     std::printf("final re-offer:   +%d attendances\n",
-                batch->added_by_final_reoffer);
+                batch.added_by_final_reoffer);
+  }
+  if (shards >= 2) {
+    std::printf("shards:           %d\n", shards);
+    std::printf("migrations:       %llu (%llu users reclassified, "
+                "%llu events re-homed)\n",
+                static_cast<unsigned long long>(shard_stats.migrations),
+                static_cast<unsigned long long>(
+                    shard_stats.users_reclassified),
+                static_cast<unsigned long long>(shard_stats.events_moved));
+    std::printf("full rebuilds:    %llu\n",
+                static_cast<unsigned long long>(shard_stats.full_rebuilds));
+    std::printf("rebalances:       %llu\n",
+                static_cast<unsigned long long>(shard_stats.rebalances));
+    std::printf("final skew:       %.3f (%zu boundary users)\n", final_skew,
+                boundary_users);
   }
   std::printf("changed plans:\n%s",
-              DiffPlans(planner->instance(), before_plan, batch->plan)
+              DiffPlans(planner->instance(), before_plan, batch.plan)
                   .ToString()
                   .c_str());
 
   const std::string plan_out = GetOption(args, "plan-out");
   if (!plan_out.empty()) {
-    const Status saved = SavePlanToFile(batch->plan, plan_out);
+    const Status saved = SavePlanToFile(batch.plan, plan_out);
     if (!saved.ok()) return Fail(saved.ToString());
     std::printf("plan written to:  %s\n", plan_out.c_str());
   }

@@ -3,6 +3,7 @@
 //   gepc_serve --in inst.gepc [--plan plan.gpln] [--journal ops.gops]
 //              [--recover] [--algorithm greedy|gap|regret]
 //              [--threads N] [--shards K]
+//              [--rebalance-every N] [--rebalance-skew X]
 //              [--queue N] [--snapshot-every N] [--faults SPEC]
 //              [--checkpoint-dir DIR] [--checkpoint-every N]
 //              [--checkpoint-retain N]
@@ -102,6 +103,12 @@ struct Args {
   /// given) and as the defaults of the `rebuild` command.
   int threads = 1;
   int shards = 1;
+  /// Online rebalancing (src/shard/rebalance.h): --rebalance-every enables
+  /// the live ShardTracker over --shards shards. N > 0 checks the load skew
+  /// every N applied ops; 0 keeps the tracker on-demand only (the
+  /// `rebalance` command). -1 (no flag) disables the tracker entirely.
+  int rebalance_every = -1;
+  double rebalance_skew = 2.0;
   /// Socket front end (src/net): empty keeps the stdio JSONL mode.
   bool listen = false;
   std::string listen_host = "127.0.0.1";
@@ -130,6 +137,7 @@ int Usage() {
       "                  [--journal ops.gops] [--recover]\n"
       "                  [--algorithm greedy|gap|regret]\n"
       "                  [--threads N] [--shards K]\n"
+      "                  [--rebalance-every N] [--rebalance-skew X]\n"
       "                  [--queue N] [--snapshot-every N]\n"
       "                  [--faults SPEC]\n"
       "                  [--checkpoint-dir DIR] [--checkpoint-every N]\n"
@@ -215,6 +223,23 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       if (!value(&text)) return false;
       if (!ParsePositiveInt(text, &args->shards)) {
         *error = "--shards must be a positive integer";
+        return false;
+      }
+    } else if (arg == "--rebalance-every") {
+      if (!value(&text)) return false;
+      if (text == "0") {
+        args->rebalance_every = 0;  // tracker on, rebalance on demand only
+      } else if (!ParsePositiveInt(text, &args->rebalance_every)) {
+        *error = "--rebalance-every must be a non-negative integer";
+        return false;
+      }
+    } else if (arg == "--rebalance-skew") {
+      if (!value(&text)) return false;
+      char* end = nullptr;
+      args->rebalance_skew = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || text.empty() ||
+          args->rebalance_skew < 0.0) {
+        *error = "--rebalance-skew must be a non-negative number";
         return false;
       }
     } else if (arg == "--faults") {
@@ -354,6 +379,10 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
     *error = "--checkpoint-every needs --checkpoint-dir";
     return false;
   }
+  if (args->rebalance_every >= 0 && args->shards < 2) {
+    *error = "--rebalance-every needs --shards >= 2 (one shard cannot skew)";
+    return false;
+  }
   return true;
 }
 
@@ -478,6 +507,11 @@ int Main(int argc, char** argv) {
     options.checkpoint_dir = args.checkpoint_dir;
     options.checkpoint_every = args.checkpoint_every;
     options.checkpoint_retain = args.checkpoint_retain;
+    if (args.rebalance_every >= 0) {
+      options.rebalance_shards = args.shards;
+      options.rebalance_every = args.rebalance_every;
+      options.rebalance_skew = args.rebalance_skew;
+    }
 
     auto created =
         args.recover
