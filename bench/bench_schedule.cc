@@ -1,0 +1,172 @@
+// Organizer-side scheduling bench: what fingerprint memoization buys when
+// the organizer sweeps the social-affinity weight lambda over the same
+// draft problem (the paper-style what-if workflow: search once per lambda,
+// compare schedules).
+//
+// Because cached evaluations are lambda-INDEPENDENT (total utility + raw
+// affinity pair count; the weighted score is derived at lookup), one shared
+// ScheduleCache serves the whole sweep. The naive baseline runs the
+// identical sweep with memoization off, re-solving the oracle for every
+// configuration visit. Both modes visit the same configurations and land on
+// the same schedules — the acceptance gate is oracle-call AND wall-clock
+// reduction >= 3x at equal quality.
+//
+//   ./bench_schedule [--scale=S] [--trials=N] [--quick] [--json=FILE]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/friendship.h"
+#include "sched/schedule.h"
+
+namespace gepc {
+namespace bench {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct SweepStats {
+  double ms = 0.0;
+  int64_t oracle_calls = 0;
+  int64_t cache_hits = 0;
+  std::vector<double> scores;      // per lambda, for the quality check
+  std::vector<double> utilities;   // plain attendance utility per lambda
+};
+
+/// Runs the lambda sweep over one problem. `memoize` selects the shared-
+/// cache mode vs the naive re-solve baseline.
+SweepStats RunSweep(const ScheduleProblem& problem,
+                    const FriendshipGraph& graph,
+                    const std::vector<double>& lambdas, int threads,
+                    bool memoize) {
+  SweepStats stats;
+  ScheduleCache shared;
+  for (const double lambda : lambdas) {
+    ScheduleOptions options;
+    options.seed = 17;
+    options.threads = threads;
+    options.restarts = 3;
+    options.memoize = memoize;
+    // The graph is armed in EVERY leg, lambda = 0 included: cache sharers
+    // must agree on the graph so cached pair counts are valid for all of
+    // them (at lambda 0 the pairs are counted but weigh nothing).
+    options.affinity.graph = &graph;
+    options.affinity.lambda = lambda;
+    const auto start = std::chrono::steady_clock::now();
+    auto result = SolveSchedule(problem, options,
+                                memoize ? &shared : nullptr);
+    stats.ms += MillisSince(start);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve (lambda %.2f): %s\n", lambda,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    stats.oracle_calls += result->stats.oracle_calls;
+    stats.cache_hits += result->stats.cache_hits;
+    stats.scores.push_back(result->score);
+    stats.utilities.push_back(result->total_utility);
+  }
+  return stats;
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const int users = 100 + static_cast<int>(400 * flags.scale);
+  const int drafts = 3 + static_cast<int>(2 * flags.scale);
+  const int candidates = 3;
+  const int threads = 4;
+  const std::vector<double> lambdas = {0.0, 0.25, 0.5, 1.0};
+
+  ScheduleGenConfig config;
+  config.num_users = users;
+  config.num_drafts = drafts;
+  config.candidates_per_draft = candidates;
+  config.seed = 42;
+  const ScheduleProblem problem = GenerateScheduleProblem(config);
+  FriendshipConfig fc;
+  fc.mean_degree = 6.0;
+  fc.seed = 43;
+  const FriendshipGraph graph = GenerateFriendshipGraph(problem.users, fc);
+
+  std::printf("bench_schedule: %d users, %d drafts x %d candidates, "
+              "%zu-lambda sweep, %d trials\n",
+              users, drafts, candidates, lambdas.size(), flags.trials);
+
+  // Trial 0 captures the full stats (calls, hits, per-lambda scores — all
+  // deterministic); extra trials only stabilize the timing columns.
+  SweepStats memoized =
+      RunSweep(problem, graph, lambdas, threads, /*memoize=*/true);
+  SweepStats naive =
+      RunSweep(problem, graph, lambdas, threads, /*memoize=*/false);
+  for (int trial = 1; trial < flags.trials; ++trial) {
+    memoized.ms +=
+        RunSweep(problem, graph, lambdas, threads, /*memoize=*/true).ms;
+    naive.ms +=
+        RunSweep(problem, graph, lambdas, threads, /*memoize=*/false).ms;
+  }
+
+  // Equal quality is non-negotiable: memoization must never change what the
+  // search finds, only how often it pays the oracle.
+  bool equal_quality = memoized.scores.size() == naive.scores.size();
+  for (size_t i = 0; equal_quality && i < memoized.scores.size(); ++i) {
+    equal_quality = memoized.scores[i] == naive.scores[i] &&
+                    memoized.utilities[i] == naive.utilities[i];
+  }
+
+  const double call_reduction =
+      memoized.oracle_calls > 0
+          ? static_cast<double>(naive.oracle_calls) /
+                static_cast<double>(memoized.oracle_calls)
+          : 0.0;
+  const double time_speedup = memoized.ms > 0.0 ? naive.ms / memoized.ms : 0.0;
+
+  std::printf("%-26s %12s %12s %12s\n", "mode", "sweep_ms", "oracle", "hits");
+  std::printf("%-26s %12.2f %12lld %12lld\n", "naive (memoize off)", naive.ms,
+              static_cast<long long>(naive.oracle_calls),
+              static_cast<long long>(naive.cache_hits));
+  std::printf("%-26s %12.2f %12lld %12lld\n", "memoized (shared cache)",
+              memoized.ms, static_cast<long long>(memoized.oracle_calls),
+              static_cast<long long>(memoized.cache_hits));
+  std::printf("schedule quality:    %s\n",
+              equal_quality ? "identical across modes" : "DIVERGED");
+  for (size_t i = 0; i < memoized.scores.size(); ++i) {
+    std::printf("  lambda %.2f: score %.4f (attendance utility %.4f)\n",
+                lambdas[i], memoized.scores[i], memoized.utilities[i]);
+  }
+  std::printf("oracle-call reduction: %.2fx\n", call_reduction);
+  std::printf("sweep time speedup:    %.2fx\n", time_speedup);
+  // The acceptance gate (>= 3x at equal quality) is asserted by CI's
+  // bench-smoke via the JSON artifact; print it loudly either way.
+  if (!equal_quality || call_reduction < 3.0) {
+    std::printf("WARNING: memoization gate (>=3x, equal quality) not met\n");
+  }
+
+  JsonResults json("schedule");
+  json.Add("users", users);
+  json.Add("drafts", drafts);
+  json.Add("candidates", candidates);
+  json.Add("lambdas", static_cast<double>(lambdas.size()));
+  json.Add("naive_ms", naive.ms);
+  json.Add("memoized_ms", memoized.ms);
+  json.Add("naive_oracle_calls", static_cast<double>(naive.oracle_calls));
+  json.Add("memoized_oracle_calls",
+           static_cast<double>(memoized.oracle_calls));
+  json.Add("memoized_cache_hits", static_cast<double>(memoized.cache_hits));
+  json.Add("oracle_call_reduction", call_reduction);
+  json.Add("time_speedup", time_speedup);
+  json.Add("equal_quality", equal_quality ? 1.0 : 0.0);
+  if (!json.WriteTo(flags.json_path)) return 1;
+  return equal_quality && call_reduction >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gepc
+
+int main(int argc, char** argv) { return gepc::bench::Main(argc, argv); }

@@ -34,6 +34,8 @@ const char* const kKnownPoints[] = {
     "repl.promote",       // a promotion attempt aborts (retried later)
     "shard.migrate",      // incremental migration degrades to a full rebuild
     "shard.rebalance",    // a rebalance attempt aborts (old partition kept)
+    "sched.candidate",    // a candidate schedule is skipped, never evaluated
+    "sched.oracle",       // an oracle solve fails (greedy estimate instead)
     nullptr,
 };
 

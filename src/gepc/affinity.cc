@@ -1,0 +1,56 @@
+#include "gepc/affinity.h"
+
+namespace gepc {
+
+int FriendsAttending(const FriendshipGraph& graph, const Plan& plan,
+                     UserId u, EventId j) {
+  int count = 0;
+  for (const UserId v : plan.attendees_of(j)) {
+    if (v != u && graph.AreFriends(u, v)) ++count;
+  }
+  return count;
+}
+
+int64_t AffinityPairs(const FriendshipGraph* graph, const Plan& plan) {
+  if (graph == nullptr) return 0;
+  int64_t pairs = 0;
+  for (UserId u = 0; u < plan.num_users(); ++u) {
+    for (const EventId j : plan.events_of(u)) {
+      pairs += FriendsAttending(*graph, plan, u, j);
+    }
+  }
+  return pairs;
+}
+
+double AffinityUtility(const Instance& instance, const Plan& plan,
+                       const AffinityParams& affinity) {
+  double total = plan.TotalUtility(instance);
+  if (affinity.Armed()) {
+    total += affinity.lambda *
+             static_cast<double>(AffinityPairs(affinity.graph, plan));
+  }
+  return total;
+}
+
+double AffinityAddDelta(const Instance& instance, const Plan& plan,
+                        const AffinityParams& affinity, UserId u, EventId j) {
+  double delta = instance.utility(u, j);
+  if (affinity.Armed()) {
+    delta += 2.0 * affinity.lambda *
+             static_cast<double>(FriendsAttending(*affinity.graph, plan, u, j));
+  }
+  return delta;
+}
+
+double AffinityRemoveDelta(const Instance& instance, const Plan& plan,
+                           const AffinityParams& affinity, UserId u,
+                           EventId j) {
+  double delta = -instance.utility(u, j);
+  if (affinity.Armed()) {
+    delta -= 2.0 * affinity.lambda *
+             static_cast<double>(FriendsAttending(*affinity.graph, plan, u, j));
+  }
+  return delta;
+}
+
+}  // namespace gepc

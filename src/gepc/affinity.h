@@ -1,0 +1,66 @@
+#ifndef GEPC_GEPC_AFFINITY_H_
+#define GEPC_GEPC_AFFINITY_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/plan.h"
+#include "data/friendship.h"
+
+namespace gepc {
+
+/// The social-affinity utility extension (ROADMAP "scenario diversity"):
+/// with a friendship graph F and weight lambda, a user's per-event utility
+/// becomes assignment-dependent,
+///
+///   mu'(u, e) = mu(u, e) + lambda * |friends(u) ∩ attendees(e)|,
+///
+/// so the affinity-aware plan score is
+///
+///   U'(P) = U(P) + lambda * AffinityPairs(F, P),
+///
+/// where AffinityPairs counts, over every assignment (u, e) in P, the
+/// friends of u also attending e — i.e. each co-attending friend pair at an
+/// event contributes twice (once from each endpoint), matching the sum of
+/// the per-user mu' terms.
+///
+/// The same scoring is shared by the local-search refiner
+/// (LocalSearchOptions::affinity), the sharded merge path and the
+/// organizer-side scheduler (src/sched).
+struct AffinityParams {
+  /// Not owned; must outlive the solve. nullptr disables the term.
+  const FriendshipGraph* graph = nullptr;
+  double lambda = 0.0;
+
+  bool Armed() const { return graph != nullptr && lambda != 0.0; }
+};
+
+/// |friends(u) ∩ attendees(j)| under `plan` (u itself never counts: the
+/// graph has no self-loops).
+int FriendsAttending(const FriendshipGraph& graph, const Plan& plan,
+                     UserId u, EventId j);
+
+/// Sum over assignments (u, e) of |friends(u) ∩ attendees(e)| — twice the
+/// number of co-attending friend pairs. 0 for a null graph.
+int64_t AffinityPairs(const FriendshipGraph* graph, const Plan& plan);
+
+/// U'(P) = plan.TotalUtility(instance) + lambda * AffinityPairs. Equals the
+/// plain total utility when `affinity` is not armed.
+double AffinityUtility(const Instance& instance, const Plan& plan,
+                       const AffinityParams& affinity);
+
+/// Change in U'(P) from adding (u, j) to `plan` (u must not attend j yet):
+/// mu(u, j) + 2 * lambda * FriendsAttending(u, j) — u gains lambda per
+/// attending friend and each of those friends gains lambda for u.
+double AffinityAddDelta(const Instance& instance, const Plan& plan,
+                        const AffinityParams& affinity, UserId u, EventId j);
+
+/// Change in U'(P) from removing (u, j) from `plan` (u must attend j);
+/// always <= 0 for non-negative mu and lambda.
+double AffinityRemoveDelta(const Instance& instance, const Plan& plan,
+                           const AffinityParams& affinity, UserId u,
+                           EventId j);
+
+}  // namespace gepc
+
+#endif  // GEPC_GEPC_AFFINITY_H_

@@ -39,6 +39,18 @@ Result<LocalSearchStats> RefinePlan(const Instance& instance, Plan* plan,
   if (options.max_passes <= 0) {
     return Status::InvalidArgument("max_passes must be positive");
   }
+  const AffinityParams& aff = options.affinity;
+  const bool social = aff.Armed();
+  if (social && aff.graph->num_users() != instance.num_users()) {
+    return Status::InvalidArgument(
+        "friendship graph does not cover the instance's users");
+  }
+  // 2*lambda per friend: the mover gains lambda per attending friend and
+  // each of those friends gains lambda back. Unarmed, every score below
+  // stays the bare mu, so behaviour is byte-identical to the plain refiner.
+  auto friends_at = [&](UserId u, EventId j) {
+    return FriendsAttending(*aff.graph, *plan, u, j);
+  };
 
   LocalSearchStats stats;
   auto moves_left = [&] {
@@ -58,13 +70,14 @@ Result<LocalSearchStats> RefinePlan(const Instance& instance, Plan* plan,
     if (options.enable_add) {
       for (int i = 0; i < n && moves_left(); ++i) {
         for (int j = 0; j < m && moves_left(); ++j) {
-          const double mu = instance.utility(i, j);
-          if (mu <= options.min_gain) continue;
+          double gain = instance.utility(i, j);
+          if (social) gain += 2.0 * aff.lambda * friends_at(i, j);
+          if (gain <= options.min_gain) continue;
           if (plan->attendance(j) >= instance.event(j).upper_bound) continue;
           if (!CanAttend(instance, *plan, i, j)) continue;
           plan->Add(i, j);
           ++stats.add_moves;
-          stats.utility_gain += mu;
+          stats.utility_gain += gain;
           improved = true;
         }
       }
@@ -82,12 +95,15 @@ Result<LocalSearchStats> RefinePlan(const Instance& instance, Plan* plan,
             if (plan->attendance(a) <= instance.event(a).lower_bound) {
               continue;
             }
-            const double mu_a = instance.utility(i, a);
+            double score_a = instance.utility(i, a);
+            if (social) score_a += 2.0 * aff.lambda * friends_at(i, a);
             EventId best_b = kInvalidEvent;
             double best_gain = options.min_gain;
             for (int b = 0; b < m; ++b) {
               if (plan->Contains(i, b)) continue;
-              const double gain = instance.utility(i, b) - mu_a;
+              double score_b = instance.utility(i, b);
+              if (social) score_b += 2.0 * aff.lambda * friends_at(i, b);
+              const double gain = score_b - score_a;
               if (gain <= best_gain) continue;
               if (plan->attendance(b) >= instance.event(b).upper_bound) {
                 continue;
@@ -119,12 +135,21 @@ Result<LocalSearchStats> RefinePlan(const Instance& instance, Plan* plan,
           event_changed = false;
           const std::vector<UserId> attendees = plan->attendees_of(j);
           for (UserId u : attendees) {
-            const double mu_u = instance.utility(u, j);
+            double score_u = instance.utility(u, j);
+            if (social) score_u += 2.0 * aff.lambda * friends_at(u, j);
             UserId best_v = kInvalidUser;
             double best_gain = options.min_gain;
             for (int v = 0; v < n; ++v) {
               if (plan->Contains(v, j)) continue;
-              const double gain = instance.utility(v, j) - mu_u;
+              double score_v = instance.utility(v, j);
+              if (social) {
+                // u departs before v arrives: if they are friends, v does
+                // not get credit for u's attendance.
+                int fv = friends_at(v, j);
+                if (aff.graph->AreFriends(u, v)) --fv;
+                score_v += 2.0 * aff.lambda * fv;
+              }
+              const double gain = score_v - score_u;
               if (gain <= best_gain) continue;
               if (instance.utility(v, j) <= 0.0) continue;
               if (!FitsAfterSwap(instance, *plan, v, kInvalidEvent, j)) {

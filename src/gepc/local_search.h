@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/instance.h"
 #include "core/plan.h"
+#include "gepc/affinity.h"
 
 namespace gepc {
 
@@ -21,6 +22,11 @@ struct LocalSearchOptions {
   bool enable_add = true;
   bool enable_replace = true;
   bool enable_transfer = true;
+  /// When armed, moves are scored by the affinity-aware utility
+  /// mu'(u, e) = mu(u, e) + lambda * friends-attending (affinity.h), which
+  /// makes gains assignment-dependent. Unarmed behaviour is byte-identical
+  /// to the plain refiner. The graph must cover instance.num_users().
+  AffinityParams affinity;
 };
 
 /// What one RefinePlan run did.
@@ -43,10 +49,11 @@ struct LocalSearchStats {
 ///               mu(v, e) > mu(u, e) (attendance count unchanged, so both
 ///               bounds stay satisfied).
 ///
-/// Every accepted move strictly increases total utility, so the search
-/// terminates. The refined plan keeps constraints 1-3 and never lowers any
-/// event below a lower bound it already met. This is a post-processing step
-/// the paper does not have — an extension evaluated by bench_ablation.
+/// Every accepted move strictly increases the (affinity-aware, if armed)
+/// total utility, so the search terminates. The refined plan keeps
+/// constraints 1-3 and never lowers any event below a lower bound it
+/// already met. This is a post-processing step the paper does not have —
+/// an extension evaluated by bench_ablation.
 Result<LocalSearchStats> RefinePlan(const Instance& instance, Plan* plan,
                                     const LocalSearchOptions& options = {});
 

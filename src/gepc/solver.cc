@@ -99,6 +99,10 @@ Result<GepcResult> SolveGepc(const Instance& instance,
   }
 
   result.total_utility = result.plan.TotalUtility(instance);
+  result.affinity_utility = options.local_search.affinity.Armed()
+                                ? AffinityUtility(instance, result.plan,
+                                                  options.local_search.affinity)
+                                : result.total_utility;
   for (int j = 0; j < instance.num_events(); ++j) {
     if (result.plan.attendance(j) < instance.event(j).lower_bound) {
       ++result.events_below_lower_bound;

@@ -44,6 +44,9 @@ struct GepcOptions {
 struct GepcResult {
   Plan plan;
   double total_utility = 0.0;
+  /// Affinity-aware score total_utility + lambda * affinity-pairs when
+  /// options.local_search.affinity is armed; == total_utility otherwise.
+  double affinity_utility = 0.0;
   /// Events whose final attendance is below xi_j (best-effort shortfall;
   /// 0 when the instance's lower bounds are satisfiable by the algorithm).
   int events_below_lower_bound = 0;

@@ -5,10 +5,12 @@
 
 #include "common/status.h"
 #include "core/itinerary.h"
+#include "data/friendship.h"
 #include "data/io.h"
 #include "fault/fault.h"
 #include "iep/op_spec.h"
 #include "obs/metrics.h"
+#include "sched/schedule.h"
 #include "service/jsonl.h"
 #include "service/metrics.h"
 
@@ -370,6 +372,113 @@ void HandleRebalance(PlanningService* service, JsonWriter* writer) {
   writer->Add("skew_after", outcome.report.skew_after);
 }
 
+/// What-if scheduling over the live population (docs/cli.md): drafts a
+/// seeded candidate problem for the *current snapshot's users* and runs the
+/// sched search with the solver as oracle. Read-only — it never touches the
+/// replicated (instance, plan) state — so, like `rebalance`, a follower may
+/// serve it. Draft/candidate counts are bounded: the oracle space is
+/// (candidates + 1)^drafts solves and this runs on the request thread.
+void HandleSchedule(const PlanningService& service, const JsonObject& request,
+                    JsonWriter* writer) {
+  int drafts = 3;
+  int candidates = 3;
+  std::string error;
+  auto override_int = [&request](const char* key, int* out) {
+    auto it = request.find(key);
+    if (it == request.end()) return true;
+    if (it->second.type != JsonValue::Type::kNumber) return false;
+    const double value = it->second.number_value;
+    if (value < 1.0 || value != static_cast<double>(static_cast<int>(value))) {
+      return false;
+    }
+    *out = static_cast<int>(value);
+    return true;
+  };
+  if (!override_int("drafts", &drafts) || drafts > 8) {
+    FillError(writer, "'drafts' must be an integer in [1, 8]");
+    return;
+  }
+  if (!override_int("candidates", &candidates) || candidates > 8) {
+    FillError(writer, "'candidates' must be an integer in [1, 8]");
+    return;
+  }
+  uint64_t seed = 1;
+  auto seed_it = request.find("seed");
+  if (seed_it != request.end()) {
+    if (seed_it->second.type != JsonValue::Type::kNumber ||
+        seed_it->second.number_value < 0.0) {
+      FillError(writer, "'seed' must be a non-negative number");
+      return;
+    }
+    seed = static_cast<uint64_t>(seed_it->second.number_value);
+  }
+  double lambda = 0.0;
+  auto lambda_it = request.find("lambda");
+  if (lambda_it != request.end()) {
+    if (lambda_it->second.type != JsonValue::Type::kNumber ||
+        lambda_it->second.number_value < 0.0) {
+      FillError(writer, "'lambda' must be a non-negative number");
+      return;
+    }
+    lambda = lambda_it->second.number_value;
+  }
+
+  const auto snap = service.snapshot();
+  ScheduleGenConfig gen;
+  gen.num_drafts = drafts;
+  gen.candidates_per_draft = candidates;
+  gen.seed = seed;
+  ScheduleProblem problem =
+      GenerateScheduleProblemForUsers(snap->instance->users(), gen);
+
+  ScheduleOptions options;
+  options.seed = seed;
+  FriendshipGraph friends;
+  if (lambda > 0.0) {
+    FriendshipConfig fc;
+    fc.seed = seed + 7;
+    friends = GenerateFriendshipGraph(problem.users, fc);
+    options.affinity.graph = &friends;
+    options.affinity.lambda = lambda;
+  }
+  auto result = SolveSchedule(problem, options);
+  if (!result.ok()) {
+    FillError(writer, result.status().ToString());
+    return;
+  }
+
+  std::string chosen = "[";
+  for (size_t d = 0; d < result->choice.size(); ++d) {
+    const int c = result->choice[d];
+    JsonWriter item;
+    item.Add("draft", static_cast<int64_t>(d));
+    item.Add("candidate", c);
+    if (c >= 0) {
+      const ScheduleCandidate& cand = problem.drafts[d].candidates[c];
+      item.Add("start", cand.slot.start);
+      item.Add("end", cand.slot.end);
+      item.Add("x", cand.venue.x);
+      item.Add("y", cand.venue.y);
+      item.Add("capacity", cand.capacity);
+    }
+    if (d > 0) chosen += ",";
+    chosen += item.Finish();
+  }
+  chosen += "]";
+
+  writer->Add("ok", true);
+  writer->Add("version", snap->version);
+  writer->AddRaw("chosen", chosen);
+  writer->Add("score", result->score);
+  writer->Add("utility", result->total_utility);
+  writer->Add("affinity_utility", result->affinity_utility);
+  writer->Add("attendance", result->attendance);
+  writer->Add("oracle_calls", result->stats.oracle_calls);
+  writer->Add("cache_hits", result->stats.cache_hits);
+  writer->Add("degraded", result->stats.degraded_candidates);
+  writer->Add("skipped", result->stats.skipped_candidates);
+}
+
 }  // namespace
 
 GepcAlgorithm AlgorithmFromName(const std::string& name) {
@@ -385,7 +494,7 @@ std::string RenderAllMetricsText(const PlanningService& service) {
 
 CommandKind ClassifyCommand(const std::string& cmd) {
   if (cmd == "query_user" || cmd == "query_event" || cmd == "stats" ||
-      cmd == "metrics" || cmd == "faults") {
+      cmd == "metrics" || cmd == "faults" || cmd == "schedule") {
     return CommandKind::kRead;
   }
   if (cmd == "apply" || cmd == "rebuild" || cmd == "rebalance" ||
@@ -467,6 +576,8 @@ DispatchOutcome CommandDispatcher::Dispatch(const std::string& line) const {
     // derived state, so a follower may rebalance without diverging from the
     // primary's replicated state.
     HandleRebalance(service_, &writer);
+  } else if (cmd == "schedule") {
+    HandleSchedule(*service_, *request, &writer);
   } else if (cmd == "faults") {
     HandleFaults(&writer);
   } else if (cmd == "drain") {

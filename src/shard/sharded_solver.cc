@@ -268,6 +268,10 @@ Result<GepcResult> SolveSharded(const Instance& instance,
       GepcOptions shard_options = options.gepc;
       shard_options.greedy.seed =
           DeriveTaskSeed(master_seed, static_cast<uint64_t>(s));
+      // Sub-instance user ids are shard-local, so the global friendship
+      // graph cannot be consulted inside a shard. Strip affinity here; the
+      // merge runs one global affinity-aware refine pass instead.
+      shard_options.local_search.affinity = AffinityParams{};
       fault::Inject("shard.slow");  // delay-only: simulates a stalled shard
       const Status injected = fault::Inject("shard.solve");
       shard_results[static_cast<size_t>(s)] =
@@ -289,6 +293,7 @@ Result<GepcResult> SolveSharded(const Instance& instance,
     GepcOptions fallback = options.gepc;
     fallback.algorithm = GepcAlgorithm::kGreedy;
     fallback.refine_with_local_search = false;
+    fallback.local_search.affinity = AffinityParams{};
     fallback.greedy.seed = DeriveTaskSeed(master_seed, static_cast<uint64_t>(s));
     auto degraded = SolveGepc(sub, fallback);
     if (!degraded.ok()) return degraded.status();
@@ -343,6 +348,23 @@ Result<GepcResult> SolveSharded(const Instance& instance,
                                 &result.plan, &filter);
     result.topup_stats.added += boundary_topup.added;
   }
+  // With affinity armed, the per-shard solves scored plain mu (the graph is
+  // global). One global refine pass over the merged plan recovers the
+  // social term — this is what keeps sharded affinity utility near the
+  // sequential solver's.
+  const AffinityParams& affinity = options.gepc.local_search.affinity;
+  if (options.gepc.refine_with_local_search && affinity.Armed()) {
+    GEPC_TRACE_SPAN("shard.affinity_refine");
+    GEPC_ASSIGN_OR_RETURN(
+        const LocalSearchStats refine,
+        RefinePlan(instance, &result.plan, options.gepc.local_search));
+    result.local_search_stats.add_moves += refine.add_moves;
+    result.local_search_stats.replace_moves += refine.replace_moves;
+    result.local_search_stats.transfer_moves += refine.transfer_moves;
+    result.local_search_stats.passes =
+        std::max(result.local_search_stats.passes, refine.passes);
+    result.local_search_stats.utility_gain += refine.utility_gain;
+  }
   if (stats != nullptr) {
     stats->merge_flow_assigned = flow_assigned;
     stats->lower_bound_repair_added = repair_added;
@@ -352,6 +374,9 @@ Result<GepcResult> SolveSharded(const Instance& instance,
   om.merge_ms->Observe(timer.ElapsedSeconds() * 1e3);
 
   result.total_utility = result.plan.TotalUtility(instance);
+  result.affinity_utility =
+      affinity.Armed() ? AffinityUtility(instance, result.plan, affinity)
+                       : result.total_utility;
   for (int j = 0; j < m; ++j) {
     if (result.plan.attendance(j) < instance.event(j).lower_bound) {
       ++result.events_below_lower_bound;

@@ -80,6 +80,12 @@ struct ShardedGepcStats {
 /// algorithm (same derived seed), so one bad shard degrades utility instead
 /// of failing the solve. `shard.slow` (delay-only) simulates a stalled
 /// shard without changing the result.
+///
+/// Affinity: when options.gepc.local_search.affinity is armed (and
+/// refine_with_local_search is on), per-shard solves run on plain mu —
+/// shard-local user ids cannot index the global friendship graph — and the
+/// merge finishes with one global affinity-aware RefinePlan pass, so the
+/// reported affinity_utility stays close to the sequential solver's.
 Result<GepcResult> SolveSharded(const Instance& instance,
                                 const ShardedGepcOptions& options,
                                 ShardedGepcStats* stats = nullptr);

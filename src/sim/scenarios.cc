@@ -1,0 +1,66 @@
+#include "sim/scenarios.h"
+
+namespace gepc {
+
+const char* ScenarioPresetName(ScenarioPreset preset) {
+  switch (preset) {
+    case ScenarioPreset::kScheduling:
+      return "scheduling";
+    case ScenarioPreset::kAffinity:
+      return "affinity";
+    case ScenarioPreset::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+bool ParseScenarioPreset(const std::string& name, ScenarioPreset* preset) {
+  if (name == "scheduling") {
+    *preset = ScenarioPreset::kScheduling;
+  } else if (name == "affinity") {
+    *preset = ScenarioPreset::kAffinity;
+  } else if (name == "mixed") {
+    *preset = ScenarioPreset::kMixed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimulationConfig MakeScenarioConfig(ScenarioPreset preset, uint64_t seed) {
+  SimulationConfig config;
+  config.base.num_users = 150;
+  config.base.num_events = 12;
+  config.base.mean_eta = 12;
+  config.base.mean_xi = 3;
+  config.base.seed = seed * 0x9E3779B97F4A7C15ULL + 101;
+  config.num_days = 5;
+  config.seed = seed;
+
+  switch (preset) {
+    case ScenarioPreset::kScheduling:
+      // Drafted events with candidate placements, a busier organizer side.
+      config.new_events_per_day = 2;
+      config.candidates_per_new_event = 4;
+      break;
+    case ScenarioPreset::kAffinity:
+      // Social ties make utility assignment-dependent; the refiner gets
+      // real work every day.
+      config.affinity_lambda = 0.5;
+      config.friendship.mean_degree = 6.0;
+      config.friendship.seed = seed + 13;
+      config.planner.refine_with_local_search = true;
+      break;
+    case ScenarioPreset::kMixed:
+      config.new_events_per_day = 2;
+      config.candidates_per_new_event = 4;
+      config.affinity_lambda = 0.5;
+      config.friendship.mean_degree = 6.0;
+      config.friendship.seed = seed + 13;
+      config.planner.refine_with_local_search = true;
+      break;
+  }
+  return config;
+}
+
+}  // namespace gepc

@@ -1,0 +1,39 @@
+#ifndef GEPC_SIM_SCENARIOS_H_
+#define GEPC_SIM_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace gepc {
+
+/// Named simulation presets — the workloads `gepc_cli sim --scenario=...`
+/// and the benches run, so drivers stop hand-assembling SimulationConfig
+/// knobs.
+enum class ScenarioPreset {
+  /// Organizer-side scheduling: every day's new events arrive as drafts
+  /// with candidate (slot, venue) pairs and the sched search places them.
+  kScheduling,
+  /// Social-affinity utilities: seeded friendship graph, lambda > 0,
+  /// affinity-aware local-search refinement after each day.
+  kAffinity,
+  /// Both at once — scheduling decisions scored affinity-aware.
+  kMixed,
+};
+
+const char* ScenarioPresetName(ScenarioPreset preset);
+
+/// Parses "scheduling" / "affinity" / "mixed". Returns false (and leaves
+/// `preset` untouched) on anything else — callers turn that into a usage
+/// error (exit 64).
+bool ParseScenarioPreset(const std::string& name, ScenarioPreset* preset);
+
+/// The preset's full SimulationConfig, seeded. Deterministic per
+/// (preset, seed); callers may still override individual knobs afterwards
+/// (the CLI applies --days/--users/--events/--resolve on top).
+SimulationConfig MakeScenarioConfig(ScenarioPreset preset, uint64_t seed);
+
+}  // namespace gepc
+
+#endif  // GEPC_SIM_SCENARIOS_H_

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "gepc/baselines.h"
 #include "iep/availability.h"
+#include "sched/schedule.h"
 
 namespace gepc {
 
@@ -14,7 +15,8 @@ namespace {
 
 /// One day's drift as atomic operations against the current instance.
 std::vector<AtomicOp> DriftOps(const Instance& instance,
-                               const SimulationConfig& config, Rng* rng) {
+                               const SimulationConfig& config,
+                               const AffinityParams& affinity, Rng* rng) {
   std::vector<AtomicOp> ops;
 
   for (int j = 0; j < instance.num_events(); ++j) {
@@ -74,6 +76,57 @@ std::vector<AtomicOp> DriftOps(const Instance& instance,
     }
   }
 
+  if (config.candidates_per_new_event > 0 && config.new_events_per_day > 0) {
+    // Scheduling drift: the day's new events arrive as drafts with
+    // candidate (slot, venue) pairs, and the organizer-side scheduler
+    // (oracle-scored, affinity-aware when armed) picks the placement.
+    ScheduleProblem problem;
+    problem.users = instance.users();
+    for (int k = 0; k < config.new_events_per_day; ++k) {
+      DraftEvent draft;
+      draft.interest.reserve(static_cast<size_t>(instance.num_users()));
+      for (int i = 0; i < instance.num_users(); ++i) {
+        draft.interest.push_back(rng->Bernoulli(0.4) ? rng->UniformDouble()
+                                                     : 0.0);
+      }
+      draft.lower_bound =
+          static_cast<int>(rng->UniformDouble(0.0, config.base.mean_xi));
+      for (int c = 0; c < config.candidates_per_new_event; ++c) {
+        ScheduleCandidate cand;
+        cand.venue = {rng->UniformDouble(0.0, config.base.city_width),
+                      rng->UniformDouble(0.0, config.base.city_height)};
+        cand.capacity = std::max(
+            1, static_cast<int>(rng->UniformDouble(0.5, 1.5) *
+                                config.base.mean_eta));
+        const Minutes start = static_cast<Minutes>(rng->UniformInt(0, 700));
+        cand.slot = {start,
+                     start + static_cast<Minutes>(rng->UniformInt(30, 150))};
+        draft.candidates.push_back(cand);
+      }
+      problem.drafts.push_back(std::move(draft));
+    }
+    ScheduleOptions sched;
+    sched.seed = rng->NextUint64();
+    sched.affinity = affinity;
+    const Result<ScheduleResult> scheduled = SolveSchedule(problem, sched);
+    if (scheduled.ok()) {
+      for (size_t d = 0; d < problem.drafts.size(); ++d) {
+        const int c = scheduled->choice[d];
+        if (c < 0) continue;  // every candidate fault-skipped
+        const DraftEvent& draft = problem.drafts[d];
+        const ScheduleCandidate& cand =
+            draft.candidates[static_cast<size_t>(c)];
+        Event fresh;
+        fresh.location = cand.venue;
+        fresh.upper_bound = cand.capacity;
+        fresh.lower_bound = std::min(draft.lower_bound, cand.capacity);
+        fresh.time = cand.slot;
+        ops.push_back(AtomicOp::NewEvent(fresh, draft.interest));
+      }
+    }
+    return ops;
+  }
+
   for (int k = 0; k < config.new_events_per_day; ++k) {
     Event fresh;
     fresh.location = {rng->UniformDouble(0.0, config.base.city_width),
@@ -97,11 +150,15 @@ std::vector<AtomicOp> DriftOps(const Instance& instance,
   return ops;
 }
 
-DayMetrics Snapshot(int day, const Instance& instance, const Plan& plan) {
+DayMetrics Snapshot(int day, const Instance& instance, const Plan& plan,
+                    const AffinityParams& affinity) {
   DayMetrics metrics;
   metrics.day = day;
   metrics.total_utility = plan.TotalUtility(instance);
   metrics.effective_utility = EffectiveUtility(instance, plan);
+  metrics.affinity_utility = affinity.Armed()
+                                 ? AffinityUtility(instance, plan, affinity)
+                                 : metrics.total_utility;
   for (int j = 0; j < instance.num_events(); ++j) {
     if (plan.attendance(j) < instance.event(j).lower_bound) {
       ++metrics.events_below_lower_bound;
@@ -118,14 +175,26 @@ Result<SimulationResult> RunSimulation(const SimulationConfig& config) {
   }
   GEPC_ASSIGN_OR_RETURN(Instance instance, GenerateInstance(config.base));
 
+  // The friendship graph covers the day-0 users; drift never adds users, so
+  // it stays valid for the whole simulation.
+  FriendshipGraph friends;
+  AffinityParams affinity;
+  if (config.affinity_lambda != 0.0) {
+    friends = GenerateFriendshipGraph(instance.users(), config.friendship);
+    affinity.graph = &friends;
+    affinity.lambda = config.affinity_lambda;
+  }
+  GepcOptions planner_options = config.planner;
+  if (affinity.Armed()) planner_options.local_search.affinity = affinity;
+
   Timer day0_timer;
-  GEPC_ASSIGN_OR_RETURN(GepcResult initial, SolveGepc(instance, config.planner));
+  GEPC_ASSIGN_OR_RETURN(GepcResult initial, SolveGepc(instance, planner_options));
   GEPC_ASSIGN_OR_RETURN(
       IncrementalPlanner planner,
       IncrementalPlanner::Create(std::move(instance), initial.plan));
 
   SimulationResult result;
-  DayMetrics day0 = Snapshot(0, planner.instance(), planner.plan());
+  DayMetrics day0 = Snapshot(0, planner.instance(), planner.plan(), affinity);
   day0.plan_seconds = day0_timer.ElapsedSeconds();
   result.days.push_back(day0);
   result.total_plan_seconds += day0.plan_seconds;
@@ -133,7 +202,7 @@ Result<SimulationResult> RunSimulation(const SimulationConfig& config) {
   Rng rng(config.seed * 0x9E3779B1ULL + 17);
   for (int day = 1; day <= config.num_days; ++day) {
     const std::vector<AtomicOp> ops =
-        DriftOps(planner.instance(), config, &rng);
+        DriftOps(planner.instance(), config, affinity, &rng);
 
     Timer timer;
     int64_t dif = 0;
@@ -141,6 +210,21 @@ Result<SimulationResult> RunSimulation(const SimulationConfig& config) {
       for (const AtomicOp& op : ops) {
         GEPC_ASSIGN_OR_RETURN(IepResult step, planner.Apply(op));
         dif += step.negative_impact;
+      }
+      // The incremental repairs optimize plain mu; an affinity-aware refine
+      // pass recovers the social term the repairs cannot see.
+      if (affinity.Armed() && planner_options.refine_with_local_search) {
+        Plan refined = planner.plan();
+        GEPC_ASSIGN_OR_RETURN(
+            const LocalSearchStats refine_stats,
+            RefinePlan(planner.instance(), &refined,
+                       planner_options.local_search));
+        if (refine_stats.add_moves + refine_stats.replace_moves +
+                refine_stats.transfer_moves >
+            0) {
+          GEPC_ASSIGN_OR_RETURN(planner, IncrementalPlanner::Create(
+                                             planner.instance(), refined));
+        }
       }
     } else {
       // Baseline: mutate, then re-plan everyone from scratch.
@@ -150,13 +234,14 @@ Result<SimulationResult> RunSimulation(const SimulationConfig& config) {
         (void)step;
       }
       GEPC_ASSIGN_OR_RETURN(GepcResult redo,
-                            SolveGepc(planner.instance(), config.planner));
+                            SolveGepc(planner.instance(), planner_options));
       dif = NegativeImpact(before, redo.plan);
       GEPC_ASSIGN_OR_RETURN(
           planner, IncrementalPlanner::Create(planner.instance(), redo.plan));
     }
 
-    DayMetrics metrics = Snapshot(day, planner.instance(), planner.plan());
+    DayMetrics metrics =
+        Snapshot(day, planner.instance(), planner.plan(), affinity);
     metrics.ops = static_cast<int>(ops.size());
     metrics.negative_impact = dif;
     metrics.plan_seconds = timer.ElapsedSeconds();
@@ -165,6 +250,7 @@ Result<SimulationResult> RunSimulation(const SimulationConfig& config) {
     result.total_plan_seconds += metrics.plan_seconds;
   }
   result.final_utility = result.days.back().total_utility;
+  result.final_affinity_utility = result.days.back().affinity_utility;
   return result;
 }
 

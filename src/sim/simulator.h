@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "data/friendship.h"
 #include "data/generator.h"
 #include "gepc/solver.h"
 #include "iep/planner.h"
@@ -33,6 +34,13 @@ struct SimulationConfig {
   /// New events announced per day.
   int new_events_per_day = 1;
 
+  /// Scheduling scenario: when > 0, each day's new events arrive as DRAFTS
+  /// with this many candidate (slot, venue) pairs, and the organizer-side
+  /// scheduler (src/sched) picks the placement — oracle-scored, affinity-
+  /// aware when affinity_lambda is armed — before the NewEvent op is
+  /// applied. 0 (default) keeps the legacy direct-placement drift.
+  int candidates_per_new_event = 0;
+
   /// User-side drift, per user per day.
   double p_interest_loss = 0.03;  ///< zero one positive utility
   double p_budget_change = 0.05;  ///< rescale budget by U[0.6, 1.4]
@@ -48,6 +56,16 @@ struct SimulationConfig {
   /// false: re-solve from scratch after each day's drift (the baseline).
   bool incremental = true;
 
+  /// Affinity scenario: when non-zero, a seeded friendship graph
+  /// (config.friendship) is generated over the day-0 users and plans are
+  /// scored with mu' = mu + lambda * friends-attending. Day-0 and re-solve
+  /// planning thread the affinity through RefinePlan (when
+  /// planner.refine_with_local_search is on), and incremental days finish
+  /// with an affinity-aware refine pass. 0 (default) is byte-identical to
+  /// the plain simulation.
+  double affinity_lambda = 0.0;
+  FriendshipConfig friendship;
+
   uint64_t seed = 1;
 };
 
@@ -60,12 +78,16 @@ struct DayMetrics {
   int events_below_lower_bound = 0;
   int64_t negative_impact = 0;      ///< dif accumulated that day
   double plan_seconds = 0.0;        ///< time spent repairing / re-solving
+  /// Affinity-aware utility (== total_utility when affinity_lambda == 0).
+  double affinity_utility = 0.0;
 };
 
 struct SimulationResult {
   std::vector<DayMetrics> days;
   int64_t total_negative_impact = 0;
   double final_utility = 0.0;
+  /// Final day's affinity-aware utility (== final_utility when unarmed).
+  double final_affinity_utility = 0.0;
   double total_plan_seconds = 0.0;
 };
 

@@ -324,6 +324,49 @@ TEST_F(CliCkptTest, UsageErrorsExit64) {
   EXPECT_EQ(RunCommand(Cli() + " ckpt-inspect --bogus x"), 64);
 }
 
+TEST_F(CliTest, ScheduleSearchRuns) {
+  EXPECT_EQ(RunCommand(Cli() + " schedule --users 50 --drafts 3"
+                       " --candidates 3 --seed 7"),
+            0);
+}
+
+TEST_F(CliTest, ScheduleExhaustiveAndAffinityRun) {
+  EXPECT_EQ(RunCommand(Cli() + " schedule --users 40 --drafts 2"
+                       " --candidates 2 --seed 3 --exhaustive"
+                       " --lambda 0.5 --degree 5 --threads 2"),
+            0);
+  EXPECT_EQ(RunCommand(Cli() + " schedule --users 40 --drafts 2"
+                       " --candidates 2 --no-memoize"),
+            0);
+}
+
+TEST_F(CliTest, ScheduleFlagsValidatedStrictly) {
+  EXPECT_EQ(RunCommand(Cli() + " schedule --drafts 0"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " schedule --candidates -3"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " schedule --lambda -0.5"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " schedule --threads 4x"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " schedule --exhaustive=1"), 64);
+}
+
+TEST_F(CliTest, SimScenarioPresetsRun) {
+  EXPECT_EQ(RunCommand(Cli() + " sim --scenario scheduling --days 2"
+                       " --users 30 --events 6 --seed 4"),
+            0);
+  EXPECT_EQ(RunCommand(Cli() + " sim --scenario=affinity --days 2"
+                       " --users 30 --events 6 --resolve"),
+            0);
+  EXPECT_EQ(RunCommand(Cli() + " sim --scenario mixed --days 2 --users 30"
+                       " --events 6"),
+            0);
+}
+
+TEST_F(CliTest, SimScenarioValidatedStrictly) {
+  EXPECT_EQ(RunCommand(Cli() + " sim --days 2"), 64);          // no scenario
+  EXPECT_EQ(RunCommand(Cli() + " sim --scenario bogus"), 64);  // unknown
+  EXPECT_EQ(RunCommand(Cli() + " sim --scenario mixed --days 0"), 64);
+  EXPECT_EQ(RunCommand(Cli() + " sim --scenario mixed --resolve=1"), 64);
+}
+
 TEST_F(CliTest, ObservabilityFlagsValidatedStrictly) {
   // --trace is a required-value flag; --metrics only takes the = form.
   EXPECT_EQ(RunCommand(Cli() + " solve --in " + instance_path_ + " --trace"),

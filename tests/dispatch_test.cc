@@ -54,6 +54,8 @@ TEST(ClassifyCommandTest, SplitsReadsFromWrites) {
   EXPECT_EQ(ClassifyCommand("stats"), CommandKind::kRead);
   EXPECT_EQ(ClassifyCommand("metrics"), CommandKind::kRead);
   EXPECT_EQ(ClassifyCommand("faults"), CommandKind::kRead);
+  // What-if scheduling never touches replicated state: follower-safe read.
+  EXPECT_EQ(ClassifyCommand("schedule"), CommandKind::kRead);
   EXPECT_EQ(ClassifyCommand("apply"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("rebuild"), CommandKind::kWrite);
   EXPECT_EQ(ClassifyCommand("checkpoint"), CommandKind::kWrite);
@@ -102,6 +104,51 @@ TEST_F(DispatchTest, StatsReportInstanceSizeAndOpCounts) {
   EXPECT_EQ(stats.at("events").number_value,
             MakePaperInstance().num_events());
   EXPECT_GE(stats.at("ops_applied").number_value, 1.0);
+}
+
+TEST_F(DispatchTest, ScheduleDraftsOverTheLiveSnapshot) {
+  const DispatchOutcome outcome = dispatcher_->Dispatch(
+      R"({"cmd":"schedule","drafts":2,"candidates":2,"seed":5})");
+  EXPECT_NE(outcome.response.find("\"ok\":true"), std::string::npos)
+      << outcome.response;
+  EXPECT_NE(outcome.response.find("\"chosen\":["), std::string::npos);
+  EXPECT_NE(outcome.response.find("\"oracle_calls\":"), std::string::npos);
+
+  // Same request, same answer: the search is deterministic per seed.
+  const DispatchOutcome again = dispatcher_->Dispatch(
+      R"({"cmd":"schedule","drafts":2,"candidates":2,"seed":5})");
+  EXPECT_EQ(outcome.response, again.response);
+
+  // The snapshot was only read — the service still answers and its version
+  // did not move.
+  const JsonObject stats = Roundtrip(R"({"cmd":"stats"})");
+  EXPECT_TRUE(stats.at("ok").bool_value);
+  EXPECT_EQ(stats.at("ops_applied").number_value, 0.0);
+}
+
+TEST_F(DispatchTest, ScheduleWithAffinityReportsAffinityUtility) {
+  // The chosen array embeds objects, which the flat test parser does not
+  // handle — substring assertions, per the fixture note.
+  const DispatchOutcome outcome = dispatcher_->Dispatch(
+      R"({"cmd":"schedule","drafts":2,"candidates":2,"seed":5,"lambda":0.5})");
+  EXPECT_NE(outcome.response.find("\"ok\":true"), std::string::npos)
+      << outcome.response;
+  EXPECT_NE(outcome.response.find("\"affinity_utility\":"),
+            std::string::npos);
+  EXPECT_NE(outcome.response.find("\"score\":"), std::string::npos);
+}
+
+TEST_F(DispatchTest, ScheduleBoundsItsInputs) {
+  EXPECT_FALSE(Roundtrip(R"({"cmd":"schedule","drafts":9})")
+                   .at("ok").bool_value);
+  EXPECT_FALSE(Roundtrip(R"({"cmd":"schedule","drafts":0})")
+                   .at("ok").bool_value);
+  EXPECT_FALSE(Roundtrip(R"({"cmd":"schedule","candidates":64})")
+                   .at("ok").bool_value);
+  EXPECT_FALSE(Roundtrip(R"({"cmd":"schedule","lambda":-1})")
+                   .at("ok").bool_value);
+  EXPECT_FALSE(Roundtrip(R"({"cmd":"schedule","seed":"abc"})")
+                   .at("ok").bool_value);
 }
 
 TEST_F(DispatchTest, RebalanceWithoutTrackerIsAnErrorResponse) {

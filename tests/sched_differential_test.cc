@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/friendship.h"
+#include "sched/schedule.h"
+
+namespace gepc {
+namespace {
+
+/// The PR's differential acceptance: on instances small enough to
+/// enumerate, the greedy + hill-climbing search must find a configuration
+/// with exactly the exhaustive optimum's score. Both paths share the same
+/// evaluation machinery (fingerprint-derived oracle seeds, one cache), so
+/// score equality is bitwise, not approximate.
+void ExpectSearchMatchesExhaustive(uint64_t seed, double lambda) {
+  ScheduleGenConfig config;
+  config.num_users = 40;
+  config.num_drafts = 3;
+  config.candidates_per_draft = 3;
+  config.seed = seed;
+  const ScheduleProblem problem = GenerateScheduleProblem(config);
+
+  FriendshipGraph graph;
+  ScheduleOptions options;
+  options.seed = seed;
+  options.restarts = 4;
+  options.max_passes = 6;
+  if (lambda > 0.0) {
+    FriendshipConfig fc;
+    fc.mean_degree = 5.0;
+    fc.seed = seed + 1;
+    graph = GenerateFriendshipGraph(problem.users, fc);
+    options.affinity.graph = &graph;
+    options.affinity.lambda = lambda;
+  }
+
+  ScheduleCache cache;  // shared: identical evals for identical configs
+  auto searched = SolveSchedule(problem, options, &cache);
+  auto exhaustive = EnumerateSchedule(problem, options, &cache);
+  ASSERT_TRUE(searched.ok()) << searched.status();
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status();
+  EXPECT_EQ(searched->score, exhaustive->score)
+      << "seed " << seed << " lambda " << lambda << ": search found "
+      << searched->score << ", optimum is " << exhaustive->score;
+}
+
+TEST(SchedDifferentialTest, SearchFindsTheExhaustiveOptimum) {
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    ExpectSearchMatchesExhaustive(seed, /*lambda=*/0.0);
+  }
+}
+
+TEST(SchedDifferentialTest, SearchFindsTheOptimumWithAffinity) {
+  for (const uint64_t seed : {1u, 3u, 5u}) {
+    ExpectSearchMatchesExhaustive(seed, /*lambda=*/0.5);
+  }
+}
+
+TEST(SchedDifferentialTest, ExhaustiveTieBreaksLexicographically) {
+  // Two drafts with identical candidate lists: several configurations tie,
+  // and the enumerator must return the lexicographically smallest winner so
+  // the search (which breaks ties toward lower candidate indices) can agree.
+  ScheduleGenConfig config;
+  config.num_users = 20;
+  config.num_drafts = 2;
+  config.candidates_per_draft = 2;
+  config.seed = 9;
+  ScheduleProblem problem = GenerateScheduleProblem(config);
+  // Make every candidate of draft 1 a copy of draft 1's first candidate:
+  // choosing index 0 or 1 is indistinguishable, so the optimum is tied.
+  problem.drafts[1].candidates[1] = problem.drafts[1].candidates[0];
+  ScheduleOptions options;
+  options.seed = 9;
+  auto exhaustive = EnumerateSchedule(problem, options);
+  auto searched = SolveSchedule(problem, options);
+  ASSERT_TRUE(exhaustive.ok() && searched.ok());
+  EXPECT_EQ(exhaustive->choice[1], 0);
+  EXPECT_EQ(searched->score, exhaustive->score);
+}
+
+TEST(SchedDifferentialTest, EnumerateIsDeterministicAcrossThreadCounts) {
+  ScheduleGenConfig config;
+  config.num_users = 30;
+  config.num_drafts = 3;
+  config.candidates_per_draft = 2;
+  config.seed = 12;
+  const ScheduleProblem problem = GenerateScheduleProblem(config);
+  ScheduleOptions one;
+  one.seed = 12;
+  one.threads = 1;
+  ScheduleOptions four = one;
+  four.threads = 4;
+  auto a = EnumerateSchedule(problem, one);
+  auto b = EnumerateSchedule(problem, four);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->choice, b->choice);
+  EXPECT_EQ(a->score, b->score);
+}
+
+}  // namespace
+}  // namespace gepc

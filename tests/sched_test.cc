@@ -1,0 +1,283 @@
+#include "sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/friendship.h"
+#include "fault/fault.h"
+
+namespace gepc {
+namespace {
+
+ScheduleProblem SmallProblem(uint64_t seed = 7) {
+  ScheduleGenConfig config;
+  config.num_users = 60;
+  config.num_drafts = 3;
+  config.candidates_per_draft = 3;
+  config.seed = seed;
+  return GenerateScheduleProblem(config);
+}
+
+class SchedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::Global().Reset(); }
+  void TearDown() override { fault::Registry::Global().Reset(); }
+};
+
+TEST_F(SchedTest, GenerateIsDeterministicAndValid) {
+  const ScheduleProblem a = SmallProblem(3);
+  const ScheduleProblem b = SmallProblem(3);
+  ASSERT_TRUE(a.Validate().ok());
+  ASSERT_EQ(a.users.size(), 60u);
+  ASSERT_EQ(a.drafts.size(), 3u);
+  for (size_t d = 0; d < a.drafts.size(); ++d) {
+    EXPECT_EQ(a.drafts[d].interest, b.drafts[d].interest);
+    ASSERT_EQ(a.drafts[d].candidates.size(), 3u);
+    for (size_t c = 0; c < 3u; ++c) {
+      EXPECT_EQ(a.drafts[d].candidates[c].slot,
+                b.drafts[d].candidates[c].slot);
+      EXPECT_EQ(a.drafts[d].candidates[c].capacity,
+                b.drafts[d].candidates[c].capacity);
+    }
+  }
+}
+
+TEST_F(SchedTest, ValidateRejectsInterestSizeMismatch) {
+  ScheduleProblem problem = SmallProblem();
+  problem.drafts[0].interest.pop_back();
+  EXPECT_EQ(problem.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveSchedule(problem).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedTest, FingerprintIsCanonical) {
+  EXPECT_EQ(ScheduleFingerprint({0, 1, 2}), ScheduleFingerprint({0, 1, 2}));
+  EXPECT_NE(ScheduleFingerprint({0, 1, 2}), ScheduleFingerprint({0, 2, 1}));
+  EXPECT_NE(ScheduleFingerprint({0, -1}), ScheduleFingerprint({0, 0}));
+  EXPECT_NE(ScheduleFingerprint({}), ScheduleFingerprint({0}));
+}
+
+TEST_F(SchedTest, MaterializeBuildsOnlyChosenDrafts) {
+  const ScheduleProblem problem = SmallProblem();
+  const std::vector<int> choice = {1, -1, 0};
+  const Instance instance = MaterializeSchedule(problem, choice);
+  EXPECT_EQ(instance.num_users(), 60);
+  ASSERT_EQ(instance.num_events(), 2);  // draft 1 omitted
+  const ScheduleCandidate& first = problem.drafts[0].candidates[1];
+  EXPECT_EQ(instance.event(0).time, first.slot);
+  EXPECT_EQ(instance.event(0).upper_bound, first.capacity);
+  EXPECT_LE(instance.event(0).lower_bound, first.capacity);
+  // Interest columns ride along unchanged.
+  for (int i = 0; i < instance.num_users(); ++i) {
+    EXPECT_EQ(instance.utility(i, 0),
+              problem.drafts[0].interest[static_cast<size_t>(i)]);
+    EXPECT_EQ(instance.utility(i, 1),
+              problem.drafts[2].interest[static_cast<size_t>(i)]);
+  }
+  EXPECT_TRUE(instance.Validate().ok());
+}
+
+TEST_F(SchedTest, SearchIsDeterministicPerSeedAcrossThreadCounts) {
+  const ScheduleProblem problem = SmallProblem(11);
+  ScheduleOptions options;
+  options.seed = 5;
+  options.threads = 1;
+  auto one = SolveSchedule(problem, options);
+  options.threads = 4;
+  auto four = SolveSchedule(problem, options);
+  ASSERT_TRUE(one.ok() && four.ok());
+  EXPECT_EQ(one->choice, four->choice);
+  EXPECT_EQ(one->score, four->score);  // bitwise
+  EXPECT_EQ(one->total_utility, four->total_utility);
+  EXPECT_EQ(one->attendance, four->attendance);
+  EXPECT_EQ(one->stats.oracle_calls + one->stats.cache_hits,
+            four->stats.oracle_calls + four->stats.cache_hits);
+}
+
+TEST_F(SchedTest, MemoizationDoesNotChangeTheResult) {
+  const ScheduleProblem problem = SmallProblem(13);
+  ScheduleOptions memoized;
+  memoized.seed = 2;
+  ScheduleOptions naive = memoized;
+  naive.memoize = false;
+  auto a = SolveSchedule(problem, memoized);
+  auto b = SolveSchedule(problem, naive);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->choice, b->choice);
+  EXPECT_EQ(a->score, b->score);
+  EXPECT_EQ(b->stats.cache_hits, 0);
+  EXPECT_GE(b->stats.oracle_calls, a->stats.oracle_calls);
+}
+
+TEST_F(SchedTest, SharedCacheAmortizesAcrossLambdaSweep) {
+  const ScheduleProblem problem = SmallProblem(17);
+  FriendshipConfig fc;
+  fc.seed = 18;
+  const FriendshipGraph graph = GenerateFriendshipGraph(problem.users, fc);
+
+  // Cache-sharing contract: every sharer arms the SAME graph; only lambda
+  // varies (at lambda 0 the recorded pair counts weigh nothing).
+  ScheduleCache cache;
+  ScheduleOptions plain;
+  plain.seed = 3;
+  plain.affinity.graph = &graph;
+  plain.affinity.lambda = 0.0;
+  auto first = SolveSchedule(problem, plain, &cache);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(cache.size(), 0);
+
+  // Evals are lambda-independent, so a search at a different lambda reuses
+  // the same cache entries instead of re-solving.
+  ScheduleOptions social = plain;
+  social.affinity.lambda = 0.5;
+  auto second = SolveSchedule(problem, social, &cache);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->stats.cache_hits, 0);
+  EXPECT_LT(second->stats.oracle_calls, first->stats.oracle_calls);
+  // The affinity-aware score includes the pair term.
+  EXPECT_GE(second->score, second->total_utility);
+  EXPECT_EQ(second->affinity_utility, second->score);
+
+  // Cache hits must not change WHAT the search finds — only what it pays:
+  // a fresh, unshared search at the same lambda lands on the same schedule.
+  auto fresh = SolveSchedule(problem, social);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(second->choice, fresh->choice);
+  EXPECT_EQ(second->score, fresh->score);
+}
+
+TEST_F(SchedTest, LambdaZeroGraphReducesToPureAttendance) {
+  const ScheduleProblem problem = SmallProblem(19);
+  FriendshipConfig fc;
+  const FriendshipGraph graph = GenerateFriendshipGraph(problem.users, fc);
+  ScheduleOptions plain;
+  plain.seed = 4;
+  ScheduleOptions zero = plain;
+  zero.affinity.graph = &graph;
+  zero.affinity.lambda = 0.0;
+  auto a = SolveSchedule(problem, plain);
+  auto b = SolveSchedule(problem, zero);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->choice, b->choice);
+  EXPECT_EQ(a->score, b->score);
+  EXPECT_EQ(b->affinity_utility, b->total_utility);
+}
+
+TEST_F(SchedTest, EstimateScheduleIsDeterministic) {
+  const ScheduleProblem problem = SmallProblem(23);
+  const std::vector<int> choice = {0, 1, 2};
+  const ScheduleEval a = EstimateSchedule(problem, choice);
+  const ScheduleEval b = EstimateSchedule(problem, choice);
+  EXPECT_EQ(a.total_utility, b.total_utility);
+  EXPECT_EQ(a.attendance, b.attendance);
+  EXPECT_TRUE(a.degraded);
+  EXPECT_GE(a.attendance, 0);
+}
+
+TEST_F(SchedTest, CandidateFaultSkipsDeterministically) {
+  const ScheduleProblem problem = SmallProblem(29);
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.skip = 1;
+  spec.count = 2;
+  fault::Registry::Global().Arm("sched.candidate", spec);
+  ScheduleOptions options;
+  options.seed = 6;
+  options.threads = 3;
+  auto faulted = SolveSchedule(problem, options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  EXPECT_EQ(faulted->stats.skipped_candidates, 2);
+
+  // Same arming, same result — fault decisions are taken sequentially at
+  // wave-build time, never on a worker thread.
+  fault::Registry::Global().Reset();
+  fault::Registry::Global().Arm("sched.candidate", spec);
+  options.threads = 1;
+  auto again = SolveSchedule(problem, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(faulted->choice, again->choice);
+  EXPECT_EQ(faulted->score, again->score);
+}
+
+TEST_F(SchedTest, AllCandidatesSkippedLeavesDraftUnscheduled) {
+  const ScheduleProblem problem = SmallProblem(31);
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.count = 1000000;  // every candidate hit fires
+  fault::Registry::Global().Arm("sched.candidate", spec);
+  auto result = SolveSchedule(problem);
+  ASSERT_TRUE(result.ok());
+  for (const int c : result->choice) EXPECT_EQ(c, -1);
+  EXPECT_EQ(result->stats.oracle_calls, 0);
+  EXPECT_EQ(result->score, 0.0);
+}
+
+TEST_F(SchedTest, OracleFaultDegradesToEstimateAndIsNeverCached) {
+  const ScheduleProblem problem = SmallProblem(37);
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.count = 3;
+  fault::Registry::Global().Arm("sched.oracle", spec);
+  ScheduleCache cache;
+  ScheduleOptions options;
+  options.seed = 8;
+  auto result = SolveSchedule(problem, options, &cache);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.degraded_candidates, 3);
+  // Degraded evals never enter the cache: every cached entry is real.
+  ScheduleEval eval;
+  for (int d = 0; d < 3; ++d) {
+    for (int c = 0; c < 3; ++c) {
+      std::vector<int> probe(3, -1);
+      probe[static_cast<size_t>(d)] = c;
+      if (cache.Lookup(ScheduleFingerprint(probe), &eval)) {
+        EXPECT_FALSE(eval.degraded);
+      }
+    }
+  }
+}
+
+TEST_F(SchedTest, EnumerateRejectsOversizedProducts) {
+  ScheduleGenConfig config;
+  config.num_users = 10;
+  config.num_drafts = 4;
+  config.candidates_per_draft = 4;
+  const ScheduleProblem problem = GenerateScheduleProblem(config);
+  auto result = EnumerateSchedule(problem, {}, nullptr, /*max_configs=*/8);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedTest, ResultCarriesMaterializedInstanceAndPlan) {
+  const ScheduleProblem problem = SmallProblem(41);
+  auto result = SolveSchedule(problem);
+  ASSERT_TRUE(result.ok());
+  int scheduled = 0;
+  for (const int c : result->choice) {
+    if (c >= 0) ++scheduled;
+  }
+  EXPECT_EQ(result->instance.num_events(), scheduled);
+  EXPECT_EQ(result->plan.num_users(),
+            static_cast<int>(problem.users.size()));
+  EXPECT_EQ(result->plan.TotalUtility(result->instance),
+            result->total_utility);
+  EXPECT_EQ(static_cast<int>(result->plan.TotalAssignments()),
+            result->attendance);
+}
+
+TEST_F(SchedTest, ForUsersGeneratorCoversThePopulation) {
+  const ScheduleProblem base = SmallProblem(43);
+  ScheduleGenConfig config;
+  config.num_drafts = 2;
+  config.candidates_per_draft = 2;
+  config.seed = 44;
+  const ScheduleProblem derived =
+      GenerateScheduleProblemForUsers(base.users, config);
+  ASSERT_TRUE(derived.Validate().ok());
+  EXPECT_EQ(derived.users.size(), base.users.size());
+  ASSERT_EQ(derived.drafts.size(), 2u);
+  EXPECT_EQ(derived.drafts[0].interest.size(), base.users.size());
+}
+
+}  // namespace
+}  // namespace gepc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/scenarios.h"
+
 namespace gepc {
 namespace {
 
@@ -35,9 +37,11 @@ TEST(SimulatorTest, DeterministicPerSeed) {
   ASSERT_EQ(a->days.size(), b->days.size());
   for (size_t d = 0; d < a->days.size(); ++d) {
     EXPECT_DOUBLE_EQ(a->days[d].total_utility, b->days[d].total_utility);
+    EXPECT_DOUBLE_EQ(a->days[d].affinity_utility, b->days[d].affinity_utility);
     EXPECT_EQ(a->days[d].negative_impact, b->days[d].negative_impact);
     EXPECT_EQ(a->days[d].ops, b->days[d].ops);
   }
+  EXPECT_DOUBLE_EQ(a->final_affinity_utility, b->final_affinity_utility);
 }
 
 TEST(SimulatorTest, DifferentSeedsDriftDifferently) {
@@ -116,6 +120,72 @@ TEST(SimulatorTest, EffectiveUtilityNeverExceedsTotal) {
   for (const DayMetrics& day : result->days) {
     EXPECT_LE(day.effective_utility, day.total_utility + 1e-9)
         << "day " << day.day;
+  }
+}
+
+TEST(SimulatorTest, AffinityUtilityEqualsTotalWhenUnarmed) {
+  auto result = RunSimulation(SmallConfig(true));
+  ASSERT_TRUE(result.ok());
+  for (const DayMetrics& day : result->days) {
+    EXPECT_DOUBLE_EQ(day.affinity_utility, day.total_utility)
+        << "day " << day.day;
+  }
+  EXPECT_DOUBLE_EQ(result->final_affinity_utility, result->final_utility);
+}
+
+/// Shrinks a preset config so the suite stays fast but still exercises the
+/// preset's distinctive machinery (drafted events / friendship graph).
+SimulationConfig SmallScenario(ScenarioPreset preset, uint64_t seed = 3) {
+  SimulationConfig config = MakeScenarioConfig(preset, seed);
+  config.base.num_users = 40;
+  config.base.num_events = 8;
+  config.num_days = 3;
+  return config;
+}
+
+TEST(ScenarioTest, ParsesKnownNamesAndRejectsOthers) {
+  ScenarioPreset preset = ScenarioPreset::kMixed;
+  EXPECT_TRUE(ParseScenarioPreset("scheduling", &preset));
+  EXPECT_EQ(preset, ScenarioPreset::kScheduling);
+  EXPECT_TRUE(ParseScenarioPreset("affinity", &preset));
+  EXPECT_EQ(preset, ScenarioPreset::kAffinity);
+  EXPECT_TRUE(ParseScenarioPreset("mixed", &preset));
+  EXPECT_EQ(preset, ScenarioPreset::kMixed);
+  EXPECT_FALSE(ParseScenarioPreset("bogus", &preset));
+  EXPECT_FALSE(ParseScenarioPreset("", &preset));
+  EXPECT_EQ(std::string(ScenarioPresetName(ScenarioPreset::kScheduling)),
+            "scheduling");
+}
+
+TEST(ScenarioTest, SchedulingPresetPlacesDraftedEvents) {
+  auto result = RunSimulation(SmallScenario(ScenarioPreset::kScheduling));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->days.size(), 4u);
+  // New events arrive through the sched search; drift days carry ops.
+  EXPECT_GT(result->days.back().ops, 0);
+}
+
+TEST(ScenarioTest, AffinityPresetReportsAffinityAwareUtility) {
+  auto result = RunSimulation(SmallScenario(ScenarioPreset::kAffinity));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // lambda > 0: affinity utility = total + lambda * pairs >= total.
+  for (const DayMetrics& day : result->days) {
+    EXPECT_GE(day.affinity_utility, day.total_utility - 1e-9)
+        << "day " << day.day;
+  }
+  EXPECT_GE(result->final_affinity_utility, result->final_utility - 1e-9);
+}
+
+TEST(ScenarioTest, MixedPresetIsDeterministicPerSeed) {
+  auto a = RunSimulation(SmallScenario(ScenarioPreset::kMixed, 11));
+  auto b = RunSimulation(SmallScenario(ScenarioPreset::kMixed, 11));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->days.size(), b->days.size());
+  for (size_t d = 0; d < a->days.size(); ++d) {
+    EXPECT_DOUBLE_EQ(a->days[d].total_utility, b->days[d].total_utility);
+    EXPECT_DOUBLE_EQ(a->days[d].affinity_utility,
+                     b->days[d].affinity_utility);
+    EXPECT_EQ(a->days[d].ops, b->days[d].ops);
   }
 }
 

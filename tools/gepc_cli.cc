@@ -13,6 +13,12 @@
 //   gepc_cli apply    --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]
 //                     [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]
 //                     [--shards K [--rebalance-every N] [--rebalance-skew X]]
+//   gepc_cli schedule --users N --drafts D --candidates C [--seed S]
+//                     [--lambda L] [--degree K] [--threads T]
+//                     [--restarts R] [--passes P] [--exhaustive]
+//                     [--no-memoize]
+//   gepc_cli sim      --scenario scheduling|affinity|mixed [--days N]
+//                     [--seed S] [--users N] [--events M] [--resolve]
 //   gepc_cli ckpt-inspect --ckpt file.gckp | --dir ckpt_dir
 //   gepc_cli journal-inspect --journal file.gops
 //
@@ -40,8 +46,11 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "iep/batch.h"
+#include "data/friendship.h"
+#include "sched/schedule.h"
 #include "shard/rebalance.h"
 #include "shard/sharded_solver.h"
+#include "sim/scenarios.h"
 #include "iep/op_spec.h"
 #include "iep/planner.h"
 #include "iep/trace.h"
@@ -65,6 +74,11 @@ constexpr char kUsage[] =
     "  apply     --in inst.gepc --plan plan.gpln --op SPEC [--op SPEC...]\n"
     "            [--ops-file trace.gops] [--plan-out out.gpln] [--reorder]\n"
     "            [--shards K [--rebalance-every N] [--rebalance-skew X]]\n"
+    "  schedule  --users N --drafts D --candidates C [--seed S]\n"
+    "            [--lambda L] [--degree K] [--threads T] [--restarts R]\n"
+    "            [--passes P] [--exhaustive] [--no-memoize] [--faults SPEC]\n"
+    "  sim       --scenario scheduling|affinity|mixed [--days N] [--seed S]\n"
+    "            [--users N] [--events M] [--resolve] [--faults SPEC]\n"
     "  ckpt-inspect --ckpt file.gckp | --dir ckpt_dir\n"
     "  journal-inspect --journal file.gops\n"
     "\n"
@@ -78,6 +92,7 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> options;
   std::vector<std::string> ops;
+  std::set<std::string> flags;
   bool reorder = false;
   bool no_topup = false;
 };
@@ -111,6 +126,15 @@ const std::map<std::string, CommandSpec>& Commands() {
        {{"in", "plan", "op", "ops-file", "plan-out", "shards",
          "rebalance-every", "rebalance-skew"},
         {"reorder"},
+        {}}},
+      {"schedule",
+       {{"users", "drafts", "candidates", "seed", "lambda", "degree",
+         "threads", "restarts", "passes", "faults"},
+        {"exhaustive", "no-memoize"},
+        {}}},
+      {"sim",
+       {{"scenario", "days", "seed", "users", "events", "faults"},
+        {"resolve"},
         {}}},
       {"ckpt-inspect", {{"ckpt", "dir"}, {}, {}}},
       {"journal-inspect", {{"journal"}, {}, {}}},
@@ -152,6 +176,7 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
         *error = "flag '--" + name + "' does not take a value";
         return false;
       }
+      args->flags.insert(name);
       if (name == "reorder") args->reorder = true;
       if (name == "no-topup") args->no_topup = true;
       continue;
@@ -545,6 +570,157 @@ int InspectOneCheckpoint(const std::string& path) {
   return 0;
 }
 
+/// Organizer-side scheduling demo: generate a seeded draft problem, search
+/// (or exhaustively enumerate) candidate (slot, venue) configurations with
+/// the GEPC solver as attendance oracle, and report the chosen schedule.
+int CmdSchedule(const Args& args) {
+  ScheduleGenConfig gen;
+  if (!ParsePositiveInt(GetOption(args, "users", "200"), &gen.num_users)) {
+    return UsageFail("--users must be a positive integer");
+  }
+  if (!ParsePositiveInt(GetOption(args, "drafts", "4"), &gen.num_drafts)) {
+    return UsageFail("--drafts must be a positive integer");
+  }
+  if (!ParsePositiveInt(GetOption(args, "candidates", "3"),
+                        &gen.candidates_per_draft)) {
+    return UsageFail("--candidates must be a positive integer");
+  }
+  gen.seed = std::strtoull(GetOption(args, "seed", "42").c_str(), nullptr, 10);
+
+  ScheduleOptions options;
+  options.seed = gen.seed;
+  if (!ParsePositiveInt(GetOption(args, "threads", "1"), &options.threads)) {
+    return UsageFail("--threads must be a positive integer");
+  }
+  if (!ParsePositiveInt(GetOption(args, "restarts", "2"),
+                        &options.restarts)) {
+    return UsageFail("--restarts must be a positive integer");
+  }
+  if (!ParsePositiveInt(GetOption(args, "passes", "4"),
+                        &options.max_passes)) {
+    return UsageFail("--passes must be a positive integer");
+  }
+  options.memoize = args.flags.count("no-memoize") == 0;
+
+  double lambda = 0.0;
+  {
+    const std::string lambda_option = GetOption(args, "lambda", "0");
+    char* end = nullptr;
+    lambda = std::strtod(lambda_option.c_str(), &end);
+    if (lambda_option.empty() || end == nullptr || *end != '\0' ||
+        lambda < 0.0) {
+      return UsageFail("--lambda must be a non-negative number");
+    }
+  }
+  int degree = 4;
+  if (!ParsePositiveInt(GetOption(args, "degree", "4"), &degree)) {
+    return UsageFail("--degree must be a positive integer");
+  }
+
+  ScheduleProblem problem = GenerateScheduleProblem(gen);
+  FriendshipGraph friends;
+  if (lambda > 0.0) {
+    FriendshipConfig fc;
+    fc.mean_degree = static_cast<double>(degree);
+    fc.seed = gen.seed + 7;
+    friends = GenerateFriendshipGraph(problem.users, fc);
+    options.affinity.graph = &friends;
+    options.affinity.lambda = lambda;
+  }
+
+  ScheduleCache cache;
+  const bool exhaustive = args.flags.count("exhaustive") > 0;
+  auto result = exhaustive ? EnumerateSchedule(problem, options, &cache)
+                           : SolveSchedule(problem, options, &cache);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("mode:             %s\n", exhaustive ? "exhaustive" : "search");
+  std::printf("drafts:           %d x %d candidates\n", gen.num_drafts,
+              gen.candidates_per_draft);
+  for (size_t d = 0; d < result->choice.size(); ++d) {
+    const int c = result->choice[d];
+    if (c < 0) {
+      std::printf("  draft %-3zu       unscheduled\n", d);
+      continue;
+    }
+    const ScheduleCandidate& cand = problem.drafts[d].candidates[c];
+    std::printf("  draft %-3zu       candidate %d: slot %s, venue "
+                "(%.1f, %.1f), capacity %d\n",
+                d, c, FormatInterval(cand.slot).c_str(), cand.venue.x,
+                cand.venue.y, cand.capacity);
+  }
+  std::printf("score:            %.4f\n", result->score);
+  std::printf("total utility:    %.4f\n", result->total_utility);
+  if (lambda > 0.0) {
+    std::printf("affinity utility: %.4f (lambda %.3f)\n",
+                result->affinity_utility, lambda);
+  }
+  std::printf("attendance:       %d\n", result->attendance);
+  std::printf("oracle calls:     %lld (%lld cache hits)\n",
+              static_cast<long long>(result->stats.oracle_calls),
+              static_cast<long long>(result->stats.cache_hits));
+  if (result->stats.degraded_candidates > 0 ||
+      result->stats.skipped_candidates > 0) {
+    std::printf("faults:           %lld degraded, %lld skipped\n",
+                static_cast<long long>(result->stats.degraded_candidates),
+                static_cast<long long>(result->stats.skipped_candidates));
+  }
+  std::printf("search:           %lld swaps, %d passes, %d restarts\n",
+              static_cast<long long>(result->stats.swap_moves),
+              result->stats.passes, result->stats.restarts);
+  return 0;
+}
+
+/// Named multi-day scenarios (src/sim/scenarios.h): the preset picks the
+/// workload shape; --days/--users/--events/--resolve override on top.
+int CmdSim(const Args& args) {
+  const std::string scenario = GetOption(args, "scenario");
+  if (scenario.empty()) {
+    return UsageFail("sim needs --scenario scheduling|affinity|mixed");
+  }
+  ScenarioPreset preset;
+  if (!ParseScenarioPreset(scenario, &preset)) {
+    return UsageFail("--scenario must be 'scheduling', 'affinity' or "
+                     "'mixed'");
+  }
+  const uint64_t seed =
+      std::strtoull(GetOption(args, "seed", "42").c_str(), nullptr, 10);
+  SimulationConfig config = MakeScenarioConfig(preset, seed);
+  if (args.options.count("days") > 0 &&
+      !ParsePositiveInt(GetOption(args, "days"), &config.num_days)) {
+    return UsageFail("--days must be a positive integer");
+  }
+  if (args.options.count("users") > 0 &&
+      !ParsePositiveInt(GetOption(args, "users"), &config.base.num_users)) {
+    return UsageFail("--users must be a positive integer");
+  }
+  if (args.options.count("events") > 0 &&
+      !ParsePositiveInt(GetOption(args, "events"), &config.base.num_events)) {
+    return UsageFail("--events must be a positive integer");
+  }
+  config.incremental = args.flags.count("resolve") == 0;
+
+  auto result = RunSimulation(config);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("scenario:         %s (%s)\n", ScenarioPresetName(preset),
+              config.incremental ? "incremental" : "re-solve");
+  std::printf("%5s %6s %12s %12s %9s %9s\n", "day", "ops", "utility",
+              "affinity", "below-xi", "sec");
+  int total_ops = 0;
+  for (const DayMetrics& day : result->days) {
+    total_ops += day.ops;
+    std::printf("%5d %6d %12.4f %12.4f %9d %9.3f\n", day.day, day.ops,
+                day.total_utility, day.affinity_utility,
+                day.events_below_lower_bound, day.plan_seconds);
+  }
+  std::printf("final utility:    %.4f\n", result->final_utility);
+  std::printf("final affinity:   %.4f\n", result->final_affinity_utility);
+  std::printf("total ops:        %d\n", total_ops);
+  std::printf("plan seconds:     %.3f\n", result->total_plan_seconds);
+  return 0;
+}
+
 int CmdCkptInspect(const Args& args) {
   const std::string ckpt = GetOption(args, "ckpt");
   const std::string dir = GetOption(args, "dir");
@@ -629,6 +805,8 @@ int Main(int argc, char** argv) {
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "apply") return CmdApply(args);
   if (args.command == "itinerary") return CmdItinerary(args);
+  if (args.command == "schedule") return CmdSchedule(args);
+  if (args.command == "sim") return CmdSim(args);
   if (args.command == "ckpt-inspect") return CmdCkptInspect(args);
   if (args.command == "journal-inspect") return CmdJournalInspect(args);
   std::fprintf(stderr, "%s", kUsage);  // unreachable: ParseArgs validated
